@@ -1,0 +1,56 @@
+"""Figures 8-12 — the mined process model graphs of the five Flowmark
+processes (Upload_and_Notify, UWI_Pilot, StressSleep, Pend_Block,
+Local_Swap).
+
+The paper draws each mined graph; its installation being unavailable, the
+bench mines the simulated datasets (same vertex/edge/execution counts as
+Table 3) and emits each mined graph as ASCII plus Graphviz DOT under
+``benchmarks/results/`` — render with ``dot -Tpng``.
+"""
+
+import pytest
+
+from repro.analysis.metrics import recovery_metrics
+from repro.core.general_dag import mine_general_dag
+from repro.datasets.flowmark import FLOWMARK_PROCESS_NAMES, flowmark_dataset
+from repro.graphs.render import to_ascii, to_dot
+
+FIGURE_NUMBERS = {
+    "Upload_and_Notify": 8,
+    "UWI_Pilot": 9,
+    "StressSleep": 10,
+    "Pend_Block": 11,
+    "Local_Swap": 12,
+}
+
+
+@pytest.mark.parametrize("name", FLOWMARK_PROCESS_NAMES)
+def test_mined_flowmark_figure(benchmark, name, emit, results_dir):
+    """Mine one process and emit its figure (ASCII + DOT)."""
+    dataset = flowmark_dataset(name, seed=11)
+
+    mined = benchmark.pedantic(
+        mine_general_dag, args=(dataset.log,), rounds=3, iterations=1
+    )
+
+    figure = FIGURE_NUMBERS[name]
+    metrics = recovery_metrics(
+        dataset.model.graph, mined, log=dataset.log
+    )
+    text = "\n".join(
+        [
+            f"Figure {figure} — process model graph for {name}",
+            f"(recovery: {metrics.describe()})",
+            "",
+            to_ascii(mined),
+        ]
+    )
+    emit(f"fig{figure}_{name}", text)
+    (results_dir / f"fig{figure}_{name}.dot").write_text(
+        to_dot(mined, name=name)
+    )
+
+    # "In every case, our algorithm was able to recover the underlying
+    # process."
+    assert metrics.recall == 1.0
+    assert metrics.verdict in ("exact", "closure-equivalent")

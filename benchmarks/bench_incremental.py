@@ -1,0 +1,107 @@
+"""Streaming extension — incremental mining throughput and convergence.
+
+Not a paper table; an extension bench for the deployment the paper's
+introduction motivates (Flowmark recording executions as users perform
+them).  Measures:
+
+* streaming ingest + periodic materialization vs. batch re-mining from
+  scratch at every poll;
+* how quickly the mined edge set converges as executions stream in.
+"""
+
+import time
+
+from repro.analysis.tables import TextTable
+from repro.core.general_dag import mine_general_dag
+from repro.core.incremental import IncrementalMiner
+from repro.datasets.synthetic import SyntheticConfig, synthetic_dataset
+from repro.logs.event_log import EventLog
+
+
+def test_streaming_vs_batch_polling(benchmark, emit):
+    """Poll the mined graph every 50 executions, both ways."""
+    dataset = synthetic_dataset(
+        SyntheticConfig(n_vertices=25, n_executions=1000, seed=12)
+    )
+    executions = dataset.log.executions
+    poll_every = 50
+    timings = {}
+
+    def run_both():
+        started = time.perf_counter()
+        miner = IncrementalMiner()
+        for i, execution in enumerate(executions, start=1):
+            miner.add(execution)
+            if i % poll_every == 0:
+                miner.graph()
+        timings["streaming"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for i in range(poll_every, len(executions) + 1, poll_every):
+            mine_general_dag(EventLog(executions[:i]))
+        timings["batch"] = time.perf_counter() - started
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["strategy", "total seconds", "per poll (ms)"],
+        title=(
+            "Streaming vs batch re-mining — 1000 executions, "
+            f"polled every {poll_every}"
+        ),
+    )
+    polls = len(executions) // poll_every
+    for label in ("streaming", "batch"):
+        table.add_row(
+            [label, f"{timings[label]:.4f}",
+             f"{1000 * timings[label] / polls:.2f}"]
+        )
+    emit("extension_incremental", table.render())
+
+    # Streaming must produce the identical final graph.
+    miner = IncrementalMiner()
+    miner.add_log(dataset.log)
+    assert miner.graph().edge_set() == mine_general_dag(
+        dataset.log
+    ).edge_set()
+
+
+def test_convergence_curve(benchmark, emit):
+    """Edge-set churn as the log grows — the deployment's stop signal."""
+    dataset = synthetic_dataset(
+        SyntheticConfig(n_vertices=15, n_executions=800, seed=9)
+    )
+    checkpoints = (25, 50, 100, 200, 400, 800)
+    churn = {}
+
+    def run():
+        miner = IncrementalMiner()
+        previous = None
+        consumed = 0
+        for checkpoint in checkpoints:
+            for execution in dataset.log.executions[consumed:checkpoint]:
+                miner.add(execution)
+            consumed = checkpoint
+            edges = miner.graph().edge_set()
+            churn[checkpoint] = (
+                len(edges ^ previous) if previous is not None else None
+            )
+            previous = edges
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["executions seen", "edge churn since last checkpoint"],
+        title="Incremental mining convergence (15-vertex process)",
+    )
+    for checkpoint in checkpoints:
+        value = churn[checkpoint]
+        table.add_row(
+            [checkpoint, "-" if value is None else value]
+        )
+    emit("extension_convergence", table.render())
+
+    # Churn must die down as the log saturates the process.
+    late = [churn[c] for c in checkpoints[-2:] if churn[c] is not None]
+    early = [churn[c] for c in checkpoints[1:3]]
+    assert sum(late) <= sum(early)

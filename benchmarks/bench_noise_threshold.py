@@ -1,0 +1,99 @@
+"""Section 6 — noise-threshold behaviour (Example 9's chain scenario).
+
+The paper's analysis: with out-of-order error rate ε over m executions,
+the threshold T trades two failure modes — ``C(m,T)·ε^T`` (noise kills a
+true dependency) against ``C(m,m−T)·(1/2)^(m−T)`` (an unlucky streak
+fakes one) — balanced at ``ε^T = (1/2)^(m−T)``.
+
+This bench sweeps T on a noisy chain log and regenerates:
+
+* the measured recovery at each T (dependencies kept / spurious edges);
+* the predicted failure probabilities alongside;
+* the balance-point T*, which must sit in the sweet spot.
+"""
+
+from repro.analysis.tables import TextTable
+from repro.core.general_dag import mine_general_dag
+from repro.core.noise import optimal_threshold, threshold_error_probability
+from repro.logs.event_log import EventLog
+from repro.logs.noise import NoiseConfig, NoiseInjector
+
+CHAIN = "ABCDEFGH"
+CHAIN_EDGES = {
+    (a, b) for a, b in zip(CHAIN, CHAIN[1:])
+}
+FORWARD = {
+    (a, b)
+    for i, a in enumerate(CHAIN)
+    for b in CHAIN[i + 1:]
+}
+M = 400
+EPSILON = 0.08
+
+
+def noisy_chain_log():
+    clean = EventLog.from_sequences([list(CHAIN)] * M)
+    injector = NoiseInjector(NoiseConfig(swap_rate=EPSILON, seed=17))
+    return injector.corrupt(clean)
+
+
+def test_threshold_sweep(benchmark, emit):
+    """Sweep T and regenerate the Section 6 trade-off table."""
+    log = noisy_chain_log()
+    t_star = optimal_threshold(M, EPSILON)
+    thresholds = sorted(
+        {0, 2, t_star // 2, t_star, 2 * t_star, int(0.8 * M)}
+    )
+    rows = []
+
+    def run_sweep():
+        rows.clear()
+        for t in thresholds:
+            mined = mine_general_dag(log, threshold=t)
+            edges = mined.edge_set()
+            kept = len(edges & CHAIN_EDGES)
+            backward = len(edges - FORWARD)
+            probs = threshold_error_probability(M, max(t, 1), EPSILON)
+            rows.append(
+                (
+                    t,
+                    kept,
+                    backward,
+                    edges >= CHAIN_EDGES,
+                    probs.p_false_independence,
+                    probs.p_false_dependency,
+                )
+            )
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = TextTable(
+        [
+            "T",
+            "chain edges kept",
+            "backward edges",
+            "dependencies intact",
+            "P[noise kills dep]",
+            "P[fake dep]",
+        ],
+        title=(
+            f"Section 6 threshold sweep — chain of {len(CHAIN)}, "
+            f"m={M}, eps={EPSILON:.0%}, balance T*={t_star}"
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            [row[0], f"{row[1]}/{len(CHAIN_EDGES)}", row[2], row[3],
+             row[4], row[5]]
+        )
+    emit("section6_noise_threshold", table.render())
+
+    by_t = {row[0]: row for row in rows}
+    # T = 0: swapped pairs survive as 2-cycles and kill chain edges.
+    assert by_t[0][1] < len(CHAIN_EDGES)
+    # The balance threshold keeps every dependency, adds no reversals.
+    assert by_t[t_star][3] is True
+    assert by_t[t_star][2] == 0
+    # Probabilities move in opposite directions as T grows.
+    probs_ind = [row[4] for row in rows if row[0] >= 1]
+    assert probs_ind == sorted(probs_ind, reverse=True)

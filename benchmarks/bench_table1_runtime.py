@@ -1,0 +1,100 @@
+"""Table 1 — execution times of Algorithm 2 on synthetic datasets.
+
+The paper reports seconds on a 1995 RS/6000 250 for graphs of 10/25/50/100
+vertices and logs of 100/1000/10000 executions (Table 1), observing that
+runtime "is fast and scales linearly with the size of the input for a
+given graph size".
+
+This bench regenerates the grid on this machine.  Absolute numbers are
+incomparable across three decades of hardware; the *shape* claims checked
+here are (a) near-linear growth in the number of executions for fixed
+graph size and (b) moderate growth with graph size.
+
+Default grid: executions (100, 1000) x vertices (10, 25, 50, 100).
+``REPRO_FULL_SCALE=1`` adds the paper's 10,000-execution row.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.tables import TextTable
+from repro.core.general_dag import mine_general_dag
+from repro.datasets.synthetic import SyntheticConfig, synthetic_dataset
+
+VERTEX_SIZES = (10, 25, 50, 100)
+EXECUTION_SIZES = (100, 1000)
+FULL_EXECUTION_SIZES = (100, 1000, 10000)
+
+_dataset_cache = {}
+
+
+def dataset_for(n_vertices: int, n_executions: int):
+    key = (n_vertices, n_executions)
+    if key not in _dataset_cache:
+        _dataset_cache[key] = synthetic_dataset(
+            SyntheticConfig(
+                n_vertices=n_vertices,
+                n_executions=n_executions,
+                seed=n_vertices,
+            )
+        )
+    return _dataset_cache[key]
+
+
+@pytest.mark.parametrize("n_vertices", VERTEX_SIZES)
+@pytest.mark.parametrize("n_executions", EXECUTION_SIZES)
+def test_algorithm2_runtime(benchmark, n_vertices, n_executions):
+    """One Table 1 grid cell, timed by pytest-benchmark."""
+    dataset = dataset_for(n_vertices, n_executions)
+    benchmark.group = f"table1-m{n_executions}"
+    benchmark.pedantic(
+        mine_general_dag,
+        args=(dataset.log,),
+        rounds=3 if n_executions <= 1000 else 1,
+        iterations=1,
+    )
+
+
+def test_table1_grid(benchmark, full_scale, emit):
+    """Regenerate the full Table 1 text table (one timed pass per cell).
+
+    Also asserts the scaling shape: for each graph size, time per
+    execution must not blow up as the log grows (near-linear scaling),
+    allowing generous noise margins.
+    """
+    executions = FULL_EXECUTION_SIZES if full_scale else EXECUTION_SIZES
+    times = {}
+
+    def run_grid():
+        for m in executions:
+            for n in VERTEX_SIZES:
+                dataset = dataset_for(n, m)
+                started = time.perf_counter()
+                mine_general_dag(dataset.log)
+                times[(n, m)] = time.perf_counter() - started
+
+    benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["executions", *[f"{n} vertices" for n in VERTEX_SIZES]],
+        title=(
+            "Table 1 — Algorithm 2 mining time in seconds "
+            "(paper: 4.6 s to 1385.1 s on a 1995 RS/6000 250)"
+        ),
+    )
+    for m in executions:
+        table.add_row(
+            [m, *[f"{times[(n, m)]:.4f}" for n in VERTEX_SIZES]]
+        )
+    emit("table1_runtime", table.render())
+
+    # Shape check: 10x executions should cost roughly 10x, not 100x.
+    for n in VERTEX_SIZES:
+        for small, large in zip(executions, executions[1:]):
+            ratio = times[(n, large)] / max(times[(n, small)], 1e-9)
+            growth = large / small
+            assert ratio < growth * 6, (
+                f"runtime superlinear in executions for {n} vertices: "
+                f"{ratio:.1f}x for {growth}x executions"
+            )

@@ -1,0 +1,129 @@
+"""Table 2 — edges in synthesized vs. original graphs.
+
+The paper's Table 2 reports, for the Table 1 grid, the edge count of the
+generating graph ("Edges Present") and of the mined graph ("Edges
+found").  Its signature shape:
+
+* small graphs are recovered with matching counts even from small logs;
+* large graphs are under-recovered at small logs (1638 of 4569 edges at
+  100 executions for 100 vertices) and approach the original as the log
+  grows;
+* mid-size graphs can overshoot slightly — "the algorithm eventually
+  found a supergraph" (1076 vs 1058 at 50 vertices).
+
+This bench regenerates the same two-row-per-size table and asserts the
+shape: recovery ratio is non-decreasing in the log size and every mined
+edge set keeps full recall of *observable* structure (verdicts are
+exact/closure-equivalent for small graphs).
+"""
+
+import pytest
+
+from repro.analysis.metrics import recovery_metrics
+from repro.analysis.tables import TextTable
+from repro.core.general_dag import mine_general_dag
+from repro.datasets.synthetic import SyntheticConfig, synthetic_dataset
+
+VERTEX_SIZES = (10, 25, 50, 100)
+EXECUTION_SIZES = (100, 1000)
+FULL_EXECUTION_SIZES = (100, 1000, 10000)
+
+PAPER_TABLE2 = {
+    # (vertices): (edges present, found@100, found@1000, found@10000)
+    10: (24, 24, 24, 24),
+    25: (224, 172, 224, 224),
+    50: (1058, 791, 1053, 1076),
+    100: (4569, 1638, 3712, 4301),
+}
+
+
+def test_table2_edge_recovery(benchmark, full_scale, emit):
+    """Regenerate Table 2 and check its qualitative shape."""
+    executions = FULL_EXECUTION_SIZES if full_scale else EXECUTION_SIZES
+    found = {}
+    present = {}
+    verdicts = {}
+
+    def run_grid():
+        for n in VERTEX_SIZES:
+            for m in executions:
+                dataset = synthetic_dataset(
+                    SyntheticConfig(
+                        n_vertices=n, n_executions=m, seed=n
+                    )
+                )
+                mined = mine_general_dag(dataset.log)
+                metrics = recovery_metrics(
+                    dataset.graph, mined, log=dataset.log
+                )
+                present[n] = metrics.edges_present
+                found[(n, m)] = metrics.edges_found
+                verdicts[(n, m)] = metrics.verdict
+
+    benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["", *[f"{n} vertices" for n in VERTEX_SIZES]],
+        title=(
+            "Table 2 — edges in synthesized and original graphs "
+            "(paper values in header comment of this bench)"
+        ),
+    )
+    table.add_row(
+        ["Edges Present", *[present[n] for n in VERTEX_SIZES]]
+    )
+    for m in executions:
+        table.add_row(
+            [
+                f"Edges found @ {m}",
+                *[found[(n, m)] for n in VERTEX_SIZES],
+            ]
+        )
+    for m in executions:
+        table.add_row(
+            [
+                f"verdict @ {m}",
+                *[verdicts[(n, m)] for n in VERTEX_SIZES],
+            ]
+        )
+    emit("table2_edges", table.render())
+
+    # Shape assertions.
+    for n in VERTEX_SIZES:
+        ratios = [found[(n, m)] / present[n] for m in executions]
+        # Recovery approaches the original as the log grows (small slack
+        # for supergraph overshoot, which the paper also observed).
+        assert ratios == sorted(ratios) or ratios[-1] > 0.95, (n, ratios)
+    # The paper's signature: the largest graph is clearly under-recovered
+    # at 100 executions while the smallest is essentially recovered.
+    assert found[(100, 100)] / present[100] < 0.5
+    assert found[(10, max(executions))] / present[10] >= 0.9
+
+
+@pytest.mark.parametrize("n_vertices", VERTEX_SIZES)
+def test_recall_of_observable_edges(benchmark, n_vertices, emit):
+    """Every ground-truth edge *observed in use* must be mined.
+
+    An edge can only be recovered if some execution needs it; this
+    cross-checks that the miner never drops an edge that some execution's
+    transitive reduction required — the step 5/6 contract.
+    """
+    dataset = synthetic_dataset(
+        SyntheticConfig(
+            n_vertices=n_vertices, n_executions=500, seed=n_vertices
+        )
+    )
+
+    mined = benchmark.pedantic(
+        mine_general_dag, args=(dataset.log,), rounds=1, iterations=1
+    )
+    metrics = recovery_metrics(dataset.graph, mined, log=dataset.log)
+    # Missed edges must be unobservable (never needed), hence the mined
+    # graph must still admit every execution.
+    from repro.core.conformance import is_consistent
+    from repro.graphs.random_dag import END, START
+
+    for execution in dataset.log:
+        assert (
+            is_consistent(mined, execution, START, END) is None
+        ), execution.execution_id

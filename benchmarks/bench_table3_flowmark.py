@@ -1,0 +1,118 @@
+"""Table 3 — the five (simulated) Flowmark datasets.
+
+The paper's Table 3 lists, per process, the vertex/edge counts, number of
+executions, log size and mining time, and reports that "in every case,
+our algorithm was able to recover the underlying process".
+
+The real Flowmark installation is unavailable; per DESIGN.md §5 the five
+processes are rebuilt with the published vertex/edge/execution counts and
+logged through the workflow engine.  The bench regenerates the table and
+asserts recovery: exact for four processes, dependency-equivalent
+(closure-equal supergraph) for StressSleep, whose dead-path verdict
+semantics add closure-implied edges — see DESIGN.md.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.metrics import recovery_metrics
+from repro.analysis.tables import TextTable
+from repro.core.general_dag import mine_general_dag
+from repro.datasets.flowmark import (
+    FLOWMARK_EXECUTIONS,
+    FLOWMARK_PROCESS_NAMES,
+    flowmark_dataset,
+)
+from repro.graphs.transitive import closure_equal
+from repro.logs.codec import log_size_bytes
+
+PAPER_TABLE3 = {
+    #                    vertices, edges, executions, log KB, seconds
+    "Upload_and_Notify": (7, 7, 134, 792, 11.5),
+    "StressSleep": (14, 23, 160, 3685, 111.7),
+    "Pend_Block": (6, 7, 121, 505, 6.3),
+    "Local_Swap": (12, 11, 24, 463, 5.7),
+    "UWI_Pilot": (7, 7, 134, 779, 11.8),
+}
+
+_datasets = {}
+
+
+def dataset_for(name):
+    if name not in _datasets:
+        _datasets[name] = flowmark_dataset(name, seed=11)
+    return _datasets[name]
+
+
+@pytest.mark.parametrize("name", FLOWMARK_PROCESS_NAMES)
+def test_flowmark_mining_time(benchmark, name):
+    """Per-process mining time (the paper's last Table 3 column)."""
+    dataset = dataset_for(name)
+    benchmark.group = "table3-flowmark"
+    mined = benchmark.pedantic(
+        mine_general_dag, args=(dataset.log,), rounds=3, iterations=1
+    )
+    truth = dataset.model.graph
+    if name == "StressSleep":
+        assert mined.edge_set() >= truth.edge_set()
+        assert closure_equal(mined, truth)
+    else:
+        assert mined.edge_set() == truth.edge_set()
+
+
+def test_table3_summary(benchmark, emit):
+    """Regenerate the Table 3 rows (counts, log size, time, verdict)."""
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for name in FLOWMARK_PROCESS_NAMES:
+            dataset = dataset_for(name)
+            started = time.perf_counter()
+            mined = mine_general_dag(dataset.log)
+            elapsed = time.perf_counter() - started
+            metrics = recovery_metrics(
+                dataset.model.graph, mined, log=dataset.log
+            )
+            rows.append(
+                (
+                    name,
+                    dataset.model.activity_count,
+                    dataset.model.edge_count,
+                    len(dataset.log),
+                    log_size_bytes(dataset.log) // 1024,
+                    elapsed,
+                    metrics.verdict,
+                )
+            )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = TextTable(
+        [
+            "process",
+            "vertices",
+            "edges",
+            "executions",
+            "log KB",
+            "time (s)",
+            "recovery",
+        ],
+        title=(
+            "Table 3 — simulated Flowmark datasets "
+            "(paper times: 5.7-111.7 s on a 1995 RS/6000 250)"
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            [row[0], row[1], row[2], row[3], row[4], f"{row[5]:.4f}",
+             row[6]]
+        )
+    emit("table3_flowmark", table.render())
+
+    # Shape: counts match the paper exactly; recovery everywhere.
+    for name, vertices, edges, executions, _, _, verdict in rows:
+        paper = PAPER_TABLE3[name]
+        assert (vertices, edges, executions) == paper[:3]
+        assert verdict in ("exact", "closure-equivalent")

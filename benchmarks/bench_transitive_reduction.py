@@ -1,0 +1,76 @@
+"""Appendix Algorithm 4 / Theorem 8 — transitive reduction in O(|V||E|).
+
+The appendix gives the simplified DAG transitive-reduction algorithm the
+miners call per execution.  Theorem 8 claims O(|V||E|) time; this bench
+measures the reduction over a size sweep and checks the growth stays
+polynomial of the claimed order (generous constant slack — we use bitset
+descendant unions, so the practical exponent is lower).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.tables import TextTable
+from repro.graphs.random_dag import random_process_dag
+from repro.graphs.transitive import (
+    transitive_closure,
+    transitive_reduction,
+)
+
+SIZES = (25, 50, 100, 200)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_reduction_speed(benchmark, n):
+    """Reduction latency per graph size."""
+    graph = random_process_dag(n, seed=n)
+    benchmark.group = "transitive-reduction"
+    reduced = benchmark(transitive_reduction, graph)
+    assert reduced.edge_count <= graph.edge_count
+
+
+def test_reduction_scaling_table(benchmark, emit):
+    """Regenerate the V/E/time sweep and check polynomial growth."""
+    rows = []
+
+    def run():
+        rows.clear()
+        for n in SIZES:
+            graph = random_process_dag(n, seed=n)
+            started = time.perf_counter()
+            reduced = transitive_reduction(graph)
+            elapsed = time.perf_counter() - started
+            rows.append((n, graph.edge_count, reduced.edge_count, elapsed))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["|V|", "|E|", "reduced |E|", "time (s)", "|V||E| (Theorem 8)"],
+        title="Appendix Algorithm 4 — transitive reduction scaling",
+    )
+    for n, edges, reduced_edges, elapsed in rows:
+        table.add_row(
+            [n, edges, reduced_edges, f"{elapsed:.5f}", n * edges]
+        )
+    emit("appendix_transitive_reduction", table.render())
+
+    # Growth check: time ratio bounded by the |V||E| ratio with slack.
+    for (n1, e1, _, t1), (n2, e2, _, t2) in zip(rows, rows[1:]):
+        bound_ratio = (n2 * e2) / (n1 * e1)
+        time_ratio = t2 / max(t1, 1e-7)
+        assert time_ratio < bound_ratio * 8, (time_ratio, bound_ratio)
+
+
+def test_reduction_correctness_at_scale(benchmark):
+    """On a large dense DAG the reduction still preserves the closure."""
+    graph = random_process_dag(120, seed=7)
+
+    def reduce_and_verify():
+        reduced = transitive_reduction(graph)
+        assert transitive_closure(reduced).edge_set() == (
+            transitive_closure(graph).edge_set()
+        )
+        return reduced
+
+    benchmark.pedantic(reduce_and_verify, rounds=1, iterations=1)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper.  Results are
+printed (visible with ``pytest -s``) and also written to
+``benchmarks/results/<name>.txt`` so the regenerated tables survive the
+run.  Set ``REPRO_FULL_SCALE=1`` to run the paper's full 10,000-execution
+grids; the default grid keeps the suite fast.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale_enabled() -> bool:
+    """Whether the paper's full grid sizes were requested."""
+    return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """Session fixture exposing the REPRO_FULL_SCALE switch."""
+    return full_scale_enabled()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the regenerated tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a result block and persist it to results/<name>.txt."""
+
+    def _emit(name: str, text: str) -> None:
+        banner = f"\n===== {name} =====\n{text}\n"
+        print(banner)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Conditions mining (Section 7): learn the Boolean functions on edges.
+
+Simulates a process whose control flow branches on activity outputs,
+mines the graph with Algorithm 2, learns every edge's condition with the
+decision-tree learner, and prints the rules next to the ground truth.
+
+Run with::
+
+    python examples/conditions_mining.py [executions]
+"""
+
+import sys
+
+from repro.core.conditions import ConditionsMiner
+from repro.core.general_dag import mine_general_dag
+from repro.engine.simulator import SimulationConfig, WorkflowSimulator
+from repro.model.builder import ProcessBuilder
+from repro.model.conditions import attr_ge, attr_gt, attr_le, attr_lt
+
+
+def build_claim_process():
+    """A small insurance-claim process with output-driven routing."""
+    return (
+        ProcessBuilder("claims")
+        .edge("Receive", "Assess")
+        .edge("Assess", "FastTrack", condition=attr_lt(0, 25))
+        .edge("Assess", "Standard",
+              condition=attr_ge(0, 25) & attr_le(0, 75))
+        .edge("Assess", "Escalate", condition=attr_gt(0, 75))
+        .edge("FastTrack", "Pay")
+        .edge("Standard", "Pay")
+        .edge("Escalate", "Review")
+        .edge("Review", "Pay")
+        .edge("Pay", "Close")
+        .build()
+    )
+
+
+def main() -> None:
+    executions = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    model = build_claim_process()
+    log = WorkflowSimulator(
+        model, SimulationConfig(seed=5)
+    ).run_log(executions)
+
+    graph = mine_general_dag(log)
+    print(f"mined graph: {graph.node_count} activities, "
+          f"{graph.edge_count} edges "
+          f"(ground truth has {model.edge_count})")
+    print()
+
+    mined_conditions = ConditionsMiner().mine(log, graph)
+    print("edge conditions (learned vs. ground truth):")
+    for edge in sorted(mined_conditions):
+        mined = mined_conditions[edge]
+        truth = (
+            model.condition(*edge) if model.has_edge(*edge) else "(n/a)"
+        )
+        print(f"  {edge[0]} -> {edge[1]}")
+        print(f"    learned: {mined.condition}")
+        print(f"    truth:   {truth}")
+        print(
+            f"    n={mined.training_size}, "
+            f"positives={mined.positive_fraction:.0%}, "
+            f"train accuracy={mined.training_accuracy:.1%}"
+        )
+    print()
+    print(
+        "Note: edges whose target runs in every execution (joins like\n"
+        "Pay) learn 'true' — Section 7's training labels are activity\n"
+        "presence, which cannot distinguish which incoming edge fired."
+    )
+
+
+if __name__ == "__main__":
+    main()

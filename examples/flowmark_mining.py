@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Mine the simulated Flowmark processes (Section 8.2 / Table 3).
+
+Builds each of the five Table 3 processes, simulates the published number
+of executions through the workflow engine, mines the logs, and prints the
+recovered graphs alongside the recovery verdicts.  Also writes Graphviz
+DOT files (one per process) next to this script for rendering the
+figures offline.
+
+Run with::
+
+    python examples/flowmark_mining.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis.metrics import recovery_metrics
+from repro.analysis.tables import TextTable
+from repro.core.miner import ProcessMiner
+from repro.datasets.flowmark import FLOWMARK_PROCESS_NAMES, flowmark_dataset
+from repro.graphs.render import to_ascii, to_dot
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    table = TextTable(
+        ["process", "vertices", "edges", "executions", "verdict"],
+        title="Simulated Flowmark datasets (paper Table 3 shapes)",
+    )
+    for name in FLOWMARK_PROCESS_NAMES:
+        dataset = flowmark_dataset(name, seed=11)
+        result = ProcessMiner().mine(dataset.log)
+        metrics = recovery_metrics(
+            dataset.model.graph, result.graph, log=dataset.log
+        )
+        table.add_row(
+            [
+                name,
+                dataset.model.activity_count,
+                dataset.model.edge_count,
+                len(dataset.log),
+                metrics.verdict,
+            ]
+        )
+        dot_path = out_dir / f"{name}.dot"
+        dot_path.write_text(to_dot(result.graph, name=name))
+        print(f"--- {name} (mined graph; DOT written to {dot_path})")
+        print(to_ascii(result.graph))
+        print()
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

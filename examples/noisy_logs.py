@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Noise handling (Section 6): thresholds rescue mining from noisy logs.
+
+Corrupts a clean log with out-of-order reporting at rate epsilon, then
+mines it at several thresholds ``T`` — including the paper's balance-point
+threshold ``eps^T = (1/2)^(m-T)`` — and reports how each fares against
+the ground-truth chain.
+
+Run with::
+
+    python examples/noisy_logs.py [epsilon] [executions]
+"""
+
+import sys
+
+from repro.analysis.tables import TextTable
+from repro.core.general_dag import mine_general_dag
+from repro.core.noise import optimal_threshold, threshold_error_probability
+from repro.datasets.flowmark import flowmark_dataset
+from repro.logs.noise import NoiseConfig, NoiseInjector
+
+
+def main() -> None:
+    epsilon = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    m = int(sys.argv[2]) if len(sys.argv) > 2 else 300
+
+    # Local_Swap is a 12-activity chain: the sharpest noise target,
+    # mirroring the paper's Example 9 chain argument.
+    dataset = flowmark_dataset("Local_Swap", executions=m, seed=3)
+    truth = dataset.model.graph
+    noisy = NoiseInjector(
+        NoiseConfig(swap_rate=epsilon, seed=99)
+    ).corrupt(dataset.log)
+
+    t_star = optimal_threshold(m, epsilon)
+    print(
+        f"log: {m} executions, swap noise rate {epsilon:.2%}; "
+        f"paper's balance threshold T* = {t_star}"
+    )
+    print()
+
+    table = TextTable(
+        [
+            "T",
+            "true edges kept",
+            "extra edges",
+            "dependencies intact",
+            "P[false indep]",
+            "P[false dep]",
+        ]
+    )
+    thresholds = sorted({0, max(1, t_star // 4), t_star, 2 * t_star, m})
+    for threshold in thresholds:
+        mined = mine_general_dag(noisy, threshold=threshold)
+        kept = len(truth.edge_set() & mined.edge_set())
+        extra = len(mined.edge_set() - truth.edge_set())
+        intact = mined.edge_set() >= truth.edge_set()
+        probs = threshold_error_probability(m, max(threshold, 1), epsilon)
+        table.add_row(
+            [
+                threshold,
+                f"{kept}/{truth.edge_count}",
+                extra,
+                intact,
+                probs.p_false_independence,
+                probs.p_false_dependency,
+            ]
+        )
+    print(table.render())
+    print()
+    print(
+        "Expected shape: T=0 loses chain edges to swapped pairs; T near\n"
+        "the balance point keeps every dependency; T close to m forces\n"
+        "false dependencies (every surviving order looks mandatory)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: mine a process model graph from a tiny workflow log.
+
+Reproduces the worked examples of the paper (Sections 3-5): the same logs,
+the same published mined graphs, using the high-level ``ProcessMiner``.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import EventLog, ProcessMiner
+from repro.graphs.render import to_ascii
+
+
+def mine_and_print(title: str, sequences: list) -> None:
+    """Mine one log and print the algorithm used plus the graph."""
+    log = EventLog.from_sequences(sequences)
+    result = ProcessMiner().mine(log)
+    print(f"--- {title}")
+    print(f"log:        {', '.join(''.join(s) for s in sequences)}")
+    print(f"algorithm:  {result.algorithm}")
+    print(to_ascii(result.graph))
+    print()
+
+
+def main() -> None:
+    # Example 6 (Section 3): every activity in every execution, so the
+    # miner dispatches to Algorithm 1 and finds the *minimal* conformal
+    # graph -- compare with Figure 3 of the paper.
+    mine_and_print(
+        "Example 6 - Algorithm 1 (Special DAG)",
+        ["ABCDE", "ACDBE", "ACBDE"],
+    )
+
+    # Example 7 (Section 4): activities are optional; C, D, E form a
+    # cycle of followings and come out mutually independent -- compare
+    # with Figure 4.
+    mine_and_print(
+        "Example 7 - Algorithm 2 (General DAG)",
+        ["ABCF", "ACDF", "ADEF", "AECF"],
+    )
+
+    # Example 8 (Section 5): repeated activities mark a loop; the miner
+    # relabels instances, mines, and merges -- compare with Figure 6.
+    mine_and_print(
+        "Example 8 - Algorithm 3 (Cyclic graphs)",
+        ["ABDCE", "ABDCBCE", "ABCBDCE", "ADE"],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Synthetic recovery study: how log size drives graph recovery.
+
+Mirrors Section 8.1 of the paper at laptop scale: generate a random
+process DAG, log executions with the paper's ready-list procedure, mine
+with Algorithm 2 at increasing log sizes, and report the Table 2 columns
+(edges present vs. found) plus precision/recall.
+
+Run with::
+
+    python examples/synthetic_recovery.py [n_vertices]
+"""
+
+import sys
+
+from repro.analysis.metrics import recovery_metrics
+from repro.analysis.tables import TextTable
+from repro.core.general_dag import mine_general_dag
+from repro.datasets.synthetic import SyntheticConfig, synthetic_dataset
+
+
+def main() -> None:
+    n_vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    table = TextTable(
+        [
+            "executions",
+            "edges present",
+            "edges found",
+            "precision",
+            "recall",
+            "verdict",
+        ],
+        title=f"Recovery of a random {n_vertices}-vertex process graph",
+    )
+    for m in (10, 30, 100, 300, 1000):
+        dataset = synthetic_dataset(
+            SyntheticConfig(
+                n_vertices=n_vertices, n_executions=m, seed=42
+            )
+        )
+        mined = mine_general_dag(dataset.log)
+        metrics = recovery_metrics(dataset.graph, mined, log=dataset.log)
+        table.add_row(
+            [
+                m,
+                metrics.edges_present,
+                metrics.edges_found,
+                metrics.precision,
+                metrics.recall,
+                metrics.verdict,
+            ]
+        )
+    print(table.render())
+    print()
+    print(
+        "Expected shape (paper, Table 2): under-recovery at small logs,\n"
+        "counts approaching the ground truth as executions grow, with\n"
+        "occasional closure-implied extras (supergraphs)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro — a reproduction of *Mining Process Models from Workflow Logs*.
+
+Agrawal, Gunopulos, Leymann (EDBT 1998).  The package mines process model
+graphs (and Boolean edge conditions) from workflow execution logs, and
+ships every substrate the paper's evaluation needs: a directed-graph
+library, a process-model definition language, a Flowmark-style workflow
+simulator, synthetic and simulated-Flowmark dataset generators, a decision
+tree learner, and evaluation metrics.
+
+Quickstart
+----------
+>>> from repro import EventLog, ProcessMiner
+>>> log = EventLog.from_sequences(["ABCDE", "ACDBE", "ACBDE"])
+>>> result = ProcessMiner().mine(log)   # Example 6 -> Figure 3
+>>> sorted(result.graph.edges())
+[('A', 'B'), ('A', 'C'), ('B', 'E'), ('C', 'D'), ('D', 'E')]
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core.conditions import ConditionsMiner, MinedCondition
+from repro.core.conformance import (
+    ConformanceReport,
+    check_conformance,
+    is_consistent,
+)
+from repro.core.cyclic import mine_cyclic
+from repro.core.dependency import DependencyRelation, dependency_relation
+from repro.core.followings import FollowRelation, follow_relation
+from repro.analysis.diffing import ModelLogDiff, diff_against_log
+from repro.core.general_dag import MiningTrace, mine_general_dag
+from repro.core.incremental import IncrementalMiner
+from repro.core.miner import MiningResult, ProcessMiner
+from repro.core.noise import optimal_threshold, threshold_error_probability
+from repro.core.special_dag import mine_special_dag
+from repro.engine.simulator import SimulationConfig, WorkflowSimulator
+from repro.errors import ReproError
+from repro.graphs.compare import EdgeComparison, compare_edges
+from repro.graphs.digraph import DiGraph
+from repro.logs.codec import read_log_file, write_log_file
+from repro.logs.event_log import EventLog
+from repro.logs.events import EventRecord
+from repro.logs.execution import Execution
+from repro.logs.noise import NoiseConfig, NoiseInjector
+from repro.model.builder import ProcessBuilder
+from repro.model.evolution import EvolutionResult, evolve_model
+from repro.model.process import ProcessModel
+from repro.model.serialize import load_model, save_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConditionsMiner",
+    "ConformanceReport",
+    "DependencyRelation",
+    "DiGraph",
+    "EdgeComparison",
+    "EventLog",
+    "EventRecord",
+    "EvolutionResult",
+    "Execution",
+    "FollowRelation",
+    "IncrementalMiner",
+    "MinedCondition",
+    "MiningResult",
+    "MiningTrace",
+    "ModelLogDiff",
+    "NoiseConfig",
+    "NoiseInjector",
+    "ProcessBuilder",
+    "ProcessMiner",
+    "ProcessModel",
+    "ReproError",
+    "SimulationConfig",
+    "WorkflowSimulator",
+    "__version__",
+    "check_conformance",
+    "compare_edges",
+    "dependency_relation",
+    "diff_against_log",
+    "evolve_model",
+    "follow_relation",
+    "is_consistent",
+    "load_model",
+    "mine_cyclic",
+    "mine_general_dag",
+    "mine_special_dag",
+    "optimal_threshold",
+    "read_log_file",
+    "save_model",
+    "threshold_error_probability",
+    "write_log_file",
+]

@@ -1,0 +1,30 @@
+"""Evaluation metrics and report rendering.
+
+* :mod:`repro.analysis.metrics` — graph-recovery metrics over mined vs.
+  ground-truth graphs, wrapping :mod:`repro.graphs.compare` with
+  log-aware context;
+* :mod:`repro.analysis.recovery` — end-to-end "generate, mine, compare"
+  runs used by the Table 1/2 benches;
+* :mod:`repro.analysis.tables` — fixed-width text tables matching the
+  paper's layout, printed by every bench;
+* :mod:`repro.analysis.diffing` — purported-model vs. mined-log diffs
+  (the paper's "evaluation of the workflow system" use case).
+"""
+
+from repro.analysis.coverage import CoverageReport, edge_coverage
+from repro.analysis.diffing import ModelLogDiff, diff_against_log
+from repro.analysis.metrics import RecoveryMetrics, recovery_metrics
+from repro.analysis.recovery import RecoveryRun, run_recovery
+from repro.analysis.tables import TextTable
+
+__all__ = [
+    "CoverageReport",
+    "ModelLogDiff",
+    "RecoveryMetrics",
+    "RecoveryRun",
+    "TextTable",
+    "diff_against_log",
+    "edge_coverage",
+    "recovery_metrics",
+    "run_recovery",
+]

@@ -1,0 +1,225 @@
+"""Structured comparison of a purported model against mined reality.
+
+The paper's introduction names this use case directly: an installed
+workflow system "can help in the evaluation of the workflow system by
+comparing the synthesized process graphs with purported graphs".
+
+:func:`diff_against_log` mines a log and compares it with the purported
+process model on three levels:
+
+* **activities** — performed but not modelled / modelled but never
+  performed;
+* **edges** — modelled edges never needed vs. mined edges the model
+  lacks;
+* **dependencies** — transitive-closure level disagreements: orderings
+  the model mandates that the log contradicts (violated dependencies)
+  and orderings the log exhibits that the model does not explain;
+* **executions** — logged executions the purported model does not admit.
+
+The result renders as a reviewer-friendly report (the CLI's ``compare``
+command prints it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.core.conformance import is_consistent
+from repro.core.general_dag import mine_general_dag
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transitive import transitive_closure
+from repro.logs.event_log import EventLog
+from repro.model.process import ProcessModel
+
+Edge = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ModelLogDiff:
+    """Outcome of diffing a purported model against a mined log.
+
+    Attributes
+    ----------
+    unmodelled_activities:
+        Activities the log performs that the model lacks.
+    unperformed_activities:
+        Activities the model declares that the log never ran.
+    missing_edges:
+        Mined edges absent from the model (behaviour the model does not
+        allow directly).
+    unused_edges:
+        Model edges never required by any logged execution.
+    contradicted_dependencies:
+        Model-mandated orderings ``(a, b)`` the log violates (both
+        orders, or overlap, observed).
+    unexplained_dependencies:
+        Log dependencies with no corresponding model path.
+    rejected_executions:
+        ``(execution_id, reason)`` for logged executions the model does
+        not admit (Definition 6).
+    mined:
+        The mined graph the comparison was made against.
+    """
+
+    unmodelled_activities: FrozenSet[str]
+    unperformed_activities: FrozenSet[str]
+    missing_edges: FrozenSet[Edge]
+    unused_edges: FrozenSet[Edge]
+    contradicted_dependencies: FrozenSet[Edge]
+    unexplained_dependencies: FrozenSet[Edge]
+    rejected_executions: Tuple[Tuple[str, str], ...]
+    mined: DiGraph = field(compare=False, repr=False, default=None)
+
+    @property
+    def is_clean(self) -> bool:
+        """Whether the model and the log agree on every level."""
+        return not (
+            self.unmodelled_activities
+            or self.unperformed_activities
+            or self.missing_edges
+            or self.unused_edges
+            or self.contradicted_dependencies
+            or self.unexplained_dependencies
+            or self.rejected_executions
+        )
+
+    def report(self) -> str:
+        """Render the diff as a multi-line review report."""
+        if self.is_clean:
+            return "model and log agree: no differences found"
+        sections: List[str] = []
+
+        def edge_lines(edges) -> List[str]:
+            return [f"  {a} -> {b}" for a, b in sorted(edges)]
+
+        if self.unmodelled_activities:
+            sections.append(
+                "activities performed but not in the model:\n  "
+                + ", ".join(sorted(self.unmodelled_activities))
+            )
+        if self.unperformed_activities:
+            sections.append(
+                "modelled activities never performed:\n  "
+                + ", ".join(sorted(self.unperformed_activities))
+            )
+        if self.missing_edges:
+            sections.append(
+                "mined control flow missing from the model:\n"
+                + "\n".join(edge_lines(self.missing_edges))
+            )
+        if self.unused_edges:
+            sections.append(
+                "model edges never exercised by the log:\n"
+                + "\n".join(edge_lines(self.unused_edges))
+            )
+        if self.contradicted_dependencies:
+            sections.append(
+                "model-mandated orderings the log contradicts:\n"
+                + "\n".join(edge_lines(self.contradicted_dependencies))
+            )
+        if self.unexplained_dependencies:
+            sections.append(
+                "log dependencies the model does not explain:\n"
+                + "\n".join(edge_lines(self.unexplained_dependencies))
+            )
+        if self.rejected_executions:
+            lines = [
+                f"  {execution_id}: {reason}"
+                for execution_id, reason in self.rejected_executions[:10]
+            ]
+            more = len(self.rejected_executions) - 10
+            if more > 0:
+                lines.append(f"  ... and {more} more")
+            sections.append(
+                "executions the model does not admit:\n"
+                + "\n".join(lines)
+            )
+        return "\n\n".join(sections)
+
+
+def diff_against_log(
+    model: ProcessModel,
+    log: EventLog,
+    mined: Optional[DiGraph] = None,
+    threshold: int = 0,
+) -> ModelLogDiff:
+    """Diff a purported ``model`` against what ``log`` actually shows.
+
+    Parameters
+    ----------
+    model:
+        The purported process model.
+    log:
+        Real executions (of what is believed to be the same process).
+    mined:
+        Optionally a pre-mined graph for the log; mined with Algorithm 2
+        otherwise.
+    threshold:
+        Noise threshold for the mining pass.
+    """
+    log.require_non_empty()
+    if mined is None:
+        mined = mine_general_dag(log, threshold=threshold)
+
+    model_graph = model.graph
+    log_activities = set(log.activities())
+    model_activities = set(model.activity_names)
+
+    mined_closure = transitive_closure(mined)
+    model_closure = transitive_closure(model_graph)
+
+    shared = log_activities & model_activities
+
+    # Dependencies the model mandates (paths) among performed activities
+    # that the log contradicts: the mined graph orders them the other
+    # way or not at all.
+    contradicted = set()
+    unexplained = set()
+    for a in sorted(shared):
+        for b in sorted(shared):
+            if a == b:
+                continue
+            model_dep = model_closure.has_edge(a, b)
+            mined_dep = mined_closure.has_edge(a, b)
+            if model_dep and not mined_dep:
+                contradicted.add((a, b))
+            elif mined_dep and not model_dep:
+                unexplained.add((a, b))
+
+    rejected = []
+    for execution in log:
+        reason = is_consistent(
+            model_graph, execution, model.source, model.sink
+        )
+        if reason is not None:
+            rejected.append((execution.execution_id, reason))
+
+    mined_edges = {
+        (a, b)
+        for a, b in mined.edges()
+        if a in model_activities and b in model_activities
+    }
+    model_edges = model_graph.edge_set()
+
+    return ModelLogDiff(
+        unmodelled_activities=frozenset(
+            log_activities - model_activities
+        ),
+        unperformed_activities=frozenset(
+            model_activities - log_activities
+        ),
+        missing_edges=frozenset(mined_edges - model_edges),
+        unused_edges=frozenset(
+            (a, b)
+            for a, b in model_edges - mined_edges
+            # An unused edge is one the log never needed *directly*;
+            # edges between unperformed activities are reported via the
+            # activity section instead.
+            if a in log_activities and b in log_activities
+        ),
+        contradicted_dependencies=frozenset(contradicted),
+        unexplained_dependencies=frozenset(unexplained),
+        rejected_executions=tuple(rejected),
+        mined=mined,
+    )

@@ -1,0 +1,96 @@
+"""Graph-recovery metrics.
+
+Wraps the raw edge comparison of :mod:`repro.graphs.compare` with the
+context the paper's tables report: original and mined edge counts
+(Table 2's two rows), recovery verdicts, and per-log context (execution
+count, log size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graphs.compare import EdgeComparison, compare_edges
+from repro.graphs.digraph import DiGraph
+from repro.logs.codec import log_size_bytes
+from repro.logs.event_log import EventLog
+
+
+@dataclass(frozen=True)
+class RecoveryMetrics:
+    """How well a mined graph recovered its ground truth.
+
+    Attributes
+    ----------
+    comparison:
+        The underlying edge comparison.
+    edges_present:
+        Ground-truth edge count (Table 2's "Edges Present" row).
+    edges_found:
+        Mined edge count (Table 2's "Edges found" rows).
+    executions:
+        Number of log executions used, when known.
+    log_bytes:
+        Serialized log size, when known (Tables 1 and 3 report it).
+    """
+
+    comparison: EdgeComparison
+    edges_present: int
+    edges_found: int
+    executions: Optional[int] = None
+    log_bytes: Optional[int] = None
+
+    @property
+    def verdict(self) -> str:
+        """Recovery verdict (exact / supergraph / subgraph / ...)."""
+        return self.comparison.verdict
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the mined edge set equals the ground truth."""
+        return self.comparison.is_exact
+
+    @property
+    def precision(self) -> float:
+        """Edge precision of the mined graph."""
+        return self.comparison.precision
+
+    @property
+    def recall(self) -> float:
+        """Edge recall of the mined graph."""
+        return self.comparison.recall
+
+    @property
+    def f1(self) -> float:
+        """Edge F1 of the mined graph."""
+        return self.comparison.f1
+
+    def describe(self) -> str:
+        """One-line summary in the style of the paper's discussion."""
+        parts = [
+            f"present={self.edges_present}",
+            f"found={self.edges_found}",
+            f"verdict={self.verdict}",
+            f"precision={self.precision:.3f}",
+            f"recall={self.recall:.3f}",
+        ]
+        if self.executions is not None:
+            parts.insert(0, f"executions={self.executions}")
+        return ", ".join(parts)
+
+
+def recovery_metrics(
+    original: DiGraph,
+    mined: DiGraph,
+    log: Optional[EventLog] = None,
+) -> RecoveryMetrics:
+    """Compare ``mined`` against ``original`` with optional log context."""
+    comparison = compare_edges(original, mined)
+    return RecoveryMetrics(
+        comparison=comparison,
+        edges_present=original.edge_count,
+        edges_found=mined.edge_count,
+        executions=len(log) if log is not None else None,
+        log_bytes=log_size_bytes(log) if log is not None else None,
+    )

@@ -1,0 +1,77 @@
+"""Fixed-width text tables in the style of the paper's result tables.
+
+Every bench prints its reproduction of a paper table through
+:class:`TextTable`, so the console output lines up with the published
+rows for eyeball comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+class TextTable:
+    """A simple fixed-width table renderer.
+
+    Examples
+    --------
+    >>> table = TextTable(["n", "time (s)"])
+    >>> table.add_row([10, 4.6])
+    >>> table.add_row([25, 6.5])
+    >>> print(table.render())
+    n  | time (s)
+    ---+---------
+    10 | 4.6
+    25 | 6.5
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers: List[str] = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        """Append one row; floats render with 4 significant digits."""
+        self.rows.append([self._format(cell) for cell in cells])
+
+    @staticmethod
+    def _format(cell: Cell) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        """Render the table as aligned text."""
+        columns = len(self.headers)
+        normalized = [
+            row + [""] * (columns - len(row)) for row in self.rows
+        ]
+        widths = [
+            max(
+                len(self.headers[i]),
+                max((len(row[i]) for row in normalized), default=0),
+            )
+            for i in range(columns)
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(
+            self.headers[i].ljust(widths[i]) for i in range(columns)
+        ).rstrip()
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in normalized:
+            lines.append(
+                " | ".join(
+                    row[i].ljust(widths[i]) for i in range(columns)
+                ).rstrip()
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

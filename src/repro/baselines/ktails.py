@@ -1,0 +1,172 @@
+"""Finite-state-machine process discovery (k-tails), as a baseline.
+
+Cook & Wolf's process-discovery work — the prior art of the paper's
+related-work section — models a process as an automaton learned from the
+event stream, classically with Biermann's *k-tails* algorithm: build the
+prefix-tree acceptor of the traces, then merge states whose sets of
+length-<=k continuations ("tails") coincide.
+
+The paper's structural argument against this representation (Section 1):
+activities label *transitions*, so "the same token (activity) may appear
+multiple times in an automaton", whereas a process graph names each
+activity once and represents parallelism by branching.  The two-branch
+process S -> {A, B} -> E with traces SABE and SBAE is its example; the
+bench reproduces it quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.logs.event_log import EventLog
+
+State = int
+Transition = Tuple[State, str, State]
+
+
+@dataclass
+class Automaton:
+    """A (possibly nondeterministic) finite automaton over activities.
+
+    Attributes
+    ----------
+    initial:
+        The start state.
+    accepting:
+        States where a trace may legally end.
+    transitions:
+        The labelled edges.
+    """
+
+    initial: State
+    accepting: FrozenSet[State]
+    transitions: FrozenSet[Transition]
+
+    @property
+    def states(self) -> FrozenSet[State]:
+        """All states appearing anywhere in the automaton."""
+        found: Set[State] = {self.initial}
+        found |= set(self.accepting)
+        for source, _, target in self.transitions:
+            found.add(source)
+            found.add(target)
+        return frozenset(found)
+
+    @property
+    def state_count(self) -> int:
+        """Number of states."""
+        return len(self.states)
+
+    @property
+    def transition_count(self) -> int:
+        """Number of labelled transitions."""
+        return len(self.transitions)
+
+    def label_multiplicity(self) -> Dict[str, int]:
+        """How many distinct transitions carry each activity label.
+
+        The paper's point: in a process graph every activity appears
+        once (as a vertex); an automaton of a parallel process must
+        duplicate activity labels across transitions.
+        """
+        counts: Dict[str, int] = {}
+        for _, label, _ in self.transitions:
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def accepts(self, sequence: Sequence[str]) -> bool:
+        """Whether the automaton accepts ``sequence`` (NFA semantics)."""
+        current: Set[State] = {self.initial}
+        for symbol in sequence:
+            current = {
+                target
+                for source, label, target in self.transitions
+                if source in current and label == symbol
+            }
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+
+def prefix_tree_acceptor(log: EventLog) -> Automaton:
+    """Build the prefix-tree acceptor (PTA) of the log's traces."""
+    log.require_non_empty()
+    next_state = 1
+    children: Dict[Tuple[State, str], State] = {}
+    accepting: Set[State] = set()
+    transitions: Set[Transition] = set()
+    for sequence in log.sequences():
+        state = 0
+        for symbol in sequence:
+            key = (state, symbol)
+            if key not in children:
+                children[key] = next_state
+                transitions.add((state, symbol, next_state))
+                next_state += 1
+            state = children[key]
+        accepting.add(state)
+    return Automaton(
+        initial=0,
+        accepting=frozenset(accepting),
+        transitions=frozenset(transitions),
+    )
+
+
+def ktails_automaton(log: EventLog, k: int = 2) -> Automaton:
+    """Learn an automaton from ``log`` with the k-tails algorithm.
+
+    States of the prefix-tree acceptor are merged when their *k-tails*
+    — the sets of continuations of length <= k, with acceptance marks —
+    are identical.  ``k`` controls generalization: larger k merges less
+    and overfits the log; smaller k generalizes more aggressively.
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    pta = prefix_tree_acceptor(log)
+
+    # Adjacency of the PTA (deterministic by construction).
+    outgoing: Dict[State, List[Tuple[str, State]]] = {}
+    for source, label, target in pta.transitions:
+        outgoing.setdefault(source, []).append((label, target))
+
+    def tails(state: State, depth: int) -> FrozenSet[Tuple[str, ...]]:
+        """All continuation strings of length <= depth from ``state``,
+        marking ends that are accepting with a terminal token."""
+        results: Set[Tuple[str, ...]] = set()
+        if state in pta.accepting:
+            results.add(("$",))
+        if depth == 0:
+            results.add(())
+            return frozenset(results)
+        for label, target in outgoing.get(state, ()):
+            for continuation in tails(target, depth - 1):
+                results.add((label,) + continuation)
+        if not outgoing.get(state):
+            results.add(())
+        return frozenset(results)
+
+    signature: Dict[State, FrozenSet[Tuple[str, ...]]] = {
+        state: tails(state, k) for state in pta.states
+    }
+    # Group states by identical signatures.
+    groups: Dict[FrozenSet[Tuple[str, ...]], int] = {}
+    mapping: Dict[State, int] = {}
+    for state in sorted(pta.states):
+        key = signature[state]
+        if key not in groups:
+            groups[key] = len(groups)
+        mapping[state] = groups[key]
+
+    merged_transitions = frozenset(
+        (mapping[source], label, mapping[target])
+        for source, label, target in pta.transitions
+    )
+    merged_accepting = frozenset(
+        mapping[state] for state in pta.accepting
+    )
+    return Automaton(
+        initial=mapping[pta.initial],
+        accepting=merged_accepting,
+        transitions=merged_transitions,
+    )

@@ -1,0 +1,218 @@
+"""Sequential pattern mining (AprioriAll-style), as a baseline.
+
+A from-scratch implementation of the frequent-subsequence mining of
+Agrawal & Srikant (ICDE 1995), restricted to single-activity elements —
+which is exactly the shape of workflow executions.  A *pattern* is a
+sequence of activities; a log execution *supports* it when the pattern
+is an (order-preserving, not necessarily contiguous) subsequence of the
+execution's activity sequence; a pattern is frequent when its support
+ratio meets the threshold.
+
+The miner is level-wise:
+
+1. ``L1`` — frequent single activities;
+2. candidates ``C_{k+1}`` are joins of ``L_k`` pairs that overlap on
+   ``k-1`` elements (the AprioriAll join), pruned by the Apriori
+   property (every length-``k`` subsequence must be frequent);
+3. supports are counted against the log; iteration stops when a level
+   is empty.
+
+The paper's related-work argument that this module exists to exhibit:
+frequent sequences describe *total orders* of what co-occurs often, so a
+process with parallel branches yields a pile of overlapping patterns,
+none of which captures branching or synchronization — the bench
+quantifies that against the mined process graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.errors import EmptyLogError
+from repro.logs.event_log import EventLog
+
+Pattern = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SequentialPattern:
+    """One frequent sequential pattern with its support.
+
+    Attributes
+    ----------
+    sequence:
+        The activity sequence.
+    support:
+        Fraction of log executions containing it as a subsequence.
+    maximal:
+        Whether no frequent super-pattern contains it (AprioriAll
+        reports the maximal ones as the answer set).
+    """
+
+    sequence: Pattern
+    support: float
+    maximal: bool = False
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def __str__(self) -> str:
+        arrow = " -> ".join(self.sequence)
+        flag = " (maximal)" if self.maximal else ""
+        return f"<{arrow}> support={self.support:.2f}{flag}"
+
+
+def is_subsequence(pattern: Sequence[str], sequence: Sequence[str]) -> bool:
+    """Order-preserving subsequence test."""
+    iterator = iter(sequence)
+    return all(any(item == step for step in iterator) for item in pattern)
+
+
+def pattern_support(pattern: Sequence[str], log: EventLog) -> float:
+    """Fraction of executions supporting ``pattern``."""
+    if len(log) == 0:
+        raise EmptyLogError("cannot compute support on an empty log")
+    hits = sum(
+        1
+        for execution in log
+        if is_subsequence(pattern, execution.sequence)
+    )
+    return hits / len(log)
+
+
+def mine_sequential_patterns(
+    log: EventLog,
+    min_support: float = 0.5,
+    max_length: int = 12,
+) -> List[SequentialPattern]:
+    """Mine all frequent sequential patterns of ``log``.
+
+    Parameters
+    ----------
+    log:
+        Workflow executions.
+    min_support:
+        Minimum support ratio in ``(0, 1]``.
+    max_length:
+        Safety cap on pattern length.
+
+    Returns
+    -------
+    list of SequentialPattern
+        All frequent patterns of length >= 1, sorted by length then
+        lexicographically, with maximal ones flagged.
+    """
+    log.require_non_empty()
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support must be in (0, 1]")
+    if max_length < 1:
+        raise ValueError("max_length must be >= 1")
+
+    sequences = log.sequences()
+    total = len(sequences)
+    threshold = min_support * total
+
+    # L1.
+    counts: Dict[Pattern, int] = {}
+    for sequence in sequences:
+        for activity in set(sequence):
+            counts[(activity,)] = counts.get((activity,), 0) + 1
+    current: Dict[Pattern, int] = {
+        pattern: count
+        for pattern, count in counts.items()
+        if count >= threshold
+    }
+    frequent: Dict[Pattern, int] = dict(current)
+
+    length = 1
+    while current and length < max_length:
+        candidates = _generate_candidates(set(current), length)
+        candidates = {
+            candidate
+            for candidate in candidates
+            if _all_subpatterns_frequent(candidate, frequent)
+        }
+        next_level: Dict[Pattern, int] = {}
+        for candidate in candidates:
+            count = sum(
+                1
+                for sequence in sequences
+                if is_subsequence(candidate, sequence)
+            )
+            if count >= threshold:
+                next_level[candidate] = count
+        frequent.update(next_level)
+        current = next_level
+        length += 1
+
+    maximal = _maximal_patterns(set(frequent))
+    results = [
+        SequentialPattern(
+            sequence=pattern,
+            support=count / total,
+            maximal=pattern in maximal,
+        )
+        for pattern, count in frequent.items()
+    ]
+    results.sort(key=lambda p: (len(p.sequence), p.sequence))
+    return results
+
+
+def maximal_sequential_patterns(
+    log: EventLog, min_support: float = 0.5, max_length: int = 12
+) -> List[SequentialPattern]:
+    """Only the maximal frequent patterns (AprioriAll's answer set)."""
+    return [
+        pattern
+        for pattern in mine_sequential_patterns(
+            log, min_support=min_support, max_length=max_length
+        )
+        if pattern.maximal
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+def _generate_candidates(
+    level: Set[Pattern], length: int
+) -> Set[Pattern]:
+    """AprioriAll join: p + q when p[1:] == q[:-1]."""
+    if length == 1:
+        return {
+            (a[0], b[0])
+            for a in level
+            for b in level
+            if a[0] != b[0]
+        }
+    candidates = set()
+    by_prefix: Dict[Pattern, List[Pattern]] = {}
+    for pattern in level:
+        by_prefix.setdefault(pattern[:-1], []).append(pattern)
+    for pattern in level:
+        for extension in by_prefix.get(pattern[1:], ()):
+            candidates.add(pattern + (extension[-1],))
+    return candidates
+
+
+def _all_subpatterns_frequent(
+    candidate: Pattern, frequent: Dict[Pattern, int]
+) -> bool:
+    """Apriori pruning: every (k-1)-subsequence must be frequent."""
+    for skip in range(len(candidate)):
+        sub = candidate[:skip] + candidate[skip + 1:]
+        if sub and sub not in frequent:
+            return False
+    return True
+
+
+def _maximal_patterns(frequent: Set[Pattern]) -> FrozenSet[Pattern]:
+    return frozenset(
+        pattern
+        for pattern in frequent
+        if not any(
+            len(other) > len(pattern) and is_subsequence(pattern, other)
+            for other in frequent
+        )
+    )

@@ -1,0 +1,117 @@
+"""Labelled training sets for the conditions learner.
+
+Section 7 defines the training set of an edge ``(u, v)``: for each
+execution where ``u`` appears, a point ``(o(u), 1)`` if ``v`` also appears
+and ``(o(u), 0)`` otherwise.  :class:`Dataset` is the generic container the
+tree trains on; the edge-specific construction lives in
+:mod:`repro.core.conditions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import TrainingDataError
+
+
+@dataclass(frozen=True)
+class LabelledExample:
+    """One training point: a feature vector and a Boolean label."""
+
+    features: Tuple[float, ...]
+    label: bool
+
+
+class Dataset:
+    """An immutable set of labelled examples with uniform arity.
+
+    Parameters
+    ----------
+    examples:
+        The labelled points.  All feature vectors must share one length.
+
+    Raises
+    ------
+    TrainingDataError
+        On mixed arities.
+    """
+
+    def __init__(self, examples: Iterable[LabelledExample]) -> None:
+        self._examples: List[LabelledExample] = list(examples)
+        arities = {len(e.features) for e in self._examples}
+        if len(arities) > 1:
+            raise TrainingDataError(
+                f"feature vectors have mixed arities {sorted(arities)}"
+            )
+        self._arity = arities.pop() if arities else 0
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[Tuple[Sequence[float], bool]]
+    ) -> "Dataset":
+        """Build from ``(features, label)`` tuples."""
+        return cls(
+            LabelledExample(tuple(float(x) for x in f), bool(label))
+            for f, label in pairs
+        )
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    def __iter__(self) -> Iterator[LabelledExample]:
+        return iter(self._examples)
+
+    def __getitem__(self, index: int) -> LabelledExample:
+        return self._examples[index]
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of features per example (0 for an empty dataset)."""
+        return self._arity
+
+    @property
+    def positives(self) -> int:
+        """Number of positively labelled examples."""
+        return sum(1 for e in self._examples if e.label)
+
+    @property
+    def negatives(self) -> int:
+        """Number of negatively labelled examples."""
+        return len(self._examples) - self.positives
+
+    @property
+    def is_pure(self) -> bool:
+        """Whether all labels agree (or the dataset is empty)."""
+        return self.positives == 0 or self.negatives == 0
+
+    @property
+    def majority_label(self) -> bool:
+        """The majority label; ties and empty datasets default to True
+        (an unconditional edge is the safer default for control flow)."""
+        return self.positives >= self.negatives
+
+    def positive_fraction(self) -> float:
+        """Fraction of positive examples (0.0 for an empty dataset)."""
+        return self.positives / len(self._examples) if self._examples else 0.0
+
+    def split(
+        self, feature: int, threshold: float
+    ) -> Tuple["Dataset", "Dataset"]:
+        """Partition on ``features[feature] <= threshold``.
+
+        Returns ``(left, right)`` with the left side satisfying the test.
+        """
+        left = [e for e in self._examples if e.features[feature] <= threshold]
+        right = [e for e in self._examples if e.features[feature] > threshold]
+        return Dataset(left), Dataset(right)
+
+    def feature_values(self, feature: int) -> List[float]:
+        """Sorted distinct values of one feature."""
+        return sorted({e.features[feature] for e in self._examples})

@@ -1,0 +1,93 @@
+"""Rule extraction: decision tree → Boolean condition expression.
+
+Section 7: "the use of a decision tree classifier will give a set of
+simple rules that classify when a given activity is taken or not".  Each
+root-to-positive-leaf path is one conjunctive rule; the edge's mined
+condition is the disjunction of those rules, expressed in the
+:mod:`repro.model.conditions` AST so it can be attached straight back onto
+a mined :class:`~repro.model.process.ProcessModel`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.classifier.tree import DecisionTree, TreeNode
+from repro.model.conditions import (
+    Always,
+    Comparison,
+    Condition,
+    Never,
+)
+
+#: One conjunct: (feature index, "<=" or ">", threshold).
+Term = Tuple[int, str, float]
+#: One rule: a conjunction of terms leading to a positive leaf.
+Rule = Tuple[Term, ...]
+
+
+def tree_to_rules(tree: DecisionTree) -> List[Rule]:
+    """Extract the positive root-to-leaf paths of ``tree`` as rules.
+
+    An empty term tuple means the rule is unconditionally true (the root
+    itself is a positive leaf).  An empty *list* means the tree never
+    predicts true.
+    """
+    rules: List[Rule] = []
+
+    def walk(node: TreeNode, terms: List[Term]) -> None:
+        if node.is_leaf:
+            if node.label:
+                rules.append(tuple(terms))
+            return
+        assert node.feature is not None and node.threshold is not None
+        walk(node.left, terms + [(node.feature, "<=", node.threshold)])
+        walk(node.right, terms + [(node.feature, ">", node.threshold)])
+
+    walk(tree.root, [])
+    return rules
+
+
+def rule_to_condition(rule: Rule) -> Condition:
+    """Convert one conjunctive rule into a condition expression."""
+    if not rule:
+        return Always()
+    condition: Condition = _term_to_comparison(rule[0])
+    for term in rule[1:]:
+        condition = condition & _term_to_comparison(term)
+    return condition
+
+
+def rules_to_condition(rules: List[Rule]) -> Condition:
+    """Convert a rule set into one condition (disjunction of rules)."""
+    if not rules:
+        return Never()
+    if any(not rule for rule in rules):
+        return Always()
+    condition = rule_to_condition(rules[0])
+    for rule in rules[1:]:
+        condition = condition | rule_to_condition(rule)
+    return condition
+
+
+def format_rules(rules: List[Rule]) -> str:
+    """Render a rule set as readable text (one rule per line)."""
+    if not rules:
+        return "never"
+    lines = []
+    for rule in rules:
+        if not rule:
+            lines.append("always")
+            continue
+        lines.append(
+            " and ".join(
+                f"o[{feature}] {op} {threshold:g}"
+                for feature, op, threshold in rule
+            )
+        )
+    return "\n".join(lines)
+
+
+def _term_to_comparison(term: Term) -> Comparison:
+    feature, op, threshold = term
+    return Comparison(feature, op, threshold)

@@ -1,0 +1,100 @@
+"""A one-rule (decision stump) classifier — the simplest [WK91] learner.
+
+Section 7 only requires "a classifier"; Weiss & Kulikowski's book (the
+paper's citation) treats one-level rules as the baseline every richer
+model must beat.  :class:`DecisionStump` learns the single best test
+``features[i] <= t`` (possibly inverted) and serves as the comparison
+point for the decision tree in ``bench_condition_learners.py``: stumps
+match the tree on single-threshold edge conditions and lose on
+conjunctive ones (Example 1's ``o[0] > 0 and o[1] < o[0]`` shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.classifier.dataset import Dataset
+from repro.classifier.splits import best_split, entropy
+from repro.errors import TrainingDataError
+from repro.model.conditions import (
+    Always,
+    Comparison,
+    Condition,
+    Never,
+)
+
+
+@dataclass(frozen=True)
+class DecisionStump:
+    """A single-test classifier: ``features[feature] <= threshold``.
+
+    Attributes
+    ----------
+    feature, threshold:
+        The learned test; ``None`` for a constant stump.
+    label_when_true:
+        Predicted label when the test holds (its negation otherwise).
+    constant:
+        For unsplittable data, the majority label; the test is unused.
+    """
+
+    feature: Optional[int]
+    threshold: Optional[float]
+    label_when_true: bool
+    constant: Optional[bool] = None
+
+    @classmethod
+    def fit(cls, dataset: Dataset) -> "DecisionStump":
+        """Learn the best single split of ``dataset``.
+
+        Falls back to a constant majority stump when no split helps.
+        """
+        if len(dataset) == 0:
+            raise TrainingDataError(
+                "cannot fit a stump on an empty dataset"
+            )
+        split = best_split(dataset, impurity=entropy)
+        if split is None:
+            return cls(
+                feature=None,
+                threshold=None,
+                label_when_true=dataset.majority_label,
+                constant=dataset.majority_label,
+            )
+        left, right = dataset.split(split.feature, split.threshold)
+        return cls(
+            feature=split.feature,
+            threshold=split.threshold,
+            label_when_true=left.majority_label,
+        )
+
+    def predict(self, features: Sequence[float]) -> bool:
+        """Classify one feature vector."""
+        if self.constant is not None:
+            return self.constant
+        assert self.feature is not None and self.threshold is not None
+        if features[self.feature] <= self.threshold:
+            return self.label_when_true
+        return not self.label_when_true
+
+    def accuracy(self, dataset: Dataset) -> float:
+        """Fraction of ``dataset`` classified correctly."""
+        if len(dataset) == 0:
+            return 1.0
+        hits = sum(
+            1
+            for example in dataset
+            if self.predict(example.features) == example.label
+        )
+        return hits / len(dataset)
+
+    def to_condition(self) -> Condition:
+        """Express the stump in the edge-condition AST."""
+        if self.constant is not None:
+            return Always() if self.constant else Never()
+        assert self.feature is not None and self.threshold is not None
+        test = Comparison(self.feature, "<=", self.threshold)
+        if self.label_when_true:
+            return test
+        return Comparison(self.feature, ">", self.threshold)

@@ -1,0 +1,218 @@
+"""A CART-style binary decision tree for Boolean targets.
+
+The tree greedily splits on the best axis-aligned test until a stopping
+criterion fires (purity, depth, minimum node size, or no gain), then
+optionally prunes leaves whose merge does not hurt training accuracy
+(reduced-error style, against the training set — adequate for the paper's
+noise-free conditions and keeps the rules "simple" as Section 7 wants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.classifier.dataset import Dataset
+from repro.classifier.splits import IMPURITY_FUNCTIONS, best_split
+from repro.errors import TrainingDataError
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    """Hyper-parameters for :class:`DecisionTree`.
+
+    Attributes
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_leaf:
+        Minimum examples per leaf.
+    impurity:
+        ``"entropy"`` or ``"gini"``.
+    prune:
+        Whether to collapse subtrees that do not improve training
+        accuracy.
+    """
+
+    max_depth: int = 8
+    min_leaf: int = 1
+    impurity: str = "entropy"
+    prune: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        if self.min_leaf < 1:
+            raise ValueError("min_leaf must be >= 1")
+        if self.impurity not in IMPURITY_FUNCTIONS:
+            raise ValueError(
+                f"impurity must be one of {sorted(IMPURITY_FUNCTIONS)}"
+            )
+
+
+@dataclass
+class TreeNode:
+    """One node: either a leaf (``label`` set) or a split."""
+
+    label: Optional[bool] = None
+    feature: Optional[int] = None
+    threshold: Optional[float] = None
+    left: Optional["TreeNode"] = None    # features[feature] <= threshold
+    right: Optional["TreeNode"] = None   # features[feature] >  threshold
+    positives: int = 0
+    negatives: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node is a leaf."""
+        return self.label is not None
+
+    @property
+    def majority(self) -> bool:
+        """Majority label at the node (ties favour True)."""
+        return self.positives >= self.negatives
+
+
+class DecisionTree:
+    """A trained decision tree.
+
+    Examples
+    --------
+    >>> from repro.classifier.dataset import Dataset
+    >>> data = Dataset.from_pairs(
+    ...     [((x, 0.0), x > 10) for x in range(21)]
+    ... )
+    >>> tree = DecisionTree.fit(data)
+    >>> tree.predict((15.0, 0.0)), tree.predict((3.0, 0.0))
+    (True, False)
+    """
+
+    def __init__(self, root: TreeNode, config: TreeConfig) -> None:
+        self.root = root
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls, dataset: Dataset, config: Optional[TreeConfig] = None
+    ) -> "DecisionTree":
+        """Train a tree on ``dataset``.
+
+        Raises
+        ------
+        TrainingDataError
+            On an empty dataset.
+        """
+        if len(dataset) == 0:
+            raise TrainingDataError("cannot fit a tree on an empty dataset")
+        config = config or TreeConfig()
+        impurity = IMPURITY_FUNCTIONS[config.impurity]
+
+        def grow(data: Dataset, depth: int) -> TreeNode:
+            node = TreeNode(
+                positives=data.positives, negatives=data.negatives
+            )
+            if data.is_pure or depth >= config.max_depth:
+                node.label = data.majority_label
+                return node
+            split = best_split(
+                data, impurity=impurity, min_leaf=config.min_leaf
+            )
+            if split is None:
+                node.label = data.majority_label
+                return node
+            left_data, right_data = data.split(split.feature, split.threshold)
+            node.feature = split.feature
+            node.threshold = split.threshold
+            node.left = grow(left_data, depth + 1)
+            node.right = grow(right_data, depth + 1)
+            return node
+
+        root = grow(dataset, 0)
+        tree = cls(root, config)
+        if config.prune:
+            tree._prune(tree.root)
+        return tree
+
+    def _prune(self, node: TreeNode) -> None:
+        """Collapse splits whose children agree or add no accuracy."""
+        if node.is_leaf:
+            return
+        assert node.left is not None and node.right is not None
+        self._prune(node.left)
+        self._prune(node.right)
+        if not (node.left.is_leaf and node.right.is_leaf):
+            return
+        if node.left.label == node.right.label:
+            node.label = node.left.label
+            node.feature = node.threshold = None
+            node.left = node.right = None
+            return
+        # Merge when the majority leaf explains the split's examples at
+        # least as well as the split does.
+        split_errors = (
+            min(node.left.positives, node.left.negatives)
+            + min(node.right.positives, node.right.negatives)
+        )
+        merged_errors = min(node.positives, node.negatives)
+        if merged_errors <= split_errors:
+            node.label = node.majority
+            node.feature = node.threshold = None
+            node.left = node.right = None
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict(self, features: Sequence[float]) -> bool:
+        """Classify one feature vector."""
+        node = self.root
+        while not node.is_leaf:
+            assert node.feature is not None and node.threshold is not None
+            if features[node.feature] <= node.threshold:
+                node = node.left  # type: ignore[assignment]
+            else:
+                node = node.right  # type: ignore[assignment]
+        return bool(node.label)
+
+    def accuracy(self, dataset: Dataset) -> float:
+        """Fraction of ``dataset`` the tree classifies correctly."""
+        if len(dataset) == 0:
+            return 1.0
+        hits = sum(
+            1
+            for example in dataset
+            if self.predict(example.features) == example.label
+        )
+        return hits / len(dataset)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Depth of the tree (a lone leaf has depth 0)."""
+
+        def measure(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(measure(node.left), measure(node.right))
+
+        return measure(self.root)
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaves."""
+
+        def count(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+
+        return count(self.root)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecisionTree(depth={self.depth}, leaves={self.leaf_count})"
+        )

@@ -1,0 +1,412 @@
+"""Command-line interface.
+
+Subcommands
+-----------
+``mine``
+    Mine a process graph (and optionally conditions) from a log file.
+``generate``
+    Generate a synthetic log (Section 8.1) or a simulated Flowmark log.
+``stats``
+    Print summary statistics of a log file.
+``conditions``
+    Mine the graph, then learn and print every edge's condition.
+``simulate``
+    Execute a model file through the workflow engine into a log file.
+``compare``
+    Diff a purported model file against what a log actually shows.
+``evolve``
+    Produce the next model version from a log of successful executions.
+``timing``
+    Print duration/makespan analytics of a log.
+``coverage``
+    Report how thoroughly a log exercises a model's edges.
+``variants``
+    Print the log's distinct execution variants.
+``convert``
+    Convert a log between the tab-separated and JSON-lines formats.
+
+The log file format is the tab-separated codec of
+:mod:`repro.logs.codec`; model files use the line format of
+:mod:`repro.model.serialize`.  All output goes to stdout; exit status is
+non-zero on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.diffing import diff_against_log
+from repro.core.miner import (
+    ALGORITHM_AUTO,
+    ALGORITHM_CYCLIC,
+    ALGORITHM_GENERAL,
+    ALGORITHM_SPECIAL,
+    ProcessMiner,
+)
+from repro.datasets.flowmark import FLOWMARK_PROCESS_NAMES, flowmark_dataset
+from repro.datasets.synthetic import SyntheticConfig, synthetic_dataset
+from repro.engine.simulator import SimulationConfig, WorkflowSimulator
+from repro.errors import ReproError
+from repro.graphs.render import edge_list_text, to_ascii, to_dot
+from repro.logs.codec import read_log_file, write_log_file
+from repro.logs.stats import format_statistics, summarize_log
+from repro.logs.timing import format_timing_report
+from repro.model.evolution import evolve_model
+from repro.model.serialize import load_model, save_model
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-miner",
+        description=(
+            "Mine process model graphs from workflow logs "
+            "(Agrawal, Gunopulos, Leymann; EDBT 1998)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    mine = commands.add_parser(
+        "mine", help="mine a process graph from a log file"
+    )
+    mine.add_argument("log", help="path to a log file (codec format)")
+    mine.add_argument(
+        "--algorithm",
+        choices=[
+            ALGORITHM_AUTO,
+            ALGORITHM_SPECIAL,
+            ALGORITHM_GENERAL,
+            ALGORITHM_CYCLIC,
+        ],
+        default=ALGORITHM_AUTO,
+        help="which of the paper's algorithms to run (default: auto)",
+    )
+    mine.add_argument(
+        "--threshold",
+        type=int,
+        default=0,
+        help="Section 6 noise threshold T (0 disables)",
+    )
+    mine.add_argument(
+        "--format",
+        choices=["ascii", "dot", "edges"],
+        default="ascii",
+        help="output format for the mined graph",
+    )
+    mine.add_argument(
+        "--exact-minimize",
+        action="store_true",
+        help=(
+            "post-process with exact conformal minimization (Section "
+            "4's slow alternative; see repro.core.minimize)"
+        ),
+    )
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic or simulated-Flowmark log"
+    )
+    generate.add_argument("output", help="path to write the log to")
+    generate.add_argument(
+        "--kind",
+        choices=["synthetic", *FLOWMARK_PROCESS_NAMES],
+        default="synthetic",
+        help="dataset kind (default: synthetic random DAG)",
+    )
+    generate.add_argument(
+        "--vertices", type=int, default=10,
+        help="synthetic graph size, START/END included",
+    )
+    generate.add_argument(
+        "--executions", type=int, default=100,
+        help="number of executions to log",
+    )
+    generate.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+    stats = commands.add_parser(
+        "stats", help="print summary statistics of a log file"
+    )
+    stats.add_argument("log", help="path to a log file")
+
+    conditions = commands.add_parser(
+        "conditions",
+        help="mine the graph, then learn each edge's Boolean condition",
+    )
+    conditions.add_argument("log", help="path to a log file with outputs")
+    conditions.add_argument(
+        "--threshold", type=int, default=0, help="noise threshold T"
+    )
+
+    simulate = commands.add_parser(
+        "simulate",
+        help="execute a model file through the workflow engine",
+    )
+    simulate.add_argument("model", help="path to a model file")
+    simulate.add_argument("output", help="path to write the log to")
+    simulate.add_argument(
+        "--executions", type=int, default=100,
+        help="number of executions to simulate",
+    )
+    simulate.add_argument(
+        "--agents", type=int, default=2, help="agent pool size"
+    )
+    simulate.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+    compare = commands.add_parser(
+        "compare",
+        help="diff a purported model file against what a log shows",
+    )
+    compare.add_argument("model", help="path to the purported model file")
+    compare.add_argument("log", help="path to a log file")
+    compare.add_argument(
+        "--threshold", type=int, default=0, help="noise threshold T"
+    )
+
+    evolve = commands.add_parser(
+        "evolve",
+        help="produce the next model version from a log",
+    )
+    evolve.add_argument("model", help="path to the current model file")
+    evolve.add_argument("log", help="path to a log of executions")
+    evolve.add_argument(
+        "--output", help="path to write the evolved model to"
+    )
+    evolve.add_argument(
+        "--threshold", type=int, default=0, help="noise threshold T"
+    )
+    evolve.add_argument(
+        "--prune-unobserved",
+        action="store_true",
+        help="also remove model edges the log never exercised",
+    )
+    evolve.add_argument(
+        "--learn-conditions",
+        action="store_true",
+        help="learn Section 7 conditions for newly added edges",
+    )
+
+    timing = commands.add_parser(
+        "timing", help="print duration/makespan analytics of a log"
+    )
+    timing.add_argument("log", help="path to a log file")
+
+    coverage = commands.add_parser(
+        "coverage",
+        help="report how thoroughly a log exercises a model's edges",
+    )
+    coverage.add_argument("model", help="path to a model file")
+    coverage.add_argument("log", help="path to a log file")
+
+    variants = commands.add_parser(
+        "variants", help="print the log's distinct execution variants"
+    )
+    variants.add_argument("log", help="path to a log file")
+    variants.add_argument(
+        "--top", type=int, default=10, help="variants to show"
+    )
+
+    convert = commands.add_parser(
+        "convert",
+        help=(
+            "convert a log between the tab-separated and JSON-lines "
+            "formats (by file extension: .jsonl vs anything else)"
+        ),
+    )
+    convert.add_argument("input", help="path to the input log")
+    convert.add_argument("output", help="path to the output log")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "mine":
+            return _cmd_mine(args)
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
+        if args.command == "conditions":
+            return _cmd_conditions(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "evolve":
+            return _cmd_evolve(args)
+        if args.command == "timing":
+            return _cmd_timing(args)
+        if args.command == "coverage":
+            return _cmd_coverage(args)
+        if args.command == "variants":
+            return _cmd_variants(args)
+        if args.command == "convert":
+            return _cmd_convert(args)
+        parser.error(f"unknown command {args.command!r}")
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    log = read_log_file(args.log)
+    miner = ProcessMiner(algorithm=args.algorithm, threshold=args.threshold)
+    result = miner.mine(log)
+    graph = result.graph
+    print(f"# algorithm: {result.algorithm}")
+    if getattr(args, "exact_minimize", False):
+        from repro.core.minimize import minimize_conformal
+
+        before = graph.edge_count
+        graph = minimize_conformal(graph, log)
+        print(
+            f"# exact minimization: {before} -> {graph.edge_count} edges"
+        )
+    print(f"# activities: {graph.node_count}")
+    print(f"# edges: {graph.edge_count}")
+    if args.format == "dot":
+        print(to_dot(graph, name=log.process_name or "mined"))
+    elif args.format == "edges":
+        print(edge_list_text(graph))
+    else:
+        print(to_ascii(graph))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "synthetic":
+        dataset = synthetic_dataset(
+            SyntheticConfig(
+                n_vertices=args.vertices,
+                n_executions=args.executions,
+                seed=args.seed,
+            )
+        )
+        log = dataset.log
+    else:
+        log = flowmark_dataset(
+            args.kind, executions=args.executions, seed=args.seed
+        ).log
+    lines = write_log_file(log, args.output)
+    print(
+        f"wrote {len(log)} executions ({lines} records) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    log = read_log_file(args.log)
+    print(f"process: {log.process_name or '?'}")
+    print(format_statistics(summarize_log(log)))
+    return 0
+
+
+def _cmd_conditions(args: argparse.Namespace) -> int:
+    log = read_log_file(args.log)
+    miner = ProcessMiner(
+        threshold=args.threshold, learn_conditions=True
+    )
+    result = miner.mine(log)
+    print(f"# algorithm: {result.algorithm}")
+    for edge in sorted(result.conditions):
+        print(result.conditions[edge].describe())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    simulator = WorkflowSimulator(
+        model, SimulationConfig(agents=args.agents, seed=args.seed)
+    )
+    log = simulator.run_log(args.executions)
+    lines = write_log_file(log, args.output)
+    print(
+        f"simulated {len(log)} executions of {model.name!r} "
+        f"({lines} records) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    log = read_log_file(args.log)
+    diff = diff_against_log(model, log, threshold=args.threshold)
+    print(f"# purported model: {model.name} ({args.model})")
+    print(f"# log: {args.log} ({len(log)} executions)")
+    print(diff.report())
+    return 0 if diff.is_clean else 2
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    log = read_log_file(args.log)
+    result = evolve_model(
+        model,
+        log,
+        threshold=args.threshold,
+        prune_unobserved=args.prune_unobserved,
+        learn_conditions=args.learn_conditions,
+    )
+    print(result.summary())
+    if args.output:
+        save_model(result.model, args.output)
+        print(f"wrote evolved model to {args.output}")
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    log = read_log_file(args.log)
+    print(f"process: {log.process_name or '?'}")
+    print(format_timing_report(log))
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.analysis.coverage import edge_coverage
+
+    model = load_model(args.model)
+    log = read_log_file(args.log)
+    report = edge_coverage(model.graph, log)
+    print(f"# model: {model.name} ({args.model})")
+    print(f"# log: {args.log}")
+    print(report.report())
+    return 0
+
+
+def _cmd_variants(args: argparse.Namespace) -> int:
+    from repro.logs.filters import format_variants
+
+    log = read_log_file(args.log)
+    print(f"process: {log.process_name or '?'}")
+    print(format_variants(log, top=args.top))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.logs.jsonl import read_log_jsonl_file, write_log_jsonl_file
+
+    def is_jsonl(path: str) -> bool:
+        return path.endswith(".jsonl")
+
+    log = (
+        read_log_jsonl_file(args.input)
+        if is_jsonl(args.input)
+        else read_log_file(args.input)
+    )
+    if is_jsonl(args.output):
+        lines = write_log_jsonl_file(log, args.output)
+    else:
+        lines = write_log_file(log, args.output)
+    print(
+        f"converted {len(log)} executions ({lines} records) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

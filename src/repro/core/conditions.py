@@ -1,0 +1,265 @@
+"""Problem 2 — conditions mining (Section 7 of the paper).
+
+Given a log *with recorded activity outputs* and a mined control-flow
+graph, learn the Boolean function on each edge ``(u, v)``:
+
+* training set: for each execution containing ``u``, the point
+  ``(o(u), 1)`` if ``v`` also ran, else ``(o(u), 0)`` (Section 7's exact
+  construction);
+* learner: the from-scratch decision tree of :mod:`repro.classifier`;
+* output: a rule set per edge plus a condition expression that can be
+  attached back onto a :class:`~repro.model.process.ProcessModel`.
+
+Edges whose source activities carry no outputs in the log (e.g. Flowmark
+logs, which "do not log the input and output parameters") are reported as
+unlearnable rather than failing — mirroring the paper's Section 8.2 note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.classifier.dataset import Dataset, LabelledExample
+from repro.classifier.rules import (
+    Rule,
+    format_rules,
+    rules_to_condition,
+    tree_to_rules,
+)
+from repro.classifier.tree import DecisionTree, TreeConfig
+from repro.graphs.digraph import DiGraph
+from repro.logs.event_log import EventLog
+from repro.model.conditions import (
+    Always,
+    Comparison,
+    Condition,
+    Never,
+    ParamRef,
+)
+
+Edge = Tuple[str, str]
+
+
+def _rules_with_pairwise_terms(
+    rules: List[Rule], arity: int, pairs: List[Tuple[int, int]]
+) -> Condition:
+    """Convert rules over augmented features back into the AST.
+
+    A term on derived feature ``arity + k`` tests
+    ``o[i] - o[j] <= t`` (with ``(i, j) = pairs[k]``), which renders as
+    ``o[i] <= o[j] + t``.
+    """
+
+    def term_to_comparison(term) -> Comparison:
+        feature, op, threshold = term
+        if feature < arity:
+            return Comparison(feature, op, threshold)
+        i, j = pairs[feature - arity]
+        return Comparison(i, op, ParamRef(j, threshold))
+
+    if not rules:
+        return Never()
+    if any(not rule for rule in rules):
+        return Always()
+    condition: Optional[Condition] = None
+    for rule in rules:
+        conjunct: Condition = term_to_comparison(rule[0])
+        for term in rule[1:]:
+            conjunct = conjunct & term_to_comparison(term)
+        condition = conjunct if condition is None else condition | conjunct
+    assert condition is not None
+    return condition
+
+
+@dataclass(frozen=True)
+class MinedCondition:
+    """The learned condition of one edge.
+
+    Attributes
+    ----------
+    edge:
+        The ``(source, target)`` edge.
+    condition:
+        The learned Boolean expression (:class:`Always` when the edge was
+        always taken together, or unlearnable).
+    rules:
+        The decision tree's positive paths (empty for constant
+        conditions).
+    training_size:
+        Number of training points.
+    positive_fraction:
+        Fraction of training points where the target also ran.
+    training_accuracy:
+        The tree's accuracy on its own training set (1.0 for constants).
+    learnable:
+        False when no outputs were recorded for the source activity, so
+        nothing could be learned (the condition defaults to
+        :class:`Always`).
+    """
+
+    edge: Edge
+    condition: Condition
+    rules: Tuple[Rule, ...]
+    training_size: int
+    positive_fraction: float
+    training_accuracy: float
+    learnable: bool
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        source, target = self.edge
+        if not self.learnable:
+            status = "unlearnable (no outputs logged)"
+        else:
+            status = str(self.condition)
+        return (
+            f"{source} -> {target}: {status} "
+            f"[n={self.training_size}, pos={self.positive_fraction:.0%}, "
+            f"acc={self.training_accuracy:.0%}]"
+        )
+
+    def rules_text(self) -> str:
+        """The rule set as readable text."""
+        return format_rules(list(self.rules))
+
+
+class ConditionsMiner:
+    """Learn edge conditions for a mined graph from a log with outputs.
+
+    Parameters
+    ----------
+    tree_config:
+        Hyper-parameters for the per-edge decision trees.
+    pairwise:
+        When true, augment each training point with the pairwise
+        differences ``o[i] - o[j]`` of its output parameters before
+        fitting, and translate rules on those derived features back
+        into parameter-to-parameter comparisons — which is exactly the
+        shape of the paper's Example 1 condition
+        ``(o(C)[1] > 0) and (o(C)[2] < o(C)[1])``.  Axis-aligned trees
+        cannot represent ``o[i] < o[j]`` otherwise.
+    """
+
+    def __init__(
+        self,
+        tree_config: Optional[TreeConfig] = None,
+        pairwise: bool = False,
+    ) -> None:
+        self.tree_config = tree_config or TreeConfig()
+        self.pairwise = pairwise
+
+    # ------------------------------------------------------------------
+    # Training-set construction (Section 7, verbatim)
+    # ------------------------------------------------------------------
+    def training_set(self, log: EventLog, edge: Edge) -> Dataset:
+        """Build the training set of ``edge`` from ``log``.
+
+        For each execution in which the source ran *and recorded an
+        output*, one point is produced, labelled by whether the target
+        also ran.  Executions without a recorded output for the source are
+        skipped (nothing to learn from).
+        """
+        source, target = edge
+        examples: List[LabelledExample] = []
+        for execution in log:
+            if source not in execution.activities:
+                continue
+            output = execution.last_output_of(source)
+            if output is None:
+                continue
+            examples.append(
+                LabelledExample(
+                    features=output,
+                    label=target in execution.activities,
+                )
+            )
+        return Dataset(examples)
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def mine_edge(self, log: EventLog, edge: Edge) -> MinedCondition:
+        """Learn the condition of one edge."""
+        data = self.training_set(log, edge)
+        if len(data) == 0:
+            return MinedCondition(
+                edge=edge,
+                condition=Always(),
+                rules=(),
+                training_size=0,
+                positive_fraction=0.0,
+                training_accuracy=1.0,
+                learnable=False,
+            )
+        if data.is_pure:
+            # Constant condition; a tree would be a single leaf anyway.
+            always_taken = data.majority_label
+            condition = rules_to_condition([()] if always_taken else [])
+            return MinedCondition(
+                edge=edge,
+                condition=condition,
+                rules=((),) if always_taken else (),
+                training_size=len(data),
+                positive_fraction=data.positive_fraction(),
+                training_accuracy=1.0,
+                learnable=True,
+            )
+        arity = data.arity
+        pairs: List[Tuple[int, int]] = []
+        if self.pairwise and arity >= 2:
+            pairs = [
+                (i, j)
+                for i in range(arity)
+                for j in range(arity)
+                if i != j
+            ]
+            data = Dataset(
+                LabelledExample(
+                    features=example.features
+                    + tuple(
+                        example.features[i] - example.features[j]
+                        for i, j in pairs
+                    ),
+                    label=example.label,
+                )
+                for example in data
+            )
+        tree = DecisionTree.fit(data, self.tree_config)
+        rules = tree_to_rules(tree)
+        if pairs:
+            condition = _rules_with_pairwise_terms(rules, arity, pairs)
+        else:
+            condition = rules_to_condition(rules)
+        return MinedCondition(
+            edge=edge,
+            condition=condition,
+            rules=tuple(rules),
+            training_size=len(data),
+            positive_fraction=data.positive_fraction(),
+            training_accuracy=tree.accuracy(data),
+            learnable=True,
+        )
+
+    def mine(
+        self, log: EventLog, graph: DiGraph
+    ) -> Dict[Edge, MinedCondition]:
+        """Learn conditions for every edge of ``graph``.
+
+        Returns a mapping keyed by edge, in no particular order; use
+        ``sorted(result)`` for stable reports.
+        """
+        log.require_non_empty()
+        return {
+            edge: self.mine_edge(log, edge)
+            for edge in graph.edges()
+        }
+
+    def conditions_for_model(
+        self, log: EventLog, graph: DiGraph
+    ) -> Dict[Edge, Condition]:
+        """Learned conditions in the form ``ProcessModel`` accepts."""
+        return {
+            edge: mined.condition
+            for edge, mined in self.mine(log, graph).items()
+        }

@@ -1,0 +1,225 @@
+"""Consistency and conformance checks (Definitions 6 and 7).
+
+* :func:`is_consistent` — Definition 6: can the execution have been a
+  successful run of the graph?
+* :func:`check_conformance` — Definition 7: dependency completeness,
+  irredundancy of dependencies, execution completeness of a mined graph
+  against a log.
+
+These are *reference validators*: they recompute the dependence relation
+from scratch and inspect paths, so they are O(n³)-ish per call and meant
+for tests, benches and spot checks, not for the mining hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.dependency import DependencyRelation, dependency_relation
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transitive import transitive_closure
+from repro.logs.event_log import EventLog
+from repro.logs.execution import Execution
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of checking a mined graph against a log (Definition 7).
+
+    Attributes
+    ----------
+    missing_dependencies:
+        Dependence pairs ``(a, b)`` (``b`` depends on ``a``) with no path
+        ``a -> b`` in the graph — dependency completeness violations.
+    spurious_paths:
+        Independent pairs connected by a path — irredundancy violations.
+    inconsistent_executions:
+        ``(execution_id, reason)`` pairs for executions the graph does not
+        admit — execution completeness violations.
+    """
+
+    missing_dependencies: List[tuple] = field(default_factory=list)
+    spurious_paths: List[tuple] = field(default_factory=list)
+    inconsistent_executions: List[tuple] = field(default_factory=list)
+
+    @property
+    def is_conformal(self) -> bool:
+        """Whether all three Definition 7 properties hold."""
+        return not (
+            self.missing_dependencies
+            or self.spurious_paths
+            or self.inconsistent_executions
+        )
+
+    def violations(self) -> List[str]:
+        """All violations as human-readable strings."""
+        messages = [
+            f"no path for dependency {a!r} -> {b!r}"
+            for a, b in self.missing_dependencies
+        ]
+        messages += [
+            f"spurious path between independent activities {a!r} and {b!r}"
+            for a, b in self.spurious_paths
+        ]
+        messages += [
+            f"execution {eid!r} not admitted: {reason}"
+            for eid, reason in self.inconsistent_executions
+        ]
+        return messages
+
+
+def is_consistent(
+    graph: DiGraph,
+    execution: Execution,
+    source: str,
+    sink: str,
+) -> Optional[str]:
+    """Check Definition 6; return ``None`` if consistent, else the reason.
+
+    The checks, in the paper's order:
+
+    1. the execution's activities are a subset of the graph's vertices;
+    2. the induced subgraph (all graph edges between executed activities)
+       is weakly connected;
+    3. the first and last activities are the process' initiating and
+       terminating activities;
+    4. every executed activity is reachable from the initiating activity
+       within the induced subgraph;
+    5. no dependency is violated: for executed ``u``, ``v``, a path
+       ``u -> v`` in the induced subgraph requires ``u`` to terminate
+       before ``v`` starts.
+    """
+    activities = execution.activities
+    if not activities:
+        return "execution is empty"
+    alien = sorted(a for a in activities if not graph.has_node(a))
+    if alien:
+        return f"activities not in the graph: {alien}"
+
+    induced = graph.subgraph(activities)
+
+    if not _weakly_connected(induced):
+        return "induced subgraph is not connected"
+
+    if execution.first_activity != source:
+        return (
+            f"first activity {execution.first_activity!r} is not the "
+            f"initiating activity {source!r}"
+        )
+    if execution.last_activity != sink:
+        return (
+            f"last activity {execution.last_activity!r} is not the "
+            f"terminating activity {sink!r}"
+        )
+
+    if source not in activities:
+        return f"initiating activity {source!r} was not executed"
+    reachable = {source}
+    frontier = [source]
+    while frontier:
+        node = frontier.pop()
+        for child in induced.successors(node):
+            if child not in reachable:
+                reachable.add(child)
+                frontier.append(child)
+    unreached = sorted(activities - reachable)
+    if unreached:
+        return (
+            f"activities not reachable from {source!r} in the induced "
+            f"subgraph: {unreached}"
+        )
+
+    # Dependency-order check: induced paths must agree with time order.
+    closure = transitive_closure(induced)
+    position = _completion_order(execution)
+    for u, v in closure.edges():
+        if u == v:
+            continue
+        if position[v] < position[u]:
+            return (
+                f"ordering violates the dependency {u!r} -> {v!r} "
+                f"({v!r} ran before {u!r})"
+            )
+    return None
+
+
+def check_conformance(
+    graph: DiGraph,
+    log: EventLog,
+    relation: Optional[DependencyRelation] = None,
+    source: Optional[str] = None,
+    sink: Optional[str] = None,
+) -> ConformanceReport:
+    """Check the three Definition 7 properties of ``graph`` against ``log``.
+
+    Parameters
+    ----------
+    graph:
+        The mined graph.
+    log:
+        The log the graph was mined from.
+    relation:
+        Optional precomputed dependence relation (recomputed otherwise).
+    source, sink:
+        The initiating/terminating activities; inferred from the first
+        execution when omitted.
+    """
+    log.require_non_empty()
+    relation = relation or dependency_relation(log)
+    if source is None:
+        source = log[0].first_activity
+    if sink is None:
+        sink = log[0].last_activity
+
+    report = ConformanceReport()
+    closure = transitive_closure(graph)
+
+    # Dependency completeness.
+    for prerequisite, dependent in sorted(relation.depends):
+        if not closure.has_edge(prerequisite, dependent):
+            report.missing_dependencies.append((prerequisite, dependent))
+
+    # Irredundancy: no path between independent activities.
+    ordered = sorted(relation.activities)
+    for i, first in enumerate(ordered):
+        for second in ordered[i + 1:]:
+            if not relation.independent(first, second):
+                continue
+            if closure.has_edge(first, second):
+                report.spurious_paths.append((first, second))
+            elif closure.has_edge(second, first):
+                report.spurious_paths.append((second, first))
+
+    # Execution completeness.
+    for execution in log:
+        reason = is_consistent(graph, execution, source, sink)
+        if reason is not None:
+            report.inconsistent_executions.append(
+                (execution.execution_id, reason)
+            )
+    return report
+
+
+def _weakly_connected(graph: DiGraph) -> bool:
+    nodes = list(graph.nodes())
+    if len(nodes) <= 1:
+        return True
+    seen = {nodes[0]}
+    frontier = [nodes[0]]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in graph.successors(node) | graph.predecessors(node):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return len(seen) == len(nodes)
+
+
+def _completion_order(execution: Execution) -> dict:
+    """Map each activity to its first start position in the execution."""
+    position = {}
+    for index, activity in enumerate(execution.sequence):
+        if activity not in position:
+            position[activity] = index
+    return position

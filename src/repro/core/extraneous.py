@@ -1,0 +1,171 @@
+"""Extraneous executions — the paper's open problem, made measurable.
+
+Section 4: "The difference in the two graphs is that they allow a
+different set of extraneous executions (executions other than those
+present in the log).  In general, one cannot construct a graph that
+allows only those executions that are present in a log.  A valid goal
+for a process graph discovery algorithm could be to find a conformal
+graph that also minimizes extraneous executions."
+
+This module provides the measurement side of that goal for small
+graphs: :func:`admitted_executions` enumerates every execution a graph
+admits under Definition 6 (valid activity subsets × linear extensions),
+and :func:`extraneous_executions` subtracts the log's variants.  The
+counts are exponential in general — enumeration is capped and intended
+for worked-example-sized graphs, which is exactly where the paper poses
+the problem (Figure 5).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.core.conformance import is_consistent
+from repro.graphs.digraph import DiGraph
+from repro.logs.event_log import EventLog
+from repro.logs.execution import Execution
+
+Sequence_ = Tuple[str, ...]
+
+
+def admitted_executions(
+    graph: DiGraph,
+    source: str,
+    sink: str,
+    max_count: int = 100_000,
+) -> List[Sequence_]:
+    """Enumerate every execution ``graph`` admits (Definition 6).
+
+    An admitted execution is an activity sequence, over some subset of
+    the graph's vertices containing ``source`` and ``sink``, that
+    Definition 6 accepts.  Enumeration is exhaustive over subsets and
+    orderings and therefore exponential; the ``max_count`` guard raises
+    :class:`ValueError` when the graph admits more.
+
+    Returns sequences sorted (by length, then lexicographically).
+    """
+    vertices = [v for v in graph.nodes()]
+    if source not in vertices or sink not in vertices:
+        raise ValueError("source/sink must be vertices of the graph")
+    interior = [v for v in vertices if v not in (source, sink)]
+
+    admitted: Set[Sequence_] = set()
+    for r in range(len(interior) + 1):
+        for chosen in combinations(interior, r):
+            subset = frozenset((source, sink, *chosen))
+            induced = graph.subgraph(subset)
+            for order in _linear_extensions(
+                induced, first=source, last=sink
+            ):
+                execution = Execution.from_sequence(list(order))
+                if is_consistent(graph, execution, source, sink) is None:
+                    admitted.add(order)
+                    if len(admitted) > max_count:
+                        raise ValueError(
+                            f"graph admits more than {max_count} "
+                            f"executions; raise max_count or use a "
+                            f"smaller graph"
+                        )
+    return sorted(admitted, key=lambda s: (len(s), s))
+
+
+def extraneous_executions(
+    graph: DiGraph,
+    log: EventLog,
+    source: Optional[str] = None,
+    sink: Optional[str] = None,
+    max_count: int = 100_000,
+) -> List[Sequence_]:
+    """Executions ``graph`` admits that the log never exhibited."""
+    log.require_non_empty()
+    if source is None:
+        source = log[0].first_activity
+    if sink is None:
+        sink = log[0].last_activity
+    admitted = admitted_executions(
+        graph, source, sink, max_count=max_count
+    )
+    seen = {tuple(sequence) for sequence in log.sequences()}
+    return [sequence for sequence in admitted if sequence not in seen]
+
+
+def extraneous_ratio(
+    graph: DiGraph,
+    log: EventLog,
+    source: Optional[str] = None,
+    sink: Optional[str] = None,
+    max_count: int = 100_000,
+) -> float:
+    """Fraction of the graph's admitted executions absent from the log.
+
+    0.0 means the graph admits exactly the log's variants (the
+    unreachable ideal the paper describes); values near 1.0 mean the
+    graph is far more permissive than the evidence.
+    """
+    log.require_non_empty()
+    if source is None:
+        source = log[0].first_activity
+    if sink is None:
+        sink = log[0].last_activity
+    admitted = admitted_executions(
+        graph, source, sink, max_count=max_count
+    )
+    if not admitted:
+        return 0.0
+    seen = {tuple(sequence) for sequence in log.sequences()}
+    extraneous = sum(1 for s in admitted if s not in seen)
+    return extraneous / len(admitted)
+
+
+def _linear_extensions(
+    graph: DiGraph, first: str, last: str
+) -> Iterator[Sequence_]:
+    """Yield topological orders of ``graph`` starting at ``first`` and
+    ending at ``last``; nothing when the constraints are unsatisfiable.
+    """
+    nodes = set(graph.nodes())
+    if first not in nodes or last not in nodes:
+        return
+    in_degree = {v: graph.in_degree(v) for v in nodes}
+
+    def backtrack(
+        order: List[str], remaining: Set[str]
+    ) -> Iterator[Sequence_]:
+        if not remaining:
+            if order[-1] == last:
+                yield tuple(order)
+            return
+        ready = sorted(
+            v
+            for v in remaining
+            if in_degree[v] == 0 and (v != last or len(remaining) == 1)
+        )
+        for choice in ready:
+            remaining.discard(choice)
+            order.append(choice)
+            touched = []
+            for child in graph.successors(choice):
+                in_degree[child] -= 1
+                touched.append(child)
+            yield from backtrack(order, remaining)
+            for child in touched:
+                in_degree[child] += 1
+            order.pop()
+            remaining.add(choice)
+
+    if in_degree[first] != 0:
+        return
+    remaining = set(nodes)
+    remaining.discard(first)
+    order = [first]
+    for child in graph.successors(first):
+        in_degree[child] -= 1
+    yield from backtrack(order, remaining)
+
+
+def count_admitted(
+    graph: DiGraph, source: str, sink: str, max_count: int = 100_000
+) -> int:
+    """Number of executions the graph admits (enumeration-backed)."""
+    return len(admitted_executions(graph, source, sink, max_count))

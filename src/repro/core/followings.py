@@ -1,0 +1,171 @@
+"""The "following" relation (Definition 3) and ordered-pair extraction.
+
+Definition 3: activity ``B`` *follows* ``A`` if either ``B`` starts after
+``A`` terminates in each execution in which both appear, or some ``C``
+exists with ``C`` following ``A`` and ``B`` following ``C``.  The relation
+is thus the transitive closure of a *direct* following relation grounded in
+co-occurrence.
+
+Two readings of the base case are possible when ``A`` and ``B`` never
+co-occur: the universal quantifier is vacuously true (both follow each
+other), or following requires evidence (neither follows).  Both readings
+classify such pairs as **independent** under Definition 4; we use the
+evidence-based reading because it keeps transitive chains grounded in
+observations, matching the reasoning of the paper's Example 3.
+
+This module also hosts :func:`execution_pair_sets`, the shared step-2
+primitive of Algorithms 1–3: the set of ordered activity pairs
+"(u terminates before v starts)" per execution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transitive import transitive_closure
+from repro.logs.event_log import EventLog
+
+Pair = Tuple[str, str]
+
+
+def execution_pair_sets(log: EventLog) -> List[FrozenSet[Pair]]:
+    """Return, per execution, the set of ordered activity pairs.
+
+    A pair ``(u, v)`` is included when some completed instance of ``u``
+    terminated before some instance of ``v`` started (Algorithm 1/2
+    step 2).  Pairs of the same activity are excluded (they belong to the
+    relabelled view of Algorithm 3).
+    """
+    return [frozenset(execution.ordered_pairs()) for execution in log]
+
+
+def pair_execution_counts(log: EventLog) -> Counter:
+    """Count, for each ordered pair, the executions exhibiting it.
+
+    These are the Section 6 noise counters: "a counter for each edge in E
+    to register how many times this edge appears".
+    """
+    counts: Counter = Counter()
+    for pairs in execution_pair_sets(log):
+        counts.update(pairs)
+    return counts
+
+
+@dataclass(frozen=True)
+class FollowRelation:
+    """The following relation over a log's activities.
+
+    Attributes
+    ----------
+    activities:
+        All activities of the log.
+    direct:
+        Pairs ``(a, b)`` where ``b`` directly follows ``a``: they co-occur
+        at least once and ``b`` starts after ``a`` terminates in *every*
+        co-occurrence.
+    closed:
+        The full following relation — the transitive closure of ``direct``.
+        ``(a, b)`` in ``closed`` means "``b`` follows ``a``".
+    """
+
+    activities: FrozenSet[str]
+    direct: FrozenSet[Pair]
+    closed: FrozenSet[Pair]
+
+    def follows(self, first: str, second: str) -> bool:
+        """Whether ``second`` follows ``first`` (Definition 3)."""
+        return (first, second) in self.closed
+
+    def directly_follows(self, first: str, second: str) -> bool:
+        """Whether ``second`` directly follows ``first`` (base case)."""
+        return (first, second) in self.direct
+
+    def graph(self) -> DiGraph:
+        """The graph of direct followings (Section 4's "graph of
+        followings", whose strongly connected components Algorithm 2
+        inspects)."""
+        return DiGraph(nodes=sorted(self.activities), edges=self.direct)
+
+
+def follow_relation(log: EventLog) -> FollowRelation:
+    """Compute the :class:`FollowRelation` of ``log``.
+
+    Examples
+    --------
+    Example 3 of the paper — log ``{ABCE, ACDE, ADBE}``:
+
+    >>> from repro.logs.event_log import EventLog
+    >>> log = EventLog.from_sequences(["ABCE", "ACDE", "ADBE"])
+    >>> relation = follow_relation(log)
+    >>> relation.follows("A", "B")   # B follows A
+    True
+    >>> relation.follows("D", "B")   # B follows D (sole co-occurrence)
+    True
+    >>> relation.follows("B", "D")   # D follows B via C
+    True
+    """
+    activities = log.activities()
+    co_occur: Counter = Counter()
+    ordered: Counter = Counter()
+    for execution in log:
+        present = sorted(execution.activities)
+        for i, first in enumerate(present):
+            for second in present[i + 1:]:
+                co_occur[(first, second)] += 1
+        for pair in set(execution.ordered_pairs()):
+            ordered[pair] += 1
+
+    direct: Set[Pair] = set()
+    for (first, second), count in co_occur.items():
+        if ordered[(first, second)] == count:
+            direct.add((first, second))
+        if ordered[(second, first)] == count:
+            direct.add((second, first))
+
+    closure = transitive_closure(
+        DiGraph(nodes=sorted(activities), edges=direct)
+    )
+    closed = frozenset(
+        (source, target)
+        for source, target in closure.edges()
+        if source != target
+    )
+    return FollowRelation(
+        activities=activities,
+        direct=frozenset(direct),
+        closed=closed,
+    )
+
+
+def union_pairs(pair_sets: Iterable[FrozenSet[Pair]]) -> Set[Pair]:
+    """Union a collection of per-execution pair sets (step 2's edge set)."""
+    result: Set[Pair] = set()
+    for pairs in pair_sets:
+        result |= pairs
+    return result
+
+
+def remove_two_cycles(edges: Set[Pair]) -> Set[Pair]:
+    """Drop every pair present in both directions (step 3 of Algorithms
+    1–3): such activities appeared in both orders and are independent."""
+    return {
+        (source, target)
+        for source, target in edges
+        if (target, source) not in edges
+    }
+
+
+def activity_vertex_sets(log: EventLog) -> List[FrozenSet[str]]:
+    """Return, per execution, the set of activities that completed."""
+    return [execution.activities for execution in log]
+
+
+def presence_counts(log: EventLog) -> Dict[str, int]:
+    """Count, per activity, the number of executions containing it."""
+    counts: Counter = Counter()
+    for execution in log:
+        counts.update(execution.activities)
+    return dict(counts)

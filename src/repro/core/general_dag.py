@@ -1,0 +1,241 @@
+"""Algorithm 2 (General DAG) — Section 4 of the paper.
+
+Drops Algorithm 1's every-activity-every-execution assumption: activities
+may be optional, so a dependency graph alone need not admit every logged
+execution (Example 5).  Algorithm 2 therefore:
+
+1. collects ordered pairs per execution (step 2);
+2. removes 2-cycles (step 3);
+3. removes all edges inside strongly connected components of the followings
+   graph (step 4) — mutual followings through longer cycles also signal
+   independence;
+4. for each execution, transitively reduces the *induced* subgraph (the
+   current edges activated in that execution's order) and marks the
+   surviving edges (step 5);
+5. keeps only marked edges (step 6) — each kept edge is needed by at least
+   one execution, which preserves execution completeness while heuristically
+   minimizing edges.
+
+The optional ``threshold`` implements Section 6's noise handling: ordered
+pairs seen in fewer than ``T`` executions are discarded before step 3.
+
+:func:`mine_prepared` exposes the step 2–6 pipeline over pre-extracted
+pair sets so that Algorithm 3 can reuse it on relabelled executions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.followings import remove_two_cycles
+from repro.errors import EmptyLogError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.scc import remove_intra_component_edges
+from repro.graphs.transitive import transitive_reduction_edges
+from repro.logs.event_log import EventLog
+
+Vertex = Hashable
+Pair = Tuple[Vertex, Vertex]
+
+
+@dataclass(frozen=True)
+class PreparedExecution:
+    """One execution reduced to what steps 2–6 need.
+
+    Attributes
+    ----------
+    vertices:
+        The vertices (activities, or labelled instances for Algorithm 3)
+        that completed in the execution.
+    pairs:
+        Ordered vertex pairs ``(u, v)`` — ``u`` terminated before ``v``
+        started.
+    overlaps:
+        Canonical (sorted) pairs of vertices observed overlapping in
+        time; overlapping activities are independent (Section 2), so the
+        miner treats an overlap like seeing the pair in both orders.
+    """
+
+    vertices: FrozenSet[Vertex]
+    pairs: FrozenSet[Pair]
+    overlaps: FrozenSet[Pair] = frozenset()
+
+
+@dataclass
+class MiningTrace:
+    """Stage-by-stage diagnostics of one Algorithm 2/3 run.
+
+    Edge counts after each step let the ablation benches show what each
+    stage contributes; ``pair_counts`` holds the Section 6 noise counters.
+    """
+
+    pair_counts: Counter = field(default_factory=Counter)
+    overlap_counts: Counter = field(default_factory=Counter)
+    edges_after_step2: int = 0
+    edges_dropped_by_threshold: int = 0
+    edges_dropped_by_overlap: int = 0
+    edges_after_step3: int = 0
+    edges_after_step4: int = 0
+    edges_after_step6: int = 0
+    scc_edge_removals: int = 0
+
+
+def prepare_log(log: EventLog) -> List[PreparedExecution]:
+    """Extract :class:`PreparedExecution` views from a log (plain labels)."""
+    prepared = []
+    for execution in log:
+        prepared.append(
+            PreparedExecution(
+                vertices=execution.activities,
+                pairs=frozenset(execution.ordered_pairs()),
+                overlaps=frozenset(execution.overlapping_pairs()),
+            )
+        )
+    return prepared
+
+
+def mine_prepared(
+    prepared: Sequence[PreparedExecution],
+    threshold: int = 0,
+    trace: Optional[MiningTrace] = None,
+    skip_scc_removal: bool = False,
+    skip_execution_marking: bool = False,
+) -> DiGraph:
+    """Run steps 2–6 of Algorithm 2 over prepared executions.
+
+    Parameters
+    ----------
+    prepared:
+        Per-execution vertex and ordered-pair sets.
+    threshold:
+        Section 6 noise threshold ``T``; ordered pairs occurring in fewer
+        than ``T`` executions are dropped before the 2-cycle step.  ``0``
+        (and ``1``) keep everything.
+    trace:
+        Optional diagnostics sink.
+    skip_scc_removal, skip_execution_marking:
+        Ablation switches disabling step 4 or steps 5–6; used only by the
+        ablation benches, never by the public miners.
+
+    Returns
+    -------
+    DiGraph
+        The mined graph over all vertices seen in ``prepared``.
+    """
+    if not prepared:
+        raise EmptyLogError("cannot mine an empty set of executions")
+    trace = trace if trace is not None else MiningTrace()
+
+    # Step 2 — union of ordered pairs, with occurrence counters.
+    counts: Counter = Counter()
+    overlap_counts: Counter = Counter()
+    vertices: Set[Vertex] = set()
+    for execution in prepared:
+        vertices |= execution.vertices
+        counts.update(execution.pairs)
+        overlap_counts.update(execution.overlaps)
+    trace.pair_counts = counts
+    trace.overlap_counts = overlap_counts
+    edges: Set[Pair] = set(counts)
+    trace.edges_after_step2 = len(edges)
+
+    # Section 6 — drop infrequent pairs before the 2-cycle step.
+    if threshold > 1:
+        edges = {pair for pair in edges if counts[pair] >= threshold}
+    trace.edges_dropped_by_threshold = trace.edges_after_step2 - len(edges)
+
+    # Overlap evidence: activities observed running concurrently are
+    # independent (Section 2), equivalent to seeing both orders.  The same
+    # threshold guards against spuriously overlapping noisy timestamps.
+    min_evidence = max(1, threshold)
+    independent = {
+        pair
+        for pair, count in overlap_counts.items()
+        if count >= min_evidence
+    }
+    before_overlap = len(edges)
+    if independent:
+        edges = {
+            (u, v)
+            for u, v in edges
+            if (u, v) not in independent and (v, u) not in independent
+        }
+    trace.edges_dropped_by_overlap = before_overlap - len(edges)
+
+    # Step 3 — drop 2-cycles.
+    edges = remove_two_cycles(edges)
+    trace.edges_after_step3 = len(edges)
+
+    graph = DiGraph(nodes=sorted(vertices, key=repr), edges=edges)
+
+    # Step 4 — drop edges inside strongly connected components.
+    if not skip_scc_removal:
+        trace.scc_edge_removals = remove_intra_component_edges(graph)
+    trace.edges_after_step4 = graph.edge_count
+
+    # Steps 5–6 — keep only edges some execution's transitive reduction
+    # needs.
+    if not skip_execution_marking:
+        marked: Set[Pair] = set()
+        edge_set = graph.edge_set()
+        for execution in prepared:
+            induced_edges = execution.pairs & edge_set
+            induced = DiGraph(
+                nodes=execution.vertices, edges=induced_edges
+            )
+            marked |= transitive_reduction_edges(induced)
+        graph = graph.edge_subgraph(marked)
+    trace.edges_after_step6 = graph.edge_count
+    return graph
+
+
+def mine_general_dag(
+    log: EventLog,
+    threshold: int = 0,
+    trace: Optional[MiningTrace] = None,
+) -> DiGraph:
+    """Mine a conformal graph of ``log`` with Algorithm 2.
+
+    Parameters
+    ----------
+    log:
+        Executions of one (acyclic) process; activities may be optional.
+    threshold:
+        Section 6 noise threshold ``T`` (0 disables noise handling).
+    trace:
+        Optional :class:`MiningTrace` capturing per-stage diagnostics.
+
+    Returns
+    -------
+    DiGraph
+        A conformal graph (Theorem 5) over the log's activities.
+
+    Examples
+    --------
+    Example 7 of the paper — log ``{ABCF, ACDF, ADEF, AECF}``; C, D and E
+    form one strongly connected component of followings, hence are mutually
+    independent:
+
+    >>> from repro.logs.event_log import EventLog
+    >>> log = EventLog.from_sequences(["ABCF", "ACDF", "ADEF", "AECF"])
+    >>> sorted(mine_general_dag(log).edges())
+    ... # doctest: +NORMALIZE_WHITESPACE
+    [('A', 'B'), ('A', 'C'), ('A', 'D'), ('A', 'E'),
+     ('B', 'C'), ('C', 'F'), ('D', 'F'), ('E', 'F')]
+    """
+    log.require_non_empty()
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    return mine_prepared(prepare_log(log), threshold=threshold, trace=trace)
+
+
+def presence_by_vertex(
+    prepared: Sequence[PreparedExecution],
+) -> Dict[Vertex, int]:
+    """Count, per vertex, how many prepared executions contain it."""
+    counts: Counter = Counter()
+    for execution in prepared:
+        counts.update(execution.vertices)
+    return dict(counts)

@@ -1,0 +1,145 @@
+"""Noise-threshold theory (Section 6 of the paper).
+
+Algorithm 2's noise handling keeps an ordered pair only when it occurs in
+at least ``T`` executions.  Section 6 analyses the two failure modes:
+
+* **false dependency from noise** — truly sequenced activities reported out
+  of order at rate ε produce about ``ε·m`` spurious reverse pairs; if that
+  count reaches ``T``, step 3 discards a true dependency as a 2-cycle.
+  Bounded by ``C(m, T)·ε^T``.
+* **false dependency from unlucky independence** — truly independent
+  activities executed in the same order at least ``m − T`` times look
+  dependent.  Bounded by ``C(m, m−T)·(1/2)^(m−T)``.
+
+Setting the two bounds equal gives the paper's balance condition
+``ε^T = (1/2)^(m−T)``, i.e. ``T = m·log 2 / (log 2 + log(1/ε))``.
+:func:`optimal_threshold` solves it, and
+:func:`threshold_error_probability` evaluates both (exact binomial-tail)
+probabilities so the bench can sweep ``T``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NoiseThreshold:
+    """A chosen threshold with its predicted failure probabilities.
+
+    Attributes
+    ----------
+    threshold:
+        The integer threshold ``T``.
+    p_false_independence:
+        Probability bound that noise produces >= T reverse pairs for some
+        truly dependent pair (so the dependency is wrongly dropped).
+    p_false_dependency:
+        Probability bound that a truly independent pair shows one order in
+        >= m - T executions (so a spurious edge survives).
+    """
+
+    threshold: int
+    p_false_independence: float
+    p_false_dependency: float
+
+    @property
+    def p_error(self) -> float:
+        """The larger of the two failure probabilities (paper's max)."""
+        return max(self.p_false_independence, self.p_false_dependency)
+
+
+def binomial_tail(m: int, k: int, p: float) -> float:
+    """P[X >= k] for X ~ Binomial(m, p), computed exactly.
+
+    Used instead of the paper's looser ``C(m, T)·ε^T`` bound when
+    evaluating a concrete (m, T); tests check the bound dominates it.
+    """
+    if k <= 0:
+        return 1.0
+    if k > m:
+        return 0.0
+    total = 0.0
+    for i in range(k, m + 1):
+        total += math.comb(m, i) * (p ** i) * ((1.0 - p) ** (m - i))
+    return min(1.0, total)
+
+
+def paper_upper_bound_false_independence(
+    m: int, threshold: int, epsilon: float
+) -> float:
+    """The paper's bound ``C(m, T)·ε^T`` on >= T out-of-order reports."""
+    if threshold > m:
+        return 0.0
+    return min(1.0, math.comb(m, threshold) * epsilon ** threshold)
+
+
+def paper_upper_bound_false_dependency(m: int, threshold: int) -> float:
+    """The paper's bound ``C(m, m−T)·(1/2)^(m−T)`` on a same-order streak."""
+    k = m - threshold
+    if k <= 0:
+        return 1.0
+    return min(1.0, math.comb(m, k) * 0.5 ** k)
+
+
+def threshold_error_probability(
+    m: int, threshold: int, epsilon: float
+) -> NoiseThreshold:
+    """Evaluate both failure probabilities for a concrete ``(m, T, ε)``.
+
+    ``p_false_independence`` is the exact tail P[Binomial(m, ε) >= T]; the
+    event is "at least T of the m executions report the pair out of order".
+    ``p_false_dependency`` is P[Binomial(m, 1/2) >= m − T] doubled for the
+    two possible orders, capped at 1 — "independent activities are executed
+    in random order" (each order with probability 1/2).
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if not 0.0 <= epsilon < 0.5:
+        raise ValueError("epsilon must be in [0, 0.5) per Section 6")
+    p_independence = binomial_tail(m, threshold, epsilon)
+    p_dependency = min(1.0, 2.0 * binomial_tail(m, m - threshold, 0.5))
+    return NoiseThreshold(
+        threshold=threshold,
+        p_false_independence=p_independence,
+        p_false_dependency=p_dependency,
+    )
+
+
+def optimal_threshold(m: int, epsilon: float) -> int:
+    """Solve the paper's balance condition for ``T``.
+
+    From ``ε^T = (1/2)^(m−T)``::
+
+        T·ln ε = (m − T)·ln(1/2)
+        T = m·ln 2 / (ln 2 + ln(1/ε))
+
+    The result is clamped to ``[1, m]`` and rounded to the nearest integer.
+    ε = 0 means noise-free logs: any pair seen even once is trustworthy,
+    so the threshold is 1.
+
+    Examples
+    --------
+    >>> optimal_threshold(1000, 0.05)
+    188
+    >>> optimal_threshold(1000, 0.0)
+    1
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if not 0.0 <= epsilon < 0.5:
+        raise ValueError("epsilon must be in [0, 0.5) per Section 6")
+    if epsilon == 0.0:
+        return 1
+    t = m * math.log(2.0) / (math.log(2.0) + math.log(1.0 / epsilon))
+    return max(1, min(m, int(round(t))))
+
+
+def expected_noise_pairs(m: int, epsilon: float) -> float:
+    """Expected out-of-order reports for a sequenced pair: ``ε·m``.
+
+    Section 6: "the expected number of out of order sequences for a given
+    pair of activities is ε·m.  Clearly T must be larger than ε·m."
+    """
+    return epsilon * m

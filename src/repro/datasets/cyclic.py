@@ -1,0 +1,278 @@
+"""Random-walk trace generation over cyclic process graphs.
+
+The workflow engine (like Flowmark) executes acyclic models only, but
+Algorithm 3's evaluation needs logs whose executions repeat activities.
+:class:`CyclicTraceGenerator` produces such logs directly from a cyclic
+graph: it walks the graph like the Section 8.1 generator, but edges that
+close a cycle ("loop edges", detected against a DFS spanning structure)
+are taken probabilistically and re-enable their target's downstream
+region, bounded by ``max_loop_iterations``.
+
+The generator guarantees each trace starts at the source, ends at the
+sink, and orders any two *dependent* activities (related by a path in the
+acyclic skeleton) consistently — so Algorithm 3's relabelling sees
+exactly the structure the paper describes in Example 8.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.errors import CycleError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transitive import transitive_closure
+from repro.graphs.traversal import topological_sort
+from repro.logs.event_log import EventLog
+from repro.logs.execution import Execution
+
+Edge = Tuple[str, str]
+
+
+def random_cyclic_graph(
+    n_vertices: int,
+    n_loops: int = 2,
+    seed: int = 0,
+    edge_probability: float = 0.25,
+) -> DiGraph:
+    """Generate a random process graph with ``n_loops`` rework loops.
+
+    Starts from a sparse random DAG (single source/sink) and adds
+    ``n_loops`` back edges, each jumping from a vertex to one of its
+    ancestors at distance >= 2 — the structured "go back and redo"
+    loops Algorithm 3 targets.  Fewer back edges are added when the
+    sampled DAG lacks long enough ancestor chains.
+    """
+    from repro.graphs.random_dag import random_process_dag
+
+    rng = random.Random(seed)
+    graph = random_process_dag(
+        n_vertices, seed=seed, edge_probability=edge_probability
+    )
+    closure = transitive_closure(graph)
+    source = graph.sources()[0]
+    sink = graph.sinks()[0]
+    candidates = []
+    for node in graph.nodes():
+        if node in (source, sink):
+            continue
+        for ancestor in closure.predecessors(node):
+            if ancestor in (source, sink):
+                continue
+            # Jump-back distance >= 2: not a direct parent.
+            if graph.has_edge(ancestor, node):
+                continue
+            candidates.append((node, ancestor))
+    rng.shuffle(candidates)
+    added = 0
+    for back_source, back_target in candidates:
+        if added >= n_loops:
+            break
+        if graph.has_edge(back_source, back_target):
+            continue
+        graph.add_edge(back_source, back_target)
+        added += 1
+    return graph
+
+
+def loop_edges(graph: DiGraph) -> Set[Edge]:
+    """Split a cyclic graph into loop edges and an acyclic skeleton.
+
+    Loop (back) edges are detected with a depth-first search rooted at the
+    graph's sources (falling back to insertion order for source-less
+    graphs): an edge pointing at a vertex currently on the DFS stack
+    closes a cycle.  Removing exactly those edges leaves an acyclic
+    skeleton, and for structured rework loops ("repair -> retry") the
+    removed edges are the natural jump-backs.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph.nodes()}
+    removed: Set[Edge] = set()
+    roots = graph.sources() or list(graph.nodes())
+    other = [node for node in graph.nodes() if node not in roots]
+    for root in [*roots, *other]:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(sorted(graph.successors(root), key=repr)))]
+        color[root] = GRAY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if color[child] == GRAY:
+                    removed.add((node, child))
+                    continue
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    stack.append(
+                        (
+                            child,
+                            iter(
+                                sorted(
+                                    graph.successors(child), key=repr
+                                )
+                            ),
+                        )
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    # Verify the skeleton is acyclic (cross-component corner cases).
+    skeleton = graph.copy()
+    for edge in removed:
+        skeleton.remove_edge(*edge)
+    while True:
+        try:
+            topological_sort(skeleton)
+            return removed
+        except CycleError as exc:
+            cycle = exc.cycle
+            edge = sorted(zip(cycle, cycle[1:]), reverse=True)[0]
+            skeleton.remove_edge(*edge)
+            removed.add(edge)
+
+
+class CyclicTraceGenerator:
+    """Generate executions of a cyclic process graph.
+
+    Parameters
+    ----------
+    graph:
+        The (cyclic) process graph; must have a unique source and sink.
+    loop_probability:
+        Probability of taking an enabled loop edge at each opportunity.
+    max_loop_iterations:
+        Hard cap on the times any single loop edge fires per execution.
+    seed:
+        RNG seed.
+
+    Examples
+    --------
+    >>> g = DiGraph(edges=[("A", "B"), ("B", "C"), ("C", "B"), ("C", "E")])
+    >>> generator = CyclicTraceGenerator(g, loop_probability=1.0,
+    ...                                  max_loop_iterations=1, seed=7)
+    >>> generator.generate(1)[0].sequence
+    ['A', 'B', 'C', 'B', 'C', 'E']
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        loop_probability: float = 0.4,
+        max_loop_iterations: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= loop_probability <= 1.0:
+            raise ValueError("loop_probability must be in [0, 1]")
+        if max_loop_iterations < 0:
+            raise ValueError("max_loop_iterations must be >= 0")
+        self.graph = graph
+        self.loop_probability = loop_probability
+        self.max_loop_iterations = max_loop_iterations
+        self.seed = seed
+
+        self._loops = loop_edges(graph)
+        self._skeleton = graph.copy()
+        for edge in self._loops:
+            self._skeleton.remove_edge(*edge)
+        # The source must be unique in the skeleton; the sink is the
+        # unique vertex with no outgoing edges in the *original* graph
+        # (a loop body's tail legitimately dangles in the skeleton).
+        sources = self._skeleton.sources()
+        sinks = graph.sinks()
+        if len(sources) != 1 or len(sinks) != 1:
+            raise ValueError(
+                "the process graph must have one source and one sink; "
+                f"found sources={sources}, sinks={sinks}"
+            )
+        self.source = sources[0]
+        self.sink = sinks[0]
+        # Eviction ("(B, A) dependency") uses the *full* graph's paths so
+        # that optional loop-tail activities (e.g. a Repair that a passed
+        # Test never needs) are evicted when a downstream activity runs.
+        full_closure = transitive_closure(graph)
+        self._ancestors: Dict[str, FrozenSet[str]] = {
+            node: frozenset(full_closure.predecessors(node))
+            for node in graph.nodes()
+        }
+        closure = transitive_closure(self._skeleton)
+        # Loop bodies: vertices re-enabled when a loop edge fires.
+        self._loop_bodies: Dict[Edge, FrozenSet[str]] = {}
+        for back_source, back_target in self._loops:
+            body = {back_target}
+            body |= set(closure.successors(back_target)) & (
+                set(closure.predecessors(back_source)) | {back_source}
+            )
+            body.add(back_source)
+            self._loop_bodies[(back_source, back_target)] = frozenset(body)
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(
+        self, n_executions: int, process_name: str = "cyclic"
+    ) -> EventLog:
+        """Generate a log of ``n_executions`` traces."""
+        rng = random.Random(self.seed)
+        log = EventLog(process_name=process_name)
+        for index in range(n_executions):
+            sequence = self._one_trace(rng)
+            log.append(
+                Execution.from_sequence(
+                    sequence, execution_id=f"{process_name}-{index:06d}"
+                )
+            )
+        return log
+
+    def _one_trace(self, rng: random.Random) -> List[str]:
+        sequence = [self.source]
+        logged = {self.source}
+        ready: List[str] = sorted(self._skeleton.successors(self.source))
+        loop_fires: Dict[Edge, int] = {edge: 0 for edge in self._loops}
+        # A fired loop edge means control jumped back: its body *must*
+        # re-run before the trace may terminate.
+        obligations: Set[str] = set()
+
+        while ready:
+            # "The next activity to be executed is selected from this
+            # list in random order" — selecting the sink terminates the
+            # trace even with candidates pending (Section 8.1 semantics),
+            # unless a fired loop still owes its re-run.
+            activity = ready.pop(rng.randrange(len(ready)))
+            if activity == self.sink and obligations and ready:
+                ready.append(activity)
+                activity = ready.pop(rng.randrange(len(ready) - 1))
+            sequence.append(activity)
+            logged.add(activity)
+            obligations.discard(activity)
+            if activity == self.sink:
+                break
+            ready = [
+                b for b in ready if b not in self._ancestors[activity]
+            ]
+            for child in sorted(self._skeleton.successors(activity)):
+                if child not in logged and child not in ready:
+                    ready.append(child)
+            # Loop decision: may this activity jump back?
+            for edge in sorted(self._loops):
+                back_source, back_target = edge
+                if back_source != activity:
+                    continue
+                if loop_fires[edge] >= self.max_loop_iterations:
+                    continue
+                if rng.random() >= self.loop_probability:
+                    continue
+                loop_fires[edge] += 1
+                # Re-enable the loop body: its members may run again and
+                # are owed a re-run before termination.
+                body = self._loop_bodies[edge]
+                logged -= set(body)
+                logged.add(self.source)
+                obligations |= set(body) - {self.sink}
+                if back_target not in ready:
+                    ready.append(back_target)
+        if sequence[-1] != self.sink:
+            sequence.append(self.sink)
+        return sequence

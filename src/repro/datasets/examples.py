@@ -1,0 +1,187 @@
+"""The paper's worked examples, as ready-made models, graphs and logs.
+
+Everything the running text of the paper exhibits is reproduced here so
+tests and the worked-examples bench can assert the published outcomes:
+
+* :func:`example1_model` — Figure 1's five-activity process with the
+  Example 1 edge condition on (C, D);
+* :func:`example3_log` — the Example 3/4 log ``{ABCE, ACDE, ADBE}``;
+* :func:`example5_log` — Example 5's log ``{ADCE, ABCDE}`` (Figure 2);
+* :func:`example6_log` — Example 6's log and its published mined graph
+  (Figure 3);
+* :func:`example7_log` — Example 7's log and its published mined graph
+  (Figure 4);
+* :func:`open_problem_log` — the two-conformal-graphs log of Figure 5;
+* :func:`example8_log` — Example 8's cyclic log and the published merged
+  graph (Figure 6);
+* :func:`graph10` — the ten-activity synthetic graph of Figure 7,
+  reconstructed from its listed "typical executions".
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.graphs.digraph import DiGraph
+from repro.logs.event_log import EventLog
+from repro.model.builder import ProcessBuilder
+from repro.model.conditions import attr_gt, attr_le, attr_lt
+from repro.model.process import ProcessModel
+
+Edge = Tuple[str, str]
+
+
+def example1_model() -> ProcessModel:
+    """Figure 1: activities A–E; D always follows C; B parallel to C.
+
+    The edge (C, D) carries Example 1's condition
+    ``(o(C)[0] > 0) and (o(C)[1] < o(C)[0])`` — indices shifted to 0-based.
+    """
+    condition_cd = attr_gt(0, 0) & attr_lt(1, 50)
+    return (
+        ProcessBuilder("example1")
+        .edge("A", "B")
+        .edge("A", "C")
+        .edge("B", "E")
+        .edge("C", "D", condition=condition_cd)
+        .edge("C", "E")
+        .edge("D", "E")
+        .build()
+    )
+
+
+def example1_edges() -> Set[Edge]:
+    """Figure 1's edge set."""
+    return {
+        ("A", "B"), ("A", "C"), ("B", "E"),
+        ("C", "D"), ("C", "E"), ("D", "E"),
+    }
+
+
+def example3_log() -> EventLog:
+    """The Example 3 log ``{ABCE, ACDE, ADBE}`` (also Example 4's)."""
+    return EventLog.from_sequences(
+        ["ABCE", "ACDE", "ADBE"], process_name="example3"
+    )
+
+
+def example3_extended_log() -> EventLog:
+    """Example 3's log extended with ``ADCE`` (B becomes dependent on D)."""
+    return EventLog.from_sequences(
+        ["ABCE", "ACDE", "ADBE", "ADCE"], process_name="example3-extended"
+    )
+
+
+def example5_log() -> EventLog:
+    """Example 5's log ``{ADCE, ABCDE}`` (Figure 2)."""
+    return EventLog.from_sequences(
+        ["ADCE", "ABCDE"], process_name="example5"
+    )
+
+
+def example6_log() -> EventLog:
+    """Example 6's log ``{ABCDE, ACDBE, ACBDE}``."""
+    return EventLog.from_sequences(
+        ["ABCDE", "ACDBE", "ACBDE"], process_name="example6"
+    )
+
+
+def example6_expected_edges() -> Set[Edge]:
+    """Figure 3 (right): the published output of Algorithm 1."""
+    return {("A", "B"), ("A", "C"), ("B", "E"), ("C", "D"), ("D", "E")}
+
+
+def example7_log() -> EventLog:
+    """Example 7's log ``{ABCF, ACDF, ADEF, AECF}``."""
+    return EventLog.from_sequences(
+        ["ABCF", "ACDF", "ADEF", "AECF"], process_name="example7"
+    )
+
+
+def example7_expected_edges() -> Set[Edge]:
+    """Figure 4 (right): the published output of Algorithm 2.
+
+    After removing the strongly connected component {C, D, E}'s internal
+    edges and the unmarked edges, the mined graph keeps A's fan-out, B's
+    chain into C and the three joins into F.
+    """
+    return {
+        ("A", "B"), ("A", "C"), ("A", "D"), ("A", "E"),
+        ("B", "C"), ("C", "F"), ("D", "F"), ("E", "F"),
+    }
+
+
+def open_problem_log() -> EventLog:
+    """Figure 5's log ``{ACF, ADCF, ABCF, ADECF}`` with two minimal
+    conformal graphs — the paper's open problem."""
+    return EventLog.from_sequences(
+        ["ACF", "ADCF", "ABCF", "ADECF"], process_name="open-problem"
+    )
+
+
+def example8_log() -> EventLog:
+    """Example 8's cyclic log ``{ABDCE, ABDCBCE, ABCBDCE, ADE}``."""
+    return EventLog.from_sequences(
+        ["ABDCE", "ABDCBCE", "ABCBDCE", "ADE"], process_name="example8"
+    )
+
+
+def example8_expected_cycle() -> Set[Edge]:
+    """Figure 6 (right) "shows the cycle consisting of the activities B
+    and C": both directions must be present after merging."""
+    return {("B", "C"), ("C", "B")}
+
+
+def graph10() -> DiGraph:
+    """Figure 7's ten-activity graph (Graph10).
+
+    The figure's topology is reconstructed from the caption's typical
+    executions (ADBEJ, AGHEJ, ADGHBEJ, AGCFIBEJ) and the constraints they
+    impose: A initiates, J terminates, D enables B, G enables both H and
+    C, C enables F which enables I, and B/H/I join through E into J.
+    """
+    graph = DiGraph()
+    for source, target in [
+        ("A", "D"), ("A", "G"),
+        ("D", "B"),
+        ("G", "H"), ("G", "C"),
+        ("C", "F"), ("F", "I"), ("I", "B"),
+        ("B", "E"), ("H", "E"),
+        ("E", "J"),
+    ]:
+        graph.add_edge(source, target)
+    return graph
+
+
+def graph10_expected_edges() -> Set[Edge]:
+    """Graph10's edge set (the ground truth for the Figure 7 bench)."""
+    return set(graph10().edges())
+
+
+def graph10_typical_executions() -> List[str]:
+    """The caption's "typical executions" of Graph10."""
+    return ["ADBEJ", "AGHEJ", "ADGHBEJ", "AGCFIBEJ"]
+
+
+def graph10_model() -> ProcessModel:
+    """Graph10 as an executable process model for the workflow engine.
+
+    The conditions reproduce the optionality visible in the typical
+    executions: the D-branch and the C/F/I-chain are conditional (never
+    both dead — their ranges overlap), everything else unconditional.
+    """
+    return (
+        ProcessBuilder("Graph10")
+        .edge("A", "D", condition=attr_gt(0, 30))
+        .edge("A", "G", condition=attr_le(0, 70))
+        .edge("D", "B")
+        .edge("G", "H")
+        .edge("G", "C", condition=attr_gt(0, 50))
+        .edge("C", "F")
+        .edge("F", "I")
+        .edge("I", "B")
+        .edge("B", "E")
+        .edge("H", "E")
+        .edge("E", "J")
+        .build()
+    )

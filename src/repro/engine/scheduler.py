@@ -1,0 +1,131 @@
+"""Simulated clock and agent pool.
+
+Section 2: a ready activity "is inserted into a queue to be executed by the
+next available agent".  The scheduler is a classic discrete-event core:
+
+* :class:`SimulationClock` — a monotone simulated clock with a tiny
+  per-event skew so no two events share a timestamp (the paper assumes "no
+  two activities start at the same time");
+* :class:`AgentPool` — ``capacity`` agents; ready work waits FIFO when all
+  agents are busy.  Capacity 1 serializes every run; larger capacities
+  produce genuinely overlapping activity intervals in the log, which is
+  what exercises the miners' interval-order handling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+#: Minimal separation between any two event timestamps.
+TIME_SKEW = 1e-6
+
+
+class SimulationClock:
+    """A monotone simulated clock issuing strictly increasing timestamps."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._last_issued = start - TIME_SKEW
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` (never backwards)."""
+        if time > self._now:
+            self._now = time
+
+    def issue(self) -> float:
+        """Return a unique timestamp at (or just after) the current time."""
+        stamp = max(self._now, self._last_issued + TIME_SKEW)
+        self._last_issued = stamp
+        return stamp
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """A time-ordered queue of simulation callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: List[_ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def schedule(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to fire at simulated ``time``."""
+        heapq.heappush(
+            self._heap, _ScheduledEvent(time, next(self._counter), action)
+        )
+
+    def pop(self) -> Optional[Tuple[float, Callable[[], None]]]:
+        """Pop the earliest event, or ``None`` when the queue is empty."""
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        return event.time, event.action
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class AgentPool:
+    """A fixed pool of agents executing queued activities FIFO.
+
+    The pool does not know about activities; it hands out and reclaims
+    *slots*.  The simulator asks :meth:`acquire` when work becomes ready
+    and calls :meth:`release` when an activity terminates; work that found
+    no free agent waits in :attr:`backlog` until a release.
+    """
+
+    def __init__(self, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("agent pool capacity must be >= 1")
+        self.capacity = capacity
+        self._busy = 0
+        self.backlog: List[str] = []
+
+    @property
+    def busy(self) -> int:
+        """Number of agents currently executing an activity."""
+        return self._busy
+
+    @property
+    def idle(self) -> int:
+        """Number of free agents."""
+        return self.capacity - self._busy
+
+    def acquire(self) -> bool:
+        """Try to claim an agent; returns whether one was free."""
+        if self._busy >= self.capacity:
+            return False
+        self._busy += 1
+        return True
+
+    def release(self) -> None:
+        """Return an agent to the pool."""
+        if self._busy <= 0:
+            raise RuntimeError("release() without a matching acquire()")
+        self._busy -= 1
+
+    def enqueue(self, activity: str) -> None:
+        """Put a ready activity at the end of the wait queue."""
+        self.backlog.append(activity)
+
+    def next_waiting(self) -> Optional[str]:
+        """Pop the longest-waiting activity, or ``None``."""
+        if self.backlog:
+            return self.backlog.pop(0)
+        return None

@@ -1,0 +1,128 @@
+"""Per-run control-flow state for the workflow engine.
+
+Tracks, for one process execution, which incoming-edge verdicts each
+activity has received and which activities have been dispatched, executed,
+or killed by dead-path elimination.  The engine drives this state machine;
+keeping it separate makes the join logic unit-testable without a clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.model.process import ProcessModel
+
+Edge = Tuple[str, str]
+
+#: Activity lifecycle states.
+PENDING = "pending"     # waiting for incoming verdicts
+READY = "ready"         # all verdicts in, at least one true; queued
+RUNNING = "running"     # dispatched to an agent
+DONE = "done"           # terminated; output recorded
+DEAD = "dead"           # all verdicts in, none true; dead path
+
+
+@dataclass
+class RunState:
+    """Control-flow state of one execution of ``model``.
+
+    The state machine is purely about *verdicts*: every edge ``(u, v)``
+    eventually carries ``True`` (control flows) or ``False`` (dead path).
+    An activity fires when its verdicts are complete and at least one is
+    true, and is killed — propagating ``False`` onward — when they are
+    complete and all false.
+    """
+
+    model: ProcessModel
+    status: Dict[str, str] = field(default_factory=dict)
+    verdicts: Dict[Edge, bool] = field(default_factory=dict)
+    outputs: Dict[str, Tuple[float, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in self.model.activity_names:
+            self.status[name] = PENDING
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def verdicts_complete(self, activity: str) -> bool:
+        """Whether every incoming edge of ``activity`` has a verdict."""
+        return all(
+            (source, activity) in self.verdicts
+            for source in self.model.predecessors(activity)
+        )
+
+    def any_true_verdict(self, activity: str) -> bool:
+        """Whether some incoming edge of ``activity`` carries ``True``."""
+        return any(
+            self.verdicts.get((source, activity), False)
+            for source in self.model.predecessors(activity)
+        )
+
+    def is_finished(self) -> bool:
+        """Whether every activity is done or dead."""
+        return all(s in (DONE, DEAD) for s in self.status.values())
+
+    def executed_activities(self) -> List[str]:
+        """Names of activities that actually ran."""
+        return [a for a, s in self.status.items() if s == DONE]
+
+    def pending_activities(self) -> List[str]:
+        """Names of activities still awaiting verdicts or execution."""
+        return [
+            a
+            for a, s in self.status.items()
+            if s in (PENDING, READY, RUNNING)
+        ]
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def record_verdict(self, edge: Edge, verdict: bool) -> Optional[str]:
+        """Record a verdict; return the target's new state if it settled.
+
+        Returns ``READY`` when the target just became ready, ``DEAD`` when
+        it was just killed, and ``None`` when it is still waiting (or was
+        already settled).
+        """
+        self.verdicts[edge] = verdict
+        target = edge[1]
+        if self.status[target] != PENDING:
+            return None
+        if not self.verdicts_complete(target):
+            return None
+        if self.any_true_verdict(target):
+            self.status[target] = READY
+            return READY
+        self.status[target] = DEAD
+        return DEAD
+
+    def mark_running(self, activity: str) -> None:
+        """Transition a READY activity to RUNNING."""
+        if self.status[activity] != READY:
+            raise ValueError(
+                f"activity {activity!r} is {self.status[activity]}, "
+                f"cannot dispatch"
+            )
+        self.status[activity] = RUNNING
+
+    def mark_source_ready(self) -> None:
+        """Make the initiating activity ready (it has no incoming edges)."""
+        self.status[self.model.source] = READY
+
+    def mark_done(
+        self, activity: str, output: Tuple[float, ...]
+    ) -> None:
+        """Record an activity's termination and output."""
+        if self.status[activity] != RUNNING:
+            raise ValueError(
+                f"activity {activity!r} is {self.status[activity]}, "
+                f"cannot complete"
+            )
+        self.status[activity] = DONE
+        self.outputs[activity] = output
+
+    def dead_path_targets(self, activity: str) -> Set[str]:
+        """Outgoing neighbours of a dead activity (all get False verdicts)."""
+        return self.model.successors(activity)

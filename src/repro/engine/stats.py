@@ -1,0 +1,150 @@
+"""Simulation statistics: what the engine knows that logs don't show.
+
+The event log records only START/END events; the engine additionally
+knows which activities were killed by dead-path elimination, how long
+agents were busy, and how work queued.  :class:`RunStats` captures that
+per execution and :class:`SimulationStats` aggregates a whole log's
+worth — the operational view a workflow owner uses to size the agent
+pool (Section 2's "queue to be executed by the next available agent").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class RunStats:
+    """Operational statistics of one simulated execution.
+
+    Attributes
+    ----------
+    executed:
+        Activities that ran.
+    dead:
+        Activities killed by dead-path elimination.
+    makespan:
+        First START to last END, in simulated time.
+    busy_time:
+        Total agent-busy time (sum of activity durations).
+    queue_waits:
+        Per dispatched activity, time spent waiting for a free agent.
+    """
+
+    executed: int = 0
+    dead: int = 0
+    makespan: float = 0.0
+    busy_time: float = 0.0
+    queue_waits: List[float] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Busy time over (makespan × agents) requires the pool size;
+        exposed at the aggregate level where the config is known."""
+        return self.busy_time
+
+    @property
+    def max_queue_wait(self) -> float:
+        """Longest wait for an agent in this run (0.0 if none waited)."""
+        return max(self.queue_waits, default=0.0)
+
+
+@dataclass(frozen=True)
+class SimulationStats:
+    """Aggregate statistics over a simulated log.
+
+    Attributes
+    ----------
+    runs:
+        Number of executions simulated.
+    agents:
+        Agent-pool capacity used.
+    executed_total, dead_total:
+        Activity counts across all runs.
+    mean_makespan:
+        Average execution makespan.
+    mean_utilization:
+        Average of per-run ``busy_time / (makespan * agents)`` — how
+        much of the pool's capacity the process actually used.
+    mean_queue_wait:
+        Average wait for an agent across all dispatches (0 when the
+        pool never saturated).
+    dead_path_rate:
+        Fraction of activity instances eliminated as dead paths.
+    """
+
+    runs: int
+    agents: int
+    executed_total: int
+    dead_total: int
+    mean_makespan: float
+    mean_utilization: float
+    mean_queue_wait: float
+    dead_path_rate: float
+
+    @classmethod
+    def aggregate(
+        cls, per_run: List[RunStats], agents: int
+    ) -> "SimulationStats":
+        """Fold per-run statistics into the aggregate view."""
+        if not per_run:
+            return cls(0, agents, 0, 0, 0.0, 0.0, 0.0, 0.0)
+        executed = sum(r.executed for r in per_run)
+        dead = sum(r.dead for r in per_run)
+        makespans = [r.makespan for r in per_run]
+        utilizations = [
+            r.busy_time / (r.makespan * agents)
+            for r in per_run
+            if r.makespan > 0
+        ]
+        waits = [w for r in per_run for w in r.queue_waits]
+        return cls(
+            runs=len(per_run),
+            agents=agents,
+            executed_total=executed,
+            dead_total=dead,
+            mean_makespan=sum(makespans) / len(makespans),
+            mean_utilization=(
+                sum(utilizations) / len(utilizations)
+                if utilizations
+                else 0.0
+            ),
+            mean_queue_wait=sum(waits) / len(waits) if waits else 0.0,
+            dead_path_rate=(
+                dead / (executed + dead) if executed + dead else 0.0
+            ),
+        )
+
+    def describe(self) -> str:
+        """One-paragraph operational summary."""
+        return (
+            f"{self.runs} runs on {self.agents} agents: "
+            f"mean makespan {self.mean_makespan:.2f}, "
+            f"utilization {self.mean_utilization:.0%}, "
+            f"mean queue wait {self.mean_queue_wait:.3f}, "
+            f"dead-path rate {self.dead_path_rate:.0%}"
+        )
+
+
+def pool_sizing_table(
+    model,
+    executions: int = 50,
+    agent_range: Tuple[int, ...] = (1, 2, 4, 8),
+    seed: int = 0,
+) -> Dict[int, SimulationStats]:
+    """Simulate ``model`` at several pool sizes and report the stats.
+
+    The classic sizing question: where does adding agents stop reducing
+    makespan?  Returns ``{agents: SimulationStats}``.
+    """
+    from repro.engine.simulator import SimulationConfig, WorkflowSimulator
+
+    results: Dict[int, SimulationStats] = {}
+    for agents in agent_range:
+        simulator = WorkflowSimulator(
+            model, SimulationConfig(agents=agents, seed=seed)
+        )
+        _, stats = simulator.run_log_with_stats(executions)
+        results[agents] = stats
+    return results

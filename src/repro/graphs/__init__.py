@@ -1,0 +1,108 @@
+"""Directed-graph substrate used throughout the reproduction.
+
+The paper's algorithms are pure graph algorithms; this subpackage provides
+the directed-graph data structure (:class:`DiGraph`) and every graph routine
+the miners need, implemented from scratch:
+
+* traversal helpers — DFS/BFS orders, topological sort, reachability
+  (:mod:`repro.graphs.traversal`);
+* Tarjan's strongly-connected-components algorithm (:mod:`repro.graphs.scc`);
+* transitive closure and the paper's Appendix Algorithm 4 transitive
+  reduction (:mod:`repro.graphs.transitive`);
+* the random-DAG generator behind the synthetic evaluation
+  (:mod:`repro.graphs.random_dag`);
+* edge-set comparison metrics (:mod:`repro.graphs.compare`); and
+* DOT / ASCII rendering (:mod:`repro.graphs.render`).
+"""
+
+from repro.graphs.compare import (
+    VERDICT_DIVERGED,
+    VERDICT_EQUIVALENT,
+    VERDICT_EXACT,
+    VERDICT_SUBGRAPH,
+    VERDICT_SUPERGRAPH,
+    EdgeComparison,
+    compare_edges,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.random_dag import (
+    END,
+    START,
+    RandomDagConfig,
+    default_activity_names,
+    paper_edge_probability,
+    random_dag,
+    random_process_dag,
+)
+from repro.graphs.render import edge_list_text, to_ascii, to_dot
+from repro.graphs.scc import (
+    component_map,
+    condensation,
+    remove_intra_component_edges,
+    strongly_connected_components,
+)
+from repro.graphs.transitive import (
+    closure_equal,
+    descendant_masks,
+    is_transitively_reduced,
+    transitive_closure,
+    transitive_reduction,
+    transitive_reduction_edges,
+)
+from repro.graphs.traversal import (
+    ancestors,
+    bfs_order,
+    descendants,
+    dfs_postorder,
+    dfs_preorder,
+    find_cycle,
+    has_path,
+    is_acyclic,
+    iter_paths,
+    reachable_from,
+    restrict_to_reachable,
+    topological_sort,
+)
+
+__all__ = [
+    "DiGraph",
+    "EdgeComparison",
+    "END",
+    "RandomDagConfig",
+    "START",
+    "VERDICT_DIVERGED",
+    "VERDICT_EQUIVALENT",
+    "VERDICT_EXACT",
+    "VERDICT_SUBGRAPH",
+    "VERDICT_SUPERGRAPH",
+    "ancestors",
+    "bfs_order",
+    "closure_equal",
+    "compare_edges",
+    "component_map",
+    "condensation",
+    "default_activity_names",
+    "descendant_masks",
+    "descendants",
+    "dfs_postorder",
+    "dfs_preorder",
+    "edge_list_text",
+    "find_cycle",
+    "has_path",
+    "is_acyclic",
+    "is_transitively_reduced",
+    "iter_paths",
+    "paper_edge_probability",
+    "random_dag",
+    "random_process_dag",
+    "reachable_from",
+    "remove_intra_component_edges",
+    "restrict_to_reachable",
+    "strongly_connected_components",
+    "to_ascii",
+    "to_dot",
+    "topological_sort",
+    "transitive_closure",
+    "transitive_reduction",
+    "transitive_reduction_edges",
+]

@@ -1,0 +1,125 @@
+"""Edge-set comparison between an original and a mined graph.
+
+The paper checks its synthetic results "by programmatically comparing the
+edge-set of the two graphs" (Section 8.1) and reports, in Table 2, the edge
+counts of the original and mined graphs.  :func:`compare_edges` produces the
+full confusion: shared edges, edges only in the original (missed), edges
+only in the mined graph (extra), plus precision/recall/F1, and a verdict
+string mirroring the paper's qualitative descriptions ("recovered exactly",
+"supergraph", ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Tuple
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transitive import closure_equal
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+VERDICT_EXACT = "exact"
+VERDICT_EQUIVALENT = "closure-equivalent"
+VERDICT_SUPERGRAPH = "supergraph"
+VERDICT_SUBGRAPH = "subgraph"
+VERDICT_DIVERGED = "diverged"
+
+
+@dataclass(frozen=True)
+class EdgeComparison:
+    """Result of comparing a mined graph against the ground truth.
+
+    Attributes
+    ----------
+    shared:
+        Edges present in both graphs.
+    missed:
+        Ground-truth edges the mined graph lacks.
+    extra:
+        Mined edges absent from the ground truth.
+    verdict:
+        One of the ``VERDICT_*`` strings; ``exact`` means identical edge
+        sets, ``closure-equivalent`` means different edges but the same
+        transitive closure (the same dependency structure — Lemma 2 of the
+        paper says such graphs admit the same executions in the
+        all-activities setting).
+    """
+
+    shared: FrozenSet[Edge]
+    missed: FrozenSet[Edge]
+    extra: FrozenSet[Edge]
+    verdict: str = field(default=VERDICT_DIVERGED)
+
+    @property
+    def original_edge_count(self) -> int:
+        """Number of edges in the ground-truth graph."""
+        return len(self.shared) + len(self.missed)
+
+    @property
+    def mined_edge_count(self) -> int:
+        """Number of edges in the mined graph."""
+        return len(self.shared) + len(self.extra)
+
+    @property
+    def precision(self) -> float:
+        """Fraction of mined edges that are real; 1.0 for an empty mine."""
+        mined = self.mined_edge_count
+        return len(self.shared) / mined if mined else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of real edges that were mined; 1.0 for empty truth."""
+        original = self.original_edge_count
+        return len(self.shared) / original if original else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the edge sets are identical."""
+        return not self.missed and not self.extra
+
+
+def compare_edges(original: DiGraph, mined: DiGraph) -> EdgeComparison:
+    """Compare ``mined`` against ``original`` edge-by-edge.
+
+    Examples
+    --------
+    >>> truth = DiGraph(edges=[("A", "B"), ("B", "C")])
+    >>> found = DiGraph(edges=[("A", "B"), ("A", "C")])
+    >>> result = compare_edges(truth, found)
+    >>> sorted(result.missed), sorted(result.extra)
+    ([('B', 'C')], [('A', 'C')])
+    """
+    original_edges = original.edge_set()
+    mined_edges = mined.edge_set()
+    shared = frozenset(original_edges & mined_edges)
+    missed = frozenset(original_edges - mined_edges)
+    extra = frozenset(mined_edges - original_edges)
+    verdict = _verdict(original, mined, missed, extra)
+    return EdgeComparison(
+        shared=shared, missed=missed, extra=extra, verdict=verdict
+    )
+
+
+def _verdict(
+    original: DiGraph,
+    mined: DiGraph,
+    missed: FrozenSet[Edge],
+    extra: FrozenSet[Edge],
+) -> str:
+    if not missed and not extra:
+        return VERDICT_EXACT
+    if closure_equal(original, mined):
+        return VERDICT_EQUIVALENT
+    if not missed:
+        return VERDICT_SUPERGRAPH
+    if not extra:
+        return VERDICT_SUBGRAPH
+    return VERDICT_DIVERGED

@@ -1,0 +1,139 @@
+"""Rendering of process graphs as Graphviz DOT and ASCII adjacency text.
+
+The paper presents its results as drawn process model graphs (Figures 7–12).
+Without a plotting stack, the benches print the mined graphs through
+:func:`to_ascii` and also emit DOT via :func:`to_dot` so a user can render
+the figures with ``dot -Tpng`` offline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping, Optional
+
+from repro.graphs.digraph import DiGraph
+
+Node = Hashable
+
+
+def _default_label(node: Node) -> str:
+    return str(node)
+
+
+def to_dot(
+    graph: DiGraph,
+    name: str = "process",
+    label: Optional[Callable[[Node], str]] = None,
+    edge_labels: Optional[Mapping[tuple, str]] = None,
+    rankdir: str = "LR",
+) -> str:
+    """Serialize ``graph`` to Graphviz DOT.
+
+    Parameters
+    ----------
+    graph:
+        The graph to render.
+    name:
+        DOT graph name (sanitized into an identifier).
+    label:
+        Optional node-label function; defaults to ``str``.
+    edge_labels:
+        Optional ``(source, target) -> text`` labels, e.g. mined edge
+        conditions from Section 7.
+    rankdir:
+        Graphviz rank direction; the paper's figures flow left-to-right.
+    """
+    label = label or _default_label
+    safe_name = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    lines = [f"digraph {safe_name} {{", f"  rankdir={rankdir};"]
+    lines.append("  node [shape=box, fontname=Helvetica];")
+    ordered = sorted(graph.nodes(), key=str)
+    ids = {node: f"n{i}" for i, node in enumerate(ordered)}
+    for node in ordered:
+        lines.append(f'  {ids[node]} [label="{_escape(label(node))}"];')
+    for source, target in sorted(graph.edges(), key=str):
+        attrs = ""
+        if edge_labels and (source, target) in edge_labels:
+            attrs = f' [label="{_escape(edge_labels[(source, target)])}"]'
+        lines.append(f"  {ids[source]} -> {ids[target]}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(
+    graph: DiGraph,
+    label: Optional[Callable[[Node], str]] = None,
+) -> str:
+    """Render ``graph`` as sorted ``node -> successor, successor`` lines.
+
+    Examples
+    --------
+    >>> g = DiGraph(edges=[("A", "B"), ("A", "C"), ("C", "D")])
+    >>> print(to_ascii(g))
+    A -> B, C
+    B ->
+    C -> D
+    D ->
+    """
+    label = label or _default_label
+    lines = []
+    for node in sorted(graph.nodes(), key=str):
+        successors = sorted(graph.successors(node), key=str)
+        targets = ", ".join(label(s) for s in successors)
+        lines.append(f"{label(node)} -> {targets}".rstrip())
+    return "\n".join(lines)
+
+
+def to_layered_ascii(
+    graph: DiGraph,
+    label: Optional[Callable[[Node], str]] = None,
+) -> str:
+    """Render an acyclic graph as topological layers plus its edges.
+
+    Approximates the left-to-right layout of the paper's figures in
+    plain text: each line is one rank (longest-path depth), followed by
+    the edge list.
+
+    Examples
+    --------
+    >>> g = DiGraph(edges=[("A", "B"), ("A", "C"), ("B", "D"),
+    ...                    ("C", "D")])
+    >>> print(to_layered_ascii(g))
+    [A]  ->  [B C]  ->  [D]
+    A -> B
+    A -> C
+    B -> D
+    C -> D
+    """
+    from repro.graphs.traversal import topological_sort
+
+    label = label or _default_label
+    depth = {}
+    for node in topological_sort(graph):
+        depth[node] = max(
+            (depth[p] + 1 for p in graph.predecessors(node)),
+            default=0,
+        )
+    layers: dict = {}
+    for node, rank in depth.items():
+        layers.setdefault(rank, []).append(node)
+    layer_text = "  ->  ".join(
+        "[" + " ".join(sorted(label(n) for n in layers[rank])) + "]"
+        for rank in sorted(layers)
+    )
+    edges = "\n".join(
+        f"{label(a)} -> {label(b)}"
+        for a, b in sorted(graph.edges(), key=str)
+    )
+    return layer_text + ("\n" + edges if edges else "")
+
+
+def edge_list_text(graph: DiGraph) -> str:
+    """Render the sorted edge list, one ``source -> target`` per line."""
+    return "\n".join(
+        f"{source} -> {target}"
+        for source, target in sorted(graph.edges(), key=str)
+    )
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')

@@ -1,0 +1,168 @@
+"""Transitive closure and transitive reduction.
+
+The reduction implements **Algorithm 4 (TR)** from the paper's appendix: for
+a DAG, visit vertices in reverse topological order keeping a descendant set
+per vertex; a successor that is also reachable through another successor is
+redundant and is dropped.  For a DAG the transitive reduction is unique
+(Aho, Garey & Ullman 1972), which is what gives Algorithm 1 its minimality
+guarantee.
+
+Descendant sets are represented as Python ``int`` bitmasks: union is a single
+bignum OR, so the reduction runs fast even on the 100-vertex graphs of
+Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.errors import CycleError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import topological_sort
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+def transitive_closure(graph: DiGraph) -> DiGraph:
+    """Return the transitive closure of ``graph``.
+
+    The closure contains the edge ``(u, v)`` whenever a directed path of
+    length >= 1 from ``u`` to ``v`` exists in ``graph``.  Works for cyclic
+    graphs as well (a vertex on a cycle gains a self-loop).
+    """
+    index: Dict[Node, int] = {n: i for i, n in enumerate(graph.nodes())}
+    order = list(graph.nodes())
+    n = len(order)
+    # reach[i] is a bitmask of vertices reachable from vertex i.
+    reach: List[int] = [0] * n
+    try:
+        topo = topological_sort(graph)
+    except CycleError:
+        topo = None
+
+    if topo is not None:
+        for node in reversed(topo):
+            i = index[node]
+            mask = 0
+            for child in graph.successors(node):
+                j = index[child]
+                mask |= (1 << j) | reach[j]
+            reach[i] = mask
+    else:
+        # Cyclic case: iterate to a fixed point (bounded by n rounds).
+        for node in order:
+            i = index[node]
+            for child in graph.successors(node):
+                reach[i] |= 1 << index[child]
+        changed = True
+        while changed:
+            changed = False
+            for node in order:
+                i = index[node]
+                mask = reach[i]
+                new = mask
+                remaining = mask
+                while remaining:
+                    j = (remaining & -remaining).bit_length() - 1
+                    remaining &= remaining - 1
+                    new |= reach[j]
+                if new != mask:
+                    reach[i] = new
+                    changed = True
+
+    closure = DiGraph(nodes=order)
+    for node in order:
+        i = index[node]
+        mask = reach[i]
+        while mask:
+            j = (mask & -mask).bit_length() - 1
+            mask &= mask - 1
+            closure.add_edge(node, order[j])
+    return closure
+
+
+def descendant_masks(graph: DiGraph) -> Dict[Node, int]:
+    """Return, for a DAG, a bitmask of each node's descendants.
+
+    Bit positions follow the graph's node insertion order.  Raises
+    :class:`CycleError` for cyclic graphs.
+    """
+    index: Dict[Node, int] = {n: i for i, n in enumerate(graph.nodes())}
+    reach: Dict[Node, int] = {}
+    for node in reversed(topological_sort(graph)):
+        mask = 0
+        for child in graph.successors(node):
+            mask |= (1 << index[child]) | reach[child]
+        reach[node] = mask
+    return reach
+
+
+def transitive_reduction(graph: DiGraph) -> DiGraph:
+    """Return the transitive reduction of a DAG (paper's Algorithm 4).
+
+    The reduction is the unique minimal subgraph with the same transitive
+    closure.  An edge ``(u, v)`` survives iff no *other* path from ``u`` to
+    ``v`` exists (Lemma 7 of the paper).
+
+    Raises
+    ------
+    CycleError
+        If ``graph`` has a directed cycle (the reduction of a cyclic graph
+        is not unique; the paper's algorithms only ever reduce DAGs).
+    """
+    reduced = DiGraph(nodes=graph.nodes())
+    for source, target in transitive_reduction_edges(graph):
+        reduced.add_edge(source, target)
+    return reduced
+
+
+def transitive_reduction_edges(graph: DiGraph) -> Set[Edge]:
+    """Return the edge set of the transitive reduction of a DAG.
+
+    This is the work-horse used by Algorithm 2 step 5, which only needs to
+    *mark* surviving edges rather than materialize a graph per execution.
+
+    Implementation notes — Algorithm 4 of the paper, vertices visited in
+    reverse topological order:
+
+    1. ``desc(v)`` starts as the union of the descendants of ``v``'s
+       successors.
+    2. A successor of ``v`` contained in that union is reachable another
+       way, hence redundant.
+    3. The remaining successors are added to ``desc(v)``.
+    """
+    index: Dict[Node, int] = {n: i for i, n in enumerate(graph.nodes())}
+    desc: Dict[Node, int] = {}
+    kept: Set[Edge] = set()
+    for node in reversed(topological_sort(graph)):
+        successors = graph.successors(node)
+        # Union of descendants reachable *through* a successor.
+        through = 0
+        for child in successors:
+            through |= desc[child]
+        mask = through
+        for child in successors:
+            bit = 1 << index[child]
+            if not through & bit:
+                kept.add((node, child))
+            mask |= bit
+        desc[node] = mask
+    return kept
+
+
+def is_transitively_reduced(graph: DiGraph) -> bool:
+    """Return whether a DAG equals its own transitive reduction."""
+    return graph.edge_set() == transitive_reduction_edges(graph)
+
+
+def closure_equal(left: DiGraph, right: DiGraph) -> bool:
+    """Return whether two graphs have identical transitive closures.
+
+    Graphs over different node sets are never closure-equal.
+    """
+    if set(left.nodes()) != set(right.nodes()):
+        return False
+    return transitive_closure(left).edge_set() == transitive_closure(
+        right
+    ).edge_set()

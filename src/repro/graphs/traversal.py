@@ -1,0 +1,250 @@
+"""Traversal primitives: DFS/BFS, topological sort, reachability, cycles.
+
+All routines are iterative (no recursion) so they handle the 100-vertex ×
+10,000-execution workloads of the paper's Table 1 without hitting Python's
+recursion limit, and all return deterministic orders given the graph's node
+insertion order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, List, Optional, Set
+
+from repro.errors import CycleError, NodeNotFoundError
+from repro.graphs.digraph import DiGraph
+
+Node = Hashable
+
+
+def dfs_preorder(graph: DiGraph, start: Node) -> List[Node]:
+    """Return nodes reachable from ``start`` in depth-first preorder."""
+    if not graph.has_node(start):
+        raise NodeNotFoundError(start)
+    seen: Set[Node] = set()
+    order: List[Node] = []
+    stack: List[Node] = [start]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        # Reverse-sorted push gives a stable, human-predictable visit order.
+        stack.extend(sorted(graph.successors(node), key=repr, reverse=True))
+    return order
+
+
+def dfs_postorder(graph: DiGraph, start: Node) -> List[Node]:
+    """Return nodes reachable from ``start`` in depth-first postorder."""
+    if not graph.has_node(start):
+        raise NodeNotFoundError(start)
+    seen: Set[Node] = set()
+    order: List[Node] = []
+    # Each stack frame carries the node and an iterator over its successors.
+    stack = [(start, iter(sorted(graph.successors(start), key=repr)))]
+    seen.add(start)
+    while stack:
+        node, children = stack[-1]
+        advanced = False
+        for child in children:
+            if child not in seen:
+                seen.add(child)
+                stack.append(
+                    (child, iter(sorted(graph.successors(child), key=repr)))
+                )
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    return order
+
+
+def bfs_order(graph: DiGraph, start: Node) -> List[Node]:
+    """Return nodes reachable from ``start`` in breadth-first order."""
+    if not graph.has_node(start):
+        raise NodeNotFoundError(start)
+    seen: Set[Node] = {start}
+    order: List[Node] = []
+    queue: deque = deque([start])
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for child in sorted(graph.successors(node), key=repr):
+            if child not in seen:
+                seen.add(child)
+                queue.append(child)
+    return order
+
+
+def descendants(graph: DiGraph, node: Node) -> Set[Node]:
+    """Return all nodes reachable from ``node`` (excluding ``node`` itself,
+    unless it lies on a cycle through itself)."""
+    if not graph.has_node(node):
+        raise NodeNotFoundError(node)
+    seen: Set[Node] = set()
+    stack = list(graph.successors(node))
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(graph.successors(current) - seen)
+    return seen
+
+
+def ancestors(graph: DiGraph, node: Node) -> Set[Node]:
+    """Return all nodes from which ``node`` is reachable (excluding ``node``
+    itself, unless it lies on a cycle through itself)."""
+    if not graph.has_node(node):
+        raise NodeNotFoundError(node)
+    seen: Set[Node] = set()
+    stack = list(graph.predecessors(node))
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(graph.predecessors(current) - seen)
+    return seen
+
+
+def has_path(graph: DiGraph, source: Node, target: Node) -> bool:
+    """Return whether a directed path (length >= 1) from ``source`` to
+    ``target`` exists.
+
+    Note that ``has_path(g, v, v)`` is ``True`` only when ``v`` lies on a
+    cycle, matching the paper's "following" relation where an activity does
+    not trivially follow itself.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    return target in descendants(graph, source)
+
+
+def topological_sort(graph: DiGraph) -> List[Node]:
+    """Return a topological order of ``graph`` (Kahn's algorithm).
+
+    Raises
+    ------
+    CycleError
+        If the graph contains a directed cycle.  The error's ``cycle``
+        attribute holds one offending cycle.
+    """
+    in_degree = {node: graph.in_degree(node) for node in graph.nodes()}
+    ready = deque(node for node, degree in in_degree.items() if degree == 0)
+    order: List[Node] = []
+    while ready:
+        node = ready.popleft()
+        order.append(node)
+        for child in graph.successors(node):
+            in_degree[child] -= 1
+            if in_degree[child] == 0:
+                ready.append(child)
+    if len(order) != graph.node_count:
+        cycle = find_cycle(graph)
+        raise CycleError("graph contains a cycle; no topological order", cycle)
+    return order
+
+
+def is_acyclic(graph: DiGraph) -> bool:
+    """Return whether ``graph`` contains no directed cycle."""
+    return find_cycle(graph) is None
+
+
+def find_cycle(graph: DiGraph) -> Optional[List[Node]]:
+    """Return one directed cycle as a node list, or ``None`` if acyclic.
+
+    The returned list ``[v0, v1, ..., vk]`` satisfies ``v0 == vk`` and each
+    consecutive pair is an edge.  Self-loops yield ``[v, v]``.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph.nodes()}
+    parent: dict = {}
+    for root in graph.nodes():
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(graph.successors(root)))]
+        color[root] = GRAY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if color.get(child, WHITE) == WHITE:
+                    color[child] = GRAY
+                    parent[child] = node
+                    stack.append((child, iter(graph.successors(child))))
+                    advanced = True
+                    break
+                if color.get(child) == GRAY:
+                    # Found a back edge node -> child; unwind the cycle.
+                    cycle = [child]
+                    current = node
+                    while current != child:
+                        cycle.append(current)
+                        current = parent[current]
+                    cycle.append(child)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def reachable_from(graph: DiGraph, start: Node) -> Set[Node]:
+    """Return ``start`` plus every node reachable from it."""
+    result = descendants(graph, start)
+    result.add(start)
+    return result
+
+
+def restrict_to_reachable(graph: DiGraph, start: Node) -> DiGraph:
+    """Return the subgraph induced by nodes reachable from ``start``."""
+    return graph.subgraph(reachable_from(graph, start))
+
+
+def iter_paths(
+    graph: DiGraph,
+    source: Node,
+    target: Node,
+    max_paths: int = 10_000,
+) -> Iterable[List[Node]]:
+    """Yield simple paths from ``source`` to ``target``.
+
+    Intended for tests and small diagnostic graphs; the number of simple
+    paths can be exponential, so the ``max_paths`` guard raises
+    :class:`ValueError` if exceeded.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    count = 0
+    path: List[Node] = [source]
+    on_path: Set[Node] = {source}
+    stack = [iter(sorted(graph.successors(source), key=repr))]
+    while stack:
+        children = stack[-1]
+        advanced = False
+        for child in children:
+            if child == target:
+                count += 1
+                if count > max_paths:
+                    raise ValueError(
+                        f"more than {max_paths} simple paths; aborting"
+                    )
+                yield path + [target]
+                continue
+            if child not in on_path:
+                path.append(child)
+                on_path.add(child)
+                stack.append(iter(sorted(graph.successors(child), key=repr)))
+                advanced = True
+                break
+        if not advanced:
+            on_path.discard(path.pop() if len(path) > 0 else None)
+            stack.pop()

@@ -1,0 +1,79 @@
+"""Workflow-log substrate (Definition 2 of the paper).
+
+* :mod:`repro.logs.events` — the event record ``(P, A, E, T, O)``;
+* :mod:`repro.logs.execution` — one execution (trace) of a process;
+* :mod:`repro.logs.event_log` — a log of many executions;
+* :mod:`repro.logs.codec` — Flowmark-style text serialization;
+* :mod:`repro.logs.noise` — noise injectors for Section 6's experiments;
+* :mod:`repro.logs.stats` — summary statistics over logs.
+"""
+
+from repro.logs.codec import (
+    read_log,
+    read_log_file,
+    read_process_logs,
+    read_process_logs_file,
+    write_log,
+    write_log_file,
+    write_process_logs,
+)
+from repro.logs.event_log import EventLog
+from repro.logs.events import END_EVENT, START_EVENT, EventRecord
+from repro.logs.execution import Execution
+from repro.logs.filters import (
+    deduplicate_variants,
+    filter_log,
+    keep_variants,
+    top_variants,
+    variant_counts,
+    with_activities,
+    without_activities,
+)
+from repro.logs.jsonl import (
+    read_log_jsonl,
+    read_log_jsonl_file,
+    write_log_jsonl,
+    write_log_jsonl_file,
+)
+from repro.logs.noise import NoiseConfig, NoiseInjector
+from repro.logs.stats import LogStatistics, summarize_log
+from repro.logs.timing import (
+    DurationStats,
+    activity_durations,
+    execution_makespans,
+    handover_waits,
+)
+
+__all__ = [
+    "DurationStats",
+    "END_EVENT",
+    "EventLog",
+    "EventRecord",
+    "Execution",
+    "LogStatistics",
+    "NoiseConfig",
+    "NoiseInjector",
+    "START_EVENT",
+    "activity_durations",
+    "deduplicate_variants",
+    "execution_makespans",
+    "filter_log",
+    "handover_waits",
+    "keep_variants",
+    "read_log",
+    "read_log_file",
+    "read_log_jsonl",
+    "read_log_jsonl_file",
+    "read_process_logs",
+    "read_process_logs_file",
+    "summarize_log",
+    "top_variants",
+    "variant_counts",
+    "with_activities",
+    "without_activities",
+    "write_log",
+    "write_log_file",
+    "write_log_jsonl",
+    "write_log_jsonl_file",
+    "write_process_logs",
+]

@@ -1,0 +1,233 @@
+"""Flowmark-style text serialization of workflow logs.
+
+"Both the synthetic data and the Flowmark logs are lists of event records
+consisting of the process name, the activity name, the event type, and the
+timestamp" (Section 8).  The codec writes one record per line::
+
+    <process>\t<execution>\t<activity>\t<START|END>\t<timestamp>[\t<o0,o1,...>]
+
+The trailing output field is present only on END records that carry an
+output vector (Flowmark itself "does not log the input and output
+parameters", so logs without the field parse fine — and the conditions
+learner simply has nothing to learn from, as the paper notes for its
+Flowmark datasets).
+
+Reading is streaming: :func:`iter_records` yields records one line at a
+time, so the 10,000-execution logs of Table 1 never need to be held as text
+in memory.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import OrderedDict
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Optional, Tuple, Union
+
+from repro.errors import LogFormatError
+from repro.logs.event_log import EventLog
+from repro.logs.events import EventRecord
+
+FIELD_SEPARATOR = "\t"
+OUTPUT_SEPARATOR = ","
+DEFAULT_PROCESS = "process"
+
+PathOrStr = Union[str, Path]
+
+
+def format_record(record: EventRecord, process_name: str) -> str:
+    """Serialize one record to its log line (no trailing newline)."""
+    fields = [
+        process_name,
+        record.execution_id,
+        record.activity,
+        record.event_type,
+        _format_time(record.timestamp),
+    ]
+    if record.output is not None:
+        fields.append(
+            OUTPUT_SEPARATOR.join(_format_time(v) for v in record.output)
+        )
+    return FIELD_SEPARATOR.join(fields)
+
+
+def parse_record(line: str, line_number: Optional[int] = None) -> Tuple[
+    str, EventRecord
+]:
+    """Parse one log line into ``(process_name, record)``.
+
+    Raises
+    ------
+    LogFormatError
+        On the wrong number of fields, a bad event type, or non-numeric
+        timestamps/outputs.
+    """
+    fields = line.rstrip("\n").split(FIELD_SEPARATOR)
+    if len(fields) not in (5, 6):
+        raise LogFormatError(
+            f"expected 5 or 6 tab-separated fields, got {len(fields)}",
+            line_number,
+        )
+    process_name, execution_id, activity, event_type, time_text = fields[:5]
+    try:
+        timestamp = float(time_text)
+    except ValueError as exc:
+        raise LogFormatError(
+            f"bad timestamp {time_text!r}", line_number
+        ) from exc
+    output: Optional[Tuple[float, ...]] = None
+    if len(fields) == 6 and fields[5]:
+        try:
+            output = tuple(
+                float(v) for v in fields[5].split(OUTPUT_SEPARATOR)
+            )
+        except ValueError as exc:
+            raise LogFormatError(
+                f"bad output vector {fields[5]!r}", line_number
+            ) from exc
+    try:
+        record = EventRecord(
+            timestamp=timestamp,
+            execution_id=execution_id,
+            activity=activity,
+            event_type=event_type,
+            output=output,
+        )
+    except ValueError as exc:
+        raise LogFormatError(str(exc), line_number) from exc
+    return process_name, record
+
+
+def write_log(log: EventLog, stream: IO[str]) -> int:
+    """Write ``log`` to a text stream; returns the number of lines."""
+    process_name = log.process_name or DEFAULT_PROCESS
+    count = 0
+    for record in log.records():
+        stream.write(format_record(record, process_name))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def write_log_file(log: EventLog, path: PathOrStr) -> int:
+    """Write ``log`` to ``path``; returns the number of lines written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        return write_log(log, handle)
+
+
+def iter_records(
+    stream: IO[str],
+) -> Iterator[Tuple[str, EventRecord]]:
+    """Stream ``(process_name, record)`` pairs from a text stream.
+
+    Blank lines and ``#`` comment lines are skipped.
+    """
+    for line_number, line in enumerate(stream, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_record(line, line_number)
+
+
+def read_log(stream: IO[str]) -> EventLog:
+    """Read a full log from a text stream.
+
+    All records must belong to one process; a log mixing process names
+    raises :class:`LogFormatError` (the paper's problem statement fixes a
+    single process per log).
+    """
+    process_name: Optional[str] = None
+    records = []
+    for name, record in iter_records(stream):
+        if process_name is None:
+            process_name = name
+        elif name != process_name:
+            raise LogFormatError(
+                f"log mixes processes {process_name!r} and {name!r}"
+            )
+        records.append(record)
+    return EventLog.from_records(records, process_name=process_name)
+
+
+def read_log_file(path: PathOrStr) -> EventLog:
+    """Read a full log from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_log(handle)
+
+
+def read_process_logs(stream: IO[str]) -> "OrderedDict[str, EventLog]":
+    """Read a stream containing interleaved logs of *several* processes.
+
+    A Flowmark installation logs every process into one audit trail; the
+    first record field names the process.  Records are partitioned by
+    that field and each partition becomes its own :class:`EventLog`.
+    Returns an ordered mapping keyed by process name, in order of first
+    appearance.
+    """
+    per_process: "OrderedDict[str, list]" = OrderedDict()
+    for name, record in iter_records(stream):
+        per_process.setdefault(name, []).append(record)
+    return OrderedDict(
+        (name, EventLog.from_records(records, process_name=name))
+        for name, records in per_process.items()
+    )
+
+
+def read_process_logs_file(
+    path: PathOrStr,
+) -> "OrderedDict[str, EventLog]":
+    """Read a multi-process log file (see :func:`read_process_logs`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_process_logs(handle)
+
+
+def write_process_logs(
+    logs: Iterable[EventLog], stream: IO[str]
+) -> int:
+    """Write several process logs into one interleaved stream.
+
+    Records are merged in timestamp order across processes, mimicking a
+    shared installation-wide audit trail; returns the line count.
+    """
+    tagged = []
+    for log in logs:
+        name = log.process_name or DEFAULT_PROCESS
+        for record in log.records():
+            tagged.append((record.timestamp, name, record))
+    tagged.sort(key=lambda item: (item[0], item[1]))
+    for _, name, record in tagged:
+        stream.write(format_record(record, name))
+        stream.write("\n")
+    return len(tagged)
+
+
+def log_to_text(log: EventLog) -> str:
+    """Serialize ``log`` to a single string (tests and small logs)."""
+    buffer = io.StringIO()
+    write_log(log, buffer)
+    return buffer.getvalue()
+
+
+def log_from_text(text: str) -> EventLog:
+    """Parse a log from a string produced by :func:`log_to_text`."""
+    return read_log(io.StringIO(text))
+
+
+def log_size_bytes(log: EventLog) -> int:
+    """Return the size, in bytes, of the log's serialized form.
+
+    Table 1 and Table 3 of the paper report physical log sizes; the benches
+    use this to report the analogous column.
+    """
+    process_name = log.process_name or DEFAULT_PROCESS
+    total = 0
+    for record in log.records():
+        total += len(format_record(record, process_name)) + 1
+    return total
+
+
+def _format_time(value: float) -> str:
+    # Integral floats print as integers to keep log files compact.
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

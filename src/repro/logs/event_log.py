@@ -1,0 +1,171 @@
+"""The workflow log: a set of executions of the same process.
+
+"We can consider the log as a set of separate executions of an unknown
+underlying process graph" (Section 2).  :class:`EventLog` groups event
+records by execution id, preserves insertion order, and offers the bulk
+views the miners and statistics consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import EmptyLogError
+from repro.logs.events import EventRecord
+from repro.logs.execution import Execution
+
+
+class EventLog:
+    """A log of executions of one process.
+
+    Parameters
+    ----------
+    executions:
+        The log's executions, kept in the given order.
+    process_name:
+        Optional name of the underlying process (used by the codec and
+        reports).
+    """
+
+    def __init__(
+        self,
+        executions: Iterable[Execution] = (),
+        process_name: Optional[str] = None,
+    ) -> None:
+        self._executions: List[Execution] = list(executions)
+        self.process_name = process_name
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sequences(
+        cls,
+        sequences: Iterable[Sequence[str]],
+        process_name: Optional[str] = None,
+    ) -> "EventLog":
+        """Build a log from plain activity sequences.
+
+        This is how the paper writes its worked examples —
+        ``{ABCE, ACDBE, ACDE}`` becomes
+        ``EventLog.from_sequences(["ABCE", "ACDBE", "ACDE"])`` (a string is
+        a sequence of single-letter activities).
+        """
+        executions = [
+            Execution.from_sequence(list(seq), execution_id=f"exec-{i:05d}")
+            for i, seq in enumerate(sequences)
+        ]
+        return cls(executions, process_name=process_name)
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[EventRecord],
+        process_name: Optional[str] = None,
+    ) -> "EventLog":
+        """Group a flat, possibly interleaved record stream into executions.
+
+        Records are grouped by execution id; groups are ordered by their
+        first record's appearance in the stream, which keeps logs stable
+        under round-trips through the codec.
+        """
+        grouped: Dict[str, List[EventRecord]] = {}
+        order: List[str] = []
+        for record in records:
+            if record.execution_id not in grouped:
+                grouped[record.execution_id] = []
+                order.append(record.execution_id)
+            grouped[record.execution_id].append(record)
+        executions = [Execution(eid, grouped[eid]) for eid in order]
+        return cls(executions, process_name=process_name)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._executions)
+
+    def __iter__(self) -> Iterator[Execution]:
+        return iter(self._executions)
+
+    def __getitem__(self, index: int) -> Execution:
+        return self._executions[index]
+
+    def __repr__(self) -> str:
+        name = self.process_name or "?"
+        return f"EventLog(process={name!r}, executions={len(self)})"
+
+    def append(self, execution: Execution) -> None:
+        """Append one execution to the log."""
+        self._executions.append(execution)
+
+    def extend(self, executions: Iterable[Execution]) -> None:
+        """Append several executions to the log."""
+        self._executions.extend(executions)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def executions(self) -> List[Execution]:
+        """The executions (a copy of the list; executions are shared)."""
+        return list(self._executions)
+
+    def sequences(self) -> List[List[str]]:
+        """All executions as activity sequences."""
+        return [execution.sequence for execution in self._executions]
+
+    def activities(self) -> frozenset:
+        """The set of all activities appearing anywhere in the log."""
+        names: set = set()
+        for execution in self._executions:
+            names |= execution.activities
+        return frozenset(names)
+
+    def records(self) -> Iterator[EventRecord]:
+        """Iterate over every record, execution by execution."""
+        for execution in self._executions:
+            yield from execution.records
+
+    def event_count(self) -> int:
+        """Total number of event records in the log."""
+        return sum(len(e.records) for e in self._executions)
+
+    def require_non_empty(self) -> None:
+        """Raise :class:`EmptyLogError` when the log has no executions."""
+        if not self._executions:
+            raise EmptyLogError("the log contains no executions")
+
+    def sample(self, count: int, seed: int = 0) -> "EventLog":
+        """Return a log of ``count`` executions sampled without
+        replacement (order preserved); the whole log if ``count`` is
+        not smaller than its size.
+
+        Used by learning-curve experiments that shrink a log while
+        keeping its distribution.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if count >= len(self._executions):
+            return EventLog(self._executions, self.process_name)
+        import random
+
+        rng = random.Random(seed)
+        chosen = sorted(
+            rng.sample(range(len(self._executions)), count)
+        )
+        return EventLog(
+            [self._executions[i] for i in chosen], self.process_name
+        )
+
+    def split(self, fraction: float) -> Tuple["EventLog", "EventLog"]:
+        """Split into a head/tail pair at ``fraction`` of the executions.
+
+        Useful for train/test splits in the conditions-mining evaluation.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        cut = int(round(len(self._executions) * fraction))
+        head = EventLog(self._executions[:cut], self.process_name)
+        tail = EventLog(self._executions[cut:], self.process_name)
+        return head, tail

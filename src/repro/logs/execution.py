@@ -1,0 +1,295 @@
+"""One execution (trace) of a process.
+
+The paper works with two views of an execution:
+
+* the raw event-record list (START/END pairs with timestamps and outputs),
+  and
+* the simplified *activity sequence* obtained by treating activities as
+  instantaneous ("we can represent an execution as a list of activities",
+  Section 2).
+
+:class:`Execution` holds the records and derives the sequence, the ordered
+activity pairs the miners consume (``u`` terminated before ``v`` started),
+and the per-activity outputs the conditions learner consumes.  The ordered
+pairs respect true interval order: two activities that *overlap in time*
+contribute no pair, which is exactly the paper's argument that overlapping
+activities must be independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import MalformedExecutionError
+from repro.logs.events import EventRecord, end_event, start_event
+
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ActivityInstance:
+    """One completed occurrence of an activity inside an execution."""
+
+    activity: str
+    start: float
+    end: float
+    output: Optional[Tuple[float, ...]]
+
+    def overlaps(self, other: "ActivityInstance") -> bool:
+        """Whether the two instances' time intervals overlap.
+
+        Touching intervals (``a.end == b.start``) do *not* overlap —
+        ``a`` terminated before ``b`` started, which is the paper's
+        ordered-pair criterion.
+        """
+        return self.start < other.end and other.start < self.end
+
+
+class Execution:
+    """An execution of a process, reconstructed from its event records.
+
+    Parameters
+    ----------
+    execution_id:
+        The process-execution name ``P`` shared by all records.
+    records:
+        Event records of this execution, in any order; they are sorted by
+        timestamp.  Every END must have a preceding unmatched START of the
+        same activity.  Unmatched STARTs (activities still running when the
+        log was cut) are tolerated and ignored by the derived views.
+
+    Raises
+    ------
+    MalformedExecutionError
+        If records reference a different execution id, or an END event has
+        no matching START.
+    """
+
+    def __init__(
+        self, execution_id: str, records: Iterable[EventRecord]
+    ) -> None:
+        self._id = execution_id
+        self._records: List[EventRecord] = sorted(records)
+        for record in self._records:
+            if record.execution_id != execution_id:
+                raise MalformedExecutionError(
+                    f"record for execution {record.execution_id!r} mixed "
+                    f"into execution {execution_id!r}"
+                )
+        self._instances = self._pair_events(self._records)
+
+    @staticmethod
+    def _pair_events(
+        records: Sequence[EventRecord],
+    ) -> List[ActivityInstance]:
+        # Multiple concurrent instances of one activity are matched FIFO.
+        open_starts: Dict[str, List[EventRecord]] = {}
+        instances: List[ActivityInstance] = []
+        for record in records:
+            if record.is_start:
+                open_starts.setdefault(record.activity, []).append(record)
+                continue
+            stack = open_starts.get(record.activity)
+            if not stack:
+                raise MalformedExecutionError(
+                    f"END of {record.activity!r} at t={record.timestamp} "
+                    f"has no matching START"
+                )
+            start = stack.pop(0)
+            instances.append(
+                ActivityInstance(
+                    activity=record.activity,
+                    start=start.timestamp,
+                    end=record.timestamp,
+                    output=record.output,
+                )
+            )
+        instances.sort(key=lambda inst: (inst.start, inst.end, inst.activity))
+        return instances
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sequence(
+        cls,
+        activities: Sequence[str],
+        execution_id: str = "exec",
+        outputs: Optional[Dict[str, Tuple[float, ...]]] = None,
+        start_time: float = 0.0,
+    ) -> "Execution":
+        """Build an execution from a plain activity sequence.
+
+        This is the paper's simplified instantaneous-activity view: each
+        activity occupies a unit time slot, in order, so the derived
+        ordered pairs are exactly all forward pairs of the sequence.  Used
+        pervasively by the worked examples (``"ABCE"`` style logs).
+        """
+        outputs = outputs or {}
+        records: List[EventRecord] = []
+        time = start_time
+        for activity in activities:
+            records.append(start_event(execution_id, activity, time))
+            records.append(
+                end_event(
+                    execution_id,
+                    activity,
+                    time + 0.5,
+                    output=outputs.get(activity),
+                )
+            )
+            time += 1.0
+        return cls(execution_id, records)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def execution_id(self) -> str:
+        """The process-execution name ``P``."""
+        return self._id
+
+    @property
+    def records(self) -> List[EventRecord]:
+        """The execution's event records, sorted by timestamp (a copy)."""
+        return list(self._records)
+
+    @property
+    def instances(self) -> List[ActivityInstance]:
+        """Completed activity instances, sorted by start time (a copy)."""
+        return list(self._instances)
+
+    @property
+    def sequence(self) -> List[str]:
+        """The activity sequence, ordered by start time.
+
+        Each completed instance contributes one entry; repeated activities
+        (cycles, Section 5) appear multiple times.
+        """
+        return [instance.activity for instance in self._instances]
+
+    @property
+    def activities(self) -> frozenset:
+        """The set of distinct activities that completed."""
+        return frozenset(inst.activity for inst in self._instances)
+
+    @property
+    def first_activity(self) -> str:
+        """The first activity to start; raises on an empty execution."""
+        if not self._instances:
+            raise MalformedExecutionError("execution has no completed events")
+        return self._instances[0].activity
+
+    @property
+    def last_activity(self) -> str:
+        """The last activity to terminate; raises on an empty execution."""
+        if not self._instances:
+            raise MalformedExecutionError("execution has no completed events")
+        return max(self._instances, key=lambda inst: inst.end).activity
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.sequence)
+
+    def __repr__(self) -> str:
+        preview = "".join(self.sequence[:12])
+        if len(self._instances) > 12:
+            preview += "..."
+        return f"Execution({self._id!r}, {preview!r})"
+
+    # ------------------------------------------------------------------
+    # Miner-facing derivations
+    # ------------------------------------------------------------------
+    def ordered_pairs(self) -> Iterator[Pair]:
+        """Yield every pair ``(u, v)`` with ``u`` terminating before ``v``
+        starts (Algorithm 1/2 step 2).
+
+        Overlapping instances yield nothing, and a pair of instances of the
+        *same* activity yields nothing either (the relabelled view used by
+        Algorithm 3 handles repetitions; in the plain view a self-pair
+        would be a self-loop the miners immediately discard).
+        """
+        instances = self._instances
+        for i, earlier in enumerate(instances):
+            for later in instances[i + 1:]:
+                if earlier.activity == later.activity:
+                    continue
+                if earlier.end <= later.start:
+                    yield (earlier.activity, later.activity)
+
+    def overlapping_pairs(self) -> Iterator[Pair]:
+        """Yield canonical (sorted) pairs of distinct activities observed
+        overlapping in time.
+
+        Section 2 of the paper: "if there are two activities in the log
+        that overlap in time, then they must be independent activities".
+        The miners treat an observed overlap like seeing the pair in both
+        orders — the edge is removed with the 2-cycles.
+        """
+        instances = self._instances
+        for i, first in enumerate(instances):
+            for second in instances[i + 1:]:
+                if first.activity == second.activity:
+                    continue
+                if first.overlaps(second):
+                    pair = tuple(sorted((first.activity, second.activity)))
+                    yield pair  # type: ignore[misc]
+
+    def labelled_overlapping_pairs(
+        self,
+    ) -> Iterator[Tuple[Tuple[str, int], Tuple[str, int]]]:
+        """Canonical overlapping pairs over the relabelled instances."""
+        labels = self.labelled_sequence()
+        instances = self._instances
+        for i, first in enumerate(instances):
+            for j in range(i + 1, len(instances)):
+                if first.overlaps(instances[j]):
+                    pair = tuple(sorted((labels[i], labels[j])))
+                    if pair[0] != pair[1]:
+                        yield pair  # type: ignore[misc]
+
+    def labelled_sequence(self) -> List[Tuple[str, int]]:
+        """The sequence with occurrence labels: ``A, A`` -> ``(A,1), (A,2)``.
+
+        This is Algorithm 3 step 2's relabelling ("the first appearance of
+        activity A is labeled A1, the second A2, and so on").
+        """
+        counts: Dict[str, int] = {}
+        labelled = []
+        for activity in self.sequence:
+            counts[activity] = counts.get(activity, 0) + 1
+            labelled.append((activity, counts[activity]))
+        return labelled
+
+    def labelled_ordered_pairs(
+        self,
+    ) -> Iterator[Tuple[Tuple[str, int], Tuple[str, int]]]:
+        """Ordered pairs over the relabelled instances (Algorithm 3 step 3).
+
+        Unlike :meth:`ordered_pairs`, pairs between distinct instances of
+        the same activity *are* produced (``(A,1) -> (A,2)``): Algorithm 3
+        treats them as distinct vertices.
+        """
+        labels = self.labelled_sequence()
+        instances = self._instances
+        for i, earlier in enumerate(instances):
+            for j in range(i + 1, len(instances)):
+                later = instances[j]
+                if earlier.end <= later.start:
+                    yield (labels[i], labels[j])
+
+    def outputs_of(self, activity: str) -> List[Tuple[float, ...]]:
+        """All recorded output vectors of ``activity`` in this execution."""
+        return [
+            inst.output
+            for inst in self._instances
+            if inst.activity == activity and inst.output is not None
+        ]
+
+    def last_output_of(self, activity: str) -> Optional[Tuple[float, ...]]:
+        """The output of the last completed instance of ``activity``."""
+        outputs = self.outputs_of(activity)
+        return outputs[-1] if outputs else None

@@ -1,0 +1,133 @@
+"""JSON-lines interchange for workflow logs.
+
+The tab-separated codec (:mod:`repro.logs.codec`) mirrors the paper's
+Flowmark audit format; this module provides the same records as JSON
+lines for interchange with modern tooling — one object per line::
+
+    {"process": "claims", "execution": "run-000001",
+     "activity": "Assess", "type": "END", "time": 3.5,
+     "output": [42.0, 7.0]}
+
+START events carry ``"output": null``.  Field names are fixed; unknown
+fields are ignored on read so sidecar metadata survives round-trips
+through other tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator, Optional, Tuple, Union
+
+from repro.errors import LogFormatError
+from repro.logs.event_log import EventLog
+from repro.logs.events import EventRecord
+
+PathOrStr = Union[str, Path]
+
+_REQUIRED_FIELDS = ("process", "execution", "activity", "type", "time")
+
+
+def record_to_json(record: EventRecord, process_name: str) -> str:
+    """Serialize one record to its JSON line (no trailing newline)."""
+    return json.dumps(
+        {
+            "process": process_name,
+            "execution": record.execution_id,
+            "activity": record.activity,
+            "type": record.event_type,
+            "time": record.timestamp,
+            "output": (
+                list(record.output) if record.output is not None else None
+            ),
+        },
+        sort_keys=True,
+    )
+
+
+def record_from_json(
+    line: str, line_number: Optional[int] = None
+) -> Tuple[str, EventRecord]:
+    """Parse one JSON line into ``(process_name, record)``."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise LogFormatError(f"invalid JSON: {exc}", line_number) from exc
+    if not isinstance(payload, dict):
+        raise LogFormatError("record must be a JSON object", line_number)
+    missing = [f for f in _REQUIRED_FIELDS if f not in payload]
+    if missing:
+        raise LogFormatError(
+            f"missing fields {missing}", line_number
+        )
+    output = payload.get("output")
+    if output is not None:
+        if not isinstance(output, list):
+            raise LogFormatError(
+                "output must be a list or null", line_number
+            )
+        try:
+            output = tuple(float(v) for v in output)
+        except (TypeError, ValueError) as exc:
+            raise LogFormatError(
+                "output entries must be numbers", line_number
+            ) from exc
+    try:
+        record = EventRecord(
+            timestamp=float(payload["time"]),
+            execution_id=str(payload["execution"]),
+            activity=str(payload["activity"]),
+            event_type=str(payload["type"]),
+            output=output,
+        )
+    except (TypeError, ValueError) as exc:
+        raise LogFormatError(str(exc), line_number) from exc
+    return str(payload["process"]), record
+
+
+def write_log_jsonl(log: EventLog, stream: IO[str]) -> int:
+    """Write ``log`` as JSON lines; returns the line count."""
+    process_name = log.process_name or "process"
+    count = 0
+    for record in log.records():
+        stream.write(record_to_json(record, process_name))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def read_log_jsonl(stream: IO[str]) -> EventLog:
+    """Read a JSON-lines log (single process, like the text codec)."""
+    process_name: Optional[str] = None
+    records = []
+    for name, record in iter_jsonl_records(stream):
+        if process_name is None:
+            process_name = name
+        elif name != process_name:
+            raise LogFormatError(
+                f"log mixes processes {process_name!r} and {name!r}"
+            )
+        records.append(record)
+    return EventLog.from_records(records, process_name=process_name)
+
+
+def iter_jsonl_records(
+    stream: IO[str],
+) -> Iterator[Tuple[str, EventRecord]]:
+    """Stream ``(process_name, record)`` pairs; blank lines skipped."""
+    for line_number, line in enumerate(stream, start=1):
+        if not line.strip():
+            continue
+        yield record_from_json(line, line_number)
+
+
+def write_log_jsonl_file(log: EventLog, path: PathOrStr) -> int:
+    """Write a JSON-lines log file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        return write_log_jsonl(log, handle)
+
+
+def read_log_jsonl_file(path: PathOrStr) -> EventLog:
+    """Read a JSON-lines log file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_log_jsonl(handle)

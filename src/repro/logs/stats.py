@@ -1,0 +1,125 @@
+"""Summary statistics over workflow logs.
+
+The paper's Tables 1 and 3 report, per dataset, the number of executions
+and the physical log size; Section 8.1 also discusses execution lengths
+("all executions are not of equal length").  :func:`summarize_log`
+computes the corresponding statistics plus per-activity frequencies, which
+the CLI ``stats`` command prints.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.logs.codec import log_size_bytes
+from repro.logs.event_log import EventLog
+
+
+@dataclass(frozen=True)
+class LogStatistics:
+    """Aggregate statistics of one event log.
+
+    Attributes
+    ----------
+    execution_count:
+        Number of executions (the paper's ``m``).
+    activity_count:
+        Number of distinct activities (the paper's ``n``).
+    event_count:
+        Total number of START/END records.
+    size_bytes:
+        Size of the serialized log (codec format).
+    min_length, mean_length, max_length:
+        Execution lengths in completed activity instances.
+    activity_frequencies:
+        For each activity, the fraction of executions containing it —
+        directly exposes the optional-activity structure Algorithm 2
+        exists for.
+    repeated_activity_executions:
+        Number of executions in which some activity occurs more than once
+        (i.e. executions that need Algorithm 3's relabelling).
+    """
+
+    execution_count: int
+    activity_count: int
+    event_count: int
+    size_bytes: int
+    min_length: int
+    mean_length: float
+    max_length: int
+    activity_frequencies: Tuple[Tuple[str, float], ...]
+    repeated_activity_executions: int
+
+    @property
+    def has_repetitions(self) -> bool:
+        """Whether any execution repeats an activity (cyclic behaviour)."""
+        return self.repeated_activity_executions > 0
+
+    def frequency_of(self, activity: str) -> float:
+        """Fraction of executions containing ``activity`` (0.0 if absent)."""
+        for name, frequency in self.activity_frequencies:
+            if name == activity:
+                return frequency
+        return 0.0
+
+
+def summarize_log(log: EventLog) -> LogStatistics:
+    """Compute :class:`LogStatistics` for ``log``.
+
+    An empty log yields zeroed statistics rather than raising, so the CLI
+    can report on whatever file it was pointed at.
+    """
+    lengths = []
+    presence: Counter = Counter()
+    repeated = 0
+    for execution in log:
+        sequence = execution.sequence
+        lengths.append(len(sequence))
+        distinct = set(sequence)
+        presence.update(distinct)
+        if len(distinct) < len(sequence):
+            repeated += 1
+
+    execution_count = len(log)
+    frequencies: Dict[str, float] = {
+        activity: count / execution_count
+        for activity, count in presence.items()
+    } if execution_count else {}
+
+    return LogStatistics(
+        execution_count=execution_count,
+        activity_count=len(presence),
+        event_count=log.event_count(),
+        size_bytes=log_size_bytes(log),
+        min_length=min(lengths) if lengths else 0,
+        mean_length=(sum(lengths) / len(lengths)) if lengths else 0.0,
+        max_length=max(lengths) if lengths else 0,
+        activity_frequencies=tuple(sorted(frequencies.items())),
+        repeated_activity_executions=repeated,
+    )
+
+
+def format_statistics(stats: LogStatistics) -> str:
+    """Render statistics as the multi-line text the CLI prints."""
+    lines = [
+        f"executions:           {stats.execution_count}",
+        f"distinct activities:  {stats.activity_count}",
+        f"event records:        {stats.event_count}",
+        f"serialized size:      {stats.size_bytes} bytes",
+        (
+            "execution length:     "
+            f"min={stats.min_length} "
+            f"mean={stats.mean_length:.2f} "
+            f"max={stats.max_length}"
+        ),
+        (
+            "executions repeating an activity: "
+            f"{stats.repeated_activity_executions}"
+        ),
+        "activity frequencies:",
+    ]
+    for activity, frequency in stats.activity_frequencies:
+        lines.append(f"  {activity:<20} {frequency:6.1%}")
+    return "\n".join(lines)

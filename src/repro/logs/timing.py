@@ -1,0 +1,172 @@
+"""Timing analytics over interval logs.
+
+The paper's model records START and END per activity (Definition 2); the
+mining algorithms collapse that to order, but a workflow owner evaluating
+their system (the paper's second motivating use) also needs the timing
+view: how long activities run, how long work waits between activities,
+and where the critical path sits.  This module computes those statistics
+directly from :class:`~repro.logs.event_log.EventLog`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.logs.event_log import EventLog
+
+
+@dataclass(frozen=True)
+class DurationStats:
+    """Summary statistics of a duration sample.
+
+    Attributes
+    ----------
+    count:
+        Number of samples.
+    mean, std:
+        Sample mean and (population) standard deviation.
+    minimum, median, p95, maximum:
+        Order statistics.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: List[float]) -> "DurationStats":
+        """Compute statistics for a non-empty sample list."""
+        if not samples:
+            raise ValueError("cannot summarize an empty sample")
+        ordered = sorted(samples)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        variance = sum((x - mean) ** 2 for x in ordered) / n
+        return cls(
+            count=n,
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=ordered[0],
+            median=_quantile(ordered, 0.5),
+            p95=_quantile(ordered, 0.95),
+            maximum=ordered[-1],
+        )
+
+
+def _quantile(ordered: List[float], q: float) -> float:
+    """Linear-interpolation quantile of a pre-sorted sample."""
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def activity_durations(log: EventLog) -> Dict[str, DurationStats]:
+    """Per-activity service-time statistics (END minus START)."""
+    samples: Dict[str, List[float]] = {}
+    for execution in log:
+        for instance in execution.instances:
+            samples.setdefault(instance.activity, []).append(
+                instance.end - instance.start
+            )
+    return {
+        activity: DurationStats.from_samples(values)
+        for activity, values in samples.items()
+    }
+
+
+def execution_makespans(log: EventLog) -> DurationStats:
+    """Statistics of whole-execution durations (first START to last END).
+
+    Raises ``ValueError`` when the log has no completed executions.
+    """
+    samples = []
+    for execution in log:
+        instances = execution.instances
+        if not instances:
+            continue
+        start = min(instance.start for instance in instances)
+        end = max(instance.end for instance in instances)
+        samples.append(end - start)
+    return DurationStats.from_samples(samples)
+
+
+def handover_waits(
+    log: EventLog, edges: Optional[List[Tuple[str, str]]] = None
+) -> Dict[Tuple[str, str], DurationStats]:
+    """Waiting time across control-flow handovers.
+
+    For each ``(u, v)`` edge (defaults to every directly-follows pair of
+    the log), measures ``v.start - u.end`` in executions where ``v`` is
+    the *next* activity starting after ``u`` ends — the queueing delay a
+    workflow owner actually experiences on that handover.
+    """
+    samples: Dict[Tuple[str, str], List[float]] = {}
+    wanted = set(edges) if edges is not None else None
+    for execution in log:
+        instances = sorted(execution.instances, key=lambda i: i.start)
+        for i, upstream in enumerate(instances):
+            # The first instance starting at/after upstream's end.
+            successor = None
+            for candidate in instances[i + 1:]:
+                if candidate.start >= upstream.end:
+                    successor = candidate
+                    break
+            if successor is None:
+                continue
+            pair = (upstream.activity, successor.activity)
+            if wanted is not None and pair not in wanted:
+                continue
+            samples.setdefault(pair, []).append(
+                successor.start - upstream.end
+            )
+    return {
+        pair: DurationStats.from_samples(values)
+        for pair, values in samples.items()
+    }
+
+
+def busiest_activities(
+    log: EventLog, top: int = 5
+) -> List[Tuple[str, float]]:
+    """Activities ranked by total busy time across the log."""
+    totals: Dict[str, float] = {}
+    for execution in log:
+        for instance in execution.instances:
+            totals[instance.activity] = totals.get(
+                instance.activity, 0.0
+            ) + (instance.end - instance.start)
+    ranked = sorted(totals.items(), key=lambda item: -item[1])
+    return ranked[:top]
+
+
+def format_timing_report(log: EventLog) -> str:
+    """Render a compact timing report for the CLI."""
+    lines = []
+    try:
+        makespan = execution_makespans(log)
+    except ValueError:
+        return "no completed executions"
+    lines.append(
+        "execution makespan: "
+        f"mean={makespan.mean:.2f} median={makespan.median:.2f} "
+        f"p95={makespan.p95:.2f} max={makespan.maximum:.2f}"
+    )
+    lines.append("activity durations:")
+    for activity, stats in sorted(activity_durations(log).items()):
+        lines.append(
+            f"  {activity:<20} n={stats.count:<5} "
+            f"mean={stats.mean:7.2f} p95={stats.p95:7.2f}"
+        )
+    return "\n".join(lines)

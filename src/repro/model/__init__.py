@@ -1,0 +1,71 @@
+"""Process model substrate (Section 2, Definition 1 of the paper).
+
+A business process is a directed activity graph together with an output
+function per activity and a Boolean condition per edge:
+
+* :mod:`repro.model.activity` — activities and their output specifications;
+* :mod:`repro.model.conditions` — the Boolean condition expression AST
+  (comparisons over output parameters combined with and/or/not), which is
+  both evaluatable and printable;
+* :mod:`repro.model.process` — :class:`ProcessModel` itself;
+* :mod:`repro.model.builder` — a fluent builder for defining processes;
+* :mod:`repro.model.validate` — structural validation (single source/sink,
+  reachability, acyclicity where claimed).
+"""
+
+from repro.model.activity import Activity, OutputSpec
+from repro.model.builder import ProcessBuilder
+from repro.model.conditions import (
+    Always,
+    And,
+    Comparison,
+    Condition,
+    Never,
+    Not,
+    Or,
+    always,
+    attr_ge,
+    attr_gt,
+    attr_le,
+    attr_lt,
+    never,
+    parse_condition,
+)
+from repro.model.evolution import EvolutionResult, evolve_model
+from repro.model.process import ProcessModel
+from repro.model.serialize import (
+    load_model,
+    model_from_text,
+    model_to_text,
+    save_model,
+)
+from repro.model.validate import ValidationReport, validate_process
+
+__all__ = [
+    "Activity",
+    "Always",
+    "And",
+    "Comparison",
+    "Condition",
+    "EvolutionResult",
+    "Never",
+    "Not",
+    "Or",
+    "OutputSpec",
+    "ProcessBuilder",
+    "ProcessModel",
+    "ValidationReport",
+    "always",
+    "attr_ge",
+    "attr_gt",
+    "attr_le",
+    "attr_lt",
+    "evolve_model",
+    "load_model",
+    "model_from_text",
+    "model_to_text",
+    "never",
+    "parse_condition",
+    "save_model",
+    "validate_process",
+]

@@ -1,0 +1,99 @@
+"""Activities and their output specifications.
+
+Section 2 treats an activity as "a function that modifies the state of the
+process": each activity has an output vector ``o(u)`` in ``N^k``.  For the
+simulator we need a way to *sample* that output; :class:`OutputSpec`
+describes the vector's arity and value ranges, and activities carry an
+optional sampler callable so that scripted processes (e.g. the conditions
+mining benches) can control outputs exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+OutputSampler = Callable[[random.Random], Tuple[float, ...]]
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """Shape of an activity's output vector.
+
+    Attributes
+    ----------
+    arity:
+        Number of output parameters ``k``.  The paper's Example 1 uses
+        ``k = 2`` everywhere; any ``k >= 0`` is supported.
+    low, high:
+        Inclusive integer range each parameter is sampled from when no
+        custom sampler overrides it.  Outputs are natural numbers in the
+        paper (``N^k``).
+    """
+
+    arity: int = 2
+    low: int = 0
+    high: int = 100
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise ValueError("output arity must be >= 0")
+        if self.low > self.high:
+            raise ValueError("output range is empty (low > high)")
+
+    def sample(self, rng: random.Random) -> Tuple[float, ...]:
+        """Sample an output vector uniformly from the spec's range."""
+        return tuple(
+            float(rng.randint(self.low, self.high)) for _ in range(self.arity)
+        )
+
+
+@dataclass(frozen=True)
+class Activity:
+    """A named activity of a business process.
+
+    Attributes
+    ----------
+    name:
+        Unique activity name within its process.
+    output_spec:
+        Shape of the activity's output vector.
+    duration:
+        Nominal execution duration in simulated time units; the log's
+        START/END timestamps are ``duration`` apart.  The paper's analysis
+        treats activities as instantaneous, which corresponds to
+        ``duration = 0``; the default of 1 exercises the more general
+        START/END record handling.
+    sampler:
+        Optional callable ``rng -> tuple`` overriding random output
+        sampling.  Used by scripted processes to make edge conditions
+        deterministic functions of controlled outputs.
+    """
+
+    name: str
+    output_spec: OutputSpec = field(default_factory=OutputSpec)
+    duration: float = 1.0
+    sampler: Optional[OutputSampler] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("activity name must be non-empty")
+        if self.duration < 0:
+            raise ValueError("activity duration must be >= 0")
+
+    def sample_output(self, rng: random.Random) -> Tuple[float, ...]:
+        """Produce one output vector for a completed execution of this
+        activity, using the custom sampler when present."""
+        if self.sampler is not None:
+            output = tuple(float(v) for v in self.sampler(rng))
+            if len(output) != self.output_spec.arity:
+                raise ValueError(
+                    f"sampler for activity {self.name!r} produced "
+                    f"{len(output)} values, expected "
+                    f"{self.output_spec.arity}"
+                )
+            return output
+        return self.output_spec.sample(rng)

@@ -1,0 +1,127 @@
+"""Fluent builder for process models.
+
+Defining a process literally (activities, edges, conditions in one call) is
+noisy for the larger Flowmark-style processes; :class:`ProcessBuilder`
+provides a compact incremental API:
+
+>>> from repro.model.builder import ProcessBuilder
+>>> from repro.model.conditions import attr_gt
+>>> model = (
+...     ProcessBuilder("review")
+...     .activity("A").activity("B").activity("C").activity("E")
+...     .edge("A", "B")
+...     .edge("A", "C", condition=attr_gt(0, 50))
+...     .edge("B", "E").edge("C", "E")
+...     .build()
+... )
+>>> model.source, model.sink
+('A', 'E')
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InvalidProcessError
+from repro.model.activity import Activity, OutputSampler, OutputSpec
+from repro.model.conditions import Condition
+from repro.model.process import ProcessModel
+
+Edge = Tuple[str, str]
+
+
+class ProcessBuilder:
+    """Incrementally define a :class:`ProcessModel`.
+
+    All mutator methods return ``self`` for chaining.  ``edge`` auto-creates
+    endpoints that have not been declared, using default activity settings,
+    so simple graph-shaped processes can be defined edge-list-style.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._activities: Dict[str, Activity] = {}
+        self._edges: List[Edge] = []
+        self._conditions: Dict[Edge, Condition] = {}
+        self._source: Optional[str] = None
+        self._sink: Optional[str] = None
+
+    def activity(
+        self,
+        name: str,
+        arity: int = 2,
+        low: int = 0,
+        high: int = 100,
+        duration: float = 1.0,
+        sampler: Optional[OutputSampler] = None,
+    ) -> "ProcessBuilder":
+        """Declare (or redefine) an activity."""
+        spec = OutputSpec(arity=arity, low=low, high=high)
+        self._activities[name] = Activity(
+            name, output_spec=spec, duration=duration, sampler=sampler
+        )
+        return self
+
+    def edge(
+        self,
+        source: str,
+        target: str,
+        condition: Optional[Condition] = None,
+    ) -> "ProcessBuilder":
+        """Add a control-flow edge, auto-declaring unknown endpoints."""
+        for endpoint in (source, target):
+            if endpoint not in self._activities:
+                self.activity(endpoint)
+        pair = (source, target)
+        if pair not in self._edges:
+            self._edges.append(pair)
+        if condition is not None:
+            self._conditions[pair] = condition
+        return self
+
+    def chain(self, *names: str) -> "ProcessBuilder":
+        """Add the edges of a linear chain ``names[0] -> names[1] -> ...``."""
+        if len(names) < 2:
+            raise InvalidProcessError(["chain needs at least two activities"])
+        for source, target in zip(names, names[1:]):
+            self.edge(source, target)
+        return self
+
+    def source(self, name: str) -> "ProcessBuilder":
+        """Explicitly designate the initiating activity."""
+        self._source = name
+        return self
+
+    def sink(self, name: str) -> "ProcessBuilder":
+        """Explicitly designate the terminating activity."""
+        self._sink = name
+        return self
+
+    def constant_output(
+        self, name: str, values: Tuple[float, ...]
+    ) -> "ProcessBuilder":
+        """Give activity ``name`` a fixed output vector (handy in tests)."""
+        fixed = tuple(float(v) for v in values)
+
+        def sampler(_rng: random.Random) -> Tuple[float, ...]:
+            return fixed
+
+        current = self._activities.get(name)
+        spec = OutputSpec(arity=len(fixed))
+        duration = current.duration if current is not None else 1.0
+        self._activities[name] = Activity(
+            name, output_spec=spec, duration=duration, sampler=sampler
+        )
+        return self
+
+    def build(self) -> ProcessModel:
+        """Construct the immutable :class:`ProcessModel`."""
+        return ProcessModel(
+            self._name,
+            activities=list(self._activities.values()),
+            edges=self._edges,
+            conditions=self._conditions,
+            source=self._source,
+            sink=self._sink,
+        )

@@ -1,0 +1,340 @@
+"""Boolean edge-condition expressions.
+
+The paper annotates every edge ``(u, v)`` with a Boolean function
+``f_(u,v) : N^k -> {0, 1}`` evaluated on the *output vector* of activity
+``u`` (Definition 1; Section 7 assumes conditions depend only on the source
+activity's output).  Example 1 shows the intended shape::
+
+    f_(C,D) = (o(C)[1] > 0) and (o(C)[2] < o(C)[1])
+
+This module provides a tiny expression AST with exactly that power:
+
+* :class:`Comparison` — an output parameter compared with a constant or
+  with another output parameter;
+* :class:`And` / :class:`Or` / :class:`Not` — Boolean combinators;
+* :class:`Always` / :class:`Never` — the constant conditions.
+
+Conditions are immutable, hashable, printable (``str`` renders the paper's
+notation) and evaluatable against an output vector.  :func:`parse_condition`
+parses the printed form back, which the CLI and tests use for round-trips.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence, Union
+
+from repro.errors import ConditionError
+
+#: An activity's output vector.  Section 2 models outputs as vectors in
+#: ``N^k``; positions are 0-based here (the paper's prose uses 1-based).
+OutputVector = Sequence[float]
+
+_OPERATORS: Mapping[str, Callable[[float, float], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class Condition:
+    """Abstract base class for edge conditions.
+
+    Subclasses implement :meth:`evaluate` and ``__str__``; combinators are
+    available through ``&``, ``|`` and ``~``.
+    """
+
+    def evaluate(self, output: OutputVector) -> bool:
+        """Evaluate the condition on an activity output vector."""
+        raise NotImplementedError
+
+    def __call__(self, output: OutputVector) -> bool:
+        return self.evaluate(output)
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return And(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or(self, other)
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Always(Condition):
+    """The constant-true condition (an unconditional control-flow edge)."""
+
+    def evaluate(self, output: OutputVector) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Never(Condition):
+    """The constant-false condition (useful in tests and ablations)."""
+
+    def evaluate(self, output: OutputVector) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """Compare output parameter ``o[index]`` with a constant or parameter.
+
+    ``rhs`` is either a number (compare with a constant) or the string
+    ``"o[<j>]"`` form produced by :func:`param` references — internally we
+    store an integer index wrapped in :class:`ParamRef`.
+    """
+
+    index: int
+    op: str
+    rhs: Union[float, "ParamRef"]
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise ConditionError(f"unknown comparison operator {self.op!r}")
+        if self.index < 0:
+            raise ConditionError("output parameter index must be >= 0")
+
+    def evaluate(self, output: OutputVector) -> bool:
+        try:
+            left = output[self.index]
+        except IndexError as exc:
+            raise ConditionError(
+                f"output vector of length {len(output)} has no "
+                f"parameter {self.index}"
+            ) from exc
+        if isinstance(self.rhs, ParamRef):
+            try:
+                right: float = output[self.rhs.index] + self.rhs.offset
+            except IndexError as exc:
+                raise ConditionError(
+                    f"output vector of length {len(output)} has no "
+                    f"parameter {self.rhs.index}"
+                ) from exc
+        else:
+            right = self.rhs
+        return _OPERATORS[self.op](left, right)
+
+    def __str__(self) -> str:
+        rhs = str(self.rhs)
+        return f"o[{self.index}] {self.op} {rhs}"
+
+
+@dataclass(frozen=True)
+class ParamRef:
+    """A reference to another output parameter on a comparison's right
+    side, optionally shifted by a constant: ``o[j] + offset``.
+
+    The offset form is what the pairwise-feature conditions learner
+    produces — a rule ``o[i] - o[j] <= t`` renders as
+    ``o[i] <= o[j] + t``.
+    """
+
+    index: int
+    offset: float = 0.0
+
+    def __str__(self) -> str:
+        if self.offset == 0:
+            return f"o[{self.index}]"
+        sign = "+" if self.offset > 0 else "-"
+        return f"o[{self.index}] {sign} {abs(self.offset):g}"
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    """Conjunction of two conditions."""
+
+    left: Condition
+    right: Condition
+
+    def evaluate(self, output: OutputVector) -> bool:
+        return self.left.evaluate(output) and self.right.evaluate(output)
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    """Disjunction of two conditions."""
+
+    left: Condition
+    right: Condition
+
+    def evaluate(self, output: OutputVector) -> bool:
+        return self.left.evaluate(output) or self.right.evaluate(output)
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    """Negation of a condition."""
+
+    operand: Condition
+
+    def evaluate(self, output: OutputVector) -> bool:
+        return not self.operand.evaluate(output)
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+def always() -> Condition:
+    """Return the constant-true condition."""
+    return Always()
+
+
+def never() -> Condition:
+    """Return the constant-false condition."""
+    return Never()
+
+
+def attr_lt(index: int, value: float) -> Condition:
+    """Condition ``o[index] < value``."""
+    return Comparison(index, "<", value)
+
+
+def attr_le(index: int, value: float) -> Condition:
+    """Condition ``o[index] <= value``."""
+    return Comparison(index, "<=", value)
+
+
+def attr_gt(index: int, value: float) -> Condition:
+    """Condition ``o[index] > value``."""
+    return Comparison(index, ">", value)
+
+
+def attr_ge(index: int, value: float) -> Condition:
+    """Condition ``o[index] >= value``."""
+    return Comparison(index, ">=", value)
+
+
+def param(index: int, offset: float = 0.0) -> ParamRef:
+    """Reference parameter ``o[index]`` (plus an optional constant
+    offset) on a comparison's right-hand side."""
+    return ParamRef(index, offset)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+def parse_condition(text: str) -> Condition:
+    """Parse the printed form of a condition back into an AST.
+
+    The grammar is the Python expression grammar restricted to ``and``,
+    ``or``, ``not``, comparisons, numeric literals, the names ``true`` /
+    ``false`` and subscripts ``o[<int>]``.
+
+    Examples
+    --------
+    >>> str(parse_condition("(o[0] > 0 and o[1] < o[0])"))
+    '(o[0] > 0 and o[1] < o[0])'
+    """
+    try:
+        tree = ast.parse(text.strip(), mode="eval")
+    except SyntaxError as exc:
+        raise ConditionError(f"cannot parse condition {text!r}: {exc}") from exc
+    return _from_ast(tree.body, text)
+
+
+_AST_OPS = {
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+}
+
+
+def _from_ast(node: ast.AST, text: str) -> Condition:
+    if isinstance(node, ast.BoolOp):
+        combinator = And if isinstance(node.op, ast.And) else Or
+        result = _from_ast(node.values[0], text)
+        for value in node.values[1:]:
+            result = combinator(result, _from_ast(value, text))
+        return result
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        return Not(_from_ast(node.operand, text))
+    if isinstance(node, ast.Compare):
+        if len(node.ops) != 1 or len(node.comparators) != 1:
+            raise ConditionError(
+                f"chained comparisons are not supported in {text!r}"
+            )
+        op_type = type(node.ops[0])
+        if op_type not in _AST_OPS:
+            raise ConditionError(f"unsupported operator in {text!r}")
+        index = _subscript_index(node.left, text)
+        rhs = _rhs_value(node.comparators[0], text)
+        return Comparison(index, _AST_OPS[op_type], rhs)
+    if isinstance(node, ast.Name):
+        if node.id == "true":
+            return Always()
+        if node.id == "false":
+            return Never()
+    if isinstance(node, ast.Constant) and isinstance(node.value, bool):
+        return Always() if node.value else Never()
+    raise ConditionError(f"unsupported condition syntax in {text!r}")
+
+
+def _subscript_index(node: ast.AST, text: str) -> int:
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "o"
+    ):
+        index_node = node.slice
+        if isinstance(index_node, ast.Constant) and isinstance(
+            index_node.value, int
+        ):
+            return index_node.value
+    raise ConditionError(
+        f"expected an output reference like o[0] in {text!r}"
+    )
+
+
+def _rhs_value(node: ast.AST, text: str) -> Union[float, ParamRef]:
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = node.operand
+        if isinstance(inner, ast.Constant) and isinstance(
+            inner.value, (int, float)
+        ):
+            return -inner.value
+    if isinstance(node, ast.Subscript):
+        return ParamRef(_subscript_index(node, text))
+    # o[j] + c  /  o[j] - c  — the offset form.
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub)
+    ):
+        if isinstance(node.left, ast.Subscript) and isinstance(
+            node.right, ast.Constant
+        ) and isinstance(node.right.value, (int, float)):
+            offset = float(node.right.value)
+            if isinstance(node.op, ast.Sub):
+                offset = -offset
+            return ParamRef(_subscript_index(node.left, text), offset)
+    raise ConditionError(
+        f"expected a number or output reference on the right side of a "
+        f"comparison in {text!r}"
+    )

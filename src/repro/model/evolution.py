@@ -1,0 +1,172 @@
+"""Process model evolution from successful executions.
+
+The paper's introduction: the technique "can also allow the evolution of
+the current process model into future versions of the model by
+incorporating feedback from successful process executions".
+
+:func:`evolve_model` takes the currently deployed model and a log of
+recent (successful) executions, mines the log, and produces the next
+model version:
+
+* activities the log introduced are added;
+* control-flow the log exhibited but the model lacked is added;
+* model edges whose orderings the log *contradicted* (mined
+  independence) are dropped;
+* model edges merely unexercised by this log are kept — absence of
+  evidence is not evidence of removal (the log may simply not cover the
+  branch), unless ``prune_unobserved=True``.
+
+Existing edge conditions are carried over for surviving edges; newly
+added edges are unconditional unless a conditions miner is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.analysis.diffing import ModelLogDiff, diff_against_log
+from repro.core.general_dag import mine_general_dag
+from repro.logs.event_log import EventLog
+from repro.model.activity import Activity
+from repro.model.process import ProcessModel
+
+Edge = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class EvolutionResult:
+    """Outcome of one evolution step.
+
+    Attributes
+    ----------
+    model:
+        The next model version.
+    added_activities, added_edges, removed_edges:
+        The applied changes.
+    diff:
+        The full model-vs-log diff the changes were derived from.
+    """
+
+    model: ProcessModel
+    added_activities: FrozenSet[str]
+    added_edges: FrozenSet[Edge]
+    removed_edges: FrozenSet[Edge]
+    diff: ModelLogDiff
+
+    @property
+    def changed(self) -> bool:
+        """Whether the evolution step changed anything."""
+        return bool(
+            self.added_activities or self.added_edges or self.removed_edges
+        )
+
+    def summary(self) -> str:
+        """One-paragraph change summary."""
+        if not self.changed:
+            return "no changes: the log confirms the current model"
+        parts = []
+        if self.added_activities:
+            parts.append(
+                f"added activities {sorted(self.added_activities)}"
+            )
+        if self.added_edges:
+            parts.append(
+                "added edges "
+                + ", ".join(f"{a}->{b}" for a, b in sorted(self.added_edges))
+            )
+        if self.removed_edges:
+            parts.append(
+                "removed edges "
+                + ", ".join(
+                    f"{a}->{b}" for a, b in sorted(self.removed_edges)
+                )
+            )
+        return "; ".join(parts)
+
+
+def evolve_model(
+    model: ProcessModel,
+    log: EventLog,
+    threshold: int = 0,
+    prune_unobserved: bool = False,
+    learn_conditions: bool = False,
+    version_name: Optional[str] = None,
+) -> EvolutionResult:
+    """Produce the next version of ``model`` from a log of executions.
+
+    Parameters
+    ----------
+    model:
+        The currently deployed process model.
+    log:
+        Recent successful executions.
+    threshold:
+        Section 6 noise threshold for the mining pass.
+    prune_unobserved:
+        Also remove model edges the log never exercised (only sound when
+        the log is known to cover the whole process).
+    learn_conditions:
+        Learn conditions (Section 7) for added edges from the log's
+        outputs.
+    version_name:
+        Name of the evolved model; defaults to ``"<name>-v2"``.
+    """
+    log.require_non_empty()
+    mined = mine_general_dag(log, threshold=threshold)
+    diff = diff_against_log(model, log, mined=mined)
+
+    added_edges = set(diff.missing_edges)
+    # Edges into/out of brand-new activities.
+    new_activities = set(diff.unmodelled_activities)
+    for a, b in mined.edges():
+        if a in new_activities or b in new_activities:
+            added_edges.add((a, b))
+
+    removed_edges = {
+        (a, b)
+        for a, b in model.graph.edges()
+        if (a, b) in diff.contradicted_dependencies
+    }
+    if prune_unobserved:
+        removed_edges |= set(diff.unused_edges)
+
+    surviving = (model.graph.edge_set() - removed_edges) | added_edges
+    activities = [
+        model.activity(name) for name in model.activity_names
+    ] + [Activity(name) for name in sorted(new_activities)]
+
+    conditions = {
+        edge: condition
+        for edge, condition in model.conditions().items()
+        if edge in surviving
+    }
+    if learn_conditions and added_edges:
+        # Imported lazily: repro.core.conditions itself imports the
+        # classifier, which renders rules into repro.model conditions —
+        # a top-level import here would close an import cycle.
+        from repro.core.conditions import ConditionsMiner
+
+        miner = ConditionsMiner()
+        for edge in sorted(added_edges):
+            learned = miner.mine_edge(log, edge)
+            if learned.learnable:
+                conditions[edge] = learned.condition
+
+    # Evolution never deletes activities, so the source/sink
+    # designations always survive.
+    evolved = ProcessModel(
+        version_name or f"{model.name}-v2",
+        activities=activities,
+        edges=sorted(surviving),
+        conditions=conditions,
+        source=model.source,
+        sink=model.sink,
+    )
+    return EvolutionResult(
+        model=evolved,
+        added_activities=frozenset(new_activities),
+        added_edges=frozenset(added_edges),
+        removed_edges=frozenset(removed_edges),
+        diff=diff,
+    )

@@ -1,0 +1,245 @@
+"""The business process model (Definition 1).
+
+A :class:`ProcessModel` bundles the activity set, the control-flow graph,
+and the per-edge Boolean conditions.  Activity output functions live on the
+:class:`~repro.model.activity.Activity` objects (as output specs/samplers);
+the model maps activity names to those objects.
+
+The class is immutable after construction; use
+:class:`~repro.model.builder.ProcessBuilder` for incremental definition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import EdgeNotFoundError, InvalidProcessError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import is_acyclic
+from repro.model.activity import Activity
+from repro.model.conditions import Always, Condition
+
+Edge = Tuple[str, str]
+
+
+class ProcessModel:
+    """A business process: activities, control-flow graph, edge conditions.
+
+    Parameters
+    ----------
+    name:
+        Process name (appears in every log record).
+    activities:
+        The process' activities; names must be unique.
+    edges:
+        Control-flow edges as ``(source, target)`` activity-name pairs.
+    conditions:
+        Optional mapping from edge to :class:`Condition`; edges without an
+        entry default to :class:`Always` (unconditional flow).
+    source, sink:
+        Names of the initiating and terminating activities.  When omitted
+        they are inferred as the unique in-degree-0 / out-degree-0 vertex;
+        construction fails if that vertex is not unique, matching the
+        paper's single-source/single-sink assumption.
+
+    Examples
+    --------
+    >>> from repro.model.activity import Activity
+    >>> model = ProcessModel(
+    ...     "demo",
+    ...     activities=[Activity(n) for n in "ABE"],
+    ...     edges=[("A", "B"), ("B", "E")],
+    ... )
+    >>> model.source, model.sink
+    ('A', 'E')
+    """
+
+    def __init__(
+        self,
+        name: str,
+        activities: Iterable[Activity],
+        edges: Iterable[Edge],
+        conditions: Optional[Mapping[Edge, Condition]] = None,
+        source: Optional[str] = None,
+        sink: Optional[str] = None,
+    ) -> None:
+        if not name:
+            raise InvalidProcessError(["process name must be non-empty"])
+        self._name = name
+        self._activities: Dict[str, Activity] = {}
+        for activity in activities:
+            if activity.name in self._activities:
+                raise InvalidProcessError(
+                    [f"duplicate activity name {activity.name!r}"]
+                )
+            self._activities[activity.name] = activity
+
+        self._graph = DiGraph(nodes=self._activities)
+        violations = []
+        for edge_source, edge_target in edges:
+            for endpoint in (edge_source, edge_target):
+                if endpoint not in self._activities:
+                    violations.append(
+                        f"edge ({edge_source!r}, {edge_target!r}) references "
+                        f"unknown activity {endpoint!r}"
+                    )
+            if edge_source == edge_target:
+                violations.append(
+                    f"self-loop on activity {edge_source!r} is not allowed"
+                )
+        if violations:
+            raise InvalidProcessError(violations)
+        for edge_source, edge_target in edges:
+            self._graph.add_edge(edge_source, edge_target)
+
+        self._conditions: Dict[Edge, Condition] = {}
+        conditions = conditions or {}
+        for edge, condition in conditions.items():
+            if not self._graph.has_edge(*edge):
+                raise InvalidProcessError(
+                    [f"condition given for non-edge {edge!r}"]
+                )
+            self._conditions[edge] = condition
+
+        self._source = self._resolve_endpoint(source, self._graph.sources(),
+                                              "source")
+        self._sink = self._resolve_endpoint(sink, self._graph.sinks(), "sink")
+
+    def _resolve_endpoint(
+        self, explicit: Optional[str], candidates: list, kind: str
+    ) -> str:
+        if explicit is not None:
+            if explicit not in self._activities:
+                raise InvalidProcessError(
+                    [f"{kind} activity {explicit!r} is not in the process"]
+                )
+            return explicit
+        if len(candidates) != 1:
+            raise InvalidProcessError(
+                [
+                    f"process must have exactly one {kind} activity; "
+                    f"found {sorted(candidates)!r}"
+                ]
+            )
+        return candidates[0]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The process name."""
+        return self._name
+
+    @property
+    def graph(self) -> DiGraph:
+        """A copy of the control-flow graph."""
+        return self._graph.copy()
+
+    @property
+    def source(self) -> str:
+        """Name of the initiating activity."""
+        return self._source
+
+    @property
+    def sink(self) -> str:
+        """Name of the terminating activity."""
+        return self._sink
+
+    @property
+    def activity_names(self) -> list:
+        """Activity names in definition order."""
+        return list(self._activities)
+
+    @property
+    def activity_count(self) -> int:
+        """Number of activities (vertices)."""
+        return len(self._activities)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of control-flow edges."""
+        return self._graph.edge_count
+
+    def activity(self, name: str) -> Activity:
+        """Return the :class:`Activity` named ``name``."""
+        return self._activities[name]
+
+    def activities(self) -> Iterator[Activity]:
+        """Iterate over activities in definition order."""
+        return iter(self._activities.values())
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over control-flow edges."""
+        return self._graph.edges()
+
+    def successors(self, name: str) -> set:
+        """Direct successors of activity ``name``."""
+        return self._graph.successors(name)
+
+    def predecessors(self, name: str) -> set:
+        """Direct predecessors of activity ``name``."""
+        return self._graph.predecessors(name)
+
+    def has_edge(self, source: str, target: str) -> bool:
+        """Whether the control-flow edge exists."""
+        return self._graph.has_edge(source, target)
+
+    def condition(self, source: str, target: str) -> Condition:
+        """Return the Boolean condition on edge ``(source, target)``.
+
+        Edges with no explicit condition are unconditional
+        (:class:`Always`).  Raises :class:`EdgeNotFoundError` for
+        non-edges.
+        """
+        if not self._graph.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        return self._conditions.get((source, target), Always())
+
+    def conditions(self) -> Dict[Edge, Condition]:
+        """Return all *explicit* edge conditions (a copy)."""
+        return dict(self._conditions)
+
+    @property
+    def is_acyclic(self) -> bool:
+        """Whether the control-flow graph is a DAG."""
+        return is_acyclic(self._graph)
+
+    def with_conditions(
+        self, conditions: Mapping[Edge, Condition]
+    ) -> "ProcessModel":
+        """Return a copy of this model with ``conditions`` replacing the
+        current explicit edge conditions.
+
+        Used to attach conditions mined by Section 7's learner to a graph
+        mined by Algorithms 1–3.
+        """
+        return ProcessModel(
+            self._name,
+            activities=list(self._activities.values()),
+            edges=list(self._graph.edges()),
+            conditions=conditions,
+            source=self._source,
+            sink=self._sink,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessModel({self._name!r}, activities="
+            f"{self.activity_count}, edges={self.edge_count})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProcessModel):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and set(self._activities) == set(other._activities)
+            and self._graph.edge_set() == other._graph.edge_set()
+        )
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result

@@ -1,0 +1,159 @@
+"""Text serialization of process models.
+
+A small line-oriented format so purported models can be stored in files,
+diffed in code review, and fed to the CLI's ``compare`` and ``evolve``
+commands::
+
+    process Upload_and_Notify
+    source Start
+    sink End
+    activity Start arity=2 duration=1
+    activity Upload arity=2 duration=1
+    edge Start Upload
+    edge Upload Notify_User if o[0] > 30
+
+Lines are whitespace-separated; ``#`` starts a comment; the ``if``
+clause uses the condition grammar of
+:func:`repro.model.conditions.parse_condition`.  Activities referenced
+only by edges are declared implicitly with defaults, so a bare edge list
+is already a valid model file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import InvalidProcessError
+from repro.model.activity import Activity, OutputSpec
+from repro.model.conditions import Always, Condition, parse_condition
+from repro.model.process import ProcessModel
+
+PathOrStr = Union[str, Path]
+Edge = Tuple[str, str]
+
+
+def model_to_text(model: ProcessModel) -> str:
+    """Serialize ``model`` into the line format."""
+    lines = [
+        f"process {model.name}",
+        f"source {model.source}",
+        f"sink {model.sink}",
+    ]
+    for activity in model.activities():
+        spec = activity.output_spec
+        lines.append(
+            f"activity {activity.name} arity={spec.arity} "
+            f"low={spec.low} high={spec.high} "
+            f"duration={activity.duration:g}"
+        )
+    explicit = model.conditions()
+    for source, target in sorted(model.graph.edges()):
+        condition = explicit.get((source, target))
+        if condition is None or isinstance(condition, Always):
+            lines.append(f"edge {source} {target}")
+        else:
+            lines.append(f"edge {source} {target} if {condition}")
+    return "\n".join(lines) + "\n"
+
+
+def save_model(model: ProcessModel, path: PathOrStr) -> None:
+    """Write ``model`` to ``path`` in the line format."""
+    Path(path).write_text(model_to_text(model), encoding="utf-8")
+
+
+def model_from_text(text: str) -> ProcessModel:
+    """Parse a model from its line format.
+
+    Raises
+    ------
+    InvalidProcessError
+        On unknown directives, malformed activity attributes, duplicate
+        declarations, or a malformed condition.
+    """
+    name: Optional[str] = None
+    source: Optional[str] = None
+    sink: Optional[str] = None
+    activities: Dict[str, Activity] = {}
+    edges: List[Edge] = []
+    conditions: Dict[Edge, Condition] = {}
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        directive = fields[0]
+        try:
+            if directive == "process" and len(fields) == 2:
+                name = fields[1]
+            elif directive == "source" and len(fields) == 2:
+                source = fields[1]
+            elif directive == "sink" and len(fields) == 2:
+                sink = fields[1]
+            elif directive == "activity" and len(fields) >= 2:
+                activities[fields[1]] = _parse_activity(
+                    fields[1], fields[2:]
+                )
+            elif directive == "edge" and len(fields) >= 3:
+                edge = (fields[1], fields[2])
+                edges.append(edge)
+                if len(fields) > 3:
+                    if fields[3] != "if":
+                        raise ValueError(
+                            "expected 'if <condition>' after the edge"
+                        )
+                    conditions[edge] = parse_condition(
+                        " ".join(fields[4:])
+                    )
+            else:
+                raise ValueError(f"unknown directive {directive!r}")
+        except (ValueError, InvalidProcessError) as exc:
+            raise InvalidProcessError(
+                [f"line {line_number}: {exc}"]
+            ) from exc
+
+    if name is None:
+        name = "model"
+    for edge_source, edge_target in edges:
+        for endpoint in (edge_source, edge_target):
+            if endpoint not in activities:
+                activities[endpoint] = Activity(endpoint)
+    return ProcessModel(
+        name,
+        activities=list(activities.values()),
+        edges=edges,
+        conditions=conditions,
+        source=source,
+        sink=sink,
+    )
+
+
+def load_model(path: PathOrStr) -> ProcessModel:
+    """Read a model from ``path``."""
+    return model_from_text(Path(path).read_text(encoding="utf-8"))
+
+
+def _parse_activity(name: str, attributes: List[str]) -> Activity:
+    arity, low, high, duration = 2, 0, 100, 1.0
+    for attribute in attributes:
+        key, _, value = attribute.partition("=")
+        if not value:
+            raise ValueError(
+                f"activity attribute {attribute!r} is not key=value"
+            )
+        if key == "arity":
+            arity = int(value)
+        elif key == "low":
+            low = int(value)
+        elif key == "high":
+            high = int(value)
+        elif key == "duration":
+            duration = float(value)
+        else:
+            raise ValueError(f"unknown activity attribute {key!r}")
+    return Activity(
+        name,
+        output_spec=OutputSpec(arity=arity, low=low, high=high),
+        duration=duration,
+    )

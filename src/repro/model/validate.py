@@ -1,0 +1,107 @@
+"""Structural validation of process models.
+
+Section 2 assumes a process graph has a single source and a single sink and
+that every activity is reachable from the initiating activity.  The paper's
+DAG algorithms additionally assume acyclicity.  :func:`validate_process`
+checks all of this and returns a :class:`ValidationReport` instead of
+raising, so callers can treat violations as data (the CLI prints them; the
+engine refuses to run an invalid model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.graphs.traversal import (
+    ancestors,
+    descendants,
+    find_cycle,
+)
+from repro.model.process import ProcessModel
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a process model.
+
+    Attributes
+    ----------
+    violations:
+        Human-readable descriptions of structural problems; empty when the
+        model is valid.
+    warnings:
+        Non-fatal observations (e.g. the graph is cyclic, which is legal in
+        general but outside the DAG algorithms' assumptions).
+    """
+
+    violations: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """Whether no violations were found."""
+        return not self.violations
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`~repro.errors.InvalidProcessError` on violations."""
+        if self.violations:
+            from repro.errors import InvalidProcessError
+
+            raise InvalidProcessError(self.violations)
+
+
+def validate_process(
+    model: ProcessModel, require_acyclic: bool = False
+) -> ValidationReport:
+    """Validate the structure of ``model``.
+
+    Checks performed:
+
+    * the designated source has no incoming edges and the sink no outgoing
+      edges;
+    * every activity is reachable from the source (Definition 6 requires
+      this of executions; a vertex unreachable in the *model* can never be
+      executed);
+    * every activity reaches the sink (otherwise some execution could never
+      terminate);
+    * with ``require_acyclic=True``, the graph must be a DAG (violation);
+      otherwise a cycle only produces a warning.
+    """
+    report = ValidationReport()
+    graph = model.graph
+
+    if graph.in_degree(model.source) > 0:
+        report.violations.append(
+            f"source activity {model.source!r} has incoming edges"
+        )
+    if graph.out_degree(model.sink) > 0:
+        report.violations.append(
+            f"sink activity {model.sink!r} has outgoing edges"
+        )
+
+    if model.activity_count > 1:
+        reachable = descendants(graph, model.source)
+        reachable.add(model.source)
+        unreachable = sorted(set(graph.nodes()) - reachable)
+        if unreachable:
+            report.violations.append(
+                f"activities not reachable from the source: {unreachable}"
+            )
+        reaching = ancestors(graph, model.sink)
+        reaching.add(model.sink)
+        stranded = sorted(set(graph.nodes()) - reaching)
+        if stranded:
+            report.violations.append(
+                f"activities that cannot reach the sink: {stranded}"
+            )
+
+    cycle = find_cycle(graph)
+    if cycle is not None:
+        message = f"graph contains a cycle: {' -> '.join(map(str, cycle))}"
+        if require_acyclic:
+            report.violations.append(message)
+        else:
+            report.warnings.append(message)
+
+    return report

@@ -1,0 +1,249 @@
+"""Unit tests for Algorithms 1, 2 and 3 against the paper's examples."""
+
+import pytest
+
+from repro.core.cyclic import (
+    max_instance_counts,
+    merge_instances,
+    mine_cyclic,
+    prepare_labelled_log,
+)
+from repro.core.general_dag import (
+    MiningTrace,
+    mine_general_dag,
+    mine_prepared,
+    prepare_log,
+    presence_by_vertex,
+)
+from repro.core.special_dag import mine_special_dag
+from repro.datasets.examples import (
+    example6_expected_edges,
+    example6_log,
+    example7_expected_edges,
+    example7_log,
+    example8_expected_cycle,
+    example8_log,
+    open_problem_log,
+)
+from repro.errors import EmptyLogError, MiningError
+from repro.graphs.digraph import DiGraph
+from repro.logs.event_log import EventLog
+
+
+class TestAlgorithm1:
+    def test_example6_published_result(self):
+        mined = mine_special_dag(example6_log())
+        assert mined.edge_set() == example6_expected_edges()
+
+    def test_single_execution_yields_chain(self):
+        mined = mine_special_dag(EventLog.from_sequences(["ABCD"]))
+        assert mined.edge_set() == {("A", "B"), ("B", "C"), ("C", "D")}
+
+    def test_fully_parallel_interior(self):
+        log = EventLog.from_sequences(
+            ["ABCD", "ACBD"]
+        )  # B, C in both orders
+        mined = mine_special_dag(log)
+        assert mined.edge_set() == {
+            ("A", "B"),
+            ("A", "C"),
+            ("B", "D"),
+            ("C", "D"),
+        }
+
+    def test_output_is_transitively_reduced(self):
+        from repro.graphs.transitive import is_transitively_reduced
+
+        mined = mine_special_dag(example6_log())
+        assert is_transitively_reduced(mined)
+
+    def test_missing_activity_rejected_in_strict_mode(self):
+        log = EventLog.from_sequences(["ABC", "AC"])
+        with pytest.raises(MiningError, match="misses activities"):
+            mine_special_dag(log)
+
+    def test_repeated_activity_rejected_in_strict_mode(self):
+        log = EventLog.from_sequences(["ABAC"])
+        with pytest.raises(MiningError, match="repeats"):
+            mine_special_dag(log)
+
+    def test_non_strict_mode_mines_anyway(self):
+        log = EventLog.from_sequences(["ABC", "AC"])
+        mined = mine_special_dag(log, strict=False)
+        assert mined.has_edge("A", "B")
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(EmptyLogError):
+            mine_special_dag(EventLog())
+
+    def test_minimality_against_alternative(self):
+        # Any conformal graph must contain at least the mined edges: the
+        # mined graph is the transitive reduction of the dependency order.
+        log = EventLog.from_sequences(["ABCDE", "ACDBE", "ACBDE"])
+        mined = mine_special_dag(log)
+        from repro.core.dependency import dependency_relation
+
+        relation = dependency_relation(log)
+        minimal = relation.minimal_graph()
+        assert mined.edge_set() == minimal.edge_set()
+
+
+class TestAlgorithm2:
+    def test_example7_published_result(self):
+        mined = mine_general_dag(example7_log())
+        assert mined.edge_set() == example7_expected_edges()
+
+    def test_example7_scc_removed(self):
+        trace = MiningTrace()
+        mine_general_dag(example7_log(), trace=trace)
+        # C, D, E form one strongly connected component: 3 edges removed.
+        assert trace.scc_edge_removals == 3
+
+    def test_example5_dependency_graph_allows_all_executions(self):
+        # The log {ADCE, ABCDE} of Example 5: Algorithm 2's result must be
+        # consistent with both executions (the second graph of Figure 2
+        # was not).
+        from repro.core.conformance import is_consistent
+
+        log = EventLog.from_sequences(["ADCE", "ABCDE"])
+        mined = mine_general_dag(log)
+        for execution in log:
+            assert is_consistent(mined, execution, "A", "E") is None
+
+    def test_open_problem_log_mines_conformal_graph(self):
+        from repro.core.conformance import check_conformance
+
+        log = open_problem_log()
+        mined = mine_general_dag(log)
+        report = check_conformance(mined, log)
+        assert report.is_conformal, report.violations()
+
+    def test_trace_stage_counts_monotone(self):
+        trace = MiningTrace()
+        mine_general_dag(example7_log(), trace=trace)
+        assert trace.edges_after_step2 >= trace.edges_after_step3
+        assert trace.edges_after_step3 >= trace.edges_after_step4
+        assert trace.edges_after_step4 >= trace.edges_after_step6
+
+    def test_agrees_with_algorithm1_on_complete_logs(self):
+        log = example6_log()
+        assert mine_general_dag(log).edge_set() == mine_special_dag(
+            log
+        ).edge_set()
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(EmptyLogError):
+            mine_general_dag(EventLog())
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            mine_general_dag(example7_log(), threshold=-1)
+
+    def test_all_kept_edges_needed_by_some_execution(self):
+        # Step 6: every surviving edge appears in at least one
+        # per-execution transitive reduction.
+        log = example7_log()
+        mined = mine_general_dag(log)
+        from repro.graphs.transitive import transitive_reduction_edges
+
+        needed = set()
+        edge_set = mined.edge_set()
+        for execution in log:
+            pairs = set(execution.ordered_pairs())
+            induced = DiGraph(
+                nodes=execution.activities, edges=pairs & edge_set
+            )
+            needed |= transitive_reduction_edges(induced)
+        assert edge_set == needed
+
+    def test_ablation_switches(self):
+        prepared = prepare_log(example7_log())
+        with_scc = mine_prepared(prepared)
+        without_scc = mine_prepared(prepared, skip_scc_removal=True)
+        # Without SCC removal the C/D/E independence cycle survives.
+        assert without_scc.edge_count > with_scc.edge_count
+        unmarked = mine_prepared(prepared, skip_execution_marking=True)
+        assert unmarked.edge_count >= with_scc.edge_count
+
+    def test_presence_by_vertex(self):
+        prepared = prepare_log(example7_log())
+        counts = presence_by_vertex(prepared)
+        assert counts["A"] == 4
+        assert counts["B"] == 1
+
+
+class TestAlgorithm3:
+    def test_example8_cycle_recovered(self):
+        mined = mine_cyclic(example8_log())
+        for edge in example8_expected_cycle():
+            assert mined.has_edge(*edge), edge
+
+    def test_example8_published_merged_graph(self):
+        mined = mine_cyclic(example8_log())
+        # Figure 6 (right): the merged graph's backbone.
+        assert mined.has_edge("A", "B")
+        assert mined.has_edge("A", "D")
+        assert mined.has_edge("C", "E")
+        assert mined.has_edge("D", "E")
+        # No self-loops ever.
+        for node in mined.nodes():
+            assert not mined.has_edge(node, node)
+
+    def test_example8_instance_graph_structure(self):
+        merged, instances = mine_cyclic(
+            example8_log(), return_instance_graph=True
+        )
+        # The paper notes there are no edges between D and C1 (both
+        # orders observed) nor between D and B2.
+        assert not instances.has_edge(("D", 1), ("C", 1))
+        assert not instances.has_edge(("C", 1), ("D", 1))
+        assert not instances.has_edge(("D", 1), ("B", 2))
+        assert not instances.has_edge(("B", 2), ("D", 1))
+
+    def test_acyclic_log_matches_algorithm2(self):
+        log = example7_log()
+        assert mine_cyclic(log).edge_set() == mine_general_dag(
+            log
+        ).edge_set()
+
+    def test_merge_instances(self):
+        instance_graph = DiGraph(
+            edges=[
+                (("A", 1), ("B", 1)),
+                (("B", 1), ("C", 1)),
+                (("C", 1), ("B", 2)),
+                (("B", 1), ("B", 2)),  # same activity: no self-loop
+            ]
+        )
+        merged = merge_instances(instance_graph)
+        assert merged.edge_set() == {
+            ("A", "B"),
+            ("B", "C"),
+            ("C", "B"),
+        }
+
+    def test_prepare_labelled_log(self):
+        prepared = prepare_labelled_log(
+            EventLog.from_sequences(["ABA"])
+        )
+        assert prepared[0].vertices == {("A", 1), ("B", 1), ("A", 2)}
+        assert (("A", 1), ("A", 2)) in prepared[0].pairs
+
+    def test_max_instance_counts(self):
+        counts = max_instance_counts(example8_log())
+        assert counts["B"] == 2
+        assert counts["C"] == 2
+        assert counts["A"] == 1
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(EmptyLogError):
+            mine_cyclic(EventLog())
+
+    def test_self_loop_style_repetition(self):
+        # A immediately repeated: A1 -> A2 edge merges away, but the
+        # mined graph must not invent a self-loop.
+        log = EventLog.from_sequences(["SAAE", "SAE"])
+        mined = mine_cyclic(log)
+        assert not mined.has_edge("A", "A")
+        assert mined.has_edge("S", "A")
+        assert mined.has_edge("A", "E")

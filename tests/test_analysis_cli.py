@@ -1,0 +1,189 @@
+"""Tests for repro.analysis and the command-line interface."""
+
+import pytest
+
+from repro.analysis.metrics import recovery_metrics
+from repro.analysis.recovery import run_recovery
+from repro.analysis.tables import TextTable
+from repro.cli import main
+from repro.datasets.synthetic import SyntheticConfig, synthetic_dataset
+from repro.graphs.digraph import DiGraph
+from repro.logs.codec import write_log_file
+from repro.logs.event_log import EventLog
+from repro.logs.execution import Execution
+
+
+class TestMetrics:
+    def test_exact_recovery(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "C")])
+        metrics = recovery_metrics(g, g.copy())
+        assert metrics.is_exact
+        assert metrics.verdict == "exact"
+        assert metrics.edges_present == metrics.edges_found == 2
+        assert metrics.f1 == 1.0
+
+    def test_with_log_context(self):
+        log = EventLog.from_sequences(["AB"] * 3, process_name="p")
+        g = DiGraph(edges=[("A", "B")])
+        metrics = recovery_metrics(g, g.copy(), log=log)
+        assert metrics.executions == 3
+        assert metrics.log_bytes > 0
+        assert "executions=3" in metrics.describe()
+
+    def test_describe_without_log(self):
+        g = DiGraph(edges=[("A", "B")])
+        text = recovery_metrics(g, DiGraph(nodes=["A", "B"])).describe()
+        assert "present=1" in text
+        assert "found=0" in text
+
+
+class TestRecoveryRun:
+    def test_small_cell(self):
+        run = run_recovery(n_vertices=10, n_executions=50, seed=1)
+        assert run.n_vertices == 10
+        assert run.n_executions == 50
+        assert run.mining_seconds > 0
+        assert run.metrics.recall == 1.0
+        assert len(run.log) == 50
+
+    def test_recovery_improves_with_more_executions(self):
+        small = run_recovery(15, 20, seed=2)
+        large = run_recovery(15, 400, seed=2)
+        assert large.metrics.f1 >= small.metrics.f1
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["name", "value"], title="demo")
+        table.add_row(["alpha", 1])
+        table.add_row(["b", 123.4567])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "123.5" in text  # 4 significant digits
+
+    def test_bool_formatting(self):
+        table = TextTable(["ok"])
+        table.add_row([True])
+        table.add_row([False])
+        assert "yes" in table.render()
+        assert "no" in table.render()
+
+    def test_ragged_rows_padded(self):
+        table = TextTable(["a", "b"])
+        table.add_row(["only-one"])
+        assert "only-one" in table.render()
+
+
+@pytest.fixture
+def log_file(tmp_path):
+    dataset = synthetic_dataset(
+        SyntheticConfig(n_vertices=8, n_executions=30, seed=6)
+    )
+    path = tmp_path / "log.tsv"
+    write_log_file(dataset.log, path)
+    return path
+
+
+class TestCli:
+    def test_mine_ascii(self, log_file, capsys):
+        assert main(["mine", str(log_file)]) == 0
+        out = capsys.readouterr().out
+        assert "# algorithm:" in out
+        assert "->" in out
+
+    def test_mine_dot(self, log_file, capsys):
+        assert main(["mine", str(log_file), "--format", "dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_mine_edges(self, log_file, capsys):
+        assert main(["mine", str(log_file), "--format", "edges"]) == 0
+        assert "START" in capsys.readouterr().out
+
+    def test_mine_with_algorithm_and_threshold(self, log_file, capsys):
+        code = main(
+            [
+                "mine",
+                str(log_file),
+                "--algorithm",
+                "general-dag",
+                "--threshold",
+                "2",
+            ]
+        )
+        assert code == 0
+
+    def test_stats(self, log_file, capsys):
+        assert main(["stats", str(log_file)]) == 0
+        out = capsys.readouterr().out
+        assert "executions:" in out
+
+    def test_generate_synthetic(self, tmp_path, capsys):
+        out_path = tmp_path / "generated.tsv"
+        code = main(
+            [
+                "generate",
+                str(out_path),
+                "--vertices",
+                "8",
+                "--executions",
+                "12",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert "12 executions" in capsys.readouterr().out
+
+    def test_generate_flowmark(self, tmp_path, capsys):
+        out_path = tmp_path / "fm.tsv"
+        code = main(
+            [
+                "generate",
+                str(out_path),
+                "--kind",
+                "Pend_Block",
+                "--executions",
+                "10",
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+
+    def test_generate_then_mine_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "roundtrip.tsv"
+        main(
+            [
+                "generate", str(out_path), "--kind", "Local_Swap",
+                "--executions", "10",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["mine", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Swap" in out
+
+    def test_conditions_command(self, tmp_path, capsys):
+        out_path = tmp_path / "cond.tsv"
+        main(
+            [
+                "generate", str(out_path), "--kind", "Pend_Block",
+                "--executions", "50",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["conditions", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Check -> Pend" in out
+
+    def test_missing_file_is_error(self, capsys):
+        assert main(["mine", "/nonexistent/log.tsv"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_file_is_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.tsv"
+        bad.write_text("not\ta\tvalid\tlog\n")
+        assert main(["mine", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,181 @@
+"""Tests for the related-work baselines (sequential patterns, k-tails)."""
+
+import pytest
+
+from repro.baselines.ktails import (
+    Automaton,
+    ktails_automaton,
+    prefix_tree_acceptor,
+)
+from repro.baselines.sequential import (
+    is_subsequence,
+    maximal_sequential_patterns,
+    mine_sequential_patterns,
+    pattern_support,
+)
+from repro.errors import EmptyLogError
+from repro.logs.event_log import EventLog
+
+
+class TestSubsequence:
+    def test_positive_cases(self):
+        assert is_subsequence("AC", "ABC")
+        assert is_subsequence("ABC", "ABC")
+        assert is_subsequence("", "ABC")
+
+    def test_negative_cases(self):
+        assert not is_subsequence("CA", "ABC")
+        assert not is_subsequence("AA", "ABC")
+        assert not is_subsequence("ABCD", "ABC")
+
+    def test_repeated_symbols(self):
+        assert is_subsequence("AA", "ABA")
+        assert not is_subsequence("AAA", "ABA")
+
+
+class TestSequentialPatterns:
+    def test_chain_log_yields_full_chain(self):
+        log = EventLog.from_sequences(["ABCD"] * 10)
+        patterns = mine_sequential_patterns(log, min_support=0.9)
+        maximal = [p for p in patterns if p.maximal]
+        assert len(maximal) == 1
+        assert maximal[0].sequence == ("A", "B", "C", "D")
+        assert maximal[0].support == 1.0
+
+    def test_support_threshold_respected(self):
+        log = EventLog.from_sequences(["AB"] * 7 + ["AC"] * 3)
+        patterns = {
+            p.sequence: p.support
+            for p in mine_sequential_patterns(log, min_support=0.5)
+        }
+        assert ("A", "B") in patterns
+        assert ("A", "C") not in patterns
+        assert patterns[("A",)] == 1.0
+
+    def test_parallel_branches_yield_both_orders(self):
+        # The paper's argument: a parallel process produces multiple
+        # overlapping total-order patterns, none capturing the structure.
+        log = EventLog.from_sequences(["SABE"] * 5 + ["SBAE"] * 5)
+        maximal = maximal_sequential_patterns(log, min_support=0.4)
+        sequences = {p.sequence for p in maximal}
+        assert ("S", "A", "B", "E") in sequences
+        assert ("S", "B", "A", "E") in sequences
+
+    def test_apriori_consistency(self):
+        # Every subsequence of a frequent pattern is frequent with at
+        # least the same support.
+        log = EventLog.from_sequences(
+            ["ABCE", "ACBE", "ABE", "ACE", "ABCE"]
+        )
+        patterns = {
+            p.sequence: p.support
+            for p in mine_sequential_patterns(log, min_support=0.4)
+        }
+        for sequence, support in patterns.items():
+            for skip in range(len(sequence)):
+                sub = sequence[:skip] + sequence[skip + 1:]
+                if sub:
+                    assert sub in patterns
+                    assert patterns[sub] >= support
+
+    def test_pattern_support_function(self):
+        log = EventLog.from_sequences(["ABC", "AC", "BC"])
+        assert pattern_support(("A", "C"), log) == pytest.approx(2 / 3)
+        with pytest.raises(EmptyLogError):
+            pattern_support(("A",), EventLog())
+
+    def test_invalid_parameters(self):
+        log = EventLog.from_sequences(["AB"])
+        with pytest.raises(ValueError):
+            mine_sequential_patterns(log, min_support=0.0)
+        with pytest.raises(ValueError):
+            mine_sequential_patterns(log, min_support=1.5)
+        with pytest.raises(ValueError):
+            mine_sequential_patterns(log, max_length=0)
+        with pytest.raises(EmptyLogError):
+            mine_sequential_patterns(EventLog())
+
+    def test_str_rendering(self):
+        log = EventLog.from_sequences(["AB"] * 2)
+        patterns = mine_sequential_patterns(log, min_support=1.0)
+        rendered = {str(p) for p in patterns}
+        assert any("A -> B" in r and "maximal" in r for r in rendered)
+
+
+class TestPrefixTree:
+    def test_accepts_exactly_the_log(self):
+        log = EventLog.from_sequences(["SABE", "SBAE"])
+        pta = prefix_tree_acceptor(log)
+        assert pta.accepts(["S", "A", "B", "E"])
+        assert pta.accepts(["S", "B", "A", "E"])
+        assert not pta.accepts(["S", "A", "E"])
+        assert not pta.accepts(["S", "A", "B"])
+
+    def test_shared_prefixes_shared_states(self):
+        log = EventLog.from_sequences(["ABC", "ABD"])
+        pta = prefix_tree_acceptor(log)
+        # Root + A + B + C + D = 5 states, 4 transitions.
+        assert pta.state_count == 5
+        assert pta.transition_count == 4
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(EmptyLogError):
+            prefix_tree_acceptor(EventLog())
+
+
+class TestKTails:
+    def test_still_accepts_log(self):
+        log = EventLog.from_sequences(["SABE", "SBAE", "SABE"])
+        for k in (0, 1, 2, 5):
+            automaton = ktails_automaton(log, k=k)
+            for sequence in log.sequences():
+                assert automaton.accepts(sequence), (k, sequence)
+
+    def test_merging_reduces_states(self):
+        log = EventLog.from_sequences(["SABE", "SBAE"])
+        pta = prefix_tree_acceptor(log)
+        merged = ktails_automaton(log, k=1)
+        assert merged.state_count <= pta.state_count
+
+    def test_large_k_is_conservative(self):
+        # With k larger than any trace, only behaviourally identical
+        # states merge; the language stays exactly the log's.
+        log = EventLog.from_sequences(["AB", "AC"])
+        automaton = ktails_automaton(log, k=10)
+        assert automaton.accepts(["A", "B"])
+        assert automaton.accepts(["A", "C"])
+        assert not automaton.accepts(["A"])
+        assert not automaton.accepts(["B"])
+
+    def test_papers_parallelism_argument(self):
+        # Section 1: the process graph for S -> {A, B} -> E has each
+        # activity once; the automaton for {SABE, SBAE} must label
+        # multiple transitions with the same activity.
+        log = EventLog.from_sequences(["SABE", "SBAE"])
+        automaton = ktails_automaton(log, k=2)
+        multiplicity = automaton.label_multiplicity()
+        assert multiplicity["A"] >= 2 or multiplicity["B"] >= 2
+        # While the paper's graph has 4 vertices and 4 edges.
+        from repro.core.general_dag import mine_general_dag
+
+        graph = mine_general_dag(log)
+        assert graph.node_count == 4
+        assert graph.edge_set() == {
+            ("S", "A"), ("S", "B"), ("A", "E"), ("B", "E"),
+        }
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ktails_automaton(EventLog.from_sequences(["AB"]), k=-1)
+
+    def test_automaton_dataclass_helpers(self):
+        automaton = Automaton(
+            initial=0,
+            accepting=frozenset({2}),
+            transitions=frozenset({(0, "A", 1), (1, "B", 2)}),
+        )
+        assert automaton.state_count == 3
+        assert automaton.transition_count == 2
+        assert automaton.accepts(["A", "B"])
+        assert not automaton.accepts(["A"])
+        assert automaton.label_multiplicity() == {"A": 1, "B": 1}

@@ -1,0 +1,237 @@
+"""Unit tests for repro.classifier (dataset, splits, tree, rules)."""
+
+import random
+
+import pytest
+
+from repro.classifier.dataset import Dataset, LabelledExample
+from repro.classifier.rules import (
+    format_rules,
+    rule_to_condition,
+    rules_to_condition,
+    tree_to_rules,
+)
+from repro.classifier.splits import best_split, entropy, gini
+from repro.classifier.tree import DecisionTree, TreeConfig
+from repro.errors import TrainingDataError
+from repro.model.conditions import Always, Never
+
+
+def threshold_dataset(cut=10.0, n=40, arity=2, seed=0):
+    """Labelled by features[0] > cut."""
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(n):
+        point = tuple(rng.uniform(0, 20) for _ in range(arity))
+        pairs.append((point, point[0] > cut))
+    return Dataset.from_pairs(pairs)
+
+
+class TestDataset:
+    def test_counts(self):
+        data = Dataset.from_pairs([((1,), True), ((2,), False), ((3,), True)])
+        assert len(data) == 3
+        assert data.positives == 2
+        assert data.negatives == 1
+        assert data.positive_fraction() == pytest.approx(2 / 3)
+
+    def test_purity(self):
+        pure = Dataset.from_pairs([((1,), True), ((2,), True)])
+        assert pure.is_pure
+        assert pure.majority_label is True
+        mixed = Dataset.from_pairs([((1,), True), ((2,), False)])
+        assert not mixed.is_pure
+
+    def test_empty_dataset(self):
+        data = Dataset([])
+        assert data.arity == 0
+        assert data.is_pure
+        assert data.positive_fraction() == 0.0
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(TrainingDataError):
+            Dataset(
+                [
+                    LabelledExample((1.0,), True),
+                    LabelledExample((1.0, 2.0), False),
+                ]
+            )
+
+    def test_split(self):
+        data = Dataset.from_pairs(
+            [((1.0,), False), ((5.0,), True), ((9.0,), True)]
+        )
+        left, right = data.split(0, 3.0)
+        assert len(left) == 1 and len(right) == 2
+
+    def test_feature_values_sorted_distinct(self):
+        data = Dataset.from_pairs(
+            [((3.0,), True), ((1.0,), False), ((3.0,), True)]
+        )
+        assert data.feature_values(0) == [1.0, 3.0]
+
+
+class TestImpurity:
+    def test_entropy_extremes(self):
+        assert entropy(10, 0) == 0.0
+        assert entropy(0, 10) == 0.0
+        assert entropy(5, 5) == pytest.approx(1.0)
+
+    def test_gini_extremes(self):
+        assert gini(10, 0) == 0.0
+        assert gini(5, 5) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert entropy(0, 0) == 0.0
+        assert gini(0, 0) == 0.0
+
+
+class TestBestSplit:
+    def test_finds_separating_threshold(self):
+        data = threshold_dataset(cut=10.0)
+        split = best_split(data)
+        assert split is not None
+        assert split.feature == 0
+        assert 8.0 < split.threshold < 12.0
+
+    def test_pure_dataset_has_no_split(self):
+        data = Dataset.from_pairs([((1.0,), True), ((2.0,), True)])
+        assert best_split(data) is None
+
+    def test_unsplittable_constant_feature(self):
+        data = Dataset.from_pairs([((1.0,), True), ((1.0,), False)])
+        assert best_split(data) is None
+
+    def test_min_leaf_respected(self):
+        data = Dataset.from_pairs(
+            [((float(i),), i >= 1) for i in range(4)]
+        )
+        split = best_split(data, min_leaf=2)
+        assert split is None or split.threshold >= 1.0
+
+    def test_picks_informative_feature(self):
+        # Feature 1 is noise; feature 0 separates.
+        rng = random.Random(1)
+        data = Dataset.from_pairs(
+            [
+                ((float(i), rng.uniform(0, 100)), i >= 10)
+                for i in range(20)
+            ]
+        )
+        split = best_split(data)
+        assert split.feature == 0
+
+
+class TestDecisionTree:
+    def test_learns_threshold(self):
+        tree = DecisionTree.fit(threshold_dataset())
+        assert tree.predict((15.0, 3.0)) is True
+        assert tree.predict((5.0, 3.0)) is False
+        assert tree.accuracy(threshold_dataset()) == 1.0
+
+    def test_learns_band(self):
+        data = Dataset.from_pairs(
+            [((float(i),), 5 <= i <= 15) for i in range(21)]
+        )
+        tree = DecisionTree.fit(data)
+        assert tree.accuracy(data) == 1.0
+        assert tree.predict((10.0,)) is True
+        assert tree.predict((2.0,)) is False
+        assert tree.predict((18.0,)) is False
+
+    def test_learns_two_feature_conjunction(self):
+        data = Dataset.from_pairs(
+            [
+                ((float(x), float(y)), x > 5 and y > 5)
+                for x in range(11)
+                for y in range(11)
+            ]
+        )
+        tree = DecisionTree.fit(data)
+        assert tree.accuracy(data) == 1.0
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(TrainingDataError):
+            DecisionTree.fit(Dataset([]))
+
+    def test_max_depth_limits_tree(self):
+        data = threshold_dataset(n=100)
+        tree = DecisionTree.fit(data, TreeConfig(max_depth=1))
+        assert tree.depth <= 1
+
+    def test_depth_zero_is_majority_vote(self):
+        data = Dataset.from_pairs(
+            [((float(i),), i < 7) for i in range(10)]
+        )
+        tree = DecisionTree.fit(data, TreeConfig(max_depth=0))
+        assert tree.depth == 0
+        assert tree.predict((9.0,)) is True  # majority is positive
+
+    def test_pruning_collapses_redundant_split(self):
+        # A split that separates nothing better than the majority.
+        data = Dataset.from_pairs(
+            [((1.0,), True), ((2.0,), True), ((3.0,), True),
+             ((4.0,), False)]
+        )
+        pruned = DecisionTree.fit(data, TreeConfig(prune=True))
+        unpruned = DecisionTree.fit(data, TreeConfig(prune=False))
+        assert pruned.leaf_count <= unpruned.leaf_count
+
+    def test_gini_matches_entropy_on_separable_data(self):
+        data = threshold_dataset()
+        for impurity in ("gini", "entropy"):
+            tree = DecisionTree.fit(data, TreeConfig(impurity=impurity))
+            assert tree.accuracy(data) == 1.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TreeConfig(max_depth=-1)
+        with pytest.raises(ValueError):
+            TreeConfig(min_leaf=0)
+        with pytest.raises(ValueError):
+            TreeConfig(impurity="magic")
+
+    def test_repr(self):
+        tree = DecisionTree.fit(threshold_dataset())
+        assert "DecisionTree" in repr(tree)
+
+
+class TestRules:
+    def test_single_threshold_rule(self):
+        tree = DecisionTree.fit(threshold_dataset())
+        rules = tree_to_rules(tree)
+        assert len(rules) == 1
+        (rule,) = rules
+        assert len(rule) == 1
+        feature, op, threshold = rule[0]
+        assert feature == 0 and op == ">"
+
+    def test_rules_to_condition_evaluates_like_tree(self):
+        data = Dataset.from_pairs(
+            [((float(i),), 5 <= i <= 15) for i in range(21)]
+        )
+        tree = DecisionTree.fit(data)
+        condition = rules_to_condition(tree_to_rules(tree))
+        for i in range(21):
+            assert condition.evaluate((float(i),)) == tree.predict(
+                (float(i),)
+            )
+
+    def test_constant_conditions(self):
+        assert isinstance(rules_to_condition([]), Never)
+        assert isinstance(rules_to_condition([()]), Always)
+        assert isinstance(rule_to_condition(()), Always)
+
+    def test_format_rules(self):
+        assert format_rules([]) == "never"
+        assert format_rules([()]) == "always"
+        text = format_rules([((0, ">", 5.0), (1, "<=", 2.0))])
+        assert text == "o[0] > 5 and o[1] <= 2"
+
+    def test_disjunction_of_rules(self):
+        condition = rules_to_condition(
+            [((0, "<=", 2.0),), ((0, ">", 8.0),)]
+        )
+        assert condition.evaluate((1.0,))
+        assert condition.evaluate((9.0,))
+        assert not condition.evaluate((5.0,))

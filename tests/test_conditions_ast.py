@@ -1,0 +1,144 @@
+"""Unit tests for repro.model.conditions (the expression AST)."""
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.model.conditions import (
+    Always,
+    And,
+    Comparison,
+    Never,
+    Not,
+    Or,
+    attr_ge,
+    attr_gt,
+    attr_le,
+    attr_lt,
+    param,
+    parse_condition,
+)
+
+
+class TestAtoms:
+    def test_always_and_never(self):
+        assert Always().evaluate(()) is True
+        assert Never().evaluate(()) is False
+        assert str(Always()) == "true"
+        assert str(Never()) == "false"
+
+    def test_comparison_operators(self):
+        output = (10.0, 20.0)
+        assert Comparison(0, "<", 15).evaluate(output)
+        assert Comparison(0, "<=", 10).evaluate(output)
+        assert Comparison(1, ">", 15).evaluate(output)
+        assert Comparison(1, ">=", 20).evaluate(output)
+        assert Comparison(0, "==", 10).evaluate(output)
+        assert Comparison(0, "!=", 11).evaluate(output)
+        assert not Comparison(0, ">", 10).evaluate(output)
+
+    def test_comparison_against_parameter(self):
+        condition = Comparison(0, "<", param(1))
+        assert condition.evaluate((1.0, 2.0))
+        assert not condition.evaluate((3.0, 2.0))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConditionError):
+            Comparison(0, "~", 3)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConditionError):
+            Comparison(-1, "<", 3)
+
+    def test_out_of_range_evaluation(self):
+        with pytest.raises(ConditionError):
+            Comparison(2, "<", 3).evaluate((1.0,))
+        with pytest.raises(ConditionError):
+            Comparison(0, "<", param(5)).evaluate((1.0,))
+
+    def test_helpers(self):
+        assert attr_lt(0, 5).evaluate((4.0,))
+        assert attr_le(0, 4).evaluate((4.0,))
+        assert attr_gt(0, 3).evaluate((4.0,))
+        assert attr_ge(0, 4).evaluate((4.0,))
+
+
+class TestCombinators:
+    def test_and_or_not(self):
+        high = attr_gt(0, 10)
+        low = attr_lt(0, 20)
+        band = high & low
+        assert band.evaluate((15.0,))
+        assert not band.evaluate((25.0,))
+        either = attr_lt(0, 5) | attr_gt(0, 25)
+        assert either.evaluate((30.0,))
+        assert not either.evaluate((15.0,))
+        assert (~high).evaluate((5.0,))
+
+    def test_operator_sugar_builds_ast(self):
+        expr = attr_gt(0, 1) & attr_lt(1, 2) | ~attr_ge(0, 3)
+        assert isinstance(expr, Or)
+        assert isinstance(expr.left, And)
+        assert isinstance(expr.right, Not)
+
+    def test_string_rendering_is_paper_style(self):
+        condition = attr_gt(0, 0) & attr_lt(1, 50)
+        assert str(condition) == "(o[0] > 0 and o[1] < 50)"
+
+    def test_conditions_hashable(self):
+        # Mined conditions serve as dict keys in model construction.
+        assert hash(attr_gt(0, 3)) == hash(attr_gt(0, 3))
+        assert attr_gt(0, 3) == attr_gt(0, 3)
+        assert attr_gt(0, 3) != attr_gt(0, 4)
+
+    def test_callable(self):
+        assert attr_gt(0, 1)((5.0,))
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "true",
+            "false",
+            "o[0] > 5",
+            "o[1] <= 3",
+            "(o[0] > 0 and o[1] < 50)",
+            "(o[0] > 0 or (not o[1] >= 2))",
+            "o[0] < o[1]",
+            "o[0] == 7",
+            "o[0] != 7",
+        ],
+    )
+    def test_roundtrip(self, text):
+        condition = parse_condition(text)
+        assert str(parse_condition(str(condition))) == str(condition)
+
+    def test_parse_evaluates_correctly(self):
+        condition = parse_condition("(o[0] > 0 and o[1] < o[0])")
+        assert condition.evaluate((10.0, 5.0))
+        assert not condition.evaluate((10.0, 15.0))
+
+    def test_parse_negative_constant(self):
+        condition = parse_condition("o[0] > -5")
+        assert condition.evaluate((0.0,))
+
+    def test_parse_boolean_constants(self):
+        assert parse_condition("True").evaluate(())
+        assert not parse_condition("False").evaluate(())
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "o[0] +",
+            "x[0] > 5",
+            "o[0] > 'text'",
+            "o[0] in (1, 2)",
+            "1 < o[0] < 2",
+            "f(o[0])",
+            "o[zzz] > 1",
+        ],
+    )
+    def test_parse_rejects_bad_syntax(self, bad):
+        with pytest.raises(ConditionError):
+            parse_condition(bad)

@@ -1,0 +1,171 @@
+"""Tests for Section 7: learning edge conditions from logs with outputs."""
+
+import pytest
+
+from repro.core.conditions import ConditionsMiner
+from repro.core.general_dag import mine_general_dag
+from repro.engine.simulator import SimulationConfig, WorkflowSimulator
+from repro.logs.event_log import EventLog
+from repro.logs.execution import Execution
+from repro.model.builder import ProcessBuilder
+from repro.model.conditions import Always, attr_gt, attr_le
+
+
+@pytest.fixture
+def branching_model():
+    """A takes High when o(A)[0] > 50, Low otherwise; both join at Z."""
+    return (
+        ProcessBuilder("branch")
+        .edge("A", "High", condition=attr_gt(0, 50))
+        .edge("A", "Low", condition=attr_le(0, 50))
+        .edge("High", "Z")
+        .edge("Low", "Z")
+        .build()
+    )
+
+
+@pytest.fixture
+def branching_log(branching_model):
+    simulator = WorkflowSimulator(
+        branching_model, SimulationConfig(seed=11)
+    )
+    return simulator.run_log(200)
+
+
+class TestTrainingSet:
+    def test_construction_follows_section7(self):
+        log = EventLog(
+            [
+                Execution.from_sequence(
+                    "ABZ", outputs={"A": (60.0, 0.0)}, execution_id="e1"
+                ),
+                Execution.from_sequence(
+                    "ACZ", outputs={"A": (40.0, 0.0)}, execution_id="e2"
+                ),
+            ]
+        )
+        miner = ConditionsMiner()
+        data = miner.training_set(log, ("A", "B"))
+        assert len(data) == 2
+        labels = {(e.features[0], e.label) for e in data}
+        assert labels == {(60.0, True), (40.0, False)}
+
+    def test_executions_without_source_skipped(self):
+        log = EventLog(
+            [
+                Execution.from_sequence(
+                    "ABZ", outputs={"A": (1.0, 2.0)}, execution_id="e1"
+                ),
+                Execution.from_sequence("XZ", execution_id="e2"),
+            ]
+        )
+        data = ConditionsMiner().training_set(log, ("A", "B"))
+        assert len(data) == 1
+
+    def test_executions_without_outputs_skipped(self):
+        # Flowmark logs carry no outputs: nothing to learn from.
+        log = EventLog.from_sequences(["ABZ", "AZ"])
+        data = ConditionsMiner().training_set(log, ("A", "B"))
+        assert len(data) == 0
+
+
+class TestMineEdge:
+    def test_learns_threshold_condition(self, branching_log):
+        miner = ConditionsMiner()
+        mined = miner.mine_edge(branching_log, ("A", "High"))
+        assert mined.learnable
+        assert mined.training_size == 200
+        assert mined.training_accuracy >= 0.99
+        # The learned condition agrees with the truth on the whole range.
+        truth = attr_gt(0, 50)
+        errors = sum(
+            1
+            for v in range(0, 101, 1)
+            if mined.condition.evaluate((float(v), 0.0))
+            != truth.evaluate((float(v), 0.0))
+        )
+        assert errors <= 2  # threshold may land between observed values
+
+    def test_complementary_edge(self, branching_log):
+        mined = ConditionsMiner().mine_edge(branching_log, ("A", "Low"))
+        assert mined.condition.evaluate((30.0, 0.0))
+        assert not mined.condition.evaluate((80.0, 0.0))
+
+    def test_unconditional_edge_is_always(self, branching_log):
+        mined = ConditionsMiner().mine_edge(branching_log, ("High", "Z"))
+        # High only ever ran together with Z.
+        assert mined.learnable
+        assert isinstance(mined.condition, Always)
+        assert mined.positive_fraction == 1.0
+
+    def test_unlearnable_edge_defaults_to_always(self):
+        log = EventLog.from_sequences(["ABZ"] * 5)
+        mined = ConditionsMiner().mine_edge(log, ("A", "B"))
+        assert not mined.learnable
+        assert isinstance(mined.condition, Always)
+        assert "unlearnable" in mined.describe()
+
+    def test_describe_mentions_stats(self, branching_log):
+        mined = ConditionsMiner().mine_edge(branching_log, ("A", "High"))
+        text = mined.describe()
+        assert "A -> High" in text
+        assert "n=200" in text
+
+
+class TestMineGraph:
+    def test_full_pipeline(self, branching_model, branching_log):
+        graph = mine_general_dag(branching_log)
+        assert graph.edge_set() == branching_model.graph.edge_set()
+        results = ConditionsMiner().mine(branching_log, graph)
+        assert set(results) == graph.edge_set()
+
+    def test_conditions_for_model_roundtrip(
+        self, branching_model, branching_log
+    ):
+        graph = mine_general_dag(branching_log)
+        conditions = ConditionsMiner().conditions_for_model(
+            branching_log, graph
+        )
+        from repro.core.miner import ProcessMiner
+
+        result = ProcessMiner(learn_conditions=True).mine(branching_log)
+        rebuilt = result.to_process_model("rebuilt")
+        # The rebuilt model simulates to the same branching behaviour.
+        log2 = WorkflowSimulator(
+            rebuilt, SimulationConfig(seed=13)
+        ).run_log(100)
+        highs = sum(1 for e in log2 if "High" in e.activities)
+        lows = sum(1 for e in log2 if "Low" in e.activities)
+        assert highs > 10 and lows > 10
+        for execution in log2:
+            taken = {"High", "Low"} & set(execution.activities)
+            assert len(taken) == 1  # conditions stayed mutually exclusive
+        assert set(conditions) == graph.edge_set()
+
+    def test_empty_log_rejected(self, branching_model):
+        from repro.errors import EmptyLogError
+        from repro.graphs.digraph import DiGraph
+
+        with pytest.raises(EmptyLogError):
+            ConditionsMiner().mine(EventLog(), DiGraph())
+
+
+class TestGeneralizationAccuracy:
+    def test_holdout_accuracy(self, branching_model):
+        # Train on one log, evaluate the learned conditions on a fresh
+        # log from a different seed.
+        train = WorkflowSimulator(
+            branching_model, SimulationConfig(seed=1)
+        ).run_log(300)
+        test = WorkflowSimulator(
+            branching_model, SimulationConfig(seed=2)
+        ).run_log(100)
+        graph = mine_general_dag(train)
+        mined = ConditionsMiner().mine_edge(train, ("A", "High"))
+        hits = 0
+        for execution in test:
+            output = execution.last_output_of("A")
+            predicted = mined.condition.evaluate(output)
+            actual = "High" in execution.activities
+            hits += predicted == actual
+        assert hits / len(test) >= 0.95

@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.conformance (Definitions 6 and 7)."""
+
+import pytest
+
+from repro.core.conformance import check_conformance, is_consistent
+from repro.core.general_dag import mine_general_dag
+from repro.core.special_dag import mine_special_dag
+from repro.datasets.examples import (
+    example1_edges,
+    example3_log,
+    example5_log,
+    example6_log,
+    example7_log,
+    open_problem_log,
+)
+from repro.graphs.digraph import DiGraph
+from repro.logs.event_log import EventLog
+from repro.logs.execution import Execution
+
+
+@pytest.fixture
+def figure1():
+    return DiGraph(edges=example1_edges())
+
+
+class TestIsConsistent:
+    def test_example4_positive(self, figure1):
+        # "The execution ACBE is consistent with the graph in Figure 1."
+        execution = Execution.from_sequence("ACBE")
+        assert is_consistent(figure1, execution, "A", "E") is None
+
+    def test_example4_negative(self, figure1):
+        # "...but ADBE is not."
+        execution = Execution.from_sequence("ADBE")
+        reason = is_consistent(figure1, execution, "A", "E")
+        assert reason is not None
+
+    def test_full_execution(self, figure1):
+        execution = Execution.from_sequence("ABCDE")
+        assert is_consistent(figure1, execution, "A", "E") is None
+
+    def test_alien_activity(self, figure1):
+        execution = Execution.from_sequence("AXBE")
+        reason = is_consistent(figure1, execution, "A", "E")
+        assert "not in the graph" in reason
+
+    def test_wrong_first_activity(self, figure1):
+        execution = Execution.from_sequence("BCE")
+        reason = is_consistent(figure1, execution, "A", "E")
+        assert reason is not None
+
+    def test_wrong_last_activity(self, figure1):
+        execution = Execution.from_sequence("ABC")
+        reason = is_consistent(figure1, execution, "A", "E")
+        assert "terminating" in reason
+
+    def test_dependency_violation(self, figure1):
+        # D before C violates C -> D.
+        execution = Execution.from_sequence("ADCE")
+        reason = is_consistent(figure1, execution, "A", "E")
+        assert "violates" in reason or "not reachable" in reason
+
+    def test_empty_execution(self, figure1):
+        execution = Execution("empty", [])
+        assert is_consistent(figure1, execution, "A", "E") == (
+            "execution is empty"
+        )
+
+    def test_disconnected_induced_subgraph(self):
+        graph = DiGraph(
+            edges=[("A", "B"), ("B", "E"), ("A", "C"), ("C", "D"),
+                   ("D", "E")]
+        )
+        # {A, B, D, E}: D's only parent C is missing; D unreachable.
+        execution = Execution.from_sequence("ABDE")
+        reason = is_consistent(graph, execution, "A", "E")
+        assert reason is not None
+
+
+class TestCheckConformance:
+    def test_algorithm1_output_is_conformal(self):
+        log = example6_log()
+        mined = mine_special_dag(log)
+        report = check_conformance(mined, log)
+        assert report.is_conformal, report.violations()
+
+    def test_algorithm2_output_is_conformal_on_paper_logs(self):
+        for log in (example5_log(), example7_log(), open_problem_log()):
+            mined = mine_general_dag(log)
+            report = check_conformance(mined, log)
+            assert report.is_conformal, (
+                log.process_name,
+                report.violations(),
+            )
+
+    def test_missing_dependency_detected(self):
+        log = example3_log()
+        # An empty graph misses every dependency.
+        empty = DiGraph(nodes=log.activities())
+        report = check_conformance(empty, log)
+        assert not report.is_conformal
+        assert ("A", "B") in report.missing_dependencies
+
+    def test_spurious_path_detected(self):
+        # B and C are independent in this log; a chain forces B -> C.
+        log = EventLog.from_sequences(["ABCD", "ACBD"])
+        chain = DiGraph(
+            edges=[("A", "B"), ("B", "C"), ("C", "D")]
+        )
+        report = check_conformance(chain, log)
+        assert ("B", "C") in report.spurious_paths
+
+    def test_inconsistent_execution_detected(self):
+        # Figure 2's second graph does not allow ADCE.
+        log = example5_log()
+        rigid = DiGraph(
+            edges=[("A", "B"), ("B", "C"), ("C", "D"), ("D", "E"),
+                   ("A", "D")]
+        )
+        report = check_conformance(rigid, log)
+        assert report.inconsistent_executions
+
+    def test_violations_text(self):
+        log = example3_log()
+        empty = DiGraph(nodes=log.activities())
+        messages = check_conformance(empty, log).violations()
+        assert any("no path for dependency" in m for m in messages)
+
+    def test_explicit_endpoints(self):
+        log = EventLog.from_sequences(["SAE"])
+        graph = DiGraph(edges=[("S", "A"), ("A", "E")])
+        report = check_conformance(graph, log, source="S", sink="E")
+        assert report.is_conformal

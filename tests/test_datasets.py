@@ -1,0 +1,229 @@
+"""Tests for repro.datasets (synthetic, examples, cyclic, flowmark)."""
+
+import pytest
+
+from repro.core.conformance import is_consistent
+from repro.core.general_dag import mine_general_dag
+from repro.datasets.cyclic import CyclicTraceGenerator, loop_edges
+from repro.datasets.examples import (
+    example1_model,
+    graph10,
+    graph10_model,
+    graph10_typical_executions,
+)
+from repro.datasets.flowmark import (
+    FLOWMARK_EXECUTIONS,
+    FLOWMARK_PROCESS_NAMES,
+    FLOWMARK_SHAPES,
+    flowmark_dataset,
+    flowmark_model,
+)
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_executions,
+    synthetic_dataset,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.random_dag import END, START
+from repro.graphs.transitive import transitive_closure
+from repro.model.validate import validate_process
+
+
+class TestSyntheticGenerator:
+    def test_executions_start_and_end_correctly(self):
+        dataset = synthetic_dataset(
+            SyntheticConfig(n_vertices=12, n_executions=50, seed=4)
+        )
+        for execution in dataset.log:
+            assert execution.first_activity == START
+            assert execution.last_activity == END
+
+    def test_executions_respect_dependencies(self):
+        dataset = synthetic_dataset(
+            SyntheticConfig(n_vertices=10, n_executions=40, seed=2)
+        )
+        closure = transitive_closure(dataset.graph)
+        for execution in dataset.log:
+            sequence = execution.sequence
+            position = {a: i for i, a in enumerate(sequence)}
+            for a in sequence:
+                for b in sequence:
+                    if closure.has_edge(a, b) and not closure.has_edge(
+                        b, a
+                    ):
+                        assert position[a] < position[b], (a, b, sequence)
+
+    def test_executions_consistent_with_graph(self):
+        dataset = synthetic_dataset(
+            SyntheticConfig(n_vertices=10, n_executions=30, seed=9)
+        )
+        for execution in dataset.log:
+            reason = is_consistent(
+                dataset.graph, execution, START, END
+            )
+            assert reason is None, (execution.sequence, reason)
+
+    def test_not_all_activities_in_all_executions(self):
+        # The paper: "In this way, not all activities are present in all
+        # executions."
+        dataset = synthetic_dataset(
+            SyntheticConfig(n_vertices=15, n_executions=50, seed=3)
+        )
+        lengths = {len(e) for e in dataset.log}
+        assert len(lengths) > 1
+
+    def test_no_duplicate_activities_within_execution(self):
+        dataset = synthetic_dataset(
+            SyntheticConfig(n_vertices=20, n_executions=30, seed=5)
+        )
+        for execution in dataset.log:
+            assert len(set(execution.sequence)) == len(execution.sequence)
+
+    def test_deterministic(self):
+        a = synthetic_dataset(SyntheticConfig(8, 20, seed=7))
+        b = synthetic_dataset(SyntheticConfig(8, 20, seed=7))
+        assert a.graph == b.graph
+        assert a.log.sequences() == b.log.sequences()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_vertices=1, n_executions=5)
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_vertices=5, n_executions=-1)
+
+    def test_custom_endpoint_names(self):
+        graph = DiGraph(edges=[("S", "M"), ("M", "T")])
+        log = generate_executions(graph, 5, start="S", end="T")
+        assert log.sequences() == [["S", "M", "T"]] * 5
+
+
+class TestExamples:
+    def test_example1_model_valid(self):
+        model = example1_model()
+        assert validate_process(model).is_valid
+        assert model.source == "A"
+        assert model.sink == "E"
+
+    def test_graph10_shape(self):
+        g = graph10()
+        assert g.node_count == 10
+        assert g.sources() == ["A"]
+        assert g.sinks() == ["J"]
+
+    def test_graph10_admits_typical_executions(self):
+        g = graph10()
+        from repro.logs.execution import Execution
+
+        for trace in graph10_typical_executions():
+            execution = Execution.from_sequence(trace)
+            assert is_consistent(g, execution, "A", "J") is None, trace
+
+    def test_graph10_model_matches_graph(self):
+        model = graph10_model()
+        assert model.graph.edge_set() == graph10().edge_set()
+        assert validate_process(model, require_acyclic=True).is_valid
+
+
+class TestCyclicGenerator:
+    def make_loop_graph(self):
+        return DiGraph(
+            edges=[
+                ("A", "B"), ("B", "C"), ("C", "B"), ("C", "E"),
+            ]
+        )
+
+    def test_loop_edges_detected(self):
+        assert loop_edges(self.make_loop_graph()) == {("C", "B")}
+
+    def test_acyclic_graph_has_no_loop_edges(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "C")])
+        assert loop_edges(g) == set()
+
+    def test_traces_repeat_loop_body(self):
+        generator = CyclicTraceGenerator(
+            self.make_loop_graph(),
+            loop_probability=1.0,
+            max_loop_iterations=2,
+            seed=3,
+        )
+        log = generator.generate(5)
+        for execution in log:
+            sequence = execution.sequence
+            assert sequence.count("B") == 3  # initial + two loop passes
+            assert sequence[0] == "A"
+            assert sequence[-1] == "E"
+
+    def test_zero_probability_gives_acyclic_traces(self):
+        generator = CyclicTraceGenerator(
+            self.make_loop_graph(), loop_probability=0.0, seed=1
+        )
+        for execution in generator.generate(10):
+            assert len(set(execution.sequence)) == len(execution.sequence)
+
+    def test_mining_generated_traces_recovers_cycle(self):
+        from repro.core.cyclic import mine_cyclic
+
+        generator = CyclicTraceGenerator(
+            self.make_loop_graph(),
+            loop_probability=0.5,
+            max_loop_iterations=2,
+            seed=5,
+        )
+        log = generator.generate(60)
+        mined = mine_cyclic(log)
+        assert mined.has_edge("B", "C")
+        assert mined.has_edge("C", "B")
+        assert mined.has_edge("A", "B")
+        assert mined.has_edge("C", "E")
+
+    def test_invalid_parameters(self):
+        g = self.make_loop_graph()
+        with pytest.raises(ValueError):
+            CyclicTraceGenerator(g, loop_probability=1.5)
+        with pytest.raises(ValueError):
+            CyclicTraceGenerator(g, max_loop_iterations=-1)
+
+    def test_multi_source_skeleton_rejected(self):
+        g = DiGraph(edges=[("A", "C"), ("B", "C")])
+        with pytest.raises(ValueError, match="one source"):
+            CyclicTraceGenerator(g)
+
+
+class TestFlowmark:
+    @pytest.mark.parametrize("name", FLOWMARK_PROCESS_NAMES)
+    def test_shapes_match_table3(self, name):
+        model = flowmark_model(name)
+        vertices, edges = FLOWMARK_SHAPES[name]
+        assert model.activity_count == vertices
+        assert model.edge_count == edges
+        assert validate_process(model, require_acyclic=True).is_valid
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown Flowmark"):
+            flowmark_model("NoSuchProcess")
+
+    def test_dataset_execution_counts(self):
+        dataset = flowmark_dataset("Pend_Block", seed=1)
+        assert len(dataset.log) == FLOWMARK_EXECUTIONS["Pend_Block"]
+
+    def test_custom_execution_count(self):
+        dataset = flowmark_dataset("Local_Swap", executions=5, seed=1)
+        assert len(dataset.log) == 5
+
+    @pytest.mark.parametrize(
+        "name", ["Upload_and_Notify", "Pend_Block", "Local_Swap",
+                 "UWI_Pilot"]
+    )
+    def test_small_processes_recovered_exactly(self, name):
+        dataset = flowmark_dataset(name, seed=11)
+        mined = mine_general_dag(dataset.log)
+        assert mined.edge_set() == dataset.model.graph.edge_set()
+
+    def test_stresssleep_recovered_up_to_closure(self):
+        from repro.graphs.transitive import closure_equal
+
+        dataset = flowmark_dataset("StressSleep", seed=11)
+        mined = mine_general_dag(dataset.log)
+        truth = dataset.model.graph
+        assert mined.edge_set() >= truth.edge_set()
+        assert closure_equal(mined, truth)

@@ -1,0 +1,199 @@
+"""Tests for model-vs-log diffing and model evolution."""
+
+import pytest
+
+from repro.analysis.diffing import diff_against_log
+from repro.engine.simulator import SimulationConfig, WorkflowSimulator
+from repro.logs.event_log import EventLog
+from repro.model.builder import ProcessBuilder
+from repro.model.conditions import attr_gt, attr_le
+from repro.model.evolution import evolve_model
+from repro.model.validate import validate_process
+
+
+def deployed_model():
+    """The 'purported' model: A -> B -> D with an optional C branch."""
+    return (
+        ProcessBuilder("deployed")
+        .edge("A", "B")
+        .edge("A", "C", condition=attr_gt(0, 50))
+        .edge("B", "D")
+        .edge("C", "D")
+        .build()
+    )
+
+
+class TestDiffAgainstLog:
+    def test_agreeing_log_is_clean(self):
+        model = deployed_model()
+        log = WorkflowSimulator(
+            model, SimulationConfig(seed=3)
+        ).run_log(150)
+        diff = diff_against_log(model, log)
+        assert diff.is_clean, diff.report()
+        assert "no differences" in diff.report()
+
+    def test_unmodelled_activity_detected(self):
+        model = deployed_model()
+        # Reality inserted a review step between B and D.
+        log = EventLog.from_sequences(["ABXD", "ACD", "ABXCD"])
+        diff = diff_against_log(model, log)
+        assert "X" in diff.unmodelled_activities
+        assert not diff.is_clean
+        assert "X" in diff.report()
+
+    def test_unperformed_activity_detected(self):
+        model = deployed_model()
+        log = EventLog.from_sequences(["ABD"] * 10)
+        diff = diff_against_log(model, log)
+        assert "C" in diff.unperformed_activities
+
+    def test_contradicted_dependency_detected(self):
+        # The model mandates B before C; the log runs them both ways.
+        model = (
+            ProcessBuilder("rigid")
+            .chain("A", "B", "C", "D")
+            .build()
+        )
+        log = EventLog.from_sequences(["ABCD", "ACBD"])
+        diff = diff_against_log(model, log)
+        assert ("B", "C") in diff.contradicted_dependencies
+        assert diff.rejected_executions  # ACBD violates the chain
+
+    def test_unexplained_dependency_detected(self):
+        # The log always runs B before C; the model says parallel.
+        model = (
+            ProcessBuilder("parallel")
+            .edge("A", "B")
+            .edge("A", "C")
+            .edge("B", "D")
+            .edge("C", "D")
+            .build()
+        )
+        log = EventLog.from_sequences(["ABCD"] * 10)
+        diff = diff_against_log(model, log)
+        assert ("B", "C") in diff.unexplained_dependencies
+
+    def test_report_lists_rejections_capped(self):
+        model = (
+            ProcessBuilder("tiny").chain("A", "B").build()
+        )
+        log = EventLog.from_sequences(["AXB"] * 15)
+        diff = diff_against_log(model, log)
+        report = diff.report()
+        assert "and 5 more" in report
+
+    def test_premined_graph_accepted(self):
+        from repro.core.general_dag import mine_general_dag
+
+        model = deployed_model()
+        log = EventLog.from_sequences(["ABD", "ACD", "ABCD", "ACBD"])
+        mined = mine_general_dag(log)
+        diff = diff_against_log(model, log, mined=mined)
+        assert diff.mined.edge_set() == mined.edge_set()
+
+
+class TestEvolveModel:
+    def test_confirming_log_changes_nothing(self):
+        model = deployed_model()
+        log = WorkflowSimulator(
+            model, SimulationConfig(seed=3)
+        ).run_log(150)
+        result = evolve_model(model, log)
+        assert not result.changed
+        assert result.model.graph.edge_set() == model.graph.edge_set()
+        assert "confirms" in result.summary()
+
+    def test_new_activity_incorporated(self):
+        model = deployed_model()
+        log = EventLog.from_sequences(
+            ["ABXD", "ABXD", "ACD", "ABXCD", "ACBXD"]
+        )
+        result = evolve_model(model, log)
+        assert "X" in result.added_activities
+        evolved = result.model
+        assert "X" in evolved.activity_names
+        assert evolved.has_edge("B", "X")
+        assert evolved.has_edge("X", "D")
+        assert validate_process(evolved).is_valid
+        assert "added activities" in result.summary()
+
+    def test_contradicted_edge_removed(self):
+        model = ProcessBuilder("rigid").chain("A", "B", "C", "D").build()
+        log = EventLog.from_sequences(["ABCD", "ACBD"] * 5)
+        result = evolve_model(model, log)
+        assert ("B", "C") in result.removed_edges
+        assert not result.model.has_edge("B", "C")
+        # B and C become parallel: the evolved model must admit both
+        # orders.
+        from repro.core.conformance import is_consistent
+        from repro.logs.execution import Execution
+
+        graph = result.model.graph
+        for trace in ("ABCD", "ACBD"):
+            execution = Execution.from_sequence(trace)
+            assert is_consistent(graph, execution, "A", "D") is None
+
+    def test_unexercised_edge_kept_by_default(self):
+        model = deployed_model()
+        log = EventLog.from_sequences(["ABD"] * 20)
+        result = evolve_model(model, log)
+        assert result.model.has_edge("A", "C")
+
+    def test_prune_unobserved(self):
+        # C runs but the C -> D edge is never *needed* in this log
+        # shape; pruning only applies to edges between performed
+        # activities, so craft a log where B -> D goes unused.
+        model = deployed_model()
+        log = EventLog.from_sequences(["ABCD"] * 10)
+        result = evolve_model(model, log, prune_unobserved=True)
+        # With B always before C and C before D, the mined graph chains
+        # A-B-C-D; the direct B->D edge is unused and pruned.
+        assert not result.model.has_edge("B", "D")
+
+    def test_conditions_carried_over(self):
+        model = deployed_model()
+        log = WorkflowSimulator(
+            model, SimulationConfig(seed=7)
+        ).run_log(100)
+        result = evolve_model(model, log)
+        assert result.model.condition("A", "C") == attr_gt(0, 50)
+
+    def test_learn_conditions_for_added_edges(self):
+        # Deployed model lacks the conditional C branch entirely.
+        stale = (
+            ProcessBuilder("stale")
+            .edge("A", "B")
+            .edge("B", "D")
+            .build()
+        )
+        rich = (
+            ProcessBuilder("rich")
+            .edge("A", "B")
+            .edge("A", "C", condition=attr_gt(0, 50))
+            .edge("B", "D")
+            .edge("C", "D")
+            .build()
+        )
+        log = WorkflowSimulator(
+            rich, SimulationConfig(seed=9)
+        ).run_log(200)
+        result = evolve_model(stale, log, learn_conditions=True)
+        assert ("A", "C") in result.added_edges
+        learned = result.model.condition("A", "C")
+        # The learned threshold approximates the truth at 50.
+        assert learned.evaluate((80.0, 0.0))
+        assert not learned.evaluate((20.0, 0.0))
+
+    def test_version_name(self):
+        model = deployed_model()
+        log = EventLog.from_sequences(["ABD", "ACD", "ABCD", "ACBD"])
+        assert evolve_model(model, log).model.name == "deployed-v2"
+        named = evolve_model(model, log, version_name="deployed-2024")
+        assert named.model.name == "deployed-2024"
+
+    def test_empty_log_rejected(self):
+        from repro.errors import EmptyLogError
+
+        with pytest.raises(EmptyLogError):
+            evolve_model(deployed_model(), EventLog())

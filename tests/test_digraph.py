@@ -1,0 +1,168 @@
+"""Unit tests for repro.graphs.digraph."""
+
+import pytest
+
+from repro.errors import DuplicateNodeError, NodeNotFoundError
+from repro.graphs.digraph import DiGraph
+
+
+class TestNodeOperations:
+    def test_empty_graph(self):
+        g = DiGraph()
+        assert g.node_count == 0
+        assert g.edge_count == 0
+        assert list(g.nodes()) == []
+
+    def test_add_node_idempotent(self):
+        g = DiGraph()
+        g.add_node("A")
+        g.add_node("A")
+        assert g.node_count == 1
+
+    def test_add_new_node_rejects_duplicates(self):
+        g = DiGraph(nodes=["A"])
+        with pytest.raises(DuplicateNodeError):
+            g.add_new_node("A")
+
+    def test_nodes_preserve_insertion_order(self):
+        g = DiGraph(nodes=["C", "A", "B"])
+        assert list(g.nodes()) == ["C", "A", "B"]
+
+    def test_remove_node_drops_incident_edges(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "C"), ("C", "A")])
+        g.remove_node("B")
+        assert not g.has_node("B")
+        assert g.edge_set() == {("C", "A")}
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            DiGraph().remove_node("X")
+
+    def test_contains_and_len(self):
+        g = DiGraph(nodes=["A", "B"])
+        assert "A" in g
+        assert "Z" not in g
+        assert len(g) == 2
+
+    def test_nodes_may_be_tuples(self):
+        # Algorithm 3 uses (activity, instance) vertices.
+        g = DiGraph(edges=[(("A", 1), ("A", 2))])
+        assert g.has_edge(("A", 1), ("A", 2))
+
+
+class TestEdgeOperations:
+    def test_add_edge_creates_endpoints(self):
+        g = DiGraph()
+        g.add_edge("A", "B")
+        assert g.has_node("A") and g.has_node("B")
+        assert g.has_edge("A", "B")
+        assert not g.has_edge("B", "A")
+
+    def test_parallel_edges_collapse(self):
+        g = DiGraph()
+        g.add_edge("A", "B")
+        g.add_edge("A", "B")
+        assert g.edge_count == 1
+
+    def test_self_loop_allowed(self):
+        g = DiGraph()
+        g.add_edge("A", "A")
+        assert g.has_edge("A", "A")
+        assert g.in_degree("A") == 1
+        assert g.out_degree("A") == 1
+
+    def test_remove_edge_is_tolerant(self):
+        g = DiGraph(edges=[("A", "B")])
+        g.remove_edge("A", "B")
+        g.remove_edge("A", "B")  # no error
+        g.remove_edge("X", "Y")  # endpoints absent: no error
+        assert g.edge_count == 0
+
+    def test_edge_set(self):
+        edges = {("A", "B"), ("B", "C")}
+        assert DiGraph(edges=edges).edge_set() == edges
+
+    def test_degrees(self):
+        g = DiGraph(edges=[("A", "B"), ("A", "C"), ("B", "C")])
+        assert g.out_degree("A") == 2
+        assert g.in_degree("C") == 2
+        assert g.in_degree("A") == 0
+
+    def test_degree_of_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            DiGraph().out_degree("A")
+
+
+class TestNeighbourhoods:
+    def test_successors_and_predecessors(self):
+        g = DiGraph(edges=[("A", "B"), ("A", "C"), ("C", "B")])
+        assert g.successors("A") == {"B", "C"}
+        assert g.predecessors("B") == {"A", "C"}
+
+    def test_neighbour_sets_are_copies(self):
+        g = DiGraph(edges=[("A", "B")])
+        succ = g.successors("A")
+        succ.add("Z")
+        assert g.successors("A") == {"B"}
+
+    def test_sources_and_sinks(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "C")])
+        assert g.sources() == ["A"]
+        assert g.sinks() == ["C"]
+
+    def test_isolated_node_is_source_and_sink(self):
+        g = DiGraph(nodes=["X"])
+        assert g.sources() == ["X"]
+        assert g.sinks() == ["X"]
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = DiGraph(edges=[("A", "B")])
+        clone = g.copy()
+        clone.add_edge("B", "C")
+        assert not g.has_node("C")
+        assert g == DiGraph(edges=[("A", "B")])
+
+    def test_reversed(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "C")])
+        assert g.reversed().edge_set() == {("B", "A"), ("C", "B")}
+
+    def test_reversed_keeps_isolated_nodes(self):
+        g = DiGraph(nodes=["X"], edges=[("A", "B")])
+        assert g.reversed().has_node("X")
+
+    def test_subgraph_induced(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "C"), ("A", "C")])
+        sub = g.subgraph({"A", "C"})
+        assert sub.edge_set() == {("A", "C")}
+        assert set(sub.nodes()) == {"A", "C"}
+
+    def test_subgraph_ignores_unknown_nodes(self):
+        g = DiGraph(edges=[("A", "B")])
+        sub = g.subgraph({"A", "Z"})
+        assert set(sub.nodes()) == {"A"}
+
+    def test_edge_subgraph_keeps_all_nodes(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "C")])
+        restricted = g.edge_subgraph([("A", "B"), ("X", "Y")])
+        assert restricted.edge_set() == {("A", "B")}
+        assert set(restricted.nodes()) == {"A", "B", "C"}
+
+
+class TestEquality:
+    def test_equality_ignores_insertion_order(self):
+        g1 = DiGraph(nodes=["A", "B"], edges=[("A", "B")])
+        g2 = DiGraph(nodes=["B", "A"], edges=[("A", "B")])
+        assert g1 == g2
+
+    def test_inequality_on_edges(self):
+        g1 = DiGraph(edges=[("A", "B")])
+        g2 = DiGraph(nodes=["A", "B"])
+        assert g1 != g2
+
+    def test_comparison_with_non_graph(self):
+        assert DiGraph() != 42
+
+    def test_repr(self):
+        assert repr(DiGraph(edges=[("A", "B")])) == "DiGraph(nodes=2, edges=1)"

@@ -1,0 +1,36 @@
+"""Run every docstring example in the library as a test.
+
+Documentation that drifts from the code is worse than none; this module
+walks the ``repro`` package and executes all doctests, so the examples
+in the API docs stay honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    yield "repro"
+    package = repro
+    for module_info in pkgutil.walk_packages(
+        package.__path__, prefix="repro."
+    ):
+        yield module_info.name
+
+
+@pytest.mark.parametrize("module_name", sorted(set(_all_modules())))
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+        verbose=False,
+    )
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )

@@ -1,0 +1,279 @@
+"""Unit tests for repro.engine (state, scheduler, simulator)."""
+
+import pytest
+
+from repro.core.conformance import is_consistent
+from repro.engine.scheduler import AgentPool, EventQueue, SimulationClock
+from repro.engine.simulator import SimulationConfig, WorkflowSimulator
+from repro.engine.state import DEAD, DONE, PENDING, READY, RunState
+from repro.errors import InvalidProcessError
+from repro.model.builder import ProcessBuilder
+from repro.model.conditions import attr_gt, attr_le, never
+
+
+@pytest.fixture
+def diamond_model():
+    return (
+        ProcessBuilder("diamond")
+        .edge("A", "B")
+        .edge("A", "C")
+        .edge("B", "D")
+        .edge("C", "D")
+        .build()
+    )
+
+
+class TestSimulationClock:
+    def test_monotone(self):
+        clock = SimulationClock()
+        clock.advance_to(5.0)
+        clock.advance_to(3.0)  # ignored
+        assert clock.now == 5.0
+
+    def test_issue_unique_increasing(self):
+        clock = SimulationClock()
+        stamps = [clock.issue() for _ in range(10)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 10
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(2.0, lambda: seen.append("late"))
+        queue.schedule(1.0, lambda: seen.append("early"))
+        while queue:
+            _, action = queue.pop()
+            action()
+        assert seen == ["early", "late"]
+
+    def test_ties_fifo(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(1.0, lambda: seen.append("first"))
+        queue.schedule(1.0, lambda: seen.append("second"))
+        queue.pop()[1]()
+        queue.pop()[1]()
+        assert seen == ["first", "second"]
+
+    def test_empty_pop(self):
+        assert EventQueue().pop() is None
+
+
+class TestAgentPool:
+    def test_capacity(self):
+        pool = AgentPool(2)
+        assert pool.acquire()
+        assert pool.acquire()
+        assert not pool.acquire()
+        pool.release()
+        assert pool.acquire()
+
+    def test_release_without_acquire(self):
+        with pytest.raises(RuntimeError):
+            AgentPool(1).release()
+
+    def test_backlog_fifo(self):
+        pool = AgentPool(1)
+        pool.enqueue("X")
+        pool.enqueue("Y")
+        assert pool.next_waiting() == "X"
+        assert pool.next_waiting() == "Y"
+        assert pool.next_waiting() is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AgentPool(0)
+
+
+class TestRunState:
+    def test_join_waits_for_all_verdicts(self, diamond_model):
+        state = RunState(diamond_model)
+        assert state.record_verdict(("B", "D"), True) is None
+        assert state.record_verdict(("C", "D"), False) == READY
+
+    def test_all_false_verdicts_kill(self, diamond_model):
+        state = RunState(diamond_model)
+        state.record_verdict(("B", "D"), False)
+        assert state.record_verdict(("C", "D"), False) == DEAD
+        assert state.status["D"] == DEAD
+
+    def test_lifecycle(self, diamond_model):
+        state = RunState(diamond_model)
+        state.mark_source_ready()
+        state.mark_running("A")
+        state.mark_done("A", (1.0, 2.0))
+        assert state.status["A"] == DONE
+        assert state.outputs["A"] == (1.0, 2.0)
+        assert not state.is_finished()
+        assert "B" in state.pending_activities()
+
+    def test_invalid_transitions(self, diamond_model):
+        state = RunState(diamond_model)
+        with pytest.raises(ValueError):
+            state.mark_running("A")  # still pending
+        state.mark_source_ready()
+        state.mark_running("A")
+        with pytest.raises(ValueError):
+            state.mark_running("A")
+        with pytest.raises(ValueError):
+            state.mark_done("B", ())
+
+    def test_initial_statuses(self, diamond_model):
+        state = RunState(diamond_model)
+        assert all(s == PENDING for s in state.status.values())
+
+
+class TestWorkflowSimulator:
+    def test_chain_runs_in_order(self):
+        model = ProcessBuilder("chain").chain("A", "B", "C").build()
+        log = WorkflowSimulator(model).run_log(5)
+        assert len(log) == 5
+        assert log.sequences() == [["A", "B", "C"]] * 5
+
+    def test_parallel_branches_both_run(self, diamond_model):
+        execution = WorkflowSimulator(diamond_model).run_once()
+        assert execution.activities == {"A", "B", "C", "D"}
+        assert execution.first_activity == "A"
+        assert execution.last_activity == "D"
+
+    def test_parallel_branches_not_universally_ordered(self, diamond_model):
+        # With two agents B and C run concurrently: no execution may
+        # claim an ordered pair in the same direction every time, or the
+        # miner would see a spurious dependency.
+        config = SimulationConfig(agents=2, duration_jitter=0.5, seed=1)
+        log = WorkflowSimulator(diamond_model, config).run_log(40)
+        b_before_c = sum(
+            1 for e in log if ("B", "C") in set(e.ordered_pairs())
+        )
+        overlaps = sum(
+            1 for e in log if ("B", "C") in set(e.overlapping_pairs())
+        )
+        assert b_before_c < 40
+        assert overlaps > 0
+        # And the miner indeed reports B, C independent.
+        from repro.core.general_dag import mine_general_dag
+
+        mined = mine_general_dag(log)
+        assert not mined.has_edge("B", "C")
+        assert not mined.has_edge("C", "B")
+
+    def test_single_agent_serializes(self, diamond_model):
+        config = SimulationConfig(agents=1, seed=0)
+        log = WorkflowSimulator(diamond_model, config).run_log(10)
+        for execution in log:
+            instances = execution.instances
+            for first, second in zip(instances, instances[1:]):
+                assert first.end <= second.start
+
+    def test_condition_false_kills_branch(self):
+        model = (
+            ProcessBuilder("cond")
+            .edge("A", "B", condition=never())
+            .edge("A", "C")
+            .edge("B", "D")
+            .edge("C", "D")
+            .build()
+        )
+        execution = WorkflowSimulator(model).run_once()
+        assert execution.activities == {"A", "C", "D"}
+
+    def test_dead_path_propagates_through_chain(self):
+        model = (
+            ProcessBuilder("deadchain")
+            .edge("A", "B", condition=never())
+            .edge("B", "C")
+            .edge("C", "D")
+            .edge("A", "D")
+            .build()
+        )
+        execution = WorkflowSimulator(model).run_once()
+        assert execution.activities == {"A", "D"}
+
+    def test_conditions_drive_branching(self):
+        model = (
+            ProcessBuilder("branch")
+            .edge("A", "High", condition=attr_gt(0, 50))
+            .edge("A", "Low", condition=attr_le(0, 50))
+            .edge("High", "Z")
+            .edge("Low", "Z")
+            .build()
+        )
+        log = WorkflowSimulator(
+            model, SimulationConfig(seed=3)
+        ).run_log(60)
+        highs = sum(1 for e in log if "High" in e.activities)
+        lows = sum(1 for e in log if "Low" in e.activities)
+        assert highs + lows >= 60  # some runs may take both? no: exclusive
+        assert highs > 5 and lows > 5
+        for execution in log:
+            assert execution.last_activity == "Z"
+
+    def test_outputs_recorded_on_end_events(self):
+        model = (
+            ProcessBuilder("out")
+            .edge("A", "B")
+            .constant_output("A", (7.0, 9.0))
+            .build()
+        )
+        execution = WorkflowSimulator(model).run_once()
+        assert execution.last_output_of("A") == (7.0, 9.0)
+
+    def test_every_execution_consistent_with_model(self, diamond_model):
+        config = SimulationConfig(agents=3, duration_jitter=0.9, seed=5)
+        log = WorkflowSimulator(diamond_model, config).run_log(30)
+        graph = diamond_model.graph
+        for execution in log:
+            assert (
+                is_consistent(graph, execution, "A", "D") is None
+            ), execution.sequence
+
+    def test_reproducible_under_seed(self, diamond_model):
+        config = SimulationConfig(seed=42)
+        log1 = WorkflowSimulator(diamond_model, config).run_log(5)
+        log2 = WorkflowSimulator(diamond_model, config).run_log(5)
+        assert log1.sequences() == log2.sequences()
+        records1 = [r.timestamp for r in log1.records()]
+        records2 = [r.timestamp for r in log2.records()]
+        assert records1 == records2
+
+    def test_cyclic_model_rejected(self):
+        from repro.errors import InvalidProcessError
+        from repro.model.activity import Activity
+        from repro.model.process import ProcessModel
+
+        model = ProcessModel(
+            "cyclic",
+            activities=[Activity(n) for n in "ABCD"],
+            edges=[("A", "B"), ("B", "C"), ("C", "B"), ("C", "D")],
+            source="A",
+            sink="D",
+        )
+        with pytest.raises(InvalidProcessError):
+            WorkflowSimulator(model)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(agents=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(duration_jitter=1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(duration_log_range=(0.0, 1.0))
+
+    def test_log_uniform_durations(self, diamond_model):
+        config = SimulationConfig(
+            duration_log_range=(0.1, 10.0), seed=7
+        )
+        log = WorkflowSimulator(diamond_model, config).run_log(20)
+        durations = [
+            inst.end - inst.start
+            for execution in log
+            for inst in execution.instances
+        ]
+        assert min(durations) < 0.5
+        assert max(durations) > 2.0
+
+    def test_run_log_negative(self, diamond_model):
+        with pytest.raises(ValueError):
+            WorkflowSimulator(diamond_model).run_log(-1)

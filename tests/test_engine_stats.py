@@ -1,0 +1,118 @@
+"""Tests for engine run statistics and pool sizing."""
+
+import pytest
+
+from repro.engine.simulator import SimulationConfig, WorkflowSimulator
+from repro.engine.stats import RunStats, SimulationStats, pool_sizing_table
+from repro.model.builder import ProcessBuilder
+from repro.model.conditions import attr_gt, never
+
+
+@pytest.fixture
+def wide_model():
+    """Four parallel branches between source and sink."""
+    builder = ProcessBuilder("wide")
+    for branch in "ABCD":
+        builder.edge("Start", branch)
+        builder.edge(branch, "End")
+    return builder.build()
+
+
+class TestRunStats:
+    def test_counts_executed_and_dead(self):
+        model = (
+            ProcessBuilder("deadpath")
+            .edge("A", "B", condition=never())
+            .edge("A", "C")
+            .edge("B", "D")
+            .edge("C", "D")
+            .build()
+        )
+        simulator = WorkflowSimulator(model)
+        log, stats = simulator.run_log_with_stats(10)
+        assert len(log) == 10
+        assert stats.executed_total == 30  # A, C, D each run
+        assert stats.dead_total == 10      # B dead every run
+        assert stats.dead_path_rate == pytest.approx(0.25)
+
+    def test_makespan_positive(self, wide_model):
+        _, stats = WorkflowSimulator(wide_model).run_log_with_stats(5)
+        assert stats.mean_makespan > 0
+
+    def test_single_agent_queues(self, wide_model):
+        config = SimulationConfig(agents=1, seed=2)
+        _, stats = WorkflowSimulator(
+            wide_model, config
+        ).run_log_with_stats(10)
+        # Four ready branches on one agent: waits must occur.
+        assert stats.mean_queue_wait > 0
+        # One agent is always busy while anything runs.
+        assert stats.mean_utilization > 0.9
+
+    def test_many_agents_do_not_queue(self, wide_model):
+        config = SimulationConfig(agents=8, seed=2)
+        _, stats = WorkflowSimulator(
+            wide_model, config
+        ).run_log_with_stats(10)
+        assert stats.mean_queue_wait == pytest.approx(0.0)
+        assert stats.mean_utilization < 0.9
+
+    def test_log_identical_with_and_without_stats(self, wide_model):
+        config = SimulationConfig(seed=7)
+        plain = WorkflowSimulator(wide_model, config).run_log(5)
+        with_stats, _ = WorkflowSimulator(
+            wide_model, config
+        ).run_log_with_stats(5)
+        assert plain.sequences() == with_stats.sequences()
+
+    def test_negative_executions_rejected(self, wide_model):
+        with pytest.raises(ValueError):
+            WorkflowSimulator(wide_model).run_log_with_stats(-1)
+
+
+class TestAggregation:
+    def test_empty_aggregate(self):
+        stats = SimulationStats.aggregate([], agents=3)
+        assert stats.runs == 0
+        assert stats.dead_path_rate == 0.0
+
+    def test_aggregate_math(self):
+        per_run = [
+            RunStats(executed=3, dead=1, makespan=10.0, busy_time=5.0,
+                     queue_waits=[1.0, 0.0]),
+            RunStats(executed=4, dead=0, makespan=20.0, busy_time=10.0,
+                     queue_waits=[]),
+        ]
+        stats = SimulationStats.aggregate(per_run, agents=1)
+        assert stats.executed_total == 7
+        assert stats.dead_total == 1
+        assert stats.mean_makespan == 15.0
+        assert stats.mean_utilization == pytest.approx(0.5)
+        assert stats.mean_queue_wait == pytest.approx(0.5)
+
+    def test_describe(self):
+        stats = SimulationStats.aggregate(
+            [RunStats(executed=2, dead=0, makespan=4.0, busy_time=2.0)],
+            agents=2,
+        )
+        text = stats.describe()
+        assert "1 runs on 2 agents" in text
+        assert "utilization" in text
+
+
+class TestPoolSizing:
+    def test_more_agents_shrink_makespan(self, wide_model):
+        table = pool_sizing_table(
+            wide_model, executions=20, agent_range=(1, 4), seed=3
+        )
+        assert table[4].mean_makespan < table[1].mean_makespan
+        assert table[1].mean_utilization > table[4].mean_utilization
+
+    def test_diminishing_returns(self, wide_model):
+        # Beyond the parallelism width, extra agents stop helping.
+        table = pool_sizing_table(
+            wide_model, executions=20, agent_range=(4, 8), seed=3
+        )
+        assert table[8].mean_makespan == pytest.approx(
+            table[4].mean_makespan, rel=0.15
+        )

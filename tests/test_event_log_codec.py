@@ -1,0 +1,227 @@
+"""Unit tests for repro.logs.event_log, codec, noise and stats."""
+
+import io
+
+import pytest
+
+from repro.errors import EmptyLogError, LogFormatError
+from repro.logs.codec import (
+    format_record,
+    log_from_text,
+    log_size_bytes,
+    log_to_text,
+    parse_record,
+    read_log,
+    read_log_file,
+    write_log_file,
+)
+from repro.logs.event_log import EventLog
+from repro.logs.events import end_event, start_event
+from repro.logs.execution import Execution
+from repro.logs.noise import NoiseConfig, NoiseInjector, swap_adjacent
+from repro.logs.stats import format_statistics, summarize_log
+
+
+class TestEventLog:
+    def test_from_sequences(self):
+        log = EventLog.from_sequences(["AB", "ABC"])
+        assert len(log) == 2
+        assert log.sequences() == [["A", "B"], ["A", "B", "C"]]
+        assert log.activities() == {"A", "B", "C"}
+
+    def test_from_records_groups_interleaved(self):
+        records = [
+            start_event("r1", "A", 0.0),
+            start_event("r2", "A", 0.5),
+            end_event("r1", "A", 1.0),
+            end_event("r2", "A", 1.5),
+        ]
+        log = EventLog.from_records(records)
+        assert len(log) == 2
+        assert [e.execution_id for e in log] == ["r1", "r2"]
+
+    def test_append_extend(self):
+        log = EventLog()
+        log.append(Execution.from_sequence("AB", execution_id="x"))
+        log.extend([Execution.from_sequence("AB", execution_id="y")])
+        assert len(log) == 2
+
+    def test_event_count(self):
+        log = EventLog.from_sequences(["AB"])
+        assert log.event_count() == 4  # two START + two END
+
+    def test_require_non_empty(self):
+        with pytest.raises(EmptyLogError):
+            EventLog().require_non_empty()
+        EventLog.from_sequences(["A"]).require_non_empty()
+
+    def test_split(self):
+        log = EventLog.from_sequences(["AB"] * 10)
+        head, tail = log.split(0.7)
+        assert len(head) == 7 and len(tail) == 3
+        with pytest.raises(ValueError):
+            log.split(1.5)
+
+    def test_indexing(self):
+        log = EventLog.from_sequences(["AB", "AC"])
+        assert log[1].sequence == ["A", "C"]
+
+
+class TestCodec:
+    def test_record_roundtrip(self):
+        record = end_event("run-7", "Review", 12.25, output=(3.0, 4.5))
+        line = format_record(record, "claims")
+        name, parsed = parse_record(line)
+        assert name == "claims"
+        assert parsed == record
+
+    def test_start_record_has_five_fields(self):
+        line = format_record(start_event("r", "A", 3.0), "p")
+        assert line.count("\t") == 4
+
+    def test_log_roundtrip(self):
+        log = EventLog.from_sequences(["ABCE", "ACBE"], process_name="demo")
+        text = log_to_text(log)
+        parsed = log_from_text(text)
+        assert parsed.process_name == "demo"
+        assert parsed.sequences() == log.sequences()
+        assert log_to_text(parsed) == text
+
+    def test_file_roundtrip(self, tmp_path):
+        log = EventLog.from_sequences(["AB"], process_name="p")
+        path = tmp_path / "log.tsv"
+        lines = write_log_file(log, path)
+        assert lines == 4
+        parsed = read_log_file(path)
+        assert parsed.sequences() == [["A", "B"]]
+
+    def test_outputs_roundtrip(self):
+        execution = Execution.from_sequence(
+            "AB", outputs={"A": (1.0, 2.5)}, execution_id="e"
+        )
+        log = EventLog([execution], process_name="p")
+        parsed = log_from_text(log_to_text(log))
+        assert parsed[0].last_output_of("A") == (1.0, 2.5)
+
+    def test_comments_and_blanks_skipped(self):
+        text = (
+            "# header comment\n"
+            "\n"
+            "p\te\tA\tSTART\t0\n"
+            "p\te\tA\tEND\t1\n"
+        )
+        log = log_from_text(text)
+        assert log.sequences() == [["A"]]
+
+    def test_mixed_processes_rejected(self):
+        text = "p1\te\tA\tSTART\t0\np2\te\tA\tEND\t1\n"
+        with pytest.raises(LogFormatError, match="mixes"):
+            log_from_text(text)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "too\tfew\tfields",
+            "p\te\tA\tMIDDLE\t0",
+            "p\te\tA\tSTART\tnot-a-number",
+            "p\te\tA\tEND\t1\tx,y",
+        ],
+    )
+    def test_bad_lines_rejected_with_line_number(self, line):
+        with pytest.raises(LogFormatError) as excinfo:
+            read_log(io.StringIO(line + "\n"))
+        assert "line 1" in str(excinfo.value)
+
+    def test_log_size_bytes_matches_serialization(self):
+        log = EventLog.from_sequences(["ABCE"] * 3, process_name="p")
+        assert log_size_bytes(log) == len(log_to_text(log))
+
+
+class TestNoise:
+    def make_log(self, n=50):
+        return EventLog.from_sequences(["ABCDE"] * n, process_name="chain")
+
+    def test_no_noise_is_identity(self):
+        log = self.make_log()
+        corrupted = NoiseInjector(NoiseConfig()).corrupt(log)
+        assert corrupted.sequences() == log.sequences()
+
+    def test_swap_rate_one_swaps_every_execution(self):
+        log = self.make_log(10)
+        injector = NoiseInjector(NoiseConfig(swap_rate=1.0, seed=1))
+        corrupted = injector.corrupt(log)
+        assert injector.counts["swap"] == 10
+        for sequence in corrupted.sequences():
+            assert sorted(sequence) == ["A", "B", "C", "D", "E"]
+            assert sequence != ["A", "B", "C", "D", "E"]
+
+    def test_swap_is_adjacent_transposition(self):
+        log = EventLog.from_sequences(["ABC"])
+        corrupted = swap_adjacent(log, swap_rate=1.0, seed=0)
+        seq = corrupted.sequences()[0]
+        assert seq in (["B", "A", "C"], ["A", "C", "B"])
+
+    def test_drop_keeps_endpoints(self):
+        log = self.make_log(20)
+        injector = NoiseInjector(NoiseConfig(drop_rate=1.0, seed=2))
+        corrupted = injector.corrupt(log)
+        assert injector.counts["drop"] == 20
+        for sequence in corrupted.sequences():
+            assert sequence[0] == "A"
+            assert sequence[-1] == "E"
+            assert len(sequence) == 4
+
+    def test_insert_adds_alien(self):
+        log = self.make_log(5)
+        injector = NoiseInjector(
+            NoiseConfig(insert_rate=1.0, alien_activities=("X",), seed=3)
+        )
+        corrupted = injector.corrupt(log)
+        assert injector.counts["insert"] == 5
+        for sequence in corrupted.sequences():
+            assert "X" in sequence
+            assert len(sequence) == 6
+
+    def test_deterministic_under_seed(self):
+        log = self.make_log(10)
+        config = NoiseConfig(swap_rate=0.5, drop_rate=0.3, seed=9)
+        first = NoiseInjector(config).corrupt(log)
+        second = NoiseInjector(config).corrupt(log)
+        assert first.sequences() == second.sequences()
+
+    def test_original_untouched(self):
+        log = self.make_log(5)
+        NoiseInjector(NoiseConfig(swap_rate=1.0, seed=0)).corrupt(log)
+        assert log.sequences() == [["A", "B", "C", "D", "E"]] * 5
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(swap_rate=1.5)
+        with pytest.raises(ValueError):
+            NoiseConfig(insert_rate=0.5, alien_activities=())
+
+
+class TestStats:
+    def test_summary(self):
+        log = EventLog.from_sequences(["ABCE", "ACE", "ABCBE"])
+        stats = summarize_log(log)
+        assert stats.execution_count == 3
+        assert stats.activity_count == 4
+        assert stats.min_length == 3
+        assert stats.max_length == 5
+        assert stats.mean_length == pytest.approx(4.0)
+        assert stats.repeated_activity_executions == 1
+        assert stats.has_repetitions
+        assert stats.frequency_of("B") == pytest.approx(2 / 3)
+        assert stats.frequency_of("Z") == 0.0
+
+    def test_empty_log(self):
+        stats = summarize_log(EventLog())
+        assert stats.execution_count == 0
+        assert stats.mean_length == 0.0
+
+    def test_format_statistics(self):
+        log = EventLog.from_sequences(["AB"])
+        text = format_statistics(summarize_log(log))
+        assert "executions:" in text
+        assert "A" in text

@@ -1,0 +1,213 @@
+"""Unit tests for repro.logs.events and repro.logs.execution."""
+
+import pytest
+
+from repro.errors import MalformedExecutionError
+from repro.logs.events import (
+    END_EVENT,
+    START_EVENT,
+    EventRecord,
+    end_event,
+    start_event,
+)
+from repro.logs.execution import Execution
+
+
+class TestEventRecord:
+    def test_construction(self):
+        record = EventRecord(1.5, "run-1", "A", START_EVENT)
+        assert record.is_start and not record.is_end
+        assert record.output is None
+
+    def test_end_with_output(self):
+        record = end_event("run-1", "A", 2.0, output=(1.0, 2.0))
+        assert record.is_end
+        assert record.output == (1.0, 2.0)
+
+    def test_start_cannot_carry_output(self):
+        with pytest.raises(ValueError, match="START"):
+            EventRecord(1.0, "run", "A", START_EVENT, output=(1.0,))
+
+    def test_bad_event_type(self):
+        with pytest.raises(ValueError, match="START or END"):
+            EventRecord(1.0, "run", "A", "MIDDLE")
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError):
+            EventRecord(1.0, "run", "", END_EVENT)
+        with pytest.raises(ValueError):
+            EventRecord(1.0, "", "A", END_EVENT)
+
+    def test_ordering_is_time_major(self):
+        early = start_event("run", "B", 1.0)
+        late = start_event("run", "A", 2.0)
+        assert sorted([late, early]) == [early, late]
+
+    def test_shifted(self):
+        record = start_event("run", "A", 1.0).shifted(2.5)
+        assert record.timestamp == 3.5
+        assert record.activity == "A"
+
+
+class TestExecutionConstruction:
+    def test_from_sequence(self):
+        execution = Execution.from_sequence("ABC")
+        assert execution.sequence == ["A", "B", "C"]
+        assert len(execution) == 3
+        assert execution.first_activity == "A"
+        assert execution.last_activity == "C"
+
+    def test_records_sorted_by_time(self):
+        records = [
+            end_event("run", "A", 1.0),
+            start_event("run", "A", 0.0),
+        ]
+        execution = Execution("run", records)
+        assert [r.event_type for r in execution.records] == [
+            START_EVENT,
+            END_EVENT,
+        ]
+
+    def test_mixed_execution_ids_rejected(self):
+        records = [start_event("run-1", "A", 0.0)]
+        with pytest.raises(MalformedExecutionError, match="mixed"):
+            Execution("run-2", records)
+
+    def test_end_without_start_rejected(self):
+        with pytest.raises(MalformedExecutionError, match="no matching"):
+            Execution("run", [end_event("run", "A", 1.0)])
+
+    def test_unmatched_start_tolerated(self):
+        records = [
+            start_event("run", "A", 0.0),
+            end_event("run", "A", 1.0),
+            start_event("run", "B", 2.0),  # still running at log cut
+        ]
+        execution = Execution("run", records)
+        assert execution.sequence == ["A"]
+
+    def test_empty_execution_views(self):
+        execution = Execution("run", [])
+        assert execution.sequence == []
+        with pytest.raises(MalformedExecutionError):
+            _ = execution.first_activity
+        with pytest.raises(MalformedExecutionError):
+            _ = execution.last_activity
+
+    def test_repeated_activity_instances_fifo_matched(self):
+        records = [
+            start_event("run", "A", 0.0),
+            start_event("run", "A", 1.0),
+            end_event("run", "A", 2.0),
+            end_event("run", "A", 3.0),
+        ]
+        execution = Execution("run", records)
+        instances = execution.instances
+        assert [(i.start, i.end) for i in instances] == [
+            (0.0, 2.0),
+            (1.0, 3.0),
+        ]
+
+
+class TestOrderedPairs:
+    def test_sequence_pairs(self):
+        execution = Execution.from_sequence("ABC")
+        assert set(execution.ordered_pairs()) == {
+            ("A", "B"),
+            ("A", "C"),
+            ("B", "C"),
+        }
+
+    def test_overlap_contributes_no_pair(self):
+        records = [
+            start_event("run", "A", 0.0),
+            start_event("run", "B", 1.0),  # B starts while A runs
+            end_event("run", "A", 2.0),
+            end_event("run", "B", 3.0),
+            start_event("run", "C", 4.0),
+            end_event("run", "C", 5.0),
+        ]
+        execution = Execution("run", records)
+        pairs = set(execution.ordered_pairs())
+        assert ("A", "B") not in pairs
+        assert ("B", "A") not in pairs
+        assert ("A", "C") in pairs
+        assert ("B", "C") in pairs
+
+    def test_touching_intervals_are_ordered(self):
+        records = [
+            start_event("run", "A", 0.0),
+            end_event("run", "A", 1.0),
+            start_event("run", "B", 1.0),  # starts exactly at A's end
+            end_event("run", "B", 2.0),
+        ]
+        execution = Execution("run", records)
+        assert set(execution.ordered_pairs()) == {("A", "B")}
+
+    def test_same_activity_pair_skipped(self):
+        execution = Execution.from_sequence("ABA")
+        pairs = set(execution.ordered_pairs())
+        assert ("A", "A") not in pairs
+        assert ("A", "B") in pairs
+        assert ("B", "A") in pairs
+
+    def test_overlapping_pairs_canonical(self):
+        records = [
+            start_event("run", "B", 0.0),
+            start_event("run", "A", 1.0),
+            end_event("run", "B", 2.0),
+            end_event("run", "A", 3.0),
+        ]
+        execution = Execution("run", records)
+        assert set(execution.overlapping_pairs()) == {("A", "B")}
+
+
+class TestLabelledViews:
+    def test_labelled_sequence(self):
+        execution = Execution.from_sequence("ABAB")
+        assert execution.labelled_sequence() == [
+            ("A", 1),
+            ("B", 1),
+            ("A", 2),
+            ("B", 2),
+        ]
+
+    def test_labelled_pairs_include_same_activity_instances(self):
+        execution = Execution.from_sequence("ABA")
+        pairs = set(execution.labelled_ordered_pairs())
+        assert (("A", 1), ("A", 2)) in pairs
+        assert (("A", 1), ("B", 1)) in pairs
+        assert (("B", 1), ("A", 2)) in pairs
+
+    def test_labelled_overlaps(self):
+        records = [
+            start_event("run", "A", 0.0),
+            start_event("run", "B", 1.0),
+            end_event("run", "A", 2.0),
+            end_event("run", "B", 3.0),
+        ]
+        execution = Execution("run", records)
+        assert set(execution.labelled_overlapping_pairs()) == {
+            (("A", 1), ("B", 1))
+        }
+
+
+class TestOutputs:
+    def test_outputs_recorded(self):
+        execution = Execution.from_sequence(
+            "AB", outputs={"A": (5.0, 6.0)}
+        )
+        assert execution.outputs_of("A") == [(5.0, 6.0)]
+        assert execution.last_output_of("A") == (5.0, 6.0)
+        assert execution.last_output_of("B") is None
+
+    def test_last_output_of_repeated_activity(self):
+        records = [
+            start_event("run", "A", 0.0),
+            end_event("run", "A", 1.0, output=(1.0,)),
+            start_event("run", "A", 2.0),
+            end_event("run", "A", 3.0, output=(2.0,)),
+        ]
+        execution = Execution("run", records)
+        assert execution.outputs_of("A") == [(1.0,), (2.0,)]
+        assert execution.last_output_of("A") == (2.0,)

@@ -1,0 +1,184 @@
+"""Tests for extraneous-execution analysis and log filters/variants."""
+
+import pytest
+
+from repro.core.extraneous import (
+    admitted_executions,
+    count_admitted,
+    extraneous_executions,
+    extraneous_ratio,
+)
+from repro.core.general_dag import mine_general_dag
+from repro.core.minimize import minimize_conformal
+from repro.datasets.examples import open_problem_log
+from repro.graphs.digraph import DiGraph
+from repro.logs.event_log import EventLog
+from repro.logs.filters import (
+    deduplicate_variants,
+    filter_log,
+    format_variants,
+    keep_variants,
+    started_between,
+    top_variants,
+    variant_counts,
+    with_activities,
+    with_length_between,
+    without_activities,
+)
+
+
+class TestAdmittedExecutions:
+    def test_chain_admits_only_itself(self):
+        graph = DiGraph(edges=[("A", "B"), ("B", "C")])
+        admitted = admitted_executions(graph, "A", "C")
+        # Definition 6 requires connectivity: A-C without B is not
+        # admitted when the only edges go through B... A->? A has no
+        # direct edge to C, so the subset {A, C} is disconnected.
+        assert admitted == [("A", "B", "C")]
+
+    def test_parallel_branches_admit_both_orders(self):
+        graph = DiGraph(
+            edges=[("S", "A"), ("S", "B"), ("A", "E"), ("B", "E")]
+        )
+        admitted = set(admitted_executions(graph, "S", "E"))
+        assert ("S", "A", "B", "E") in admitted
+        assert ("S", "B", "A", "E") in admitted
+        # Single-branch subsets are consistent too (induced subgraph
+        # connected, reachable, ordered).
+        assert ("S", "A", "E") in admitted
+        assert ("S", "B", "E") in admitted
+
+    def test_example4_matches_paper(self):
+        # Figure 1's graph: ACBE consistent, ADBE not.
+        from repro.datasets.examples import example1_edges
+
+        graph = DiGraph(edges=example1_edges())
+        admitted = set(admitted_executions(graph, "A", "E"))
+        assert ("A", "C", "B", "E") in admitted
+        assert ("A", "D", "B", "E") not in admitted
+
+    def test_count_admitted(self):
+        graph = DiGraph(edges=[("A", "B"), ("B", "C")])
+        assert count_admitted(graph, "A", "C") == 1
+
+    def test_max_count_guard(self):
+        # A wide parallel block admits factorially many executions.
+        edges = [("S", c) for c in "ABCDEFG"]
+        edges += [(c, "E!") for c in "ABCDEFG"]
+        graph = DiGraph(edges=edges)
+        with pytest.raises(ValueError, match="more than"):
+            admitted_executions(graph, "S", "E!", max_count=100)
+
+    def test_bad_endpoints(self):
+        graph = DiGraph(edges=[("A", "B")])
+        with pytest.raises(ValueError):
+            admitted_executions(graph, "X", "B")
+
+
+class TestExtraneous:
+    def test_log_exactly_covered_means_zero(self):
+        graph = DiGraph(edges=[("A", "B"), ("B", "C")])
+        log = EventLog.from_sequences(["ABC"])
+        assert extraneous_executions(graph, log) == []
+        assert extraneous_ratio(graph, log) == 0.0
+
+    def test_parallel_graph_over_partial_log(self):
+        graph = DiGraph(
+            edges=[("S", "A"), ("S", "B"), ("A", "E"), ("B", "E")]
+        )
+        log = EventLog.from_sequences(["SABE"])
+        extraneous = extraneous_executions(graph, log)
+        assert ("S", "B", "A", "E") in extraneous
+        assert 0.0 < extraneous_ratio(graph, log) < 1.0
+
+    def test_figure5_open_problem_quantified(self):
+        # The two conformal graphs of Figure 5 "allow a different set of
+        # extraneous executions"; measure ours.
+        log = open_problem_log()
+        mined = mine_general_dag(log)
+        minimized = minimize_conformal(mined, log)
+        for graph in (mined, minimized):
+            ratio = extraneous_ratio(graph, log)
+            assert 0.0 <= ratio < 1.0
+        # Every logged variant is admitted by both (conformance).
+        for graph in (mined, minimized):
+            admitted = set(admitted_executions(graph, "A", "F"))
+            for sequence in log.sequences():
+                assert tuple(sequence) in admitted
+
+
+class TestFilters:
+    def make_log(self):
+        return EventLog.from_sequences(
+            ["ABE", "ABE", "ACE", "ABCE", "ABE"],
+            process_name="demo",
+        )
+
+    def test_filter_log(self):
+        log = self.make_log()
+        short = filter_log(log, lambda e: len(e) == 3)
+        assert len(short) == 4
+        assert short.process_name == "demo"
+
+    def test_with_activities(self):
+        log = self.make_log()
+        assert len(with_activities(log, "B")) == 4
+        assert len(with_activities(log, "B", "C")) == 1
+
+    def test_without_activities(self):
+        log = self.make_log()
+        assert len(without_activities(log, "C")) == 3
+
+    def test_with_length_between(self):
+        log = self.make_log()
+        assert len(with_length_between(log, 4)) == 1
+        assert len(with_length_between(log, 0, 3)) == 4
+
+    def test_started_between(self):
+        log = EventLog(
+            [
+                __import__(
+                    "repro.logs.execution", fromlist=["Execution"]
+                ).Execution.from_sequence(
+                    "AB", execution_id="early", start_time=0.0
+                ),
+                __import__(
+                    "repro.logs.execution", fromlist=["Execution"]
+                ).Execution.from_sequence(
+                    "AB", execution_id="late", start_time=100.0
+                ),
+            ]
+        )
+        windowed = started_between(log, 50.0, 150.0)
+        assert [e.execution_id for e in windowed] == ["late"]
+
+    def test_variant_counts_ordering(self):
+        log = self.make_log()
+        variants = variant_counts(log)
+        assert list(variants)[0] == ("A", "B", "E")
+        assert variants[("A", "B", "E")] == 3
+        assert len(variants) == 3
+
+    def test_top_variants(self):
+        log = self.make_log()
+        top = top_variants(log, count=2)
+        assert len(top) == 2
+        assert top[0][1] >= top[1][1]
+
+    def test_keep_variants(self):
+        log = self.make_log()
+        kept = keep_variants(log, ("A", "C", "E"))
+        assert len(kept) == 1
+
+    def test_deduplicate_variants_preserves_mining(self):
+        log = self.make_log()
+        deduplicated = deduplicate_variants(log)
+        assert len(deduplicated) == 3
+        assert mine_general_dag(log).edge_set() == mine_general_dag(
+            deduplicated
+        ).edge_set()
+
+    def test_format_variants(self):
+        text = format_variants(self.make_log())
+        assert "5 executions, 3 variants" in text
+        assert "A B E" in text

@@ -1,0 +1,161 @@
+"""Unit tests for repro.core.followings and repro.core.dependency.
+
+These pin the paper's Definitions 3–5 to its own worked examples.
+"""
+
+import pytest
+
+from repro.core.dependency import (
+    DEPENDS,
+    DEPENDS_REVERSED,
+    INDEPENDENT,
+    dependency_relation,
+)
+from repro.core.followings import (
+    execution_pair_sets,
+    follow_relation,
+    pair_execution_counts,
+    presence_counts,
+    remove_two_cycles,
+    union_pairs,
+)
+from repro.logs.event_log import EventLog
+
+
+@pytest.fixture
+def example3():
+    # The paper's Example 3 log.
+    return EventLog.from_sequences(["ABCE", "ACDE", "ADBE"])
+
+
+@pytest.fixture
+def example3_extended():
+    # Example 3's second half: ADCE added.
+    return EventLog.from_sequences(["ABCE", "ACDE", "ADBE", "ADCE"])
+
+
+class TestFollowRelation:
+    def test_direct_followings_grounded_in_co_occurrence(self, example3):
+        relation = follow_relation(example3)
+        assert relation.directly_follows("A", "B")
+        assert relation.directly_follows("D", "B")  # sole co-occurrence
+        assert relation.directly_follows("B", "C")  # ABCE only
+        assert not relation.directly_follows("B", "A")
+
+    def test_example3_transitive_following(self, example3):
+        relation = follow_relation(example3)
+        # "D follows B (because it follows C, which follows B)".
+        assert relation.follows("B", "D")
+        # And B follows D directly.
+        assert relation.follows("D", "B")
+
+    def test_example3_extension_severs_path(self, example3_extended):
+        relation = follow_relation(example3_extended)
+        # C and D now appear in both orders: no *direct* following.
+        assert not relation.directly_follows("C", "D")
+        assert not relation.directly_follows("D", "C")
+        # Definition 3's transitive case still gives "C follows D" via B
+        # (D -> B -> C); the key fact for Example 3's argument is the
+        # other direction: D no longer follows B, so B depends on D.
+        assert relation.follows("D", "C")
+        assert not relation.follows("B", "D")
+        assert relation.follows("D", "B")
+
+    def test_never_co_occurring_activities_do_not_follow(self):
+        log = EventLog.from_sequences(["ABD", "ACD"])
+        relation = follow_relation(log)
+        assert not relation.follows("B", "C")
+        assert not relation.follows("C", "B")
+
+    def test_followings_graph_nodes(self, example3):
+        graph = follow_relation(example3).graph()
+        assert set(graph.nodes()) == {"A", "B", "C", "D", "E"}
+
+
+class TestDependencyRelation:
+    def test_example3_classification(self, example3):
+        relation = dependency_relation(example3)
+        assert relation.depends_on("B", "A")
+        assert relation.independent("B", "D")
+        assert relation.classify("A", "B") == DEPENDS
+        assert relation.classify("B", "A") == DEPENDS_REVERSED
+        assert relation.classify("B", "D") == INDEPENDENT
+
+    def test_example3_extension_creates_dependency(
+        self, example3_extended
+    ):
+        relation = dependency_relation(example3_extended)
+        # "B and D are no longer independent; rather, B depends on D."
+        assert relation.depends_on("B", "D")
+        assert not relation.independent("B", "D")
+
+    def test_everything_depends_on_initiator(self, example3):
+        relation = dependency_relation(example3)
+        for activity in "BCDE":
+            assert relation.depends_on(activity, "A")
+
+    def test_terminator_depends_on_everything(self, example3):
+        relation = dependency_relation(example3)
+        for activity in "ABCD":
+            assert relation.depends_on("E", activity)
+
+    def test_independence_is_symmetric_and_irreflexive(self, example3):
+        relation = dependency_relation(example3)
+        assert relation.independent("B", "D") == relation.independent(
+            "D", "B"
+        )
+        assert not relation.independent("A", "A")
+
+    def test_minimal_graph_is_reduced_and_complete(self, example3):
+        relation = dependency_relation(example3)
+        minimal = relation.minimal_graph()
+        full = relation.full_graph()
+        from repro.graphs.transitive import (
+            closure_equal,
+            is_transitively_reduced,
+        )
+
+        assert is_transitively_reduced(minimal)
+        assert closure_equal(minimal, full)
+
+    def test_dependence_is_a_strict_partial_order(self):
+        # Transitivity on a richer log.
+        log = EventLog.from_sequences(
+            ["ABCDE", "ABDCE", "ACBDE"], process_name="p"
+        )
+        relation = dependency_relation(log)
+        for a, b in relation.depends:
+            assert (b, a) not in relation.depends  # antisymmetry
+        for a, b in relation.depends:
+            for c, d in relation.depends:
+                if b == c:
+                    assert (a, d) in relation.depends  # transitivity
+
+
+class TestPairHelpers:
+    def test_execution_pair_sets(self, example3):
+        pair_sets = execution_pair_sets(example3)
+        assert len(pair_sets) == 3
+        assert ("A", "B") in pair_sets[0]
+        assert ("B", "C") in pair_sets[0]
+
+    def test_union_and_two_cycle_removal(self):
+        # Example 6's log has B/C and B/D in both orders.
+        log = EventLog.from_sequences(["ABCDE", "ACDBE", "ACBDE"])
+        edges = union_pairs(execution_pair_sets(log))
+        assert ("B", "C") in edges and ("C", "B") in edges
+        pruned = remove_two_cycles(edges)
+        assert ("B", "C") not in pruned and ("C", "B") not in pruned
+        assert ("B", "D") not in pruned and ("D", "B") not in pruned
+        assert ("A", "B") in pruned
+
+    def test_pair_execution_counts(self, example3):
+        counts = pair_execution_counts(example3)
+        assert counts[("A", "E")] == 3
+        assert counts[("B", "C")] == 1
+        assert counts[("Z", "A")] == 0
+
+    def test_presence_counts(self, example3):
+        counts = presence_counts(example3)
+        assert counts["A"] == 3
+        assert counts["B"] == 2

@@ -1,0 +1,119 @@
+"""Tests for the incremental (streaming) miner."""
+
+import pytest
+
+from repro.core.cyclic import mine_cyclic
+from repro.core.general_dag import MiningTrace, mine_general_dag
+from repro.core.incremental import (
+    MODE_CYCLIC,
+    MODE_GENERAL,
+    IncrementalMiner,
+)
+from repro.datasets.examples import example7_log, example8_log
+from repro.datasets.synthetic import SyntheticConfig, synthetic_dataset
+from repro.errors import EmptyLogError
+from repro.logs.event_log import EventLog
+
+
+class TestStreamingEquivalence:
+    def test_matches_batch_on_example7(self):
+        log = example7_log()
+        miner = IncrementalMiner()
+        for execution in log:
+            miner.add(execution)
+        assert miner.graph().edge_set() == mine_general_dag(
+            log
+        ).edge_set()
+
+    def test_matches_batch_at_every_prefix(self):
+        log = synthetic_dataset(
+            SyntheticConfig(n_vertices=10, n_executions=40, seed=2)
+        ).log
+        miner = IncrementalMiner()
+        for i, execution in enumerate(log, start=1):
+            miner.add(execution)
+            prefix = EventLog(log.executions[:i])
+            assert miner.graph().edge_set() == mine_general_dag(
+                prefix
+            ).edge_set(), f"prefix {i}"
+
+    def test_cyclic_mode_matches_algorithm3(self):
+        log = example8_log()
+        miner = IncrementalMiner(mode=MODE_CYCLIC)
+        miner.add_log(log)
+        assert miner.graph().edge_set() == mine_cyclic(log).edge_set()
+
+    def test_threshold_applied(self):
+        sequences = ["ABCDE"] * 50 + ["ADCBE"] * 2
+        miner = IncrementalMiner(threshold=5)
+        for seq in sequences:
+            miner.add_sequence(seq)
+        graph = miner.graph()
+        assert graph.has_edge("B", "C")
+        assert graph.has_edge("C", "D")
+
+
+class TestStreamingBehaviour:
+    def test_empty_miner_rejects_query(self):
+        with pytest.raises(EmptyLogError):
+            IncrementalMiner().graph()
+
+    def test_execution_count(self):
+        miner = IncrementalMiner()
+        miner.add_sequence("AB")
+        miner.add_sequence("AB")
+        assert miner.execution_count == 2
+
+    def test_graph_returns_copies(self):
+        miner = IncrementalMiner()
+        miner.add_sequence("ABC")
+        first = miner.graph()
+        first.add_edge("C", "A")
+        assert not miner.graph().has_edge("C", "A")
+
+    def test_cached_between_ingests(self):
+        miner = IncrementalMiner()
+        miner.add_sequence("ABC")
+        g1 = miner.graph()
+        g2 = miner.graph()  # cached path
+        assert g1.edge_set() == g2.edge_set()
+        miner.add_sequence("ACB")
+        g3 = miner.graph()
+        assert not g3.has_edge("B", "C")
+
+    def test_stability_counter(self):
+        miner = IncrementalMiner()
+        for _ in range(5):
+            miner.add_sequence("ABC")
+            miner.graph()
+        # Four consecutive unchanged materializations after the first.
+        assert miner.stability() == 4
+        assert miner.has_converged(window=3)
+        miner.add_sequence("ACB")
+        miner.graph()
+        assert miner.stability() == 0
+
+    def test_trace_passthrough(self):
+        miner = IncrementalMiner()
+        miner.add_log(example7_log())
+        trace = MiningTrace()
+        miner.graph(trace=trace)
+        assert trace.edges_after_step2 > 0
+
+    def test_reset(self):
+        miner = IncrementalMiner()
+        miner.add_sequence("AB")
+        miner.reset()
+        assert miner.execution_count == 0
+        with pytest.raises(EmptyLogError):
+            miner.graph()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            IncrementalMiner(mode="magic")
+        with pytest.raises(ValueError):
+            IncrementalMiner(threshold=-1)
+
+    def test_modes_exported(self):
+        assert MODE_GENERAL == "general-dag"
+        assert MODE_CYCLIC == "cyclic"

@@ -1,0 +1,133 @@
+"""Tests for the JSON-lines log codec."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import LogFormatError
+from repro.logs.event_log import EventLog
+from repro.logs.execution import Execution
+from repro.logs.jsonl import (
+    read_log_jsonl,
+    read_log_jsonl_file,
+    record_from_json,
+    record_to_json,
+    write_log_jsonl,
+    write_log_jsonl_file,
+)
+
+
+def sample_log():
+    return EventLog(
+        [
+            Execution.from_sequence(
+                "AB", outputs={"A": (1.5, 2.0)}, execution_id="r1"
+            ),
+            Execution.from_sequence("ACB", execution_id="r2"),
+        ],
+        process_name="claims",
+    )
+
+
+class TestRecordLevel:
+    def test_json_shape(self):
+        log = sample_log()
+        record = log[0].records[1]  # A's END event
+        payload = json.loads(record_to_json(record, "claims"))
+        assert payload["process"] == "claims"
+        assert payload["activity"] == "A"
+        assert payload["type"] == "END"
+        assert payload["output"] == [1.5, 2.0]
+
+    def test_start_has_null_output(self):
+        record = sample_log()[0].records[0]
+        payload = json.loads(record_to_json(record, "claims"))
+        assert payload["output"] is None
+
+    def test_roundtrip(self):
+        record = sample_log()[0].records[1]
+        name, parsed = record_from_json(record_to_json(record, "p"))
+        assert name == "p"
+        assert parsed == record
+
+    def test_unknown_fields_ignored(self):
+        line = json.dumps(
+            {
+                "process": "p", "execution": "e", "activity": "A",
+                "type": "START", "time": 0.0, "output": None,
+                "sidecar": {"k": "v"},
+            }
+        )
+        _, record = record_from_json(line)
+        assert record.activity == "A"
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2]",
+            '{"process": "p"}',
+            '{"process": "p", "execution": "e", "activity": "A", '
+            '"type": "MIDDLE", "time": 0}',
+            '{"process": "p", "execution": "e", "activity": "A", '
+            '"type": "END", "time": 0, "output": "nope"}',
+            '{"process": "p", "execution": "e", "activity": "A", '
+            '"type": "END", "time": 0, "output": ["x"]}',
+        ],
+    )
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(LogFormatError):
+            record_from_json(line, line_number=1)
+
+
+class TestLogLevel:
+    def test_roundtrip(self):
+        log = sample_log()
+        buffer = io.StringIO()
+        lines = write_log_jsonl(log, buffer)
+        assert lines == log.event_count()
+        buffer.seek(0)
+        parsed = read_log_jsonl(buffer)
+        assert parsed.process_name == "claims"
+        assert parsed.sequences() == log.sequences()
+        assert parsed[0].last_output_of("A") == (1.5, 2.0)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        write_log_jsonl_file(sample_log(), path)
+        parsed = read_log_jsonl_file(path)
+        assert len(parsed) == 2
+
+    def test_blank_lines_skipped(self):
+        log = sample_log()
+        buffer = io.StringIO()
+        write_log_jsonl(log, buffer)
+        padded = "\n" + buffer.getvalue().replace("\n", "\n\n")
+        parsed = read_log_jsonl(io.StringIO(padded))
+        assert parsed.sequences() == log.sequences()
+
+    def test_mixed_processes_rejected(self):
+        lines = [
+            json.dumps(
+                {"process": p, "execution": "e", "activity": "A",
+                 "type": "START", "time": 0.0}
+            )
+            for p in ("p1", "p2")
+        ]
+        with pytest.raises(LogFormatError, match="mixes"):
+            read_log_jsonl(io.StringIO("\n".join(lines)))
+
+    def test_mining_equivalence_across_codecs(self):
+        from repro.core.general_dag import mine_general_dag
+        from repro.logs.codec import log_from_text, log_to_text
+
+        log = sample_log()
+        buffer = io.StringIO()
+        write_log_jsonl(log, buffer)
+        buffer.seek(0)
+        via_jsonl = read_log_jsonl(buffer)
+        via_tsv = log_from_text(log_to_text(log))
+        assert mine_general_dag(via_jsonl).edge_set() == (
+            mine_general_dag(via_tsv).edge_set()
+        )

@@ -1,0 +1,115 @@
+"""Property tests for the paper's lemmas (Section 3).
+
+* **Lemma 1** — if B depends on A then B starts after A terminates in
+  every execution (all-activities setting).
+* **Lemma 2** — graphs with the same transitive closure are consistent
+  with the same executions when every activity appears in each.
+* **Lemma 3** — a dependency graph for an all-activities log is
+  conformal.
+* **Theorem 4** — Algorithm 1's output is the unique minimal conformal
+  graph: any conformal graph has at least as many edges.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conformance import check_conformance, is_consistent
+from repro.core.dependency import dependency_relation
+from repro.core.special_dag import mine_special_dag
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transitive import transitive_closure
+from repro.logs.event_log import EventLog
+from repro.logs.execution import Execution
+
+
+@st.composite
+def complete_logs(draw, max_interior=5, max_executions=6):
+    """Logs whose executions all contain the same activities once."""
+    n = draw(st.integers(min_value=0, max_value=max_interior))
+    interior = [chr(ord("A") + i) for i in range(n)]
+    m = draw(st.integers(min_value=1, max_value=max_executions))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    rng = random.Random(seed)
+    sequences = []
+    for _ in range(m):
+        middle = list(interior)
+        rng.shuffle(middle)
+        sequences.append(["S", *middle, "Z"])
+    return EventLog.from_sequences(sequences)
+
+
+class TestLemma1:
+    @given(complete_logs())
+    @settings(max_examples=40, deadline=None)
+    def test_dependence_implies_universal_order(self, log):
+        relation = dependency_relation(log)
+        for execution in log:
+            position = {
+                activity: index
+                for index, activity in enumerate(execution.sequence)
+            }
+            for prerequisite, dependent in relation.depends:
+                assert position[prerequisite] < position[dependent], (
+                    prerequisite,
+                    dependent,
+                    execution.sequence,
+                )
+
+
+class TestLemma2:
+    @given(complete_logs())
+    @settings(max_examples=30, deadline=None)
+    def test_closure_equal_graphs_admit_same_executions(self, log):
+        mined = mine_special_dag(log)
+        # Build a closure-equal variant by materializing the closure
+        # itself (the densest graph with the same dependencies).
+        closure = transitive_closure(mined)
+        dense = DiGraph(nodes=mined.nodes())
+        for a, b in closure.edges():
+            if a != b:
+                dense.add_edge(a, b)
+        source = log[0].first_activity
+        sink = log[0].last_activity
+        activities = sorted(log.activities())
+        rng = random.Random(17)
+        # Probe with the log's own executions plus random permutations.
+        probes = [list(e.sequence) for e in log]
+        for _ in range(10):
+            middle = [
+                a for a in activities if a not in (source, sink)
+            ]
+            rng.shuffle(middle)
+            probes.append([source, *middle, sink])
+        for sequence in probes:
+            execution = Execution.from_sequence(sequence)
+            verdict_reduced = (
+                is_consistent(mined, execution, source, sink) is None
+            )
+            verdict_dense = (
+                is_consistent(dense, execution, source, sink) is None
+            )
+            assert verdict_reduced == verdict_dense, sequence
+
+
+class TestLemma3AndTheorem4:
+    @given(complete_logs())
+    @settings(max_examples=30, deadline=None)
+    def test_dependency_graph_is_conformal(self, log):
+        relation = dependency_relation(log)
+        report = check_conformance(relation.minimal_graph(), log)
+        assert report.is_conformal, report.violations()
+
+    @given(complete_logs())
+    @settings(max_examples=25, deadline=None)
+    def test_no_conformal_graph_is_smaller(self, log):
+        mined = mine_special_dag(log)
+        # Removing any single edge breaks conformance: the mined graph
+        # is the transitive reduction of the dependency order, so every
+        # edge carries a dependency no other path covers.
+        for edge in list(mined.edges()):
+            weakened = mined.copy()
+            weakened.remove_edge(*edge)
+            report = check_conformance(weakened, log)
+            assert not report.is_conformal, edge

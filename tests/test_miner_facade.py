@@ -1,0 +1,105 @@
+"""Tests for the ProcessMiner facade and MiningResult."""
+
+import pytest
+
+from repro.core.miner import (
+    ALGORITHM_CYCLIC,
+    ALGORITHM_GENERAL,
+    ALGORITHM_SPECIAL,
+    ProcessMiner,
+)
+from repro.datasets.examples import (
+    example6_log,
+    example7_log,
+    example8_log,
+)
+from repro.errors import EmptyLogError, MiningError
+from repro.logs.event_log import EventLog
+
+
+class TestAutoDispatch:
+    def test_complete_log_uses_algorithm1(self):
+        result = ProcessMiner().mine(example6_log())
+        assert result.algorithm == ALGORITHM_SPECIAL
+
+    def test_optional_activities_use_algorithm2(self):
+        result = ProcessMiner().mine(example7_log())
+        assert result.algorithm == ALGORITHM_GENERAL
+
+    def test_repetitions_use_algorithm3(self):
+        result = ProcessMiner().mine(example8_log())
+        assert result.algorithm == ALGORITHM_CYCLIC
+
+    def test_explicit_algorithm_respected(self):
+        result = ProcessMiner(algorithm=ALGORITHM_GENERAL).mine(
+            example6_log()
+        )
+        assert result.algorithm == ALGORITHM_GENERAL
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessMiner(algorithm="magic")
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessMiner(threshold=-3)
+
+    def test_threshold_with_algorithm1_rejected(self):
+        miner = ProcessMiner(algorithm=ALGORITHM_SPECIAL, threshold=5)
+        with pytest.raises(MiningError, match="threshold"):
+            miner.mine(example6_log())
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(EmptyLogError):
+            ProcessMiner().mine(EventLog())
+
+
+class TestMiningResult:
+    def test_endpoints_detected(self):
+        result = ProcessMiner().mine(example7_log())
+        assert result.source == "A"
+        assert result.sink == "F"
+
+    def test_ambiguous_endpoints_are_none(self):
+        log = EventLog.from_sequences(["ABZ", "XBZ"])
+        result = ProcessMiner().mine(log)
+        assert result.source is None
+
+    def test_to_process_model(self):
+        result = ProcessMiner().mine(example7_log())
+        model = result.to_process_model("recovered")
+        assert model.name == "recovered"
+        assert model.source == "A"
+        assert model.sink == "F"
+        assert model.graph.edge_set() == result.graph.edge_set()
+
+    def test_to_process_model_with_conditions(self):
+        result = ProcessMiner(learn_conditions=True).mine(example7_log())
+        model = result.to_process_model()
+        # Flowmark-style logs without outputs: all conditions Always.
+        from repro.model.conditions import Always
+
+        for edge in model.edges():
+            assert model.condition(*edge) == Always()
+
+    def test_conditions_empty_when_not_requested(self):
+        result = ProcessMiner().mine(example7_log())
+        assert result.conditions == {}
+
+    def test_conditions_present_when_requested(self):
+        result = ProcessMiner(learn_conditions=True).mine(example7_log())
+        assert set(result.conditions) == result.graph.edge_set()
+
+    def test_trace_populated_for_algorithm2(self):
+        result = ProcessMiner(algorithm=ALGORITHM_GENERAL).mine(
+            example7_log()
+        )
+        assert result.trace.edges_after_step2 > 0
+
+    def test_mined_graph_conformal(self):
+        from repro.core.conformance import check_conformance
+
+        for log in (example6_log(), example7_log()):
+            result = ProcessMiner().mine(log)
+            report = check_conformance(result.graph, log)
+            assert report.is_conformal, report.violations()

@@ -1,0 +1,82 @@
+"""Tests for exact conformal-graph minimization."""
+
+import pytest
+
+from repro.core.conformance import check_conformance
+from repro.core.general_dag import mine_general_dag
+from repro.core.minimize import minimization_gap, minimize_conformal
+from repro.core.special_dag import mine_special_dag
+from repro.datasets.examples import example6_log, example7_log
+from repro.datasets.synthetic import SyntheticConfig, synthetic_dataset
+from repro.graphs.digraph import DiGraph
+from repro.logs.event_log import EventLog
+
+
+class TestMinimizeConformal:
+    def test_result_stays_conformal(self):
+        log = example7_log()
+        mined = mine_general_dag(log)
+        minimized = minimize_conformal(mined, log)
+        report = check_conformance(minimized, log)
+        assert report.is_conformal, report.violations()
+
+    def test_result_is_subgraph(self):
+        log = example7_log()
+        mined = mine_general_dag(log)
+        minimized = minimize_conformal(mined, log)
+        assert minimized.edge_set() <= mined.edge_set()
+
+    def test_no_single_edge_removable(self):
+        log = example7_log()
+        minimized = minimize_conformal(mine_general_dag(log), log)
+        for edge in list(minimized.edges()):
+            weakened = minimized.copy()
+            weakened.remove_edge(*edge)
+            report = check_conformance(weakened, log)
+            assert not report.is_conformal, edge
+
+    def test_algorithm1_output_already_minimal(self):
+        # Theorem 4: on complete logs the mined graph is minimal; exact
+        # minimization must find nothing to remove.
+        log = example6_log()
+        mined = mine_special_dag(log)
+        minimized = minimize_conformal(mined, log)
+        assert minimized.edge_set() == mined.edge_set()
+
+    def test_removes_genuinely_redundant_edge(self):
+        # Start from a graph with an obviously redundant shortcut.
+        log = EventLog.from_sequences(["ABC"] * 3)
+        padded = DiGraph(
+            edges=[("A", "B"), ("B", "C"), ("A", "C")]
+        )
+        minimized = minimize_conformal(padded, log)
+        assert minimized.edge_set() == {("A", "B"), ("B", "C")}
+
+    def test_keeps_shortcut_needed_by_skipping_execution(self):
+        # A->C is required by the execution AC (B optional).
+        log = EventLog.from_sequences(["ABC", "AC"])
+        padded = DiGraph(
+            edges=[("A", "B"), ("B", "C"), ("A", "C")]
+        )
+        minimized = minimize_conformal(padded, log)
+        assert minimized.has_edge("A", "C")
+
+    def test_heuristic_close_to_exact_on_synthetic(self):
+        dataset = synthetic_dataset(
+            SyntheticConfig(n_vertices=10, n_executions=100, seed=4)
+        )
+        mined = mine_general_dag(dataset.log)
+        before, after, minimized = minimization_gap(mined, dataset.log)
+        assert before == mined.edge_count
+        assert after <= before
+        # The heuristic should be within a handful of edges of locally
+        # minimal on small graphs (the paper's justification for it).
+        assert before - after <= max(3, before // 4)
+        report = check_conformance(minimized, dataset.log)
+        assert report.is_conformal, report.violations()
+
+    def test_empty_log_rejected(self):
+        from repro.errors import EmptyLogError
+
+        with pytest.raises(EmptyLogError):
+            minimize_conformal(DiGraph(), EventLog())

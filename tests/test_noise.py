@@ -1,0 +1,194 @@
+"""Unit tests for Section 6: noise thresholds and noisy-log mining."""
+
+import math
+
+import pytest
+
+from repro.core.general_dag import MiningTrace, mine_general_dag
+from repro.core.noise import (
+    binomial_tail,
+    expected_noise_pairs,
+    optimal_threshold,
+    paper_upper_bound_false_dependency,
+    paper_upper_bound_false_independence,
+    threshold_error_probability,
+)
+from repro.logs.event_log import EventLog
+from repro.logs.noise import NoiseConfig, NoiseInjector
+
+
+class TestBinomialTail:
+    def test_edge_cases(self):
+        assert binomial_tail(10, 0, 0.3) == 1.0
+        assert binomial_tail(10, 11, 0.3) == 0.0
+        assert binomial_tail(10, 10, 1.0) == pytest.approx(1.0)
+
+    def test_matches_direct_sum(self):
+        # P[X >= 2], X ~ Bin(3, 0.5) = (3 + 1) / 8.
+        assert binomial_tail(3, 2, 0.5) == pytest.approx(0.5)
+
+    def test_monotone_in_k(self):
+        values = [binomial_tail(20, k, 0.2) for k in range(21)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestPaperBounds:
+    def test_bound_dominates_exact_tail(self):
+        # C(m, T) eps^T >= P[X >= T] for X ~ Bin(m, eps).
+        for m, t, eps in [(50, 5, 0.05), (100, 10, 0.1), (30, 3, 0.2)]:
+            bound = paper_upper_bound_false_independence(m, t, eps)
+            exact = binomial_tail(m, t, eps)
+            assert bound >= exact - 1e-12
+
+    def test_dependency_bound_dominates(self):
+        for m, t in [(50, 10), (100, 40)]:
+            bound = paper_upper_bound_false_dependency(m, t)
+            exact = binomial_tail(m, m - t, 0.5)
+            assert bound >= exact - 1e-12
+
+    def test_bounds_clamped(self):
+        assert paper_upper_bound_false_independence(10, 1, 0.4) <= 1.0
+        assert paper_upper_bound_false_dependency(10, 9) <= 1.0
+        assert paper_upper_bound_false_independence(10, 11, 0.4) == 0.0
+
+
+class TestOptimalThreshold:
+    def test_balance_equation(self):
+        # T = m ln2 / (ln2 + ln(1/eps)).
+        m, eps = 1000, 0.05
+        t = optimal_threshold(m, eps)
+        expected = m * math.log(2) / (math.log(2) + math.log(1 / eps))
+        assert abs(t - expected) <= 0.5
+
+    def test_noise_free_threshold_is_one(self):
+        assert optimal_threshold(500, 0.0) == 1
+
+    def test_threshold_grows_with_noise(self):
+        thresholds = [
+            optimal_threshold(1000, eps) for eps in (0.01, 0.05, 0.1, 0.3)
+        ]
+        assert thresholds == sorted(thresholds)
+
+    def test_threshold_above_expected_noise(self):
+        # "Clearly T must be larger than eps * m" — holds for eps < 1/3
+        # where the balance solution exceeds the mean.
+        for eps in (0.01, 0.05, 0.1, 0.2):
+            m = 1000
+            assert optimal_threshold(m, eps) > expected_noise_pairs(m, eps)
+
+    def test_threshold_clamped_to_m(self):
+        assert 1 <= optimal_threshold(3, 0.4) <= 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            optimal_threshold(0, 0.1)
+        with pytest.raises(ValueError):
+            optimal_threshold(10, 0.6)
+        with pytest.raises(ValueError):
+            threshold_error_probability(0, 1, 0.1)
+
+
+class TestThresholdErrorProbability:
+    def test_tradeoff_directions(self):
+        # Raising T lowers the false-independence risk and raises the
+        # false-dependency risk.
+        m, eps = 200, 0.05
+        low = threshold_error_probability(m, 5, eps)
+        high = threshold_error_probability(m, 60, eps)
+        assert high.p_false_independence < low.p_false_independence
+        assert high.p_false_dependency >= low.p_false_dependency
+
+    def test_optimal_threshold_has_low_error(self):
+        m, eps = 500, 0.05
+        t = optimal_threshold(m, eps)
+        result = threshold_error_probability(m, t, eps)
+        assert result.p_error < 1e-6
+
+    def test_p_error_is_max(self):
+        result = threshold_error_probability(100, 20, 0.1)
+        assert result.p_error == max(
+            result.p_false_independence, result.p_false_dependency
+        )
+
+
+class TestNoisyMining:
+    def chain_log(self, m):
+        return EventLog.from_sequences(["ABCDE"] * m, process_name="chain")
+
+    CHAIN_EDGES = {("A", "B"), ("B", "C"), ("C", "D"), ("D", "E")}
+
+    def test_example9_scenario(self):
+        # Example 9: a 5-chain with k incorrect executions ADCBE.  With T
+        # below k the miner concludes B, C, D independent; with T above k
+        # the chain is recovered.
+        m, k = 100, 4
+        sequences = ["ABCDE"] * (m - k) + ["ADCBE"] * k
+        log = EventLog.from_sequences(sequences)
+        # Threshold too low: reversed pairs survive, killing B-C-D edges.
+        loose = mine_general_dag(log, threshold=0)
+        assert not loose.has_edge("B", "C")
+        assert not loose.has_edge("C", "D")
+        # Threshold above k: every chain dependency is recovered.  The
+        # noisy executions remain in the log, so step 5 may additionally
+        # mark forward shortcuts (paths the chain already implies) — the
+        # paper's guarantee is about dependencies, and no backward edge
+        # may survive.
+        strict = mine_general_dag(log, threshold=k + 1)
+        assert strict.edge_set() >= self.CHAIN_EDGES
+        forward = {
+            (a, b)
+            for i, a in enumerate("ABCDE")
+            for b in "ABCDE"[i + 1:]
+        }
+        assert strict.edge_set() <= forward
+
+    def test_swap_noise_recovered_with_optimal_threshold(self):
+        m, eps = 300, 0.1
+        clean = self.chain_log(m)
+        noisy = NoiseInjector(
+            NoiseConfig(swap_rate=eps, seed=7)
+        ).corrupt(clean)
+        t = optimal_threshold(m, eps)
+        mined = mine_general_dag(noisy, threshold=t)
+        assert mined.edge_set() >= self.CHAIN_EDGES
+        forward = {
+            (a, b)
+            for i, a in enumerate("ABCDE")
+            for b in "ABCDE"[i + 1:]
+        }
+        assert mined.edge_set() <= forward
+        # Without the threshold, the swapped pairs destroy the chain.
+        unthresholded = mine_general_dag(noisy)
+        assert not unthresholded.edge_set() >= self.CHAIN_EDGES
+
+    def test_insert_noise_filtered_by_threshold(self):
+        m = 200
+        clean = self.chain_log(m)
+        noisy = NoiseInjector(
+            NoiseConfig(insert_rate=0.05, alien_activities=("X",), seed=3)
+        ).corrupt(clean)
+        mined = mine_general_dag(noisy, threshold=25)
+        assert "X" not in set(
+            n for e in mined.edges() for n in e
+        )
+
+    def test_threshold_counts_in_trace(self):
+        m, k = 50, 3
+        sequences = ["ABCDE"] * (m - k) + ["ADCBE"] * k
+        log = EventLog.from_sequences(sequences)
+        trace = MiningTrace()
+        mine_general_dag(log, threshold=k + 1, trace=trace)
+        assert trace.edges_dropped_by_threshold > 0
+        assert trace.pair_counts[("A", "B")] == m
+
+    def test_drop_noise_tolerated(self):
+        # Dropped activities only remove evidence; the chain survives as
+        # long as each adjacent pair is still frequently observed.
+        m = 200
+        clean = self.chain_log(m)
+        noisy = NoiseInjector(
+            NoiseConfig(drop_rate=0.2, seed=5)
+        ).corrupt(clean)
+        mined = mine_general_dag(noisy)
+        for edge in self.CHAIN_EDGES:
+            assert mined.has_edge(*edge)

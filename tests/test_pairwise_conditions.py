@@ -1,0 +1,142 @@
+"""Tests for pairwise-feature conditions mining (Example 1's shape)."""
+
+import pytest
+
+from repro.core.conditions import ConditionsMiner
+from repro.core.general_dag import mine_general_dag
+from repro.engine.simulator import SimulationConfig, WorkflowSimulator
+from repro.model.builder import ProcessBuilder
+from repro.model.conditions import (
+    Comparison,
+    ParamRef,
+    attr_gt,
+    param,
+    parse_condition,
+)
+
+
+def example1_style_model():
+    """Example 1's condition on the branch: o[0] > 0 and o[1] < o[0]."""
+    condition = attr_gt(0, 0) & Comparison(1, "<", param(0))
+    return (
+        ProcessBuilder("example1-style")
+        .activity("C", arity=2, low=0, high=100)
+        .edge("A", "C")
+        .edge("C", "D", condition=condition)
+        .edge("C", "E")
+        .edge("D", "E")
+        .build()
+    )
+
+
+@pytest.fixture(scope="module")
+def logs():
+    model = example1_style_model()
+    train = WorkflowSimulator(
+        model, SimulationConfig(seed=11)
+    ).run_log(400)
+    holdout = WorkflowSimulator(
+        model, SimulationConfig(seed=12)
+    ).run_log(200)
+    return model, train, holdout
+
+
+class TestParamRefOffsets:
+    def test_offset_evaluation(self):
+        condition = Comparison(0, "<=", ParamRef(1, 5.0))
+        assert condition.evaluate((10.0, 6.0))   # 10 <= 11
+        assert not condition.evaluate((12.0, 6.0))
+
+    def test_offset_rendering(self):
+        assert str(Comparison(0, "<=", ParamRef(1, 5.0))) == (
+            "o[0] <= o[1] + 5"
+        )
+        assert str(Comparison(0, ">", ParamRef(1, -2.5))) == (
+            "o[0] > o[1] - 2.5"
+        )
+
+    def test_offset_parse_roundtrip(self):
+        for text in ("o[0] <= o[1] + 5", "o[0] > o[1] - 2.5"):
+            assert str(parse_condition(text)) == text
+
+    def test_zero_offset_renders_plain(self):
+        assert str(Comparison(0, "<", ParamRef(1))) == "o[0] < o[1]"
+
+
+class TestPairwiseLearning:
+    def test_axis_tree_cannot_learn_example1(self, logs):
+        model, train, holdout = logs
+        mined = ConditionsMiner(pairwise=False).mine_edge(
+            train, ("C", "D")
+        )
+        accuracy = _holdout_accuracy(mined.condition, holdout)
+        assert accuracy < 0.97  # depth-8 axis splits approximate poorly
+
+    def test_pairwise_tree_learns_example1(self, logs):
+        model, train, holdout = logs
+        mined = ConditionsMiner(pairwise=True).mine_edge(
+            train, ("C", "D")
+        )
+        assert mined.learnable
+        assert mined.training_accuracy >= 0.99
+        accuracy = _holdout_accuracy(mined.condition, holdout)
+        assert accuracy >= 0.98
+
+    def test_learned_condition_uses_param_reference(self, logs):
+        model, train, _ = logs
+        mined = ConditionsMiner(pairwise=True).mine_edge(
+            train, ("C", "D")
+        )
+        assert "o[" in str(mined.condition)
+        # The rendered condition references a parameter on some RHS.
+        assert _mentions_param_ref(mined.condition)
+
+    def test_pairwise_harmless_on_axis_conditions(self):
+        model = (
+            ProcessBuilder("axis")
+            .edge("A", "B", condition=attr_gt(0, 50))
+            .edge("A", "C")
+            .edge("B", "D")
+            .edge("C", "D")
+            .build()
+        )
+        train = WorkflowSimulator(
+            model, SimulationConfig(seed=4)
+        ).run_log(300)
+        mined = ConditionsMiner(pairwise=True).mine_edge(
+            train, ("A", "B")
+        )
+        assert mined.training_accuracy >= 0.99
+
+    def test_full_graph_mining_with_pairwise(self, logs):
+        model, train, _ = logs
+        graph = mine_general_dag(train)
+        conditions = ConditionsMiner(pairwise=True).mine(train, graph)
+        assert set(conditions) == graph.edge_set()
+
+
+def _holdout_accuracy(condition, holdout) -> float:
+    total = hits = 0
+    for execution in holdout:
+        output = execution.last_output_of("C")
+        if output is None:
+            continue
+        total += 1
+        hits += condition.evaluate(output) == (
+            "D" in execution.activities
+        )
+    return hits / total if total else 0.0
+
+
+def _mentions_param_ref(condition) -> bool:
+    from repro.model.conditions import And, Not, Or
+
+    if isinstance(condition, Comparison):
+        return isinstance(condition.rhs, ParamRef)
+    if isinstance(condition, (And, Or)):
+        return _mentions_param_ref(condition.left) or _mentions_param_ref(
+            condition.right
+        )
+    if isinstance(condition, Not):
+        return _mentions_param_ref(condition.operand)
+    return False

@@ -1,0 +1,265 @@
+"""Unit tests for repro.model (activity, process, builder, validate)."""
+
+import random
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, InvalidProcessError
+from repro.model.activity import Activity, OutputSpec
+from repro.model.builder import ProcessBuilder
+from repro.model.conditions import Always, attr_gt
+from repro.model.process import ProcessModel
+from repro.model.validate import validate_process
+
+
+class TestOutputSpec:
+    def test_sample_within_range(self):
+        spec = OutputSpec(arity=3, low=5, high=9)
+        rng = random.Random(0)
+        for _ in range(20):
+            sample = spec.sample(rng)
+            assert len(sample) == 3
+            assert all(5 <= v <= 9 for v in sample)
+
+    def test_zero_arity(self):
+        assert OutputSpec(arity=0).sample(random.Random(0)) == ()
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            OutputSpec(arity=-1)
+        with pytest.raises(ValueError):
+            OutputSpec(low=5, high=4)
+
+
+class TestActivity:
+    def test_defaults(self):
+        activity = Activity("Review")
+        assert activity.output_spec.arity == 2
+        assert activity.duration == 1.0
+
+    def test_custom_sampler(self):
+        activity = Activity(
+            "A",
+            output_spec=OutputSpec(arity=2),
+            sampler=lambda rng: (1.0, 2.0),
+        )
+        assert activity.sample_output(random.Random(0)) == (1.0, 2.0)
+
+    def test_sampler_arity_mismatch(self):
+        activity = Activity(
+            "A", output_spec=OutputSpec(arity=2), sampler=lambda rng: (1.0,)
+        )
+        with pytest.raises(ValueError, match="sampler"):
+            activity.sample_output(random.Random(0))
+
+    def test_invalid_activity(self):
+        with pytest.raises(ValueError):
+            Activity("")
+        with pytest.raises(ValueError):
+            Activity("A", duration=-1)
+
+
+class TestProcessModel:
+    def make_model(self):
+        return ProcessModel(
+            "demo",
+            activities=[Activity(n) for n in "ABCE"],
+            edges=[("A", "B"), ("A", "C"), ("B", "E"), ("C", "E")],
+            conditions={("A", "C"): attr_gt(0, 5)},
+        )
+
+    def test_endpoints_inferred(self):
+        model = self.make_model()
+        assert model.source == "A"
+        assert model.sink == "E"
+
+    def test_counts(self):
+        model = self.make_model()
+        assert model.activity_count == 4
+        assert model.edge_count == 4
+
+    def test_condition_lookup(self):
+        model = self.make_model()
+        assert model.condition("A", "C") == attr_gt(0, 5)
+        assert model.condition("A", "B") == Always()
+        with pytest.raises(EdgeNotFoundError):
+            model.condition("B", "C")
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(InvalidProcessError, match="unknown activity"):
+            ProcessModel(
+                "p", activities=[Activity("A")], edges=[("A", "Z")]
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidProcessError, match="self-loop"):
+            ProcessModel(
+                "p", activities=[Activity("A")], edges=[("A", "A")]
+            )
+
+    def test_condition_on_non_edge_rejected(self):
+        with pytest.raises(InvalidProcessError, match="non-edge"):
+            ProcessModel(
+                "p",
+                activities=[Activity("A"), Activity("B")],
+                edges=[("A", "B")],
+                conditions={("B", "A"): Always()},
+            )
+
+    def test_duplicate_activity_rejected(self):
+        with pytest.raises(InvalidProcessError, match="duplicate"):
+            ProcessModel(
+                "p", activities=[Activity("A"), Activity("A")], edges=[]
+            )
+
+    def test_ambiguous_source_rejected(self):
+        with pytest.raises(InvalidProcessError, match="exactly one source"):
+            ProcessModel(
+                "p",
+                activities=[Activity(n) for n in "ABC"],
+                edges=[("A", "C"), ("B", "C")],
+            )
+
+    def test_explicit_endpoints(self):
+        model = ProcessModel(
+            "p",
+            activities=[Activity(n) for n in "AB"],
+            edges=[("A", "B")],
+            source="A",
+            sink="B",
+        )
+        assert model.source == "A"
+
+    def test_graph_is_a_copy(self):
+        model = self.make_model()
+        graph = model.graph
+        graph.add_edge("E", "A")
+        assert not model.has_edge("E", "A")
+
+    def test_with_conditions(self):
+        model = self.make_model()
+        updated = model.with_conditions({("A", "B"): attr_gt(1, 2)})
+        assert updated.condition("A", "B") == attr_gt(1, 2)
+        assert updated.condition("A", "C") == Always()
+        assert model.condition("A", "B") == Always()
+
+    def test_acyclicity_flag(self):
+        assert self.make_model().is_acyclic
+
+    def test_equality(self):
+        assert self.make_model() == self.make_model()
+        other = ProcessModel(
+            "demo2",
+            activities=[Activity(n) for n in "AB"],
+            edges=[("A", "B")],
+        )
+        assert self.make_model() != other
+
+
+class TestProcessBuilder:
+    def test_edge_auto_creates_activities(self):
+        model = ProcessBuilder("p").edge("A", "B").edge("B", "C").build()
+        assert model.activity_names == ["A", "B", "C"]
+
+    def test_chain(self):
+        model = ProcessBuilder("p").chain("A", "B", "C", "D").build()
+        assert model.edge_count == 3
+        assert model.source == "A"
+        assert model.sink == "D"
+
+    def test_chain_too_short(self):
+        with pytest.raises(InvalidProcessError):
+            ProcessBuilder("p").chain("A")
+
+    def test_condition_attached(self):
+        model = (
+            ProcessBuilder("p")
+            .edge("A", "B", condition=attr_gt(0, 1))
+            .edge("B", "C")
+            .build()
+        )
+        assert model.condition("A", "B") == attr_gt(0, 1)
+
+    def test_constant_output(self):
+        model = (
+            ProcessBuilder("p")
+            .edge("A", "B")
+            .constant_output("A", (7, 8))
+            .build()
+        )
+        assert model.activity("A").sample_output(random.Random(0)) == (
+            7.0,
+            8.0,
+        )
+
+    def test_explicit_endpoints(self):
+        model = (
+            ProcessBuilder("p")
+            .edge("A", "B")
+            .source("A")
+            .sink("B")
+            .build()
+        )
+        assert (model.source, model.sink) == ("A", "B")
+
+    def test_duplicate_edges_collapse(self):
+        model = (
+            ProcessBuilder("p").edge("A", "B").edge("A", "B").build()
+        )
+        assert model.edge_count == 1
+
+
+class TestValidation:
+    def test_valid_model(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").build()
+        report = validate_process(model)
+        assert report.is_valid
+        assert report.warnings == []
+
+    def test_unreachable_activity(self):
+        model = ProcessModel(
+            "p",
+            activities=[Activity(n) for n in "ABCX"],
+            edges=[("A", "B"), ("B", "C"), ("X", "C")],
+            source="A",
+            sink="C",
+        )
+        report = validate_process(model)
+        assert not report.is_valid
+        assert any("not reachable" in v for v in report.violations)
+
+    def test_source_with_incoming_edge(self):
+        model = ProcessModel(
+            "p",
+            activities=[Activity(n) for n in "ABC"],
+            edges=[("A", "B"), ("B", "C"), ("B", "A")],
+            source="A",
+            sink="C",
+        )
+        report = validate_process(model)
+        assert any("incoming" in v for v in report.violations)
+
+    def test_cycle_is_warning_by_default(self):
+        model = ProcessModel(
+            "p",
+            activities=[Activity(n) for n in "ABCD"],
+            edges=[("A", "B"), ("B", "C"), ("C", "B"), ("C", "D")],
+            source="A",
+            sink="D",
+        )
+        report = validate_process(model)
+        assert report.is_valid
+        assert any("cycle" in w for w in report.warnings)
+        strict = validate_process(model, require_acyclic=True)
+        assert not strict.is_valid
+
+    def test_raise_if_invalid(self):
+        model = ProcessModel(
+            "p",
+            activities=[Activity(n) for n in "ABX"],
+            edges=[("A", "B"), ("X", "B")],
+            source="A",
+            sink="B",
+        )
+        with pytest.raises(InvalidProcessError):
+            validate_process(model).raise_if_invalid()

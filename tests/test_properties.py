@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on graph and mining invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conformance import check_conformance
+from repro.core.dependency import dependency_relation
+from repro.core.general_dag import mine_general_dag
+from repro.core.special_dag import mine_special_dag
+from repro.graphs.digraph import DiGraph
+from repro.graphs.scc import strongly_connected_components
+from repro.graphs.transitive import (
+    closure_equal,
+    is_transitively_reduced,
+    transitive_closure,
+    transitive_reduction,
+)
+from repro.graphs.traversal import has_path, is_acyclic, topological_sort
+from repro.logs.event_log import EventLog
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def random_dags(draw, max_nodes=8):
+    """A random DAG over a prefix of the alphabet (forward edges only)."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    nodes = [chr(ord("a") + i) for i in range(n)]
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                edges.append((nodes[i], nodes[j]))
+    return DiGraph(nodes=nodes, edges=edges)
+
+
+@st.composite
+def random_digraphs(draw, max_nodes=7):
+    """A random directed graph, possibly cyclic, no self-loops."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    nodes = [chr(ord("a") + i) for i in range(n)]
+    edges = []
+    for i in range(n):
+        for j in range(n):
+            if i != j and draw(
+                st.booleans()
+            ):
+                edges.append((nodes[i], nodes[j]))
+    return DiGraph(nodes=nodes, edges=edges)
+
+
+@st.composite
+def permutation_logs(draw, max_activities=6, max_executions=8):
+    """Logs where every execution contains every activity exactly once —
+    Algorithm 1's setting.  Interior activities are shuffled; the process'
+    initiating and terminating activities frame each execution, matching
+    the paper's single-source/single-sink model."""
+    n = draw(st.integers(min_value=0, max_value=max_activities))
+    interior = [chr(ord("A") + i) for i in range(n)]
+    m = draw(st.integers(min_value=1, max_value=max_executions))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    sequences = []
+    for _ in range(m):
+        sequence = list(interior)
+        rng.shuffle(sequence)
+        sequences.append(["S", *sequence, "Z"])
+    return EventLog.from_sequences(sequences)
+
+
+@st.composite
+def subset_logs(draw, max_activities=6, max_executions=8):
+    """Logs whose executions share first/last activities but may skip
+    interior ones — Algorithm 2's setting."""
+    n = draw(st.integers(min_value=3, max_value=max_activities))
+    interior = [chr(ord("A") + i) for i in range(1, n - 1)]
+    m = draw(st.integers(min_value=1, max_value=max_executions))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    sequences = []
+    for _ in range(m):
+        chosen = [a for a in interior if rng.random() < 0.7]
+        rng.shuffle(chosen)
+        sequences.append(["S", *chosen, "Z"])
+    return EventLog.from_sequences(sequences)
+
+
+# ---------------------------------------------------------------------------
+# Graph properties
+# ---------------------------------------------------------------------------
+class TestGraphProperties:
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_preserves_closure_and_is_minimal(self, dag):
+        reduced = transitive_reduction(dag)
+        assert closure_equal(dag, reduced)
+        assert is_transitively_reduced(reduced)
+        assert reduced.edge_count <= dag.edge_count
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_is_idempotent(self, dag):
+        once = transitive_reduction(dag)
+        twice = transitive_reduction(once)
+        assert once.edge_set() == twice.edge_set()
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_is_subset_of_input(self, dag):
+        reduced = transitive_reduction(dag)
+        assert reduced.edge_set() <= dag.edge_set()
+
+    @given(random_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_closure_matches_path_reachability(self, dag):
+        closure = transitive_closure(dag)
+        for a in dag.nodes():
+            for b in dag.nodes():
+                if a == b:
+                    continue
+                assert closure.has_edge(a, b) == has_path(dag, a, b)
+
+    @given(random_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_topological_sort_is_valid(self, dag):
+        order = topological_sort(dag)
+        assert sorted(order) == sorted(dag.nodes())
+        position = {node: i for i, node in enumerate(order)}
+        for a, b in dag.edges():
+            assert position[a] < position[b]
+
+    @given(random_digraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_scc_partitions_and_mutual_reachability(self, graph):
+        components = strongly_connected_components(graph)
+        seen = [n for c in components for n in c]
+        assert sorted(seen) == sorted(graph.nodes())
+        assert len(seen) == len(set(seen))
+        closure = transitive_closure(graph)
+        for component in components:
+            members = sorted(component)
+            for a in members:
+                for b in members:
+                    if a != b:
+                        assert closure.has_edge(a, b)
+                        assert closure.has_edge(b, a)
+
+    @given(random_digraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_condensation_is_acyclic(self, graph):
+        from repro.graphs.scc import condensation
+
+        dag, _ = condensation(graph)
+        assert is_acyclic(dag)
+
+
+# ---------------------------------------------------------------------------
+# Mining properties
+# ---------------------------------------------------------------------------
+class TestMiningProperties:
+    @given(permutation_logs())
+    @settings(max_examples=40, deadline=None)
+    def test_algorithm1_output_conformal_and_minimal(self, log):
+        mined = mine_special_dag(log)
+        assert is_acyclic(mined)
+        assert is_transitively_reduced(mined)
+        report = check_conformance(mined, log)
+        assert report.is_conformal, report.violations()
+        # Theorem 4: the output equals the reduced dependency order.
+        relation = dependency_relation(log)
+        assert mined.edge_set() == relation.minimal_graph().edge_set()
+
+    @given(permutation_logs())
+    @settings(max_examples=30, deadline=None)
+    def test_algorithm1_insensitive_to_log_order(self, log):
+        mined = mine_special_dag(log)
+        reversed_log = EventLog(list(reversed(log.executions)))
+        assert mined.edge_set() == mine_special_dag(
+            reversed_log
+        ).edge_set()
+
+    @given(subset_logs())
+    @settings(max_examples=40, deadline=None)
+    def test_algorithm2_output_conformal(self, log):
+        mined = mine_general_dag(log)
+        assert is_acyclic(mined)
+        report = check_conformance(mined, log)
+        assert report.is_conformal, report.violations()
+
+    @given(subset_logs())
+    @settings(max_examples=30, deadline=None)
+    def test_algorithm2_idempotent_on_duplicated_log(self, log):
+        # Duplicating every execution adds no information.
+        doubled = EventLog(log.executions + log.executions)
+        assert mine_general_dag(log).edge_set() == mine_general_dag(
+            doubled
+        ).edge_set()
+
+    @given(permutation_logs())
+    @settings(max_examples=30, deadline=None)
+    def test_algorithm2_equals_algorithm1_on_complete_logs(self, log):
+        assert mine_general_dag(log).edge_set() == mine_special_dag(
+            log
+        ).edge_set()
+
+    @given(subset_logs())
+    @settings(max_examples=30, deadline=None)
+    def test_cyclic_miner_matches_algorithm2_without_repetitions(
+        self, log
+    ):
+        from repro.core.cyclic import mine_cyclic
+
+        assert mine_cyclic(log).edge_set() == mine_general_dag(
+            log
+        ).edge_set()

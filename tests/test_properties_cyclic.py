@@ -1,0 +1,116 @@
+"""Property-based tests for Algorithm 3 and the cyclic workloads."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cyclic import merge_instances, mine_cyclic
+from repro.core.general_dag import mine_general_dag
+from repro.graphs.digraph import DiGraph
+from repro.logs.event_log import EventLog
+
+
+@st.composite
+def cyclic_logs(draw, max_interior=4, max_executions=8):
+    """Logs whose executions may repeat interior activities.
+
+    Built by optionally 'looping back' a random slice of a random
+    interior permutation — the trace shape cyclic processes produce.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_interior))
+    interior = [chr(ord("A") + i) for i in range(n)]
+    m = draw(st.integers(min_value=1, max_value=max_executions))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    rng = random.Random(seed)
+    sequences = []
+    for _ in range(m):
+        middle = list(interior)
+        rng.shuffle(middle)
+        if len(middle) >= 2 and rng.random() < 0.6:
+            # Repeat a contiguous slice: ... x y x y ...
+            start = rng.randrange(len(middle) - 1)
+            end = rng.randrange(start + 1, len(middle))
+            middle = (
+                middle[: end + 1]
+                + middle[start : end + 1]
+                + middle[end + 1 :]
+            )
+        sequences.append(["S", *middle, "Z"])
+    return EventLog.from_sequences(sequences)
+
+
+class TestAlgorithm3Properties:
+    @given(cyclic_logs())
+    @settings(max_examples=50, deadline=None)
+    def test_no_self_loops_ever(self, log):
+        mined = mine_cyclic(log)
+        for node in mined.nodes():
+            assert not mined.has_edge(node, node)
+
+    @given(cyclic_logs())
+    @settings(max_examples=50, deadline=None)
+    def test_vertices_are_the_log_activities(self, log):
+        mined = mine_cyclic(log)
+        assert set(mined.nodes()) == set(log.activities())
+
+    @given(cyclic_logs())
+    @settings(max_examples=30, deadline=None)
+    def test_repetition_free_logs_reduce_to_algorithm2(self, log):
+        repetition_free = EventLog(
+            [
+                execution
+                for execution in log
+                if len(set(execution.sequence)) == len(execution.sequence)
+            ]
+        )
+        if len(repetition_free) == 0:
+            return
+        assert mine_cyclic(repetition_free).edge_set() == (
+            mine_general_dag(repetition_free).edge_set()
+        )
+
+    @given(cyclic_logs())
+    @settings(max_examples=30, deadline=None)
+    def test_endpoints_never_inside_a_cycle(self, log):
+        # S initiates and Z terminates every trace; no mined edge may
+        # point into S or out of Z (that would claim S re-runs or Z
+        # precedes something).
+        mined = mine_cyclic(log)
+        if mined.has_node("S"):
+            assert mined.in_degree("S") == 0
+        if mined.has_node("Z"):
+            assert mined.out_degree("Z") == 0
+
+    @given(cyclic_logs())
+    @settings(max_examples=30, deadline=None)
+    def test_insensitive_to_log_order(self, log):
+        forward = mine_cyclic(log)
+        backward = mine_cyclic(EventLog(list(reversed(log.executions))))
+        assert forward.edge_set() == backward.edge_set()
+
+
+class TestMergeInstancesProperties:
+    @given(st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_never_invents_activities(self, seed):
+        rng = random.Random(seed)
+        activities = ["A", "B", "C"]
+        instance_graph = DiGraph()
+        for _ in range(rng.randint(0, 10)):
+            a = (rng.choice(activities), rng.randint(1, 2))
+            b = (rng.choice(activities), rng.randint(1, 2))
+            if a != b:
+                instance_graph.add_edge(a, b)
+        merged = merge_instances(instance_graph)
+        assert set(merged.nodes()) <= set(activities)
+        for a, b in merged.edges():
+            assert a != b
+            assert any(
+                (x, i) in instance_graph
+                and (y, j) in instance_graph
+                and instance_graph.has_edge((x, i), (y, j))
+                for (x, i) in instance_graph.nodes()
+                for (y, j) in instance_graph.nodes()
+                if x == a and y == b
+            )

@@ -1,0 +1,157 @@
+"""Property-based tests for I/O layers: codec, model files, streaming.
+
+Complements ``test_properties.py`` (graph/mining invariants) with
+round-trip and robustness properties on the serialization surfaces.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.general_dag import mine_general_dag
+from repro.core.incremental import IncrementalMiner
+from repro.errors import LogFormatError, ReproError
+from repro.logs.codec import log_from_text, log_to_text, parse_record
+from repro.logs.event_log import EventLog
+from repro.logs.execution import Execution
+from repro.model.builder import ProcessBuilder
+from repro.model.serialize import model_from_text, model_to_text
+
+ACTIVITY_NAMES = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7E
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@st.composite
+def random_logs(draw):
+    """Random logs with optional output vectors."""
+    n_activities = draw(st.integers(min_value=1, max_value=6))
+    alphabet = [f"T{i}" for i in range(n_activities)]
+    n_executions = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    rng = random.Random(seed)
+    executions = []
+    for index in range(n_executions):
+        length = rng.randint(1, 6)
+        sequence = [rng.choice(alphabet) for _ in range(length)]
+        outputs = {
+            activity: (
+                float(rng.randint(0, 100)),
+                float(rng.randint(0, 100)),
+            )
+            for activity in set(sequence)
+            if rng.random() < 0.5
+        }
+        executions.append(
+            Execution.from_sequence(
+                sequence,
+                execution_id=f"e{index}",
+                outputs=outputs,
+            )
+        )
+    return EventLog(executions, process_name="prop")
+
+
+class TestCodecProperties:
+    @given(random_logs())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_preserves_everything_observable(self, log):
+        parsed = log_from_text(log_to_text(log))
+        assert parsed.process_name == log.process_name
+        assert parsed.sequences() == log.sequences()
+        for original, reparsed in zip(log, parsed):
+            assert original.execution_id == reparsed.execution_id
+            for activity in original.activities:
+                assert original.outputs_of(activity) == (
+                    reparsed.outputs_of(activity)
+                )
+
+    @given(random_logs())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_is_idempotent(self, log):
+        once = log_to_text(log)
+        twice = log_to_text(log_from_text(once))
+        assert once == twice
+
+    @given(random_logs())
+    @settings(max_examples=30, deadline=None)
+    def test_mining_commutes_with_roundtrip(self, log):
+        direct = mine_general_dag(log)
+        roundtripped = mine_general_dag(log_from_text(log_to_text(log)))
+        assert direct.edge_set() == roundtripped.edge_set()
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_lines_never_crash(self, line):
+        """Fuzz: any single line either parses or raises LogFormatError."""
+        if not line.strip() or line.strip().startswith("#"):
+            return
+        try:
+            parse_record(line)
+        except LogFormatError:
+            pass
+
+    @given(st.text(max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_files_never_crash(self, text):
+        """Fuzz: any file content either parses or raises a ReproError."""
+        try:
+            log_from_text(text)
+        except ReproError:
+            pass
+
+
+class TestModelFileProperties:
+    @st.composite
+    @staticmethod
+    def random_models(draw):
+        n = draw(st.integers(min_value=2, max_value=6))
+        names = [f"S{i}" for i in range(n)]
+        edges = [
+            (names[i], names[i + 1]) for i in range(n - 1)
+        ]
+        extra = draw(st.integers(min_value=0, max_value=3))
+        rng = random.Random(draw(st.integers(0, 999)))
+        for _ in range(extra):
+            i = rng.randrange(n - 1)
+            j = rng.randrange(i + 1, n)
+            edges.append((names[i], names[j]))
+        builder = ProcessBuilder("prop-model")
+        for source, target in edges:
+            builder.edge(source, target)
+        return builder.build()
+
+    @given(random_models())
+    @settings(max_examples=40, deadline=None)
+    def test_model_roundtrip(self, model):
+        parsed = model_from_text(model_to_text(model))
+        assert parsed.graph.edge_set() == model.graph.edge_set()
+        assert parsed.source == model.source
+        assert parsed.sink == model.sink
+
+
+class TestStreamingProperties:
+    @given(random_logs())
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_equals_batch(self, log):
+        miner = IncrementalMiner()
+        miner.add_log(log)
+        assert miner.graph().edge_set() == mine_general_dag(
+            log
+        ).edge_set()
+
+    @given(random_logs(), random_logs())
+    @settings(max_examples=20, deadline=None)
+    def test_streaming_order_of_ingest_is_irrelevant(self, log_a, log_b):
+        forward = IncrementalMiner()
+        forward.add_log(log_a)
+        forward.add_log(log_b)
+        backward = IncrementalMiner()
+        backward.add_log(log_b)
+        backward.add_log(log_a)
+        assert forward.graph().edge_set() == backward.graph().edge_set()

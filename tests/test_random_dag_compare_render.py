@@ -1,0 +1,176 @@
+"""Unit tests for random_dag, compare and render."""
+
+import pytest
+
+from repro.graphs.compare import (
+    VERDICT_DIVERGED,
+    VERDICT_EQUIVALENT,
+    VERDICT_EXACT,
+    VERDICT_SUBGRAPH,
+    VERDICT_SUPERGRAPH,
+    compare_edges,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.random_dag import (
+    END,
+    START,
+    RandomDagConfig,
+    default_activity_names,
+    paper_edge_probability,
+    random_dag,
+    random_process_dag,
+)
+from repro.graphs.render import edge_list_text, to_ascii, to_dot
+from repro.graphs.traversal import ancestors, descendants, is_acyclic
+
+
+class TestRandomDag:
+    def test_is_acyclic(self):
+        for seed in range(5):
+            g = random_process_dag(12, seed=seed)
+            assert is_acyclic(g)
+
+    def test_single_source_and_sink(self):
+        g = random_process_dag(15, seed=3)
+        assert g.sources() == [START]
+        assert g.sinks() == [END]
+
+    def test_all_activities_reachable_and_coreachable(self):
+        g = random_process_dag(20, seed=7)
+        nodes = set(g.nodes())
+        assert descendants(g, START) | {START} == nodes
+        assert ancestors(g, END) | {END} == nodes
+
+    def test_vertex_count_convention(self):
+        g = random_process_dag(10, seed=0)
+        assert g.node_count == 10
+
+    def test_deterministic_under_seed(self):
+        g1 = random_process_dag(10, seed=42)
+        g2 = random_process_dag(10, seed=42)
+        assert g1 == g2
+
+    def test_different_seeds_differ(self):
+        g1 = random_process_dag(20, seed=1)
+        g2 = random_process_dag(20, seed=2)
+        assert g1 != g2
+
+    def test_edge_probability_extremes(self):
+        sparse = random_dag(
+            RandomDagConfig(n_activities=8, edge_probability=0.0, seed=0)
+        )
+        dense = random_dag(
+            RandomDagConfig(n_activities=8, edge_probability=1.0, seed=0)
+        )
+        # With p=0 every activity hangs off START and into END.
+        assert sparse.edge_count == 16
+        # With p=1 all 28 interior pairs exist plus START/END splices.
+        assert dense.edge_count == 28 + 2
+
+    def test_paper_density_magnitudes(self):
+        # Table 2 reports 24/224/1058/4569 edges at 10/25/50/100 vertices;
+        # generated graphs should land within a factor of ~1.5.
+        expectations = {10: 24, 25: 224, 50: 1058, 100: 4569}
+        for vertices, expected in expectations.items():
+            g = random_process_dag(vertices, seed=1)
+            assert expected / 1.6 <= g.edge_count <= expected * 1.6
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RandomDagConfig(n_activities=0)
+        with pytest.raises(ValueError):
+            RandomDagConfig(n_activities=3, edge_probability=1.5)
+        with pytest.raises(ValueError):
+            RandomDagConfig(n_activities=3, activity_names=["X"])
+        with pytest.raises(ValueError):
+            random_process_dag(1)
+
+    def test_custom_activity_names(self):
+        g = random_dag(
+            RandomDagConfig(n_activities=3, activity_names=["X", "Y", "Z"])
+        )
+        assert set(g.nodes()) == {START, END, "X", "Y", "Z"}
+
+    def test_default_activity_names_padded(self):
+        names = default_activity_names(3)
+        assert names == ["T01", "T02", "T03"]
+        assert len(default_activity_names(150)) == 150
+
+    def test_paper_edge_probability_bounds(self):
+        assert paper_edge_probability(1) == 0.0
+        assert 0.0 < paper_edge_probability(10) <= 1.0
+
+
+class TestCompare:
+    def test_exact(self):
+        g = DiGraph(edges=[("A", "B")])
+        result = compare_edges(g, g.copy())
+        assert result.verdict == VERDICT_EXACT
+        assert result.is_exact
+        assert result.precision == result.recall == result.f1 == 1.0
+
+    def test_supergraph(self):
+        truth = DiGraph(edges=[("A", "B"), ("B", "C")])
+        mined = DiGraph(edges=[("A", "B"), ("B", "C"), ("C", "D")])
+        result = compare_edges(truth, mined)
+        assert result.verdict == VERDICT_SUPERGRAPH
+        assert result.extra == {("C", "D")}
+        assert result.recall == 1.0
+        assert result.precision == pytest.approx(2 / 3)
+
+    def test_subgraph(self):
+        truth = DiGraph(edges=[("A", "B"), ("B", "C")])
+        mined = DiGraph(nodes=["A", "B", "C"], edges=[("A", "B")])
+        result = compare_edges(truth, mined)
+        assert result.verdict == VERDICT_SUBGRAPH
+        assert result.missed == {("B", "C")}
+
+    def test_closure_equivalent(self):
+        truth = DiGraph(edges=[("A", "B"), ("B", "C")])
+        mined = DiGraph(edges=[("A", "B"), ("B", "C"), ("A", "C")])
+        result = compare_edges(truth, mined)
+        assert result.verdict == VERDICT_EQUIVALENT
+
+    def test_diverged(self):
+        truth = DiGraph(nodes=["A", "B", "C"], edges=[("A", "B")])
+        mined = DiGraph(nodes=["A", "B", "C"], edges=[("B", "C")])
+        result = compare_edges(truth, mined)
+        assert result.verdict == VERDICT_DIVERGED
+
+    def test_counts(self):
+        truth = DiGraph(edges=[("A", "B"), ("B", "C"), ("C", "D")])
+        mined = DiGraph(edges=[("A", "B"), ("X", "Y")])
+        result = compare_edges(truth, mined)
+        assert result.original_edge_count == 3
+        assert result.mined_edge_count == 2
+
+    def test_empty_graphs(self):
+        result = compare_edges(DiGraph(), DiGraph())
+        assert result.is_exact
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+
+
+class TestRender:
+    def test_ascii_lists_all_nodes(self):
+        g = DiGraph(edges=[("B", "A"), ("B", "C")])
+        text = to_ascii(g)
+        assert "A ->" in text
+        assert "B -> A, C" in text
+
+    def test_dot_structure(self):
+        g = DiGraph(edges=[("A", "B")])
+        dot = to_dot(g, name="my graph")
+        assert dot.startswith("digraph my_graph {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="A"' in dot
+        assert "->" in dot
+
+    def test_dot_edge_labels_and_escaping(self):
+        g = DiGraph(edges=[("A", "B")])
+        dot = to_dot(g, edge_labels={("A", "B"): 'o[0] > "x"'})
+        assert '\\"x\\"' in dot
+
+    def test_edge_list_text(self):
+        g = DiGraph(edges=[("B", "C"), ("A", "B")])
+        assert edge_list_text(g) == "A -> B\nB -> C"

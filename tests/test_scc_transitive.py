@@ -1,0 +1,192 @@
+"""Unit tests for repro.graphs.scc and repro.graphs.transitive."""
+
+import pytest
+
+from repro.errors import CycleError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.scc import (
+    component_map,
+    condensation,
+    remove_intra_component_edges,
+    strongly_connected_components,
+)
+from repro.graphs.transitive import (
+    closure_equal,
+    descendant_masks,
+    is_transitively_reduced,
+    transitive_closure,
+    transitive_reduction,
+    transitive_reduction_edges,
+)
+
+
+class TestScc:
+    def test_acyclic_graph_has_singleton_components(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "C")])
+        components = strongly_connected_components(g)
+        assert sorted(sorted(c) for c in components) == [["A"], ["B"], ["C"]]
+
+    def test_two_cycle(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "A"), ("B", "C")])
+        components = strongly_connected_components(g)
+        assert {frozenset(c) for c in components} == {
+            frozenset({"A", "B"}),
+            frozenset({"C"}),
+        }
+
+    def test_example7_component(self):
+        # Example 7's followings graph: C -> D -> E -> C is one SCC.
+        g = DiGraph(
+            edges=[
+                ("A", "B"), ("A", "C"), ("A", "D"), ("A", "E"), ("A", "F"),
+                ("B", "C"), ("B", "F"), ("C", "D"), ("C", "F"),
+                ("D", "E"), ("D", "F"), ("E", "C"), ("E", "F"),
+            ]
+        )
+        components = {frozenset(c) for c in strongly_connected_components(g)}
+        assert frozenset({"C", "D", "E"}) in components
+
+    def test_self_loop_component(self):
+        g = DiGraph(edges=[("A", "A"), ("A", "B")])
+        assert {frozenset(c) for c in strongly_connected_components(g)} == {
+            frozenset({"A"}),
+            frozenset({"B"}),
+        }
+
+    def test_components_partition_nodes(self):
+        g = DiGraph(
+            edges=[("A", "B"), ("B", "C"), ("C", "A"), ("C", "D"),
+                   ("D", "E"), ("E", "D")]
+        )
+        components = strongly_connected_components(g)
+        all_nodes = [n for c in components for n in c]
+        assert sorted(all_nodes) == sorted(g.nodes())
+        assert len(all_nodes) == len(set(all_nodes))
+
+    def test_condensation_is_acyclic(self):
+        g = DiGraph(
+            edges=[("A", "B"), ("B", "A"), ("B", "C"), ("C", "D"),
+                   ("D", "C")]
+        )
+        dag, mapping = condensation(g)
+        from repro.graphs.traversal import is_acyclic
+
+        assert is_acyclic(dag)
+        assert mapping["A"] == mapping["B"]
+        assert mapping["C"] == mapping["D"]
+        assert dag.has_edge(mapping["B"], mapping["C"])
+
+    def test_component_map_consistent(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "A")])
+        mapping = component_map(g)
+        assert mapping["A"] == mapping["B"]
+
+    def test_remove_intra_component_edges(self):
+        g = DiGraph(
+            edges=[("A", "B"), ("B", "C"), ("C", "A"), ("C", "D")]
+        )
+        removed = remove_intra_component_edges(g)
+        assert removed == 3
+        assert g.edge_set() == {("C", "D")}
+
+    def test_remove_intra_component_removes_self_loops(self):
+        g = DiGraph(edges=[("A", "A"), ("A", "B")])
+        remove_intra_component_edges(g)
+        assert g.edge_set() == {("A", "B")}
+
+
+class TestTransitiveClosure:
+    def test_chain_closure(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "C")])
+        closure = transitive_closure(g)
+        assert closure.edge_set() == {("A", "B"), ("B", "C"), ("A", "C")}
+
+    def test_cyclic_closure_has_self_loops(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "A")])
+        closure = transitive_closure(g)
+        assert closure.has_edge("A", "A")
+        assert closure.has_edge("B", "B")
+        assert closure.has_edge("A", "B")
+        assert closure.has_edge("B", "A")
+
+    def test_closure_of_empty_graph(self):
+        assert transitive_closure(DiGraph()).edge_count == 0
+
+    def test_cyclic_closure_reaches_through_cycle(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "C"), ("C", "B"), ("C", "D")])
+        closure = transitive_closure(g)
+        assert closure.has_edge("A", "D")
+        assert closure.has_edge("B", "D")
+
+    def test_closure_equal(self):
+        reduced = DiGraph(edges=[("A", "B"), ("B", "C")])
+        dense = DiGraph(edges=[("A", "B"), ("B", "C"), ("A", "C")])
+        assert closure_equal(reduced, dense)
+        assert not closure_equal(reduced, DiGraph(edges=[("A", "B")]))
+
+    def test_closure_equal_requires_same_nodes(self):
+        g1 = DiGraph(nodes=["A", "B"])
+        g2 = DiGraph(nodes=["A", "B", "C"])
+        assert not closure_equal(g1, g2)
+
+
+class TestTransitiveReduction:
+    def test_removes_shortcut(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "C"), ("A", "C")])
+        reduced = transitive_reduction(g)
+        assert reduced.edge_set() == {("A", "B"), ("B", "C")}
+
+    def test_keeps_diamond(self):
+        g = DiGraph(
+            edges=[("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")]
+        )
+        assert transitive_reduction(g).edge_set() == g.edge_set()
+
+    def test_long_shortcut(self):
+        g = DiGraph(
+            edges=[("A", "B"), ("B", "C"), ("C", "D"), ("A", "D")]
+        )
+        reduced = transitive_reduction(g)
+        assert ("A", "D") not in reduced.edge_set()
+        assert reduced.edge_count == 3
+
+    def test_cycle_raises(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "A")])
+        with pytest.raises(CycleError):
+            transitive_reduction(g)
+
+    def test_reduction_preserves_closure(self):
+        g = DiGraph(
+            edges=[
+                ("A", "B"), ("A", "C"), ("A", "D"), ("A", "E"),
+                ("B", "D"), ("B", "E"), ("C", "D"), ("D", "E"),
+            ]
+        )
+        assert closure_equal(g, transitive_reduction(g))
+
+    def test_is_transitively_reduced(self):
+        assert is_transitively_reduced(DiGraph(edges=[("A", "B")]))
+        assert not is_transitively_reduced(
+            DiGraph(edges=[("A", "B"), ("B", "C"), ("A", "C")])
+        )
+
+    def test_reduction_keeps_all_nodes(self):
+        g = DiGraph(nodes=["X"], edges=[("A", "B"), ("A", "C")])
+        reduced = transitive_reduction(g)
+        assert set(reduced.nodes()) == {"A", "B", "C", "X"}
+
+    def test_edges_function_matches_graph_function(self):
+        g = DiGraph(
+            edges=[("A", "B"), ("B", "C"), ("A", "C"), ("C", "D"),
+                   ("A", "D")]
+        )
+        assert transitive_reduction_edges(g) == transitive_reduction(
+            g
+        ).edge_set()
+
+    def test_descendant_masks(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "C")])
+        index = {n: i for i, n in enumerate(g.nodes())}
+        masks = descendant_masks(g)
+        assert masks["A"] == (1 << index["B"]) | (1 << index["C"])
+        assert masks["C"] == 0

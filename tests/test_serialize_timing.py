@@ -1,0 +1,249 @@
+"""Tests for model serialization, timing analytics, multi-process logs."""
+
+import io
+
+import pytest
+
+from repro.engine.simulator import SimulationConfig, WorkflowSimulator
+from repro.errors import InvalidProcessError
+from repro.logs.codec import (
+    read_process_logs,
+    read_process_logs_file,
+    write_process_logs,
+)
+from repro.logs.event_log import EventLog
+from repro.logs.execution import Execution
+from repro.logs.timing import (
+    DurationStats,
+    activity_durations,
+    busiest_activities,
+    execution_makespans,
+    format_timing_report,
+    handover_waits,
+)
+from repro.model.builder import ProcessBuilder
+from repro.model.conditions import Always, attr_gt
+from repro.model.serialize import (
+    load_model,
+    model_from_text,
+    model_to_text,
+    save_model,
+)
+
+
+def sample_model():
+    return (
+        ProcessBuilder("claims")
+        .activity("A", arity=3, low=1, high=9, duration=2.0)
+        .edge("A", "B", condition=attr_gt(0, 30))
+        .edge("A", "C")
+        .edge("B", "D")
+        .edge("C", "D")
+        .build()
+    )
+
+
+class TestModelSerialization:
+    def test_roundtrip_structure(self):
+        model = sample_model()
+        parsed = model_from_text(model_to_text(model))
+        assert parsed.name == model.name
+        assert parsed.graph.edge_set() == model.graph.edge_set()
+        assert parsed.source == model.source
+        assert parsed.sink == model.sink
+
+    def test_roundtrip_conditions(self):
+        model = sample_model()
+        parsed = model_from_text(model_to_text(model))
+        assert str(parsed.condition("A", "B")) == str(
+            model.condition("A", "B")
+        )
+        assert parsed.condition("A", "C") == Always()
+
+    def test_roundtrip_activity_attributes(self):
+        model = sample_model()
+        parsed = model_from_text(model_to_text(model))
+        activity = parsed.activity("A")
+        assert activity.output_spec.arity == 3
+        assert activity.output_spec.low == 1
+        assert activity.output_spec.high == 9
+        assert activity.duration == 2.0
+
+    def test_file_roundtrip(self, tmp_path):
+        model = sample_model()
+        path = tmp_path / "model.txt"
+        save_model(model, path)
+        assert load_model(path).graph.edge_set() == model.graph.edge_set()
+
+    def test_bare_edge_list_is_valid(self):
+        model = model_from_text("edge A B\nedge B C\n")
+        assert model.source == "A"
+        assert model.sink == "C"
+        assert model.name == "model"
+
+    def test_comments_and_blanks(self):
+        text = "# my model\n\nedge A B  # inline comment\n"
+        model = model_from_text(text)
+        assert model.has_edge("A", "B")
+
+    def test_complex_condition_roundtrip(self):
+        text = "edge A B if (o[0] > 5 and o[1] <= 3)\nedge B C\n"
+        model = model_from_text(text)
+        rendered = model_to_text(model)
+        again = model_from_text(rendered)
+        assert str(again.condition("A", "B")) == str(
+            model.condition("A", "B")
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate A B",
+            "edge A",
+            "edge A B when o[0] > 5",
+            "edge A B if o[0] >",
+            "activity A arity",
+            "activity A size=3",
+        ],
+    )
+    def test_malformed_lines_rejected_with_line_number(self, bad):
+        with pytest.raises(InvalidProcessError, match="line 1"):
+            model_from_text(bad)
+
+    def test_parsed_model_simulates(self):
+        model = model_from_text(model_to_text(sample_model()))
+        log = WorkflowSimulator(
+            model, SimulationConfig(seed=1)
+        ).run_log(10)
+        assert len(log) == 10
+
+
+class TestDurationStats:
+    def test_basic_statistics(self):
+        stats = DurationStats.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.median == 2.5
+
+    def test_single_sample(self):
+        stats = DurationStats.from_samples([7.0])
+        assert stats.median == stats.p95 == 7.0
+        assert stats.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DurationStats.from_samples([])
+
+    def test_p95_below_max(self):
+        stats = DurationStats.from_samples(list(map(float, range(100))))
+        assert stats.p95 <= stats.maximum
+        assert stats.p95 > stats.median
+
+
+class TestTimingAnalytics:
+    def make_log(self):
+        model = (
+            ProcessBuilder("timed")
+            .activity("A", duration=1.0)
+            .activity("B", duration=3.0)
+            .activity("C", duration=0.5)
+            .edge("A", "B")
+            .edge("B", "C")
+            .build()
+        )
+        return WorkflowSimulator(
+            model, SimulationConfig(seed=4, duration_jitter=0.2)
+        ).run_log(50)
+
+    def test_activity_durations_reflect_nominals(self):
+        durations = activity_durations(self.make_log())
+        assert durations["B"].mean > durations["A"].mean
+        assert durations["A"].mean > durations["C"].mean
+        assert durations["B"].count == 50
+
+    def test_makespans(self):
+        makespan = execution_makespans(self.make_log())
+        # Chain of nominal durations 1 + 3 + 0.5.
+        assert 3.0 < makespan.mean < 6.5
+
+    def test_makespan_of_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            execution_makespans(EventLog())
+
+    def test_handover_waits_nonnegative(self):
+        waits = handover_waits(self.make_log())
+        assert ("A", "B") in waits
+        assert waits[("A", "B")].minimum >= 0
+
+    def test_handover_filtering(self):
+        waits = handover_waits(self.make_log(), edges=[("B", "C")])
+        assert set(waits) == {("B", "C")}
+
+    def test_busiest_activities(self):
+        ranked = busiest_activities(self.make_log(), top=2)
+        assert ranked[0][0] == "B"
+        assert len(ranked) == 2
+
+    def test_format_timing_report(self):
+        report = format_timing_report(self.make_log())
+        assert "execution makespan" in report
+        assert "B" in report
+
+    def test_report_on_empty_log(self):
+        assert format_timing_report(EventLog()) == (
+            "no completed executions"
+        )
+
+
+class TestMultiProcessLogs:
+    def make_logs(self):
+        log_a = EventLog(
+            [Execution.from_sequence("AB", execution_id="a-1")],
+            process_name="alpha",
+        )
+        log_b = EventLog(
+            [Execution.from_sequence("XYZ", execution_id="b-1")],
+            process_name="beta",
+        )
+        return log_a, log_b
+
+    def test_interleaved_roundtrip(self):
+        log_a, log_b = self.make_logs()
+        buffer = io.StringIO()
+        lines = write_process_logs([log_a, log_b], buffer)
+        assert lines == 4 + 6
+        buffer.seek(0)
+        parsed = read_process_logs(buffer)
+        assert set(parsed) == {"alpha", "beta"}
+        assert parsed["alpha"].sequences() == [["A", "B"]]
+        assert parsed["beta"].sequences() == [["X", "Y", "Z"]]
+
+    def test_records_interleave_by_timestamp(self):
+        log_a, log_b = self.make_logs()
+        buffer = io.StringIO()
+        write_process_logs([log_a, log_b], buffer)
+        lines = buffer.getvalue().splitlines()
+        # Both executions start at t=0, so their records alternate by
+        # timestamp — the first two lines must name different processes.
+        assert lines[0].split("\t")[0] != lines[1].split("\t")[0]
+
+    def test_file_roundtrip(self, tmp_path):
+        log_a, log_b = self.make_logs()
+        path = tmp_path / "multi.tsv"
+        with open(path, "w", encoding="utf-8") as handle:
+            write_process_logs([log_a, log_b], handle)
+        parsed = read_process_logs_file(path)
+        assert len(parsed) == 2
+
+    def test_each_partition_mines_independently(self):
+        from repro.core.miner import ProcessMiner
+
+        log_a, log_b = self.make_logs()
+        buffer = io.StringIO()
+        write_process_logs([log_a, log_b], buffer)
+        buffer.seek(0)
+        parsed = read_process_logs(buffer)
+        graph_a = ProcessMiner().mine(parsed["alpha"]).graph
+        assert graph_a.edge_set() == {("A", "B")}

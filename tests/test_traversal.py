@@ -1,0 +1,165 @@
+"""Unit tests for repro.graphs.traversal."""
+
+import pytest
+
+from repro.errors import CycleError, NodeNotFoundError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import (
+    ancestors,
+    bfs_order,
+    descendants,
+    dfs_postorder,
+    dfs_preorder,
+    find_cycle,
+    has_path,
+    is_acyclic,
+    iter_paths,
+    reachable_from,
+    restrict_to_reachable,
+    topological_sort,
+)
+
+
+@pytest.fixture
+def diamond():
+    return DiGraph(edges=[("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")])
+
+
+@pytest.fixture
+def cyclic():
+    return DiGraph(edges=[("A", "B"), ("B", "C"), ("C", "B"), ("C", "D")])
+
+
+class TestDfsBfs:
+    def test_preorder_visits_each_reachable_node_once(self, diamond):
+        order = dfs_preorder(diamond, "A")
+        assert sorted(order) == ["A", "B", "C", "D"]
+        assert order[0] == "A"
+
+    def test_postorder_parents_after_children(self, diamond):
+        order = dfs_postorder(diamond, "A")
+        assert order[-1] == "A"
+        assert order.index("D") < order.index("B")
+        assert order.index("D") < order.index("C")
+
+    def test_bfs_levels(self, diamond):
+        order = bfs_order(diamond, "A")
+        assert order[0] == "A"
+        assert set(order[1:3]) == {"B", "C"}
+        assert order[3] == "D"
+
+    def test_traversal_from_missing_node(self, diamond):
+        for fn in (dfs_preorder, dfs_postorder, bfs_order):
+            with pytest.raises(NodeNotFoundError):
+                fn(diamond, "Z")
+
+    def test_traversal_restricted_to_reachable(self, diamond):
+        order = dfs_preorder(diamond, "B")
+        assert sorted(order) == ["B", "D"]
+
+    def test_traversal_handles_cycles(self, cyclic):
+        assert sorted(dfs_preorder(cyclic, "A")) == ["A", "B", "C", "D"]
+        assert sorted(bfs_order(cyclic, "A")) == ["A", "B", "C", "D"]
+
+
+class TestReachability:
+    def test_descendants(self, diamond):
+        assert descendants(diamond, "A") == {"B", "C", "D"}
+        assert descendants(diamond, "D") == set()
+
+    def test_ancestors(self, diamond):
+        assert ancestors(diamond, "D") == {"A", "B", "C"}
+        assert ancestors(diamond, "A") == set()
+
+    def test_node_on_cycle_is_own_descendant(self, cyclic):
+        assert "B" in descendants(cyclic, "B")
+        assert "B" in ancestors(cyclic, "B")
+
+    def test_has_path(self, diamond):
+        assert has_path(diamond, "A", "D")
+        assert not has_path(diamond, "D", "A")
+        assert not has_path(diamond, "B", "C")
+
+    def test_has_path_self_requires_cycle(self, diamond, cyclic):
+        assert not has_path(diamond, "A", "A")
+        assert has_path(cyclic, "B", "B")
+
+    def test_reachable_from_includes_start(self, diamond):
+        assert reachable_from(diamond, "B") == {"B", "D"}
+
+    def test_restrict_to_reachable(self, diamond):
+        restricted = restrict_to_reachable(diamond, "C")
+        assert set(restricted.nodes()) == {"C", "D"}
+        assert restricted.edge_set() == {("C", "D")}
+
+
+class TestTopologicalSort:
+    def test_respects_edges(self, diamond):
+        order = topological_sort(diamond)
+        position = {node: i for i, node in enumerate(order)}
+        for source, target in diamond.edges():
+            assert position[source] < position[target]
+
+    def test_raises_with_cycle_payload(self, cyclic):
+        with pytest.raises(CycleError) as excinfo:
+            topological_sort(cyclic)
+        cycle = excinfo.value.cycle
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) <= {"B", "C"}
+
+    def test_empty_graph(self):
+        assert topological_sort(DiGraph()) == []
+
+    def test_disconnected_components(self):
+        g = DiGraph(edges=[("A", "B"), ("C", "D")])
+        order = topological_sort(g)
+        assert order.index("A") < order.index("B")
+        assert order.index("C") < order.index("D")
+
+
+class TestCycleDetection:
+    def test_acyclic(self, diamond):
+        assert is_acyclic(diamond)
+        assert find_cycle(diamond) is None
+
+    def test_finds_two_cycle(self, cyclic):
+        cycle = find_cycle(cyclic)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        # Each consecutive pair is an edge.
+        for u, v in zip(cycle, cycle[1:]):
+            assert cyclic.has_edge(u, v)
+
+    def test_self_loop(self):
+        g = DiGraph(edges=[("A", "A")])
+        assert find_cycle(g) == ["A", "A"]
+
+    def test_long_cycle(self):
+        g = DiGraph(edges=[("A", "B"), ("B", "C"), ("C", "D"), ("D", "A")])
+        cycle = find_cycle(g)
+        assert cycle is not None
+        assert len(cycle) == 5
+
+
+class TestIterPaths:
+    def test_all_simple_paths(self, diamond):
+        paths = sorted(iter_paths(diamond, "A", "D"))
+        assert paths == [["A", "B", "D"], ["A", "C", "D"]]
+
+    def test_no_path(self, diamond):
+        assert list(iter_paths(diamond, "B", "C")) == []
+
+    def test_missing_endpoint(self, diamond):
+        with pytest.raises(NodeNotFoundError):
+            list(iter_paths(diamond, "A", "Z"))
+
+    def test_max_paths_guard(self):
+        # A ladder of diamonds has exponentially many paths.
+        g = DiGraph()
+        for i in range(12):
+            g.add_edge(f"n{i}", f"a{i}")
+            g.add_edge(f"n{i}", f"b{i}")
+            g.add_edge(f"a{i}", f"n{i + 1}")
+            g.add_edge(f"b{i}", f"n{i + 1}")
+        with pytest.raises(ValueError, match="simple paths"):
+            list(iter_paths(g, "n0", "n12", max_paths=100))
