@@ -38,8 +38,14 @@ from repro.engine.simulator import SimulationConfig, WorkflowSimulator
 from repro.errors import ReproError
 from repro.graphs.compare import EdgeComparison, compare_edges
 from repro.graphs.digraph import DiGraph
-from repro.logs.codec import read_log_file, write_log_file
+from repro.logs.codec import ingest_log_file, read_log_file, write_log_file
 from repro.logs.event_log import EventLog
+from repro.logs.ingest import (
+    IngestLimits,
+    IngestReport,
+    IngestResult,
+    Quarantine,
+)
 from repro.logs.events import EventRecord
 from repro.logs.execution import Execution
 from repro.logs.noise import NoiseConfig, NoiseInjector
@@ -62,6 +68,9 @@ __all__ = [
     "Execution",
     "FollowRelation",
     "IncrementalMiner",
+    "IngestLimits",
+    "IngestReport",
+    "IngestResult",
     "MinedCondition",
     "MiningResult",
     "MiningTrace",
@@ -71,6 +80,7 @@ __all__ = [
     "ProcessBuilder",
     "ProcessMiner",
     "ProcessModel",
+    "Quarantine",
     "ReproError",
     "SimulationConfig",
     "WorkflowSimulator",
@@ -81,6 +91,7 @@ __all__ = [
     "diff_against_log",
     "evolve_model",
     "follow_relation",
+    "ingest_log_file",
     "is_consistent",
     "load_model",
     "mine_cyclic",

@@ -26,9 +26,12 @@ Subcommands
     Convert a log between the tab-separated and JSON-lines formats.
 
 The log file format is the tab-separated codec of
-:mod:`repro.logs.codec`; model files use the line format of
-:mod:`repro.model.serialize`.  All output goes to stdout; exit status is
-non-zero on malformed input.
+:mod:`repro.logs.codec` (``mine`` also accepts ``.jsonl`` logs); model
+files use the line format of :mod:`repro.model.serialize`.  All results
+go to stdout; diagnostics (including the ``mine --on-error`` ingest
+summary) go to stderr.  Exit status: 0 on success, 1 on malformed input
+or I/O errors, 2 on a ``compare`` mismatch, 3 when ``mine`` succeeded
+but records were quarantined/dropped during ingestion.
 """
 
 from __future__ import annotations
@@ -50,11 +53,28 @@ from repro.datasets.synthetic import SyntheticConfig, synthetic_dataset
 from repro.engine.simulator import SimulationConfig, WorkflowSimulator
 from repro.errors import ReproError
 from repro.graphs.render import edge_list_text, to_ascii, to_dot
-from repro.logs.codec import read_log_file, write_log_file
+from repro.logs.codec import ingest_log_file, read_log_file, write_log_file
+from repro.logs.ingest import (
+    POLICIES,
+    POLICY_STRICT,
+    IngestLimits,
+    Quarantine,
+)
+from repro.logs.jsonl import ingest_log_jsonl_file
 from repro.logs.stats import format_statistics, summarize_log
 from repro.logs.timing import format_timing_report
 from repro.model.evolution import evolve_model
 from repro.model.serialize import load_model, save_model
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError("limit must be >= 1")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,6 +122,36 @@ def build_parser() -> argparse.ArgumentParser:
             "post-process with exact conformal minimization (Section "
             "4's slow alternative; see repro.core.minimize)"
         ),
+    )
+    mine.add_argument(
+        "--on-error",
+        choices=list(POLICIES),
+        default=POLICY_STRICT,
+        help=(
+            "ingest error policy: strict aborts on the first bad "
+            "record (default), skip quarantines bad input, repair "
+            "additionally fixes repairable traces"
+        ),
+    )
+    mine.add_argument(
+        "--quarantine",
+        metavar="PATH",
+        help=(
+            "write quarantined records to a JSON-lines dead-letter "
+            "file at PATH"
+        ),
+    )
+    mine.add_argument(
+        "--limit-executions", type=_positive_int, metavar="N",
+        help="abort if the log holds more than N executions",
+    )
+    mine.add_argument(
+        "--limit-events-per-execution", type=_positive_int, metavar="N",
+        help="abort if any execution holds more than N events",
+    )
+    mine.add_argument(
+        "--limit-activities", type=_positive_int, metavar="N",
+        help="abort if the log names more than N distinct activities",
     )
 
     generate = commands.add_parser(
@@ -252,8 +302,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def _ingest_for_mine(args: argparse.Namespace):
+    limits = IngestLimits(
+        max_executions=args.limit_executions,
+        max_events_per_execution=args.limit_events_per_execution,
+        max_activities=args.limit_activities,
+    )
+    reader = (
+        ingest_log_jsonl_file
+        if args.log.endswith(".jsonl")
+        else ingest_log_file
+    )
+    with Quarantine(args.quarantine) as quarantine:
+        result = reader(
+            args.log,
+            policy=args.on_error,
+            limits=limits,
+            quarantine=quarantine,
+        )
+    report = result.report
+    if args.on_error != POLICY_STRICT or not report.clean:
+        print(report.summary(), file=sys.stderr)
+        if quarantine.path is not None and len(quarantine):
+            print(
+                f"  dead-letter file: {quarantine.path}", file=sys.stderr
+            )
+    return result
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
-    log = read_log_file(args.log)
+    result_ingest = _ingest_for_mine(args)
+    log = result_ingest.log
     miner = ProcessMiner(algorithm=args.algorithm, threshold=args.threshold)
     result = miner.mine(log)
     graph = result.graph
@@ -274,7 +353,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         print(edge_list_text(graph))
     else:
         print(to_ascii(graph))
-    return 0
+    return 3 if result_ingest.report.dropped else 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:

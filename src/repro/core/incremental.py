@@ -21,7 +21,11 @@ process").
 
 from __future__ import annotations
 
-from typing import List, Optional
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Union
 
 from repro.core.cyclic import merge_instances
 from repro.core.general_dag import (
@@ -29,7 +33,7 @@ from repro.core.general_dag import (
     PreparedExecution,
     mine_prepared,
 )
-from repro.errors import EmptyLogError
+from repro.errors import CheckpointError, EmptyLogError
 from repro.graphs.digraph import DiGraph
 from repro.logs.event_log import EventLog
 from repro.logs.execution import Execution
@@ -38,6 +42,39 @@ MODE_GENERAL = "general-dag"
 MODE_CYCLIC = "cyclic"
 
 _MODES = (MODE_GENERAL, MODE_CYCLIC)
+
+CHECKPOINT_FORMAT = "repro-incremental-checkpoint"
+CHECKPOINT_VERSION = 1
+
+PathOrStr = Union[str, Path]
+
+
+def _vertex_to_json(vertex):
+    # Vertices are activity names (str) in general mode and labelled
+    # instances ``(activity, occurrence)`` in cyclic mode.
+    if isinstance(vertex, tuple):
+        return [vertex[0], vertex[1]]
+    return vertex
+
+
+def _vertex_from_json(value):
+    if isinstance(value, list):
+        if len(value) != 2:
+            raise CheckpointError(f"bad labelled vertex {value!r}")
+        return (str(value[0]), int(value[1]))
+    return value
+
+
+def _pairs_to_json(pairs):
+    return sorted(
+        [[_vertex_to_json(u), _vertex_to_json(v)] for u, v in pairs]
+    )
+
+
+def _pairs_from_json(values):
+    return frozenset(
+        (_vertex_from_json(u), _vertex_from_json(v)) for u, v in values
+    )
 
 
 class IncrementalMiner:
@@ -167,3 +204,114 @@ class IncrementalMiner:
         self._stable_since = 0
         self._dirty = True
         self._cached_graph = None
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: PathOrStr) -> None:
+        """Write the miner's sufficient statistics to ``path``, atomically.
+
+        The checkpoint is a JSON document holding the prepared per-
+        execution vertex/pair/overlap sets plus the stability counter —
+        everything needed to make :meth:`resume` followed by further
+        ``add`` calls indistinguishable from one uninterrupted miner.
+        The file is written to a temporary sibling and moved into place
+        with :func:`os.replace`, so a crash mid-write never leaves a
+        partial checkpoint behind.
+        """
+        path = Path(path)
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "mode": self.mode,
+            "threshold": self.threshold,
+            "executions": [
+                {
+                    "vertices": sorted(
+                        (_vertex_to_json(v) for v in p.vertices),
+                        key=repr,
+                    ),
+                    "pairs": _pairs_to_json(p.pairs),
+                    "overlaps": _pairs_to_json(p.overlaps),
+                }
+                for p in self._prepared
+            ],
+            "last_edges": (
+                _pairs_to_json(self._last_edges)
+                if self._last_edges is not None
+                else None
+            ),
+            "stable_since": self._stable_since,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent or Path("."),
+            prefix=path.name + ".",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def resume(cls, path: PathOrStr) -> "IncrementalMiner":
+        """Reconstruct a miner from a :meth:`checkpoint` file.
+
+        Raises
+        ------
+        CheckpointError
+            When the file is not a checkpoint, is corrupt, or has an
+            incompatible version.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {path!s}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get(
+            "format"
+        ) != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"{path!s} is not an incremental-miner checkpoint"
+            )
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {payload.get('version')!r}"
+            )
+        try:
+            miner = cls(
+                mode=payload["mode"], threshold=payload["threshold"]
+            )
+            for entry in payload["executions"]:
+                miner._prepared.append(
+                    PreparedExecution(
+                        vertices=frozenset(
+                            _vertex_from_json(v)
+                            for v in entry["vertices"]
+                        ),
+                        pairs=_pairs_from_json(entry["pairs"]),
+                        overlaps=_pairs_from_json(entry["overlaps"]),
+                    )
+                )
+            last_edges = payload["last_edges"]
+            miner._last_edges = (
+                _pairs_from_json(last_edges)
+                if last_edges is not None
+                else None
+            )
+            miner._stable_since = int(payload["stable_since"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint {path!s}: {exc}"
+            ) from exc
+        return miner

@@ -101,6 +101,24 @@ class MalformedExecutionError(LogError, ValueError):
     """
 
 
+class ResourceLimitError(LogError, RuntimeError):
+    """Ingesting a log exceeded a configured resource guard.
+
+    Raised *before* the offending record is admitted, so an adversarial or
+    runaway log aborts early instead of exhausting memory.  ``limit`` names
+    the guard (``"max_executions"``, ``"max_events_per_execution"``, or
+    ``"max_activities"``) and ``bound`` its configured value.
+    """
+
+    def __init__(self, limit: str, bound: int, detail: str = "") -> None:
+        message = f"resource limit {limit}={bound} exceeded"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+        self.limit = limit
+        self.bound = bound
+
+
 class EngineError(ReproError):
     """Base class for errors raised by :mod:`repro.engine`."""
 
@@ -119,6 +137,11 @@ class MiningError(ReproError):
 
 class EmptyLogError(MiningError, ValueError):
     """A miner was given a log with no executions."""
+
+
+class CheckpointError(MiningError, ValueError):
+    """An incremental-miner checkpoint file is missing, corrupt, or of an
+    incompatible version."""
 
 
 class NotConformalError(MiningError, AssertionError):

@@ -4,11 +4,16 @@
 * :mod:`repro.logs.execution` — one execution (trace) of a process;
 * :mod:`repro.logs.event_log` — a log of many executions;
 * :mod:`repro.logs.codec` — Flowmark-style text serialization;
+* :mod:`repro.logs.ingest` — fault-tolerant ingestion (error policies,
+  quarantine, resource guards);
+* :mod:`repro.logs.repair` — structural trace repair;
 * :mod:`repro.logs.noise` — noise injectors for Section 6's experiments;
 * :mod:`repro.logs.stats` — summary statistics over logs.
 """
 
 from repro.logs.codec import (
+    ingest_log,
+    ingest_log_file,
     read_log,
     read_log_file,
     read_process_logs,
@@ -20,6 +25,17 @@ from repro.logs.codec import (
 from repro.logs.event_log import EventLog
 from repro.logs.events import END_EVENT, START_EVENT, EventRecord
 from repro.logs.execution import Execution
+from repro.logs.ingest import (
+    POLICIES,
+    POLICY_REPAIR,
+    POLICY_SKIP,
+    POLICY_STRICT,
+    IngestLimits,
+    IngestReport,
+    IngestResult,
+    Quarantine,
+    QuarantinedItem,
+)
 from repro.logs.filters import (
     deduplicate_variants,
     filter_log,
@@ -30,11 +46,14 @@ from repro.logs.filters import (
     without_activities,
 )
 from repro.logs.jsonl import (
+    ingest_log_jsonl,
+    ingest_log_jsonl_file,
     read_log_jsonl,
     read_log_jsonl_file,
     write_log_jsonl,
     write_log_jsonl_file,
 )
+from repro.logs.repair import REPAIR_RULES, repair_records
 from repro.logs.noise import NoiseConfig, NoiseInjector
 from repro.logs.stats import LogStatistics, summarize_log
 from repro.logs.timing import (
@@ -50,15 +69,29 @@ __all__ = [
     "EventLog",
     "EventRecord",
     "Execution",
+    "IngestLimits",
+    "IngestReport",
+    "IngestResult",
     "LogStatistics",
     "NoiseConfig",
     "NoiseInjector",
+    "POLICIES",
+    "POLICY_REPAIR",
+    "POLICY_SKIP",
+    "POLICY_STRICT",
+    "Quarantine",
+    "QuarantinedItem",
+    "REPAIR_RULES",
     "START_EVENT",
     "activity_durations",
     "deduplicate_variants",
     "execution_makespans",
     "filter_log",
     "handover_waits",
+    "ingest_log",
+    "ingest_log_file",
+    "ingest_log_jsonl",
+    "ingest_log_jsonl_file",
     "keep_variants",
     "read_log",
     "read_log_file",
@@ -66,6 +99,7 @@ __all__ = [
     "read_log_jsonl_file",
     "read_process_logs",
     "read_process_logs_file",
+    "repair_records",
     "summarize_log",
     "top_variants",
     "variant_counts",

@@ -20,6 +20,7 @@ in memory.
 from __future__ import annotations
 
 import io
+import math
 from collections import OrderedDict
 from pathlib import Path
 from typing import IO, Iterable, Iterator, Optional, Tuple, Union
@@ -27,6 +28,13 @@ from typing import IO, Iterable, Iterator, Optional, Tuple, Union
 from repro.errors import LogFormatError
 from repro.logs.event_log import EventLog
 from repro.logs.events import EventRecord
+from repro.logs.ingest import (
+    POLICY_STRICT,
+    IngestLimits,
+    IngestResult,
+    Quarantine,
+    ingest_lines,
+)
 
 FIELD_SEPARATOR = "\t"
 OUTPUT_SEPARATOR = ","
@@ -75,6 +83,10 @@ def parse_record(line: str, line_number: Optional[int] = None) -> Tuple[
         raise LogFormatError(
             f"bad timestamp {time_text!r}", line_number
         ) from exc
+    if not math.isfinite(timestamp):
+        raise LogFormatError(
+            f"timestamp must be finite, got {time_text!r}", line_number
+        )
     output: Optional[Tuple[float, ...]] = None
     if len(fields) == 6 and fields[5]:
         try:
@@ -85,6 +97,12 @@ def parse_record(line: str, line_number: Optional[int] = None) -> Tuple[
             raise LogFormatError(
                 f"bad output vector {fields[5]!r}", line_number
             ) from exc
+        if any(not math.isfinite(v) for v in output):
+            raise LogFormatError(
+                f"output entries must be finite numbers, got "
+                f"{fields[5]!r}",
+                line_number,
+            )
     try:
         record = EventRecord(
             timestamp=timestamp,
@@ -129,24 +147,58 @@ def iter_records(
         yield parse_record(line, line_number)
 
 
+def _numbered_lines(stream: IO[str]) -> Iterator[Tuple[int, str]]:
+    # The codec's line filter: blank lines and ``#`` comments skipped.
+    for line_number, line in enumerate(stream, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield line_number, line
+
+
+def ingest_log(
+    stream: IO[str],
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+) -> IngestResult:
+    """Read a log under an error policy, returning log + ingest report.
+
+    See :mod:`repro.logs.ingest` for the policy, limit, and quarantine
+    semantics.  Under the default ``strict`` policy this is
+    :func:`read_log` plus an (all-clean) report.
+    """
+    return ingest_lines(
+        _numbered_lines(stream),
+        parse_record,
+        policy=policy,
+        limits=limits,
+        quarantine=quarantine,
+    )
+
+
+def ingest_log_file(
+    path: PathOrStr,
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+) -> IngestResult:
+    """Read a log file under an error policy (see :func:`ingest_log`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return ingest_log(
+            handle, policy=policy, limits=limits, quarantine=quarantine
+        )
+
+
 def read_log(stream: IO[str]) -> EventLog:
     """Read a full log from a text stream.
 
     All records must belong to one process; a log mixing process names
     raises :class:`LogFormatError` (the paper's problem statement fixes a
-    single process per log).
+    single process per log).  Fail-fast: any malformed line raises.  Use
+    :func:`ingest_log` for the policy-driven fault-tolerant reader.
     """
-    process_name: Optional[str] = None
-    records = []
-    for name, record in iter_records(stream):
-        if process_name is None:
-            process_name = name
-        elif name != process_name:
-            raise LogFormatError(
-                f"log mixes processes {process_name!r} and {name!r}"
-            )
-        records.append(record)
-    return EventLog.from_records(records, process_name=process_name)
+    return ingest_log(stream).log
 
 
 def read_log_file(path: PathOrStr) -> EventLog:

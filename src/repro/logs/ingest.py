@@ -1,0 +1,422 @@
+"""Fault-tolerant log ingestion: policies, quarantine, report, guards.
+
+The codecs' plain readers (:func:`repro.logs.codec.read_log`,
+:func:`repro.logs.jsonl.read_log_jsonl`) are fail-fast — appropriate for
+curated experiment inputs, fatal for the paper's motivating deployment,
+where Flowmark audit trails accumulate over weeks of real use and a
+single corrupt line would discard the whole log.  This module supplies
+the shared machinery both codecs thread their line streams through:
+
+* an **error policy** — :data:`POLICY_STRICT` (today's fail-fast
+  behavior, unchanged), :data:`POLICY_SKIP` (divert malformed lines and
+  invariant-violating executions to a quarantine sink and keep going),
+  or :data:`POLICY_REPAIR` (additionally run
+  :mod:`repro.logs.repair` over each execution before giving up on it);
+* a :class:`Quarantine` sink — an in-memory list, optionally mirrored
+  to a JSON-lines dead-letter file so dropped input is never silently
+  destroyed;
+* an :class:`IngestReport` accounting for every record: accepted,
+  repaired (per rule), quarantined (per reason);
+* :class:`IngestLimits` resource guards that abort with
+  :class:`~repro.errors.ResourceLimitError` *before* an adversarial or
+  runaway log exhausts memory.
+
+The driver, :func:`ingest_lines`, is codec-agnostic: it consumes
+``(line_number, raw_line)`` pairs plus the codec's line parser, so the
+tab-separated and JSON-lines formats get identical semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.errors import (
+    LogFormatError,
+    MalformedExecutionError,
+    ResourceLimitError,
+)
+from repro.logs.event_log import EventLog
+from repro.logs.events import EventRecord
+from repro.logs.execution import Execution
+from repro.logs.repair import REPAIR_DROPPED_EMPTY_TRACE, repair_records
+
+PathOrStr = Union[str, Path]
+
+POLICY_STRICT = "strict"
+POLICY_SKIP = "skip"
+POLICY_REPAIR = "repair"
+
+POLICIES = (POLICY_STRICT, POLICY_SKIP, POLICY_REPAIR)
+
+# Quarantine reason codes (the per-reason breakdown of IngestReport).
+REASON_BAD_LINE = "bad-line"
+REASON_MIXED_PROCESS = "mixed-process"
+REASON_MALFORMED_EXECUTION = "malformed-execution"
+REASON_EMPTY_EXECUTION = "empty-execution"
+
+QUARANTINE_REASONS = (
+    REASON_BAD_LINE,
+    REASON_MIXED_PROCESS,
+    REASON_MALFORMED_EXECUTION,
+    REASON_EMPTY_EXECUTION,
+)
+
+
+@dataclass(frozen=True)
+class IngestLimits:
+    """Resource guards applied while a log streams in.
+
+    Each limit is an inclusive upper bound; ``None`` disables the guard.
+    Guards are independent of the error policy — they protect the
+    *process*, not the data, so they raise under ``skip`` and ``repair``
+    too.
+    """
+
+    max_executions: Optional[int] = None
+    max_events_per_execution: Optional[int] = None
+    max_activities: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_executions",
+            "max_events_per_execution",
+            "max_activities",
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 or None")
+
+
+@dataclass(frozen=True)
+class QuarantinedItem:
+    """One diverted input item: a raw line or a whole execution.
+
+    ``kind`` is ``"line"`` or ``"execution"``; ``payload`` holds the raw
+    line text (for lines) or the execution's records as JSON-ready
+    dicts (for executions), so a dead-letter file can be re-processed.
+    """
+
+    kind: str
+    reason: str
+    detail: str
+    line_number: Optional[int] = None
+    execution_id: Optional[str] = None
+    payload: object = None
+
+    def to_json(self) -> dict:
+        """The dead-letter file representation (one JSON object)."""
+        return {
+            "kind": self.kind,
+            "reason": self.reason,
+            "detail": self.detail,
+            "line_number": self.line_number,
+            "execution_id": self.execution_id,
+            "payload": self.payload,
+        }
+
+
+class Quarantine:
+    """Dead-letter sink for diverted input.
+
+    Always collects in memory; when constructed with a ``path`` it also
+    mirrors every item to a JSON-lines file (opened lazily, flushed per
+    item so a crash loses nothing already diverted).  Usable as a
+    context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path: Optional[PathOrStr] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.items: List[QuarantinedItem] = []
+        self._handle = None
+
+    def add(self, item: QuarantinedItem) -> None:
+        """Divert one item into the sink."""
+        self.items.append(item)
+        if self.path is not None:
+            if self._handle is None:
+                self._handle = open(self.path, "w", encoding="utf-8")
+            self._handle.write(json.dumps(item.to_json(), sort_keys=True))
+            self._handle.write("\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Close the dead-letter file, if one was opened."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Quarantine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[QuarantinedItem]:
+        return iter(self.items)
+
+
+@dataclass
+class IngestReport:
+    """Full accounting of one ingest run.
+
+    Every input record ends up in exactly one of: accepted (possibly
+    after repair), or quarantined (as a raw line or inside a diverted
+    execution).
+    """
+
+    policy: str = POLICY_STRICT
+    accepted_executions: int = 0
+    accepted_records: int = 0
+    repaired_executions: int = 0
+    repairs: Counter = field(default_factory=Counter)
+    quarantined_lines: int = 0
+    quarantined_executions: int = 0
+    reasons: Counter = field(default_factory=Counter)
+
+    @property
+    def dropped(self) -> int:
+        """Input items (lines + executions) diverted to quarantine."""
+        return self.quarantined_lines + self.quarantined_executions
+
+    @property
+    def clean(self) -> bool:
+        """Whether ingestion accepted everything without intervention."""
+        return self.dropped == 0 and not self.repairs
+
+    def summary(self) -> str:
+        """A compact multi-line summary (the CLI prints this to stderr)."""
+        lines = [
+            f"ingest: policy={self.policy} "
+            f"accepted={self.accepted_executions} executions "
+            f"({self.accepted_records} records) "
+            f"repaired={self.repaired_executions} "
+            f"quarantined={self.quarantined_lines} lines + "
+            f"{self.quarantined_executions} executions"
+        ]
+        if self.repairs:
+            applied = ", ".join(
+                f"{rule}={count}"
+                for rule, count in sorted(self.repairs.items())
+            )
+            lines.append(f"  repairs: {applied}")
+        if self.reasons:
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.reasons.items())
+            )
+            lines.append(f"  quarantine reasons: {reasons}")
+        return "\n".join(lines)
+
+
+class IngestResult(NamedTuple):
+    """What fault-tolerant loading returns: the log plus the audit trail."""
+
+    log: EventLog
+    report: IngestReport
+    quarantine: Quarantine
+
+
+LineParser = Callable[[str, int], Tuple[str, EventRecord]]
+
+
+def _record_payload(records: Iterable[EventRecord]) -> List[dict]:
+    return [
+        {
+            "execution": r.execution_id,
+            "activity": r.activity,
+            "type": r.event_type,
+            "time": r.timestamp,
+            "output": list(r.output) if r.output is not None else None,
+        }
+        for r in records
+    ]
+
+
+def ingest_lines(
+    numbered_lines: Iterable[Tuple[int, str]],
+    parse_line: LineParser,
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+) -> IngestResult:
+    """Ingest a pre-filtered line stream under an error policy.
+
+    Parameters
+    ----------
+    numbered_lines:
+        ``(line_number, raw_line)`` pairs; the codec has already removed
+        blank/comment lines.
+    parse_line:
+        The codec's line parser; must raise :class:`LogFormatError` on
+        any malformed line.
+    policy:
+        ``"strict"`` re-raises every error exactly like the plain
+        readers; ``"skip"`` quarantines; ``"repair"`` quarantines bad
+        lines but runs the repair pipeline over malformed executions.
+    limits:
+        Optional :class:`IngestLimits`; exceeding one raises
+        :class:`ResourceLimitError` under every policy.
+    quarantine:
+        Optional sink (e.g. one bound to a dead-letter file); an
+        in-memory sink is created when omitted.
+
+    Raises
+    ------
+    LogFormatError, MalformedExecutionError
+        Under ``strict`` only — identical to the plain readers.
+    ResourceLimitError
+        When a guard in ``limits`` is exceeded, under any policy.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+    limits = limits if limits is not None else IngestLimits()
+    sink = quarantine if quarantine is not None else Quarantine()
+    report = IngestReport(policy=policy)
+
+    process_name: Optional[str] = None
+    grouped: Dict[str, List[EventRecord]] = {}
+    order: List[str] = []
+    activities: Set[str] = set()
+
+    for line_number, raw_line in numbered_lines:
+        try:
+            name, record = parse_line(raw_line, line_number)
+        except LogFormatError as exc:
+            if policy == POLICY_STRICT:
+                raise
+            sink.add(
+                QuarantinedItem(
+                    kind="line",
+                    reason=REASON_BAD_LINE,
+                    detail=str(exc),
+                    line_number=line_number,
+                    payload=raw_line.rstrip("\n"),
+                )
+            )
+            report.quarantined_lines += 1
+            report.reasons[REASON_BAD_LINE] += 1
+            continue
+        if process_name is None:
+            process_name = name
+        elif name != process_name:
+            if policy == POLICY_STRICT:
+                raise LogFormatError(
+                    f"log mixes processes {process_name!r} and {name!r}",
+                    line_number,
+                )
+            sink.add(
+                QuarantinedItem(
+                    kind="line",
+                    reason=REASON_MIXED_PROCESS,
+                    detail=(
+                        f"record of process {name!r} in a log of "
+                        f"{process_name!r}"
+                    ),
+                    line_number=line_number,
+                    payload=raw_line.rstrip("\n"),
+                )
+            )
+            report.quarantined_lines += 1
+            report.reasons[REASON_MIXED_PROCESS] += 1
+            continue
+        eid = record.execution_id
+        bucket = grouped.get(eid)
+        if bucket is None:
+            if (
+                limits.max_executions is not None
+                and len(grouped) >= limits.max_executions
+            ):
+                raise ResourceLimitError(
+                    "max_executions",
+                    limits.max_executions,
+                    f"execution {eid!r} at line {line_number}",
+                )
+            bucket = grouped[eid] = []
+            order.append(eid)
+        if (
+            limits.max_events_per_execution is not None
+            and len(bucket) >= limits.max_events_per_execution
+        ):
+            raise ResourceLimitError(
+                "max_events_per_execution",
+                limits.max_events_per_execution,
+                f"execution {eid!r} at line {line_number}",
+            )
+        if record.activity not in activities:
+            if (
+                limits.max_activities is not None
+                and len(activities) >= limits.max_activities
+            ):
+                raise ResourceLimitError(
+                    "max_activities",
+                    limits.max_activities,
+                    f"activity {record.activity!r} at line {line_number}",
+                )
+            activities.add(record.activity)
+        bucket.append(record)
+
+    executions: List[Execution] = []
+    for eid in order:
+        records = grouped[eid]
+        applied: Counter = Counter()
+        if policy == POLICY_REPAIR:
+            records, applied = repair_records(records)
+        try:
+            execution = Execution(eid, records)
+        except MalformedExecutionError as exc:
+            if policy == POLICY_STRICT:
+                raise
+            sink.add(
+                QuarantinedItem(
+                    kind="execution",
+                    reason=REASON_MALFORMED_EXECUTION,
+                    detail=str(exc),
+                    execution_id=eid,
+                    payload=_record_payload(records),
+                )
+            )
+            report.quarantined_executions += 1
+            report.reasons[REASON_MALFORMED_EXECUTION] += 1
+            continue
+        if policy == POLICY_REPAIR and len(execution) == 0:
+            applied[REPAIR_DROPPED_EMPTY_TRACE] += 1
+            report.repairs.update(applied)
+            sink.add(
+                QuarantinedItem(
+                    kind="execution",
+                    reason=REASON_EMPTY_EXECUTION,
+                    detail="no completed activity instance",
+                    execution_id=eid,
+                    payload=_record_payload(records),
+                )
+            )
+            report.quarantined_executions += 1
+            report.reasons[REASON_EMPTY_EXECUTION] += 1
+            continue
+        if applied:
+            report.repaired_executions += 1
+            report.repairs.update(applied)
+        executions.append(execution)
+        report.accepted_executions += 1
+        report.accepted_records += len(records)
+
+    log = EventLog(executions, process_name=process_name)
+    return IngestResult(log=log, report=report, quarantine=sink)

@@ -16,16 +16,41 @@ through other tools.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import IO, Iterator, Optional, Tuple, Union
 
 from repro.errors import LogFormatError
 from repro.logs.event_log import EventLog
 from repro.logs.events import EventRecord
+from repro.logs.ingest import (
+    POLICY_STRICT,
+    IngestLimits,
+    IngestResult,
+    Quarantine,
+    ingest_lines,
+)
 
 PathOrStr = Union[str, Path]
 
 _REQUIRED_FIELDS = ("process", "execution", "activity", "type", "time")
+
+
+def _require_number(
+    value: object, what: str, line_number: Optional[int]
+) -> float:
+    # ``float(True)`` and ``float("3.5")`` both succeed, so explicit
+    # type checks are needed to reject non-numeric JSON values; NaN and
+    # Infinity are valid JSON extensions but poison timestamp ordering.
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise LogFormatError(
+            f"{what} must be a number, got {value!r}", line_number
+        )
+    if not math.isfinite(value):
+        raise LogFormatError(
+            f"{what} must be finite, got {value!r}", line_number
+        )
+    return float(value)
 
 
 def record_to_json(record: EventRecord, process_name: str) -> str:
@@ -66,15 +91,13 @@ def record_from_json(
             raise LogFormatError(
                 "output must be a list or null", line_number
             )
-        try:
-            output = tuple(float(v) for v in output)
-        except (TypeError, ValueError) as exc:
-            raise LogFormatError(
-                "output entries must be numbers", line_number
-            ) from exc
+        output = tuple(
+            _require_number(v, "output entry", line_number) for v in output
+        )
+    timestamp = _require_number(payload["time"], "time", line_number)
     try:
         record = EventRecord(
-            timestamp=float(payload["time"]),
+            timestamp=timestamp,
             execution_id=str(payload["execution"]),
             activity=str(payload["activity"]),
             event_type=str(payload["type"]),
@@ -96,19 +119,54 @@ def write_log_jsonl(log: EventLog, stream: IO[str]) -> int:
     return count
 
 
+def _numbered_lines(stream: IO[str]) -> Iterator[Tuple[int, str]]:
+    for line_number, line in enumerate(stream, start=1):
+        if not line.strip():
+            continue
+        yield line_number, line
+
+
+def ingest_log_jsonl(
+    stream: IO[str],
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+) -> IngestResult:
+    """Read a JSON-lines log under an error policy.
+
+    Same semantics as :func:`repro.logs.codec.ingest_log`; see
+    :mod:`repro.logs.ingest` for policies, limits, and quarantine.
+    """
+    return ingest_lines(
+        _numbered_lines(stream),
+        record_from_json,
+        policy=policy,
+        limits=limits,
+        quarantine=quarantine,
+    )
+
+
+def ingest_log_jsonl_file(
+    path: PathOrStr,
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+) -> IngestResult:
+    """Read a JSON-lines log file under an error policy."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return ingest_log_jsonl(
+            handle, policy=policy, limits=limits, quarantine=quarantine
+        )
+
+
 def read_log_jsonl(stream: IO[str]) -> EventLog:
-    """Read a JSON-lines log (single process, like the text codec)."""
-    process_name: Optional[str] = None
-    records = []
-    for name, record in iter_jsonl_records(stream):
-        if process_name is None:
-            process_name = name
-        elif name != process_name:
-            raise LogFormatError(
-                f"log mixes processes {process_name!r} and {name!r}"
-            )
-        records.append(record)
-    return EventLog.from_records(records, process_name=process_name)
+    """Read a JSON-lines log (single process, like the text codec).
+
+    Fail-fast, like :func:`repro.logs.codec.read_log`; errors carry the
+    offending 1-based line number.  Use :func:`ingest_log_jsonl` for the
+    policy-driven fault-tolerant reader.
+    """
+    return ingest_log_jsonl(stream).log
 
 
 def iter_jsonl_records(

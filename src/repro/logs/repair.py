@@ -1,0 +1,127 @@
+"""Trace repair: fix what the paper's event model lets us fix.
+
+Section 6 of the paper treats dirty logs statistically (the noise
+threshold ``T``); this module complements it *structurally*.  A real
+audit trail — the Flowmark deployment of Section 8 ran for weeks — also
+loses and duplicates individual records, and the event model of
+Definition 2 makes three such defects mechanically repairable:
+
+* **Orphan ENDs** (the matching START was lost, or the log was cut just
+  after the activity began): an END event fully determines its activity
+  instance up to duration, so a START is synthesized immediately before
+  it.  The instance becomes effectively instantaneous, which preserves
+  every ordered pair the true instance would have produced whenever the
+  lost START lay after the previous activity's END — the common case.
+* **Duplicate events** (at-least-once log shipping): records are exact
+  value duplicates, so all copies past the first are dropped.
+* **Non-monotone record order** (interleaved writers, clock skew inside
+  one execution): records are re-sorted by timestamp.  The
+  :class:`~repro.logs.execution.Execution` constructor sorts anyway;
+  the repair exists so the disorder is *reported* rather than silently
+  absorbed.
+
+Empty/truncated traces (no completed instance at all) carry no mineable
+information and are dropped by the ingest driver, which records the
+:data:`REPAIR_DROPPED_EMPTY_TRACE` rule.
+
+Each applied rule is tallied in a :class:`collections.Counter` so the
+:class:`~repro.logs.ingest.IngestReport` can account for every change.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from repro.logs.events import EventRecord, start_event
+
+REPAIR_SYNTHESIZED_START = "synthesized-start"
+REPAIR_DROPPED_DUPLICATE = "dropped-duplicate-event"
+REPAIR_RESORTED_TIMESTAMPS = "resorted-timestamps"
+REPAIR_DROPPED_EMPTY_TRACE = "dropped-empty-trace"
+
+REPAIR_RULES = (
+    REPAIR_SYNTHESIZED_START,
+    REPAIR_DROPPED_DUPLICATE,
+    REPAIR_RESORTED_TIMESTAMPS,
+    REPAIR_DROPPED_EMPTY_TRACE,
+)
+
+
+def resort_records(
+    records: List[EventRecord], repairs: Counter
+) -> List[EventRecord]:
+    """Sort records by timestamp, tallying a repair if they were not.
+
+    Returns a sorted copy; ``records`` is never mutated.
+    """
+    ordered = sorted(records)
+    if ordered != records:
+        repairs[REPAIR_RESORTED_TIMESTAMPS] += 1
+    return ordered
+
+
+def drop_duplicate_events(
+    records: Iterable[EventRecord], repairs: Counter
+) -> List[EventRecord]:
+    """Drop exact value-duplicate records, keeping first occurrences."""
+    seen = set()
+    kept: List[EventRecord] = []
+    for record in records:
+        if record in seen:
+            repairs[REPAIR_DROPPED_DUPLICATE] += 1
+            continue
+        seen.add(record)
+        kept.append(record)
+    return kept
+
+
+def synthesize_missing_starts(
+    records: List[EventRecord], repairs: Counter
+) -> List[EventRecord]:
+    """Insert a START immediately before every orphan END.
+
+    ``records`` must already be sorted by timestamp.  The synthesized
+    START is placed at the largest float strictly below the END's
+    timestamp, so re-sorting keeps it adjacent to (and before) its END
+    and the repaired instance stays effectively instantaneous.
+    """
+    open_starts: Dict[str, int] = {}
+    repaired: List[EventRecord] = []
+    for record in records:
+        if record.is_start:
+            open_starts[record.activity] = (
+                open_starts.get(record.activity, 0) + 1
+            )
+        else:
+            if open_starts.get(record.activity, 0) > 0:
+                open_starts[record.activity] -= 1
+            else:
+                repaired.append(
+                    start_event(
+                        record.execution_id,
+                        record.activity,
+                        math.nextafter(record.timestamp, -math.inf),
+                    )
+                )
+                repairs[REPAIR_SYNTHESIZED_START] += 1
+        repaired.append(record)
+    return repaired
+
+
+def repair_records(
+    records: List[EventRecord],
+) -> Tuple[List[EventRecord], Counter]:
+    """Run the full repair pipeline over one execution's records.
+
+    Returns ``(repaired_records, applied_repairs)``.  Order matters:
+    re-sort first (the later rules assume timestamp order), then drop
+    duplicates (so a duplicated END is not "repaired" into a phantom
+    instance), then synthesize STARTs for the orphan ENDs that remain.
+    """
+    repairs: Counter = Counter()
+    repaired = resort_records(list(records), repairs)
+    repaired = drop_duplicate_events(repaired, repairs)
+    repaired = synthesize_missing_starts(repaired, repairs)
+    return repaired, repairs

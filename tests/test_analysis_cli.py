@@ -10,7 +10,6 @@ from repro.datasets.synthetic import SyntheticConfig, synthetic_dataset
 from repro.graphs.digraph import DiGraph
 from repro.logs.codec import write_log_file
 from repro.logs.event_log import EventLog
-from repro.logs.execution import Execution
 
 
 class TestMetrics:

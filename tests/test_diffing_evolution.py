@@ -6,7 +6,7 @@ from repro.analysis.diffing import diff_against_log
 from repro.engine.simulator import SimulationConfig, WorkflowSimulator
 from repro.logs.event_log import EventLog
 from repro.model.builder import ProcessBuilder
-from repro.model.conditions import attr_gt, attr_le
+from repro.model.conditions import attr_gt
 from repro.model.evolution import evolve_model
 from repro.model.validate import validate_process
 

@@ -5,7 +5,7 @@ import pytest
 from repro.engine.simulator import SimulationConfig, WorkflowSimulator
 from repro.engine.stats import RunStats, SimulationStats, pool_sizing_table
 from repro.model.builder import ProcessBuilder
-from repro.model.conditions import attr_gt, never
+from repro.model.conditions import never
 
 
 @pytest.fixture

@@ -1,0 +1,160 @@
+"""Tests for IncrementalMiner checkpoint/resume crash-safety."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.incremental import (
+    MODE_CYCLIC,
+    MODE_GENERAL,
+    IncrementalMiner,
+)
+from repro.datasets.synthetic import SyntheticConfig, synthetic_dataset
+from repro.errors import CheckpointError
+
+SEQUENCES = ["ABCF", "ACDF", "ABDF", "ABCDF", "ABCF", "ACDF"]
+
+
+def mined_all(mode=MODE_GENERAL, threshold=0):
+    miner = IncrementalMiner(mode=mode, threshold=threshold)
+    for seq in SEQUENCES:
+        miner.add_sequence(seq)
+    return miner
+
+
+class TestResumeEquivalence:
+    @pytest.mark.parametrize("mode", [MODE_GENERAL, MODE_CYCLIC])
+    def test_checkpoint_resume_feed_equals_single_run(
+        self, tmp_path, mode
+    ):
+        # Acceptance criterion: checkpoint -> kill -> resume -> feed the
+        # rest must equal feeding everything to one miner.
+        path = tmp_path / "miner.ckpt"
+        first = IncrementalMiner(mode=mode)
+        for seq in SEQUENCES[:3]:
+            first.add_sequence(seq)
+        first.checkpoint(path)
+        del first  # "kill" the process
+
+        resumed = IncrementalMiner.resume(path)
+        for seq in SEQUENCES[3:]:
+            resumed.add_sequence(seq)
+        single = mined_all(mode=mode)
+        assert resumed.graph().edge_set() == single.graph().edge_set()
+        assert resumed.execution_count == single.execution_count
+
+    def test_resume_on_synthetic_log(self, tmp_path):
+        log = synthetic_dataset(
+            SyntheticConfig(n_vertices=10, n_executions=30, seed=5)
+        ).log
+        path = tmp_path / "miner.ckpt"
+        miner = IncrementalMiner()
+        for execution in log.executions[:15]:
+            miner.add(execution)
+        miner.checkpoint(path)
+        resumed = IncrementalMiner.resume(path)
+        for execution in log.executions[15:]:
+            resumed.add(execution)
+        single = IncrementalMiner()
+        single.add_log(log)
+        assert resumed.graph().edge_set() == single.graph().edge_set()
+
+    def test_mode_threshold_and_stability_survive(self, tmp_path):
+        path = tmp_path / "miner.ckpt"
+        miner = IncrementalMiner(mode=MODE_GENERAL, threshold=2)
+        for seq in SEQUENCES:
+            miner.add_sequence(seq)
+        miner.graph()
+        miner.graph()
+        before = miner.stability()
+        miner.checkpoint(path)
+        resumed = IncrementalMiner.resume(path)
+        assert resumed.mode == MODE_GENERAL
+        assert resumed.threshold == 2
+        assert resumed.stability() == before
+        # A materialization with an unchanged edge set keeps counting up.
+        resumed.graph()
+        assert resumed.stability() == before + 1
+
+    def test_checkpoint_of_empty_miner(self, tmp_path):
+        path = tmp_path / "empty.ckpt"
+        IncrementalMiner().checkpoint(path)
+        resumed = IncrementalMiner.resume(path)
+        assert resumed.execution_count == 0
+        resumed.add_sequence("ABC")
+        assert resumed.graph().has_edge("A", "B")
+
+
+class TestAtomicity:
+    def test_crash_during_write_preserves_old_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "miner.ckpt"
+        miner = mined_all()
+        miner.checkpoint(path)
+        good = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        miner.add_sequence("XYZ")
+        with pytest.raises(OSError):
+            miner.checkpoint(path)
+        monkeypatch.undo()
+        # The old checkpoint is intact and no temp litter remains.
+        assert path.read_bytes() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["miner.ckpt"]
+        assert IncrementalMiner.resume(path).execution_count == len(
+            SEQUENCES
+        )
+
+    def test_crash_during_serialization_leaves_no_partial_file(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "fresh.ckpt"
+
+        def exploding_dump(*args, **kwargs):
+            raise RuntimeError("simulated serialization crash")
+
+        monkeypatch.setattr(json, "dump", exploding_dump)
+        with pytest.raises(RuntimeError):
+            mined_all().checkpoint(path)
+        monkeypatch.undo()
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCorruptCheckpoints:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            IncrementalMiner.resume(tmp_path / "nope.ckpt")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text("{truncated")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            IncrementalMiner.resume(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "other.ckpt"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(CheckpointError, match="not an incremental"):
+            IncrementalMiner.resume(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        path.write_text(json.dumps({
+            "format": "repro-incremental-checkpoint", "version": 999,
+        }))
+        with pytest.raises(CheckpointError, match="version"):
+            IncrementalMiner.resume(path)
+
+    def test_missing_fields(self, tmp_path):
+        path = tmp_path / "hollow.ckpt"
+        path.write_text(json.dumps({
+            "format": "repro-incremental-checkpoint", "version": 1,
+        }))
+        with pytest.raises(CheckpointError, match="corrupt"):
+            IncrementalMiner.resume(path)

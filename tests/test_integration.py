@@ -4,7 +4,6 @@ Each test exercises a complete path a user of the library would take:
 define/generate → simulate → serialize → parse → mine → validate.
 """
 
-import pytest
 
 from repro.analysis.metrics import recovery_metrics
 from repro.core.conditions import ConditionsMiner
