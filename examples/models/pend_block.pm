@@ -1,0 +1,16 @@
+process Pend_Block
+source Start
+sink End
+activity Start arity=2 low=0 high=100 duration=1
+activity Check arity=2 low=0 high=100 duration=1
+activity Pend arity=2 low=0 high=100 duration=1
+activity Block arity=2 low=0 high=100 duration=1
+activity Resume arity=2 low=0 high=100 duration=1
+activity End arity=2 low=0 high=100 duration=1
+edge Block Resume
+edge Check Block if o[0] >= 67
+edge Check Pend if o[0] < 34
+edge Check Resume if (o[0] >= 34 and o[0] < 67)
+edge Pend Resume
+edge Resume End
+edge Start Check

@@ -1,0 +1,40 @@
+process synthetic_mined
+source START
+sink END
+activity END arity=2 low=0 high=100 duration=1
+activity START arity=2 low=0 high=100 duration=1
+activity T01 arity=2 low=0 high=100 duration=1
+activity T02 arity=2 low=0 high=100 duration=1
+activity T03 arity=2 low=0 high=100 duration=1
+activity T04 arity=2 low=0 high=100 duration=1
+activity T05 arity=2 low=0 high=100 duration=1
+activity T06 arity=2 low=0 high=100 duration=1
+activity T07 arity=2 low=0 high=100 duration=1
+activity T08 arity=2 low=0 high=100 duration=1
+edge START T02
+edge START T06
+edge T01 T03
+edge T01 T04
+edge T01 T05
+edge T01 T08
+edge T02 T01
+edge T02 T03
+edge T02 T04
+edge T02 T05
+edge T02 T07
+edge T02 T08
+edge T03 T04
+edge T03 T05
+edge T03 T07
+edge T03 T08
+edge T04 END
+edge T04 T05
+edge T04 T08
+edge T05 END
+edge T05 T08
+edge T06 T04
+edge T06 T05
+edge T06 T07
+edge T06 T08
+edge T07 END
+edge T08 END

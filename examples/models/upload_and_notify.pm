@@ -1,0 +1,17 @@
+process Upload_and_Notify
+source Start
+sink End
+activity Start arity=2 low=0 high=100 duration=1
+activity Validate arity=2 low=0 high=100 duration=1
+activity Upload arity=2 low=0 high=100 duration=1
+activity Notify_User arity=2 low=0 high=100 duration=1
+activity Notify_Admin arity=2 low=0 high=100 duration=1
+activity Archive arity=2 low=0 high=100 duration=1
+activity End arity=2 low=0 high=100 duration=1
+edge Archive End
+edge Notify_Admin Archive
+edge Notify_User Archive
+edge Start Validate
+edge Upload Notify_Admin if o[0] <= 70
+edge Upload Notify_User if o[0] > 30
+edge Validate Upload

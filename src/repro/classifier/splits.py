@@ -77,7 +77,7 @@ def best_split(
     best: Optional[Split] = None
     for feature in range(dataset.arity):
         ranked = sorted(
-            dataset, key=lambda example: example.features[feature]
+            dataset, key=lambda example, f=feature: example.features[f]
         )
         left_pos = 0
         for i in range(1, total):

@@ -24,14 +24,19 @@ Subcommands
     Print the log's distinct execution variants.
 ``convert``
     Convert a log between the tab-separated and JSON-lines formats.
+``lint``
+    Statically analyze a model file with the :mod:`repro.lint` rules.
 
 The log file format is the tab-separated codec of
 :mod:`repro.logs.codec` (``mine`` also accepts ``.jsonl`` logs); model
 files use the line format of :mod:`repro.model.serialize`.  All results
 go to stdout; diagnostics (including the ``mine --on-error`` ingest
 summary) go to stderr.  Exit status: 0 on success, 1 on malformed input
-or I/O errors, 2 on a ``compare`` mismatch, 3 when ``mine`` succeeded
-but records were quarantined/dropped during ingestion.
+or I/O errors, 2 on a ``compare`` mismatch or when ``mine``'s built-in
+verification finds error-level lint diagnostics (suppress with
+``--no-verify``), 3 when ``mine`` succeeded but records were
+quarantined/dropped during ingestion.  ``lint`` exits with the report's
+severity code: 0 clean or info-only, 1 warnings, 2 errors.
 """
 
 from __future__ import annotations
@@ -53,6 +58,10 @@ from repro.datasets.synthetic import SyntheticConfig, synthetic_dataset
 from repro.engine.simulator import SimulationConfig, WorkflowSimulator
 from repro.errors import ReproError
 from repro.graphs.render import edge_list_text, to_ascii, to_dot
+from repro.lint import LintConfig, Severity, lint_model
+from repro.lint.emitters import FORMATS as LINT_FORMATS
+from repro.lint.emitters import model_line_map, render
+from repro.lint.engine import severity_overrides
 from repro.logs.codec import ingest_log_file, read_log_file, write_log_file
 from repro.logs.ingest import (
     POLICIES,
@@ -71,7 +80,9 @@ def _positive_int(text: str) -> int:
     try:
         value = int(text)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not an integer"
+        ) from None
     if value < 1:
         raise argparse.ArgumentTypeError("limit must be >= 1")
     return value
@@ -121,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "post-process with exact conformal minimization (Section "
             "4's slow alternative; see repro.core.minimize)"
+        ),
+    )
+    mine.add_argument(
+        "--no-verify",
+        action="store_true",
+        help=(
+            "skip the post-mining lint verification (error-level "
+            "repro.lint rules run over the mined model by default)"
         ),
     )
     mine.add_argument(
@@ -265,6 +284,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     convert.add_argument("input", help="path to the input log")
     convert.add_argument("output", help="path to the output log")
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically analyze a model file (stable PMxxx diagnostics)",
+    )
+    lint.add_argument("model", help="path to a model file")
+    lint.add_argument(
+        "--log",
+        help=(
+            "event log to check the model against (enables the PM3xx "
+            "log-vs-model rules)"
+        ),
+    )
+    lint.add_argument(
+        "--format",
+        choices=list(LINT_FORMATS),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="CODES",
+        help=(
+            "comma-separated code prefixes to run, e.g. PM1,PM203 "
+            "(default: all rules)"
+        ),
+    )
+    lint.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated code prefixes to skip, e.g. PM3",
+    )
+    lint.add_argument(
+        "--severity",
+        action="append",
+        default=[],
+        metavar="CODE=LEVEL",
+        help=(
+            "override one rule's severity (error/warning/info), e.g. "
+            "--severity PM301=error; repeatable"
+        ),
+    )
+    lint.add_argument(
+        "--threshold",
+        type=int,
+        default=0,
+        help="Section 6 noise threshold T for PM302 (0 disables)",
+    )
+    lint.add_argument(
+        "--require-acyclic",
+        action="store_true",
+        help="DAG mode: cycles and 2-cycles (PM109/PM110) become errors",
+    )
     return parser
 
 
@@ -295,6 +367,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_variants(args)
         if args.command == "convert":
             return _cmd_convert(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         parser.error(f"unknown command {args.command!r}")
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -342,6 +416,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
         before = graph.edge_count
         graph = minimize_conformal(graph, log)
+        result.graph = graph
         print(
             f"# exact minimization: {before} -> {graph.edge_count} edges"
         )
@@ -353,7 +428,43 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         print(edge_list_text(graph))
     else:
         print(to_ascii(graph))
+    if not args.no_verify and not _verify_mined(result, log, args.threshold):
+        return 2
     return 3 if result_ingest.report.dropped else 0
+
+
+def _verify_mined(result, log, threshold: int) -> bool:
+    """Run the error-level lint rules over the mined model.
+
+    Returns True when the model is free of error-severity diagnostics;
+    otherwise the findings go to stderr.  A correctly mined model is
+    always clean, so a failure here points at a miner bug or a
+    pathological log, not at user error.
+
+    Graphs that cannot even be packaged as a process model (e.g. the
+    cyclic algorithm mined ambiguous endpoints) skip verification with
+    a stderr note — the packaging error is the diagnosis, and
+    ``mine``'s output contract predates verification.
+    """
+    try:
+        model = result.to_process_model(name=log.process_name or "mined")
+    except ReproError as exc:
+        print(f"verification: skipped ({exc})", file=sys.stderr)
+        return True
+    report = lint_model(
+        model, log=log, config=LintConfig(noise_threshold=max(threshold, 0))
+    )
+    errors = report.at_least(Severity.ERROR)
+    if not errors:
+        return True
+    print(
+        "verification: mined model failed error-level lint checks "
+        "(rerun with --no-verify to emit it anyway):",
+        file=sys.stderr,
+    )
+    for diagnostic in errors:
+        print(f"  {diagnostic.render()}", file=sys.stderr)
+    return False
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -485,6 +596,45 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         f"to {args.output}"
     )
     return 0
+
+
+def _parse_code_list(text: Optional[str]) -> Optional[List[str]]:
+    if text is None:
+        return None
+    return [code for code in text.split(",") if code.strip()]
+
+
+def _parse_severity_overrides(pairs: List[str]):
+    mapping = {}
+    for pair in pairs:
+        code, separator, level = pair.partition("=")
+        if not separator or not code.strip() or not level.strip():
+            raise ReproError(
+                f"bad --severity {pair!r}; expected CODE=LEVEL, "
+                f"e.g. PM301=error"
+            )
+        mapping[code] = level
+    try:
+        return severity_overrides(mapping)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    log = read_log_file(args.log) if args.log else None
+    config = LintConfig(
+        select=_parse_code_list(args.select),
+        ignore=_parse_code_list(args.ignore),
+        severity_overrides=_parse_severity_overrides(args.severity),
+        dag_mode=args.require_acyclic,
+        noise_threshold=max(args.threshold, 0),
+    )
+    report = lint_model(model, log=log, config=config)
+    with open(args.model, "r", encoding="utf-8") as handle:
+        report = report.with_lines(model_line_map(handle.read()))
+    print(render(report, args.format, artifact=args.model))
+    return report.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -102,10 +102,10 @@ def _still_conformal(
     for prerequisite, dependent in relation.depends:
         if not closure.has_edge(prerequisite, dependent):
             return False
-    for execution in log:
-        if is_consistent(graph, execution, source, sink) is not None:
-            return False
-    return True
+    return all(
+        is_consistent(graph, execution, source, sink) is None
+        for execution in log
+    )
 
 
 def minimization_gap(

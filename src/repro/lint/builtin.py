@@ -1,0 +1,589 @@
+"""The shipped lint rules.
+
+Three code blocks, documented in ``docs/LINTING.md``:
+
+``PM1xx`` — structure (Definitions 5–7, Theorem 1):
+    PM101 source-has-incoming, PM102 sink-has-outgoing,
+    PM103 extra-source, PM104 extra-sink, PM105 unreachable-activity,
+    PM106 cannot-reach-sink, PM107 disconnected-component,
+    PM108 redundant-transitive-edge, PM109 two-cycle, PM110 cycle.
+
+``PM2xx`` — semantics of edge conditions (Section 7):
+    PM201 unsatisfiable-condition, PM202 vacuous-condition,
+    PM203 invalid-output-reference, PM204 dead-end-guards.
+
+``PM3xx`` — log-vs-model (Sections 4 and 6):
+    PM301 unexercised-edge, PM302 low-support-edge,
+    PM303 unknown-log-activity, PM304 unobserved-activity,
+    PM305 condition-never-observed.
+
+Every rule yields :class:`~repro.lint.diagnostics.Finding` values; the
+engine stamps codes and severities.  Rules sort their findings so
+reports are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.diagnostics import (
+    Finding,
+    Severity,
+    activity_location,
+    edge_location,
+    model_location,
+)
+from repro.lint.rules import LintContext, rule
+from repro.lint.satisfiability import (
+    is_satisfiable,
+    is_tautology,
+    referenced_indices,
+)
+from repro.model.conditions import Always, Condition, Never, Or
+
+Edge = Tuple[str, str]
+
+
+def _sorted_edges(edges: Set[Edge]) -> List[Edge]:
+    return sorted(edges)
+
+
+# ---------------------------------------------------------------------------
+# PM1xx — structure
+# ---------------------------------------------------------------------------
+@rule(
+    "PM101",
+    "source-has-incoming",
+    Severity.ERROR,
+    "the designated source activity has incoming edges",
+)
+def check_source_has_incoming(ctx: LintContext) -> Iterator[Finding]:
+    source = ctx.model.source
+    for predecessor in sorted(ctx.graph.predecessors(source)):
+        yield Finding(
+            location=edge_location(predecessor, source),
+            message=(
+                f"source activity {source!r} has an incoming edge from "
+                f"{predecessor!r}; an initiating activity starts every "
+                f"execution and can have none"
+            ),
+            fixit=f"remove edge {predecessor} -> {source}",
+        )
+
+
+@rule(
+    "PM102",
+    "sink-has-outgoing",
+    Severity.ERROR,
+    "the designated sink activity has outgoing edges",
+)
+def check_sink_has_outgoing(ctx: LintContext) -> Iterator[Finding]:
+    sink = ctx.model.sink
+    for successor in sorted(ctx.graph.successors(sink)):
+        yield Finding(
+            location=edge_location(sink, successor),
+            message=(
+                f"sink activity {sink!r} has an outgoing edge to "
+                f"{successor!r}; a terminating activity ends every "
+                f"execution and can have none"
+            ),
+            fixit=f"remove edge {sink} -> {successor}",
+        )
+
+
+@rule(
+    "PM103",
+    "extra-source",
+    Severity.ERROR,
+    "an activity other than the source has no incoming edges",
+)
+def check_extra_source(ctx: LintContext) -> Iterator[Finding]:
+    for name in ctx.graph.nodes():
+        if name != ctx.model.source and ctx.graph.in_degree(name) == 0:
+            yield Finding(
+                location=activity_location(name),
+                message=(
+                    f"activity {name!r} has no incoming edges but is not "
+                    f"the source ({ctx.model.source!r}); the process "
+                    f"would have multiple initiating activities"
+                ),
+                fixit=(
+                    f"connect {name} below the source or remove it"
+                ),
+            )
+
+
+@rule(
+    "PM104",
+    "extra-sink",
+    Severity.ERROR,
+    "an activity other than the sink has no outgoing edges",
+)
+def check_extra_sink(ctx: LintContext) -> Iterator[Finding]:
+    for name in ctx.graph.nodes():
+        if name != ctx.model.sink and ctx.graph.out_degree(name) == 0:
+            yield Finding(
+                location=activity_location(name),
+                message=(
+                    f"activity {name!r} has no outgoing edges but is not "
+                    f"the sink ({ctx.model.sink!r}); the process would "
+                    f"have multiple terminating activities"
+                ),
+                fixit=f"connect {name} toward the sink or remove it",
+            )
+
+
+@rule(
+    "PM105",
+    "unreachable-activity",
+    Severity.ERROR,
+    "an activity is not reachable from the source",
+)
+def check_unreachable(ctx: LintContext) -> Iterator[Finding]:
+    reachable = ctx.reachable_from_source
+    for name in ctx.graph.nodes():
+        if name not in reachable:
+            yield Finding(
+                location=activity_location(name),
+                message=(
+                    f"activity {name!r} is not reachable from the source "
+                    f"{ctx.model.source!r} and can never execute "
+                    f"(Definition 6)"
+                ),
+                fixit=f"remove activity {name} or connect it to the flow",
+            )
+
+
+@rule(
+    "PM106",
+    "cannot-reach-sink",
+    Severity.ERROR,
+    "an activity has no path to the sink",
+)
+def check_cannot_reach_sink(ctx: LintContext) -> Iterator[Finding]:
+    reaching = ctx.reaching_sink
+    for name in ctx.graph.nodes():
+        if name not in reaching:
+            yield Finding(
+                location=activity_location(name),
+                message=(
+                    f"activity {name!r} cannot reach the sink "
+                    f"{ctx.model.sink!r}; an execution entering it could "
+                    f"never terminate"
+                ),
+                fixit=f"remove activity {name} or connect it to the flow",
+            )
+
+
+@rule(
+    "PM107",
+    "disconnected-component",
+    Severity.ERROR,
+    "the control-flow graph has more than one weakly connected component",
+)
+def check_disconnected(ctx: LintContext) -> Iterator[Finding]:
+    component = _weak_component(ctx, ctx.model.source)
+    stranded = [n for n in ctx.graph.nodes() if n not in component]
+    if not stranded:
+        return
+    # Report one finding per disconnected component, anchored at its
+    # lexicographically smallest member.
+    remaining = set(stranded)
+    while remaining:
+        anchor = min(remaining)
+        members = _weak_component(ctx, anchor) & remaining
+        remaining -= members
+        listing = ", ".join(repr(m) for m in sorted(members))
+        yield Finding(
+            location=activity_location(anchor),
+            message=(
+                f"activities {{{listing}}} form a component disconnected "
+                f"from the one containing the source "
+                f"{ctx.model.source!r}"
+            ),
+            fixit="remove the disconnected activities or connect them",
+        )
+
+
+def _weak_component(ctx: LintContext, start: str) -> Set[str]:
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for neighbour in ctx.graph.successors(node) | ctx.graph.predecessors(
+            node
+        ):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                stack.append(neighbour)
+    return seen
+
+
+@rule(
+    "PM108",
+    "redundant-transitive-edge",
+    Severity.ERROR,
+    "an edge is implied by a longer path (minimality violation, Theorem 1)",
+)
+def check_redundant_edges(ctx: LintContext) -> Iterator[Finding]:
+    """Transitively implied edges violate minimality (Theorem 1).
+
+    With a log, minimality means *minimal conformal*: an implied edge
+    ``(u, v)`` is still legitimate when some execution skips every
+    intermediate activity and needs the direct dependency (Algorithm 2
+    keeps exactly the edges marked by step 5's per-execution transitive
+    reductions).  Such required edges are exempt; without a log the
+    check is the pure structural one.
+    """
+    reduction = ctx.reduction_edges
+    if reduction is None:  # cyclic: reduction not unique, rule not applicable
+        return
+    coverage = ctx.coverage
+    for source, target in _sorted_edges(ctx.graph.edge_set() - reduction):
+        if coverage is not None:
+            usage = coverage.usage.get((source, target))
+            if usage is not None and usage.required > 0:
+                continue  # needed by an execution that skips the long path
+        yield Finding(
+            location=edge_location(source, target),
+            message=(
+                f"edge {source} -> {target} is redundant: {target!r} is "
+                f"already reachable from {source!r} through a longer "
+                f"path, and no execution requires the direct edge; a "
+                f"minimal conformal model omits it (Theorem 1)"
+            ),
+            fixit=f"remove edge {source} -> {target}",
+        )
+
+
+@rule(
+    "PM109",
+    "two-cycle",
+    Severity.WARNING,
+    "a pair of opposite edges forms a 2-cycle",
+    dag_severity=Severity.ERROR,
+)
+def check_two_cycles(ctx: LintContext) -> Iterator[Finding]:
+    severity_note = (
+        "Algorithm 2 step 3 removes such pairs as mutually-following "
+        "(independent) activities"
+    )
+    seen: Set[Edge] = set()
+    for source, target in _sorted_edges(ctx.graph.edge_set()):
+        if (target, source) in seen:
+            continue
+        if source != target and ctx.graph.has_edge(target, source):
+            seen.add((source, target))
+            yield Finding(
+                location=edge_location(source, target),
+                message=(
+                    f"edges {source} -> {target} and {target} -> "
+                    f"{source} form a 2-cycle; {severity_note}"
+                ),
+                fixit=(
+                    f"remove one of {source} -> {target} / "
+                    f"{target} -> {source}"
+                ),
+            )
+
+
+@rule(
+    "PM110",
+    "cycle",
+    Severity.WARNING,
+    "the control-flow graph contains a directed cycle",
+    dag_severity=Severity.ERROR,
+)
+def check_cycle(ctx: LintContext) -> Iterator[Finding]:
+    cycle = ctx.cycle
+    if cycle is not None:
+        path = " -> ".join(str(node) for node in cycle)
+        yield Finding(
+            location=model_location(),
+            message=(
+                f"graph contains a cycle: {path}; the paper's DAG "
+                f"algorithms (1 and 2) assume acyclic control flow"
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# PM2xx — condition semantics
+# ---------------------------------------------------------------------------
+def _explicit_conditions(ctx: LintContext) -> List[Tuple[Edge, Condition]]:
+    return sorted(ctx.model.conditions().items(), key=lambda item: item[0])
+
+
+def _condition_well_referenced(
+    ctx: LintContext, edge: Edge, condition: Condition
+) -> bool:
+    """Whether every referenced index exists on the edge source's
+    output vector (the PM203 precondition for PM201/PM202/PM204)."""
+    arity = ctx.model.activity(edge[0]).output_spec.arity
+    return all(index < arity for index in referenced_indices(condition))
+
+
+@rule(
+    "PM201",
+    "unsatisfiable-condition",
+    Severity.ERROR,
+    "an edge condition can never be true over the output domain",
+)
+def check_unsatisfiable(ctx: LintContext) -> Iterator[Finding]:
+    for edge, condition in _explicit_conditions(ctx):
+        if isinstance(condition, Always):
+            continue
+        if not _condition_well_referenced(ctx, edge, condition):
+            continue  # PM203 reports the real problem
+        spec = ctx.model.activity(edge[0]).output_spec
+        satisfiable = is_satisfiable(
+            condition, spec, ctx.config.max_clauses
+        )
+        if satisfiable is False:
+            yield Finding(
+                location=edge_location(*edge),
+                message=(
+                    f"condition {condition} on edge {edge[0]} -> "
+                    f"{edge[1]} is unsatisfiable over {edge[0]!r}'s "
+                    f"output domain [{spec.low}, {spec.high}]^"
+                    f"{spec.arity}; the edge can never be taken"
+                ),
+                fixit=(
+                    f"fix the condition or remove edge "
+                    f"{edge[0]} -> {edge[1]}"
+                ),
+            )
+
+
+@rule(
+    "PM202",
+    "vacuous-condition",
+    Severity.INFO,
+    "a non-trivial edge condition is always true over the output domain",
+)
+def check_vacuous(ctx: LintContext) -> Iterator[Finding]:
+    for edge, condition in _explicit_conditions(ctx):
+        if isinstance(condition, (Always, Never)):
+            continue
+        if not _condition_well_referenced(ctx, edge, condition):
+            continue
+        spec = ctx.model.activity(edge[0]).output_spec
+        if is_tautology(condition, spec, ctx.config.max_clauses):
+            yield Finding(
+                location=edge_location(*edge),
+                message=(
+                    f"condition {condition} on edge {edge[0]} -> "
+                    f"{edge[1]} holds for every output in "
+                    f"[{spec.low}, {spec.high}]^{spec.arity}; the edge "
+                    f"is effectively unconditional"
+                ),
+                fixit="drop the condition (the edge is unconditional)",
+            )
+
+
+@rule(
+    "PM203",
+    "invalid-output-reference",
+    Severity.ERROR,
+    "a condition references an output parameter the source does not produce",
+)
+def check_output_references(ctx: LintContext) -> Iterator[Finding]:
+    for edge, condition in _explicit_conditions(ctx):
+        arity = ctx.model.activity(edge[0]).output_spec.arity
+        bad = sorted(
+            index
+            for index in referenced_indices(condition)
+            if index >= arity
+        )
+        if bad:
+            refs = ", ".join(f"o[{index}]" for index in bad)
+            yield Finding(
+                location=edge_location(*edge),
+                message=(
+                    f"condition {condition} on edge {edge[0]} -> "
+                    f"{edge[1]} references {refs}, but activity "
+                    f"{edge[0]!r} produces only {arity} output "
+                    f"parameter(s); evaluation would fail at run time"
+                ),
+                fixit=(
+                    f"reference parameters o[0]..o[{arity - 1}] of "
+                    f"{edge[0]}"
+                    if arity
+                    else f"give {edge[0]} an output or drop the condition"
+                ),
+            )
+
+
+@rule(
+    "PM204",
+    "dead-end-guards",
+    Severity.ERROR,
+    "no outgoing edge of an activity can ever fire",
+)
+def check_dead_end_guards(ctx: LintContext) -> Iterator[Finding]:
+    for name in ctx.graph.nodes():
+        successors = sorted(ctx.graph.successors(name))
+        if not successors:
+            continue
+        disjunction: Condition = Never()
+        well_referenced = True
+        for successor in successors:
+            condition = ctx.model.condition(name, successor)
+            if not _condition_well_referenced(
+                ctx, (name, successor), condition
+            ):
+                well_referenced = False
+                break
+            disjunction = Or(disjunction, condition)
+        if not well_referenced:
+            continue
+        spec = ctx.model.activity(name).output_spec
+        if (
+            is_satisfiable(disjunction, spec, ctx.config.max_clauses)
+            is False
+        ):
+            edges = ", ".join(f"{name} -> {s}" for s in successors)
+            yield Finding(
+                location=activity_location(name),
+                message=(
+                    f"the outgoing conditions of {name!r} are jointly "
+                    f"unsatisfiable ({edges}); every execution reaching "
+                    f"{name!r} stalls before the sink"
+                ),
+                fixit=f"relax one outgoing condition of {name}",
+            )
+
+
+# ---------------------------------------------------------------------------
+# PM3xx — log vs model
+# ---------------------------------------------------------------------------
+@rule(
+    "PM301",
+    "unexercised-edge",
+    Severity.WARNING,
+    "no execution in the log required the edge",
+    requires_log=True,
+)
+def check_unexercised(ctx: LintContext) -> Iterator[Finding]:
+    coverage = ctx.coverage
+    if coverage is None:
+        return
+    for edge in coverage.unexercised():
+        usage = coverage.usage[edge]
+        yield Finding(
+            location=edge_location(*edge),
+            message=(
+                f"edge {edge[0]} -> {edge[1]} was required by none of "
+                f"the {coverage.executions} executions "
+                f"(compatible with {usage.compatible}); the log gives "
+                f"no evidence for it"
+            ),
+            fixit=f"remove edge {edge[0]} -> {edge[1]} or gather more logs",
+        )
+
+
+@rule(
+    "PM302",
+    "low-support-edge",
+    Severity.WARNING,
+    "an edge's support is below the Section 6 noise threshold",
+    requires_log=True,
+)
+def check_low_support(ctx: LintContext) -> Iterator[Finding]:
+    threshold = ctx.config.noise_threshold
+    coverage = ctx.coverage
+    if threshold <= 0 or coverage is None:
+        return
+    for edge in sorted(coverage.usage):
+        required = coverage.usage[edge].required
+        if 0 < required < threshold:
+            yield Finding(
+                location=edge_location(*edge),
+                message=(
+                    f"edge {edge[0]} -> {edge[1]} is required by only "
+                    f"{required} execution(s), below the noise "
+                    f"threshold T={threshold} (Section 6); it may be an "
+                    f"artefact of noisy ordering"
+                ),
+                fixit=(
+                    f"re-mine with --threshold {threshold} or gather "
+                    f"more logs"
+                ),
+            )
+
+
+@rule(
+    "PM303",
+    "unknown-log-activity",
+    Severity.WARNING,
+    "the log performs an activity the model does not contain",
+    requires_log=True,
+)
+def check_unknown_log_activity(ctx: LintContext) -> Iterator[Finding]:
+    model_activities = set(ctx.model.activity_names)
+    for name in sorted(ctx.log_activities - model_activities):
+        yield Finding(
+            location=activity_location(name),
+            message=(
+                f"the log performs activity {name!r} but the model does "
+                f"not contain it; the model cannot be conformal with "
+                f"this log (Definition 7)"
+            ),
+            fixit=f"add activity {name} to the model or re-mine",
+        )
+
+
+@rule(
+    "PM304",
+    "unobserved-activity",
+    Severity.INFO,
+    "a model activity never appears in the log",
+    requires_log=True,
+)
+def check_unobserved_activity(ctx: LintContext) -> Iterator[Finding]:
+    if ctx.log is None or len(ctx.log) == 0:
+        return
+    for name in sorted(set(ctx.model.activity_names) - ctx.log_activities):
+        yield Finding(
+            location=activity_location(name),
+            message=(
+                f"activity {name!r} never appears in any of the "
+                f"{len(ctx.log)} logged executions; the log carries no "
+                f"evidence it is still part of the process"
+            ),
+        )
+
+
+@rule(
+    "PM305",
+    "condition-never-observed",
+    Severity.WARNING,
+    "no observed output of the source activity satisfies the condition",
+    requires_log=True,
+)
+def check_condition_never_observed(ctx: LintContext) -> Iterator[Finding]:
+    for edge, condition in _explicit_conditions(ctx):
+        if isinstance(condition, (Always, Never)):
+            continue
+        if not _condition_well_referenced(ctx, edge, condition):
+            continue
+        observed = ctx.observed_outputs(edge[0])
+        arity = ctx.model.activity(edge[0]).output_spec.arity
+        usable = [o for o in observed if len(o) >= arity]
+        if not usable:
+            continue  # no evidence either way (e.g. Flowmark logs)
+        if not any(condition.evaluate(output) for output in usable):
+            yield Finding(
+                location=edge_location(*edge),
+                message=(
+                    f"condition {condition} on edge {edge[0]} -> "
+                    f"{edge[1]} is satisfied by none of the "
+                    f"{len(usable)} observed output vector(s) of "
+                    f"{edge[0]!r}; the guarded branch never fires in "
+                    f"practice"
+                ),
+                fixit=(
+                    f"check the condition against the logged outputs of "
+                    f"{edge[0]}"
+                ),
+            )

@@ -1,0 +1,81 @@
+"""Lint engine configuration.
+
+:class:`LintConfig` controls which rules run (``select`` / ``ignore``
+code prefixes, mirroring ruff's semantics), their effective severities,
+and the knobs individual rules consume (DAG mode, the Section 6 noise
+threshold, the satisfiability clause budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.lint.diagnostics import Severity
+
+
+def _normalize_codes(codes: Optional[Iterable[str]]) -> Optional[FrozenSet[str]]:
+    if codes is None:
+        return None
+    cleaned = frozenset(code.strip().upper() for code in codes if code.strip())
+    return cleaned or None
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run, at which severities, with which thresholds.
+
+    Attributes
+    ----------
+    select:
+        Code prefixes to enable (``{"PM1", "PM203"}``); ``None`` enables
+        every registered rule.  A prefix matches every code that starts
+        with it, so ``"PM"`` selects all and ``"PM3"`` the log-vs-model
+        group.
+    ignore:
+        Code prefixes to disable; applied after ``select``.
+    severity_overrides:
+        Per-code severity replacements (exact codes, not prefixes).
+    dag_mode:
+        When True the model is held to the paper's DAG assumptions:
+        cycles and 2-cycles (``PM109``/``PM110``) escalate from warning
+        to error.
+    noise_threshold:
+        Section 6's ``T``: edges required by fewer than ``T`` (but at
+        least one) executions trigger ``PM302``.  0 disables the rule.
+    max_clauses:
+        Budget for the satisfiability checker's DNF expansion; a
+        condition that exceeds it is reported by neither ``PM201`` nor
+        ``PM202`` (unknown is not a finding).
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    ignore: Optional[FrozenSet[str]] = None
+    severity_overrides: Dict[str, Severity] = field(default_factory=dict)
+    dag_mode: bool = False
+    noise_threshold: int = 0
+    max_clauses: int = 512
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "select", _normalize_codes(self.select))
+        object.__setattr__(self, "ignore", _normalize_codes(self.ignore))
+        if self.noise_threshold < 0:
+            raise ValueError("noise_threshold must be >= 0")
+        if self.max_clauses < 1:
+            raise ValueError("max_clauses must be >= 1")
+
+    def is_enabled(self, code: str) -> bool:
+        """Whether the rule with ``code`` should run."""
+        if self.select is not None and not any(
+            code.startswith(prefix) for prefix in self.select
+        ):
+            return False
+        if self.ignore is not None and any(
+            code.startswith(prefix) for prefix in self.ignore
+        ):
+            return False
+        return True
+
+    def effective_severity(self, code: str, default: Severity) -> Severity:
+        """The severity ``code`` reports at under this configuration."""
+        return self.severity_overrides.get(code, default)

@@ -1,0 +1,274 @@
+"""Decision procedure for edge-condition satisfiability.
+
+Edge conditions (Section 7) are Boolean combinations of comparisons
+between one output parameter and either a constant or another parameter
+plus a constant offset (``o[i] <= o[j] + t``).  Over the integer box
+domain declared by an activity's :class:`~repro.model.activity.OutputSpec`
+(outputs are vectors in ``N^k``), satisfiability of such a condition is
+decidable exactly:
+
+1. rewrite to negation normal form and expand to DNF (``!=`` splits into
+   ``< or >``), under a clause budget so adversarial inputs cannot blow
+   up the lint run;
+2. each DNF clause is a conjunction of *difference constraints*
+   ``x_a - x_b <= c`` (a comparison against a constant uses a virtual
+   zero variable; strict bounds tighten by integrality), plus the domain
+   bounds ``low <= x_i <= high``;
+3. a difference-constraint system is feasible iff its constraint graph
+   has no negative cycle — checked with Bellman–Ford.
+
+The condition is satisfiable iff some clause is feasible; it is a
+tautology iff its negation is unsatisfiable.  Both functions return
+``None`` (unknown) when the clause budget is exceeded — the lint rules
+treat unknown as "no finding".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.model.activity import OutputSpec
+from repro.model.conditions import (
+    Always,
+    And,
+    Comparison,
+    Condition,
+    Never,
+    Not,
+    Or,
+    ParamRef,
+)
+
+#: Default budget for DNF expansion (number of clauses).
+DEFAULT_MAX_CLAUSES = 512
+
+Clause = Tuple[Comparison, ...]
+
+_NEGATED_OP: Dict[str, str] = {
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+    "==": "!=",
+    "!=": "==",
+}
+
+
+class ClauseBudgetExceeded(Exception):
+    """DNF expansion grew past the configured clause budget."""
+
+
+def iter_comparisons(condition: Condition) -> Iterator[Comparison]:
+    """Yield every :class:`Comparison` leaf of ``condition``."""
+    stack: List[Condition] = [condition]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Comparison):
+            yield node
+        elif isinstance(node, Not):
+            stack.append(node.operand)
+        elif isinstance(node, (And, Or)):
+            stack.append(node.left)
+            stack.append(node.right)
+
+
+def referenced_indices(condition: Condition) -> FrozenSet[int]:
+    """Output-parameter indices ``condition`` reads (both sides)."""
+    indices = set()
+    for comparison in iter_comparisons(condition):
+        indices.add(comparison.index)
+        if isinstance(comparison.rhs, ParamRef):
+            indices.add(comparison.rhs.index)
+    return frozenset(indices)
+
+
+def condition_clauses(
+    condition: Condition, max_clauses: int = DEFAULT_MAX_CLAUSES
+) -> Optional[List[Clause]]:
+    """DNF clauses of ``condition``; ``None`` if the budget is exceeded.
+
+    Each clause is a conjunction of comparisons with operators in
+    ``{<, <=, >, >=, ==}`` (``!=`` is expanded).  The constant
+    conditions produce the two degenerate clause lists: ``[()]`` for a
+    tautology (one empty clause) and ``[]`` for a contradiction.
+    """
+    try:
+        return _dnf(condition, negate=False, budget=max_clauses)
+    except ClauseBudgetExceeded:
+        return None
+
+
+def is_satisfiable(
+    condition: Condition,
+    spec: OutputSpec,
+    max_clauses: int = DEFAULT_MAX_CLAUSES,
+) -> Optional[bool]:
+    """Whether some output vector in ``spec``'s domain satisfies
+    ``condition``; ``None`` when the clause budget is exceeded."""
+    clauses = condition_clauses(condition, max_clauses)
+    if clauses is None:
+        return None
+    return any(_clause_feasible(clause, spec) for clause in clauses)
+
+
+def is_tautology(
+    condition: Condition,
+    spec: OutputSpec,
+    max_clauses: int = DEFAULT_MAX_CLAUSES,
+) -> Optional[bool]:
+    """Whether ``condition`` holds for *every* vector in the domain."""
+    try:
+        negated = _dnf(condition, negate=True, budget=max_clauses)
+    except ClauseBudgetExceeded:
+        return None
+    return not any(_clause_feasible(clause, spec) for clause in negated)
+
+
+# ---------------------------------------------------------------------------
+# DNF expansion
+# ---------------------------------------------------------------------------
+def _dnf(
+    condition: Condition, negate: bool, budget: int
+) -> List[Clause]:
+    if isinstance(condition, Always):
+        return [] if negate else [()]
+    if isinstance(condition, Never):
+        return [()] if negate else []
+    if isinstance(condition, Not):
+        return _dnf(condition.operand, not negate, budget)
+    if isinstance(condition, And):
+        if negate:  # De Morgan: ¬(A ∧ B) = ¬A ∨ ¬B
+            return _union(
+                _dnf(condition.left, True, budget),
+                _dnf(condition.right, True, budget),
+                budget,
+            )
+        return _product(
+            _dnf(condition.left, False, budget),
+            _dnf(condition.right, False, budget),
+            budget,
+        )
+    if isinstance(condition, Or):
+        if negate:  # ¬(A ∨ B) = ¬A ∧ ¬B
+            return _product(
+                _dnf(condition.left, True, budget),
+                _dnf(condition.right, True, budget),
+                budget,
+            )
+        return _union(
+            _dnf(condition.left, False, budget),
+            _dnf(condition.right, False, budget),
+            budget,
+        )
+    if isinstance(condition, Comparison):
+        op = _NEGATED_OP[condition.op] if negate else condition.op
+        if op == "!=":  # integer split: x != y  ⇔  x < y ∨ x > y
+            return [
+                (Comparison(condition.index, "<", condition.rhs),),
+                (Comparison(condition.index, ">", condition.rhs),),
+            ]
+        return [(Comparison(condition.index, op, condition.rhs),)]
+    raise TypeError(
+        f"unsupported condition node {type(condition).__name__}"
+    )
+
+
+def _union(
+    left: List[Clause], right: List[Clause], budget: int
+) -> List[Clause]:
+    if len(left) + len(right) > budget:
+        raise ClauseBudgetExceeded
+    return left + right
+
+
+def _product(
+    left: List[Clause], right: List[Clause], budget: int
+) -> List[Clause]:
+    if len(left) * len(right) > budget:
+        raise ClauseBudgetExceeded
+    return [a + b for a in left for b in right]
+
+
+# ---------------------------------------------------------------------------
+# Clause feasibility: difference constraints + Bellman–Ford
+# ---------------------------------------------------------------------------
+def _nonstrict_bound(c: float) -> int:
+    """Tightest integer bound for ``x - y <= c`` with integer ``x - y``."""
+    return math.floor(c)
+
+
+def _strict_bound(c: float) -> int:
+    """Tightest integer bound for ``x - y < c`` with integer ``x - y``."""
+    return math.ceil(c) - 1
+
+
+def _clause_constraints(
+    clause: Clause, zero: int
+) -> Optional[List[Tuple[int, int, int]]]:
+    """Normalize a clause into ``x_a - x_b <= c`` triples ``(a, b, c)``.
+
+    ``zero`` is the index of the virtual zero-valued variable used for
+    comparisons against constants.
+    """
+    constraints: List[Tuple[int, int, int]] = []
+    for comparison in clause:
+        i = comparison.index
+        if isinstance(comparison.rhs, ParamRef):
+            j, offset = comparison.rhs.index, comparison.rhs.offset
+        else:
+            j, offset = zero, float(comparison.rhs)
+        op = comparison.op
+        if op == "<":
+            constraints.append((i, j, _strict_bound(offset)))
+        elif op == "<=":
+            constraints.append((i, j, _nonstrict_bound(offset)))
+        elif op == ">":
+            constraints.append((j, i, _strict_bound(-offset)))
+        elif op == ">=":
+            constraints.append((j, i, _nonstrict_bound(-offset)))
+        elif op == "==":
+            constraints.append((i, j, _nonstrict_bound(offset)))
+            constraints.append((j, i, _nonstrict_bound(-offset)))
+        else:  # pragma: no cover - DNF never emits other operators
+            return None
+    return constraints
+
+
+def _clause_feasible(clause: Clause, spec: OutputSpec) -> bool:
+    """Whether an integer point in the domain satisfies every atom."""
+    variables = sorted(
+        {c.index for c in clause}
+        | {
+            c.rhs.index
+            for c in clause
+            if isinstance(c.rhs, ParamRef)
+        }
+    )
+    if not variables:
+        return True  # empty clause: the tautology
+    zero = -1  # virtual variable fixed at 0, distinct from any index
+    constraints = _clause_constraints(clause, zero)
+    if constraints is None:  # pragma: no cover - defensive
+        return True
+    # Box domain low <= x <= high for every referenced variable.
+    for variable in variables:
+        constraints.append((variable, zero, spec.high))
+        constraints.append((zero, variable, -spec.low))
+
+    # Bellman–Ford from an implicit super-source (all distances 0):
+    # the system is feasible iff the constraint graph (edge b -> a with
+    # weight c for each a - b <= c) has no negative cycle.
+    nodes = [*variables, zero]
+    distance: Dict[int, float] = {node: 0.0 for node in nodes}
+    for iteration in range(len(nodes)):
+        changed = False
+        for a, b, c in constraints:
+            if distance[b] + c < distance[a]:
+                distance[a] = distance[b] + c
+                changed = True
+        if not changed:
+            return True
+        if iteration == len(nodes) - 1:
+            return False  # still relaxing after |V| passes: negative cycle
+    return True

@@ -149,7 +149,10 @@ class Quarantine:
         self.items.append(item)
         if self.path is not None:
             if self._handle is None:
-                self._handle = open(self.path, "w", encoding="utf-8")
+                # Held open across divert() calls; closed by __exit__.
+                self._handle = open(  # noqa: SIM115
+                    self.path, "w", encoding="utf-8"
+                )
             self._handle.write(json.dumps(item.to_json(), sort_keys=True))
             self._handle.write("\n")
             self._handle.flush()

@@ -324,16 +324,17 @@ def _rhs_value(node: ast.AST, text: str) -> Union[float, ParamRef]:
     if isinstance(node, ast.Subscript):
         return ParamRef(_subscript_index(node, text))
     # o[j] + c  /  o[j] - c  — the offset form.
-    if isinstance(node, ast.BinOp) and isinstance(
-        node.op, (ast.Add, ast.Sub)
+    if (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, (ast.Add, ast.Sub))
+        and isinstance(node.left, ast.Subscript)
+        and isinstance(node.right, ast.Constant)
+        and isinstance(node.right.value, (int, float))
     ):
-        if isinstance(node.left, ast.Subscript) and isinstance(
-            node.right, ast.Constant
-        ) and isinstance(node.right.value, (int, float)):
-            offset = float(node.right.value)
-            if isinstance(node.op, ast.Sub):
-                offset = -offset
-            return ParamRef(_subscript_index(node.left, text), offset)
+        offset = float(node.right.value)
+        if isinstance(node.op, ast.Sub):
+            offset = -offset
+        return ParamRef(_subscript_index(node.left, text), offset)
     raise ConditionError(
         f"expected a number or output reference on the right side of a "
         f"comparison in {text!r}"

@@ -1,11 +1,17 @@
 """Structural validation of process models.
 
-Section 2 assumes a process graph has a single source and a single sink and
-that every activity is reachable from the initiating activity.  The paper's
-DAG algorithms additionally assume acyclicity.  :func:`validate_process`
-checks all of this and returns a :class:`ValidationReport` instead of
-raising, so callers can treat violations as data (the CLI prints them; the
-engine refuses to run an invalid model).
+Section 2 assumes a process graph has a single source and a single sink
+and that every activity is reachable from the initiating activity.  The
+paper's DAG algorithms additionally assume acyclicity.
+
+Since the introduction of the :mod:`repro.lint` static analyzer,
+:func:`validate_process` is a thin facade over the lint engine: it runs
+the structural rule subset (``PM101``–``PM106``, ``PM109``, ``PM110``)
+and re-packages the diagnostics as the familiar
+:class:`ValidationReport`, so existing callers (the CLI, the workflow
+engine's pre-flight check) keep working unchanged while gaining
+per-activity messages — multiple-source/multiple-sink violations now
+name each offending activity instead of a generic complaint.
 """
 
 from __future__ import annotations
@@ -13,12 +19,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.graphs.traversal import (
-    ancestors,
-    descendants,
-    find_cycle,
-)
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import lint_model
 from repro.model.process import ProcessModel
+
+#: The lint rules that constitute structural validity: endpoint shape
+#: (PM101/PM102), uniqueness of source and sink (PM103/PM104),
+#: reachability (PM105/PM106), and acyclicity (PM109/PM110 — warnings
+#: unless ``require_acyclic``).
+VALIDATION_CODES = (
+    "PM101",
+    "PM102",
+    "PM103",
+    "PM104",
+    "PM105",
+    "PM106",
+    "PM109",
+    "PM110",
+)
 
 
 @dataclass
@@ -28,15 +47,20 @@ class ValidationReport:
     Attributes
     ----------
     violations:
-        Human-readable descriptions of structural problems; empty when the
-        model is valid.
+        Human-readable descriptions of structural problems; empty when
+        the model is valid.
     warnings:
-        Non-fatal observations (e.g. the graph is cyclic, which is legal in
-        general but outside the DAG algorithms' assumptions).
+        Non-fatal observations (e.g. the graph is cyclic, which is
+        legal in general but outside the DAG algorithms' assumptions).
+    diagnostics:
+        The underlying structured :class:`~repro.lint.Diagnostic`
+        values, for callers that want codes and locations instead of
+        strings.
     """
 
     violations: List[str] = field(default_factory=list)
     warnings: List[str] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
     @property
     def is_valid(self) -> bool:
@@ -54,54 +78,30 @@ class ValidationReport:
 def validate_process(
     model: ProcessModel, require_acyclic: bool = False
 ) -> ValidationReport:
-    """Validate the structure of ``model``.
+    """Validate the structure of ``model`` via the lint engine.
 
-    Checks performed:
+    Checks performed (each backed by a stable lint code):
 
-    * the designated source has no incoming edges and the sink no outgoing
-      edges;
-    * every activity is reachable from the source (Definition 6 requires
-      this of executions; a vertex unreachable in the *model* can never be
-      executed);
-    * every activity reaches the sink (otherwise some execution could never
-      terminate);
-    * with ``require_acyclic=True``, the graph must be a DAG (violation);
-      otherwise a cycle only produces a warning.
+    * the designated source has no incoming edges (``PM101``) and the
+      sink no outgoing edges (``PM102``);
+    * no *other* activity looks like a source or a sink — extra
+      initiating/terminating activities are named individually
+      (``PM103``/``PM104``);
+    * every activity is reachable from the source (``PM105``;
+      Definition 6 requires this of executions — a vertex unreachable
+      in the *model* can never be executed) and reaches the sink
+      (``PM106``, otherwise some execution could never terminate);
+    * with ``require_acyclic=True`` cycles and 2-cycles are violations
+      (``PM110``/``PM109``); otherwise they only produce warnings.
     """
-    report = ValidationReport()
-    graph = model.graph
-
-    if graph.in_degree(model.source) > 0:
-        report.violations.append(
-            f"source activity {model.source!r} has incoming edges"
-        )
-    if graph.out_degree(model.sink) > 0:
-        report.violations.append(
-            f"sink activity {model.sink!r} has outgoing edges"
-        )
-
-    if model.activity_count > 1:
-        reachable = descendants(graph, model.source)
-        reachable.add(model.source)
-        unreachable = sorted(set(graph.nodes()) - reachable)
-        if unreachable:
-            report.violations.append(
-                f"activities not reachable from the source: {unreachable}"
-            )
-        reaching = ancestors(graph, model.sink)
-        reaching.add(model.sink)
-        stranded = sorted(set(graph.nodes()) - reaching)
-        if stranded:
-            report.violations.append(
-                f"activities that cannot reach the sink: {stranded}"
-            )
-
-    cycle = find_cycle(graph)
-    if cycle is not None:
-        message = f"graph contains a cycle: {' -> '.join(map(str, cycle))}"
-        if require_acyclic:
-            report.violations.append(message)
+    config = LintConfig(
+        select=frozenset(VALIDATION_CODES), dag_mode=require_acyclic
+    )
+    lint_report = lint_model(model, config=config)
+    report = ValidationReport(diagnostics=list(lint_report.diagnostics))
+    for diagnostic in lint_report.diagnostics:
+        if diagnostic.severity is Severity.ERROR:
+            report.violations.append(diagnostic.message)
         else:
-            report.warnings.append(message)
-
+            report.warnings.append(diagnostic.message)
     return report

@@ -1,0 +1,646 @@
+"""Tests of the :mod:`repro.lint` static analyzer.
+
+Every shipped diagnostic code gets one fixture that triggers it and one
+that stays clean, plus engine/config behavior, emitter output shape,
+and hypothesis properties tying the linter back to the miner: graphs
+the paper's algorithms produce from conformal logs carry no
+error-severity structural (PM1xx) diagnostics.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.miner import ProcessMiner
+from repro.lint import (
+    LintConfig,
+    Severity,
+    all_rules,
+    get_rule,
+    lint_model,
+)
+from repro.lint.emitters import (
+    model_line_map,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.lint.engine import severity_overrides
+from repro.logs.event_log import EventLog
+from repro.logs.execution import Execution
+from repro.model.activity import Activity
+from repro.model.builder import ProcessBuilder
+from repro.model.conditions import parse_condition
+from repro.model.process import ProcessModel
+
+from .test_properties import permutation_logs, subset_logs
+
+ALL_CODES = [
+    "PM101", "PM102", "PM103", "PM104", "PM105",
+    "PM106", "PM107", "PM108", "PM109", "PM110",
+    "PM201", "PM202", "PM203", "PM204",
+    "PM301", "PM302", "PM303", "PM304", "PM305",
+]
+
+
+def model_of(edges, source, sink, names=None, conditions=None):
+    activities = sorted(
+        names or {n for edge in edges for n in edge}
+    )
+    return ProcessModel(
+        "fixture",
+        activities=[Activity(n) for n in activities],
+        edges=edges,
+        conditions={
+            edge: parse_condition(text)
+            for edge, text in (conditions or {}).items()
+        },
+        source=source,
+        sink=sink,
+    )
+
+
+def codes(model, select=None, log=None, **config_kwargs):
+    config = LintConfig(select=select, **config_kwargs)
+    report = lint_model(model, log=log, config=config)
+    return [d.code for d in report.diagnostics]
+
+
+class TestRegistry:
+    def test_all_codes_registered_once(self):
+        assert [r.code for r in all_rules()] == ALL_CODES
+
+    def test_rules_have_descriptions_and_slugs(self):
+        for r in all_rules():
+            assert r.description
+            assert r.name == r.name.lower()
+            assert " " not in r.name
+
+    def test_get_rule(self):
+        assert get_rule("PM108").name == "redundant-transitive-edge"
+        with pytest.raises(KeyError):
+            get_rule("PM999")
+
+
+class TestStructuralRules:
+    def test_pm101_source_with_incoming(self):
+        model = model_of(
+            [("A", "B"), ("B", "C"), ("B", "A")], "A", "C"
+        )
+        found = codes(model, select=["PM101"])
+        assert found == ["PM101"]
+
+    def test_pm101_clean(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").build()
+        assert codes(model, select=["PM101"]) == []
+
+    def test_pm102_sink_with_outgoing(self):
+        model = model_of(
+            [("A", "B"), ("B", "C"), ("C", "B")], "A", "C"
+        )
+        assert codes(model, select=["PM102"]) == ["PM102"]
+
+    def test_pm102_clean(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").build()
+        assert codes(model, select=["PM102"]) == []
+
+    def test_pm103_extra_source_names_activity(self):
+        model = model_of([("A", "B"), ("X", "B")], "A", "B")
+        report = lint_model(model, config=LintConfig(select=["PM103"]))
+        assert [d.code for d in report.diagnostics] == ["PM103"]
+        assert "'X'" in report.diagnostics[0].message
+        assert report.diagnostics[0].location.activity == "X"
+
+    def test_pm103_clean(self):
+        model = ProcessBuilder("p").chain("A", "B").build()
+        assert codes(model, select=["PM103"]) == []
+
+    def test_pm104_extra_sink_names_activity(self):
+        model = model_of([("A", "B"), ("A", "X")], "A", "B")
+        report = lint_model(model, config=LintConfig(select=["PM104"]))
+        assert [d.code for d in report.diagnostics] == ["PM104"]
+        assert "'X'" in report.diagnostics[0].message
+
+    def test_pm104_clean(self):
+        model = ProcessBuilder("p").chain("A", "B").build()
+        assert codes(model, select=["PM104"]) == []
+
+    def test_pm105_unreachable(self):
+        model = model_of(
+            [("A", "B"), ("B", "C"), ("X", "C")], "A", "C"
+        )
+        report = lint_model(model, config=LintConfig(select=["PM105"]))
+        assert [d.code for d in report.diagnostics] == ["PM105"]
+        assert "'X'" in report.diagnostics[0].message
+
+    def test_pm105_clean(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").build()
+        assert codes(model, select=["PM105"]) == []
+
+    def test_pm106_cannot_reach_sink(self):
+        model = model_of(
+            [("A", "B"), ("B", "C"), ("A", "X")], "A", "C"
+        )
+        assert codes(model, select=["PM106"]) == ["PM106"]
+
+    def test_pm106_clean(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").build()
+        assert codes(model, select=["PM106"]) == []
+
+    def test_pm107_disconnected_component(self):
+        model = model_of(
+            [("A", "B"), ("X", "Y")], "A", "B"
+        )
+        report = lint_model(model, config=LintConfig(select=["PM107"]))
+        assert [d.code for d in report.diagnostics] == ["PM107"]
+        assert "'X'" in report.diagnostics[0].message
+        assert "'Y'" in report.diagnostics[0].message
+
+    def test_pm107_clean(self):
+        model = ProcessBuilder("p").chain("A", "B").build()
+        assert codes(model, select=["PM107"]) == []
+
+    def test_pm108_redundant_edge_without_log(self):
+        model = (
+            ProcessBuilder("p")
+            .chain("A", "B", "C")
+            .edge("A", "C")
+            .build()
+        )
+        report = lint_model(model, config=LintConfig(select=["PM108"]))
+        assert [d.code for d in report.diagnostics] == ["PM108"]
+        assert report.diagnostics[0].fixit == "remove edge A -> C"
+        assert report.diagnostics[0].location.edge == ("A", "C")
+
+    def test_pm108_required_edge_exempt_with_log(self):
+        # "AC" skips B, so a conformal model must keep the direct edge:
+        # minimality is judged against the log, not pure reachability.
+        model = (
+            ProcessBuilder("p")
+            .chain("A", "B", "C")
+            .edge("A", "C")
+            .build()
+        )
+        log = EventLog.from_sequences(["ABC", "AC"])
+        assert codes(model, select=["PM108"], log=log) == []
+
+    def test_pm108_unrequired_edge_still_reported_with_log(self):
+        model = (
+            ProcessBuilder("p")
+            .chain("A", "B", "C")
+            .edge("A", "C")
+            .build()
+        )
+        log = EventLog.from_sequences(["ABC", "ABC"])
+        assert codes(model, select=["PM108"], log=log) == ["PM108"]
+
+    def test_pm108_clean(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").build()
+        assert codes(model, select=["PM108"]) == []
+
+    def test_pm109_two_cycle_warning_escalates_in_dag_mode(self):
+        model = model_of(
+            [("A", "B"), ("B", "C"), ("C", "B"), ("C", "D")], "A", "D"
+        )
+        report = lint_model(model, config=LintConfig(select=["PM109"]))
+        assert [d.code for d in report.diagnostics] == ["PM109"]
+        assert report.diagnostics[0].severity is Severity.WARNING
+        strict = lint_model(
+            model, config=LintConfig(select=["PM109"], dag_mode=True)
+        )
+        assert strict.diagnostics[0].severity is Severity.ERROR
+
+    def test_pm109_clean(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").build()
+        assert codes(model, select=["PM109"]) == []
+
+    def test_pm110_cycle_warning_escalates_in_dag_mode(self):
+        model = model_of(
+            [("A", "B"), ("B", "C"), ("C", "D"), ("D", "B"), ("C", "E")],
+            "A",
+            "E",
+        )
+        report = lint_model(model, config=LintConfig(select=["PM110"]))
+        assert [d.code for d in report.diagnostics] == ["PM110"]
+        assert report.diagnostics[0].severity is Severity.WARNING
+        assert report.exit_code == 1
+        strict = lint_model(
+            model, config=LintConfig(select=["PM110"], dag_mode=True)
+        )
+        assert strict.exit_code == 2
+
+    def test_pm110_clean(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").build()
+        assert codes(model, select=["PM110"]) == []
+
+
+class TestConditionRules:
+    def test_pm201_unsatisfiable_condition(self):
+        model = model_of(
+            [("A", "B")],
+            "A",
+            "B",
+            conditions={("A", "B"): "o[0] > 10 and o[0] < 5"},
+        )
+        assert codes(model, select=["PM201"]) == ["PM201"]
+
+    def test_pm201_contradictory_parameter_comparison(self):
+        model = model_of(
+            [("A", "B")],
+            "A",
+            "B",
+            conditions={("A", "B"): "o[0] < o[1] and o[1] < o[0]"},
+        )
+        assert codes(model, select=["PM201"]) == ["PM201"]
+
+    def test_pm201_clean(self):
+        model = model_of(
+            [("A", "B")],
+            "A",
+            "B",
+            conditions={("A", "B"): "o[0] > 10"},
+        )
+        assert codes(model, select=["PM201"]) == []
+
+    def test_pm202_vacuous_condition(self):
+        # Default output domain is [0, 100], so o[0] >= 0 always holds.
+        model = model_of(
+            [("A", "B")],
+            "A",
+            "B",
+            conditions={("A", "B"): "o[0] >= 0"},
+        )
+        report = lint_model(model, config=LintConfig(select=["PM202"]))
+        assert [d.code for d in report.diagnostics] == ["PM202"]
+        assert report.diagnostics[0].severity is Severity.INFO
+        assert report.exit_code == 0
+
+    def test_pm202_clean(self):
+        model = model_of(
+            [("A", "B")],
+            "A",
+            "B",
+            conditions={("A", "B"): "o[0] > 10"},
+        )
+        assert codes(model, select=["PM202"]) == []
+
+    def test_pm203_invalid_output_reference(self):
+        model = model_of(
+            [("A", "B")],
+            "A",
+            "B",
+            conditions={("A", "B"): "o[5] > 3"},
+        )
+        report = lint_model(model, config=LintConfig(select=["PM203"]))
+        assert [d.code for d in report.diagnostics] == ["PM203"]
+        assert "o[5]" in report.diagnostics[0].message
+
+    def test_pm203_suppresses_satisfiability_rules(self):
+        # The out-of-range reference is the real problem; PM201/PM202
+        # stay quiet rather than guessing at semantics.
+        model = model_of(
+            [("A", "B")],
+            "A",
+            "B",
+            conditions={("A", "B"): "o[5] > 3"},
+        )
+        assert codes(model, select=["PM201", "PM202", "PM204"]) == []
+
+    def test_pm203_clean(self):
+        model = model_of(
+            [("A", "B")],
+            "A",
+            "B",
+            conditions={("A", "B"): "o[0] > 3"},
+        )
+        assert codes(model, select=["PM203"]) == []
+
+    def test_pm204_jointly_unsatisfiable_guards(self):
+        model = model_of(
+            [("A", "B"), ("B", "C")],
+            "A",
+            "C",
+            conditions={("B", "C"): "o[0] > 100"},
+        )
+        report = lint_model(model, config=LintConfig(select=["PM204"]))
+        assert [d.code for d in report.diagnostics] == ["PM204"]
+        assert report.diagnostics[0].location.activity == "B"
+
+    def test_pm204_clean_with_complementary_guards(self):
+        model = model_of(
+            [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+            "A",
+            "D",
+            conditions={
+                ("A", "B"): "o[0] <= 50",
+                ("A", "C"): "o[0] > 50",
+            },
+        )
+        assert codes(model, select=["PM204"]) == []
+
+
+class TestLogRules:
+    def test_pm3xx_skipped_without_log(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").build()
+        report = lint_model(model)
+        assert not any(c.startswith("PM3") for c in report.checked_rules)
+
+    def test_pm301_unexercised_edge(self):
+        model = (
+            ProcessBuilder("p")
+            .chain("A", "B", "C")
+            .edge("A", "C")
+            .build()
+        )
+        log = EventLog.from_sequences(["ABC", "ABC"])
+        report = lint_model(
+            model, log=log, config=LintConfig(select=["PM301"])
+        )
+        assert [d.code for d in report.diagnostics] == ["PM301"]
+        assert report.diagnostics[0].location.edge == ("A", "C")
+
+    def test_pm301_clean(self):
+        model = (
+            ProcessBuilder("p")
+            .chain("A", "B", "C")
+            .edge("A", "C")
+            .build()
+        )
+        log = EventLog.from_sequences(["ABC", "AC"])
+        assert codes(model, select=["PM301"], log=log) == []
+
+    def test_pm302_low_support_edge(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").edge(
+            "A", "C"
+        ).build()
+        log = EventLog.from_sequences(["ABC"] * 5 + ["AC"])
+        found = codes(
+            model, select=["PM302"], log=log, noise_threshold=3
+        )
+        assert found == ["PM302"]
+
+    def test_pm302_disabled_at_zero_threshold(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").edge(
+            "A", "C"
+        ).build()
+        log = EventLog.from_sequences(["ABC"] * 5 + ["AC"])
+        assert codes(model, select=["PM302"], log=log) == []
+
+    def test_pm303_unknown_log_activity(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").build()
+        log = EventLog.from_sequences(["ABC", "ABDC"])
+        report = lint_model(
+            model, log=log, config=LintConfig(select=["PM303"])
+        )
+        assert [d.code for d in report.diagnostics] == ["PM303"]
+        assert "'D'" in report.diagnostics[0].message
+
+    def test_pm303_clean(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").build()
+        log = EventLog.from_sequences(["ABC"])
+        assert codes(model, select=["PM303"], log=log) == []
+
+    def test_pm304_unobserved_activity(self):
+        model = (
+            ProcessBuilder("p")
+            .chain("A", "B", "C")
+            .edge("A", "X")
+            .edge("X", "C")
+            .build()
+        )
+        log = EventLog.from_sequences(["ABC"])
+        report = lint_model(
+            model, log=log, config=LintConfig(select=["PM304"])
+        )
+        assert [d.code for d in report.diagnostics] == ["PM304"]
+        assert report.diagnostics[0].severity is Severity.INFO
+
+    def test_pm304_clean(self):
+        model = ProcessBuilder("p").chain("A", "B", "C").build()
+        log = EventLog.from_sequences(["ABC"])
+        assert codes(model, select=["PM304"], log=log) == []
+
+    def _log_with_outputs(self, output):
+        return EventLog(
+            [
+                Execution.from_sequence(
+                    ["A", "B"],
+                    execution_id="e0",
+                    outputs={"A": output},
+                )
+            ]
+        )
+
+    def test_pm305_condition_never_observed(self):
+        model = model_of(
+            [("A", "B")],
+            "A",
+            "B",
+            conditions={("A", "B"): "o[0] > 50"},
+        )
+        log = self._log_with_outputs((10.0, 20.0))
+        assert codes(model, select=["PM305"], log=log) == ["PM305"]
+
+    def test_pm305_clean_when_condition_observed(self):
+        model = model_of(
+            [("A", "B")],
+            "A",
+            "B",
+            conditions={("A", "B"): "o[0] > 50"},
+        )
+        log = self._log_with_outputs((60.0, 20.0))
+        assert codes(model, select=["PM305"], log=log) == []
+
+
+class TestConfigAndEngine:
+    def _noisy_model(self):
+        return (
+            ProcessBuilder("p")
+            .chain("A", "B", "C")
+            .edge("A", "C")
+            .build()
+        )
+
+    def test_select_prefix(self):
+        model = self._noisy_model()
+        assert codes(model, select=["PM2"]) == []
+        assert codes(model, select=["PM1"]) == ["PM108"]
+
+    def test_ignore_wins_over_select(self):
+        model = self._noisy_model()
+        assert codes(model, select=["PM1"], ignore=["PM108"]) == []
+
+    def test_severity_override_changes_exit_code(self):
+        model = self._noisy_model()
+        report = lint_model(
+            model,
+            config=LintConfig(
+                severity_overrides=severity_overrides(
+                    {"PM108": "warning"}
+                )
+            ),
+        )
+        assert report.exit_code == 1
+        assert report.by_code("PM108")[0].severity is Severity.WARNING
+
+    def test_severity_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            severity_overrides({"PM108": "fatal"})
+
+    def test_exit_codes(self):
+        clean = ProcessBuilder("p").chain("A", "B").build()
+        assert lint_model(clean).exit_code == 0
+        assert lint_model(self._noisy_model()).exit_code == 2
+
+    def test_report_summary_counts(self):
+        report = lint_model(self._noisy_model())
+        assert "1 error(s)" in report.summary()
+        assert report.count(Severity.ERROR) == 1
+        assert report.max_severity is Severity.ERROR
+
+
+class TestEmitters:
+    def _report(self):
+        model = (
+            ProcessBuilder("p")
+            .chain("A", "B", "C")
+            .edge("A", "C")
+            .build()
+        )
+        return lint_model(model)
+
+    def test_text_contains_code_and_fixit(self):
+        text = render_text(self._report(), artifact="demo.pm")
+        assert "PM108 error:" in text
+        assert "fix: remove edge A -> C" in text
+        # 14 of the 19 rules run without a log (PM3xx need one).
+        assert text.strip().endswith("[14 rules checked]")
+
+    def test_json_round_trips(self):
+        payload = json.loads(render_json(self._report()))
+        assert payload["exit_code"] == 2
+        assert payload["max_severity"] == "error"
+        diagnostic = payload["diagnostics"][0]
+        assert diagnostic["code"] == "PM108"
+        assert diagnostic["location"]["edge"] == {
+            "source": "A",
+            "target": "C",
+        }
+
+    def test_sarif_shape(self):
+        document = json.loads(
+            render_sarif(self._report(), artifact="demo.pm")
+        )
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert len(rule_ids) == len(set(rule_ids))
+        for sarif_rule in driver["rules"]:
+            assert sarif_rule["shortDescription"]["text"]
+            assert sarif_rule["defaultConfiguration"]["level"] in (
+                "note",
+                "warning",
+                "error",
+            )
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert result["level"] in ("note", "warning", "error")
+            assert result["message"]["text"]
+            (location,) = result["locations"]
+            assert location["logicalLocations"][0]["name"]
+            uri = location["physicalLocation"]["artifactLocation"]["uri"]
+            assert uri == "demo.pm"
+        assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_sarif_info_maps_to_note(self):
+        model = model_of(
+            [("A", "B")],
+            "A",
+            "B",
+            conditions={("A", "B"): "o[0] >= 0"},
+        )
+        report = lint_model(model, config=LintConfig(select=["PM202"]))
+        document = json.loads(render_sarif(report))
+        assert document["runs"][0]["results"][0]["level"] == "note"
+
+    def test_line_map_attaches_lines(self):
+        text = "\n".join(
+            [
+                "process p",
+                "activity A",
+                "activity B",
+                "activity C",
+                "edge A B",
+                "edge B C",
+                "edge A C",
+            ]
+        )
+        line_map = model_line_map(text)
+        report = self._report().with_lines(line_map)
+        assert report.diagnostics[0].line == 7
+        rendered = report.diagnostics[0].render("p.pm")
+        assert rendered.startswith("p.pm:7: PM108")
+
+
+class TestMinerOutputIsClean:
+    """Acceptance: the miner's own output carries no PM1xx errors."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(permutation_logs())
+    def test_algorithm1_output_has_no_structural_errors(self, log):
+        model = (
+            ProcessMiner(algorithm="special-dag")
+            .mine(log)
+            .to_process_model()
+        )
+        report = lint_model(model, log=log)
+        errors = [
+            d
+            for d in report.at_least(Severity.ERROR)
+            if d.code.startswith("PM1")
+        ]
+        assert errors == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(subset_logs())
+    def test_algorithm2_output_has_no_structural_errors(self, log):
+        model = (
+            ProcessMiner(algorithm="general-dag")
+            .mine(log)
+            .to_process_model()
+        )
+        report = lint_model(model, log=log)
+        errors = [
+            d
+            for d in report.at_least(Severity.ERROR)
+            if d.code.startswith("PM1")
+        ]
+        assert errors == []
+
+    def test_synthetic_dataset_mined_model_fully_clean(self):
+        from repro.datasets.synthetic import (
+            SyntheticConfig,
+            synthetic_dataset,
+        )
+
+        dataset = synthetic_dataset(
+            SyntheticConfig(n_vertices=10, n_executions=60, seed=3)
+        )
+        model = ProcessMiner().mine(dataset.log).to_process_model()
+        report = lint_model(model, log=dataset.log)
+        assert report.at_least(Severity.ERROR) == []
+
+
+class TestValidateDelegation:
+    def test_validate_exposes_diagnostics(self):
+        from repro.model.validate import validate_process
+
+        model = model_of([("A", "B"), ("X", "B")], "A", "B")
+        report = validate_process(model)
+        assert not report.is_valid
+        assert any(d.code == "PM103" for d in report.diagnostics)
+        assert any("'X'" in v for v in report.violations)

@@ -1,0 +1,158 @@
+"""CLI tests for ``repro lint`` and ``mine``'s built-in verification."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.logs.codec import write_log_file
+from repro.logs.event_log import EventLog
+from repro.model.activity import Activity
+from repro.model.builder import ProcessBuilder
+from repro.model.process import ProcessModel
+from repro.model.serialize import save_model
+
+
+@pytest.fixture
+def redundant_model(tmp_path):
+    model = (
+        ProcessBuilder("demo").chain("A", "B", "C").edge("A", "C").build()
+    )
+    path = tmp_path / "demo.pm"
+    save_model(model, path)
+    return path
+
+
+@pytest.fixture
+def clean_model(tmp_path):
+    model = ProcessBuilder("demo").chain("A", "B", "C").build()
+    path = tmp_path / "clean.pm"
+    save_model(model, path)
+    return path
+
+
+@pytest.fixture
+def cyclic_model(tmp_path):
+    model = ProcessModel(
+        "cyc",
+        activities=[Activity(n) for n in "ABCD"],
+        edges=[("A", "B"), ("B", "C"), ("C", "B"), ("C", "D")],
+        source="A",
+        sink="D",
+    )
+    path = tmp_path / "cyc.pm"
+    save_model(model, path)
+    return path
+
+
+class TestLintCommand:
+    def test_exit_2_on_error(self, redundant_model, capsys):
+        assert main(["lint", str(redundant_model)]) == 2
+        out = capsys.readouterr().out
+        assert "PM108 error:" in out
+        assert "1 error(s)" in out
+
+    def test_exit_0_on_clean(self, clean_model, capsys):
+        assert main(["lint", str(clean_model)]) == 0
+        assert "0 diagnostic(s)" in capsys.readouterr().out
+
+    def test_exit_1_on_warning(self, cyclic_model, capsys):
+        assert main(["lint", str(cyclic_model)]) == 1
+        out = capsys.readouterr().out
+        assert "PM109 warning:" in out
+        assert "PM110 warning:" in out
+
+    def test_require_acyclic_escalates(self, cyclic_model):
+        assert main(
+            ["lint", str(cyclic_model), "--require-acyclic"]
+        ) == 2
+
+    def test_select_and_ignore(self, redundant_model):
+        assert main(["lint", str(redundant_model), "--ignore", "PM108"]) == 0
+        assert main(["lint", str(redundant_model), "--select", "PM2"]) == 0
+        assert (
+            main(["lint", str(redundant_model), "--select", "PM1"]) == 2
+        )
+
+    def test_severity_override(self, redundant_model):
+        assert main(
+            ["lint", str(redundant_model), "--severity", "PM108=warning"]
+        ) == 1
+
+    def test_bad_severity_is_usage_error(self, redundant_model, capsys):
+        assert main(
+            ["lint", str(redundant_model), "--severity", "PM108"]
+        ) == 1
+        assert "expected CODE=LEVEL" in capsys.readouterr().err
+        assert main(
+            ["lint", str(redundant_model), "--severity", "PM108=fatal"]
+        ) == 1
+
+    def test_json_format(self, redundant_model, capsys):
+        assert main(
+            ["lint", str(redundant_model), "--format", "json"]
+        ) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 2
+        assert payload["diagnostics"][0]["code"] == "PM108"
+        assert payload["artifact"] == str(redundant_model)
+
+    def test_sarif_format_carries_lines(self, redundant_model, capsys):
+        assert main(
+            ["lint", str(redundant_model), "--format", "sarif"]
+        ) == 2
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        (result,) = document["runs"][0]["results"]
+        assert result["ruleId"] == "PM108"
+        physical = result["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == str(redundant_model)
+        assert physical["region"]["startLine"] >= 1
+
+    def test_log_enables_pm3_rules(self, tmp_path, redundant_model, capsys):
+        log = EventLog.from_sequences(["ABC", "ABC"], process_name="demo")
+        log_path = tmp_path / "demo.log"
+        write_log_file(log, log_path)
+        assert main(
+            [
+                "lint",
+                str(redundant_model),
+                "--log",
+                str(log_path),
+                "--format",
+                "json",
+            ]
+        ) == 2
+        payload = json.loads(capsys.readouterr().out)
+        found = {d["code"] for d in payload["diagnostics"]}
+        # The never-required A -> C edge trips the log rule too.
+        assert "PM301" in found
+        assert "PM301" in payload["checked_rules"]
+
+    def test_missing_model_is_io_error(self, tmp_path):
+        assert main(["lint", str(tmp_path / "nope.pm")]) == 1
+
+
+class TestMineVerification:
+    def _write_log(self, tmp_path, sequences):
+        log = EventLog.from_sequences(sequences, process_name="p")
+        path = tmp_path / "p.log"
+        write_log_file(log, path)
+        return path
+
+    def test_clean_mine_passes_verification(self, tmp_path, capsys):
+        path = self._write_log(tmp_path, ["SABZ", "SBAZ", "SAZ"])
+        assert main(["mine", str(path)]) == 0
+        assert "verification" not in capsys.readouterr().err
+
+    def test_no_verify_flag_accepted(self, tmp_path, capsys):
+        path = self._write_log(tmp_path, ["SABZ", "SBAZ", "SAZ"])
+        assert main(["mine", str(path), "--no-verify"]) == 0
+
+    def test_ambiguous_endpoints_skip_verification(self, tmp_path, capsys):
+        # "ABC" and "ACB" disagree on the terminating activity, so the
+        # mined graph cannot be packaged as a process model; mine still
+        # succeeds and says why verification was skipped.
+        path = self._write_log(tmp_path, ["ABC", "ACB"])
+        assert main(["mine", str(path), "--algorithm", "cyclic"]) == 0
+        assert "verification: skipped" in capsys.readouterr().err

@@ -1,0 +1,151 @@
+"""Tests of the difference-constraint satisfiability checker.
+
+The checker decides edge-condition satisfiability *exactly* over an
+integer box domain, so these tests pin down the tricky cases: strict
+vs non-strict integer tightening, parameter-vs-parameter cycles,
+domain-boundary effects, ``!=`` splitting, and the clause budget.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.satisfiability import (
+    condition_clauses,
+    is_satisfiable,
+    is_tautology,
+    referenced_indices,
+)
+from repro.model.activity import OutputSpec
+from repro.model.conditions import parse_condition
+
+SPEC = OutputSpec(arity=2, low=0, high=100)
+
+
+def sat(text, spec=SPEC):
+    return is_satisfiable(parse_condition(text), spec)
+
+
+def taut(text, spec=SPEC):
+    return is_tautology(parse_condition(text), spec)
+
+
+class TestSatisfiability:
+    def test_contradictory_constant_bounds(self):
+        assert sat("o[0] > 10 and o[0] < 5") is False
+
+    def test_satisfiable_window(self):
+        assert sat("o[0] > 10 and o[0] < 12") is True
+
+    def test_integer_tightening_empty_open_interval(self):
+        # No integer strictly between 10 and 11.
+        assert sat("o[0] > 10 and o[0] < 11") is False
+
+    def test_parameter_cycle_unsatisfiable(self):
+        assert sat("o[0] < o[1] and o[1] < o[0]") is False
+
+    def test_parameter_chain_satisfiable(self):
+        assert sat("o[0] < o[1] and o[1] <= o[0] + 5") is True
+
+    def test_offset_cycle_with_negative_slack(self):
+        # o0 <= o1 - 3 and o1 <= o0 + 2 sums to 0 <= -1.
+        assert sat("o[0] <= o[1] - 3 and o[1] <= o[0] + 2") is False
+
+    def test_domain_upper_bound(self):
+        assert sat("o[0] > 100") is False
+        assert sat("o[0] >= 100") is True
+
+    def test_domain_lower_bound(self):
+        assert sat("o[0] < 0") is False
+        assert sat("o[0] <= 0") is True
+
+    def test_not_equal_splits(self):
+        assert sat("o[0] != 5") is True
+        # Domain {0..100} minus one point is non-empty; pin to a point
+        # first and it becomes empty.
+        assert sat("o[0] == 5 and o[0] != 5") is False
+
+    def test_negation_normal_form(self):
+        assert sat("not (o[0] >= 0)") is False
+        assert sat("not (o[0] > 10 or o[0] < 5)") is True
+
+    def test_never_and_always(self):
+        assert sat("false") is False
+        assert sat("true") is True
+        assert taut("true") is True
+        assert taut("false") is False
+
+
+class TestTautology:
+    def test_full_domain_bound_is_tautology(self):
+        assert taut("o[0] >= 0") is True
+        assert taut("o[0] <= 100") is True
+
+    def test_wide_offset_comparison_is_tautology(self):
+        # Over [0, 100]^2 the gap o0 - o1 is at most 100.
+        assert taut("o[0] <= o[1] + 100") is True
+        assert taut("o[0] <= o[1] + 99") is False
+
+    def test_excluded_middle_is_tautology(self):
+        assert taut("o[0] <= 50 or o[0] > 50") is True
+
+    def test_plain_comparison_is_not_tautology(self):
+        assert taut("o[0] > 10") is False
+
+
+class TestBudgetAndHelpers:
+    def test_clause_budget_returns_unknown(self):
+        text = " and ".join(
+            f"(o[0] == {i} or o[1] == {i})" for i in range(12)
+        )
+        condition = parse_condition(text)
+        assert condition_clauses(condition, max_clauses=16) is None
+        assert is_satisfiable(condition, SPEC, max_clauses=16) is None
+        assert is_tautology(condition, SPEC, max_clauses=16) is None
+
+    def test_referenced_indices_both_sides(self):
+        condition = parse_condition("o[0] < o[3] and o[2] > 7")
+        assert referenced_indices(condition) == frozenset({0, 2, 3})
+
+    def test_degenerate_domain(self):
+        point = OutputSpec(arity=1, low=5, high=5)
+        assert sat("o[0] == 5", point) is True
+        assert sat("o[0] != 5", point) is False
+        assert taut("o[0] == 5", point) is True
+
+
+class TestAgainstBruteForce:
+    """The checker must agree with exhaustive evaluation on a tiny domain."""
+
+    comparisons = st.sampled_from(
+        [
+            "o[0] < 2", "o[0] >= 3", "o[0] == 1", "o[0] != 2",
+            "o[1] <= 1", "o[1] > 2",
+            "o[0] < o[1]", "o[0] >= o[1]", "o[0] == o[1] + 1",
+            "o[0] <= o[1] - 2",
+        ]
+    )
+
+    @st.composite
+    def small_conditions(draw, depth=2):  # noqa: B902 - hypothesis style
+        if depth == 0 or draw(st.booleans()):
+            return draw(TestAgainstBruteForce.comparisons)
+        op = draw(st.sampled_from(["and", "or"]))
+        left = draw(TestAgainstBruteForce.small_conditions(depth - 1))
+        right = draw(TestAgainstBruteForce.small_conditions(depth - 1))
+        if draw(st.booleans()):
+            return f"not (({left}) {op} ({right}))"
+        return f"(({left}) {op} ({right}))"
+
+    @settings(max_examples=120, deadline=None)
+    @given(small_conditions())
+    def test_matches_exhaustive_enumeration(self, text):
+        spec = OutputSpec(arity=2, low=0, high=3)
+        condition = parse_condition(text)
+        domain = [
+            (float(a), float(b))
+            for a in range(spec.low, spec.high + 1)
+            for b in range(spec.low, spec.high + 1)
+        ]
+        truth = [condition.evaluate(point) for point in domain]
+        assert is_satisfiable(condition, spec) is any(truth)
+        assert is_tautology(condition, spec) is all(truth)
