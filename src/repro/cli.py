@@ -172,6 +172,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit-activities", type=_positive_int, metavar="N",
         help="abort if the log names more than N distinct activities",
     )
+    mine.add_argument(
+        "--jobs", type=_positive_int, metavar="N",
+        help=(
+            "worker processes for pair extraction and step-5 marking "
+            "(default: the REPRO_JOBS environment variable, else 1; "
+            "the mined graph is identical for any value)"
+        ),
+    )
+    mine.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print per-stage wall-clock timings and variant/cache "
+            "statistics to stderr"
+        ),
+    )
 
     generate = commands.add_parser(
         "generate", help="generate a synthetic or simulated-Flowmark log"
@@ -407,8 +423,14 @@ def _ingest_for_mine(args: argparse.Namespace):
 def _cmd_mine(args: argparse.Namespace) -> int:
     result_ingest = _ingest_for_mine(args)
     log = result_ingest.log
-    miner = ProcessMiner(algorithm=args.algorithm, threshold=args.threshold)
+    miner = ProcessMiner(
+        algorithm=args.algorithm,
+        threshold=args.threshold,
+        jobs=args.jobs,
+    )
     result = miner.mine(log)
+    if args.profile:
+        _print_profile(result.trace)
     graph = result.graph
     print(f"# algorithm: {result.algorithm}")
     if getattr(args, "exact_minimize", False):
@@ -431,6 +453,30 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     if not args.no_verify and not _verify_mined(result, log, args.threshold):
         return 2
     return 3 if result_ingest.report.dropped else 0
+
+
+def _print_profile(trace) -> None:
+    """Emit ``--profile`` throughput diagnostics to stderr.
+
+    Algorithm 1 has no staged trace, so an empty trace prints only the
+    header line.
+    """
+    print("profile:", file=sys.stderr)
+    if trace.execution_count:
+        print(
+            f"  executions: {trace.execution_count}  "
+            f"variants: {trace.variant_count}  "
+            f"dedup ratio: {trace.dedup_ratio():.2f}x",
+            file=sys.stderr,
+        )
+        print(
+            f"  step-5 reductions: {trace.reduction_cache_misses} "
+            f"computed, {trace.reduction_cache_hits} memo hits  "
+            f"jobs: {trace.jobs}",
+            file=sys.stderr,
+        )
+    for stage, seconds in trace.timings.items():
+        print(f"  {stage}: {seconds * 1000:.1f} ms", file=sys.stderr)
 
 
 def _verify_mined(result, log, threshold: int) -> bool:

@@ -15,12 +15,15 @@ would wrongly discard them as 2-cycles.  Algorithm 3 instead:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 from repro.core.general_dag import (
     MiningTrace,
     PreparedExecution,
-    mine_prepared,
+    _mine_packed,
+    prepare_executions,
+    prepare_packed_log,
 )
 from repro.graphs.digraph import DiGraph
 from repro.logs.event_log import EventLog
@@ -28,25 +31,19 @@ from repro.logs.event_log import EventLog
 Instance = Tuple[str, int]
 
 
-def prepare_labelled_log(log: EventLog) -> List[PreparedExecution]:
+def prepare_labelled_log(
+    log: EventLog, jobs: Optional[int] = None
+) -> List[PreparedExecution]:
     """Relabel executions (step 2 of Algorithm 3) into prepared views.
 
     Vertices become ``(activity, occurrence)`` pairs; ordered pairs between
     distinct instances of the *same* activity are kept — Algorithm 3 treats
     them as ordinary vertices (their edges either survive as the loop's
-    backbone or are pruned like any other edge).
+    backbone or are pruned like any other edge).  Identical trace
+    variants are prepared once; ``jobs`` fans the distinct variants out
+    over worker processes.
     """
-    prepared = []
-    for execution in log:
-        labels = execution.labelled_sequence()
-        prepared.append(
-            PreparedExecution(
-                vertices=frozenset(labels),
-                pairs=frozenset(execution.labelled_ordered_pairs()),
-                overlaps=frozenset(execution.labelled_overlapping_pairs()),
-            )
-        )
-    return prepared
+    return prepare_executions(list(log), labelled=True, jobs=jobs)
 
 
 def merge_instances(instance_graph: DiGraph) -> DiGraph:
@@ -69,6 +66,7 @@ def mine_cyclic(
     threshold: int = 0,
     trace: Optional[MiningTrace] = None,
     return_instance_graph: bool = False,
+    jobs: Optional[int] = None,
 ):
     """Mine a (possibly cyclic) conformal graph of ``log`` with Algorithm 3.
 
@@ -81,6 +79,9 @@ def mine_cyclic(
         Section 6 noise threshold applied to the relabelled pair counts.
     trace:
         Optional :class:`MiningTrace` diagnostics sink.
+    jobs:
+        Worker processes for pair extraction and step-5 marking
+        (``None`` defers to ``REPRO_JOBS``; 1 = serial).
     return_instance_graph:
         When true, return ``(merged_graph, instance_graph)`` — the
         intermediate graph over ``(activity, occurrence)`` vertices is what
@@ -105,9 +106,14 @@ def mine_cyclic(
     log.require_non_empty()
     if threshold < 0:
         raise ValueError("threshold must be >= 0")
-    prepared = prepare_labelled_log(log)
-    instance_graph = mine_prepared(
-        prepared, threshold=threshold, trace=trace
+    trace = trace if trace is not None else MiningTrace()
+    started = perf_counter()
+    table, variants = prepare_packed_log(
+        list(log), labelled=True, jobs=jobs
+    )
+    trace.timings["prepare"] = perf_counter() - started
+    instance_graph = _mine_packed(
+        table, variants, threshold=threshold, trace=trace, jobs=jobs
     )
     merged = merge_instances(instance_graph)
     if return_instance_graph:

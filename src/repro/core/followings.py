@@ -37,9 +37,11 @@ def execution_pair_sets(log: EventLog) -> List[FrozenSet[Pair]]:
     A pair ``(u, v)`` is included when some completed instance of ``u``
     terminated before some instance of ``v`` started (Algorithm 1/2
     step 2).  Pairs of the same activity are excluded (they belong to the
-    relabelled view of Algorithm 3).
+    relabelled view of Algorithm 3).  The per-execution sets are cached
+    on the executions, so repeated calls (and other step-2 consumers)
+    pay the quadratic extraction once.
     """
-    return [frozenset(execution.ordered_pairs()) for execution in log]
+    return [execution.ordered_pair_set() for execution in log]
 
 
 def pair_execution_counts(log: EventLog) -> Counter:
@@ -108,15 +110,22 @@ def follow_relation(log: EventLog) -> FollowRelation:
     True
     """
     activities = log.activities()
-    co_occur: Counter = Counter()
+    # Step-2 pair sets are consumed once (cached per execution) instead
+    # of re-running the quadratic ordered_pairs() extraction, and
+    # co-occurrence pairs are expanded once per *distinct* activity set
+    # with multiplicities — duplicate executions are free.
     ordered: Counter = Counter()
+    activity_set_counts: Counter = Counter()
     for execution in log:
-        present = sorted(execution.activities)
+        ordered.update(execution.ordered_pair_set())
+        activity_set_counts[execution.activities] += 1
+
+    co_occur: Counter = Counter()
+    for activity_set, count in activity_set_counts.items():
+        present = sorted(activity_set)
         for i, first in enumerate(present):
-            for second in present[i + 1:]:
-                co_occur[(first, second)] += 1
-        for pair in set(execution.ordered_pairs()):
-            ordered[pair] += 1
+            for j in range(i + 1, len(present)):
+                co_occur[(first, present[j])] += count
 
     direct: Set[Pair] = set()
     for (first, second), count in co_occur.items():

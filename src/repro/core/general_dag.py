@@ -19,25 +19,62 @@ execution (Example 5).  Algorithm 2 therefore:
 The optional ``threshold`` implements Section 6's noise handling: ordered
 pairs seen in fewer than ``T`` executions are discarded before step 3.
 
+High-throughput core
+--------------------
+Real logs are dominated by repeated trace variants, so the pipeline here
+is built around three ideas (the naive original is retained verbatim in
+:mod:`repro.core.reference` for differential testing):
+
+* **Interning** — vertex labels become dense integer ids and ordered
+  pairs become single packed ints ``u * n + v``
+  (:mod:`repro.core.interning`), so every set operation of steps 2–6
+  runs over small ints, and step 5 reduces packed edge sets directly
+  (:func:`repro.graphs.transitive.transitive_reduction_packed`) instead
+  of building a :class:`~repro.graphs.digraph.DiGraph` per execution.
+* **Variant deduplication** — identical :class:`PreparedExecution`\\ s
+  collapse into one weighted variant; step-2 counters use
+  multiplicities and step 5 runs once per variant, with a further memo
+  on the *induced edge set* shared across variants.
+* **Opt-in parallelism** — ``jobs=N`` (or ``REPRO_JOBS``) fans pair
+  extraction and step-5 reductions out over worker processes with a
+  deterministic union merge (:mod:`repro.core.parallel`).
+
 :func:`mine_prepared` exposes the step 2–6 pipeline over pre-extracted
-pair sets so that Algorithm 3 can reuse it on relabelled executions.
+pair sets so that Algorithm 3 can reuse it on relabelled executions;
+:func:`mine_variants` is the variant-weighted core shared with the
+incremental miner.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+from time import perf_counter
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-from repro.core.followings import remove_two_cycles
+from repro.core.interning import InternTable, PackedVariant, intern_variants
+from repro.core.parallel import process_map, resolve_jobs, split_chunks
 from repro.errors import EmptyLogError
 from repro.graphs.digraph import DiGraph
-from repro.graphs.scc import remove_intra_component_edges
-from repro.graphs.transitive import transitive_reduction_edges
+from repro.graphs.scc import component_map
+from repro.graphs.transitive import transitive_reduction_packed
 from repro.logs.event_log import EventLog
+from repro.logs.execution import Execution
 
 Vertex = Hashable
 Pair = Tuple[Vertex, Vertex]
+
+#: ``(prepared, multiplicity)`` — one deduplicated trace variant.
+WeightedVariant = Tuple["PreparedExecution", int]
 
 
 @dataclass(frozen=True)
@@ -69,6 +106,9 @@ class MiningTrace:
 
     Edge counts after each step let the ablation benches show what each
     stage contributes; ``pair_counts`` holds the Section 6 noise counters.
+    The throughput fields (``timings``, ``execution_count``,
+    ``variant_count``, ``reduction_cache_hits``/``misses``, ``jobs``)
+    feed ``repro-miner mine --profile`` and the performance harness.
     """
 
     pair_counts: Counter = field(default_factory=Counter)
@@ -80,20 +120,431 @@ class MiningTrace:
     edges_after_step4: int = 0
     edges_after_step6: int = 0
     scc_edge_removals: int = 0
+    #: Per-stage wall-clock seconds (prepare/intern/step2/.../step6).
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: Executions mined (sum of variant multiplicities).
+    execution_count: int = 0
+    #: Distinct trace variants after deduplication.
+    variant_count: int = 0
+    #: Step-5 reductions answered by the induced-edge-set memo.
+    reduction_cache_hits: int = 0
+    #: Step-5 reductions actually computed.
+    reduction_cache_misses: int = 0
+    #: Worker processes used (1 = serial).
+    jobs: int = 1
+
+    def dedup_ratio(self) -> float:
+        """Executions per distinct variant (1.0 = no duplication)."""
+        if not self.variant_count:
+            return 1.0
+        return self.execution_count / self.variant_count
 
 
-def prepare_log(log: EventLog) -> List[PreparedExecution]:
-    """Extract :class:`PreparedExecution` views from a log (plain labels)."""
-    prepared = []
-    for execution in log:
-        prepared.append(
+# ----------------------------------------------------------------------
+# Preparation (step 2 extraction) with variant dedup and optional jobs
+# ----------------------------------------------------------------------
+def _prepare_chunk(
+    args: Tuple[bool, List[Execution]],
+) -> List[PreparedExecution]:
+    """Worker: extract prepared views for a chunk of executions."""
+    labelled, executions = args
+    if labelled:
+        return [
             PreparedExecution(
-                vertices=execution.activities,
-                pairs=frozenset(execution.ordered_pairs()),
-                overlaps=frozenset(execution.overlapping_pairs()),
+                vertices=frozenset(execution.labelled_sequence()),
+                pairs=execution.labelled_ordered_pair_set(),
+                overlaps=execution.labelled_overlapping_pair_set(),
             )
+            for execution in executions
+        ]
+    return [
+        PreparedExecution(
+            vertices=execution.activities,
+            pairs=execution.ordered_pair_set(),
+            overlaps=execution.overlapping_pair_set(),
         )
-    return prepared
+        for execution in executions
+    ]
+
+
+def prepare_executions(
+    executions: Sequence[Execution],
+    labelled: bool = False,
+    jobs: Optional[int] = None,
+) -> List[PreparedExecution]:
+    """Extract :class:`PreparedExecution` views, once per trace variant.
+
+    Executions with equal :meth:`~repro.logs.execution.Execution.
+    variant_key` share one prepared object, so the quadratic pair
+    extraction runs once per *distinct* variant.  With ``jobs > 1`` the
+    distinct variants are fanned out over worker processes; the returned
+    list is aligned with the input order either way.
+    """
+    jobs = resolve_jobs(jobs)
+    keys = [execution.variant_key() for execution in executions]
+    index_of_key: Dict[Tuple, int] = {}
+    representatives: List[Execution] = []
+    for key, execution in zip(keys, executions):
+        if key not in index_of_key:
+            index_of_key[key] = len(representatives)
+            representatives.append(execution)
+    chunks = [
+        (labelled, chunk)
+        for chunk in split_chunks(representatives, jobs * 4)
+    ]
+    prepared: List[PreparedExecution] = []
+    for result in process_map(_prepare_chunk, chunks, jobs):
+        prepared.extend(result)
+    return [prepared[index_of_key[key]] for key in keys]
+
+
+def prepare_log(
+    log: EventLog, jobs: Optional[int] = None
+) -> List[PreparedExecution]:
+    """Extract :class:`PreparedExecution` views from a log (plain labels)."""
+    return prepare_executions(list(log), labelled=False, jobs=jobs)
+
+
+# ----------------------------------------------------------------------
+# Fused packed preparation (dedup + intern + pair extraction in one pass)
+# ----------------------------------------------------------------------
+def _pack_chunk(
+    args: Tuple[Dict[Vertex, int], int, bool, List[Execution]],
+) -> List[Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]]:
+    """Worker: extract packed ``(vertices, pairs, overlaps)`` per execution.
+
+    Sequential traces (the common case) never touch label tuples at all:
+    ordered pairs are produced directly as packed codes from the interned
+    id sequence via the suffix-set trick.  Interval-overlapping traces
+    fall back to the cached label-level sets and pack them.
+    """
+    index, size, labelled, executions = args
+    out: List[Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]] = []
+    for execution in executions:
+        sequence: Sequence[Vertex] = (
+            execution.labelled_sequence() if labelled
+            else execution.sequence
+        )
+        ids = [index[label] for label in sequence]
+        vertices = frozenset(ids)
+        if execution.is_sequential():
+            pairs: Set[int] = set()
+            later: Set[int] = set()
+            for vertex_id in reversed(ids):
+                if later:
+                    base = vertex_id * size
+                    pairs.update(base + other for other in later)
+                later.add(vertex_id)
+            # The suffix pass adds (a, a) when an activity repeats;
+            # same-label pairs belong only to the relabelled view.
+            pairs.difference_update(
+                vertex_id * size + vertex_id for vertex_id in later
+            )
+            out.append((vertices, frozenset(pairs), frozenset()))
+            continue
+        if labelled:
+            ordered = execution.labelled_ordered_pair_set()
+            overlapping = execution.labelled_overlapping_pair_set()
+        else:
+            ordered = execution.ordered_pair_set()
+            overlapping = execution.overlapping_pair_set()
+        out.append((
+            vertices,
+            frozenset(index[u] * size + index[v] for u, v in ordered),
+            frozenset(
+                index[u] * size + index[v] for u, v in overlapping
+            ),
+        ))
+    return out
+
+
+def prepare_packed_log(
+    executions: Sequence[Execution],
+    labelled: bool = False,
+    jobs: Optional[int] = None,
+) -> Tuple[InternTable, List[PackedVariant]]:
+    """Deduplicate, intern and pack executions in one fused pass.
+
+    This is the fast entry into the step 2–6 core used by
+    :func:`mine_general_dag` and Algorithm 3: label-level
+    :class:`PreparedExecution` objects are never materialized, so the
+    quadratic pair extraction produces packed int codes directly.  The
+    returned variants are in first-seen order with multiplicities
+    summing to ``len(executions)``.
+    """
+    jobs = resolve_jobs(jobs)
+    keys = [execution.variant_key() for execution in executions]
+    multiplicities = Counter(keys)
+    seen: Set[Tuple] = set()
+    representatives: List[Execution] = []
+    representative_keys: List[Tuple] = []
+    for key, execution in zip(keys, executions):
+        if key not in seen:
+            seen.add(key)
+            representatives.append(execution)
+            representative_keys.append(key)
+
+    labels: Set[Vertex] = set()
+    if labelled:
+        for execution in representatives:
+            labels.update(execution.labelled_sequence())
+    else:
+        for execution in representatives:
+            labels.update(execution.activities)
+    table = InternTable(labels)
+    size = max(len(table), 1)
+
+    chunked = [
+        (table.index, size, labelled, chunk)
+        for chunk in split_chunks(representatives, jobs * 4)
+    ]
+    packed_sets: List[
+        Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]
+    ] = []
+    for result in process_map(_pack_chunk, chunked, jobs):
+        packed_sets.extend(result)
+    variants = [
+        PackedVariant(
+            vertices=vertices,
+            pairs=pairs,
+            overlaps=overlaps,
+            multiplicity=multiplicities[key],
+        )
+        for (vertices, pairs, overlaps), key in zip(
+            packed_sets, representative_keys
+        )
+    ]
+    return table, variants
+
+
+# ----------------------------------------------------------------------
+# Steps 2–6 over packed variants
+# ----------------------------------------------------------------------
+def _reduce_chunk(
+    args: Tuple[int, Optional[Dict[int, int]], List[FrozenSet[int]]],
+) -> List[FrozenSet[int]]:
+    """Worker: transitively reduce a chunk of packed induced edge sets."""
+    n, rank, keys = args
+    return [
+        transitive_reduction_packed(codes, n, rank) for codes in keys
+    ]
+
+
+def _reverse_code(code: int, n: int) -> int:
+    u, v = divmod(code, n)
+    return v * n + u
+
+
+def _topological_ranks(
+    edges: Set[int], n: int
+) -> Optional[Dict[int, int]]:
+    """Topological ranks of the edge-bearing vertices, or ``None`` if
+    the packed edge set is cyclic (possible only when step 4 was
+    skipped).  Computed once per run so that each step-5 reduction can
+    skip its own Kahn pass: a subgraph of a DAG respects any topological
+    order of the full DAG."""
+    succ: Dict[int, List[int]] = {}
+    indegree: Dict[int, int] = {}
+    for code in edges:
+        u, v = divmod(code, n)
+        succ.setdefault(u, []).append(v)
+        indegree[v] = indegree.get(v, 0) + 1
+        indegree.setdefault(u, 0)
+    ready = [u for u, degree in indegree.items() if degree == 0]
+    order: List[int] = []
+    while ready:
+        u = ready.pop()
+        order.append(u)
+        for v in succ.get(u, ()):
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                ready.append(v)
+    if len(order) != len(indegree):
+        return None
+    return {u: position for position, u in enumerate(order)}
+
+
+def mine_variants(
+    variants: Sequence[WeightedVariant],
+    threshold: int = 0,
+    trace: Optional[MiningTrace] = None,
+    skip_scc_removal: bool = False,
+    skip_execution_marking: bool = False,
+    jobs: Optional[int] = None,
+) -> DiGraph:
+    """Run steps 2–6 of Algorithm 2 over weighted trace variants.
+
+    This is the interned core shared by :func:`mine_prepared` and the
+    incremental miner.  Each ``(prepared, multiplicity)`` entry stands
+    for ``multiplicity`` identical executions; the result is identical
+    to mining the expanded sequence with the naive reference pipeline.
+    """
+    variants = [(prepared, int(count)) for prepared, count in variants]
+    if not variants:
+        raise EmptyLogError("cannot mine an empty set of executions")
+    trace = trace if trace is not None else MiningTrace()
+
+    started = perf_counter()
+    table, packed = intern_variants(variants)
+    trace.timings["intern"] = perf_counter() - started
+    return _mine_packed(
+        table,
+        packed,
+        threshold=threshold,
+        trace=trace,
+        skip_scc_removal=skip_scc_removal,
+        skip_execution_marking=skip_execution_marking,
+        jobs=jobs,
+    )
+
+
+def _mine_packed(
+    table: InternTable,
+    packed: Sequence[PackedVariant],
+    threshold: int = 0,
+    trace: Optional[MiningTrace] = None,
+    skip_scc_removal: bool = False,
+    skip_execution_marking: bool = False,
+    jobs: Optional[int] = None,
+) -> DiGraph:
+    """Steps 2–6 over already-interned packed variants."""
+    if not packed:
+        raise EmptyLogError("cannot mine an empty set of executions")
+    jobs = resolve_jobs(jobs)
+    trace = trace if trace is not None else MiningTrace()
+    trace.execution_count = sum(
+        variant.multiplicity for variant in packed
+    )
+    trace.variant_count = len(packed)
+    trace.jobs = jobs
+    timings = trace.timings
+    n = max(len(table), 1)
+
+    # Step 2 — union of ordered pairs, with multiplicity-weighted
+    # occurrence counters.
+    started = perf_counter()
+    code_counts: Counter = Counter()
+    overlap_code_counts: Counter = Counter()
+    vertex_ids: Set[int] = set()
+    for variant in packed:
+        vertex_ids |= variant.vertices
+        count = variant.multiplicity
+        if count == 1:
+            code_counts.update(variant.pairs)
+            overlap_code_counts.update(variant.overlaps)
+        else:
+            code_counts.update(dict.fromkeys(variant.pairs, count))
+            overlap_code_counts.update(
+                dict.fromkeys(variant.overlaps, count)
+            )
+    trace.pair_counts = Counter(
+        {table.unpack(code): count for code, count in code_counts.items()}
+    )
+    trace.overlap_counts = Counter(
+        {
+            table.unpack(code): count
+            for code, count in overlap_code_counts.items()
+        }
+    )
+    edges: Set[int] = set(code_counts)
+    trace.edges_after_step2 = len(edges)
+    timings["step2_counters"] = perf_counter() - started
+
+    # Section 6 — drop infrequent pairs before the 2-cycle step.
+    started = perf_counter()
+    if threshold > 1:
+        edges = {
+            code for code in edges if code_counts[code] >= threshold
+        }
+    trace.edges_dropped_by_threshold = trace.edges_after_step2 - len(edges)
+
+    # Overlap evidence: activities observed running concurrently are
+    # independent (Section 2), equivalent to seeing both orders.  The same
+    # threshold guards against spuriously overlapping noisy timestamps.
+    min_evidence = max(1, threshold)
+    independent: Set[int] = set()
+    for code, count in overlap_code_counts.items():
+        if count >= min_evidence:
+            independent.add(code)
+            independent.add(_reverse_code(code, n))
+    before_overlap = len(edges)
+    if independent:
+        edges -= independent
+    trace.edges_dropped_by_overlap = before_overlap - len(edges)
+
+    # Step 3 — drop 2-cycles.
+    edges = {
+        code for code in edges if _reverse_code(code, n) not in edges
+    }
+    trace.edges_after_step3 = len(edges)
+    edges_after_step3 = set(edges)
+    timings["step3_filters"] = perf_counter() - started
+
+    # Step 4 — drop edges inside strongly connected components of the
+    # followings graph (one id-level graph per run, not per execution).
+    started = perf_counter()
+    if not skip_scc_removal and edges:
+        id_graph = DiGraph(nodes=sorted(vertex_ids))
+        for code in edges:
+            id_graph.add_edge(code // n, code % n)
+        mapping = component_map(id_graph)
+        doomed = {
+            code
+            for code in edges
+            if mapping[code // n] == mapping[code % n]
+        }
+        edges -= doomed
+        trace.scc_edge_removals = len(doomed)
+    trace.edges_after_step4 = len(edges)
+    timings["step4_scc"] = perf_counter() - started
+
+    # Steps 5–6 — keep only edges some execution's transitive reduction
+    # needs.  Reduction runs once per distinct *induced edge set*: the
+    # memo collapses variants whose executions activate the same edges.
+    started = perf_counter()
+    if not skip_execution_marking:
+        seen_keys: Dict[FrozenSet[int], None] = {}
+        for variant in packed:
+            induced = variant.pairs & edges
+            if induced not in seen_keys:
+                seen_keys[induced] = None
+        distinct_keys = list(seen_keys)
+        trace.reduction_cache_hits = len(packed) - len(distinct_keys)
+        trace.reduction_cache_misses = len(distinct_keys)
+        # One Kahn pass over the surviving edges serves every induced
+        # subgraph; ``None`` (cyclic, only when step 4 was skipped) keeps
+        # the per-reduction cycle check of the legacy pipeline.
+        rank = _topological_ranks(edges, n)
+        marked: Set[int] = set()
+        chunked = [
+            (n, rank, chunk)
+            for chunk in split_chunks(distinct_keys, jobs)
+        ]
+        for reduced_chunk in process_map(_reduce_chunk, chunked, jobs):
+            for kept in reduced_chunk:
+                marked |= kept
+        edges = marked
+    timings["step5_reduce"] = perf_counter() - started
+
+    # Materialize the label-level graph.  Node set mirrors the legacy
+    # pipeline exactly: every variant vertex, plus the endpoints of the
+    # edges that survived step 3 (even if steps 4–6 later pruned them).
+    started = perf_counter()
+    node_ids = set(vertex_ids)
+    for code in edges_after_step3:
+        node_ids.add(code // n)
+        node_ids.add(code % n)
+    graph = DiGraph(
+        nodes=sorted(
+            (table.label_of(vertex_id) for vertex_id in node_ids),
+            key=repr,
+        )
+    )
+    for code in edges:
+        graph.add_edge(*table.unpack(code))
+    trace.edges_after_step6 = graph.edge_count
+    timings["step6_assemble"] = perf_counter() - started
+    return graph
 
 
 def mine_prepared(
@@ -102,6 +553,7 @@ def mine_prepared(
     trace: Optional[MiningTrace] = None,
     skip_scc_removal: bool = False,
     skip_execution_marking: bool = False,
+    jobs: Optional[int] = None,
 ) -> DiGraph:
     """Run steps 2–6 of Algorithm 2 over prepared executions.
 
@@ -118,6 +570,9 @@ def mine_prepared(
     skip_scc_removal, skip_execution_marking:
         Ablation switches disabling step 4 or steps 5–6; used only by the
         ablation benches, never by the public miners.
+    jobs:
+        Worker processes for step 5 (``None`` defers to ``REPRO_JOBS``,
+        defaulting to serial).
 
     Returns
     -------
@@ -126,75 +581,25 @@ def mine_prepared(
     """
     if not prepared:
         raise EmptyLogError("cannot mine an empty set of executions")
-    trace = trace if trace is not None else MiningTrace()
-
-    # Step 2 — union of ordered pairs, with occurrence counters.
-    counts: Counter = Counter()
-    overlap_counts: Counter = Counter()
-    vertices: Set[Vertex] = set()
-    for execution in prepared:
-        vertices |= execution.vertices
-        counts.update(execution.pairs)
-        overlap_counts.update(execution.overlaps)
-    trace.pair_counts = counts
-    trace.overlap_counts = overlap_counts
-    edges: Set[Pair] = set(counts)
-    trace.edges_after_step2 = len(edges)
-
-    # Section 6 — drop infrequent pairs before the 2-cycle step.
-    if threshold > 1:
-        edges = {pair for pair in edges if counts[pair] >= threshold}
-    trace.edges_dropped_by_threshold = trace.edges_after_step2 - len(edges)
-
-    # Overlap evidence: activities observed running concurrently are
-    # independent (Section 2), equivalent to seeing both orders.  The same
-    # threshold guards against spuriously overlapping noisy timestamps.
-    min_evidence = max(1, threshold)
-    independent = {
-        pair
-        for pair, count in overlap_counts.items()
-        if count >= min_evidence
-    }
-    before_overlap = len(edges)
-    if independent:
-        edges = {
-            (u, v)
-            for u, v in edges
-            if (u, v) not in independent and (v, u) not in independent
-        }
-    trace.edges_dropped_by_overlap = before_overlap - len(edges)
-
-    # Step 3 — drop 2-cycles.
-    edges = remove_two_cycles(edges)
-    trace.edges_after_step3 = len(edges)
-
-    graph = DiGraph(nodes=sorted(vertices, key=repr), edges=edges)
-
-    # Step 4 — drop edges inside strongly connected components.
-    if not skip_scc_removal:
-        trace.scc_edge_removals = remove_intra_component_edges(graph)
-    trace.edges_after_step4 = graph.edge_count
-
-    # Steps 5–6 — keep only edges some execution's transitive reduction
-    # needs.
-    if not skip_execution_marking:
-        marked: Set[Pair] = set()
-        edge_set = graph.edge_set()
-        for execution in prepared:
-            induced_edges = execution.pairs & edge_set
-            induced = DiGraph(
-                nodes=execution.vertices, edges=induced_edges
-            )
-            marked |= transitive_reduction_edges(induced)
-        graph = graph.edge_subgraph(marked)
-    trace.edges_after_step6 = graph.edge_count
-    return graph
+    # Identical prepared executions collapse into weighted variants;
+    # PreparedExecution is frozen and hashable, and Counter preserves
+    # first-seen order, so the dedup is deterministic.
+    variant_counts = Counter(prepared)
+    return mine_variants(
+        list(variant_counts.items()),
+        threshold=threshold,
+        trace=trace,
+        skip_scc_removal=skip_scc_removal,
+        skip_execution_marking=skip_execution_marking,
+        jobs=jobs,
+    )
 
 
 def mine_general_dag(
     log: EventLog,
     threshold: int = 0,
     trace: Optional[MiningTrace] = None,
+    jobs: Optional[int] = None,
 ) -> DiGraph:
     """Mine a conformal graph of ``log`` with Algorithm 2.
 
@@ -206,6 +611,9 @@ def mine_general_dag(
         Section 6 noise threshold ``T`` (0 disables noise handling).
     trace:
         Optional :class:`MiningTrace` capturing per-stage diagnostics.
+    jobs:
+        Worker processes for pair extraction and step-5 marking
+        (``None`` defers to ``REPRO_JOBS``; 1 = serial).
 
     Returns
     -------
@@ -228,7 +636,15 @@ def mine_general_dag(
     log.require_non_empty()
     if threshold < 0:
         raise ValueError("threshold must be >= 0")
-    return mine_prepared(prepare_log(log), threshold=threshold, trace=trace)
+    trace = trace if trace is not None else MiningTrace()
+    started = perf_counter()
+    table, variants = prepare_packed_log(
+        list(log), labelled=False, jobs=jobs
+    )
+    trace.timings["prepare"] = perf_counter() - started
+    return _mine_packed(
+        table, variants, threshold=threshold, trace=trace, jobs=jobs
+    )
 
 
 def presence_by_vertex(

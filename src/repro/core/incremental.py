@@ -5,8 +5,10 @@ and its motivating deployment — Flowmark recording executions as users
 perform them — is inherently incremental: executions arrive one at a
 time over weeks.  :class:`IncrementalMiner` supports that deployment: it
 maintains the sufficient statistics of steps 2–4 (ordered-pair counts,
-overlap counts, per-execution vertex/pair sets) as executions stream in,
-and materializes the current mined graph on demand.
+overlap counts, deduplicated trace variants with multiplicities) as
+executions stream in, and materializes the current mined graph on
+demand through the weighted variant core
+(:func:`~repro.core.general_dag.mine_variants`).
 
 The streaming state is exactly what the batch pipeline consumes, so the
 result is *identical* to re-running :func:`~repro.core.general_dag.
@@ -24,15 +26,17 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from collections import Counter
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Optional, Union
 
 from repro.core.cyclic import merge_instances
 from repro.core.general_dag import (
     MiningTrace,
     PreparedExecution,
-    mine_prepared,
+    mine_variants,
 )
+from repro.core.interning import intern_variants
 from repro.errors import CheckpointError, EmptyLogError
 from repro.graphs.digraph import DiGraph
 from repro.logs.event_log import EventLog
@@ -44,7 +48,12 @@ MODE_CYCLIC = "cyclic"
 _MODES = (MODE_GENERAL, MODE_CYCLIC)
 
 CHECKPOINT_FORMAT = "repro-incremental-checkpoint"
-CHECKPOINT_VERSION = 1
+#: Current checkpoint version.  v1 stored one JSON entry per execution
+#: with label-level pair lists; v2 deduplicates into weighted trace
+#: variants and carries the interning table, storing pairs as packed
+#: ``u_id * n + v_id`` codes.  :meth:`IncrementalMiner.resume` reads
+#: both.
+CHECKPOINT_VERSION = 2
 
 PathOrStr = Union[str, Path]
 
@@ -109,7 +118,11 @@ class IncrementalMiner:
             raise ValueError("threshold must be >= 0")
         self.mode = mode
         self.threshold = threshold
-        self._prepared: List[PreparedExecution] = []
+        # Identical prepared executions collapse into one weighted
+        # variant (Counter preserves first-seen order), so long streams
+        # dominated by repeated traces stay cheap to re-mine.
+        self._variants: Counter = Counter()
+        self._execution_count = 0
         self._last_edges: Optional[frozenset] = None
         self._stable_since = 0
         self._dirty = True
@@ -121,26 +134,26 @@ class IncrementalMiner:
     def add(self, execution: Execution) -> None:
         """Ingest one execution."""
         if self.mode == MODE_CYCLIC:
-            labels = execution.labelled_sequence()
             prepared = PreparedExecution(
-                vertices=frozenset(labels),
-                pairs=frozenset(execution.labelled_ordered_pairs()),
-                overlaps=frozenset(
-                    execution.labelled_overlapping_pairs()
-                ),
+                vertices=frozenset(execution.labelled_sequence()),
+                pairs=execution.labelled_ordered_pair_set(),
+                overlaps=execution.labelled_overlapping_pair_set(),
             )
         else:
             prepared = PreparedExecution(
                 vertices=execution.activities,
-                pairs=frozenset(execution.ordered_pairs()),
-                overlaps=frozenset(execution.overlapping_pairs()),
+                pairs=execution.ordered_pair_set(),
+                overlaps=execution.overlapping_pair_set(),
             )
-        self._prepared.append(prepared)
+        self._variants[prepared] += 1
+        self._execution_count += 1
         self._dirty = True
 
     def add_sequence(self, activities, execution_id: str = "") -> None:
         """Ingest one execution given as an activity sequence."""
-        execution_id = execution_id or f"stream-{len(self._prepared):06d}"
+        execution_id = (
+            execution_id or f"stream-{self._execution_count:06d}"
+        )
         self.add(
             Execution.from_sequence(
                 list(activities), execution_id=execution_id
@@ -158,7 +171,12 @@ class IncrementalMiner:
     @property
     def execution_count(self) -> int:
         """Number of executions ingested so far."""
-        return len(self._prepared)
+        return self._execution_count
+
+    @property
+    def variant_count(self) -> int:
+        """Number of distinct trace variants ingested so far."""
+        return len(self._variants)
 
     def graph(self, trace: Optional[MiningTrace] = None) -> DiGraph:
         """Materialize the mined graph over everything seen so far.
@@ -166,14 +184,16 @@ class IncrementalMiner:
         Identical to running the batch miner on the accumulated log.
         Raises :class:`EmptyLogError` before the first execution.
         """
-        if not self._prepared:
+        if not self._variants:
             raise EmptyLogError("no executions ingested yet")
         if not self._dirty and self._cached_graph is not None and (
             trace is None
         ):
             return self._cached_graph.copy()
-        mined = mine_prepared(
-            self._prepared, threshold=self.threshold, trace=trace
+        mined = mine_variants(
+            list(self._variants.items()),
+            threshold=self.threshold,
+            trace=trace,
         )
         if self.mode == MODE_CYCLIC:
             mined = merge_instances(mined)
@@ -199,7 +219,8 @@ class IncrementalMiner:
 
     def reset(self) -> None:
         """Discard all ingested executions and cached state."""
-        self._prepared.clear()
+        self._variants.clear()
+        self._execution_count = 0
         self._last_edges = None
         self._stable_since = 0
         self._dirty = True
@@ -211,31 +232,34 @@ class IncrementalMiner:
     def checkpoint(self, path: PathOrStr) -> None:
         """Write the miner's sufficient statistics to ``path``, atomically.
 
-        The checkpoint is a JSON document holding the prepared per-
-        execution vertex/pair/overlap sets plus the stability counter —
-        everything needed to make :meth:`resume` followed by further
-        ``add`` calls indistinguishable from one uninterrupted miner.
-        The file is written to a temporary sibling and moved into place
-        with :func:`os.replace`, so a crash mid-write never leaves a
-        partial checkpoint behind.
+        The checkpoint is a JSON document (format version 2) holding the
+        interning table and the deduplicated trace variants — vertex ids
+        and packed ``u_id * n + v_id`` pair codes with multiplicities —
+        plus the stability counter: everything needed to make
+        :meth:`resume` followed by further ``add`` calls
+        indistinguishable from one uninterrupted miner.  The file is
+        written to a temporary sibling and moved into place with
+        :func:`os.replace`, so a crash mid-write never leaves a partial
+        checkpoint behind.
         """
         path = Path(path)
+        table, packed = intern_variants(list(self._variants.items()))
         payload = {
             "format": CHECKPOINT_FORMAT,
             "version": CHECKPOINT_VERSION,
             "mode": self.mode,
             "threshold": self.threshold,
-            "executions": [
+            "labels": [_vertex_to_json(label) for label in table.labels],
+            "variants": [
                 {
-                    "vertices": sorted(
-                        (_vertex_to_json(v) for v in p.vertices),
-                        key=repr,
-                    ),
-                    "pairs": _pairs_to_json(p.pairs),
-                    "overlaps": _pairs_to_json(p.overlaps),
+                    "vertices": sorted(variant.vertices),
+                    "pairs": sorted(variant.pairs),
+                    "overlaps": sorted(variant.overlaps),
+                    "count": variant.multiplicity,
                 }
-                for p in self._prepared
+                for variant in packed
             ],
+            "execution_count": self._execution_count,
             "last_edges": (
                 _pairs_to_json(self._last_edges)
                 if self._last_edges is not None
@@ -284,25 +308,22 @@ class IncrementalMiner:
             raise CheckpointError(
                 f"{path!s} is not an incremental-miner checkpoint"
             )
-        if payload.get("version") != CHECKPOINT_VERSION:
+        version = payload.get("version")
+        if version not in (1, 2):
             raise CheckpointError(
-                f"unsupported checkpoint version {payload.get('version')!r}"
+                f"unsupported checkpoint version {version!r}"
             )
         try:
             miner = cls(
                 mode=payload["mode"], threshold=payload["threshold"]
             )
-            for entry in payload["executions"]:
-                miner._prepared.append(
-                    PreparedExecution(
-                        vertices=frozenset(
-                            _vertex_from_json(v)
-                            for v in entry["vertices"]
-                        ),
-                        pairs=_pairs_from_json(entry["pairs"]),
-                        overlaps=_pairs_from_json(entry["overlaps"]),
-                    )
+            if version == 1:
+                cls._load_v1_executions(miner, payload["executions"])
+            else:
+                cls._load_v2_variants(
+                    miner, payload["labels"], payload["variants"]
                 )
+                miner._execution_count = int(payload["execution_count"])
             last_edges = payload["last_edges"]
             miner._last_edges = (
                 _pairs_from_json(last_edges)
@@ -310,8 +331,57 @@ class IncrementalMiner:
                 else None
             )
             miner._stable_since = int(payload["stable_since"])
-        except (KeyError, TypeError, ValueError) as exc:
+        except (
+            KeyError,
+            TypeError,
+            ValueError,
+            IndexError,
+            ZeroDivisionError,
+        ) as exc:
             raise CheckpointError(
                 f"corrupt checkpoint {path!s}: {exc}"
             ) from exc
         return miner
+
+    @staticmethod
+    def _load_v1_executions(miner: "IncrementalMiner", entries) -> None:
+        """Ingest v1's one-entry-per-execution label-level payload."""
+        for entry in entries:
+            prepared = PreparedExecution(
+                vertices=frozenset(
+                    _vertex_from_json(v) for v in entry["vertices"]
+                ),
+                pairs=_pairs_from_json(entry["pairs"]),
+                overlaps=_pairs_from_json(entry["overlaps"]),
+            )
+            miner._variants[prepared] += 1
+            miner._execution_count += 1
+
+    @staticmethod
+    def _load_v2_variants(
+        miner: "IncrementalMiner", labels, entries
+    ) -> None:
+        """Ingest v2's interning table + packed weighted variants."""
+        table = [_vertex_from_json(label) for label in labels]
+        n = len(table)
+
+        def unpack_codes(codes):
+            return frozenset(
+                (table[int(code) // n], table[int(code) % n])
+                for code in codes
+            )
+
+        for entry in entries:
+            count = int(entry["count"])
+            if count < 1:
+                raise CheckpointError(
+                    f"bad variant multiplicity {entry['count']!r}"
+                )
+            prepared = PreparedExecution(
+                vertices=frozenset(
+                    table[int(v)] for v in entry["vertices"]
+                ),
+                pairs=unpack_codes(entry["pairs"]),
+                overlaps=unpack_codes(entry["overlaps"]),
+            )
+            miner._variants[prepared] += count

@@ -105,6 +105,10 @@ class ProcessMiner:
     conditions_miner:
         Custom conditions learner (defaults to a fresh
         :class:`ConditionsMiner`).
+    jobs:
+        Worker processes for pair extraction and step-5 marking
+        (``None`` defers to the ``REPRO_JOBS`` environment variable;
+        1 = serial).  The mined graph is identical for any value.
 
     Examples
     --------
@@ -123,6 +127,7 @@ class ProcessMiner:
         threshold: int = 0,
         learn_conditions: bool = False,
         conditions_miner: Optional[ConditionsMiner] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         if algorithm not in _ALGORITHMS:
             raise ValueError(
@@ -134,6 +139,7 @@ class ProcessMiner:
         self.threshold = threshold
         self.learn_conditions = learn_conditions
         self.conditions_miner = conditions_miner or ConditionsMiner()
+        self.jobs = jobs
 
     def mine(self, log: EventLog) -> MiningResult:
         """Mine ``log`` into a :class:`MiningResult`."""
@@ -147,13 +153,15 @@ class ProcessMiner:
                     "the noise threshold applies to Algorithms 2 and 3; "
                     "use algorithm='general-dag' for noisy logs"
                 )
-            graph = mine_special_dag(log)
+            graph = mine_special_dag(log, jobs=self.jobs)
         elif algorithm == ALGORITHM_GENERAL:
             graph = mine_general_dag(
-                log, threshold=self.threshold, trace=trace
+                log, threshold=self.threshold, trace=trace, jobs=self.jobs
             )
         else:
-            graph = mine_cyclic(log, threshold=self.threshold, trace=trace)
+            graph = mine_cyclic(
+                log, threshold=self.threshold, trace=trace, jobs=self.jobs
+            )
 
         source, sink = _endpoints(log)
         result = MiningResult(

@@ -1,0 +1,108 @@
+"""Opt-in process-based parallelism for the mining pipeline.
+
+Mining is pure CPU-bound Python, so threads cannot help under the GIL;
+worker *processes* can.  Parallelism is strictly opt-in — ``jobs=1``
+(the default) never touches :mod:`multiprocessing` — and is requested
+either explicitly (``jobs=N`` on the miners, ``--jobs`` on the CLI) or
+ambiently through the ``REPRO_JOBS`` environment variable.
+
+Work is split into contiguous chunks, one future per chunk, and the
+results are merged in submission order, so the outcome is deterministic
+and identical to the serial path: the stages that fan out (pair
+extraction, per-variant transitive reductions) produce per-item values
+or sets whose union is order-independent.
+
+If a process pool cannot be created at all (restricted sandboxes with no
+``fork``/``spawn``), the helpers degrade to serial execution rather than
+failing the mine.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+JOBS_ENV = "REPRO_JOBS"
+
+_Chunk = TypeVar("_Chunk")
+_Result = TypeVar("_Result")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a ``jobs`` request into a concrete worker count.
+
+    ``None`` defers to the ``REPRO_JOBS`` environment variable; an unset
+    or empty variable means serial (1).  Explicit values must be >= 1.
+
+    Examples
+    --------
+    >>> resolve_jobs(4)
+    4
+    >>> resolve_jobs(None) >= 1
+    True
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def split_chunks(
+    items: Sequence[_Chunk], chunks: int
+) -> List[List[_Chunk]]:
+    """Split ``items`` into at most ``chunks`` contiguous, non-empty
+    chunks of near-equal size, preserving order.
+
+    >>> split_chunks([1, 2, 3, 4, 5], 2)
+    [[1, 2, 3], [4, 5]]
+    >>> split_chunks([1], 4)
+    [[1]]
+    """
+    if chunks < 1:
+        raise ValueError("chunks must be >= 1")
+    count = min(chunks, len(items))
+    if count <= 1:
+        return [list(items)] if items else []
+    size, extra = divmod(len(items), count)
+    result: List[List[_Chunk]] = []
+    start = 0
+    for i in range(count):
+        stop = start + size + (1 if i < extra else 0)
+        result.append(list(items[start:stop]))
+        start = stop
+    return result
+
+
+def process_map(
+    fn: Callable[[_Chunk], _Result],
+    chunked_args: Sequence[_Chunk],
+    jobs: int,
+) -> List[_Result]:
+    """Apply ``fn`` to each chunk, in worker processes when ``jobs > 1``.
+
+    Results come back in submission order regardless of completion
+    order.  ``fn`` must be a module-level function and the chunks must
+    be picklable.  Falls back to serial execution when the pool cannot
+    be created or there is nothing worth fanning out.
+    """
+    if jobs <= 1 or len(chunked_args) <= 1:
+        return [fn(chunk) for chunk in chunked_args]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(chunked_args))
+        ) as pool:
+            return list(pool.map(fn, chunked_args))
+    except (OSError, ImportError):
+        # No usable process pool in this environment — mine serially.
+        return [fn(chunk) for chunk in chunked_args]

@@ -11,26 +11,25 @@ graph is unique, and Algorithm 1 finds it:
 3. transitively reduce the remaining DAG (Appendix Algorithm 4).
 
 Complexity ``O(n²m)`` for ``n`` activities and ``m`` executions; the pair
-collection dominates, exactly as in Theorem 4.
+collection dominates, exactly as in Theorem 4.  Like Algorithm 2, the
+implementation extracts pairs once per distinct trace variant and runs
+steps 2–3 and the reduction over interned packed pair codes.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Set
 
-from repro.core.followings import (
-    execution_pair_sets,
-    remove_two_cycles,
-    union_pairs,
-)
+from repro.core.general_dag import prepare_executions
+from repro.core.interning import InternTable
 from repro.errors import CycleError, MiningError
 from repro.graphs.digraph import DiGraph
-from repro.graphs.transitive import transitive_reduction
+from repro.graphs.transitive import transitive_reduction_packed
 from repro.logs.event_log import EventLog
 
 
 def mine_special_dag(
-    log: EventLog, strict: bool = True
+    log: EventLog, strict: bool = True, jobs: Optional[int] = None
 ) -> DiGraph:
     """Mine the minimal conformal graph of ``log`` with Algorithm 1.
 
@@ -44,6 +43,9 @@ def mine_special_dag(
         When true (default), raise :class:`MiningError` if some execution
         misses an activity or repeats one, instead of returning a graph
         whose minimality guarantee is void.
+    jobs:
+        Worker processes for pair extraction (``None`` defers to
+        ``REPRO_JOBS``; 1 = serial).
 
     Returns
     -------
@@ -64,25 +66,51 @@ def mine_special_dag(
     if strict:
         _check_preconditions(log, activities)
 
-    pair_sets = execution_pair_sets(log)        # step 2
-    edges = union_pairs(pair_sets)
-    # Overlapping activities are independent (Section 2) — equivalent to
-    # having seen the pair in both orders.
-    for execution in log:
-        for u, v in execution.overlapping_pairs():
-            edges.discard((u, v))
-            edges.discard((v, u))
-    edges = remove_two_cycles(edges)            # step 3
+    # Step 2 — pair sets, extracted once per distinct trace variant.
+    prepared = prepare_executions(list(log), labelled=False, jobs=jobs)
+    distinct = set(prepared)
 
-    graph = DiGraph(nodes=sorted(activities), edges=edges)
+    labels: set = set(activities)
+    for variant in distinct:
+        labels.update(variant.vertices)
+        for u, v in variant.pairs:
+            labels.add(u)
+            labels.add(v)
+    table = InternTable(labels)
+    n = max(len(table), 1)
+
+    edges: Set[int] = set()
+    independent: Set[int] = set()
+    for variant in distinct:
+        edges |= table.pack_pairs(variant.pairs)
+        for code in table.pack_pairs(variant.overlaps):
+            # Overlapping activities are independent (Section 2) —
+            # equivalent to having seen the pair in both orders.
+            u, v = divmod(code, n)
+            independent.add(code)
+            independent.add(v * n + u)
+    edges -= independent
+
+    # Step 3 — drop 2-cycles.
+    edges = {
+        code
+        for code in edges
+        if (code % n) * n + (code // n) not in edges
+    }
+
     try:
-        return transitive_reduction(graph)      # step 4
+        kept = transitive_reduction_packed(frozenset(edges), n)
     except CycleError as exc:
         raise MiningError(
             "the followings graph is cyclic after removing 2-cycles; the "
             "log violates Algorithm 1's every-activity-every-execution "
             "assumption — use Algorithm 2 (mine_general_dag) instead"
         ) from exc
+
+    graph = DiGraph(nodes=sorted(activities))
+    for code in kept:
+        graph.add_edge(*table.unpack(code))
+    return graph
 
 
 def _check_preconditions(log: EventLog, activities: frozenset) -> None:

@@ -14,7 +14,7 @@ Table 1.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.errors import CycleError
 from repro.graphs.digraph import DiGraph
@@ -122,33 +122,122 @@ def transitive_reduction_edges(graph: DiGraph) -> Set[Edge]:
 
     This is the work-horse used by Algorithm 2 step 5, which only needs to
     *mark* surviving edges rather than materialize a graph per execution.
+    The computation is delegated to :func:`transitive_reduction_packed`
+    over dense integer vertex ids; isolated vertices cannot affect which
+    edges survive, so only the edge set is packed.
+    """
+    nodes = list(graph.nodes())
+    index: Dict[Node, int] = {n: i for i, n in enumerate(nodes)}
+    n = len(nodes)
+    codes = frozenset(
+        index[source] * n + index[target]
+        for source, target in graph.edges()
+    )
+    kept_codes = transitive_reduction_packed(codes, n)
+    return {(nodes[code // n], nodes[code % n]) for code in kept_codes}
 
-    Implementation notes — Algorithm 4 of the paper, vertices visited in
-    reverse topological order:
+
+def transitive_reduction_packed(
+    codes: FrozenSet[int],
+    n: int,
+    rank: Optional[Dict[int, int]] = None,
+) -> FrozenSet[int]:
+    """Transitive reduction over packed edges ``u * n + v``.
+
+    The high-throughput miner (``repro.core.general_dag``) stores each
+    trace variant's induced edge set as packed integers; reducing in that
+    representation skips per-execution :class:`DiGraph` construction
+    entirely.  Implementation — Algorithm 4 of the paper, vertices visited
+    in reverse topological order:
 
     1. ``desc(v)`` starts as the union of the descendants of ``v``'s
-       successors.
+       successors (one bignum OR per successor).
     2. A successor of ``v`` contained in that union is reachable another
        way, hence redundant.
     3. The remaining successors are added to ``desc(v)``.
+
+    Parameters
+    ----------
+    codes:
+        Packed edges.
+    n:
+        The packing modulus (vertex-id space size).
+    rank:
+        Optional precomputed topological ranks valid for a supergraph of
+        ``codes`` (e.g. the full step-4 DAG when reducing its induced
+        subgraphs): any edge ``(u, v)`` satisfies ``rank[u] < rank[v]``.
+        When given, the per-call Kahn pass (and its cycle detection) is
+        skipped — the caller vouches for acyclicity.
+
+    Raises
+    ------
+    CycleError
+        If the packed edges contain a directed cycle (only detected when
+        ``rank`` is not supplied).
     """
-    index: Dict[Node, int] = {n: i for i, n in enumerate(graph.nodes())}
-    desc: Dict[Node, int] = {}
-    kept: Set[Edge] = set()
-    for node in reversed(topological_sort(graph)):
-        successors = graph.successors(node)
-        # Union of descendants reachable *through* a successor.
+    succ: Dict[int, List[int]] = {}
+    if rank is not None:
+        for code in codes:
+            u, v = divmod(code, n)
+            if u in succ:
+                succ[u].append(v)
+            else:
+                succ[u] = [v]
+        order = sorted(succ, key=rank.__getitem__, reverse=True)
+        desc: Dict[int, int] = {}
+        kept: Set[int] = set()
+        for u in order:
+            through = 0
+            for v in succ[u]:
+                through |= desc.get(v, 0)
+            mask = through
+            base = u * n
+            for v in succ[u]:
+                bit = 1 << v
+                if not through & bit:
+                    kept.add(base + v)
+                mask |= bit
+            desc[u] = mask
+        return frozenset(kept)
+
+    indegree: Dict[int, int] = {}
+    for code in codes:
+        u, v = divmod(code, n)
+        succ.setdefault(u, []).append(v)
+        indegree[v] = indegree.get(v, 0) + 1
+        indegree.setdefault(u, 0)
+
+    # Kahn's algorithm over the edge-bearing vertices only.
+    ready = [u for u, degree in indegree.items() if degree == 0]
+    topo: List[int] = []
+    while ready:
+        u = ready.pop()
+        topo.append(u)
+        for v in succ.get(u, ()):
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                ready.append(v)
+    if len(topo) != len(indegree):
+        raise CycleError(
+            "graph has a directed cycle; its transitive reduction is "
+            "not unique"
+        )
+
+    desc_full: Dict[int, int] = {}
+    kept_full: Set[int] = set()
+    for u in reversed(topo):
+        successors = succ.get(u, ())
         through = 0
-        for child in successors:
-            through |= desc[child]
+        for v in successors:
+            through |= desc_full[v]
         mask = through
-        for child in successors:
-            bit = 1 << index[child]
+        for v in successors:
+            bit = 1 << v
             if not through & bit:
-                kept.add((node, child))
+                kept_full.add(u * n + v)
             mask |= bit
-        desc[node] = mask
-    return kept
+        desc_full[u] = mask
+    return frozenset(kept_full)
 
 
 def is_transitively_reduced(graph: DiGraph) -> bool:

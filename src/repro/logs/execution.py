@@ -18,13 +18,25 @@ activities must be independent.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import MalformedExecutionError
 from repro.logs.events import EventRecord, end_event, start_event
 
 Pair = Tuple[str, str]
+LabelledPair = Tuple[Tuple[str, int], Tuple[str, int]]
 
 
 @dataclass(frozen=True)
@@ -78,17 +90,30 @@ class Execution:
                     f"into execution {execution_id!r}"
                 )
         self._instances = self._pair_events(self._records)
+        # Derived views are immutable once the instances are fixed, so the
+        # expensive ones are computed at most once and cached.
+        self._sequence: List[str] = [
+            instance.activity for instance in self._instances
+        ]
+        self._activities = frozenset(self._sequence)
+        self._labelled: Optional[List[Tuple[str, int]]] = None
+        self._ordered_set: Optional[FrozenSet[Pair]] = None
+        self._overlap_set: Optional[FrozenSet[Pair]] = None
+        self._labelled_ordered_set: Optional[FrozenSet[LabelledPair]] = None
+        self._labelled_overlap_set: Optional[FrozenSet[LabelledPair]] = None
 
     @staticmethod
     def _pair_events(
         records: Sequence[EventRecord],
     ) -> List[ActivityInstance]:
         # Multiple concurrent instances of one activity are matched FIFO.
-        open_starts: Dict[str, List[EventRecord]] = {}
+        open_starts: Dict[str, Deque[EventRecord]] = {}
         instances: List[ActivityInstance] = []
         for record in records:
             if record.is_start:
-                open_starts.setdefault(record.activity, []).append(record)
+                open_starts.setdefault(record.activity, deque()).append(
+                    record
+                )
                 continue
             stack = open_starts.get(record.activity)
             if not stack:
@@ -96,7 +121,7 @@ class Execution:
                     f"END of {record.activity!r} at t={record.timestamp} "
                     f"has no matching START"
                 )
-            start = stack.pop(0)
+            start = stack.popleft()
             instances.append(
                 ActivityInstance(
                     activity=record.activity,
@@ -165,14 +190,15 @@ class Execution:
         """The activity sequence, ordered by start time.
 
         Each completed instance contributes one entry; repeated activities
-        (cycles, Section 5) appear multiple times.
+        (cycles, Section 5) appear multiple times.  The list is computed
+        once and shared — treat it as read-only.
         """
-        return [instance.activity for instance in self._instances]
+        return self._sequence
 
     @property
     def activities(self) -> frozenset:
         """The set of distinct activities that completed."""
-        return frozenset(inst.activity for inst in self._instances)
+        return self._activities
 
     @property
     def first_activity(self) -> str:
@@ -203,6 +229,24 @@ class Execution:
     # ------------------------------------------------------------------
     # Miner-facing derivations
     # ------------------------------------------------------------------
+    def is_sequential(self) -> bool:
+        """Whether the instances form a chain: each terminates before the
+        next starts.
+
+        Instances are sorted by start time, so the consecutive check
+        implies ``end_i <= start_j`` for *every* ``i < j`` — a sequential
+        execution has no overlapping pairs and its ordered pairs are
+        exactly the forward pairs of the sequence.  Logs built with
+        :meth:`from_sequence` (and most real workflow traces) are
+        sequential, which lets the pair-set extraction below skip the
+        quadratic interval comparisons.
+        """
+        instances = self._instances
+        return all(
+            instances[i].end <= instances[i + 1].start
+            for i in range(len(instances) - 1)
+        )
+
     def ordered_pairs(self) -> Iterator[Pair]:
         """Yield every pair ``(u, v)`` with ``u`` terminating before ``v``
         starts (Algorithm 1/2 step 2).
@@ -214,11 +258,34 @@ class Execution:
         """
         instances = self._instances
         for i, earlier in enumerate(instances):
-            for later in instances[i + 1:]:
+            for j in range(i + 1, len(instances)):
+                later = instances[j]
                 if earlier.activity == later.activity:
                     continue
                 if earlier.end <= later.start:
                     yield (earlier.activity, later.activity)
+
+    def ordered_pair_set(self) -> FrozenSet[Pair]:
+        """The set of ordered pairs, computed once and cached.
+
+        Equal to ``frozenset(self.ordered_pairs())``; this is what the
+        miners consume (step 2 works with per-execution *sets*), so the
+        deduplicated set is the representation worth caching.
+        """
+        if self._ordered_set is None:
+            if self.is_sequential():
+                pairs = set()
+                later_acts: set = set()
+                for inst in reversed(self._instances):
+                    activity = inst.activity
+                    for other in later_acts:
+                        if other != activity:
+                            pairs.add((activity, other))
+                    later_acts.add(activity)
+            else:
+                pairs = set(self.ordered_pairs())
+            self._ordered_set = frozenset(pairs)
+        return self._ordered_set
 
     def overlapping_pairs(self) -> Iterator[Pair]:
         """Yield canonical (sorted) pairs of distinct activities observed
@@ -231,16 +298,27 @@ class Execution:
         """
         instances = self._instances
         for i, first in enumerate(instances):
-            for second in instances[i + 1:]:
+            for j in range(i + 1, len(instances)):
+                second = instances[j]
                 if first.activity == second.activity:
                     continue
                 if first.overlaps(second):
                     pair = tuple(sorted((first.activity, second.activity)))
                     yield pair  # type: ignore[misc]
 
+    def overlapping_pair_set(self) -> FrozenSet[Pair]:
+        """The set of canonical overlapping pairs, computed once and
+        cached (empty without any quadratic work for sequential traces)."""
+        if self._overlap_set is None:
+            if self.is_sequential():
+                self._overlap_set = frozenset()
+            else:
+                self._overlap_set = frozenset(self.overlapping_pairs())
+        return self._overlap_set
+
     def labelled_overlapping_pairs(
         self,
-    ) -> Iterator[Tuple[Tuple[str, int], Tuple[str, int]]]:
+    ) -> Iterator[LabelledPair]:
         """Canonical overlapping pairs over the relabelled instances."""
         labels = self.labelled_sequence()
         instances = self._instances
@@ -251,22 +329,37 @@ class Execution:
                     if pair[0] != pair[1]:
                         yield pair  # type: ignore[misc]
 
+    def labelled_overlapping_pair_set(self) -> FrozenSet[LabelledPair]:
+        """The set of labelled overlapping pairs, computed once and
+        cached (empty without any quadratic work for sequential traces)."""
+        if self._labelled_overlap_set is None:
+            if self.is_sequential():
+                self._labelled_overlap_set = frozenset()
+            else:
+                self._labelled_overlap_set = frozenset(
+                    self.labelled_overlapping_pairs()
+                )
+        return self._labelled_overlap_set
+
     def labelled_sequence(self) -> List[Tuple[str, int]]:
         """The sequence with occurrence labels: ``A, A`` -> ``(A,1), (A,2)``.
 
         This is Algorithm 3 step 2's relabelling ("the first appearance of
-        activity A is labeled A1, the second A2, and so on").
+        activity A is labeled A1, the second A2, and so on").  Computed
+        once and shared — treat the list as read-only.
         """
-        counts: Dict[str, int] = {}
-        labelled = []
-        for activity in self.sequence:
-            counts[activity] = counts.get(activity, 0) + 1
-            labelled.append((activity, counts[activity]))
-        return labelled
+        if self._labelled is None:
+            counts: Dict[str, int] = {}
+            labelled = []
+            for activity in self._sequence:
+                counts[activity] = counts.get(activity, 0) + 1
+                labelled.append((activity, counts[activity]))
+            self._labelled = labelled
+        return self._labelled
 
     def labelled_ordered_pairs(
         self,
-    ) -> Iterator[Tuple[Tuple[str, int], Tuple[str, int]]]:
+    ) -> Iterator[LabelledPair]:
         """Ordered pairs over the relabelled instances (Algorithm 3 step 3).
 
         Unlike :meth:`ordered_pairs`, pairs between distinct instances of
@@ -280,6 +373,43 @@ class Execution:
                 later = instances[j]
                 if earlier.end <= later.start:
                     yield (labels[i], labels[j])
+
+    def labelled_ordered_pair_set(self) -> FrozenSet[LabelledPair]:
+        """The set of labelled ordered pairs, computed once and cached.
+
+        For sequential traces every forward pair of distinct labels
+        qualifies, so the set is built directly without interval
+        comparisons.
+        """
+        if self._labelled_ordered_set is None:
+            if self.is_sequential():
+                labels = self.labelled_sequence()
+                self._labelled_ordered_set = frozenset(
+                    (labels[i], labels[j])
+                    for i in range(len(labels))
+                    for j in range(i + 1, len(labels))
+                )
+            else:
+                self._labelled_ordered_set = frozenset(
+                    self.labelled_ordered_pairs()
+                )
+        return self._labelled_ordered_set
+
+    def variant_key(self) -> Tuple[Tuple[str, float, float], ...]:
+        """A hashable key capturing everything the miners derive pairs from.
+
+        Two executions with equal keys have identical instance structure
+        (activity, start, end per completed instance, in order) and hence
+        identical sequences, pair sets and overlap sets.  ``prepare_log``
+        uses the key to compute the expensive derivations once per
+        distinct trace variant.  Timestamps are compared raw — no
+        shift-normalization — so the key never merges executions whose
+        interval comparisons could differ after float rounding.
+        """
+        return tuple(
+            (inst.activity, inst.start, inst.end)
+            for inst in self._instances
+        )
 
     def outputs_of(self, activity: str) -> List[Tuple[float, ...]]:
         """All recorded output vectors of ``activity`` in this execution."""

@@ -158,3 +158,87 @@ class TestCorruptCheckpoints:
         }))
         with pytest.raises(CheckpointError, match="corrupt"):
             IncrementalMiner.resume(path)
+
+
+class TestCheckpointV2:
+    def test_checkpoint_writes_version_2_with_interning_table(
+        self, tmp_path
+    ):
+        path = tmp_path / "v2.ckpt"
+        mined_all().checkpoint(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 2
+        assert payload["labels"] == sorted(set("ABCDF"))
+        # Duplicated sequences collapse into weighted variants.
+        assert len(payload["variants"]) < len(SEQUENCES)
+        assert (
+            sum(v["count"] for v in payload["variants"]) == len(SEQUENCES)
+        )
+        assert payload["execution_count"] == len(SEQUENCES)
+        # Pairs are packed codes relative to the labels table.
+        n = len(payload["labels"])
+        for variant in payload["variants"]:
+            for code in variant["pairs"]:
+                assert 0 <= code < n * n
+
+    @pytest.mark.parametrize("mode", [MODE_GENERAL, MODE_CYCLIC])
+    def test_v2_roundtrip_preserves_variants_and_graph(
+        self, tmp_path, mode
+    ):
+        path = tmp_path / "round.ckpt"
+        original = mined_all(mode=mode)
+        graph_before = original.graph()
+        original.checkpoint(path)
+        resumed = IncrementalMiner.resume(path)
+        assert resumed.execution_count == original.execution_count
+        assert resumed.variant_count == original.variant_count
+        assert resumed.graph().edge_set() == graph_before.edge_set()
+        assert set(resumed.graph().nodes()) == set(graph_before.nodes())
+
+    def test_resume_reads_legacy_v1_payload(self, tmp_path):
+        # A v1 checkpoint (one entry per execution, label-level pairs)
+        # written by an earlier release must still resume.
+        path = tmp_path / "legacy.ckpt"
+        path.write_text(json.dumps({
+            "format": "repro-incremental-checkpoint",
+            "version": 1,
+            "mode": MODE_GENERAL,
+            "threshold": 0,
+            "executions": [
+                {
+                    "vertices": ["A", "B"],
+                    "pairs": [["A", "B"]],
+                    "overlaps": [],
+                },
+                {
+                    "vertices": ["A", "B"],
+                    "pairs": [["A", "B"]],
+                    "overlaps": [],
+                },
+            ],
+            "last_edges": None,
+            "stable_since": 0,
+        }))
+        miner = IncrementalMiner.resume(path)
+        assert miner.execution_count == 2
+        assert miner.variant_count == 1
+        assert miner.graph().edge_set() == {("A", "B")}
+
+    def test_v2_bad_multiplicity_is_corrupt(self, tmp_path):
+        path = tmp_path / "badcount.ckpt"
+        path.write_text(json.dumps({
+            "format": "repro-incremental-checkpoint",
+            "version": 2,
+            "mode": MODE_GENERAL,
+            "threshold": 0,
+            "labels": ["A", "B"],
+            "variants": [
+                {"vertices": [0, 1], "pairs": [1], "overlaps": [],
+                 "count": 0},
+            ],
+            "execution_count": 0,
+            "last_edges": None,
+            "stable_since": 0,
+        }))
+        with pytest.raises(CheckpointError):
+            IncrementalMiner.resume(path)
