@@ -1,0 +1,238 @@
+"""CI regression gate: diff a fresh benchmark run against the baseline.
+
+Compares a just-measured ``perf_harness.py`` report (typically the
+``--quick`` grid) against the committed ``BENCH_mining.json`` baseline,
+cell by cell, and exits non-zero when any shared cell regressed.
+
+Two families of checks:
+
+* **Quality** (exact): ``nodes``, ``edges``, ``equal_to_reference``.
+  Any difference fails — the mined graph must not change shape.
+* **Timing** (tolerant): ``fast_seconds`` may grow by at most
+  ``--tolerance`` (default +25%) over the baseline.  Two knobs absorb
+  cross-machine noise:
+
+  - ``--min-ms`` (default 20): cells whose baseline *and* current wall
+    time are both under this floor are reported but never fail — a
+    3 ms cell jittering to 4 ms is not a regression signal.
+  - ``--calibrate``: normalise current timings by the median
+    current/baseline ratio across all shared cells before applying the
+    tolerance.  A uniformly slower CI runner then cancels out, while a
+    single cell that regressed relative to its peers still trips.
+
+Cells present in only one report are listed but do not fail the gate
+(the full baseline supersets the quick grid by design).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py --quick -o bench_current.json
+    python benchmarks/compare_bench.py BENCH_mining.json bench_current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import median
+from typing import Dict, List, Optional
+
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_MIN_MS = 20.0
+
+QUALITY_KEYS = ("nodes", "edges", "equal_to_reference")
+
+
+@dataclass
+class CellResult:
+    """Verdict for one benchmark cell shared by both reports."""
+
+    cell: str
+    baseline_ms: float
+    current_ms: float
+    adjusted_ms: float
+    ratio: Optional[float]
+    failures: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class CompareResult:
+    """Outcome of a full baseline/current comparison."""
+
+    cells: List[CellResult]
+    only_baseline: List[str]
+    only_current: List[str]
+    scale: float
+
+    @property
+    def failed(self) -> List[CellResult]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+def _index(report: dict) -> Dict[str, dict]:
+    return {cell["cell"]: cell for cell in report.get("cells", [])}
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_ms: float = DEFAULT_MIN_MS,
+    calibrate: bool = False,
+) -> CompareResult:
+    """Diff two ``perf_harness`` reports. Pure function, no I/O."""
+    base_cells = _index(baseline)
+    cur_cells = _index(current)
+    shared = sorted(set(base_cells) & set(cur_cells))
+    only_baseline = sorted(set(base_cells) - set(cur_cells))
+    only_current = sorted(set(cur_cells) - set(base_cells))
+
+    scale = 1.0
+    if calibrate and shared:
+        ratios = [
+            cur_cells[name]["fast_seconds"] / base_cells[name]["fast_seconds"]
+            for name in shared
+            if base_cells[name]["fast_seconds"] > 0
+        ]
+        if ratios:
+            scale = median(ratios)
+            if scale <= 0:
+                scale = 1.0
+
+    results: List[CellResult] = []
+    for name in shared:
+        base = base_cells[name]
+        cur = cur_cells[name]
+        base_ms = base["fast_seconds"] * 1000
+        cur_ms = cur["fast_seconds"] * 1000
+        adjusted_ms = cur_ms / scale
+        ratio = adjusted_ms / base_ms if base_ms > 0 else None
+        result = CellResult(
+            cell=name,
+            baseline_ms=base_ms,
+            current_ms=cur_ms,
+            adjusted_ms=adjusted_ms,
+            ratio=ratio,
+        )
+        for key in QUALITY_KEYS:
+            if base.get(key) != cur.get(key):
+                result.failures.append(
+                    f"{key}: baseline {base.get(key)!r} != "
+                    f"current {cur.get(key)!r}"
+                )
+        if base_ms < min_ms and cur_ms < min_ms:
+            result.notes.append(f"under {min_ms:g} ms floor, timing skipped")
+        elif ratio is not None and ratio > 1.0 + tolerance:
+            result.failures.append(
+                f"wall time {adjusted_ms:.1f} ms vs baseline "
+                f"{base_ms:.1f} ms (+{(ratio - 1) * 100:.0f}%, "
+                f"tolerance +{tolerance * 100:.0f}%)"
+            )
+        results.append(result)
+
+    return CompareResult(
+        cells=results,
+        only_baseline=only_baseline,
+        only_current=only_current,
+        scale=scale,
+    )
+
+
+def render(result: CompareResult) -> str:
+    """Human-readable comparison table."""
+    lines = []
+    header = (
+        f"{'cell':<24} {'baseline':>10} {'current':>10} "
+        f"{'ratio':>7}  status"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cell in result.cells:
+        ratio = f"{cell.ratio:.2f}x" if cell.ratio is not None else "n/a"
+        status = "ok" if cell.ok else "FAIL"
+        if cell.ok and cell.notes:
+            status = "ok (floor)"
+        lines.append(
+            f"{cell.cell:<24} {cell.baseline_ms:>8.1f}ms "
+            f"{cell.adjusted_ms:>8.1f}ms {ratio:>7}  {status}"
+        )
+        for failure in cell.failures:
+            lines.append(f"    ! {failure}")
+    if result.scale != 1.0:
+        lines.append(
+            f"calibration: current timings divided by median ratio "
+            f"{result.scale:.3f}"
+        )
+    if result.only_baseline:
+        lines.append(
+            "baseline-only cells (not gated): "
+            + ", ".join(result.only_baseline)
+        )
+    if result.only_current:
+        lines.append(
+            "current-only cells (not gated): "
+            + ", ".join(result.only_current)
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON report")
+    parser.add_argument("current", help="freshly measured JSON report")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional wall-time growth per cell "
+        "(default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=DEFAULT_MIN_MS,
+        help="skip timing checks when both sides are under this "
+        "wall-time floor in ms (default 20)",
+    )
+    parser.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="normalise by the median current/baseline ratio to absorb "
+        "uniformly slower runners",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+    result = compare(
+        baseline,
+        current,
+        tolerance=args.tolerance,
+        min_ms=args.min_ms,
+        calibrate=args.calibrate,
+    )
+    print(render(result))
+    if not result.cells:
+        print("ERROR: no shared cells between reports", file=sys.stderr)
+        return 2
+    if not result.ok:
+        failed = ", ".join(cell.cell for cell in result.failed)
+        print(f"REGRESSION: {failed}", file=sys.stderr)
+        return 1
+    print(f"gate passed: {len(result.cells)} cell(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

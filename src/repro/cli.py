@@ -68,6 +68,15 @@ from repro.logs.ingest import (
     POLICY_STRICT,
     IngestLimits,
     Quarantine,
+    publish_ingest_report,
+)
+from repro.obs import (
+    FORMAT_JSONL,
+    FORMATS as METRICS_FORMATS,
+    NULL_RECORDER,
+    ObsRecorder,
+    RunManifest,
+    write_manifest,
 )
 from repro.logs.jsonl import ingest_log_jsonl_file
 from repro.logs.stats import format_statistics, summarize_log
@@ -188,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
             "statistics to stderr"
         ),
     )
+    _add_metrics_arguments(mine)
 
     generate = commands.add_parser(
         "generate", help="generate a synthetic or simulated-Flowmark log"
@@ -353,7 +363,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="DAG mode: cycles and 2-cycles (PM109/PM110) become errors",
     )
+    _add_metrics_arguments(lint)
     return parser
+
+
+def _add_metrics_arguments(subparser: argparse.ArgumentParser) -> None:
+    """The shared ``repro.obs`` export flags (``mine`` and ``lint``)."""
+    subparser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help=(
+            "enable the observability layer and write the run manifest "
+            "(spans, counters, input digest, environment) to PATH"
+        ),
+    )
+    subparser.add_argument(
+        "--metrics-format",
+        choices=list(METRICS_FORMATS),
+        default=FORMAT_JSONL,
+        help=(
+            "manifest format: jsonl trace events (default), prom "
+            "(Prometheus text exposition) or text (human summary)"
+        ),
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -392,7 +424,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
-def _ingest_for_mine(args: argparse.Namespace):
+def _metrics_recorder(args: argparse.Namespace):
+    """The run's recorder: real when ``--metrics-out`` was given."""
+    if getattr(args, "metrics_out", None):
+        return ObsRecorder()
+    return NULL_RECORDER
+
+
+def _write_metrics(
+    args: argparse.Namespace,
+    recorder,
+    command: str,
+    input_path: str,
+    config: dict,
+) -> None:
+    """Snapshot ``recorder`` into a manifest file (``--metrics-out``)."""
+    if not recorder.enabled:
+        return
+    manifest = RunManifest.collect(
+        recorder,
+        command=command,
+        input_path=input_path,
+        config=config,
+    )
+    write_manifest(manifest, args.metrics_out, args.metrics_format)
+    print(
+        f"metrics: wrote {args.metrics_format} manifest to "
+        f"{args.metrics_out}",
+        file=sys.stderr,
+    )
+
+
+def _ingest_for_mine(args: argparse.Namespace, recorder=NULL_RECORDER):
     limits = IngestLimits(
         max_executions=args.limit_executions,
         max_events_per_execution=args.limit_events_per_execution,
@@ -403,13 +466,15 @@ def _ingest_for_mine(args: argparse.Namespace):
         if args.log.endswith(".jsonl")
         else ingest_log_file
     )
-    with Quarantine(args.quarantine) as quarantine:
-        result = reader(
-            args.log,
-            policy=args.on_error,
-            limits=limits,
-            quarantine=quarantine,
-        )
+    with recorder.span("ingest", policy=args.on_error):
+        with Quarantine(args.quarantine) as quarantine:
+            result = reader(
+                args.log,
+                policy=args.on_error,
+                limits=limits,
+                quarantine=quarantine,
+            )
+    publish_ingest_report(result.report, recorder)
     report = result.report
     if args.on_error != POLICY_STRICT or not report.clean:
         print(report.summary(), file=sys.stderr)
@@ -421,12 +486,14 @@ def _ingest_for_mine(args: argparse.Namespace):
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    result_ingest = _ingest_for_mine(args)
+    recorder = _metrics_recorder(args)
+    result_ingest = _ingest_for_mine(args, recorder)
     log = result_ingest.log
     miner = ProcessMiner(
         algorithm=args.algorithm,
         threshold=args.threshold,
         jobs=args.jobs,
+        recorder=recorder,
     )
     result = miner.mine(log)
     if args.profile:
@@ -437,7 +504,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         from repro.core.minimize import minimize_conformal
 
         before = graph.edge_count
-        graph = minimize_conformal(graph, log)
+        with recorder.span("mine/exact_minimize"):
+            graph = minimize_conformal(graph, log)
         result.graph = graph
         print(
             f"# exact minimization: {before} -> {graph.edge_count} edges"
@@ -450,7 +518,26 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         print(edge_list_text(graph))
     else:
         print(to_ascii(graph))
-    if not args.no_verify and not _verify_mined(result, log, args.threshold):
+    verified = args.no_verify or _verify_mined(
+        result, log, args.threshold, recorder
+    )
+    _write_metrics(
+        args,
+        recorder,
+        command="mine",
+        input_path=args.log,
+        config={
+            "algorithm": args.algorithm,
+            "resolved_algorithm": result.algorithm,
+            "threshold": args.threshold,
+            "on_error": args.on_error,
+            "jobs": args.jobs or 0,
+            "exact_minimize": bool(
+                getattr(args, "exact_minimize", False)
+            ),
+        },
+    )
+    if not verified:
         return 2
     return 3 if result_ingest.report.dropped else 0
 
@@ -479,7 +566,7 @@ def _print_profile(trace) -> None:
         print(f"  {stage}: {seconds * 1000:.1f} ms", file=sys.stderr)
 
 
-def _verify_mined(result, log, threshold: int) -> bool:
+def _verify_mined(result, log, threshold: int, recorder=NULL_RECORDER) -> bool:
     """Run the error-level lint rules over the mined model.
 
     Returns True when the model is free of error-severity diagnostics;
@@ -498,7 +585,10 @@ def _verify_mined(result, log, threshold: int) -> bool:
         print(f"verification: skipped ({exc})", file=sys.stderr)
         return True
     report = lint_model(
-        model, log=log, config=LintConfig(noise_threshold=max(threshold, 0))
+        model,
+        log=log,
+        config=LintConfig(noise_threshold=max(threshold, 0)),
+        recorder=recorder,
     )
     errors = report.at_least(Severity.ERROR)
     if not errors:
@@ -667,7 +757,9 @@ def _parse_severity_overrides(pairs: List[str]):
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    model = load_model(args.model)
+    recorder = _metrics_recorder(args)
+    with recorder.span("load_model"):
+        model = load_model(args.model)
     log = read_log_file(args.log) if args.log else None
     config = LintConfig(
         select=_parse_code_list(args.select),
@@ -676,10 +768,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         dag_mode=args.require_acyclic,
         noise_threshold=max(args.threshold, 0),
     )
-    report = lint_model(model, log=log, config=config)
+    report = lint_model(model, log=log, config=config, recorder=recorder)
     with open(args.model, "r", encoding="utf-8") as handle:
         report = report.with_lines(model_line_map(handle.read()))
     print(render(report, args.format, artifact=args.model))
+    _write_metrics(
+        args,
+        recorder,
+        command="lint",
+        input_path=args.model,
+        config={
+            "dag_mode": args.require_acyclic,
+            "noise_threshold": max(args.threshold, 0),
+            "format": args.format,
+            "with_log": bool(args.log),
+        },
+    )
     return report.exit_code
 
 

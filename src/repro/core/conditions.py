@@ -37,8 +37,12 @@ from repro.model.conditions import (
     Never,
     ParamRef,
 )
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 Edge = Tuple[str, str]
+
+#: Histogram bounds for decision-tree depth (small integer depths).
+_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
 
 
 def _rules_with_pairwise_terms(
@@ -179,7 +183,12 @@ class ConditionsMiner:
     # ------------------------------------------------------------------
     # Learning
     # ------------------------------------------------------------------
-    def mine_edge(self, log: EventLog, edge: Edge) -> MinedCondition:
+    def mine_edge(
+        self,
+        log: EventLog,
+        edge: Edge,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> MinedCondition:
         """Learn the condition of one edge."""
         data = self.training_set(log, edge)
         if len(data) == 0:
@@ -226,6 +235,14 @@ class ConditionsMiner:
                 for example in data
             )
         tree = DecisionTree.fit(data, self.tree_config)
+        recorder.observe(
+            "repro_conditions_tree_depth",
+            tree.depth,
+            bounds=_DEPTH_BUCKETS,
+        )
+        recorder.count(
+            "repro_conditions_splits_total", max(tree.leaf_count - 1, 0)
+        )
         rules = tree_to_rules(tree)
         if pairs:
             condition = _rules_with_pairwise_terms(rules, arity, pairs)
@@ -242,18 +259,31 @@ class ConditionsMiner:
         )
 
     def mine(
-        self, log: EventLog, graph: DiGraph
+        self,
+        log: EventLog,
+        graph: DiGraph,
+        recorder: Recorder = NULL_RECORDER,
     ) -> Dict[Edge, MinedCondition]:
         """Learn conditions for every edge of ``graph``.
 
         Returns a mapping keyed by edge, in no particular order; use
-        ``sorted(result)`` for stable reports.
+        ``sorted(result)`` for stable reports.  With an enabled
+        ``recorder``, per-edge tree depth/split metrics and the
+        learnable/unlearnable totals are recorded under the
+        ``repro_conditions_*`` names.
         """
         log.require_non_empty()
-        return {
-            edge: self.mine_edge(log, edge)
+        mined = {
+            edge: self.mine_edge(log, edge, recorder=recorder)
             for edge in graph.edges()
         }
+        if recorder.enabled:
+            recorder.count("repro_conditions_edges_total", len(mined))
+            recorder.count(
+                "repro_conditions_learnable_total",
+                sum(1 for c in mined.values() if c.learnable),
+            )
+        return mined
 
     def conditions_for_model(
         self, log: EventLog, graph: DiGraph

@@ -15,7 +15,6 @@ would wrongly discard them as 2-cycles.  Algorithm 3 instead:
 
 from __future__ import annotations
 
-from time import perf_counter
 from typing import List, Optional, Tuple
 
 from repro.core.general_dag import (
@@ -107,15 +106,15 @@ def mine_cyclic(
     if threshold < 0:
         raise ValueError("threshold must be >= 0")
     trace = trace if trace is not None else MiningTrace()
-    started = perf_counter()
-    table, variants = prepare_packed_log(
-        list(log), labelled=True, jobs=jobs
-    )
-    trace.timings["prepare"] = perf_counter() - started
+    with trace.stage("prepare"):
+        table, variants = prepare_packed_log(
+            list(log), labelled=True, jobs=jobs, recorder=trace.recorder
+        )
     instance_graph = _mine_packed(
         table, variants, threshold=threshold, trace=trace, jobs=jobs
     )
-    merged = merge_instances(instance_graph)
+    with trace.stage("merge_instances"):
+        merged = merge_instances(instance_graph)
     if return_instance_graph:
         return merged, instance_graph
     return merged

@@ -48,12 +48,14 @@ incremental miner.
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import (
     Dict,
     FrozenSet,
     Hashable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -62,13 +64,18 @@ from typing import (
 )
 
 from repro.core.interning import InternTable, PackedVariant, intern_variants
-from repro.core.parallel import process_map, resolve_jobs, split_chunks
+from repro.core.parallel import (
+    process_map_timed,
+    resolve_jobs,
+    split_chunks,
+)
 from repro.errors import EmptyLogError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.scc import component_map
 from repro.graphs.transitive import transitive_reduction_packed
 from repro.logs.event_log import EventLog
 from repro.logs.execution import Execution
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 Vertex = Hashable
 Pair = Tuple[Vertex, Vertex]
@@ -109,8 +116,21 @@ class MiningTrace:
     The throughput fields (``timings``, ``execution_count``,
     ``variant_count``, ``reduction_cache_hits``/``misses``, ``jobs``)
     feed ``repro-miner mine --profile`` and the performance harness.
+
+    Since the observability layer landed, ``MiningTrace`` is a thin
+    façade over :mod:`repro.obs`: every stage runs inside
+    :meth:`stage`, which opens a ``mine/<name>`` span on ``recorder``
+    (wall + CPU time, nesting) and mirrors the wall seconds into the
+    legacy ``timings`` dict, and :meth:`publish` copies the counters
+    into the recorder's :class:`~repro.obs.metrics.MetricsRegistry`
+    under the stable names of ``docs/OBSERVABILITY.md``.  With the
+    default :data:`~repro.obs.recorder.NULL_RECORDER` all of that is a
+    no-op and only the legacy fields are filled, exactly as before.
     """
 
+    #: Observability sink; the shared no-op recorder unless a run
+    #: opted in (``--metrics-out``, the perf harness, tests).
+    recorder: Recorder = field(default=NULL_RECORDER, repr=False)
     pair_counts: Counter = field(default_factory=Counter)
     overlap_counts: Counter = field(default_factory=Counter)
     edges_after_step2: int = 0
@@ -138,6 +158,75 @@ class MiningTrace:
         if not self.variant_count:
             return 1.0
         return self.execution_count / self.variant_count
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Run one pipeline stage under a ``mine/<name>`` span.
+
+        Wall seconds also accumulate into the legacy ``timings`` dict,
+        so ``--profile`` and every pre-observability consumer keep
+        working unchanged.
+        """
+        with self.recorder.span(f"mine/{name}"):
+            started = perf_counter()
+            try:
+                yield
+            finally:
+                self.timings[name] = (
+                    self.timings.get(name, 0.0)
+                    + perf_counter()
+                    - started
+                )
+
+    def publish(self) -> None:
+        """Mirror the trace counters into the recorder's registry.
+
+        Metric names are part of the stable catalogue
+        (``docs/OBSERVABILITY.md``).  No-op under the null recorder.
+        """
+        recorder = self.recorder
+        if not recorder.enabled:
+            return
+        recorder.count(
+            "repro_mine_executions_total", self.execution_count
+        )
+        recorder.count("repro_mine_variants_total", self.variant_count)
+        recorder.count(
+            "repro_mine_pairs_extracted_total", len(self.pair_counts)
+        )
+        recorder.count(
+            "repro_mine_step5_cache_hits_total",
+            self.reduction_cache_hits,
+        )
+        recorder.count(
+            "repro_mine_step5_cache_misses_total",
+            self.reduction_cache_misses,
+        )
+        recorder.count(
+            "repro_mine_scc_edges_removed_total", self.scc_edge_removals
+        )
+        recorder.count(
+            "repro_mine_edges_dropped_total",
+            self.edges_dropped_by_threshold,
+            labels={"cause": "threshold"},
+        )
+        recorder.count(
+            "repro_mine_edges_dropped_total",
+            self.edges_dropped_by_overlap,
+            labels={"cause": "overlap"},
+        )
+        for stage_name, edge_count in (
+            ("step2", self.edges_after_step2),
+            ("step3", self.edges_after_step3),
+            ("step4", self.edges_after_step4),
+            ("step6", self.edges_after_step6),
+        ):
+            recorder.gauge(
+                "repro_mine_edges",
+                edge_count,
+                labels={"stage": stage_name},
+            )
+        recorder.gauge("repro_mine_jobs", self.jobs)
 
 
 # ----------------------------------------------------------------------
@@ -171,6 +260,7 @@ def prepare_executions(
     executions: Sequence[Execution],
     labelled: bool = False,
     jobs: Optional[int] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> List[PreparedExecution]:
     """Extract :class:`PreparedExecution` views, once per trace variant.
 
@@ -193,7 +283,9 @@ def prepare_executions(
         for chunk in split_chunks(representatives, jobs * 4)
     ]
     prepared: List[PreparedExecution] = []
-    for result in process_map(_prepare_chunk, chunks, jobs):
+    for result in process_map_timed(
+        _prepare_chunk, chunks, jobs, recorder=recorder, stage="prepare"
+    ):
         prepared.extend(result)
     return [prepared[index_of_key[key]] for key in keys]
 
@@ -262,6 +354,7 @@ def prepare_packed_log(
     executions: Sequence[Execution],
     labelled: bool = False,
     jobs: Optional[int] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Tuple[InternTable, List[PackedVariant]]:
     """Deduplicate, intern and pack executions in one fused pass.
 
@@ -301,7 +394,9 @@ def prepare_packed_log(
     packed_sets: List[
         Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]
     ] = []
-    for result in process_map(_pack_chunk, chunked, jobs):
+    for result in process_map_timed(
+        _pack_chunk, chunked, jobs, recorder=recorder, stage="prepare"
+    ):
         packed_sets.extend(result)
     variants = [
         PackedVariant(
@@ -384,9 +479,8 @@ def mine_variants(
         raise EmptyLogError("cannot mine an empty set of executions")
     trace = trace if trace is not None else MiningTrace()
 
-    started = perf_counter()
-    table, packed = intern_variants(variants)
-    trace.timings["intern"] = perf_counter() - started
+    with trace.stage("intern"):
+        table, packed = intern_variants(variants)
     return _mine_packed(
         table,
         packed,
@@ -417,133 +511,140 @@ def _mine_packed(
     )
     trace.variant_count = len(packed)
     trace.jobs = jobs
-    timings = trace.timings
     n = max(len(table), 1)
 
     # Step 2 — union of ordered pairs, with multiplicity-weighted
     # occurrence counters.
-    started = perf_counter()
-    code_counts: Counter = Counter()
-    overlap_code_counts: Counter = Counter()
-    vertex_ids: Set[int] = set()
-    for variant in packed:
-        vertex_ids |= variant.vertices
-        count = variant.multiplicity
-        if count == 1:
-            code_counts.update(variant.pairs)
-            overlap_code_counts.update(variant.overlaps)
-        else:
-            code_counts.update(dict.fromkeys(variant.pairs, count))
-            overlap_code_counts.update(
-                dict.fromkeys(variant.overlaps, count)
-            )
-    trace.pair_counts = Counter(
-        {table.unpack(code): count for code, count in code_counts.items()}
-    )
-    trace.overlap_counts = Counter(
-        {
-            table.unpack(code): count
-            for code, count in overlap_code_counts.items()
-        }
-    )
-    edges: Set[int] = set(code_counts)
-    trace.edges_after_step2 = len(edges)
-    timings["step2_counters"] = perf_counter() - started
+    with trace.stage("step2_counters"):
+        code_counts: Counter = Counter()
+        overlap_code_counts: Counter = Counter()
+        vertex_ids: Set[int] = set()
+        for variant in packed:
+            vertex_ids |= variant.vertices
+            count = variant.multiplicity
+            if count == 1:
+                code_counts.update(variant.pairs)
+                overlap_code_counts.update(variant.overlaps)
+            else:
+                code_counts.update(dict.fromkeys(variant.pairs, count))
+                overlap_code_counts.update(
+                    dict.fromkeys(variant.overlaps, count)
+                )
+        trace.pair_counts = Counter(
+            {
+                table.unpack(code): count
+                for code, count in code_counts.items()
+            }
+        )
+        trace.overlap_counts = Counter(
+            {
+                table.unpack(code): count
+                for code, count in overlap_code_counts.items()
+            }
+        )
+        edges: Set[int] = set(code_counts)
+        trace.edges_after_step2 = len(edges)
 
-    # Section 6 — drop infrequent pairs before the 2-cycle step.
-    started = perf_counter()
-    if threshold > 1:
+    with trace.stage("step3_filters"):
+        # Section 6 — drop infrequent pairs before the 2-cycle step.
+        if threshold > 1:
+            edges = {
+                code for code in edges if code_counts[code] >= threshold
+            }
+        trace.edges_dropped_by_threshold = (
+            trace.edges_after_step2 - len(edges)
+        )
+
+        # Overlap evidence: activities observed running concurrently are
+        # independent (Section 2), equivalent to seeing both orders.  The
+        # same threshold guards against spuriously overlapping noisy
+        # timestamps.
+        min_evidence = max(1, threshold)
+        independent: Set[int] = set()
+        for code, count in overlap_code_counts.items():
+            if count >= min_evidence:
+                independent.add(code)
+                independent.add(_reverse_code(code, n))
+        before_overlap = len(edges)
+        if independent:
+            edges -= independent
+        trace.edges_dropped_by_overlap = before_overlap - len(edges)
+
+        # Step 3 — drop 2-cycles.
         edges = {
-            code for code in edges if code_counts[code] >= threshold
+            code for code in edges if _reverse_code(code, n) not in edges
         }
-    trace.edges_dropped_by_threshold = trace.edges_after_step2 - len(edges)
-
-    # Overlap evidence: activities observed running concurrently are
-    # independent (Section 2), equivalent to seeing both orders.  The same
-    # threshold guards against spuriously overlapping noisy timestamps.
-    min_evidence = max(1, threshold)
-    independent: Set[int] = set()
-    for code, count in overlap_code_counts.items():
-        if count >= min_evidence:
-            independent.add(code)
-            independent.add(_reverse_code(code, n))
-    before_overlap = len(edges)
-    if independent:
-        edges -= independent
-    trace.edges_dropped_by_overlap = before_overlap - len(edges)
-
-    # Step 3 — drop 2-cycles.
-    edges = {
-        code for code in edges if _reverse_code(code, n) not in edges
-    }
-    trace.edges_after_step3 = len(edges)
-    edges_after_step3 = set(edges)
-    timings["step3_filters"] = perf_counter() - started
+        trace.edges_after_step3 = len(edges)
+        edges_after_step3 = set(edges)
 
     # Step 4 — drop edges inside strongly connected components of the
     # followings graph (one id-level graph per run, not per execution).
-    started = perf_counter()
-    if not skip_scc_removal and edges:
-        id_graph = DiGraph(nodes=sorted(vertex_ids))
-        for code in edges:
-            id_graph.add_edge(code // n, code % n)
-        mapping = component_map(id_graph)
-        doomed = {
-            code
-            for code in edges
-            if mapping[code // n] == mapping[code % n]
-        }
-        edges -= doomed
-        trace.scc_edge_removals = len(doomed)
-    trace.edges_after_step4 = len(edges)
-    timings["step4_scc"] = perf_counter() - started
+    with trace.stage("step4_scc"):
+        if not skip_scc_removal and edges:
+            id_graph = DiGraph(nodes=sorted(vertex_ids))
+            for code in edges:
+                id_graph.add_edge(code // n, code % n)
+            mapping = component_map(id_graph)
+            doomed = {
+                code
+                for code in edges
+                if mapping[code // n] == mapping[code % n]
+            }
+            edges -= doomed
+            trace.scc_edge_removals = len(doomed)
+        trace.edges_after_step4 = len(edges)
 
     # Steps 5–6 — keep only edges some execution's transitive reduction
     # needs.  Reduction runs once per distinct *induced edge set*: the
     # memo collapses variants whose executions activate the same edges.
-    started = perf_counter()
-    if not skip_execution_marking:
-        seen_keys: Dict[FrozenSet[int], None] = {}
-        for variant in packed:
-            induced = variant.pairs & edges
-            if induced not in seen_keys:
-                seen_keys[induced] = None
-        distinct_keys = list(seen_keys)
-        trace.reduction_cache_hits = len(packed) - len(distinct_keys)
-        trace.reduction_cache_misses = len(distinct_keys)
-        # One Kahn pass over the surviving edges serves every induced
-        # subgraph; ``None`` (cyclic, only when step 4 was skipped) keeps
-        # the per-reduction cycle check of the legacy pipeline.
-        rank = _topological_ranks(edges, n)
-        marked: Set[int] = set()
-        chunked = [
-            (n, rank, chunk)
-            for chunk in split_chunks(distinct_keys, jobs)
-        ]
-        for reduced_chunk in process_map(_reduce_chunk, chunked, jobs):
-            for kept in reduced_chunk:
-                marked |= kept
-        edges = marked
-    timings["step5_reduce"] = perf_counter() - started
+    with trace.stage("step5_reduce"):
+        if not skip_execution_marking:
+            seen_keys: Dict[FrozenSet[int], None] = {}
+            for variant in packed:
+                induced = variant.pairs & edges
+                if induced not in seen_keys:
+                    seen_keys[induced] = None
+            distinct_keys = list(seen_keys)
+            trace.reduction_cache_hits = len(packed) - len(distinct_keys)
+            trace.reduction_cache_misses = len(distinct_keys)
+            # One Kahn pass over the surviving edges serves every induced
+            # subgraph; ``None`` (cyclic, only when step 4 was skipped)
+            # keeps the per-reduction cycle check of the legacy pipeline.
+            rank = _topological_ranks(edges, n)
+            marked: Set[int] = set()
+            chunked = [
+                (n, rank, chunk)
+                for chunk in split_chunks(distinct_keys, jobs)
+            ]
+            for reduced_chunk in process_map_timed(
+                _reduce_chunk,
+                chunked,
+                jobs,
+                recorder=trace.recorder,
+                stage="step5_reduce",
+            ):
+                for kept in reduced_chunk:
+                    marked |= kept
+            edges = marked
 
     # Materialize the label-level graph.  Node set mirrors the legacy
     # pipeline exactly: every variant vertex, plus the endpoints of the
     # edges that survived step 3 (even if steps 4–6 later pruned them).
-    started = perf_counter()
-    node_ids = set(vertex_ids)
-    for code in edges_after_step3:
-        node_ids.add(code // n)
-        node_ids.add(code % n)
-    graph = DiGraph(
-        nodes=sorted(
-            (table.label_of(vertex_id) for vertex_id in node_ids),
-            key=repr,
+    with trace.stage("step6_assemble"):
+        node_ids = set(vertex_ids)
+        for code in edges_after_step3:
+            node_ids.add(code // n)
+            node_ids.add(code % n)
+        graph = DiGraph(
+            nodes=sorted(
+                (table.label_of(vertex_id) for vertex_id in node_ids),
+                key=repr,
+            )
         )
-    )
-    for code in edges:
-        graph.add_edge(*table.unpack(code))
-    trace.edges_after_step6 = graph.edge_count
-    timings["step6_assemble"] = perf_counter() - started
+        for code in edges:
+            graph.add_edge(*table.unpack(code))
+        trace.edges_after_step6 = graph.edge_count
+    trace.publish()
     return graph
 
 
@@ -637,11 +738,13 @@ def mine_general_dag(
     if threshold < 0:
         raise ValueError("threshold must be >= 0")
     trace = trace if trace is not None else MiningTrace()
-    started = perf_counter()
-    table, variants = prepare_packed_log(
-        list(log), labelled=False, jobs=jobs
-    )
-    trace.timings["prepare"] = perf_counter() - started
+    with trace.stage("prepare"):
+        table, variants = prepare_packed_log(
+            list(log),
+            labelled=False,
+            jobs=jobs,
+            recorder=trace.recorder,
+        )
     return _mine_packed(
         table, variants, threshold=threshold, trace=trace, jobs=jobs
     )

@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from collections import Counter
 from pathlib import Path
 from typing import Optional, Union
@@ -41,6 +42,7 @@ from repro.errors import CheckpointError, EmptyLogError
 from repro.graphs.digraph import DiGraph
 from repro.logs.event_log import EventLog
 from repro.logs.execution import Execution
+from repro.obs.recorder import Recorder, resolve_recorder
 
 MODE_GENERAL = "general-dag"
 MODE_CYCLIC = "cyclic"
@@ -97,6 +99,10 @@ class IncrementalMiner:
         and the mined instance graph is merged per query).
     threshold:
         Section 6 noise threshold applied at every materialization.
+    recorder:
+        Optional :mod:`repro.obs` recorder; materializations run under
+        it and :meth:`checkpoint`/:meth:`resume` record the
+        ``repro_checkpoint_*`` gauges (size, variants, age).
 
     Examples
     --------
@@ -110,7 +116,10 @@ class IncrementalMiner:
     """
 
     def __init__(
-        self, mode: str = MODE_GENERAL, threshold: int = 0
+        self,
+        mode: str = MODE_GENERAL,
+        threshold: int = 0,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -118,6 +127,7 @@ class IncrementalMiner:
             raise ValueError("threshold must be >= 0")
         self.mode = mode
         self.threshold = threshold
+        self.recorder: Recorder = resolve_recorder(recorder)
         # Identical prepared executions collapse into one weighted
         # variant (Counter preserves first-seen order), so long streams
         # dominated by repeated traces stay cheap to re-mine.
@@ -190,13 +200,16 @@ class IncrementalMiner:
             trace is None
         ):
             return self._cached_graph.copy()
-        mined = mine_variants(
-            list(self._variants.items()),
-            threshold=self.threshold,
-            trace=trace,
-        )
-        if self.mode == MODE_CYCLIC:
-            mined = merge_instances(mined)
+        if trace is None:
+            trace = MiningTrace(recorder=self.recorder)
+        with self.recorder.span("incremental/materialize"):
+            mined = mine_variants(
+                list(self._variants.items()),
+                threshold=self.threshold,
+                trace=trace,
+            )
+            if self.mode == MODE_CYCLIC:
+                mined = merge_instances(mined)
         edges = frozenset(mined.edge_set())
         if edges == self._last_edges:
             self._stable_since += 1
@@ -243,6 +256,18 @@ class IncrementalMiner:
         checkpoint behind.
         """
         path = Path(path)
+        with self.recorder.span("incremental/checkpoint"):
+            self._write_checkpoint(path)
+        stat = path.stat()
+        self.recorder.gauge("repro_checkpoint_bytes", stat.st_size)
+        self.recorder.gauge(
+            "repro_checkpoint_variants", len(self._variants)
+        )
+        self.recorder.gauge(
+            "repro_checkpoint_executions", self._execution_count
+        )
+
+    def _write_checkpoint(self, path: Path) -> None:
         table, packed = intern_variants(list(self._variants.items()))
         payload = {
             "format": CHECKPOINT_FORMAT,
@@ -286,8 +311,17 @@ class IncrementalMiner:
             raise
 
     @classmethod
-    def resume(cls, path: PathOrStr) -> "IncrementalMiner":
+    def resume(
+        cls,
+        path: PathOrStr,
+        recorder: Optional[Recorder] = None,
+    ) -> "IncrementalMiner":
         """Reconstruct a miner from a :meth:`checkpoint` file.
+
+        With a recorder, the checkpoint's size and age (seconds since
+        its last modification — how stale the resumed state is) are
+        recorded as ``repro_checkpoint_bytes`` /
+        ``repro_checkpoint_age_seconds`` gauges.
 
         Raises
         ------
@@ -295,6 +329,16 @@ class IncrementalMiner:
             When the file is not a checkpoint, is corrupt, or has an
             incompatible version.
         """
+        obs = resolve_recorder(recorder)
+        try:
+            stat = os.stat(path)
+            obs.gauge("repro_checkpoint_bytes", stat.st_size)
+            obs.gauge(
+                "repro_checkpoint_age_seconds",
+                max(time.time() - stat.st_mtime, 0.0),
+            )
+        except OSError:
+            pass  # the open() below reports unreadable paths properly
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -315,7 +359,9 @@ class IncrementalMiner:
             )
         try:
             miner = cls(
-                mode=payload["mode"], threshold=payload["threshold"]
+                mode=payload["mode"],
+                threshold=payload["threshold"],
+                recorder=recorder,
             )
             if version == 1:
                 cls._load_v1_executions(miner, payload["executions"])

@@ -21,6 +21,7 @@ from repro.graphs.digraph import DiGraph
 from repro.logs.event_log import EventLog
 from repro.model.activity import Activity
 from repro.model.process import ProcessModel
+from repro.obs.recorder import Recorder, resolve_recorder
 
 #: Algorithm selector values.
 ALGORITHM_SPECIAL = "special-dag"    # Algorithm 1
@@ -109,6 +110,11 @@ class ProcessMiner:
         Worker processes for pair extraction and step-5 marking
         (``None`` defers to the ``REPRO_JOBS`` environment variable;
         1 = serial).  The mined graph is identical for any value.
+    recorder:
+        :mod:`repro.obs` recorder threaded through every stage (spans
+        and the stable metric catalogue of ``docs/OBSERVABILITY.md``).
+        ``None`` (the default) uses the shared no-op recorder, whose
+        cost is unmeasurable.
 
     Examples
     --------
@@ -128,6 +134,7 @@ class ProcessMiner:
         learn_conditions: bool = False,
         conditions_miner: Optional[ConditionsMiner] = None,
         jobs: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         if algorithm not in _ALGORITHMS:
             raise ValueError(
@@ -140,28 +147,39 @@ class ProcessMiner:
         self.learn_conditions = learn_conditions
         self.conditions_miner = conditions_miner or ConditionsMiner()
         self.jobs = jobs
+        self.recorder: Recorder = resolve_recorder(recorder)
 
     def mine(self, log: EventLog) -> MiningResult:
         """Mine ``log`` into a :class:`MiningResult`."""
         log.require_non_empty()
         algorithm = self._resolve_algorithm(log)
-        trace = MiningTrace()
+        recorder = self.recorder
+        trace = MiningTrace(recorder=recorder)
 
-        if algorithm == ALGORITHM_SPECIAL:
-            if self.threshold > 1:
-                raise MiningError(
-                    "the noise threshold applies to Algorithms 2 and 3; "
-                    "use algorithm='general-dag' for noisy logs"
+        with recorder.span("mine", algorithm=algorithm):
+            if algorithm == ALGORITHM_SPECIAL:
+                if self.threshold > 1:
+                    raise MiningError(
+                        "the noise threshold applies to Algorithms 2 and "
+                        "3; use algorithm='general-dag' for noisy logs"
+                    )
+                graph = mine_special_dag(
+                    log, jobs=self.jobs, recorder=recorder
                 )
-            graph = mine_special_dag(log, jobs=self.jobs)
-        elif algorithm == ALGORITHM_GENERAL:
-            graph = mine_general_dag(
-                log, threshold=self.threshold, trace=trace, jobs=self.jobs
-            )
-        else:
-            graph = mine_cyclic(
-                log, threshold=self.threshold, trace=trace, jobs=self.jobs
-            )
+            elif algorithm == ALGORITHM_GENERAL:
+                graph = mine_general_dag(
+                    log,
+                    threshold=self.threshold,
+                    trace=trace,
+                    jobs=self.jobs,
+                )
+            else:
+                graph = mine_cyclic(
+                    log,
+                    threshold=self.threshold,
+                    trace=trace,
+                    jobs=self.jobs,
+                )
 
         source, sink = _endpoints(log)
         result = MiningResult(
@@ -172,7 +190,10 @@ class ProcessMiner:
             sink=sink,
         )
         if self.learn_conditions:
-            result.conditions = self.conditions_miner.mine(log, graph)
+            with recorder.span("conditions"):
+                result.conditions = self.conditions_miner.mine(
+                    log, graph, recorder=recorder
+                )
         return result
 
     # ------------------------------------------------------------------

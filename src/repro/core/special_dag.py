@@ -26,10 +26,14 @@ from repro.errors import CycleError, MiningError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.transitive import transitive_reduction_packed
 from repro.logs.event_log import EventLog
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 
 def mine_special_dag(
-    log: EventLog, strict: bool = True, jobs: Optional[int] = None
+    log: EventLog,
+    strict: bool = True,
+    jobs: Optional[int] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> DiGraph:
     """Mine the minimal conformal graph of ``log`` with Algorithm 1.
 
@@ -46,6 +50,11 @@ def mine_special_dag(
     jobs:
         Worker processes for pair extraction (``None`` defers to
         ``REPRO_JOBS``; 1 = serial).
+    recorder:
+        :mod:`repro.obs` sink for spans (``mine/prepare``,
+        ``mine/step3_filters``, ``mine/step5_reduce``,
+        ``mine/step6_assemble``) and the mining counters; the shared
+        no-op recorder by default.
 
     Returns
     -------
@@ -67,49 +76,63 @@ def mine_special_dag(
         _check_preconditions(log, activities)
 
     # Step 2 — pair sets, extracted once per distinct trace variant.
-    prepared = prepare_executions(list(log), labelled=False, jobs=jobs)
-    distinct = set(prepared)
+    with recorder.span("mine/prepare"):
+        prepared = prepare_executions(
+            list(log), labelled=False, jobs=jobs, recorder=recorder
+        )
+        distinct = set(prepared)
 
-    labels: set = set(activities)
-    for variant in distinct:
-        labels.update(variant.vertices)
-        for u, v in variant.pairs:
-            labels.add(u)
-            labels.add(v)
-    table = InternTable(labels)
-    n = max(len(table), 1)
+        labels: set = set(activities)
+        for variant in distinct:
+            labels.update(variant.vertices)
+            for u, v in variant.pairs:
+                labels.add(u)
+                labels.add(v)
+        table = InternTable(labels)
+        n = max(len(table), 1)
 
-    edges: Set[int] = set()
-    independent: Set[int] = set()
-    for variant in distinct:
-        edges |= table.pack_pairs(variant.pairs)
-        for code in table.pack_pairs(variant.overlaps):
-            # Overlapping activities are independent (Section 2) —
-            # equivalent to having seen the pair in both orders.
-            u, v = divmod(code, n)
-            independent.add(code)
-            independent.add(v * n + u)
-    edges -= independent
+    with recorder.span("mine/step3_filters"):
+        edges: Set[int] = set()
+        independent: Set[int] = set()
+        for variant in distinct:
+            edges |= table.pack_pairs(variant.pairs)
+            for code in table.pack_pairs(variant.overlaps):
+                # Overlapping activities are independent (Section 2) —
+                # equivalent to having seen the pair in both orders.
+                u, v = divmod(code, n)
+                independent.add(code)
+                independent.add(v * n + u)
+        pairs_extracted = len(edges)
+        edges -= independent
 
-    # Step 3 — drop 2-cycles.
-    edges = {
-        code
-        for code in edges
-        if (code % n) * n + (code // n) not in edges
-    }
+        # Step 3 — drop 2-cycles.
+        edges = {
+            code
+            for code in edges
+            if (code % n) * n + (code // n) not in edges
+        }
 
-    try:
-        kept = transitive_reduction_packed(frozenset(edges), n)
-    except CycleError as exc:
-        raise MiningError(
-            "the followings graph is cyclic after removing 2-cycles; the "
-            "log violates Algorithm 1's every-activity-every-execution "
-            "assumption — use Algorithm 2 (mine_general_dag) instead"
-        ) from exc
+    with recorder.span("mine/step5_reduce"):
+        try:
+            kept = transitive_reduction_packed(frozenset(edges), n)
+        except CycleError as exc:
+            raise MiningError(
+                "the followings graph is cyclic after removing 2-cycles; "
+                "the log violates Algorithm 1's every-activity-every-"
+                "execution assumption — use Algorithm 2 "
+                "(mine_general_dag) instead"
+            ) from exc
 
-    graph = DiGraph(nodes=sorted(activities))
-    for code in kept:
-        graph.add_edge(*table.unpack(code))
+    with recorder.span("mine/step6_assemble"):
+        graph = DiGraph(nodes=sorted(activities))
+        for code in kept:
+            graph.add_edge(*table.unpack(code))
+    recorder.count("repro_mine_executions_total", len(log))
+    recorder.count("repro_mine_variants_total", len(distinct))
+    recorder.count("repro_mine_pairs_extracted_total", pairs_extracted)
+    recorder.gauge(
+        "repro_mine_edges", graph.edge_count, labels={"stage": "step6"}
+    )
     return graph
 
 

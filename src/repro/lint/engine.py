@@ -15,6 +15,7 @@ from repro.lint.diagnostics import Diagnostic, Location, Severity
 from repro.lint.rules import LintContext, all_rules
 from repro.logs.event_log import EventLog
 from repro.model.process import ProcessModel
+from repro.obs.recorder import Recorder, resolve_recorder
 
 # Exit codes keyed on max severity (the acceptance contract of the
 # ``repro-miner lint`` subcommand).
@@ -106,12 +107,16 @@ def lint_model(
     model: ProcessModel,
     log: Optional[EventLog] = None,
     config: Optional[LintConfig] = None,
+    recorder: Optional[Recorder] = None,
 ) -> LintReport:
     """Run every enabled rule over ``model`` (and ``log``, if given).
 
     Log-dependent rules (``requires_log=True``) are silently skipped
     without a log; everything else about rule selection is governed by
-    ``config`` (see :class:`~repro.lint.config.LintConfig`).
+    ``config`` (see :class:`~repro.lint.config.LintConfig`).  An
+    enabled ``recorder`` gets a ``lint`` span plus the
+    ``repro_lint_findings_total{severity=...}`` /
+    ``repro_lint_rules_checked_total`` counters.
 
     Examples
     --------
@@ -127,35 +132,47 @@ def lint_model(
     ['PM108']
     """
     config = config or LintConfig()
+    obs = resolve_recorder(recorder)
     context = LintContext(model, log=log, config=config)
     diagnostics: List[Diagnostic] = []
     checked: List[str] = []
-    for lint_rule in all_rules():
-        if not config.is_enabled(lint_rule.code):
-            continue
-        if lint_rule.requires_log and log is None:
-            continue
-        checked.append(lint_rule.code)
-        severity = config.effective_severity(
-            lint_rule.code, lint_rule.default_severity(config.dag_mode)
-        )
-        for finding in lint_rule.check(context):
-            diagnostics.append(
-                Diagnostic(
-                    code=lint_rule.code,
-                    name=lint_rule.name,
-                    severity=severity,
-                    message=finding.message,
-                    location=finding.location,
-                    fixit=finding.fixit,
-                )
+    with obs.span("lint", model=model.name):
+        for lint_rule in all_rules():
+            if not config.is_enabled(lint_rule.code):
+                continue
+            if lint_rule.requires_log and log is None:
+                continue
+            checked.append(lint_rule.code)
+            severity = config.effective_severity(
+                lint_rule.code,
+                lint_rule.default_severity(config.dag_mode),
             )
+            for finding in lint_rule.check(context):
+                diagnostics.append(
+                    Diagnostic(
+                        code=lint_rule.code,
+                        name=lint_rule.name,
+                        severity=severity,
+                        message=finding.message,
+                        location=finding.location,
+                        fixit=finding.fixit,
+                    )
+                )
     diagnostics.sort(key=lambda d: d.sort_key)
-    return LintReport(
+    report = LintReport(
         model_name=model.name,
         diagnostics=diagnostics,
         checked_rules=checked,
     )
+    if obs.enabled:
+        obs.count("repro_lint_rules_checked_total", len(checked))
+        for level in Severity:
+            obs.count(
+                "repro_lint_findings_total",
+                report.count(level),
+                labels={"severity": level.value},
+            )
+    return report
 
 
 def severity_overrides(mapping: Mapping[str, str]) -> Dict[str, Severity]:

@@ -423,3 +423,47 @@ def ingest_lines(
 
     log = EventLog(executions, process_name=process_name)
     return IngestResult(log=log, report=report, quarantine=sink)
+
+
+def publish_ingest_report(report: IngestReport, recorder) -> None:
+    """Mirror an :class:`IngestReport` into a :mod:`repro.obs` recorder.
+
+    Records the stable ``repro_ingest_*`` counters (see
+    ``docs/OBSERVABILITY.md``): executions/records accepted, executions
+    repaired plus the per-rule repair breakdown, and quarantined lines/
+    executions with the per-reason breakdown.  No-op under the null
+    recorder, so callers can pass their recorder unconditionally.
+    """
+    if not recorder.enabled:
+        return
+    recorder.count(
+        "repro_ingest_executions_accepted_total",
+        report.accepted_executions,
+    )
+    recorder.count(
+        "repro_ingest_records_accepted_total", report.accepted_records
+    )
+    recorder.count(
+        "repro_ingest_executions_repaired_total",
+        report.repaired_executions,
+    )
+    for rule, count in sorted(report.repairs.items()):
+        recorder.count(
+            "repro_ingest_repairs_total", count, labels={"rule": rule}
+        )
+    recorder.count(
+        "repro_ingest_quarantined_total",
+        report.quarantined_lines,
+        labels={"kind": "line"},
+    )
+    recorder.count(
+        "repro_ingest_quarantined_total",
+        report.quarantined_executions,
+        labels={"kind": "execution"},
+    )
+    for reason, count in sorted(report.reasons.items()):
+        recorder.count(
+            "repro_ingest_quarantine_reasons_total",
+            count,
+            labels={"reason": reason},
+        )

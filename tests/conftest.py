@@ -1,0 +1,22 @@
+"""Shared pytest configuration: hypothesis settings profiles.
+
+Two profiles are registered and selected via the ``HYPOTHESIS_PROFILE``
+environment variable (CI's nightly job exports ``deep``):
+
+* ``default`` — the everyday budget (50 examples, no deadline; the
+  deadline is disabled because CI runners jitter far beyond
+  hypothesis's 200 ms default).
+* ``deep`` — the nightly soak budget (600 examples).
+
+Tests that pin ``max_examples`` in their own ``@settings`` decorator
+keep their pinned budget regardless of profile — only unpinned tests
+(e.g. the differential fast-path suite) scale up under ``deep``.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("default", max_examples=50, deadline=None)
+settings.register_profile("deep", max_examples=600, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

@@ -1,0 +1,164 @@
+"""Tests for the CI benchmark regression gate (benchmarks/compare_bench.py)."""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from compare_bench import compare, main, render  # noqa: E402
+
+
+def _report(cells):
+    return {"benchmark": "repro-mining-core", "mode": "quick", "cells": cells}
+
+
+def _cell(name, fast_seconds, nodes=10, edges=24, equal=True):
+    return {
+        "cell": name,
+        "kind": "distinct",
+        "fast_seconds": fast_seconds,
+        "nodes": nodes,
+        "edges": edges,
+        "equal_to_reference": equal,
+    }
+
+
+@pytest.fixture
+def baseline():
+    return _report(
+        [
+            _cell("v10-m100", 0.030),
+            _cell("v25-m100", 0.050, nodes=25, edges=80),
+            _cell("v100-m100", 0.100, nodes=100, edges=300),
+        ]
+    )
+
+
+class TestCompare:
+    def test_identical_reports_pass(self, baseline):
+        result = compare(baseline, copy.deepcopy(baseline))
+        assert result.ok
+        assert len(result.cells) == 3
+
+    def test_two_x_slower_fails(self, baseline):
+        current = copy.deepcopy(baseline)
+        for cell in current["cells"]:
+            cell["fast_seconds"] *= 2.0
+        result = compare(baseline, current)
+        assert not result.ok
+        assert len(result.failed) == 3
+
+    def test_within_tolerance_passes(self, baseline):
+        current = copy.deepcopy(baseline)
+        for cell in current["cells"]:
+            cell["fast_seconds"] *= 1.20  # under the +25% default
+        assert compare(baseline, current).ok
+
+    def test_quality_mismatch_fails_even_when_fast(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["cells"][0]["edges"] = 99
+        current["cells"][0]["fast_seconds"] *= 0.5
+        result = compare(baseline, current)
+        failed = result.failed
+        assert [cell.cell for cell in failed] == ["v10-m100"]
+        assert "edges" in failed[0].failures[0]
+
+    def test_equality_gate_flag_is_quality(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["cells"][1]["equal_to_reference"] = False
+        assert not compare(baseline, current).ok
+
+    def test_small_cells_skip_timing(self, baseline):
+        baseline["cells"][0]["fast_seconds"] = 0.004
+        current = copy.deepcopy(baseline)
+        current["cells"][0]["fast_seconds"] = 0.012  # 3x, but under floor
+        result = compare(baseline, current, min_ms=20.0)
+        assert result.ok
+        skipped = next(c for c in result.cells if c.cell == "v10-m100")
+        assert skipped.notes
+
+    def test_blowup_past_floor_still_fails(self, baseline):
+        baseline["cells"][0]["fast_seconds"] = 0.004
+        current = copy.deepcopy(baseline)
+        current["cells"][0]["fast_seconds"] = 0.050  # crosses the floor
+        assert not compare(baseline, current, min_ms=20.0).ok
+
+    def test_calibration_absorbs_uniform_slowdown(self, baseline):
+        current = copy.deepcopy(baseline)
+        for cell in current["cells"]:
+            cell["fast_seconds"] *= 1.8  # slower runner, uniformly
+        assert not compare(baseline, current).ok
+        assert compare(baseline, current, calibrate=True).ok
+
+    def test_calibration_keeps_relative_regression(self, baseline):
+        current = copy.deepcopy(baseline)
+        for cell in current["cells"]:
+            cell["fast_seconds"] *= 1.8
+        current["cells"][2]["fast_seconds"] *= 2.5  # one real regression
+        result = compare(baseline, current, calibrate=True)
+        assert [cell.cell for cell in result.failed] == ["v100-m100"]
+
+    def test_disjoint_cells_are_reported_not_gated(self, baseline):
+        current = _report(
+            [_cell("v10-m100", 0.030), _cell("brand-new", 0.010)]
+        )
+        result = compare(baseline, current)
+        assert result.ok
+        assert result.only_current == ["brand-new"]
+        assert "v25-m100" in result.only_baseline
+
+
+class TestRender:
+    def test_table_mentions_each_cell_and_failure(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["cells"][0]["fast_seconds"] *= 3.0
+        result = compare(baseline, current)
+        table = render(result)
+        assert "v10-m100" in table
+        assert "FAIL" in table
+        assert "wall time" in table
+
+
+class TestMainExitCodes:
+    def _write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_clean_run_exits_zero(self, tmp_path, baseline, capsys):
+        base = self._write(tmp_path, "base.json", baseline)
+        cur = self._write(tmp_path, "cur.json", copy.deepcopy(baseline))
+        assert main([base, cur]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_synthetic_2x_slower_baseline_exits_nonzero(
+        self, tmp_path, baseline, capsys
+    ):
+        current = copy.deepcopy(baseline)
+        for cell in current["cells"]:
+            cell["fast_seconds"] *= 2.0
+        base = self._write(tmp_path, "base.json", baseline)
+        cur = self._write(tmp_path, "cur.json", current)
+        assert main([base, cur]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_no_shared_cells_exits_two(self, tmp_path, baseline, capsys):
+        base = self._write(tmp_path, "base.json", baseline)
+        cur = self._write(
+            tmp_path, "cur.json", _report([_cell("other", 0.030)])
+        )
+        assert main([base, cur]) == 2
+        capsys.readouterr()
+
+    def test_tolerance_flag_is_respected(self, tmp_path, baseline):
+        current = copy.deepcopy(baseline)
+        for cell in current["cells"]:
+            cell["fast_seconds"] *= 1.4
+        base = self._write(tmp_path, "base.json", baseline)
+        cur = self._write(tmp_path, "cur.json", current)
+        assert main([base, cur]) == 1
+        assert main([base, cur, "--tolerance", "0.5"]) == 0

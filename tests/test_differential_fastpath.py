@@ -11,7 +11,7 @@ and assert equal node sets, edge sets, and stage diagnostics.
 
 import random
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.general_dag import (
@@ -126,7 +126,6 @@ def assert_same_mining(fast_graph, ref_graph, fast_trace, ref_trace):
 # ---------------------------------------------------------------------------
 # Algorithm 2 differentials
 # ---------------------------------------------------------------------------
-@settings(max_examples=60, deadline=None)
 @given(subset_logs(), st.integers(min_value=0, max_value=3))
 def test_general_dag_matches_reference(log, threshold):
     fast_trace, ref_trace = MiningTrace(), MiningTrace()
@@ -139,7 +138,6 @@ def test_general_dag_matches_reference(log, threshold):
     assert fast_trace.variant_count <= fast_trace.execution_count
 
 
-@settings(max_examples=40, deadline=None)
 @given(interval_logs(), st.integers(min_value=0, max_value=2))
 def test_overlapping_intervals_match_reference(log, threshold):
     fast_trace, ref_trace = MiningTrace(), MiningTrace()
@@ -150,7 +148,6 @@ def test_overlapping_intervals_match_reference(log, threshold):
     assert_same_mining(fast, ref, fast_trace, ref_trace)
 
 
-@settings(max_examples=40, deadline=None)
 @given(subset_logs())
 def test_prepare_log_matches_reference(log):
     assert prepare_log(log) == prepare_log_reference(log)
@@ -159,7 +156,6 @@ def test_prepare_log_matches_reference(log):
 # ---------------------------------------------------------------------------
 # Algorithm 3 differentials (relabelled instances)
 # ---------------------------------------------------------------------------
-@settings(max_examples=50, deadline=None)
 @given(cyclic_logs(), st.integers(min_value=0, max_value=3))
 def test_cyclic_matches_reference(log, threshold):
     fast_trace, ref_trace = MiningTrace(), MiningTrace()
@@ -176,7 +172,6 @@ def test_cyclic_matches_reference(log, threshold):
 # ---------------------------------------------------------------------------
 # Incremental miner stays equivalent to the batch fast path
 # ---------------------------------------------------------------------------
-@settings(max_examples=30, deadline=None)
 @given(subset_logs(max_executions=6))
 def test_incremental_matches_batch_reference(log):
     miner = IncrementalMiner()
