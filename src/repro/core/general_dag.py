@@ -500,8 +500,19 @@ def _mine_packed(
     skip_scc_removal: bool = False,
     skip_execution_marking: bool = False,
     jobs: Optional[int] = None,
+    reduction_memo: Optional[
+        Dict[FrozenSet[int], FrozenSet[int]]
+    ] = None,
 ) -> DiGraph:
-    """Steps 2–6 over already-interned packed variants."""
+    """Steps 2–6 over already-interned packed variants.
+
+    ``reduction_memo`` optionally persists step-5 results across calls:
+    it maps an execution's *induced edge set* to the edges its
+    transitive reduction kept.  A reduction depends only on that induced
+    set, so a caller whose label table is stable (the incremental miner,
+    :meth:`MiningState.finish <repro.core.state.MiningState.finish>`)
+    can pass the same dict again and pay only for unseen induced sets.
+    """
     if not packed:
         raise EmptyLogError("cannot mine an empty set of executions")
     jobs = resolve_jobs(jobs)
@@ -530,15 +541,19 @@ def _mine_packed(
                 overlap_code_counts.update(
                     dict.fromkeys(variant.overlaps, count)
                 )
+        # Hot loop: index the label tuple directly instead of calling
+        # ``table.unpack`` per code (one attribute lookup + two calls
+        # saved per distinct pair; see the pack_unpack bench cell).
+        labels = table.labels
         trace.pair_counts = Counter(
             {
-                table.unpack(code): count
+                (labels[code // n], labels[code % n]): count
                 for code, count in code_counts.items()
             }
         )
         trace.overlap_counts = Counter(
             {
-                table.unpack(code): count
+                (labels[code // n], labels[code % n]): count
                 for code, count in overlap_code_counts.items()
             }
         )
@@ -605,26 +620,46 @@ def _mine_packed(
                 if induced not in seen_keys:
                     seen_keys[induced] = None
             distinct_keys = list(seen_keys)
-            trace.reduction_cache_hits = len(packed) - len(distinct_keys)
-            trace.reduction_cache_misses = len(distinct_keys)
-            # One Kahn pass over the surviving edges serves every induced
-            # subgraph; ``None`` (cyclic, only when step 4 was skipped)
-            # keeps the per-reduction cycle check of the legacy pipeline.
-            rank = _topological_ranks(edges, n)
             marked: Set[int] = set()
-            chunked = [
-                (n, rank, chunk)
-                for chunk in split_chunks(distinct_keys, jobs)
-            ]
-            for reduced_chunk in process_map_timed(
-                _reduce_chunk,
-                chunked,
-                jobs,
-                recorder=trace.recorder,
-                stage="step5_reduce",
-            ):
-                for kept in reduced_chunk:
-                    marked |= kept
+            if reduction_memo is None:
+                missing = distinct_keys
+            else:
+                # A reduction depends only on its induced edge set, so
+                # memoized keys skip the fan-out entirely; their kept
+                # edges fold in below like freshly computed ones.
+                missing = []
+                for key in distinct_keys:
+                    kept = reduction_memo.get(key)
+                    if kept is None:
+                        missing.append(key)
+                    else:
+                        marked |= kept
+            trace.reduction_cache_hits = len(packed) - len(missing)
+            trace.reduction_cache_misses = len(missing)
+            if missing:
+                # One Kahn pass over the surviving edges serves every
+                # induced subgraph; ``None`` (cyclic, only when step 4
+                # was skipped) keeps the per-reduction cycle check of
+                # the legacy pipeline.
+                rank = _topological_ranks(edges, n)
+                chunked = [
+                    (n, rank, chunk)
+                    for chunk in split_chunks(missing, jobs)
+                ]
+                for (_, _, keys), reduced_chunk in zip(
+                    chunked,
+                    process_map_timed(
+                        _reduce_chunk,
+                        chunked,
+                        jobs,
+                        recorder=trace.recorder,
+                        stage="step5_reduce",
+                    ),
+                ):
+                    for key, kept in zip(keys, reduced_chunk):
+                        if reduction_memo is not None:
+                            reduction_memo[key] = kept
+                        marked |= kept
             edges = marked
 
     # Materialize the label-level graph.  Node set mirrors the legacy
@@ -641,8 +676,9 @@ def _mine_packed(
                 key=repr,
             )
         )
+        labels = table.labels
         for code in edges:
-            graph.add_edge(*table.unpack(code))
+            graph.add_edge(labels[code // n], labels[code % n])
         trace.edges_after_step6 = graph.edge_count
     trace.publish()
     return graph

@@ -4,16 +4,19 @@ The paper emphasizes that Algorithm 1 runs "in one pass over the log",
 and its motivating deployment — Flowmark recording executions as users
 perform them — is inherently incremental: executions arrive one at a
 time over weeks.  :class:`IncrementalMiner` supports that deployment: it
-maintains the sufficient statistics of steps 2–4 (ordered-pair counts,
-overlap counts, deduplicated trace variants with multiplicities) as
-executions stream in, and materializes the current mined graph on
-demand through the weighted variant core
-(:func:`~repro.core.general_dag.mine_variants`).
+maintains a :class:`~repro.core.state.MiningState` (the mergeable
+sufficient statistics of steps 2–4: ordered-pair counts, overlap
+counts, deduplicated trace variants with multiplicities) as executions
+stream in, and materializes the current mined graph on demand through
+:meth:`MiningState.finish <repro.core.state.MiningState.finish>`.
 
 The streaming state is exactly what the batch pipeline consumes, so the
 result is *identical* to re-running :func:`~repro.core.general_dag.
 mine_general_dag` (or :func:`~repro.core.cyclic.mine_cyclic`) on all
-executions seen so far — a property the test suite asserts.
+executions seen so far — a property the test suite asserts.  Because
+the state is mergeable, checkpoints written by this miner are also
+valid shard states for the CLI's ``merge-states`` command, and vice
+versa.
 
 Besides ``graph()``, the miner exposes ``stability()``: the number of
 consecutive executions that have not changed the mined edge set, which a
@@ -23,69 +26,39 @@ process").
 
 from __future__ import annotations
 
-import json
 import os
-import tempfile
 import time
-from collections import Counter
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.core.cyclic import merge_instances
-from repro.core.general_dag import (
-    MiningTrace,
-    PreparedExecution,
-    mine_variants,
+from repro.core.general_dag import MiningTrace
+from repro.core.state import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    MODE_CYCLIC,
+    MODE_GENERAL,
+    MiningState,
+    load_state,
+    save_state,
 )
-from repro.core.interning import intern_variants
-from repro.errors import CheckpointError, EmptyLogError
+from repro.errors import EmptyLogError
 from repro.graphs.digraph import DiGraph
 from repro.logs.event_log import EventLog
 from repro.logs.execution import Execution
 from repro.obs.recorder import Recorder, resolve_recorder
 
-MODE_GENERAL = "general-dag"
-MODE_CYCLIC = "cyclic"
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "MODE_CYCLIC",
+    "MODE_GENERAL",
+    "IncrementalMiner",
+]
 
 _MODES = (MODE_GENERAL, MODE_CYCLIC)
 
-CHECKPOINT_FORMAT = "repro-incremental-checkpoint"
-#: Current checkpoint version.  v1 stored one JSON entry per execution
-#: with label-level pair lists; v2 deduplicates into weighted trace
-#: variants and carries the interning table, storing pairs as packed
-#: ``u_id * n + v_id`` codes.  :meth:`IncrementalMiner.resume` reads
-#: both.
-CHECKPOINT_VERSION = 2
-
 PathOrStr = Union[str, Path]
-
-
-def _vertex_to_json(vertex):
-    # Vertices are activity names (str) in general mode and labelled
-    # instances ``(activity, occurrence)`` in cyclic mode.
-    if isinstance(vertex, tuple):
-        return [vertex[0], vertex[1]]
-    return vertex
-
-
-def _vertex_from_json(value):
-    if isinstance(value, list):
-        if len(value) != 2:
-            raise CheckpointError(f"bad labelled vertex {value!r}")
-        return (str(value[0]), int(value[1]))
-    return value
-
-
-def _pairs_to_json(pairs):
-    return sorted(
-        [[_vertex_to_json(u), _vertex_to_json(v)] for u, v in pairs]
-    )
-
-
-def _pairs_from_json(values):
-    return frozenset(
-        (_vertex_from_json(u), _vertex_from_json(v)) for u, v in values
-    )
 
 
 class IncrementalMiner:
@@ -128,11 +101,7 @@ class IncrementalMiner:
         self.mode = mode
         self.threshold = threshold
         self.recorder: Recorder = resolve_recorder(recorder)
-        # Identical prepared executions collapse into one weighted
-        # variant (Counter preserves first-seen order), so long streams
-        # dominated by repeated traces stay cheap to re-mine.
-        self._variants: Counter = Counter()
-        self._execution_count = 0
+        self._state = MiningState(labelled=(mode == MODE_CYCLIC))
         self._last_edges: Optional[frozenset] = None
         self._stable_since = 0
         self._dirty = True
@@ -143,26 +112,13 @@ class IncrementalMiner:
     # ------------------------------------------------------------------
     def add(self, execution: Execution) -> None:
         """Ingest one execution."""
-        if self.mode == MODE_CYCLIC:
-            prepared = PreparedExecution(
-                vertices=frozenset(execution.labelled_sequence()),
-                pairs=execution.labelled_ordered_pair_set(),
-                overlaps=execution.labelled_overlapping_pair_set(),
-            )
-        else:
-            prepared = PreparedExecution(
-                vertices=execution.activities,
-                pairs=execution.ordered_pair_set(),
-                overlaps=execution.overlapping_pair_set(),
-            )
-        self._variants[prepared] += 1
-        self._execution_count += 1
+        self._state.update(execution)
         self._dirty = True
 
     def add_sequence(self, activities, execution_id: str = "") -> None:
         """Ingest one execution given as an activity sequence."""
         execution_id = (
-            execution_id or f"stream-{self._execution_count:06d}"
+            execution_id or f"stream-{self.execution_count:06d}"
         )
         self.add(
             Execution.from_sequence(
@@ -175,18 +131,33 @@ class IncrementalMiner:
         for execution in log:
             self.add(execution)
 
+    def absorb(self, state: MiningState) -> None:
+        """Merge a shard's :class:`MiningState` into this miner.
+
+        The shard must match the miner's mode (labelled for cyclic,
+        plain for general-dag).  Afterwards the miner behaves as if it
+        had ingested the shard's executions itself.
+        """
+        self._state.merge(state)
+        self._dirty = True
+
     # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
     @property
     def execution_count(self) -> int:
         """Number of executions ingested so far."""
-        return self._execution_count
+        return self._state.execution_count
 
     @property
     def variant_count(self) -> int:
         """Number of distinct trace variants ingested so far."""
-        return len(self._variants)
+        return self._state.variant_count
+
+    @property
+    def state(self) -> MiningState:
+        """The miner's live mining state (treat as read-only)."""
+        return self._state
 
     def graph(self, trace: Optional[MiningTrace] = None) -> DiGraph:
         """Materialize the mined graph over everything seen so far.
@@ -194,7 +165,7 @@ class IncrementalMiner:
         Identical to running the batch miner on the accumulated log.
         Raises :class:`EmptyLogError` before the first execution.
         """
-        if not self._variants:
+        if self._state.execution_count == 0:
             raise EmptyLogError("no executions ingested yet")
         if not self._dirty and self._cached_graph is not None and (
             trace is None
@@ -203,10 +174,8 @@ class IncrementalMiner:
         if trace is None:
             trace = MiningTrace(recorder=self.recorder)
         with self.recorder.span("incremental/materialize"):
-            mined = mine_variants(
-                list(self._variants.items()),
-                threshold=self.threshold,
-                trace=trace,
+            mined = self._state.finish(
+                threshold=self.threshold, trace=trace
             )
             if self.mode == MODE_CYCLIC:
                 mined = merge_instances(mined)
@@ -232,8 +201,7 @@ class IncrementalMiner:
 
     def reset(self) -> None:
         """Discard all ingested executions and cached state."""
-        self._variants.clear()
-        self._execution_count = 0
+        self._state = MiningState(labelled=(self.mode == MODE_CYCLIC))
         self._last_edges = None
         self._stable_since = 0
         self._dirty = True
@@ -245,70 +213,35 @@ class IncrementalMiner:
     def checkpoint(self, path: PathOrStr) -> None:
         """Write the miner's sufficient statistics to ``path``, atomically.
 
-        The checkpoint is a JSON document (format version 2) holding the
-        interning table and the deduplicated trace variants — vertex ids
-        and packed ``u_id * n + v_id`` pair codes with multiplicities —
-        plus the stability counter: everything needed to make
+        The checkpoint is a JSON document (format version 3): the
+        canonical :meth:`MiningState.to_payload
+        <repro.core.state.MiningState.to_payload>` serialization plus
+        the stability counters — everything needed to make
         :meth:`resume` followed by further ``add`` calls
         indistinguishable from one uninterrupted miner.  The file is
         written to a temporary sibling and moved into place with
         :func:`os.replace`, so a crash mid-write never leaves a partial
-        checkpoint behind.
+        checkpoint behind.  Checkpoints double as ``merge-states``
+        shard inputs.
         """
         path = Path(path)
         with self.recorder.span("incremental/checkpoint"):
-            self._write_checkpoint(path)
+            save_state(
+                self._state,
+                path,
+                mode=self.mode,
+                threshold=self.threshold,
+                last_edges=self._last_edges,
+                stable_since=self._stable_since,
+            )
         stat = path.stat()
         self.recorder.gauge("repro_checkpoint_bytes", stat.st_size)
         self.recorder.gauge(
-            "repro_checkpoint_variants", len(self._variants)
+            "repro_checkpoint_variants", self.variant_count
         )
         self.recorder.gauge(
-            "repro_checkpoint_executions", self._execution_count
+            "repro_checkpoint_executions", self.execution_count
         )
-
-    def _write_checkpoint(self, path: Path) -> None:
-        table, packed = intern_variants(list(self._variants.items()))
-        payload = {
-            "format": CHECKPOINT_FORMAT,
-            "version": CHECKPOINT_VERSION,
-            "mode": self.mode,
-            "threshold": self.threshold,
-            "labels": [_vertex_to_json(label) for label in table.labels],
-            "variants": [
-                {
-                    "vertices": sorted(variant.vertices),
-                    "pairs": sorted(variant.pairs),
-                    "overlaps": sorted(variant.overlaps),
-                    "count": variant.multiplicity,
-                }
-                for variant in packed
-            ],
-            "execution_count": self._execution_count,
-            "last_edges": (
-                _pairs_to_json(self._last_edges)
-                if self._last_edges is not None
-                else None
-            ),
-            "stable_since": self._stable_since,
-        }
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent or Path("."),
-            prefix=path.name + ".",
-            suffix=".tmp",
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, separators=(",", ":"))
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
 
     @classmethod
     def resume(
@@ -318,10 +251,12 @@ class IncrementalMiner:
     ) -> "IncrementalMiner":
         """Reconstruct a miner from a :meth:`checkpoint` file.
 
-        With a recorder, the checkpoint's size and age (seconds since
-        its last modification — how stale the resumed state is) are
-        recorded as ``repro_checkpoint_bytes`` /
-        ``repro_checkpoint_age_seconds`` gauges.
+        Reads checkpoint versions 1, 2 and 3 (see
+        :data:`repro.core.state.CHECKPOINT_VERSION`).  With a recorder,
+        the checkpoint's size and age (seconds since its last
+        modification — how stale the resumed state is) are recorded as
+        ``repro_checkpoint_bytes`` / ``repro_checkpoint_age_seconds``
+        gauges.
 
         Raises
         ------
@@ -338,96 +273,14 @@ class IncrementalMiner:
                 max(time.time() - stat.st_mtime, 0.0),
             )
         except OSError:
-            pass  # the open() below reports unreadable paths properly
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError) as exc:
-            raise CheckpointError(
-                f"cannot read checkpoint {path!s}: {exc}"
-            ) from exc
-        if not isinstance(payload, dict) or payload.get(
-            "format"
-        ) != CHECKPOINT_FORMAT:
-            raise CheckpointError(
-                f"{path!s} is not an incremental-miner checkpoint"
-            )
-        version = payload.get("version")
-        if version not in (1, 2):
-            raise CheckpointError(
-                f"unsupported checkpoint version {version!r}"
-            )
-        try:
-            miner = cls(
-                mode=payload["mode"],
-                threshold=payload["threshold"],
-                recorder=recorder,
-            )
-            if version == 1:
-                cls._load_v1_executions(miner, payload["executions"])
-            else:
-                cls._load_v2_variants(
-                    miner, payload["labels"], payload["variants"]
-                )
-                miner._execution_count = int(payload["execution_count"])
-            last_edges = payload["last_edges"]
-            miner._last_edges = (
-                _pairs_from_json(last_edges)
-                if last_edges is not None
-                else None
-            )
-            miner._stable_since = int(payload["stable_since"])
-        except (
-            KeyError,
-            TypeError,
-            ValueError,
-            IndexError,
-            ZeroDivisionError,
-        ) as exc:
-            raise CheckpointError(
-                f"corrupt checkpoint {path!s}: {exc}"
-            ) from exc
+            pass  # load_state() below reports unreadable paths properly
+        state, meta = load_state(path)
+        miner = cls(
+            mode=meta["mode"],
+            threshold=meta["threshold"],
+            recorder=recorder,
+        )
+        miner._state = state
+        miner._last_edges = meta["last_edges"]
+        miner._stable_since = meta["stable_since"]
         return miner
-
-    @staticmethod
-    def _load_v1_executions(miner: "IncrementalMiner", entries) -> None:
-        """Ingest v1's one-entry-per-execution label-level payload."""
-        for entry in entries:
-            prepared = PreparedExecution(
-                vertices=frozenset(
-                    _vertex_from_json(v) for v in entry["vertices"]
-                ),
-                pairs=_pairs_from_json(entry["pairs"]),
-                overlaps=_pairs_from_json(entry["overlaps"]),
-            )
-            miner._variants[prepared] += 1
-            miner._execution_count += 1
-
-    @staticmethod
-    def _load_v2_variants(
-        miner: "IncrementalMiner", labels, entries
-    ) -> None:
-        """Ingest v2's interning table + packed weighted variants."""
-        table = [_vertex_from_json(label) for label in labels]
-        n = len(table)
-
-        def unpack_codes(codes):
-            return frozenset(
-                (table[int(code) // n], table[int(code) % n])
-                for code in codes
-            )
-
-        for entry in entries:
-            count = int(entry["count"])
-            if count < 1:
-                raise CheckpointError(
-                    f"bad variant multiplicity {entry['count']!r}"
-                )
-            prepared = PreparedExecution(
-                vertices=frozenset(
-                    table[int(v)] for v in entry["vertices"]
-                ),
-                pairs=unpack_codes(entry["pairs"]),
-                overlaps=unpack_codes(entry["overlaps"]),
-            )
-            miner._variants[prepared] += count

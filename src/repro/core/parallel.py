@@ -10,7 +10,11 @@ Work is split into contiguous chunks, one future per chunk, and the
 results are merged in submission order, so the outcome is deterministic
 and identical to the serial path: the stages that fan out (pair
 extraction, per-variant transitive reductions) produce per-item values
-or sets whose union is order-independent.
+or sets whose union is order-independent.  :func:`process_fold` is the
+streaming variant: it consumes an *iterator* of chunks with a bounded
+in-flight window and folds each worker's single compact result into an
+accumulator in submission order, so neither the input nor the per-item
+results are ever materialized in the parent.
 
 If a process pool cannot be created at all (restricted sandboxes with no
 ``fork``/``spawn``), the helpers degrade to serial execution rather than
@@ -20,8 +24,19 @@ failing the mine.
 from __future__ import annotations
 
 import os
+import pickle
+from collections import deque
 from time import perf_counter
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Deque,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.obs.recorder import NULL_RECORDER, Recorder
 
@@ -85,17 +100,30 @@ def split_chunks(
     return result
 
 
+def _note_pool_fallback(recorder: Recorder, stage: str) -> None:
+    """Record one degrade-to-serial event on ``recorder``."""
+    recorder.count(
+        "repro_parallel_pool_fallback_total",
+        1,
+        labels={"stage": stage},
+    )
+
+
 def process_map(
     fn: Callable[[_Chunk], _Result],
     chunked_args: Sequence[_Chunk],
     jobs: int,
+    recorder: Recorder = NULL_RECORDER,
+    stage: str = "",
 ) -> List[_Result]:
     """Apply ``fn`` to each chunk, in worker processes when ``jobs > 1``.
 
     Results come back in submission order regardless of completion
     order.  ``fn`` must be a module-level function and the chunks must
     be picklable.  Falls back to serial execution when the pool cannot
-    be created or there is nothing worth fanning out.
+    be created or there is nothing worth fanning out; with an enabled
+    ``recorder`` the degrade is visible as one increment of
+    ``repro_parallel_pool_fallback_total{stage}``.
     """
     if jobs <= 1 or len(chunked_args) <= 1:
         return [fn(chunk) for chunk in chunked_args]
@@ -108,6 +136,7 @@ def process_map(
             return list(pool.map(fn, chunked_args))
     except (OSError, ImportError):
         # No usable process pool in this environment — mine serially.
+        _note_pool_fallback(recorder, stage)
         return [fn(chunk) for chunk in chunked_args]
 
 
@@ -140,9 +169,11 @@ def process_map_timed(
     Under the null recorder this is exactly :func:`process_map`.
     """
     if not recorder.enabled:
-        return process_map(fn, chunked_args, jobs)
+        return process_map(fn, chunked_args, jobs, recorder, stage)
     results: List[_Result] = []
-    for elapsed, result in process_map(_Timed(fn), chunked_args, jobs):
+    for elapsed, result in process_map(
+        _Timed(fn), chunked_args, jobs, recorder, stage
+    ):
         recorder.observe(
             "repro_parallel_chunk_seconds",
             elapsed,
@@ -155,3 +186,81 @@ def process_map_timed(
         labels={"stage": stage},
     )
     return results
+
+
+def process_fold(
+    fn: Callable[[_Chunk], _Result],
+    chunk_iter: Iterable[_Chunk],
+    jobs: int,
+    fold: Callable[[_Result], object],
+    recorder: Recorder = NULL_RECORDER,
+    stage: str = "",
+) -> int:
+    """Stream chunks through ``fn``, folding each result in order.
+
+    The out-of-core counterpart of :func:`process_map`: ``chunk_iter``
+    is consumed lazily with at most ``2 * jobs`` chunks in flight, and
+    each worker's single compact result is handed to ``fold`` in
+    *submission* order, so the outcome matches the serial fold exactly
+    whenever ``fold`` is deterministic.  Neither the chunks nor the
+    results are ever held all at once, which is what keeps streaming
+    mining's memory constant in the number of executions.
+
+    With an enabled recorder, the bytes actually shipped back over IPC
+    are counted into ``repro_parallel_ipc_bytes_total{stage,
+    payload="result"}`` (pickled result size — the pool's own wire
+    encoding).  Falls back to serial execution when the pool cannot be
+    created, incrementing ``repro_parallel_pool_fallback_total{stage}``.
+    Returns the number of chunks folded.
+    """
+    chunks = iter(chunk_iter)
+    folded = 0
+    if jobs > 1:
+        try:
+            first = next(chunks)
+        except StopIteration:
+            return 0
+        pool = None
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(max_workers=jobs)
+            pending: Deque = deque()
+            # Worker spawn happens inside submit, so sandboxes with no
+            # usable fork/spawn fail here — before any result has been
+            # folded — and the serial fallback sees every chunk.
+            pending.append(pool.submit(fn, first))
+        except (OSError, ImportError):
+            if pool is not None:
+                pool.shutdown(wait=False)
+            _note_pool_fallback(recorder, stage)
+            fold(fn(first))
+            folded += 1
+        else:
+            measure = recorder.enabled
+
+            def drain() -> None:
+                nonlocal folded
+                result = pending.popleft().result()
+                if measure:
+                    recorder.count(
+                        "repro_parallel_ipc_bytes_total",
+                        len(pickle.dumps(result)),
+                        labels={"stage": stage, "payload": "result"},
+                    )
+                fold(result)
+                folded += 1
+
+            window = 2 * jobs
+            with pool:
+                for chunk in chunks:
+                    pending.append(pool.submit(fn, chunk))
+                    while len(pending) >= window:
+                        drain()
+                while pending:
+                    drain()
+            return folded
+    for chunk in chunks:
+        fold(fn(chunk))
+        folded += 1
+    return folded

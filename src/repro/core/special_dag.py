@@ -94,14 +94,21 @@ def mine_special_dag(
     with recorder.span("mine/step3_filters"):
         edges: Set[int] = set()
         independent: Set[int] = set()
+        # Pack inline into the two mutable sets rather than through
+        # ``pack_pairs``: one intermediate frozenset per variant (two
+        # per overlap-bearing variant) never gets allocated.
+        index = table.index
         for variant in distinct:
-            edges |= table.pack_pairs(variant.pairs)
-            for code in table.pack_pairs(variant.overlaps):
+            edges.update(
+                index[u] * n + index[v] for u, v in variant.pairs
+            )
+            for u, v in variant.overlaps:
                 # Overlapping activities are independent (Section 2) —
                 # equivalent to having seen the pair in both orders.
-                u, v = divmod(code, n)
-                independent.add(code)
-                independent.add(v * n + u)
+                u_id = index[u]
+                v_id = index[v]
+                independent.add(u_id * n + v_id)
+                independent.add(v_id * n + u_id)
         pairs_extracted = len(edges)
         edges -= independent
 
@@ -125,8 +132,9 @@ def mine_special_dag(
 
     with recorder.span("mine/step6_assemble"):
         graph = DiGraph(nodes=sorted(activities))
+        table_labels = table.labels
         for code in kept:
-            graph.add_edge(*table.unpack(code))
+            graph.add_edge(table_labels[code // n], table_labels[code % n])
     recorder.count("repro_mine_executions_total", len(log))
     recorder.count("repro_mine_variants_total", len(distinct))
     recorder.count("repro_mine_pairs_extracted_total", pairs_extracted)

@@ -28,12 +28,16 @@ from typing import IO, Iterable, Iterator, Optional, Tuple, Union
 from repro.errors import LogFormatError
 from repro.logs.event_log import EventLog
 from repro.logs.events import EventRecord
+from repro.logs.execution import Execution
 from repro.logs.ingest import (
+    DEFAULT_STREAM_WINDOW,
     POLICY_STRICT,
     IngestLimits,
+    IngestReport,
     IngestResult,
     Quarantine,
     ingest_lines,
+    iter_ingest_lines,
 )
 
 FIELD_SEPARATOR = "\t"
@@ -187,6 +191,53 @@ def ingest_log_file(
     with open(path, "r", encoding="utf-8") as handle:
         return ingest_log(
             handle, policy=policy, limits=limits, quarantine=quarantine
+        )
+
+
+def iter_ingest_log(
+    stream: IO[str],
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+    report: Optional[IngestReport] = None,
+    window: Optional[int] = DEFAULT_STREAM_WINDOW,
+) -> Iterator[Execution]:
+    """Stream executions out of a log without building an ``EventLog``.
+
+    The out-of-core reader behind ``mine --stream``: executions are
+    yielded as their record buckets finalize, so memory stays bounded by
+    the ``window`` of open executions instead of the whole log.  See
+    :func:`repro.logs.ingest.iter_ingest_lines` for the policy, limit,
+    window and report semantics.
+    """
+    return iter_ingest_lines(
+        _numbered_lines(stream),
+        parse_record,
+        policy=policy,
+        limits=limits,
+        quarantine=quarantine,
+        report=report,
+        window=window,
+    )
+
+
+def iter_ingest_log_file(
+    path: PathOrStr,
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+    report: Optional[IngestReport] = None,
+    window: Optional[int] = DEFAULT_STREAM_WINDOW,
+) -> Iterator[Execution]:
+    """Stream executions out of a log file (see :func:`iter_ingest_log`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from iter_ingest_log(
+            handle,
+            policy=policy,
+            limits=limits,
+            quarantine=quarantine,
+            report=report,
+            window=window,
         )
 
 

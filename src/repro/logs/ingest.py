@@ -68,13 +68,22 @@ REASON_BAD_LINE = "bad-line"
 REASON_MIXED_PROCESS = "mixed-process"
 REASON_MALFORMED_EXECUTION = "malformed-execution"
 REASON_EMPTY_EXECUTION = "empty-execution"
+REASON_LATE_RECORD = "late-record"
 
 QUARANTINE_REASONS = (
     REASON_BAD_LINE,
     REASON_MIXED_PROCESS,
     REASON_MALFORMED_EXECUTION,
     REASON_EMPTY_EXECUTION,
+    REASON_LATE_RECORD,
 )
+
+#: Default finalization window of :func:`iter_ingest_lines`: an open
+#: execution whose last record is this many accepted records behind the
+#: stream head is considered complete.  Logs written by our codecs store
+#: each execution contiguously (any window >= 1 suffices); the default
+#: leaves generous room for interleaved hand-written logs.
+DEFAULT_STREAM_WINDOW = 1024
 
 
 @dataclass(frozen=True)
@@ -193,6 +202,9 @@ class IngestReport:
     quarantined_lines: int = 0
     quarantined_executions: int = 0
     reasons: Counter = field(default_factory=Counter)
+    #: The log's process name (first record wins), filled during ingest
+    #: so streaming callers — which never see an EventLog — get it too.
+    process_name: Optional[str] = None
 
     @property
     def dropped(self) -> int:
@@ -253,6 +265,249 @@ def _record_payload(records: Iterable[EventRecord]) -> List[dict]:
     ]
 
 
+def _finalize_execution(
+    eid: str,
+    records: List[EventRecord],
+    policy: str,
+    sink: Quarantine,
+    report: IngestReport,
+) -> Optional[Execution]:
+    """Close one execution's record bucket: repair, build, or divert.
+
+    Returns the accepted :class:`Execution` (report updated), or
+    ``None`` when the bucket was quarantined.  Under ``strict`` a
+    malformed execution raises instead, exactly like the plain readers.
+    """
+    applied: Counter = Counter()
+    if policy == POLICY_REPAIR:
+        records, applied = repair_records(records)
+    try:
+        execution = Execution(eid, records)
+    except MalformedExecutionError as exc:
+        if policy == POLICY_STRICT:
+            raise
+        sink.add(
+            QuarantinedItem(
+                kind="execution",
+                reason=REASON_MALFORMED_EXECUTION,
+                detail=str(exc),
+                execution_id=eid,
+                payload=_record_payload(records),
+            )
+        )
+        report.quarantined_executions += 1
+        report.reasons[REASON_MALFORMED_EXECUTION] += 1
+        return None
+    if policy == POLICY_REPAIR and len(execution) == 0:
+        applied[REPAIR_DROPPED_EMPTY_TRACE] += 1
+        report.repairs.update(applied)
+        sink.add(
+            QuarantinedItem(
+                kind="execution",
+                reason=REASON_EMPTY_EXECUTION,
+                detail="no completed activity instance",
+                execution_id=eid,
+                payload=_record_payload(records),
+            )
+        )
+        report.quarantined_executions += 1
+        report.reasons[REASON_EMPTY_EXECUTION] += 1
+        return None
+    if applied:
+        report.repaired_executions += 1
+        report.repairs.update(applied)
+    report.accepted_executions += 1
+    report.accepted_records += len(records)
+    return execution
+
+
+def iter_ingest_lines(
+    numbered_lines: Iterable[Tuple[int, str]],
+    parse_line: LineParser,
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+    report: Optional[IngestReport] = None,
+    window: Optional[int] = DEFAULT_STREAM_WINDOW,
+) -> Iterator[Execution]:
+    """Stream executions out of a line stream under an error policy.
+
+    The out-of-core counterpart of :func:`ingest_lines`: executions are
+    yielded as they *finalize* instead of being collected into an
+    :class:`~repro.logs.event_log.EventLog`, so memory is bounded by the
+    open-execution window — not the log.  An execution finalizes once
+    ``window`` accepted records have streamed past without adding to it
+    (our codecs write executions contiguously, so any window works for
+    round-tripped files); remaining open executions finalize at end of
+    stream in first-seen order.  ``window=None`` disables early
+    finalization entirely, reproducing batch semantics — and batch
+    ingestion is implemented as exactly that.
+
+    A record arriving for an already-finalized execution is a
+    ``late-record``: an error under ``strict``, a quarantined line
+    otherwise.  Late-record detection keeps one set entry per finalized
+    execution *id* — bytes per execution, the one deliberate deviation
+    from strictly constant memory.
+
+    Line errors, process-name mixing, repairs and resource guards
+    behave exactly as in :func:`ingest_lines`.  Pass ``report`` (and a
+    ``quarantine``) in to inspect the accounting after exhaustion; the
+    report's ``process_name`` is filled from the first record.
+
+    Yields accepted executions in finalization order.  The generator
+    must be fully consumed for the report to be complete.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+    if window is not None and window < 1:
+        raise ValueError("window must be >= 1 or None")
+    limits = limits if limits is not None else IngestLimits()
+    sink = quarantine if quarantine is not None else Quarantine()
+    report = report if report is not None else IngestReport()
+    report.policy = policy
+
+    # ``grouped`` holds the open executions.  With a window it is kept
+    # in last-touched order (pop + reinsert on every record) so the
+    # least-recently-touched bucket is always first; ``touch`` maps each
+    # open eid to the accepted-record index that last extended it.
+    grouped: Dict[str, List[EventRecord]] = {}
+    touch: Dict[str, int] = {}
+    finalized: Set[str] = set()
+    activities: Set[str] = set()
+    record_index = 0
+
+    for line_number, raw_line in numbered_lines:
+        try:
+            name, record = parse_line(raw_line, line_number)
+        except LogFormatError as exc:
+            if policy == POLICY_STRICT:
+                raise
+            sink.add(
+                QuarantinedItem(
+                    kind="line",
+                    reason=REASON_BAD_LINE,
+                    detail=str(exc),
+                    line_number=line_number,
+                    payload=raw_line.rstrip("\n"),
+                )
+            )
+            report.quarantined_lines += 1
+            report.reasons[REASON_BAD_LINE] += 1
+            continue
+        if report.process_name is None:
+            report.process_name = name
+        elif name != report.process_name:
+            if policy == POLICY_STRICT:
+                raise LogFormatError(
+                    f"log mixes processes {report.process_name!r} "
+                    f"and {name!r}",
+                    line_number,
+                )
+            sink.add(
+                QuarantinedItem(
+                    kind="line",
+                    reason=REASON_MIXED_PROCESS,
+                    detail=(
+                        f"record of process {name!r} in a log of "
+                        f"{report.process_name!r}"
+                    ),
+                    line_number=line_number,
+                    payload=raw_line.rstrip("\n"),
+                )
+            )
+            report.quarantined_lines += 1
+            report.reasons[REASON_MIXED_PROCESS] += 1
+            continue
+        eid = record.execution_id
+        if eid in finalized:
+            if policy == POLICY_STRICT:
+                raise LogFormatError(
+                    f"record for execution {eid!r} arrived after its "
+                    f"finalization window closed; raise --stream-window "
+                    f"or sort the log by execution",
+                    line_number,
+                )
+            sink.add(
+                QuarantinedItem(
+                    kind="line",
+                    reason=REASON_LATE_RECORD,
+                    detail=(
+                        f"execution {eid!r} already finalized; record "
+                        f"arrived more than {window} records late"
+                    ),
+                    line_number=line_number,
+                    execution_id=eid,
+                    payload=raw_line.rstrip("\n"),
+                )
+            )
+            report.quarantined_lines += 1
+            report.reasons[REASON_LATE_RECORD] += 1
+            continue
+        bucket = grouped.get(eid)
+        if bucket is None:
+            if (
+                limits.max_executions is not None
+                and len(grouped) + len(finalized) >= limits.max_executions
+            ):
+                raise ResourceLimitError(
+                    "max_executions",
+                    limits.max_executions,
+                    f"execution {eid!r} at line {line_number}",
+                )
+            bucket = grouped[eid] = []
+        elif window is not None:
+            # Move to the recency end so the front stays oldest.
+            grouped.pop(eid)
+            grouped[eid] = bucket
+        if (
+            limits.max_events_per_execution is not None
+            and len(bucket) >= limits.max_events_per_execution
+        ):
+            raise ResourceLimitError(
+                "max_events_per_execution",
+                limits.max_events_per_execution,
+                f"execution {eid!r} at line {line_number}",
+            )
+        if record.activity not in activities:
+            if (
+                limits.max_activities is not None
+                and len(activities) >= limits.max_activities
+            ):
+                raise ResourceLimitError(
+                    "max_activities",
+                    limits.max_activities,
+                    f"activity {record.activity!r} at line {line_number}",
+                )
+            activities.add(record.activity)
+        bucket.append(record)
+        record_index += 1
+        touch[eid] = record_index
+        if window is None:
+            continue
+        while grouped:
+            oldest = next(iter(grouped))
+            if record_index - touch[oldest] < window:
+                break
+            records = grouped.pop(oldest)
+            del touch[oldest]
+            finalized.add(oldest)
+            execution = _finalize_execution(
+                oldest, records, policy, sink, report
+            )
+            if execution is not None:
+                yield execution
+
+    # End of stream: close the remaining buckets in first-seen order
+    # (with a window, recency order equals first-seen order for the
+    # survivors only in contiguous logs; first-seen matches batch).
+    for eid in list(grouped):
+        execution = _finalize_execution(
+            eid, grouped.pop(eid), policy, sink, report
+        )
+        if execution is not None:
+            yield execution
+
+
 def ingest_lines(
     numbered_lines: Iterable[Tuple[int, str]],
     parse_line: LineParser,
@@ -288,140 +543,23 @@ def ingest_lines(
     ResourceLimitError
         When a guard in ``limits`` is exceeded, under any policy.
     """
-    if policy not in POLICIES:
-        raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
-    limits = limits if limits is not None else IngestLimits()
     sink = quarantine if quarantine is not None else Quarantine()
     report = IngestReport(policy=policy)
-
-    process_name: Optional[str] = None
-    grouped: Dict[str, List[EventRecord]] = {}
-    order: List[str] = []
-    activities: Set[str] = set()
-
-    for line_number, raw_line in numbered_lines:
-        try:
-            name, record = parse_line(raw_line, line_number)
-        except LogFormatError as exc:
-            if policy == POLICY_STRICT:
-                raise
-            sink.add(
-                QuarantinedItem(
-                    kind="line",
-                    reason=REASON_BAD_LINE,
-                    detail=str(exc),
-                    line_number=line_number,
-                    payload=raw_line.rstrip("\n"),
-                )
-            )
-            report.quarantined_lines += 1
-            report.reasons[REASON_BAD_LINE] += 1
-            continue
-        if process_name is None:
-            process_name = name
-        elif name != process_name:
-            if policy == POLICY_STRICT:
-                raise LogFormatError(
-                    f"log mixes processes {process_name!r} and {name!r}",
-                    line_number,
-                )
-            sink.add(
-                QuarantinedItem(
-                    kind="line",
-                    reason=REASON_MIXED_PROCESS,
-                    detail=(
-                        f"record of process {name!r} in a log of "
-                        f"{process_name!r}"
-                    ),
-                    line_number=line_number,
-                    payload=raw_line.rstrip("\n"),
-                )
-            )
-            report.quarantined_lines += 1
-            report.reasons[REASON_MIXED_PROCESS] += 1
-            continue
-        eid = record.execution_id
-        bucket = grouped.get(eid)
-        if bucket is None:
-            if (
-                limits.max_executions is not None
-                and len(grouped) >= limits.max_executions
-            ):
-                raise ResourceLimitError(
-                    "max_executions",
-                    limits.max_executions,
-                    f"execution {eid!r} at line {line_number}",
-                )
-            bucket = grouped[eid] = []
-            order.append(eid)
-        if (
-            limits.max_events_per_execution is not None
-            and len(bucket) >= limits.max_events_per_execution
-        ):
-            raise ResourceLimitError(
-                "max_events_per_execution",
-                limits.max_events_per_execution,
-                f"execution {eid!r} at line {line_number}",
-            )
-        if record.activity not in activities:
-            if (
-                limits.max_activities is not None
-                and len(activities) >= limits.max_activities
-            ):
-                raise ResourceLimitError(
-                    "max_activities",
-                    limits.max_activities,
-                    f"activity {record.activity!r} at line {line_number}",
-                )
-            activities.add(record.activity)
-        bucket.append(record)
-
-    executions: List[Execution] = []
-    for eid in order:
-        records = grouped[eid]
-        applied: Counter = Counter()
-        if policy == POLICY_REPAIR:
-            records, applied = repair_records(records)
-        try:
-            execution = Execution(eid, records)
-        except MalformedExecutionError as exc:
-            if policy == POLICY_STRICT:
-                raise
-            sink.add(
-                QuarantinedItem(
-                    kind="execution",
-                    reason=REASON_MALFORMED_EXECUTION,
-                    detail=str(exc),
-                    execution_id=eid,
-                    payload=_record_payload(records),
-                )
-            )
-            report.quarantined_executions += 1
-            report.reasons[REASON_MALFORMED_EXECUTION] += 1
-            continue
-        if policy == POLICY_REPAIR and len(execution) == 0:
-            applied[REPAIR_DROPPED_EMPTY_TRACE] += 1
-            report.repairs.update(applied)
-            sink.add(
-                QuarantinedItem(
-                    kind="execution",
-                    reason=REASON_EMPTY_EXECUTION,
-                    detail="no completed activity instance",
-                    execution_id=eid,
-                    payload=_record_payload(records),
-                )
-            )
-            report.quarantined_executions += 1
-            report.reasons[REASON_EMPTY_EXECUTION] += 1
-            continue
-        if applied:
-            report.repaired_executions += 1
-            report.repairs.update(applied)
-        executions.append(execution)
-        report.accepted_executions += 1
-        report.accepted_records += len(records)
-
-    log = EventLog(executions, process_name=process_name)
+    # Batch = streaming with finalization deferred to end of stream:
+    # every execution closes at EOF, in first-seen order, exactly as the
+    # one-shot grouping did.
+    executions = list(
+        iter_ingest_lines(
+            numbered_lines,
+            parse_line,
+            policy=policy,
+            limits=limits,
+            quarantine=sink,
+            report=report,
+            window=None,
+        )
+    )
+    log = EventLog(executions, process_name=report.process_name)
     return IngestResult(log=log, report=report, quarantine=sink)
 
 

@@ -23,12 +23,16 @@ from typing import IO, Iterator, Optional, Tuple, Union
 from repro.errors import LogFormatError
 from repro.logs.event_log import EventLog
 from repro.logs.events import EventRecord
+from repro.logs.execution import Execution
 from repro.logs.ingest import (
+    DEFAULT_STREAM_WINDOW,
     POLICY_STRICT,
     IngestLimits,
+    IngestReport,
     IngestResult,
     Quarantine,
     ingest_lines,
+    iter_ingest_lines,
 )
 
 PathOrStr = Union[str, Path]
@@ -156,6 +160,51 @@ def ingest_log_jsonl_file(
     with open(path, "r", encoding="utf-8") as handle:
         return ingest_log_jsonl(
             handle, policy=policy, limits=limits, quarantine=quarantine
+        )
+
+
+def iter_ingest_log_jsonl(
+    stream: IO[str],
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+    report: Optional[IngestReport] = None,
+    window: Optional[int] = DEFAULT_STREAM_WINDOW,
+) -> Iterator[Execution]:
+    """Stream executions out of a JSON-lines log (no ``EventLog``).
+
+    JSON-lines counterpart of :func:`repro.logs.codec.iter_ingest_log`;
+    see :func:`repro.logs.ingest.iter_ingest_lines` for the policy,
+    limit, window and report semantics.
+    """
+    return iter_ingest_lines(
+        _numbered_lines(stream),
+        record_from_json,
+        policy=policy,
+        limits=limits,
+        quarantine=quarantine,
+        report=report,
+        window=window,
+    )
+
+
+def iter_ingest_log_jsonl_file(
+    path: PathOrStr,
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+    report: Optional[IngestReport] = None,
+    window: Optional[int] = DEFAULT_STREAM_WINDOW,
+) -> Iterator[Execution]:
+    """Stream executions out of a JSON-lines log file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from iter_ingest_log_jsonl(
+            handle,
+            policy=policy,
+            limits=limits,
+            quarantine=quarantine,
+            report=report,
+            window=window,
         )
 
 

@@ -160,29 +160,45 @@ class TestCorruptCheckpoints:
             IncrementalMiner.resume(path)
 
 
-class TestCheckpointV2:
-    def test_checkpoint_writes_version_2_with_interning_table(
-        self, tmp_path
-    ):
-        path = tmp_path / "v2.ckpt"
+class TestCheckpointV3:
+    def test_checkpoint_writes_version_3_canonical_state(self, tmp_path):
+        path = tmp_path / "v3.ckpt"
         mined_all().checkpoint(path)
         payload = json.loads(path.read_text())
-        assert payload["version"] == 2
-        assert payload["labels"] == sorted(set("ABCDF"))
+        assert payload["version"] == 3
+        state = payload["state"]
+        assert state["labels"] == sorted(set("ABCDF"))
         # Duplicated sequences collapse into weighted variants.
-        assert len(payload["variants"]) < len(SEQUENCES)
+        assert len(state["variants"]) < len(SEQUENCES)
         assert (
-            sum(v["count"] for v in payload["variants"]) == len(SEQUENCES)
+            sum(v["count"] for v in state["variants"]) == len(SEQUENCES)
         )
-        assert payload["execution_count"] == len(SEQUENCES)
+        assert state["execution_count"] == len(SEQUENCES)
         # Pairs are packed codes relative to the labels table.
-        n = len(payload["labels"])
-        for variant in payload["variants"]:
+        n = len(state["labels"])
+        for variant in state["variants"]:
             for code in variant["pairs"]:
                 assert 0 <= code < n * n
 
+    def test_checkpoint_bytes_are_ingest_order_independent(
+        self, tmp_path
+    ):
+        # The v3 payload is canonical: two miners fed the same log in
+        # different orders write byte-identical checkpoints.
+        forward = IncrementalMiner()
+        backward = IncrementalMiner()
+        for seq in SEQUENCES:
+            forward.add_sequence(seq)
+        for seq in reversed(SEQUENCES):
+            backward.add_sequence(seq)
+        path_a = tmp_path / "fwd.ckpt"
+        path_b = tmp_path / "bwd.ckpt"
+        forward.checkpoint(path_a)
+        backward.checkpoint(path_b)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
     @pytest.mark.parametrize("mode", [MODE_GENERAL, MODE_CYCLIC])
-    def test_v2_roundtrip_preserves_variants_and_graph(
+    def test_v3_roundtrip_preserves_variants_and_graph(
         self, tmp_path, mode
     ):
         path = tmp_path / "round.ckpt"
@@ -223,6 +239,30 @@ class TestCheckpointV2:
         assert miner.execution_count == 2
         assert miner.variant_count == 1
         assert miner.graph().edge_set() == {("A", "B")}
+
+    def test_resume_reads_legacy_v2_payload(self, tmp_path):
+        # A v2 checkpoint (interning table + packed weighted variants)
+        # written by an earlier release must still resume.
+        path = tmp_path / "legacy2.ckpt"
+        path.write_text(json.dumps({
+            "format": "repro-incremental-checkpoint",
+            "version": 2,
+            "mode": MODE_GENERAL,
+            "threshold": 0,
+            "labels": ["A", "B", "C"],
+            "variants": [
+                # A->B->C packed against n=3: (0,1)=1, (1,2)=5, (0,2)=2.
+                {"vertices": [0, 1, 2], "pairs": [1, 2, 5],
+                 "overlaps": [], "count": 3},
+            ],
+            "execution_count": 3,
+            "last_edges": None,
+            "stable_since": 0,
+        }))
+        miner = IncrementalMiner.resume(path)
+        assert miner.execution_count == 3
+        assert miner.variant_count == 1
+        assert miner.graph().edge_set() == {("A", "B"), ("B", "C")}
 
     def test_v2_bad_multiplicity_is_corrupt(self, tmp_path):
         path = tmp_path / "badcount.ckpt"

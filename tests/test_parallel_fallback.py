@@ -1,0 +1,130 @@
+"""Degrade-to-serial behaviour when no process pool can be created.
+
+Restricted sandboxes (no ``fork``/``spawn``) must not fail a mine that
+asked for ``jobs > 1`` — the helpers fall back to serial execution with
+*identical* output, and the degrade is observable as one increment of
+``repro_parallel_pool_fallback_total{stage}``.  The pool is broken here
+by monkeypatching ``concurrent.futures.ProcessPoolExecutor`` (both
+helpers import it lazily inside the call, so the patch is seen).
+"""
+
+import concurrent.futures
+
+import pytest
+
+from repro.core.parallel import process_fold, process_map
+from repro.core.state import MiningState, fold_executions
+from repro.logs.execution import Execution
+from repro.obs.recorder import ObsRecorder
+
+
+class _NoPool:
+    """Stand-in executor whose construction always fails."""
+
+    def __init__(self, *args, **kwargs):
+        raise OSError("process pools are unavailable in this sandbox")
+
+
+@pytest.fixture
+def broken_pool(monkeypatch):
+    monkeypatch.setattr(
+        concurrent.futures, "ProcessPoolExecutor", _NoPool
+    )
+
+
+def _square_chunk(chunk):
+    return [item * item for item in chunk]
+
+
+def fallback_count(recorder, stage):
+    return recorder.registry.counter(
+        "repro_parallel_pool_fallback_total", {"stage": stage}
+    ).value
+
+
+class TestProcessMapFallback:
+    CHUNKS = [[1, 2], [3, 4], [5]]
+
+    def test_output_identical_to_serial(self, broken_pool):
+        assert process_map(_square_chunk, self.CHUNKS, jobs=4) == [
+            _square_chunk(chunk) for chunk in self.CHUNKS
+        ]
+
+    def test_fallback_counter_increments(self, broken_pool):
+        recorder = ObsRecorder()
+        process_map(
+            _square_chunk,
+            self.CHUNKS,
+            jobs=4,
+            recorder=recorder,
+            stage="reduce",
+        )
+        assert fallback_count(recorder, "reduce") == 1
+
+    def test_serial_request_never_touches_the_pool(self, broken_pool):
+        # jobs=1 must not even attempt pool creation, so no fallback.
+        recorder = ObsRecorder()
+        process_map(
+            _square_chunk,
+            self.CHUNKS,
+            jobs=1,
+            recorder=recorder,
+            stage="reduce",
+        )
+        assert fallback_count(recorder, "reduce") == 0
+
+
+class TestProcessFoldFallback:
+    CHUNKS = [[1, 2], [3, 4], [5, 6], [7]]
+
+    def test_folds_every_chunk_in_order(self, broken_pool):
+        seen = []
+        recorder = ObsRecorder()
+        folded = process_fold(
+            _square_chunk,
+            iter(self.CHUNKS),
+            jobs=4,
+            fold=seen.append,
+            recorder=recorder,
+            stage="stream_fold",
+        )
+        assert folded == len(self.CHUNKS)
+        assert seen == [_square_chunk(chunk) for chunk in self.CHUNKS]
+        assert fallback_count(recorder, "stream_fold") == 1
+
+    def test_empty_iterator_is_a_noop(self, broken_pool):
+        recorder = ObsRecorder()
+        folded = process_fold(
+            _square_chunk,
+            iter([]),
+            jobs=4,
+            fold=lambda result: None,
+            recorder=recorder,
+            stage="stream_fold",
+        )
+        assert folded == 0
+        assert fallback_count(recorder, "stream_fold") == 0
+
+
+class TestFoldExecutionsFallback:
+    SEQUENCES = ["ABCF", "ACDF", "ABDF", "ABCDF"] * 6
+
+    def executions(self):
+        return [
+            Execution.from_sequence(list(seq), execution_id=f"e{i:03d}")
+            for i, seq in enumerate(self.SEQUENCES)
+        ]
+
+    def test_streaming_fold_survives_a_dead_pool(self, broken_pool):
+        recorder = ObsRecorder()
+        degraded = fold_executions(
+            iter(self.executions()),
+            jobs=4,
+            chunk_size=5,
+            recorder=recorder,
+        )
+        serial = MiningState()
+        for execution in self.executions():
+            serial.update(execution)
+        assert degraded.to_payload() == serial.to_payload()
+        assert fallback_count(recorder, "stream_fold") == 1

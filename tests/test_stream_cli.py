@@ -1,0 +1,296 @@
+"""CLI surface of out-of-core mining: ``mine --stream``, ``--state-out``
+and the ``merge-states`` subcommand.
+
+Every test drives :func:`repro.cli.main` exactly as a shell would and
+asserts the streaming path agrees with the batch path on the *rendered*
+output — the graph a user actually sees.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core.incremental import IncrementalMiner
+from repro.core.state import load_state
+from repro.logs.codec import write_log_file
+from repro.logs.event_log import EventLog
+from repro.logs.execution import Execution
+
+SEQUENCES = ["ABCF", "ACDF", "ABDF", "ABCDF", "ABCF", "ACDF"]
+CYCLIC = ["SLBE", "SLBLBE", "SLE"]
+
+
+def write_log(tmp_path, sequences, name="mine.tsv", process="claims"):
+    path = tmp_path / name
+    write_log_file(
+        EventLog(
+            [
+                Execution.from_sequence(list(seq), f"e{i:04d}")
+                for i, seq in enumerate(sequences)
+            ],
+            process_name=process,
+        ),
+        path,
+    )
+    return path
+
+
+def edge_lines(output):
+    return sorted(
+        line
+        for line in output.splitlines()
+        if line and not line.startswith("#")
+    )
+
+
+def mine_edges(capsys, argv):
+    assert main(argv) == 0
+    return edge_lines(capsys.readouterr().out)
+
+
+class TestMineStream:
+    def test_stream_matches_batch_output(self, tmp_path, capsys):
+        log = write_log(tmp_path, SEQUENCES)
+        batch = mine_edges(capsys, ["mine", str(log), "--format", "edges"])
+        streamed = mine_edges(
+            capsys, ["mine", str(log), "--stream", "--format", "edges"]
+        )
+        assert streamed == batch
+
+    def test_stream_resolves_cyclic_logs(self, tmp_path, capsys):
+        log = write_log(tmp_path, CYCLIC, name="cyc.tsv")
+        batch = mine_edges(capsys, ["mine", str(log), "--format", "edges"])
+        streamed = mine_edges(
+            capsys, ["mine", str(log), "--stream", "--format", "edges"]
+        )
+        assert streamed == batch
+
+    def test_stream_rejects_special_dag(self, tmp_path, capsys):
+        log = write_log(tmp_path, SEQUENCES)
+        assert (
+            main(
+                [
+                    "mine",
+                    str(log),
+                    "--stream",
+                    "--algorithm",
+                    "special-dag",
+                ]
+            )
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_stream_window_flag(self, tmp_path, capsys):
+        log = write_log(tmp_path, SEQUENCES)
+        batch = mine_edges(capsys, ["mine", str(log), "--format", "edges"])
+        streamed = mine_edges(
+            capsys,
+            [
+                "mine",
+                str(log),
+                "--stream",
+                "--stream-window",
+                "1",
+                "--format",
+                "edges",
+            ],
+        )
+        assert streamed == batch
+
+    def test_state_out_writes_a_loadable_shard(self, tmp_path, capsys):
+        log = write_log(tmp_path, SEQUENCES)
+        state_path = tmp_path / "shard.state"
+        assert (
+            main(
+                [
+                    "mine",
+                    str(log),
+                    "--stream",
+                    "--state-out",
+                    str(state_path),
+                    "--format",
+                    "edges",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        state, meta = load_state(state_path)
+        assert state.execution_count == len(SEQUENCES)
+        assert meta["version"] == 3
+
+
+class TestMergeStates:
+    def shards(self, tmp_path, capsys):
+        paths = []
+        for index, chunk in enumerate(
+            (SEQUENCES[:2], SEQUENCES[2:4], SEQUENCES[4:])
+        ):
+            log = write_log(
+                tmp_path, chunk, name=f"shard{index}.tsv"
+            )
+            state_path = tmp_path / f"shard{index}.state"
+            assert (
+                main(
+                    [
+                        "mine",
+                        str(log),
+                        "--stream",
+                        "--state-out",
+                        str(state_path),
+                        "--format",
+                        "edges",
+                    ]
+                )
+                == 0
+            )
+            paths.append(str(state_path))
+        capsys.readouterr()
+        return paths
+
+    def test_sharded_merge_equals_batch_mine(self, tmp_path, capsys):
+        log = write_log(tmp_path, SEQUENCES, name="whole.tsv")
+        batch = mine_edges(capsys, ["mine", str(log), "--format", "edges"])
+        shards = self.shards(tmp_path, capsys)
+        merged = mine_edges(
+            capsys, ["merge-states", *shards, "--format", "edges"]
+        )
+        assert merged == batch
+
+    def test_merge_order_does_not_matter(self, tmp_path, capsys):
+        shards = self.shards(tmp_path, capsys)
+        forward = mine_edges(
+            capsys, ["merge-states", *shards, "--format", "edges"]
+        )
+        backward = mine_edges(
+            capsys,
+            ["merge-states", *reversed(shards), "--format", "edges"],
+        )
+        assert forward == backward
+
+    def test_state_only_writes_without_mining(self, tmp_path, capsys):
+        shards = self.shards(tmp_path, capsys)
+        merged_path = tmp_path / "merged.state"
+        assert (
+            main(
+                [
+                    "merge-states",
+                    *shards,
+                    "--output",
+                    str(merged_path),
+                    "--state-only",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        merged, meta = load_state(merged_path)
+        assert merged.execution_count == len(SEQUENCES)
+
+    def test_merged_state_file_matches_single_pass_state(
+        self, tmp_path, capsys
+    ):
+        # merge-states --output must be byte-compatible with the state
+        # a single streaming pass over the whole log writes.
+        shards = self.shards(tmp_path, capsys)
+        merged_path = tmp_path / "merged.state"
+        assert (
+            main(
+                [
+                    "merge-states",
+                    *shards,
+                    "--output",
+                    str(merged_path),
+                    "--state-only",
+                ]
+            )
+            == 0
+        )
+        whole = write_log(tmp_path, SEQUENCES, name="whole.tsv")
+        single_path = tmp_path / "single.state"
+        assert (
+            main(
+                [
+                    "mine",
+                    str(whole),
+                    "--stream",
+                    "--state-out",
+                    str(single_path),
+                    "--format",
+                    "edges",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        merged, _ = load_state(merged_path)
+        single, _ = load_state(single_path)
+        assert merged.to_payload() == single.to_payload()
+
+    def test_mode_mismatch_is_an_error(self, tmp_path, capsys):
+        shards = self.shards(tmp_path, capsys)
+        cyc_log = write_log(tmp_path, CYCLIC, name="cyc.tsv")
+        cyc_state = tmp_path / "cyc.state"
+        assert (
+            main(
+                [
+                    "mine",
+                    str(cyc_log),
+                    "--stream",
+                    "--state-out",
+                    str(cyc_state),
+                    "--format",
+                    "edges",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["merge-states", shards[0], str(cyc_state)]) == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_incremental_checkpoint_is_a_valid_shard(
+        self, tmp_path, capsys
+    ):
+        # Checkpoints written by IncrementalMiner are format v3, so they
+        # merge with CLI shards directly — one interop surface, not two.
+        miner = IncrementalMiner()
+        for index, seq in enumerate(SEQUENCES[:3]):
+            miner.add_sequence(list(seq), execution_id=f"inc{index}")
+        checkpoint = tmp_path / "inc.ckpt"
+        miner.checkpoint(checkpoint)
+
+        rest = write_log(tmp_path, SEQUENCES[3:], name="rest.tsv")
+        rest_state = tmp_path / "rest.state"
+        assert (
+            main(
+                [
+                    "mine",
+                    str(rest),
+                    "--stream",
+                    "--state-out",
+                    str(rest_state),
+                    "--format",
+                    "edges",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        merged = mine_edges(
+            capsys,
+            [
+                "merge-states",
+                str(checkpoint),
+                str(rest_state),
+                "--format",
+                "edges",
+            ],
+        )
+        whole = write_log(tmp_path, SEQUENCES, name="whole.tsv")
+        batch = mine_edges(
+            capsys, ["mine", str(whole), "--format", "edges"]
+        )
+        assert merged == batch

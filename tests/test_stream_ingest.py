@@ -1,0 +1,236 @@
+"""Windowed streaming ingestion (:func:`iter_ingest_lines` and the
+codec/JSONL iterators built on it).
+
+The contract under test: for logs our own codecs write (executions
+contiguous), any window yields exactly the executions batch ingestion
+builds, in the same order — and ``window=None`` *is* batch semantics.
+Late records (arriving after their execution's window closed) are the
+one new failure mode streaming introduces; they error under ``strict``
+and quarantine as ``late-record`` otherwise.
+"""
+
+import io
+
+import pytest
+
+from repro.errors import LogFormatError, ResourceLimitError
+from repro.logs.codec import (
+    format_record,
+    ingest_log,
+    iter_ingest_log,
+    iter_ingest_log_file,
+)
+from repro.logs.execution import Execution
+from repro.logs.ingest import (
+    POLICY_SKIP,
+    REASON_LATE_RECORD,
+    IngestLimits,
+    IngestReport,
+    Quarantine,
+)
+from repro.logs.jsonl import (
+    iter_ingest_log_jsonl,
+    record_to_json,
+    write_log_jsonl,
+)
+
+PROCESS = "claims"
+
+
+def log_text(sequences, process=PROCESS, interleave=False):
+    """Render sequences as codec lines — contiguous or round-robin."""
+    executions = [
+        Execution.from_sequence(
+            list(seq), execution_id=f"e{i:03d}", start_time=float(i)
+        )
+        for i, seq in enumerate(sequences)
+    ]
+    if interleave:
+        queues = [list(execution.records) for execution in executions]
+        lines = []
+        while any(queues):
+            for queue in queues:
+                if queue:
+                    lines.append(format_record(queue.pop(0), process))
+    else:
+        lines = [
+            format_record(record, process)
+            for execution in executions
+            for record in execution.records
+        ]
+    return "\n".join(lines) + "\n"
+
+
+def stream(text, **kwargs):
+    return list(iter_ingest_log(io.StringIO(text), **kwargs))
+
+
+SEQUENCES = ["ABCF", "ACDF", "ABDF"]
+
+
+class TestWindowSemantics:
+    def test_contiguous_log_streams_identically_at_any_window(self):
+        text = log_text(SEQUENCES)
+        batch = ingest_log(io.StringIO(text)).log
+        for window in (1, 2, 7, None):
+            streamed = stream(text, window=window)
+            assert [e.execution_id for e in streamed] == [
+                e.execution_id for e in batch
+            ]
+            assert [
+                [r.activity for r in e.records] for e in streamed
+            ] == [[r.activity for r in e.records] for e in batch]
+
+    def test_interleaved_log_needs_a_covering_window(self):
+        # Three executions interleaved record-by-record: any window
+        # covering one full round (>= number of open executions'
+        # records between touches) must reassemble them all.
+        text = log_text(SEQUENCES, interleave=True)
+        streamed = stream(text, window=64)
+        assert sorted(e.execution_id for e in streamed) == [
+            "e000",
+            "e001",
+            "e002",
+        ]
+        batch = {
+            e.execution_id: [r.activity for r in e.records]
+            for e in ingest_log(io.StringIO(text)).log
+        }
+        for execution in streamed:
+            assert [
+                r.activity for r in execution.records
+            ] == batch[execution.execution_id]
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            stream(log_text(SEQUENCES), window=0)
+
+    def test_generator_fills_the_report_once_consumed(self):
+        report = IngestReport()
+        streamed = stream(log_text(SEQUENCES), window=2, report=report)
+        assert report.process_name == PROCESS
+        assert report.accepted_executions == len(streamed) == 3
+        assert report.dropped == 0
+
+
+class TestLateRecords:
+    def late_text(self):
+        # e000's activity A, then all of e001 (closing e000's window),
+        # then e000's activity B arriving as a complete straggler pair —
+        # late, but not malforming the already-finalized execution.
+        lines = log_text(["AB", "CDEF"]).splitlines()
+        return "\n".join(lines[:2] + lines[4:] + lines[2:4]) + "\n"
+
+    def test_strict_raises_with_guidance(self):
+        with pytest.raises(LogFormatError, match="stream-window"):
+            stream(self.late_text(), window=1)
+
+    def test_skip_quarantines_as_late_record(self):
+        report = IngestReport()
+        quarantine = Quarantine()
+        streamed = stream(
+            self.late_text(),
+            window=1,
+            policy=POLICY_SKIP,
+            report=report,
+            quarantine=quarantine,
+        )
+        assert [e.execution_id for e in streamed] == ["e000", "e001"]
+        assert report.reasons[REASON_LATE_RECORD] == 2
+        assert report.quarantined_lines == 2
+        items = list(quarantine)
+        assert len(items) == 2
+        assert {item.reason for item in items} == {REASON_LATE_RECORD}
+        assert {item.execution_id for item in items} == {"e000"}
+
+    def test_wide_window_absorbs_the_straggler(self):
+        # The same log is perfectly fine when the window spans it.
+        streamed = stream(self.late_text(), window=64)
+        activities = {
+            e.execution_id: [r.activity for r in e.records]
+            for e in streamed
+        }
+        # records carry START and END events, hence the set.
+        assert sorted(set(activities["e000"])) == ["A", "B"]
+
+
+class TestLimits:
+    def test_max_executions_counts_finalized_and_open(self):
+        # Finalizing an execution must not free up limit headroom —
+        # the guard is about total work, not resident buckets.
+        text = log_text(["AB", "CD", "EF"])
+        with pytest.raises(ResourceLimitError):
+            stream(
+                text,
+                window=1,
+                limits=IngestLimits(max_executions=2),
+            )
+
+    def test_under_limit_streams_cleanly(self):
+        streamed = stream(
+            log_text(["AB", "CD"]),
+            window=1,
+            limits=IngestLimits(max_executions=2),
+        )
+        assert len(streamed) == 2
+
+
+class TestReaderParity:
+    def test_jsonl_iterator_matches_codec_iterator(self):
+        executions = [
+            Execution.from_sequence(
+                list(seq), execution_id=f"e{i:03d}", start_time=float(i)
+            )
+            for i, seq in enumerate(SEQUENCES)
+        ]
+        codec_text = log_text(SEQUENCES)
+        jsonl_text = (
+            "\n".join(
+                record_to_json(record, PROCESS)
+                for execution in executions
+                for record in execution.records
+            )
+            + "\n"
+        )
+        from_codec = stream(codec_text, window=2)
+        from_jsonl = list(
+            iter_ingest_log_jsonl(io.StringIO(jsonl_text), window=2)
+        )
+        assert [
+            (e.execution_id, [r.activity for r in e.records])
+            for e in from_codec
+        ] == [
+            (e.execution_id, [r.activity for r in e.records])
+            for e in from_jsonl
+        ]
+
+    def test_file_iterator_round_trip(self, tmp_path):
+        path = tmp_path / "stream.log"
+        path.write_text(log_text(SEQUENCES), encoding="utf-8")
+        streamed = list(iter_ingest_log_file(path, window=4))
+        assert [e.execution_id for e in streamed] == [
+            "e000",
+            "e001",
+            "e002",
+        ]
+
+    def test_write_log_jsonl_round_trips_through_the_iterator(
+        self, tmp_path
+    ):
+        from repro.logs.event_log import EventLog
+
+        log = EventLog(
+            [
+                Execution.from_sequence(list(seq), f"e{i:03d}")
+                for i, seq in enumerate(SEQUENCES)
+            ],
+            process_name=PROCESS,
+        )
+        buffer = io.StringIO()
+        write_log_jsonl(log, buffer)
+        streamed = list(
+            iter_ingest_log_jsonl(io.StringIO(buffer.getvalue()))
+        )
+        assert [e.execution_id for e in streamed] == [
+            e.execution_id for e in log
+        ]
