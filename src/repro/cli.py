@@ -26,6 +26,11 @@ Subcommands
     Convert a log between the tab-separated and JSON-lines formats.
 ``lint``
     Statically analyze a model file with the :mod:`repro.lint` rules.
+``merge-states``
+    Fold shard state files into one model (out-of-core mining).
+``verify-state``
+    Fsck a mining-state/checkpoint file or a ``--journal`` session
+    directory (integrity envelopes, journal frames, torn tails).
 
 The log file format is the tab-separated codec of
 :mod:`repro.logs.codec` (``mine`` also accepts ``.jsonl`` logs); model
@@ -37,6 +42,14 @@ verification finds error-level lint diagnostics (suppress with
 ``--no-verify``), 3 when ``mine`` succeeded but records were
 quarantined/dropped during ingestion.  ``lint`` exits with the report's
 severity code: 0 clean or info-only, 1 warnings, 2 errors.
+``verify-state`` exits 0 when everything verifies, 1 when the target is
+missing/unreadable, 2 when corruption was detected.
+
+Durability (``mine --stream``): ``--journal DIR`` write-ahead journals
+accepted executions and checkpoints the fold so a killed run can be
+continued with ``--resume`` to the same bytes an uninterrupted run
+produces; ``--fold-timeout``/``--fold-retries`` supervise the parallel
+fold (see :mod:`repro.resilience` and docs/RELIABILITY.md).
 """
 
 from __future__ import annotations
@@ -230,6 +243,61 @@ def build_parser() -> argparse.ArgumentParser:
             "or an incremental-miner resume point)"
         ),
     )
+    mine.add_argument(
+        "--journal",
+        metavar="DIR",
+        help=(
+            "durable session directory (implies --stream): every "
+            "accepted execution is write-ahead journaled into "
+            "DIR/wal/ before folding and the state is checkpointed "
+            "periodically, so a crashed run resumes with --resume; "
+            "the fold runs serially (see docs/RELIABILITY.md)"
+        ),
+    )
+    mine.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        metavar="N",
+        default=None,
+        help=(
+            "with --journal: checkpoint the folded state every N "
+            "executions (default: 256)"
+        ),
+    )
+    mine.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "with --journal: recover the last checkpoint plus the "
+            "journal tail from DIR, then continue mining the log, "
+            "skipping the executions the recovered state already "
+            "covers; the result is identical to an uninterrupted run"
+        ),
+    )
+    mine.add_argument(
+        "--fold-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "with --stream and --jobs > 1: supervise the parallel "
+            "fold — a worker chunk not done after SECONDS is treated "
+            "as hung, its pool recycled and the chunk retried"
+        ),
+    )
+    mine.add_argument(
+        "--fold-retries",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "with --stream and --jobs > 1: retry a failed/hung fold "
+            "chunk N times (seeded exponential backoff) before "
+            "quarantining its executions as poisoned-chunk records "
+            "and continuing degraded (default: 2 when supervision "
+            "is on)"
+        ),
+    )
     _add_metrics_arguments(mine)
 
     merge_states = commands.add_parser(
@@ -268,6 +336,21 @@ def build_parser() -> argparse.ArgumentParser:
     merge_states.add_argument(
         "--jobs", type=_positive_int, metavar="N",
         help="worker processes for the finishing step-5 marking",
+    )
+
+    verify_state = commands.add_parser(
+        "verify-state",
+        help=(
+            "fsck a mining-state/checkpoint file or a --journal "
+            "session directory (integrity envelopes, journal frames)"
+        ),
+    )
+    verify_state.add_argument(
+        "target",
+        help=(
+            "a state/checkpoint file, or a durable session directory "
+            "(checkpoint.json + wal/)"
+        ),
     )
 
     generate = commands.add_parser(
@@ -468,6 +551,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_mine(args)
         if args.command == "merge-states":
             return _cmd_merge_states(args)
+        if args.command == "verify-state":
+            return _cmd_verify_state(args)
         if args.command == "generate":
             return _cmd_generate(args)
         if args.command == "stats":
@@ -579,11 +664,24 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
     from the start.  The mined graph is identical to the batch path —
     except that ``auto`` never picks special-dag, whose every-activity
     precondition cannot be checked without the whole log.
+
+    With ``--journal DIR`` the fold runs through a
+    :class:`~repro.resilience.session.DurableSession`: accepted
+    executions are write-ahead journaled, the state is checkpointed
+    every ``--checkpoint-every`` folds, and ``--resume`` recovers a
+    crashed run and continues it to the same bytes an uninterrupted
+    run produces.  Without a journal, ``--fold-timeout`` /
+    ``--fold-retries`` supervise the parallel fold instead (hung or
+    crashed workers are retried; chunks that exhaust the budget are
+    quarantined as ``poisoned-chunk`` records and the mine continues
+    degraded).
     """
     from repro.core.cyclic import merge_instances
     from repro.core.general_dag import MiningTrace
+    from repro.core.parallel import RetryPolicy
     from repro.core.state import fold_executions, save_state
     from repro.logs.codec import iter_ingest_log_file
+    from repro.logs.ingest import REASON_POISONED_CHUNK
     from repro.logs.jsonl import iter_ingest_log_jsonl_file
 
     if args.algorithm == ALGORITHM_SPECIAL:
@@ -615,6 +713,52 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
     # Auto needs the labelled view to detect repetition in one pass.
     labelled = args.algorithm != ALGORITHM_GENERAL
 
+    session = None
+    journal_skip = 0
+    if args.journal:
+        from repro.resilience.session import (
+            DEFAULT_CHECKPOINT_EVERY,
+            DurableSession,
+        )
+
+        session = DurableSession(
+            args.journal,
+            labelled=labelled,
+            threshold=args.threshold,
+            checkpoint_every=(
+                args.checkpoint_every
+                if args.checkpoint_every is not None
+                else DEFAULT_CHECKPOINT_EVERY
+            ),
+            recorder=recorder,
+        )
+        if args.resume:
+            recovery = session.recover()
+            print(recovery.summary(), file=sys.stderr)
+            journal_skip = recovery.covered
+        elif (
+            session.checkpoint_path.exists()
+            or session.journal.last_seq
+        ):
+            raise MiningError(
+                f"journal directory {args.journal} already holds a "
+                "session; pass --resume to continue it or remove the "
+                "directory for a fresh run"
+            )
+    elif args.resume:
+        raise MiningError("--resume requires --journal DIR")
+
+    retry = None
+    if args.fold_timeout is not None or args.fold_retries is not None:
+        retry = RetryPolicy(
+            timeout=args.fold_timeout,
+            max_retries=(
+                args.fold_retries
+                if args.fold_retries is not None
+                else RetryPolicy().max_retries
+            ),
+        )
+
     with Quarantine(args.quarantine) as quarantine:
         executions = reader(
             args.log,
@@ -623,6 +767,8 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
             quarantine=quarantine,
             report=report,
             window=args.stream_window or DEFAULT_STREAM_WINDOW,
+            journal=session.journal if session is not None else None,
+            journal_skip=journal_skip,
         )
 
         def tracked():
@@ -632,13 +778,34 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
                     lasts.add(execution.last_activity)
                 yield execution
 
-        with recorder.span("stream_fold", policy=args.on_error):
-            state = fold_executions(
-                tracked(),
-                labelled=labelled,
-                jobs=args.jobs,
-                recorder=recorder,
+        def on_poisoned(poisoned, reason: str) -> None:
+            count = quarantine.add_poisoned_executions(
+                poisoned, reason
             )
+            report.quarantined_executions += count
+            report.reasons[REASON_POISONED_CHUNK] += count
+
+        with recorder.span("stream_fold", policy=args.on_error):
+            if session is not None:
+                # Durable path: serial write-ahead fold.  Already-
+                # covered executions still flow through tracked() so
+                # source/sink detection matches an uninterrupted run;
+                # only their (re-)fold is skipped.
+                for position, execution in enumerate(tracked(), 1):
+                    if position > journal_skip:
+                        session.fold(execution)
+                state = session.finalize()
+            else:
+                state = fold_executions(
+                    tracked(),
+                    labelled=labelled,
+                    jobs=args.jobs,
+                    recorder=recorder,
+                    retry=retry,
+                    on_poisoned=(
+                        on_poisoned if retry is not None else None
+                    ),
+                )
     publish_ingest_report(report, recorder)
     if args.on_error != POLICY_STRICT or not report.clean:
         print(report.summary(), file=sys.stderr)
@@ -745,9 +912,112 @@ def _cmd_merge_states(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify_state(args: argparse.Namespace) -> int:
+    """``verify-state``: fsck a checkpoint file or session directory.
+
+    Exit codes: 0 everything verifies, 1 the target is missing or
+    unreadable, 2 corruption was detected (a torn journal tail is
+    *tolerated* — recovery discards it — and reported without failing).
+    """
+    from pathlib import Path
+
+    from repro.core.state import load_state
+    from repro.errors import CheckpointError, JournalError
+    from repro.resilience.journal import scan_journal
+    from repro.resilience.session import (
+        CHECKPOINT_NAME,
+        PREVIOUS_SUFFIX,
+        WAL_DIRECTORY,
+    )
+
+    target = Path(args.target)
+    if not target.exists():
+        print(f"verify-state: {target}: not found", file=sys.stderr)
+        return 1
+
+    def check_file(path: Path) -> int:
+        try:
+            state, meta = load_state(path)
+        except CheckpointError as exc:
+            if not path.exists():
+                print(f"{path}: missing")
+                return 1
+            print(f"{path}: CORRUPT ({exc})")
+            return 2
+        guard = (
+            "crc32c verified"
+            if meta.get("verified")
+            else "no integrity envelope (pre-hardening checkpoint)"
+        )
+        print(
+            f"{path}: ok — v{meta['version']} {meta['mode']}, "
+            f"{state.execution_count} executions, "
+            f"{state.variant_count} variants, "
+            f"journal seq {meta['journal_seq']}; {guard}"
+        )
+        return 0
+
+    if target.is_file():
+        return check_file(target)
+
+    status = 0
+    checkpoint = target / CHECKPOINT_NAME
+    prev = checkpoint.with_name(checkpoint.name + PREVIOUS_SUFFIX)
+    wal = target / WAL_DIRECTORY
+    if not checkpoint.exists() and not prev.exists() and not (
+        wal.is_dir()
+    ):
+        print(
+            f"verify-state: {target}: not a durable session "
+            f"(no {CHECKPOINT_NAME}, no {WAL_DIRECTORY}/)",
+            file=sys.stderr,
+        )
+        return 1
+    if checkpoint.exists():
+        primary = check_file(checkpoint)
+        if primary == 2 and prev.exists():
+            if check_file(prev) == 0:
+                print(
+                    "  recovery would fall back to the .prev "
+                    "checkpoint plus the retained journal tail"
+                )
+        status = max(status, primary)
+    elif prev.exists():
+        status = max(status, check_file(prev))
+    else:
+        print(f"{checkpoint}: no checkpoint yet")
+    if wal.is_dir():
+        try:
+            scan = scan_journal(wal)
+        except JournalError as exc:
+            print(f"{wal}: CORRUPT ({exc})")
+            return 2
+        if scan.corrupt:
+            print(f"{wal}: CORRUPT ({scan.detail})")
+            return 2
+        note = (
+            f"; torn tail tolerated ({scan.detail})"
+            if scan.torn_tail
+            else ""
+        )
+        print(
+            f"{wal}: ok — {len(scan.records)} record(s) in "
+            f"{scan.segments} segment(s), last seq "
+            f"{scan.last_seq}{note}"
+        )
+    else:
+        print(f"{wal}: no journal")
+    return status
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
+    # A journal only makes sense around the streaming fold.
+    if getattr(args, "journal", None):
+        args.stream = True
     if args.stream:
         return _cmd_mine_stream(args)
+    if getattr(args, "resume", False):
+        raise MiningError("--resume requires --journal DIR")
     recorder = _metrics_recorder(args)
     result_ingest = _ingest_for_mine(args, recorder)
     log = result_ingest.log

@@ -27,7 +27,6 @@ process").
 from __future__ import annotations
 
 import os
-import time
 from pathlib import Path
 from typing import Optional, Union
 
@@ -39,7 +38,7 @@ from repro.core.state import (
     MODE_CYCLIC,
     MODE_GENERAL,
     MiningState,
-    load_state,
+    load_state_with_fallback,
     save_state,
 )
 from repro.errors import EmptyLogError
@@ -47,6 +46,7 @@ from repro.graphs.digraph import DiGraph
 from repro.logs.event_log import EventLog
 from repro.logs.execution import Execution
 from repro.obs.recorder import Recorder, resolve_recorder
+from repro.resilience.faults import now
 
 __all__ = [
     "CHECKPOINT_FORMAT",
@@ -258,11 +258,15 @@ class IncrementalMiner:
         ``repro_checkpoint_bytes`` / ``repro_checkpoint_age_seconds``
         gauges.
 
+        A hardened checkpoint that fails its integrity check falls back
+        to the ``.prev`` sibling the durable session keeps (see
+        :func:`repro.core.state.load_state_with_fallback`).
+
         Raises
         ------
         CheckpointError
-            When the file is not a checkpoint, is corrupt, or has an
-            incompatible version.
+            When the file is not a checkpoint, is corrupt with no good
+            ``.prev`` fallback, or has an incompatible version.
         """
         obs = resolve_recorder(recorder)
         try:
@@ -270,11 +274,11 @@ class IncrementalMiner:
             obs.gauge("repro_checkpoint_bytes", stat.st_size)
             obs.gauge(
                 "repro_checkpoint_age_seconds",
-                max(time.time() - stat.st_mtime, 0.0),
+                max(now() - stat.st_mtime, 0.0),
             )
         except OSError:
             pass  # load_state() below reports unreadable paths properly
-        state, meta = load_state(path)
+        state, meta, _ = load_state_with_fallback(path, obs)
         miner = cls(
             mode=meta["mode"],
             threshold=meta["threshold"],

@@ -25,7 +25,10 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
+import time
 from collections import deque
+from dataclasses import dataclass
 from time import perf_counter
 from typing import (
     Callable,
@@ -263,4 +266,262 @@ def process_fold(
     for chunk in chunks:
         fold(fn(chunk))
         folded += 1
+    return folded
+
+
+# ----------------------------------------------------------------------
+# Supervised fold (timeouts, retries, poisoned-chunk quarantine)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff budget for :func:`supervised_fold`.
+
+    ``timeout`` is the per-chunk stall detector in seconds (``None``
+    waits forever, degenerating to :func:`process_fold` semantics).
+    A failed chunk is retried up to ``max_retries`` times with seeded
+    exponential backoff — attempt *k* sleeps ``backoff_base *
+    backoff_factor**(k-1)`` capped at ``backoff_max``, stretched by up
+    to ``jitter`` of itself using a ``seed``-derived RNG so runs are
+    reproducible — and is *poisoned* (skipped, reported, counted) once
+    the budget is exhausted, letting the fold continue degraded rather
+    than fail the whole mine.
+    """
+
+    timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive or None")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def backoff(self, attempt: int, key: object = "") -> float:
+        """Seconds to sleep before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            return 0.0
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        if not self.jitter or not base:
+            return base
+        rng = random.Random(f"{self.seed}:{key}:{attempt}")
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass
+class _Supervised:
+    """One in-flight chunk: its payload, submission index, attempts."""
+
+    chunk: object
+    index: int
+    attempts: int = 0
+    future: object = None
+
+
+def _kill_pool(pool) -> None:
+    """Tear a ProcessPoolExecutor down, hung/crashed workers included.
+
+    ``shutdown`` alone joins workers, which never returns while one is
+    hung; terminate them first.  Private-attribute access is deliberate
+    — the executor API has no kill switch — and guarded so a changed
+    stdlib degrades to a plain shutdown.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, AttributeError):  # pragma: no cover
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive teardown
+        pass
+
+
+def supervised_fold(
+    fn: Callable[[_Chunk], _Result],
+    chunk_iter: Iterable[_Chunk],
+    jobs: int,
+    fold: Callable[[_Result], object],
+    policy: Optional[RetryPolicy] = None,
+    recorder: Recorder = NULL_RECORDER,
+    stage: str = "",
+    on_poisoned: Optional[Callable[[_Chunk, str], object]] = None,
+) -> int:
+    """:func:`process_fold` under supervision: survive sick workers.
+
+    Same contract as :func:`process_fold` — lazy chunk iterator,
+    bounded in-flight window, results folded strictly in submission
+    order — plus a supervisor around the pool:
+
+    * a chunk whose result does not arrive within ``policy.timeout``
+      seconds (hung worker) or whose worker died (crashed/OOM-killed
+      process, raised exception) is retried: the pool is torn down
+      (terminating hung workers), rebuilt, and every pending chunk is
+      resubmitted in order after a seeded exponential backoff;
+    * a chunk that exhausts ``policy.max_retries`` is **poisoned**:
+      reported through ``on_poisoned(chunk, reason)`` (reason is
+      ``"timeout"``, ``"worker-crash"`` or ``"error: ..."``), counted,
+      skipped, and the fold continues degraded — deterministic given a
+      deterministic failure pattern, since supervision never reorders
+      the fold.
+
+    Counters (all labelled ``{stage}``):
+    ``repro_fold_timeouts_total``, ``repro_fold_retries_total``,
+    ``repro_fold_poisoned_chunks_total``.
+
+    Serial mode (``jobs <= 1`` or no usable pool) applies the same
+    retry/poison budget to in-process calls; timeouts cannot be
+    enforced without a worker process and are ignored there.  Returns
+    the number of chunks successfully folded.
+    """
+    import concurrent.futures as futures_mod
+
+    try:
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:  # pragma: no cover - no multiprocessing at all
+
+        class BrokenProcessPool(Exception):  # type: ignore[no-redef]
+            pass
+
+    policy = policy if policy is not None else RetryPolicy()
+
+    def note(counter: str, amount: int = 1) -> None:
+        recorder.count(counter, amount, labels={"stage": stage})
+
+    def poison(entry: _Supervised, reason: str) -> None:
+        note("repro_fold_poisoned_chunks_total")
+        if on_poisoned is not None:
+            on_poisoned(entry.chunk, reason)
+
+    def fold_serial_with_retries(entry: _Supervised) -> int:
+        while True:
+            try:
+                result = fn(entry.chunk)
+            except Exception as exc:
+                entry.attempts += 1
+                if entry.attempts > policy.max_retries:
+                    poison(entry, f"error: {exc}")
+                    return 0
+                note("repro_fold_retries_total")
+                time.sleep(policy.backoff(entry.attempts, entry.index))
+            else:
+                fold(result)
+                return 1
+
+    chunks = iter(chunk_iter)
+    folded = 0
+    submitted = 0
+
+    def entry_for(chunk: _Chunk) -> _Supervised:
+        nonlocal submitted
+        submitted += 1
+        return _Supervised(chunk=chunk, index=submitted - 1)
+
+    if jobs <= 1:
+        for chunk in chunks:
+            folded += fold_serial_with_retries(entry_for(chunk))
+        return folded
+
+    try:
+        first = next(chunks)
+    except StopIteration:
+        return 0
+    pool = None
+    pending: Deque[_Supervised] = deque()
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        head = entry_for(first)
+        head.future = pool.submit(fn, head.chunk)
+        pending.append(head)
+    except (OSError, ImportError):
+        if pool is not None:
+            pool.shutdown(wait=False)
+        _note_pool_fallback(recorder, stage)
+        folded += fold_serial_with_retries(entry_for(first))
+        for chunk in chunks:
+            folded += fold_serial_with_retries(entry_for(chunk))
+        return folded
+
+    def rebuild_pool() -> bool:
+        """Fresh pool + resubmit every pending chunk, in order."""
+        nonlocal pool
+        _kill_pool(pool)
+        try:
+            pool = ProcessPoolExecutor(max_workers=jobs)
+            for entry in pending:
+                entry.future = pool.submit(fn, entry.chunk)
+        except (OSError, ImportError):
+            pool = None
+            return False
+        return True
+
+    def handle_failure(reason: str) -> None:
+        """Retry or poison the head chunk; pool is rebuilt either way."""
+        nonlocal folded
+        entry = pending[0]
+        entry.attempts += 1
+        if entry.attempts > policy.max_retries:
+            pending.popleft()
+            poison(entry, reason)
+        else:
+            note("repro_fold_retries_total")
+            time.sleep(policy.backoff(entry.attempts, entry.index))
+        if not rebuild_pool():
+            # The environment lost the ability to make pools mid-run;
+            # finish every pending chunk serially, still in order.
+            _note_pool_fallback(recorder, stage)
+            while pending:
+                folded += fold_serial_with_retries(pending.popleft())
+
+    def drain() -> None:
+        nonlocal folded
+        entry = pending[0]
+        if entry.future is None:  # pragma: no cover - serial drained
+            return
+        try:
+            result = entry.future.result(timeout=policy.timeout)
+        except futures_mod.TimeoutError:
+            note("repro_fold_timeouts_total")
+            handle_failure("timeout")
+            return
+        except BrokenProcessPool:
+            handle_failure("worker-crash")
+            return
+        except Exception as exc:
+            handle_failure(f"error: {exc}")
+            return
+        pending.popleft()
+        fold(result)
+        folded += 1
+
+    window = 2 * jobs
+    try:
+        for chunk in chunks:
+            if pool is None:
+                folded += fold_serial_with_retries(entry_for(chunk))
+                continue
+            entry = entry_for(chunk)
+            entry.future = pool.submit(fn, entry.chunk)
+            pending.append(entry)
+            while len(pending) >= window:
+                drain()
+        while pending:
+            drain()
+    finally:
+        if pool is not None:
+            _kill_pool(pool)
     return folded

@@ -41,12 +41,11 @@ files, and ``merge-states`` and :meth:`IncrementalMiner.resume
 from __future__ import annotations
 
 import json
-import os
 import pickle
-import tempfile
 from collections import Counter
 from pathlib import Path
 from typing import (
+    Callable,
     Dict,
     FrozenSet,
     Hashable,
@@ -59,10 +58,17 @@ from typing import (
 )
 
 from repro.core.interning import InternTable, PackedVariant
-from repro.core.parallel import process_fold, resolve_jobs
+from repro.core.parallel import (
+    RetryPolicy,
+    process_fold,
+    resolve_jobs,
+    supervised_fold,
+)
 from repro.errors import CheckpointError
 from repro.logs.execution import Execution
 from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.resilience.durable import crc32c, durable_write
+from repro.resilience.faults import maybe_fault
 
 Vertex = Hashable
 Pair = Tuple[Vertex, Vertex]
@@ -666,25 +672,19 @@ class MiningState:
 # ----------------------------------------------------------------------
 # State files (= incremental checkpoints, format v3)
 # ----------------------------------------------------------------------
-def _atomic_write_json(path: Path, payload: dict) -> None:
-    """Write ``payload`` via a temporary sibling + ``os.replace``."""
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent or Path("."),
-        prefix=path.name + ".",
-        suffix=".tmp",
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, separators=(",", ":"))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+def _integrity_body(payload: dict) -> bytes:
+    """The canonical bytes the integrity envelope checksums.
+
+    Everything in the envelope *except* the ``integrity`` field itself,
+    dumped with sorted keys and compact separators, so the digest is
+    independent of JSON key order on disk.
+    """
+    body = {
+        key: value for key, value in payload.items() if key != "integrity"
+    }
+    return json.dumps(
+        body, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
 
 
 def save_state(
@@ -694,16 +694,23 @@ def save_state(
     threshold: int = 0,
     last_edges: Optional[frozenset] = None,
     stable_since: int = 0,
+    journal_seq: Optional[int] = None,
 ) -> None:
-    """Write ``state`` to ``path`` as a version-3 checkpoint, atomically.
+    """Write ``state`` to ``path`` as a version-3 checkpoint, durably.
 
     ``mode`` defaults to ``"cyclic"`` for labelled states and
     ``"general-dag"`` otherwise; an explicit mode must agree with the
     state's ``labelled`` flag.  ``last_edges``/``stable_since`` carry
     the incremental miner's stability bookkeeping (zero/absent for
-    plain shard states).  The file is written to a temporary sibling
-    and moved into place with ``os.replace``, so a crash mid-write
-    never leaves a partial state behind.
+    plain shard states).  ``journal_seq`` — only present for durable
+    sessions — records the write-ahead journal sequence number this
+    state covers, so recovery knows where journal replay starts.
+
+    The envelope carries an ``integrity`` field (CRC32C + length over
+    the canonical body), verified by :func:`load_state`, and the file
+    goes through :func:`~repro.resilience.durable.durable_write`
+    (temp sibling, fsync, atomic replace, directory fsync) so a crash
+    mid-write never leaves a torn or unsynced checkpoint behind.
     """
     if mode is None:
         mode = MODE_CYCLIC if state.labelled else MODE_GENERAL
@@ -725,7 +732,17 @@ def save_state(
         ),
         "stable_since": int(stable_since),
     }
-    _atomic_write_json(Path(path), payload)
+    if journal_seq is not None:
+        payload["journal_seq"] = int(journal_seq)
+    body = _integrity_body(payload)
+    payload["integrity"] = {
+        "algorithm": "crc32c",
+        "crc32c": f"{crc32c(body):08x}",
+        "length": len(body),
+    }
+    durable_write(
+        Path(path), json.dumps(payload, separators=(",", ":"))
+    )
 
 
 def _load_v1_state(state: MiningState, entries) -> None:
@@ -774,13 +791,14 @@ def load_state(path: PathOrStr) -> Tuple[MiningState, dict]:
     Raises
     ------
     CheckpointError
-        When the file is unreadable, not a checkpoint, corrupt, or has
-        an unsupported version.
+        When the file is unreadable, not a checkpoint, corrupt (a
+        present ``integrity`` envelope fails its CRC32C/length check),
+        or has an unsupported version.
     """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise CheckpointError(
             f"cannot read checkpoint {path!s}: {exc}"
         ) from exc
@@ -790,6 +808,27 @@ def load_state(path: PathOrStr) -> Tuple[MiningState, dict]:
         raise CheckpointError(
             f"{path!s} is not an incremental-miner checkpoint"
         )
+    integrity = payload.get("integrity")
+    if integrity is not None:
+        # Pre-hardening checkpoints have no envelope; when one is
+        # present it must verify.
+        try:
+            declared_crc = str(integrity["crc32c"])
+            declared_length = int(integrity["length"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint {path!s}: bad integrity field"
+            ) from exc
+        body = _integrity_body(payload)
+        if (
+            len(body) != declared_length
+            or f"{crc32c(body):08x}" != declared_crc
+        ):
+            raise CheckpointError(
+                f"corrupt checkpoint {path!s}: integrity check failed "
+                f"(crc32c {crc32c(body):08x} != {declared_crc} or "
+                f"length {len(body)} != {declared_length})"
+            )
     version = payload.get("version")
     if version not in (1, 2, 3):
         raise CheckpointError(
@@ -827,6 +866,8 @@ def load_state(path: PathOrStr) -> Tuple[MiningState, dict]:
                 else None
             ),
             "stable_since": int(payload["stable_since"]),
+            "journal_seq": int(payload.get("journal_seq", 0)),
+            "verified": integrity is not None,
         }
     except (
         KeyError,
@@ -839,6 +880,36 @@ def load_state(path: PathOrStr) -> Tuple[MiningState, dict]:
             f"corrupt checkpoint {path!s}: {exc}"
         ) from exc
     return state, meta
+
+
+def load_state_with_fallback(
+    path: PathOrStr,
+    recorder: Recorder = NULL_RECORDER,
+) -> Tuple[MiningState, dict, bool]:
+    """Load ``path``, falling back to ``path.prev`` when it is corrupt.
+
+    The durable session demotes each checkpoint to a ``.prev`` sibling
+    before writing its successor, so a checkpoint that fails its
+    integrity check (or is missing mid-rotation) still has one good
+    predecessor on disk.  Returns ``(state, meta, used_fallback)`` and
+    bumps ``repro_checkpoint_fallback_total`` when the fallback fired;
+    re-raises the primary :class:`~repro.errors.CheckpointError` when
+    the fallback is absent or also corrupt.
+    """
+    path = Path(path)
+    try:
+        state, meta = load_state(path)
+        return state, meta, False
+    except CheckpointError as primary:
+        fallback = path.with_name(path.name + ".prev")
+        if not fallback.exists():
+            raise
+        try:
+            state, meta = load_state(fallback)
+        except CheckpointError:
+            raise primary from None
+        recorder.count("repro_checkpoint_fallback_total")
+        return state, meta, True
 
 
 # ----------------------------------------------------------------------
@@ -857,6 +928,9 @@ def _fold_chunk(
     compact state actually sent) gives the IPC bytes saved.
     """
     labelled, executions, measure = args
+    # Fault-injection choke point: worker-crash / worker-hang faults
+    # fire here to drive the supervisor's recovery paths.
+    maybe_fault("fold.chunk")
     partial = MiningState(labelled=labelled)
     per_item: Optional[List] = [] if measure else None
     for execution in executions:
@@ -881,6 +955,8 @@ def fold_executions(
     chunk_size: int = 1024,
     recorder: Recorder = NULL_RECORDER,
     state: Optional[MiningState] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_poisoned: Optional[Callable] = None,
 ) -> MiningState:
     """Fold an execution *stream* into a :class:`MiningState`.
 
@@ -892,6 +968,13 @@ def fold_executions(
     per chunk* back (see :func:`repro.core.parallel.process_fold`),
     which the parent merges in submission order — deterministic and
     identical to the serial fold.
+
+    Passing a :class:`~repro.core.parallel.RetryPolicy` as ``retry``
+    upgrades the parallel path to :func:`~repro.core.parallel.
+    supervised_fold`: hung or crashed workers are detected, the chunk
+    is retried under the policy's backoff budget, and chunks that
+    exhaust it are skipped (the mine continues degraded) after being
+    reported through ``on_poisoned(executions, reason)``.
 
     Folds into ``state`` when given (e.g. to continue a resumed one),
     else into a fresh state; returns the folded state either way.
@@ -935,14 +1018,32 @@ def fold_executions(
                 )
             state.merge(partial)
 
-        process_fold(
-            _fold_chunk,
-            chunks(),
-            jobs,
-            fold,
-            recorder=recorder,
-            stage="stream_fold",
-        )
+        if retry is not None:
+
+            def report(chunk_args, reason: str) -> None:
+                if on_poisoned is not None:
+                    # Unwrap the worker tuple back to the executions.
+                    on_poisoned(chunk_args[1], reason)
+
+            supervised_fold(
+                _fold_chunk,
+                chunks(),
+                jobs,
+                fold,
+                policy=retry,
+                recorder=recorder,
+                stage="stream_fold",
+                on_poisoned=report,
+            )
+        else:
+            process_fold(
+                _fold_chunk,
+                chunks(),
+                jobs,
+                fold,
+                recorder=recorder,
+                stage="stream_fold",
+            )
     recorder.count(
         "repro_stream_executions_total",
         state.execution_count - before,

@@ -139,6 +139,11 @@ class EmptyLogError(MiningError, ValueError):
     """A miner was given a log with no executions."""
 
 
+class JournalError(ReproError):
+    """A write-ahead journal segment is unreadable or corrupt beyond
+    the tolerated torn tail (see :mod:`repro.resilience.journal`)."""
+
+
 class CheckpointError(MiningError, ValueError):
     """An incremental-miner checkpoint file is missing, corrupt, or of an
     incompatible version."""

@@ -201,6 +201,8 @@ def iter_ingest_log(
     quarantine: Optional[Quarantine] = None,
     report: Optional[IngestReport] = None,
     window: Optional[int] = DEFAULT_STREAM_WINDOW,
+    journal=None,
+    journal_skip: int = 0,
 ) -> Iterator[Execution]:
     """Stream executions out of a log without building an ``EventLog``.
 
@@ -218,6 +220,8 @@ def iter_ingest_log(
         quarantine=quarantine,
         report=report,
         window=window,
+        journal=journal,
+        journal_skip=journal_skip,
     )
 
 
@@ -228,6 +232,8 @@ def iter_ingest_log_file(
     quarantine: Optional[Quarantine] = None,
     report: Optional[IngestReport] = None,
     window: Optional[int] = DEFAULT_STREAM_WINDOW,
+    journal=None,
+    journal_skip: int = 0,
 ) -> Iterator[Execution]:
     """Stream executions out of a log file (see :func:`iter_ingest_log`)."""
     with open(path, "r", encoding="utf-8") as handle:
@@ -238,6 +244,8 @@ def iter_ingest_log_file(
             quarantine=quarantine,
             report=report,
             window=window,
+            journal=journal,
+            journal_skip=journal_skip,
         )
 
 

@@ -54,6 +54,7 @@ from repro.logs.event_log import EventLog
 from repro.logs.events import EventRecord
 from repro.logs.execution import Execution
 from repro.logs.repair import REPAIR_DROPPED_EMPTY_TRACE, repair_records
+from repro.resilience.faults import maybe_fault
 
 PathOrStr = Union[str, Path]
 
@@ -69,6 +70,10 @@ REASON_MIXED_PROCESS = "mixed-process"
 REASON_MALFORMED_EXECUTION = "malformed-execution"
 REASON_EMPTY_EXECUTION = "empty-execution"
 REASON_LATE_RECORD = "late-record"
+#: Executions whose fold chunk exhausted the supervised fold's retry
+#: budget (see :func:`repro.core.parallel.supervised_fold`); the mine
+#: continued without them, so they land in quarantine for replay.
+REASON_POISONED_CHUNK = "poisoned-chunk"
 
 QUARANTINE_REASONS = (
     REASON_BAD_LINE,
@@ -76,6 +81,7 @@ QUARANTINE_REASONS = (
     REASON_MALFORMED_EXECUTION,
     REASON_EMPTY_EXECUTION,
     REASON_LATE_RECORD,
+    REASON_POISONED_CHUNK,
 )
 
 #: Default finalization window of :func:`iter_ingest_lines`: an open
@@ -138,14 +144,31 @@ class QuarantinedItem:
             "payload": self.payload,
         }
 
+    @classmethod
+    def from_json(cls, payload: dict) -> "QuarantinedItem":
+        """Rebuild an item from one dead-letter file line."""
+        return cls(
+            kind=str(payload["kind"]),
+            reason=str(payload["reason"]),
+            detail=str(payload.get("detail", "")),
+            line_number=payload.get("line_number"),
+            execution_id=payload.get("execution_id"),
+            payload=payload.get("payload"),
+        )
+
 
 class Quarantine:
     """Dead-letter sink for diverted input.
 
     Always collects in memory; when constructed with a ``path`` it also
-    mirrors every item to a JSON-lines file (opened lazily, flushed per
-    item so a crash loses nothing already diverted).  Usable as a
-    context manager; :meth:`close` is idempotent.
+    mirrors every item to a JSON-lines file.  The file is opened
+    lazily in *append* mode and every record is written as one
+    ``write`` call (JSON + newline) followed by a flush, so a crashed
+    run loses at most the record being written and a resumed run
+    appends after the survivors instead of truncating them.  A torn
+    final line left by a crash is tolerated by
+    :func:`read_dead_letter`.  Usable as a context manager;
+    :meth:`close` is idempotent.
     """
 
     def __init__(self, path: Optional[PathOrStr] = None) -> None:
@@ -160,11 +183,35 @@ class Quarantine:
             if self._handle is None:
                 # Held open across divert() calls; closed by __exit__.
                 self._handle = open(  # noqa: SIM115
-                    self.path, "w", encoding="utf-8"
+                    self.path, "a", encoding="utf-8"
                 )
-            self._handle.write(json.dumps(item.to_json(), sort_keys=True))
-            self._handle.write("\n")
+            self._handle.write(
+                json.dumps(item.to_json(), sort_keys=True) + "\n"
+            )
             self._handle.flush()
+
+    def add_poisoned_executions(
+        self, executions: Iterable[Execution], detail: str
+    ) -> int:
+        """Divert a poisoned fold chunk's executions; returns how many.
+
+        The supervised fold hands back the chunk that exhausted its
+        retry budget; each execution is preserved as a re-processable
+        ``poisoned-chunk`` dead-letter record.
+        """
+        count = 0
+        for execution in executions:
+            self.add(
+                QuarantinedItem(
+                    kind="execution",
+                    reason=REASON_POISONED_CHUNK,
+                    detail=detail,
+                    execution_id=execution.execution_id,
+                    payload=_record_payload(execution.records),
+                )
+            )
+            count += 1
+        return count
 
     def close(self) -> None:
         """Close the dead-letter file, if one was opened."""
@@ -183,6 +230,56 @@ class Quarantine:
 
     def __iter__(self) -> Iterator[QuarantinedItem]:
         return iter(self.items)
+
+
+class DeadLetterScan(NamedTuple):
+    """What :func:`read_dead_letter` recovered from a dead-letter file."""
+
+    items: List[QuarantinedItem]
+    torn_tail: bool
+
+
+def read_dead_letter(path: PathOrStr) -> DeadLetterScan:
+    """Read a quarantine dead-letter file back, tolerating a torn tail.
+
+    Each complete line must be one :meth:`QuarantinedItem.to_json`
+    object.  A final line that is unparseable *and* unterminated (no
+    trailing newline) is the torn record of a crashed writer and is
+    dropped, reported via ``torn_tail``; damage anywhere else raises
+    :class:`~repro.errors.LogFormatError` — an append-only writer
+    cannot produce it.
+    """
+    raw = Path(path).read_bytes()
+    items: List[QuarantinedItem] = []
+    lines = raw.split(b"\n")
+    # A well-formed file ends with a newline, so the final split piece
+    # is empty; anything else is an unterminated (torn) last record.
+    tail = lines.pop()
+    torn_tail = False
+    if tail.strip():
+        try:
+            items_tail = QuarantinedItem.from_json(
+                json.loads(tail.decode("utf-8"))
+            )
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            items_tail = None
+            torn_tail = True
+    else:
+        items_tail = None
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            items.append(
+                QuarantinedItem.from_json(json.loads(line.decode("utf-8")))
+            )
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            raise LogFormatError(
+                f"corrupt dead-letter record: {exc}", index + 1
+            ) from exc
+    if items_tail is not None:
+        items.append(items_tail)
+    return DeadLetterScan(items=items, torn_tail=torn_tail)
 
 
 @dataclass
@@ -329,6 +426,8 @@ def iter_ingest_lines(
     quarantine: Optional[Quarantine] = None,
     report: Optional[IngestReport] = None,
     window: Optional[int] = DEFAULT_STREAM_WINDOW,
+    journal=None,
+    journal_skip: int = 0,
 ) -> Iterator[Execution]:
     """Stream executions out of a line stream under an error policy.
 
@@ -354,9 +453,53 @@ def iter_ingest_lines(
     ``quarantine``) in to inspect the accounting after exhaustion; the
     report's ``process_name`` is filled from the first record.
 
+    Durability hooks (see ``docs/RELIABILITY.md``): a
+    :class:`~repro.resilience.journal.Journal` passed as ``journal``
+    receives every accepted execution *before* it is yielded, making
+    the downstream fold write-ahead — journal sequence numbers
+    correspond 1:1 with accepted executions in finalization order.  A
+    resumed run passes ``journal_skip=K`` to suppress *journaling* of
+    the first ``K`` accepted executions (the journal already holds
+    them); they are still yielded and still counted by the report, so
+    resumed tracking and accounting match an uninterrupted run — the
+    caller skips re-folding them by position.
+
     Yields accepted executions in finalization order.  The generator
     must be fully consumed for the report to be complete.
     """
+    if journal_skip < 0:
+        raise ValueError("journal_skip must be >= 0")
+    stream = _iter_ingest_core(
+        numbered_lines,
+        parse_line,
+        policy=policy,
+        limits=limits,
+        quarantine=quarantine,
+        report=report,
+        window=window,
+    )
+    if journal is None:
+        yield from stream
+        return
+    accepted = 0
+    for execution in stream:
+        accepted += 1
+        if accepted > journal_skip:
+            maybe_fault("ingest.accept")
+            journal.append_execution(execution)
+        yield execution
+
+
+def _iter_ingest_core(
+    numbered_lines: Iterable[Tuple[int, str]],
+    parse_line: LineParser,
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+    report: Optional[IngestReport] = None,
+    window: Optional[int] = DEFAULT_STREAM_WINDOW,
+) -> Iterator[Execution]:
+    """The policy/window machinery behind :func:`iter_ingest_lines`."""
     if policy not in POLICIES:
         raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
     if window is not None and window < 1:

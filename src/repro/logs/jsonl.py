@@ -170,6 +170,8 @@ def iter_ingest_log_jsonl(
     quarantine: Optional[Quarantine] = None,
     report: Optional[IngestReport] = None,
     window: Optional[int] = DEFAULT_STREAM_WINDOW,
+    journal=None,
+    journal_skip: int = 0,
 ) -> Iterator[Execution]:
     """Stream executions out of a JSON-lines log (no ``EventLog``).
 
@@ -185,6 +187,8 @@ def iter_ingest_log_jsonl(
         quarantine=quarantine,
         report=report,
         window=window,
+        journal=journal,
+        journal_skip=journal_skip,
     )
 
 
@@ -195,6 +199,8 @@ def iter_ingest_log_jsonl_file(
     quarantine: Optional[Quarantine] = None,
     report: Optional[IngestReport] = None,
     window: Optional[int] = DEFAULT_STREAM_WINDOW,
+    journal=None,
+    journal_skip: int = 0,
 ) -> Iterator[Execution]:
     """Stream executions out of a JSON-lines log file."""
     with open(path, "r", encoding="utf-8") as handle:
@@ -205,6 +211,8 @@ def iter_ingest_log_jsonl_file(
             quarantine=quarantine,
             report=report,
             window=window,
+            journal=journal,
+            journal_skip=journal_skip,
         )
 
 

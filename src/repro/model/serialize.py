@@ -58,8 +58,17 @@ def model_to_text(model: ProcessModel) -> str:
 
 
 def save_model(model: ProcessModel, path: PathOrStr) -> None:
-    """Write ``model`` to ``path`` in the line format."""
-    Path(path).write_text(model_to_text(model), encoding="utf-8")
+    """Write ``model`` to ``path`` in the line format.
+
+    The write goes through :func:`repro.resilience.durable.
+    durable_write` (temp sibling + rename), so an interrupted save
+    never leaves a truncated model file behind.
+    """
+    from repro.resilience.durable import durable_write
+
+    durable_write(
+        Path(path), model_to_text(model).encode("utf-8")
+    )
 
 
 def model_from_text(text: str) -> ProcessModel:

@@ -346,7 +346,14 @@ def render(manifest: RunManifest, fmt: str) -> str:
 def write_manifest(
     manifest: RunManifest, path: PathOrStr, fmt: str = FORMAT_JSONL
 ) -> Path:
-    """Render and write ``manifest`` to ``path``; returns the path."""
+    """Render and write ``manifest`` to ``path``; returns the path.
+
+    Written via :func:`repro.resilience.durable.durable_write` so a
+    crash mid-export never clobbers a previous manifest with a
+    partial one.
+    """
+    from repro.resilience.durable import durable_write
+
     path = Path(path)
-    path.write_text(render(manifest, fmt), encoding="utf-8")
+    durable_write(path, render(manifest, fmt).encode("utf-8"))
     return path

@@ -1,0 +1,83 @@
+"""Crash-safety layer: durable writes, WAL, fault injection, sessions.
+
+See ``docs/RELIABILITY.md`` for the durability contract this package
+implements and the recovery procedure it supports.
+"""
+
+from repro.errors import JournalError
+from repro.resilience.durable import crc32c, durable_write, fsync_directory
+from repro.resilience.faults import (
+    CHOKE_POINTS,
+    FAULT_KINDS,
+    PLAN_ENV,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedIOError,
+    InjectedTear,
+    get_injector,
+    hard_kill,
+    install,
+    maybe_fault,
+    now,
+    uninstall,
+)
+from repro.resilience.journal import (
+    Journal,
+    JournalScan,
+    decode_execution,
+    encode_execution,
+    replay_executions,
+    scan_journal,
+    scan_segment,
+)
+# The session layer sits on top of repro.core.state, which itself uses
+# the durable/fault primitives above — importing it eagerly here would
+# close an import cycle, so its exports resolve lazily (PEP 562).
+_SESSION_EXPORTS = (
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DurableSession",
+    "RecoveryReport",
+)
+
+
+def __getattr__(name: str):
+    if name in _SESSION_EXPORTS:
+        from repro.resilience import session
+
+        return getattr(session, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+__all__ = [
+    "CHOKE_POINTS",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "FAULT_KINDS",
+    "PLAN_ENV",
+    "DurableSession",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedIOError",
+    "InjectedTear",
+    "Journal",
+    "JournalError",
+    "JournalScan",
+    "RecoveryReport",
+    "crc32c",
+    "decode_execution",
+    "durable_write",
+    "encode_execution",
+    "fsync_directory",
+    "get_injector",
+    "hard_kill",
+    "install",
+    "maybe_fault",
+    "now",
+    "replay_executions",
+    "scan_journal",
+    "scan_segment",
+    "uninstall",
+]

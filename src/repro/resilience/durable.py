@@ -1,0 +1,143 @@
+"""Durable file primitives: CRC32C and torn-write-proof writes.
+
+Every persistent artifact the pipeline emits (checkpoints, mining
+states, quarantine dead-letter files, metrics manifests, benchmark
+reports) must survive the classic crash model: the process can be
+SIGKILLed between any two syscalls, and an unsynced write can be torn
+at an arbitrary byte boundary.  Two primitives cover it:
+
+* :func:`crc32c` — the Castagnoli CRC (the checksum used by iSCSI,
+  ext4 and most journaled stores), implemented dependency-free over a
+  precomputed table.  All framing in :mod:`repro.resilience.journal`
+  and the checkpoint integrity envelope use it.
+* :func:`durable_write` — the write-temp-sibling / fsync-file /
+  ``os.replace`` / fsync-parent-directory sequence.  After it returns,
+  the data is on disk under ``path``; if the process dies at any prior
+  point, ``path`` still holds its previous content (or is still
+  absent) — never a torn mixture.
+
+Both are choke points for :mod:`repro.resilience.faults`, so the
+fault-injection harness can tear, corrupt or kill at exactly these
+boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+from repro.resilience.faults import InjectedTear, hard_kill, maybe_fault
+
+PathOrStr = Union[str, Path]
+
+_CRC32C_POLY = 0x82F63B78
+
+
+def _build_table() -> tuple:
+    table = []
+    for index in range(256):
+        crc = index
+        for _ in range(8):
+            crc = (crc >> 1) ^ (_CRC32C_POLY if crc & 1 else 0)
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC32C_TABLE = _build_table()
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """The CRC32C (Castagnoli) checksum of ``data``.
+
+    ``crc`` continues a running checksum (pass a previous return
+    value), mirroring :func:`zlib.crc32`'s calling convention.
+
+    Examples
+    --------
+    >>> hex(crc32c(b"123456789"))
+    '0xe3069283'
+    >>> crc32c(b"")
+    0
+    """
+    crc = ~crc & 0xFFFFFFFF
+    table = _CRC32C_TABLE
+    for byte in data:
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+    return ~crc & 0xFFFFFFFF
+
+
+def fsync_directory(directory: PathOrStr) -> None:
+    """fsync a directory so a rename inside it survives a crash.
+
+    Platforms whose directory handles cannot be fsynced (or sandboxes
+    that refuse to open directories) are tolerated silently — the
+    rename itself is still atomic there.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_write(
+    path: PathOrStr,
+    data: Union[bytes, str],
+    fsync: bool = True,
+) -> None:
+    """Write ``data`` to ``path`` so a crash never leaves a torn file.
+
+    The sequence is: write a temporary sibling, flush + fsync it, move
+    it into place with :func:`os.replace`, then fsync the parent
+    directory so the rename itself is durable.  Readers therefore see
+    either the old content or the new content, never a prefix.
+
+    ``fsync=False`` skips both fsyncs (atomicity without durability)
+    for high-churn artifacts where the journal already provides
+    durability.
+
+    Fault-injection choke point: ``durable.write`` (the whole payload,
+    before the temporary file is written).
+    """
+    path = Path(path)
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    parent = path.parent if str(path.parent) else Path(".")
+    try:
+        data = maybe_fault("durable.write", payload=data)
+    except InjectedTear as tear:
+        # Power loss mid-write: the temporary sibling is torn, the
+        # target is untouched — exactly what atomic replace protects.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(tear.partial)
+            handle.flush()
+            os.fsync(handle.fileno())
+        hard_kill()
+    fd, tmp_name = tempfile.mkstemp(
+        dir=parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_directory(parent)

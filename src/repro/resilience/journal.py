@@ -1,0 +1,462 @@
+"""Write-ahead journal: CRC32C-framed, length-prefixed segment files.
+
+The durability contract of the streaming miner (see
+``docs/RELIABILITY.md``) is the classic one: every accepted execution
+is appended to the journal *before* it is folded into the mining
+state, and checkpoints record the journal sequence number they cover.
+Recovery is therefore always ``last good checkpoint + journal tail
+replay`` — no matter where the process was killed.
+
+On-disk format
+--------------
+A journal is a directory of segment files named
+``wal-<start_seq 16 digits>.seg``.  Each segment is an 8-byte magic
+header (``RPWAL1\\n\\0``) followed by frames::
+
+    u32 little-endian  payload length
+    u32 little-endian  CRC32C(payload)
+    payload bytes
+
+Record sequence numbers are positional: the segment's filename names
+the sequence number of its first record, and frames are consecutive —
+so the journal never stores a sequence number redundantly, and a
+segment is prunable by filename arithmetic alone.
+
+Torn tails
+----------
+A crash can tear the final frame at any byte.  :func:`scan_journal`
+stops at the first invalid frame; damage at the physical tail of the
+*last* segment is a tolerated ``torn tail`` (the records before it
+replay fine), while an invalid frame anywhere else — or in a
+non-final segment — marks the journal ``corrupt`` (frames after it
+are unreachable, which is real data loss and is reported as such by
+``repro-miner verify-state``).  :class:`Journal` truncates a torn
+tail away when it reopens a directory for append, so new records are
+always framed at a good boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import JournalError
+from repro.resilience.durable import crc32c, fsync_directory
+from repro.resilience.faults import InjectedTear, hard_kill, maybe_fault
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repro.logs)
+    from repro.logs.execution import Execution
+
+PathOrStr = Union[str, Path]
+
+MAGIC = b"RPWAL1\n\0"
+_HEADER = struct.Struct("<II")
+#: Sanity bound on one frame's payload: a corrupt length prefix must
+#: not make the reader allocate gigabytes.
+MAX_PAYLOAD = 1 << 26
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".seg"
+
+
+def _segment_name(start_seq: int) -> str:
+    return f"{SEGMENT_PREFIX}{start_seq:016d}{SEGMENT_SUFFIX}"
+
+
+def _segment_start(path: Path) -> Optional[int]:
+    name = path.name
+    if not (
+        name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)
+    ):
+        return None
+    digits = name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)]
+    if not digits.isdigit():
+        return None
+    return int(digits)
+
+
+def list_segments(directory: PathOrStr) -> List[Tuple[int, Path]]:
+    """The journal's segment files as sorted ``(start_seq, path)``."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    segments = []
+    for path in directory.iterdir():
+        start = _segment_start(path)
+        if start is not None:
+            segments.append((start, path))
+    segments.sort()
+    return segments
+
+
+def pack_frame(payload: bytes) -> bytes:
+    """Frame one payload: length prefix + CRC32C + payload."""
+    if len(payload) > MAX_PAYLOAD:
+        raise JournalError(
+            f"journal payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte frame bound"
+        )
+    return _HEADER.pack(len(payload), crc32c(payload)) + payload
+
+
+@dataclass
+class SegmentScan:
+    """One segment's scan result (see :func:`scan_segment`)."""
+
+    path: Path
+    start_seq: int
+    payloads: List[bytes] = field(default_factory=list)
+    #: Byte offset just past the last *valid* frame.
+    good_end: int = len(MAGIC)
+    #: Whether bytes past ``good_end`` exist but do not form a frame.
+    damaged: bool = False
+    detail: str = ""
+
+    @property
+    def record_count(self) -> int:
+        return len(self.payloads)
+
+
+def scan_segment(path: Path, start_seq: int) -> SegmentScan:
+    """Read one segment, stopping at the first invalid frame.
+
+    Never raises on damage: the scan reports how far the good prefix
+    reaches (``good_end``) and whether trailing damage exists; the
+    caller decides whether that is a tolerable torn tail (last
+    segment) or corruption (earlier segment).  An unreadable file or a
+    bad magic header raises :class:`~repro.errors.JournalError` — that
+    is not a torn write, the segment never existed correctly.
+    """
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal segment {path}: {exc}") from exc
+    scan = SegmentScan(path=path, start_seq=start_seq)
+    if len(data) < len(MAGIC) or not data.startswith(MAGIC):
+        # A zero-length or short file can be a segment torn at creation;
+        # anything else claiming the name is not a journal segment.
+        if len(data) < len(MAGIC) and MAGIC.startswith(data):
+            scan.good_end = 0
+            scan.damaged = bool(data)
+            scan.detail = "segment header torn"
+            return scan
+        raise JournalError(
+            f"{path} is not a journal segment (bad magic header)"
+        )
+    offset = len(MAGIC)
+    total = len(data)
+    while offset < total:
+        if offset + _HEADER.size > total:
+            scan.damaged = True
+            scan.detail = "torn frame header"
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > MAX_PAYLOAD:
+            scan.damaged = True
+            scan.detail = f"implausible frame length {length}"
+            break
+        end = offset + _HEADER.size + length
+        if end > total:
+            scan.damaged = True
+            scan.detail = "torn frame payload"
+            break
+        payload = data[offset + _HEADER.size : end]
+        if crc32c(payload) != crc:
+            scan.damaged = True
+            scan.detail = "frame CRC mismatch"
+            break
+        scan.payloads.append(payload)
+        scan.good_end = end
+        offset = end
+    return scan
+
+
+@dataclass
+class JournalScan:
+    """Whole-journal scan result (see :func:`scan_journal`).
+
+    ``records`` holds ``(seq, payload)`` for every valid frame in
+    sequence order.  ``torn_tail`` flags tolerated damage at the very
+    end; ``corrupt`` flags damage that cut off reachable records (an
+    invalid frame before the journal's physical tail).
+    """
+
+    directory: Path
+    records: List[Tuple[int, bytes]] = field(default_factory=list)
+    segments: int = 0
+    torn_tail: bool = False
+    corrupt: bool = False
+    detail: str = ""
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1][0] if self.records else 0
+
+
+def scan_journal(directory: PathOrStr) -> JournalScan:
+    """Scan every segment of the journal at ``directory``.
+
+    Damage at the physical tail of the final segment is reported as a
+    ``torn_tail`` (recovery proceeds on the good prefix); damage in any
+    earlier segment marks the scan ``corrupt`` and stops it — frames
+    past an invalid one have no recoverable boundaries.
+    """
+    directory = Path(directory)
+    result = JournalScan(directory=directory)
+    segments = list_segments(directory)
+    result.segments = len(segments)
+    for index, (start_seq, path) in enumerate(segments):
+        scan = scan_segment(path, start_seq)
+        expected = result.last_seq + 1 if result.records else None
+        if expected is not None and start_seq != expected:
+            result.corrupt = True
+            result.detail = (
+                f"segment {path.name} starts at seq {start_seq}, "
+                f"expected {expected}"
+            )
+            break
+        for position, payload in enumerate(scan.payloads):
+            result.records.append((start_seq + position, payload))
+        if scan.damaged:
+            if index == len(segments) - 1:
+                result.torn_tail = True
+                result.detail = scan.detail
+            else:
+                result.corrupt = True
+                result.detail = (
+                    f"{scan.detail} in non-final segment {path.name}"
+                )
+                break
+    return result
+
+
+class Journal:
+    """Append-only CRC-framed journal over a directory of segments.
+
+    Parameters
+    ----------
+    directory:
+        Created if missing.  Reopening an existing journal resumes
+        appending after its last good record; a torn tail is truncated
+        away first.
+    sync:
+        ``True`` (default) fsyncs after every appended record — the
+        write-ahead guarantee.  ``False`` leaves flushing to the OS
+        (tests and bulk imports).
+
+    Fault-injection choke point: ``journal.append`` (the framed bytes,
+    per record).
+    """
+
+    def __init__(self, directory: PathOrStr, sync: bool = True) -> None:
+        self.directory = Path(directory)
+        self.sync = bool(sync)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+        self._segment_path: Optional[Path] = None
+        self._last_seq = 0
+        self._recover_open_position()
+
+    # ------------------------------------------------------------------
+    # Opening / recovery
+    # ------------------------------------------------------------------
+    def _recover_open_position(self) -> None:
+        segments = list_segments(self.directory)
+        if not segments:
+            return
+        last_seq = 0
+        for index, (start_seq, path) in enumerate(segments):
+            scan = scan_segment(path, start_seq)
+            if scan.record_count:
+                last_seq = start_seq + scan.record_count - 1
+            if index == len(segments) - 1:
+                if scan.damaged:
+                    # Truncate the torn tail so appends reframe cleanly.
+                    with open(path, "r+b") as handle:
+                        handle.truncate(max(scan.good_end, 0))
+                if scan.good_end >= len(MAGIC):
+                    self._segment_path = path
+        self._last_seq = last_seq
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last durably appended record."""
+        return self._last_seq
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _open_segment(self) -> None:
+        path = self.directory / _segment_name(self._last_seq + 1)
+        self._handle = open(path, "ab")
+        self._segment_path = path
+        if self._handle.tell() == 0:
+            self._handle.write(MAGIC)
+            self._handle.flush()
+            if self.sync:
+                os.fsync(self._handle.fileno())
+                fsync_directory(self.directory)
+
+    def append(self, payload: bytes) -> int:
+        """Durably append one record; returns its sequence number.
+
+        The record is on disk (modulo ``sync=False``) when this
+        returns — the caller may then apply the operation it journals.
+        """
+        if self._handle is None:
+            if self._segment_path is not None:
+                self._handle = open(self._segment_path, "ab")
+            else:
+                self._open_segment()
+        frame = pack_frame(payload)
+        try:
+            frame = maybe_fault("journal.append", payload=frame)
+        except InjectedTear as tear:
+            self._handle.write(tear.partial)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            hard_kill()
+        self._handle.write(frame)
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+        self._last_seq += 1
+        return self._last_seq
+
+    def rotate(self) -> None:
+        """Close the active segment; the next append starts a new one.
+
+        Called at checkpoint boundaries so whole segments become
+        prunable once a later checkpoint covers them.
+        """
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._segment_path = None
+
+    def advance_to(self, seq: int) -> None:
+        """Skip the sequence counter forward to ``seq`` (never back).
+
+        Recovery calls this when a checkpoint covers more than the
+        journal holds (its segments were pruned or lost): future
+        appends must continue the checkpoint's numbering, not the stale
+        journal's.  Every existing segment is below ``seq`` — i.e.
+        fully covered by that checkpoint — so they are pruned, keeping
+        the scanner's cross-segment seq-continuity invariant intact.
+        """
+        if seq <= self._last_seq:
+            return
+        self.rotate()
+        self._last_seq = seq
+        self.prune(upto_seq=seq)
+
+    def prune(self, upto_seq: int) -> int:
+        """Delete segments whose every record is ``<= upto_seq``.
+
+        The active segment is never deleted.  Returns the number of
+        segments removed.  Safe to call at any time: a segment is only
+        removable when the *next* segment's start proves its range.
+        """
+        segments = list_segments(self.directory)
+        removed = 0
+        for index, (start_seq, path) in enumerate(segments):
+            if path == self._segment_path:
+                continue
+            if index + 1 < len(segments):
+                covers_through = segments[index + 1][0] - 1
+            else:
+                covers_through = self._last_seq
+            if covers_through <= upto_seq:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        if removed:
+            fsync_directory(self.directory)
+        return removed
+
+    def close(self) -> None:
+        """Close the active segment handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution payloads
+    # ------------------------------------------------------------------
+    def append_execution(self, execution: "Execution") -> int:
+        """Append one accepted execution as a JSON payload record."""
+        return self.append(encode_execution(execution))
+
+
+def encode_execution(execution: "Execution") -> bytes:
+    """One execution as a compact, deterministic JSON payload."""
+    records = [
+        [
+            record.timestamp,
+            record.activity,
+            record.event_type,
+            list(record.output) if record.output is not None else None,
+        ]
+        for record in execution.records
+    ]
+    return json.dumps(
+        {"id": execution.execution_id, "records": records},
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def decode_execution(payload: bytes) -> "Execution":
+    """Rebuild an :class:`~repro.logs.execution.Execution` payload."""
+    from repro.logs.events import EventRecord
+    from repro.logs.execution import Execution
+
+    try:
+        body = json.loads(payload.decode("utf-8"))
+        eid = str(body["id"])
+        records = [
+            EventRecord(
+                timestamp=float(timestamp),
+                execution_id=eid,
+                activity=str(activity),
+                event_type=str(event_type),
+                output=tuple(output) if output is not None else None,
+            )
+            for timestamp, activity, event_type, output in body["records"]
+        ]
+        return Execution(eid, records)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise JournalError(
+            f"journal record is not a valid execution payload: {exc}"
+        ) from exc
+
+
+def replay_executions(
+    directory: PathOrStr, after_seq: int = 0
+) -> Iterator[Tuple[int, "Execution"]]:
+    """Yield ``(seq, execution)`` for journal records past ``after_seq``.
+
+    Raises :class:`~repro.errors.JournalError` when the journal is
+    corrupt (damage before its tail); a torn tail is silently tolerated
+    — the callers' contract is prefix recovery.
+    """
+    scan = scan_journal(directory)
+    if scan.corrupt:
+        raise JournalError(
+            f"journal at {directory} is corrupt: {scan.detail}"
+        )
+    for seq, payload in scan.records:
+        if seq > after_seq:
+            yield seq, decode_execution(payload)

@@ -1,0 +1,288 @@
+"""Durable streaming-mining session: journal + checkpoint + replay.
+
+:class:`DurableSession` packages the durability contract for one
+streaming mine (CLI ``mine --stream --journal`` or API callers):
+
+* every accepted execution is appended to the write-ahead journal
+  **before** it is folded into the :class:`~repro.core.state.
+  MiningState` (write-ahead invariant);
+* every ``checkpoint_every`` folded executions the state is written as
+  a hardened v3 checkpoint (CRC32C integrity envelope, previous
+  checkpoint kept as a ``.prev`` fallback) carrying the journal
+  sequence number it covers, and journal segments no recovery path can
+  need anymore are pruned;
+* :meth:`DurableSession.recover` rebuilds the exact pre-crash state:
+  last good checkpoint (falling back to ``.prev`` on corruption) plus
+  a replay of the journal tail, tolerating a torn final record.
+
+The recovered state covers journal sequences ``1..covered``; because
+sequence numbers correspond 1:1 with accepted executions in ingest
+order, ``covered`` is exactly how many accepted executions a resumed
+run must skip before folding continues.  The resulting final state is
+byte-identical (canonical serialization) to an uninterrupted run — the
+kill-and-resume suite asserts this under seeded fault plans.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.core.state import (
+    MODE_CYCLIC,
+    MODE_GENERAL,
+    MiningState,
+    load_state_with_fallback,
+    save_state,
+)
+from repro.errors import CheckpointError
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.resilience.durable import fsync_directory
+from repro.resilience.faults import POINT_CHECKPOINT_SAVE, POINT_FOLD_MERGE, maybe_fault
+from repro.resilience.journal import Journal, replay_executions, scan_journal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.logs.execution import Execution
+
+PathOrStr = Union[str, Path]
+
+CHECKPOINT_NAME = "checkpoint.json"
+PREVIOUS_SUFFIX = ".prev"
+WAL_DIRECTORY = "wal"
+
+DEFAULT_CHECKPOINT_EVERY = 256
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`DurableSession.recover` found and rebuilt.
+
+    ``covered`` is the journal sequence number the recovered state
+    reaches — equivalently, the number of accepted executions a
+    resumed ingest must skip.
+    """
+
+    resumed: bool
+    checkpoint_seq: int
+    replayed: int
+    covered: int
+    torn_tail: bool
+    used_fallback: bool
+
+    def summary(self) -> str:
+        if not self.resumed:
+            return "recovery: fresh session (no checkpoint, empty journal)"
+        parts = [
+            f"recovery: checkpoint through seq {self.checkpoint_seq}",
+            f"replayed {self.replayed} journal record(s)",
+            f"state covers {self.covered} execution(s)",
+        ]
+        if self.used_fallback:
+            parts.append("used .prev checkpoint fallback")
+        if self.torn_tail:
+            parts.append("discarded a torn journal tail")
+        return "; ".join(parts)
+
+
+class DurableSession:
+    """Crash-safe accumulation of a streaming mine under ``directory``.
+
+    Layout::
+
+        directory/
+          checkpoint.json        hardened v3 state envelope
+          checkpoint.json.prev   previous good checkpoint (fallback)
+          wal/wal-*.seg          write-ahead journal segments
+
+    Parameters
+    ----------
+    directory:
+        Session home; created if missing.
+    labelled:
+        Mining-state view, as in :class:`~repro.core.state.MiningState`.
+    threshold:
+        Recorded into checkpoints (Section 6 noise threshold).
+    checkpoint_every:
+        Fold count between automatic checkpoints (0 disables automatic
+        checkpoints; :meth:`finalize` still writes one).
+    sync:
+        Passed to the journal; ``False`` trades the write-ahead fsync
+        guarantee for speed.
+    """
+
+    def __init__(
+        self,
+        directory: PathOrStr,
+        labelled: bool = False,
+        threshold: int = 0,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        recorder: Recorder = NULL_RECORDER,
+        sync: bool = True,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.labelled = bool(labelled)
+        self.threshold = int(threshold)
+        self.checkpoint_every = int(checkpoint_every)
+        self.recorder = recorder
+        self.checkpoint_path = self.directory / CHECKPOINT_NAME
+        self.journal = Journal(self.directory / WAL_DIRECTORY, sync=sync)
+        self._state = MiningState(labelled=self.labelled)
+        #: Journal seq the in-memory state covers (== executions folded).
+        self._covered = 0
+        #: Journal seq covered by the newest on-disk checkpoint.
+        self._checkpoint_seq = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> MiningState:
+        """The live mining state (treat as read-only)."""
+        return self._state
+
+    @property
+    def covered_seq(self) -> int:
+        """Journal sequence number the in-memory state covers."""
+        return self._covered
+
+    @property
+    def mode(self) -> str:
+        return MODE_CYCLIC if self.labelled else MODE_GENERAL
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        """Load checkpoint + replay the journal tail into the state.
+
+        Call exactly once, before any :meth:`fold`.  Raises
+        :class:`~repro.errors.CheckpointError` when both the checkpoint
+        and its ``.prev`` fallback are corrupt, and
+        :class:`~repro.errors.JournalError` when the journal is corrupt
+        beyond its tolerated torn tail.
+        """
+        if self._covered:
+            raise RuntimeError("recover() must run before any fold()")
+        used_fallback = False
+        checkpoint_seq = 0
+        prev_path = self.checkpoint_path.with_name(
+            self.checkpoint_path.name + PREVIOUS_SUFFIX
+        )
+        state: Optional[MiningState] = None
+        meta: dict = {}
+        if self.checkpoint_path.exists() or prev_path.exists():
+            state, meta, used_fallback = load_state_with_fallback(
+                self.checkpoint_path, self.recorder
+            )
+        if state is not None:
+            if state.labelled != self.labelled:
+                raise CheckpointError(
+                    f"checkpoint mode {meta.get('mode')!r} does not "
+                    f"match this session's "
+                    f"{'labelled' if self.labelled else 'plain'} state"
+                )
+            self._state = state
+            checkpoint_seq = int(meta.get("journal_seq", 0))
+        scan = scan_journal(self.journal.directory)
+        if scan.torn_tail:
+            self.recorder.count("repro_journal_torn_tail_total")
+        replayed = 0
+        for seq, execution in replay_executions(
+            self.journal.directory, after_seq=checkpoint_seq
+        ):
+            self._state.update(execution)
+            replayed += 1
+        self._covered = max(checkpoint_seq, scan.last_seq)
+        self._checkpoint_seq = checkpoint_seq
+        # A checkpoint ahead of the journal (pruned/lost segments):
+        # future appends must continue the checkpoint's numbering.
+        self.journal.advance_to(checkpoint_seq)
+        if replayed:
+            self.recorder.count("repro_journal_replayed_total", replayed)
+        return RecoveryReport(
+            resumed=bool(state is not None or replayed),
+            checkpoint_seq=checkpoint_seq,
+            replayed=replayed,
+            covered=self._covered,
+            torn_tail=scan.torn_tail,
+            used_fallback=used_fallback,
+        )
+
+    # ------------------------------------------------------------------
+    # Folding
+    # ------------------------------------------------------------------
+    def fold(self, execution: "Execution") -> None:
+        """Journal (if not already journaled) and fold one execution.
+
+        When the streaming ingest layer already appended the execution
+        (``iter_ingest_*(journal=session.journal)``), the journal's
+        head is one past the state's coverage and the append is
+        skipped — the write-ahead invariant holds either way.
+        """
+        if self.journal.last_seq <= self._covered:
+            self.journal.append_execution(execution)
+            self.recorder.count("repro_journal_records_total")
+        maybe_fault(POINT_FOLD_MERGE)
+        self._state.update(execution)
+        self._covered += 1
+        if (
+            self.checkpoint_every
+            and self._covered - self._checkpoint_seq
+            >= self.checkpoint_every
+        ):
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Write the state as a hardened checkpoint; prune the journal.
+
+        Sequence: freeze the journal segment (rotate), demote the
+        current checkpoint to ``.prev``, durably write the new one
+        (with the covered journal seq), then prune segments older than
+        the *previous* checkpoint — the ``.prev`` fallback plus the
+        retained tail can always rebuild the newest state.
+        """
+        maybe_fault(POINT_CHECKPOINT_SAVE)
+        previous_seq = self._checkpoint_seq
+        self.journal.rotate()
+        if self.checkpoint_path.exists():
+            os.replace(
+                self.checkpoint_path,
+                self.checkpoint_path.with_name(
+                    self.checkpoint_path.name + PREVIOUS_SUFFIX
+                ),
+            )
+            fsync_directory(self.directory)
+        save_state(
+            self._state,
+            self.checkpoint_path,
+            mode=self.mode,
+            threshold=self.threshold,
+            journal_seq=self._covered,
+        )
+        self.journal.prune(upto_seq=previous_seq)
+        self._checkpoint_seq = self._covered
+        self.recorder.count("repro_session_checkpoints_total")
+
+    def finalize(self) -> MiningState:
+        """Final checkpoint, close the journal, return the state."""
+        if self._covered > self._checkpoint_seq or not (
+            self.checkpoint_path.exists()
+        ):
+            if self._covered:
+                self.checkpoint()
+        self.journal.close()
+        return self._state
+
+    def __enter__(self) -> "DurableSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.journal.close()

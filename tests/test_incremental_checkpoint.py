@@ -118,7 +118,7 @@ class TestAtomicity:
         def exploding_dump(*args, **kwargs):
             raise RuntimeError("simulated serialization crash")
 
-        monkeypatch.setattr(json, "dump", exploding_dump)
+        monkeypatch.setattr(json, "dumps", exploding_dump)
         with pytest.raises(RuntimeError):
             mined_all().checkpoint(path)
         monkeypatch.undo()

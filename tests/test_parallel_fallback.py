@@ -128,3 +128,221 @@ class TestFoldExecutionsFallback:
             serial.update(execution)
         assert degraded.to_payload() == serial.to_payload()
         assert fallback_count(recorder, "stream_fold") == 1
+
+
+# ----------------------------------------------------------------------
+# Supervised fold: retry/backoff, timeouts, poisoned chunks
+# ----------------------------------------------------------------------
+import os
+import time
+
+from repro.core.parallel import RetryPolicy, supervised_fold
+
+FAST = RetryPolicy(
+    timeout=2.0, max_retries=1, backoff_base=0.01, backoff_max=0.02
+)
+
+
+def _raise_chunk(args):
+    raise ValueError("chunk worker died")
+
+
+def _eval_chunk(chunk):
+    """Picklable worker: ('ok'|'crash'|'hang'|'fail', value)."""
+    kind, value = chunk
+    if kind == "crash":
+        os._exit(70)
+    if kind == "hang":
+        time.sleep(60)
+    if kind == "fail":
+        raise ValueError(f"poisonous value {value}")
+    return value * 2
+
+
+def run_supervised(chunks, jobs, policy=FAST, recorder=None):
+    folded, poisoned = [], []
+    recorder = recorder or ObsRecorder()
+    count = supervised_fold(
+        _eval_chunk,
+        iter(chunks),
+        jobs=jobs,
+        fold=folded.append,
+        policy=policy,
+        recorder=recorder,
+        stage="stream_fold",
+        on_poisoned=lambda chunk, reason: poisoned.append(
+            (chunk, reason)
+        ),
+    )
+    return count, folded, poisoned, recorder
+
+
+def supervision_count(recorder, name):
+    return recorder.registry.counter(
+        name, {"stage": "stream_fold"}
+    ).value
+
+
+class TestSupervisedFoldSerial:
+    def test_clean_chunks_fold_in_order(self):
+        chunks = [("ok", i) for i in range(5)]
+        count, folded, poisoned, _ = run_supervised(chunks, jobs=1)
+        assert count == 5 and not poisoned
+        assert folded == [i * 2 for i in range(5)]
+
+    def test_persistent_failure_is_poisoned_after_budget(self):
+        chunks = [("ok", 1), ("fail", 2), ("ok", 3)]
+        count, folded, poisoned, recorder = run_supervised(
+            chunks, jobs=1
+        )
+        assert count == 2 and folded == [2, 6]
+        assert poisoned == [
+            (("fail", 2), "error: poisonous value 2")
+        ]
+        assert (
+            supervision_count(recorder, "repro_fold_retries_total")
+            == FAST.max_retries
+        )
+        assert (
+            supervision_count(
+                recorder, "repro_fold_poisoned_chunks_total"
+            )
+            == 1
+        )
+
+    def test_transient_failure_recovers_within_budget(self, tmp_path):
+        marker = tmp_path / "attempts"
+
+        def flaky(chunk):
+            attempts = (
+                int(marker.read_text()) if marker.exists() else 0
+            )
+            marker.write_text(str(attempts + 1))
+            if attempts == 0:
+                raise OSError("transient")
+            return chunk
+
+        folded = []
+        recorder = ObsRecorder()
+        count = supervised_fold(
+            flaky,
+            iter(["only"]),
+            jobs=1,
+            fold=folded.append,
+            policy=FAST,
+            recorder=recorder,
+            stage="stream_fold",
+        )
+        assert count == 1 and folded == ["only"]
+        assert (
+            supervision_count(recorder, "repro_fold_retries_total")
+            == 1
+        )
+
+    def test_backoff_is_seeded_and_bounded(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_max=0.5, seed=3)
+        first = [policy.backoff(k, "chunk") for k in range(1, 6)]
+        assert first == [
+            policy.backoff(k, "chunk") for k in range(1, 6)
+        ]
+        ceiling = policy.backoff_max * (1 + policy.jitter)
+        assert all(0 < delay <= ceiling for delay in first)
+
+
+class TestSupervisedFoldParallel:
+    def test_worker_crash_poisons_only_its_chunk(self):
+        chunks = [("ok", 1), ("crash", 2), ("ok", 3), ("ok", 4)]
+        count, folded, poisoned, recorder = run_supervised(
+            chunks, jobs=2
+        )
+        assert count == 3
+        assert sorted(folded) == [2, 6, 8]
+        assert [chunk for chunk, _ in poisoned] == [("crash", 2)]
+        assert poisoned[0][1] in ("worker-crash", "timeout")
+        assert (
+            supervision_count(
+                recorder, "repro_fold_poisoned_chunks_total"
+            )
+            == 1
+        )
+
+    def test_hung_worker_times_out_and_is_poisoned(self):
+        policy = RetryPolicy(
+            timeout=0.5, max_retries=1, backoff_base=0.01,
+            backoff_max=0.02,
+        )
+        chunks = [("ok", 1), ("hang", 2), ("ok", 3)]
+        count, folded, poisoned, recorder = run_supervised(
+            chunks, jobs=2, policy=policy
+        )
+        assert count == 2 and sorted(folded) == [2, 6]
+        assert poisoned == [(("hang", 2), "timeout")]
+        assert (
+            supervision_count(recorder, "repro_fold_timeouts_total")
+            >= 1
+        )
+        assert (
+            supervision_count(recorder, "repro_fold_retries_total")
+            == 1
+        )
+
+    def test_fold_order_is_submission_order_despite_failures(self):
+        chunks = [("ok", i) if i != 2 else ("fail", i) for i in range(6)]
+        count, folded, poisoned, _ = run_supervised(chunks, jobs=3)
+        assert count == 5
+        assert folded == [0, 2, 6, 8, 10]  # 2*value, chunk 2 missing
+        assert [chunk for chunk, _ in poisoned] == [("fail", 2)]
+
+    def test_broken_pool_degrades_to_serial(self, broken_pool):
+        chunks = [("ok", 1), ("ok", 2)]
+        count, folded, poisoned, recorder = run_supervised(
+            chunks, jobs=4
+        )
+        assert count == 2 and folded == [2, 4] and not poisoned
+        assert fallback_count(recorder, "stream_fold") == 1
+
+
+class TestFoldExecutionsSupervised:
+    SEQUENCES = ["ABCF", "ACDF", "ABDF", "ABCDF"] * 4
+
+    def executions(self):
+        return [
+            Execution.from_sequence(list(seq), execution_id=f"e{i:03d}")
+            for i, seq in enumerate(self.SEQUENCES)
+        ]
+
+    def test_retry_policy_path_matches_serial(self):
+        recorder = ObsRecorder()
+        supervised = fold_executions(
+            iter(self.executions()),
+            jobs=2,
+            chunk_size=4,
+            recorder=recorder,
+            retry=FAST,
+        )
+        serial = MiningState()
+        for execution in self.executions():
+            serial.update(execution)
+        assert supervised.to_payload() == serial.to_payload()
+
+    def test_on_poisoned_receives_executions(self, monkeypatch):
+        """A chunk whose fold-worker always dies hands its executions
+        back through on_poisoned instead of failing the mine."""
+        from repro.core import state as state_mod
+
+        monkeypatch.setattr(state_mod, "_fold_chunk", _raise_chunk)
+        poisoned = []
+        result = fold_executions(
+            iter(self.executions()),
+            jobs=2,
+            chunk_size=4,
+            retry=RetryPolicy(
+                max_retries=0, backoff_base=0.01, backoff_max=0.02
+            ),
+            on_poisoned=lambda executions, reason: poisoned.append(
+                (len(executions), reason)
+            ),
+        )
+        assert result.execution_count == 0
+        assert len(poisoned) == len(self.SEQUENCES) // 4
+        assert all(count == 4 for count, _ in poisoned)

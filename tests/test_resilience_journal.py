@@ -1,0 +1,238 @@
+"""Write-ahead journal and durable-write primitives.
+
+The journal's contract is *prefix recovery*: whatever bytes survive a
+crash, scanning yields an unbroken prefix of the appended records, a
+torn final frame is discarded (and truncated away on reopen), and
+damage anywhere earlier is reported as corruption rather than silently
+skipped.  The hypothesis property drives that contract directly:
+append N records, truncate the segment at a random byte, and assert
+the replay is an exact prefix.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import JournalError
+from repro.logs.events import EventRecord
+from repro.logs.execution import Execution
+from repro.resilience.durable import crc32c, durable_write
+from repro.resilience.journal import (
+    MAGIC,
+    Journal,
+    decode_execution,
+    encode_execution,
+    list_segments,
+    pack_frame,
+    replay_executions,
+    scan_journal,
+    scan_segment,
+)
+
+
+def payloads(count):
+    return [f"record-{i:04d}".encode() for i in range(count)]
+
+
+def append_all(directory, items, sync=False):
+    with Journal(directory, sync=sync) as journal:
+        for item in items:
+            journal.append(item)
+
+
+class TestCrc32c:
+    def test_castagnoli_check_vector(self):
+        # The canonical CRC-32C check value (RFC 3720 appendix).
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_empty_is_zero(self):
+        assert crc32c(b"") == 0
+
+
+class TestDurableWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "out.json"
+        durable_write(target, b"first")
+        durable_write(target, b"second")
+        assert target.read_bytes() == b"second"
+
+    def test_leaves_no_temp_siblings(self, tmp_path):
+        target = tmp_path / "out.json"
+        durable_write(target, b"data")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+class TestFraming:
+    def test_round_trip(self, tmp_path):
+        items = payloads(10)
+        append_all(tmp_path, items)
+        scan = scan_journal(tmp_path)
+        assert [p for _, p in scan.records] == items
+        assert [s for s, _ in scan.records] == list(range(1, 11))
+        assert not scan.torn_tail and not scan.corrupt
+
+    def test_payload_size_bound(self, tmp_path):
+        from repro.resilience.journal import MAX_PAYLOAD
+
+        with pytest.raises(JournalError):
+            pack_frame(b"x" * (MAX_PAYLOAD + 1))
+
+    def test_bad_magic_raises(self, tmp_path):
+        bogus = tmp_path / "wal-0000000000000001.seg"
+        bogus.write_bytes(b"NOTAWAL!" + pack_frame(b"x"))
+        with pytest.raises(JournalError):
+            scan_segment(bogus, 1)
+
+
+class TestTornTail:
+    def test_torn_final_frame_is_tolerated(self, tmp_path):
+        items = payloads(5)
+        append_all(tmp_path, items)
+        (seq, path), = [
+            (s, p)
+            for s, p in list_segments(tmp_path)
+        ]
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        scan = scan_journal(tmp_path)
+        assert scan.torn_tail and not scan.corrupt
+        assert [p for _, p in scan.records] == items[:4]
+
+    def test_reopen_truncates_torn_tail(self, tmp_path):
+        append_all(tmp_path, payloads(5))
+        (_, path), = list_segments(tmp_path)
+        good = path.read_bytes()
+        path.write_bytes(good[:-3])
+        journal = Journal(tmp_path, sync=False)
+        assert journal.last_seq == 4
+        journal.append(b"replacement")
+        journal.close()
+        scan = scan_journal(tmp_path)
+        assert not scan.torn_tail and not scan.corrupt
+        assert scan.records[-1] == (5, b"replacement")
+
+    def test_corrupt_frame_in_nonfinal_segment(self, tmp_path):
+        with Journal(tmp_path, sync=False) as journal:
+            for item in payloads(3):
+                journal.append(item)
+            journal.rotate()
+            journal.append(b"next-segment")
+        first = list_segments(tmp_path)[0][1]
+        data = bytearray(first.read_bytes())
+        data[len(MAGIC) + 8] ^= 0xFF  # first frame's payload byte
+        first.write_bytes(bytes(data))
+        scan = scan_journal(tmp_path)
+        assert scan.corrupt
+        with pytest.raises(JournalError):
+            list(replay_executions(tmp_path))
+
+    def test_segment_gap_is_corrupt(self, tmp_path):
+        with Journal(tmp_path, sync=False) as journal:
+            for item in payloads(3):
+                journal.append(item)
+            journal.rotate()
+            journal.append(b"tail")
+        last = list_segments(tmp_path)[-1][1]
+        os.rename(last, last.with_name("wal-0000000000000009.seg"))
+        assert scan_journal(tmp_path).corrupt
+
+
+class TestPruneAndAdvance:
+    def test_prune_keeps_uncovered_segments(self, tmp_path):
+        with Journal(tmp_path, sync=False) as journal:
+            for item in payloads(4):
+                journal.append(item)
+            journal.rotate()
+            for item in payloads(4):
+                journal.append(item)
+            journal.rotate()
+            assert journal.prune(upto_seq=4) == 1
+            scan = scan_journal(tmp_path)
+            assert [s for s, _ in scan.records] == [5, 6, 7, 8]
+
+    def test_advance_to_restarts_numbering(self, tmp_path):
+        with Journal(tmp_path, sync=False) as journal:
+            for item in payloads(3):
+                journal.append(item)
+            journal.advance_to(10)
+            assert journal.append(b"after") == 11
+        scan = scan_journal(tmp_path)
+        assert not scan.corrupt
+        assert scan.records == [(11, b"after")]
+
+    def test_advance_to_never_moves_backwards(self, tmp_path):
+        with Journal(tmp_path, sync=False) as journal:
+            for item in payloads(5):
+                journal.append(item)
+            journal.advance_to(2)
+            assert journal.last_seq == 5
+
+
+class TestExecutionPayloads:
+    def test_execution_round_trip(self):
+        execution = Execution.from_sequence(list("ABC"), "exec-7")
+        rebuilt = decode_execution(encode_execution(execution))
+        assert rebuilt.execution_id == "exec-7"
+        assert [r.activity for r in rebuilt.records] == [
+            r.activity for r in execution.records
+        ]
+
+    def test_output_tuples_survive(self):
+        records = [
+            EventRecord(1.0, "e", "A", "START"),
+            EventRecord(2.0, "e", "A", "END", output=(1, "x")),
+        ]
+        execution = Execution("e", records)
+        rebuilt = decode_execution(encode_execution(execution))
+        assert rebuilt.records[1].output == (1, "x")
+
+    def test_garbage_payload_raises(self):
+        with pytest.raises(JournalError):
+            decode_execution(b'{"id": "e"}')
+
+
+class TestTruncationProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        count=st.integers(min_value=1, max_value=12),
+        cut=st.integers(min_value=0, max_value=10_000),
+        data=st.data(),
+    )
+    def test_any_truncation_replays_a_prefix(
+        self, tmp_path_factory, count, cut, data
+    ):
+        """Journal write -> truncate anywhere -> replay is a prefix."""
+        directory = tmp_path_factory.mktemp("wal")
+        executions = [
+            Execution.from_sequence(
+                data.draw(
+                    st.lists(
+                        st.sampled_from("ABCDE"),
+                        min_size=1,
+                        max_size=6,
+                    )
+                ),
+                f"e{i:03d}",
+            )
+            for i in range(count)
+        ]
+        with Journal(directory, sync=False) as journal:
+            for execution in executions:
+                journal.append_execution(execution)
+        (_, path), = list_segments(directory)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: min(cut, len(blob))])
+        scan = scan_journal(directory)
+        assert not scan.corrupt
+        recovered = [
+            execution
+            for _, execution in replay_executions(directory)
+        ]
+        # An unbroken prefix, record for record.
+        assert len(recovered) <= count
+        for original, replayed in zip(executions, recovered):
+            assert encode_execution(original) == encode_execution(
+                replayed
+            )

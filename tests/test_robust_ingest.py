@@ -544,3 +544,102 @@ class TestIngestFileHelpers:
         result = ingest_log_file(path, policy=POLICY_REPAIR)
         assert result.report.clean
         assert len(result.log) == 3
+
+
+class TestDeadLetterDurability:
+    """Crash-safety of the quarantine sink (append mode + torn-tail
+    tolerant reader) and the poisoned-chunk round trip."""
+
+    def _item(self, reason, n=1):
+        from repro.logs.ingest import QuarantinedItem
+
+        return QuarantinedItem(
+            kind="line",
+            reason=reason,
+            detail=f"record {n}",
+            line_number=n,
+            payload=f"raw-{n}",
+        )
+
+    def test_reopen_appends_after_survivors(self, tmp_path):
+        from repro.logs.ingest import REASON_LATE_RECORD, read_dead_letter
+
+        path = tmp_path / "dead.jsonl"
+        with Quarantine(path) as quarantine:
+            quarantine.add(self._item(REASON_BAD_LINE, 1))
+        # A second run (e.g. after a crash + resume) must append, not
+        # truncate the first run's records.
+        with Quarantine(path) as quarantine:
+            quarantine.add(self._item(REASON_LATE_RECORD, 2))
+        scan = read_dead_letter(path)
+        assert not scan.torn_tail
+        assert [item.reason for item in scan.items] == [
+            REASON_BAD_LINE,
+            REASON_LATE_RECORD,
+        ]
+        assert [item.line_number for item in scan.items] == [1, 2]
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        from repro.logs.ingest import read_dead_letter
+
+        path = tmp_path / "dead.jsonl"
+        with Quarantine(path) as quarantine:
+            quarantine.add(self._item(REASON_BAD_LINE, 1))
+            quarantine.add(self._item(REASON_BAD_LINE, 2))
+        # Crash mid-write: the final record lost its tail bytes.
+        path.write_bytes(path.read_bytes()[:-10])
+        scan = read_dead_letter(path)
+        assert scan.torn_tail
+        assert [item.line_number for item in scan.items] == [1]
+
+    def test_damage_before_the_tail_raises(self, tmp_path):
+        from repro.logs.ingest import read_dead_letter
+
+        path = tmp_path / "dead.jsonl"
+        with Quarantine(path) as quarantine:
+            for n in (1, 2, 3):
+                quarantine.add(self._item(REASON_BAD_LINE, n))
+        lines = path.read_bytes().split(b"\n")
+        lines[1] = b"NOT JSON"
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(LogFormatError):
+            read_dead_letter(path)
+
+    def test_poisoned_chunk_round_trip(self, tmp_path):
+        from repro.logs.events import end_event, start_event
+        from repro.logs.execution import Execution
+        from repro.logs.ingest import (
+            REASON_POISONED_CHUNK,
+            read_dead_letter,
+        )
+
+        executions = [
+            Execution(
+                f"e{i}",
+                [
+                    start_event(f"e{i}", "A", 1.0),
+                    end_event(f"e{i}", "A", 2.0),
+                ],
+            )
+            for i in range(3)
+        ]
+        path = tmp_path / "dead.jsonl"
+        with Quarantine(path) as quarantine:
+            count = quarantine.add_poisoned_executions(
+                executions, "timeout"
+            )
+        assert count == 3
+        scan = read_dead_letter(path)
+        assert [item.reason for item in scan.items] == [
+            REASON_POISONED_CHUNK
+        ] * 3
+        assert [item.execution_id for item in scan.items] == [
+            "e0",
+            "e1",
+            "e2",
+        ]
+        # The payload is re-processable: activity and both events are
+        # preserved as JSON-ready record dicts.
+        first = scan.items[0]
+        assert first.kind == "execution" and first.detail == "timeout"
+        assert [r["activity"] for r in first.payload] == ["A", "A"]
