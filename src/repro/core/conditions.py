@@ -55,7 +55,9 @@ def _rules_with_pairwise_terms(
     ``o[i] <= o[j] + t``.
     """
 
-    def term_to_comparison(term) -> Comparison:
+    def term_to_comparison(
+        term: Tuple[int, str, float]
+    ) -> Comparison:
         feature, op, threshold = term
         if feature < arity:
             return Comparison(feature, op, threshold)

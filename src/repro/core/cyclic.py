@@ -15,7 +15,7 @@ would wrongly discard them as 2-cycles.  Algorithm 3 instead:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.core.general_dag import (
     MiningTrace,
@@ -66,7 +66,7 @@ def mine_cyclic(
     trace: Optional[MiningTrace] = None,
     return_instance_graph: bool = False,
     jobs: Optional[int] = None,
-):
+) -> Union[DiGraph, Tuple[DiGraph, DiGraph]]:
     """Mine a (possibly cyclic) conformal graph of ``log`` with Algorithm 3.
 
     Parameters

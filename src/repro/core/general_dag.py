@@ -274,7 +274,7 @@ def prepare_executions(
     keys = [execution.variant_key() for execution in executions]
     index_of_key: Dict[Tuple, int] = {}
     representatives: List[Execution] = []
-    for key, execution in zip(keys, executions):
+    for key, execution in zip(keys, executions, strict=True):
         if key not in index_of_key:
             index_of_key[key] = len(representatives)
             representatives.append(execution)
@@ -371,7 +371,7 @@ def prepare_packed_log(
     seen: Set[Tuple] = set()
     representatives: List[Execution] = []
     representative_keys: List[Tuple] = []
-    for key, execution in zip(keys, executions):
+    for key, execution in zip(keys, executions, strict=True):
         if key not in seen:
             seen.add(key)
             representatives.append(execution)
@@ -406,7 +406,7 @@ def prepare_packed_log(
             multiplicity=multiplicities[key],
         )
         for (vertices, pairs, overlaps), key in zip(
-            packed_sets, representative_keys
+            packed_sets, representative_keys, strict=True
         )
     ]
     return table, variants
@@ -655,8 +655,11 @@ def _mine_packed(
                         recorder=trace.recorder,
                         stage="step5_reduce",
                     ),
+                    strict=True,
                 ):
-                    for key, kept in zip(keys, reduced_chunk):
+                    for key, kept in zip(
+                        keys, reduced_chunk, strict=True
+                    ):
                         if reduction_memo is not None:
                             reduction_memo[key] = kept
                         marked |= kept

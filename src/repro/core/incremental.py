@@ -115,7 +115,9 @@ class IncrementalMiner:
         self._state.update(execution)
         self._dirty = True
 
-    def add_sequence(self, activities, execution_id: str = "") -> None:
+    def add_sequence(
+        self, activities: Iterable[str], execution_id: str = ""
+    ) -> None:
         """Ingest one execution given as an activity sequence."""
         execution_id = (
             execution_id or f"stream-{self.execution_count:06d}"

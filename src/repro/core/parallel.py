@@ -149,7 +149,7 @@ class _Timed:
     def __init__(self, fn: Callable) -> None:
         self.fn = fn
 
-    def __call__(self, chunk) -> Tuple[float, object]:
+    def __call__(self, chunk: object) -> Tuple[float, object]:
         started = perf_counter()
         result = self.fn(chunk)
         return perf_counter() - started, result
@@ -329,7 +329,7 @@ class _Supervised:
     future: object = None
 
 
-def _kill_pool(pool) -> None:
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a ProcessPoolExecutor down, hung/crashed workers included.
 
     ``shutdown`` alone joins workers, which never returns while one is
@@ -345,7 +345,9 @@ def _kill_pool(pool) -> None:
             pass
     try:
         pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:  # pragma: no cover - defensive teardown
+    except Exception:  # pragma: no cover  # devlint: ignore[RL403]
+        # Defensive teardown of an already-broken pool: any error here
+        # must not mask the original failure being propagated.
         pass
 
 
@@ -409,7 +411,10 @@ def supervised_fold(
         while True:
             try:
                 result = fn(entry.chunk)
-            except Exception as exc:
+            except Exception as exc:  # devlint: ignore[RL403]
+                # Supervision point: injected I/O faults are *meant*
+                # to land here and be retried/poisoned, not propagate
+                # (InjectedTear stays uncatchable via BaseException).
                 entry.attempts += 1
                 if entry.attempts > policy.max_retries:
                     poison(entry, f"error: {exc}")
@@ -501,7 +506,9 @@ def supervised_fold(
         except BrokenProcessPool:
             handle_failure("worker-crash")
             return
-        except Exception as exc:
+        except Exception as exc:  # devlint: ignore[RL403]
+            # Supervision point: a worker-raised fault becomes a
+            # retry (then quarantine), never a silent drop.
             handle_failure(f"error: {exc}")
             return
         pending.popleft()

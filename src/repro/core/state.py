@@ -45,6 +45,7 @@ import pickle
 from collections import Counter
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     FrozenSet,
@@ -67,8 +68,14 @@ from repro.core.parallel import (
 from repro.errors import CheckpointError
 from repro.logs.execution import Execution
 from repro.obs.recorder import NULL_RECORDER, Recorder
-from repro.resilience.durable import crc32c, durable_write
+from repro.resilience.durable import PREVIOUS_SUFFIX, crc32c, durable_write
 from repro.resilience.faults import maybe_fault
+
+if TYPE_CHECKING:
+    # Runtime imports would recreate the state<->general_dag cycle;
+    # finish() imports these lazily inside its body instead.
+    from repro.core.general_dag import MiningTrace
+    from repro.graphs.digraph import DiGraph
 
 Vertex = Hashable
 Pair = Tuple[Vertex, Vertex]
@@ -92,7 +99,7 @@ CHECKPOINT_FORMAT = "repro-incremental-checkpoint"
 CHECKPOINT_VERSION = 3
 
 
-def _vertex_to_json(vertex):
+def _vertex_to_json(vertex: Vertex) -> object:
     # Vertices are activity names (str) in general mode and labelled
     # instances ``(activity, occurrence)`` in cyclic mode.
     if isinstance(vertex, tuple):
@@ -100,7 +107,7 @@ def _vertex_to_json(vertex):
     return vertex
 
 
-def _vertex_from_json(value):
+def _vertex_from_json(value: object) -> Vertex:
     if isinstance(value, list):
         if len(value) != 2:
             raise CheckpointError(f"bad labelled vertex {value!r}")
@@ -108,13 +115,13 @@ def _vertex_from_json(value):
     return value
 
 
-def _pairs_to_json(pairs):
+def _pairs_to_json(pairs: Iterable[Pair]) -> List[List[object]]:
     return sorted(
         [[_vertex_to_json(u), _vertex_to_json(v)] for u, v in pairs]
     )
 
 
-def _pairs_from_json(values):
+def _pairs_from_json(values: Iterable[List[object]]) -> FrozenSet[Pair]:
     return frozenset(
         (_vertex_from_json(u), _vertex_from_json(v)) for u, v in values
     )
@@ -551,11 +558,11 @@ class MiningState:
     def finish(
         self,
         threshold: int = 0,
-        trace=None,
+        trace: Optional["MiningTrace"] = None,
         jobs: Optional[int] = None,
         skip_scc_removal: bool = False,
         skip_execution_marking: bool = False,
-    ):
+    ) -> "DiGraph":
         """Run steps 3–6 over the accumulated variants.
 
         Identical to :func:`~repro.core.general_dag.mine_general_dag`
@@ -745,7 +752,7 @@ def save_state(
     )
 
 
-def _load_v1_state(state: MiningState, entries) -> None:
+def _load_v1_state(state: MiningState, entries: Iterable[dict]) -> None:
     """Fold v1's one-entry-per-execution label-level payload."""
     for entry in entries:
         state.add_variant(
@@ -762,7 +769,9 @@ def _load_v1_state(state: MiningState, entries) -> None:
         )
 
 
-def _load_v2_state(state: MiningState, labels, entries) -> None:
+def _load_v2_state(
+    state: MiningState, labels: Iterable[object], entries: Iterable[dict]
+) -> None:
     """Fold v2's interning table + packed weighted variants."""
     table = [_vertex_from_json(label) for label in labels]
     n = len(table)
@@ -901,7 +910,7 @@ def load_state_with_fallback(
         state, meta = load_state(path)
         return state, meta, False
     except CheckpointError as primary:
-        fallback = path.with_name(path.name + ".prev")
+        fallback = path.with_name(path.name + PREVIOUS_SUFFIX)
         if not fallback.exists():
             raise
         try:
@@ -1020,7 +1029,10 @@ def fold_executions(
 
         if retry is not None:
 
-            def report(chunk_args, reason: str) -> None:
+            def report(
+                chunk_args: Tuple[bool, List[Execution], bool],
+                reason: str,
+            ) -> None:
                 if on_poisoned is not None:
                     # Unwrap the worker tuple back to the executions.
                     on_poisoned(chunk_args[1], reason)

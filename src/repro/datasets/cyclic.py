@@ -129,7 +129,10 @@ def loop_edges(graph: DiGraph) -> Set[Edge]:
             return removed
         except CycleError as exc:
             cycle = exc.cycle
-            edge = sorted(zip(cycle, cycle[1:]), reverse=True)[0]
+            # Sliding-window pairing; the slice is shorter by design.
+            edge = sorted(
+                zip(cycle, cycle[1:], strict=False), reverse=True
+            )[0]
             skeleton.remove_edge(*edge)
             removed.add(edge)
 

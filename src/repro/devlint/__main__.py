@@ -1,0 +1,15 @@
+"""``python -m repro.devlint`` entry point."""
+
+import sys
+
+from repro.devlint.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # The stdout consumer (e.g. ``| head``) went away mid-report;
+        # a truncated read of an advisory report is not a failure.
+        sys.stderr.close()
+        code = 0
+    raise SystemExit(code)

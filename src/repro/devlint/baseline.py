@@ -1,0 +1,120 @@
+"""The grandfathered-findings baseline.
+
+A baseline entry identifies a finding by ``(artifact, code, message)``
+— deliberately *not* by line number, so unrelated edits above a
+grandfathered finding do not resurrect it, while any change to the
+finding itself (different message, moved file) does.
+
+The file is plain JSON, checked in at the repository root, written
+through :func:`repro.resilience.durable.durable_write` (the analyzer
+holds itself to the contract it enforces).  CI nightly runs with
+``--no-baseline`` so the grandfathered set only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.resilience.durable import durable_write
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "devlint-baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+class Baseline:
+    """An accepted set of ``(artifact, code, message)`` findings."""
+
+    def __init__(self, entries: Iterable[_Key] = ()) -> None:
+        self.entries: Set[_Key] = set(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, artifact: str, diagnostic: Diagnostic) -> bool:
+        """Whether ``diagnostic`` is grandfathered for ``artifact``."""
+        return (
+            artifact,
+            diagnostic.code,
+            diagnostic.message,
+        ) in self.entries
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready, deterministically ordered representation."""
+        findings = [
+            {"artifact": artifact, "code": code, "message": message}
+            for artifact, code, message in sorted(self.entries)
+        ]
+        return {"version": BASELINE_VERSION, "findings": findings}
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load ``path``; a missing file is an empty baseline.
+
+    A malformed file raises ``ValueError`` — silently treating garbage
+    as "no baseline" would un-grandfather every finding at once.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return Baseline()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"baseline file {path} is not valid JSON: {exc}"
+        ) from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise ValueError(
+            f"baseline file {path} has an unsupported layout; expected "
+            f'{{"version": {BASELINE_VERSION}, "findings": [...]}}'
+        )
+    entries: List[_Key] = []
+    for finding in payload["findings"]:
+        if not isinstance(finding, dict):
+            raise ValueError(
+                f"baseline file {path}: finding entries must be objects"
+            )
+        entries.append(
+            (
+                str(finding.get("artifact", "")),
+                str(finding.get("code", "")),
+                str(finding.get("message", "")),
+            )
+        )
+    return Baseline(entries)
+
+
+def save_baseline(path: Path, baseline: Baseline) -> None:
+    """Durably write ``baseline`` as canonical JSON."""
+    text = json.dumps(baseline.to_payload(), indent=2, sort_keys=False)
+    durable_write(path, (text + "\n").encode("utf-8"))
+
+
+def baseline_from_entries(
+    entries: Iterable[Tuple[str, Diagnostic]],
+) -> Baseline:
+    """Build a baseline grandfathering every ``(artifact, diagnostic)``
+    pair of a report."""
+    return Baseline(
+        (artifact, diagnostic.code, diagnostic.message)
+        for artifact, diagnostic in entries
+    )
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "Baseline",
+    "load_baseline",
+    "save_baseline",
+    "baseline_from_entries",
+]

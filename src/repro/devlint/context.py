@@ -1,0 +1,200 @@
+"""Parsed-module cache and suppression bookkeeping for devlint.
+
+Every rule sees the same :class:`SourceModule` objects — one parse per
+file per run, shared across the whole registry — plus a
+:class:`DevContext` carrying project-level derived sets (the declared
+metric registry, every ``repro_*`` string constant in the scanned
+tree).
+
+Inline suppressions use the ``# devlint: ignore[RLxxx]`` comment form
+(comma-separated codes allowed) on the finding's first source line.
+:class:`SourceModule` tracks which suppressions actually fired so the
+engine can error on stale ones — a suppression that no longer masks
+anything is itself a finding (``RL002``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+_SUPPRESSION = re.compile(
+    r"#\s*devlint:\s*ignore\[([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)\]"
+)
+
+_METRIC_TOKEN = re.compile(r"\brepro_[a-z0-9_]+\b")
+
+
+class SourceModule:
+    """One parsed source file plus its suppression table.
+
+    Attributes
+    ----------
+    path:
+        Absolute path of the file.
+    relpath:
+        Path relative to the scan invocation (POSIX separators); used
+        as the artifact URI in reports.
+    tree:
+        The parsed :class:`ast.Module` (``None`` when the file failed
+        to parse; the engine reports that as ``RL001``).
+    """
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[str] = None
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, ValueError) as exc:
+            self.parse_error = str(exc)
+        #: 1-based line -> codes suppressed on that line.
+        self.suppressions: Dict[int, Set[str]] = {}
+        #: ``(line, code)`` pairs that masked at least one finding.
+        self.used_suppressions: Set[Tuple[int, str]] = set()
+        for line_number, line in enumerate(self.lines, start=1):
+            match = _SUPPRESSION.search(line)
+            if match:
+                codes = {
+                    code.strip() for code in match.group(1).split(",")
+                }
+                self.suppressions[line_number] = codes
+
+    def is_suppressed(self, line: Optional[int], code: str) -> bool:
+        """Whether ``code`` is suppressed on ``line`` (marks it used)."""
+        if line is None:
+            return False
+        codes = self.suppressions.get(line)
+        if codes is None or code not in codes:
+            return False
+        self.used_suppressions.add((line, code))
+        return True
+
+    def unused_suppressions(self) -> List[Tuple[int, str]]:
+        """``(line, code)`` suppressions that masked nothing."""
+        stale = [
+            (line, code)
+            for line, codes in self.suppressions.items()
+            for code in sorted(codes)
+            if (line, code) not in self.used_suppressions
+        ]
+        stale.sort()
+        return stale
+
+    @property
+    def in_resilience(self) -> bool:
+        """Whether the module lives under ``repro/resilience/``."""
+        return "resilience" in self.path.parts
+
+    def name_matches(self, *suffixes: str) -> bool:
+        """Whether the file's path ends with one of ``suffixes``."""
+        posix = self.path.as_posix()
+        return any(posix.endswith(suffix) for suffix in suffixes)
+
+
+class DevContext:
+    """Everything a rule may inspect during one devlint run.
+
+    Attributes
+    ----------
+    modules:
+        The scanned modules in deterministic (sorted-path) order.
+    registry_names:
+        The declared metric catalogue rules RL301/RL302 check against
+        (defaults to :func:`repro.obs.registry.declared_metric_names`).
+    project_root:
+        Root used to locate project-level artifacts such as
+        ``docs/OBSERVABILITY.md``.
+    """
+
+    def __init__(
+        self,
+        modules: List[SourceModule],
+        registry_names: Optional[FrozenSet[str]] = None,
+        project_root: Optional[Path] = None,
+    ) -> None:
+        self.modules = modules
+        self.project_root = project_root
+        self._explicit_registry = registry_names is not None
+        if registry_names is None:
+            from repro.obs.registry import declared_metric_names
+
+            registry_names = declared_metric_names()
+        self.registry_names: FrozenSet[str] = registry_names
+        self._metric_tokens: Optional[FrozenSet[str]] = None
+
+    @property
+    def has_explicit_registry(self) -> bool:
+        """Whether the run injected its own registry (test fixtures)."""
+        return self._explicit_registry
+
+    @property
+    def scans_obs_package(self) -> bool:
+        """Whether the scan covers the real recorder implementation.
+
+        The project-scope metric rules only make sense for whole-tree
+        scans (or fixture runs with an injected registry); scanning a
+        subpackage must not report every metric as unemitted.
+        """
+        return any(
+            module.name_matches("obs/recorder.py")
+            for module in self.modules
+        )
+
+    @property
+    def metric_tokens(self) -> FrozenSet[str]:
+        """Every ``repro_*`` token inside a string constant in the tree."""
+        if self._metric_tokens is None:
+            tokens: Set[str] = set()
+            for module in self.modules:
+                if module.tree is None:
+                    continue
+                for node in ast.walk(module.tree):
+                    if isinstance(node, ast.Constant) and isinstance(
+                        node.value, str
+                    ):
+                        tokens.update(
+                            _METRIC_TOKEN.findall(node.value)
+                        )
+            self._metric_tokens = frozenset(tokens)
+        return self._metric_tokens
+
+
+def collect_modules(paths: List[Path]) -> List[SourceModule]:
+    """Load every ``.py`` file under ``paths`` (files or directories).
+
+    Files are returned in sorted-path order so reports are
+    deterministic regardless of filesystem enumeration order.
+    """
+    files: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    modules: List[SourceModule] = []
+    for file_path in sorted(files):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            module = SourceModule(file_path, _relpath(file_path), "")
+            module.parse_error = str(exc)
+            module.tree = None
+            modules.append(module)
+            continue
+        modules.append(
+            SourceModule(file_path, _relpath(file_path), source)
+        )
+    return modules
+
+
+def _relpath(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()

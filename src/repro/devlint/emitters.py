@@ -1,0 +1,145 @@
+"""Devlint report emitters: text, JSON, and SARIF 2.1.0.
+
+All three reuse the :mod:`repro.lint` vocabulary — the same
+:class:`~repro.lint.diagnostics.Diagnostic` objects, the same
+``Severity.sarif_level`` mapping, the same SARIF schema constants and
+per-result shape (via :func:`repro.lint.emitters._sarif_location`), and
+the same ``tool.driver.rules`` metadata builder fed by
+:meth:`~repro.devlint.rules.DevRule.as_lint_rule`.  The only devlint
+twist is that findings span many artifacts, so every result carries its
+own physical location instead of the report-wide ``artifact`` that
+model lint uses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro import __version__
+from repro.lint.emitters import (
+    FORMAT_JSON,
+    FORMAT_SARIF,
+    FORMAT_TEXT,
+    FORMATS,
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    TOOL_URI,
+    _sarif_location,
+    _sarif_rule,
+)
+
+from repro.devlint.engine import DevReport, rules_for_report
+
+DEVLINT_TOOL_NAME = "repro-devlint"
+
+
+def render_text(report: DevReport) -> str:
+    """One ``path:line: CODE severity: message`` line per finding,
+    plus the summary footer."""
+    lines: List[str] = []
+    for artifact, diagnostic in report.entries:
+        prefix = (
+            f"{artifact}:"
+            if diagnostic.line is None
+            else f"{artifact}:{diagnostic.line}:"
+        )
+        line = (
+            f"{prefix} {diagnostic.code} {diagnostic.severity.value}: "
+            f"{diagnostic.message}"
+        )
+        if diagnostic.fixit is not None:
+            line += f" (fix: {diagnostic.fixit})"
+        lines.append(line)
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def render_json(report: DevReport) -> str:
+    """Machine-readable JSON rendering of the whole report."""
+    findings: List[Dict[str, Any]] = []
+    for artifact, diagnostic in report.entries:
+        payload = diagnostic.to_dict()
+        payload.pop("location", None)
+        payload["artifact"] = artifact
+        findings.append(payload)
+    document: Dict[str, Any] = {
+        "tool": DEVLINT_TOOL_NAME,
+        "version": __version__,
+        "max_severity": (
+            report.max_severity.value
+            if report.max_severity is not None
+            else None
+        ),
+        "exit_code": report.exit_code,
+        "checked_rules": list(report.checked_rules),
+        "scanned_modules": report.scanned_modules,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "findings": findings,
+    }
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+def render_sarif(report: DevReport) -> str:
+    """SARIF 2.1.0 rendering, ready for code-scanning upload."""
+    lint_rules = [
+        rule.as_lint_rule() for rule in rules_for_report(report)
+    ]
+    rule_index = {rule.code: i for i, rule in enumerate(lint_rules)}
+    results: List[Dict[str, Any]] = []
+    for artifact, diagnostic in report.entries:
+        result: Dict[str, Any] = {
+            "ruleId": diagnostic.code,
+            "level": diagnostic.severity.sarif_level,
+            "message": {"text": diagnostic.message},
+            "locations": [_sarif_location(diagnostic, artifact)],
+        }
+        if diagnostic.code in rule_index:
+            result["ruleIndex"] = rule_index[diagnostic.code]
+        if diagnostic.fixit is not None:
+            result["properties"] = {"fixit": diagnostic.fixit}
+        results.append(result)
+    document: Dict[str, Any] = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": DEVLINT_TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "version": __version__,
+                        "rules": [
+                            _sarif_rule(rule) for rule in lint_rules
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+def render(report: DevReport, output_format: str) -> str:
+    """Dispatch on ``output_format`` (``text`` / ``json`` / ``sarif``)."""
+    if output_format == FORMAT_TEXT:
+        return render_text(report)
+    if output_format == FORMAT_JSON:
+        return render_json(report)
+    if output_format == FORMAT_SARIF:
+        return render_sarif(report)
+    raise ValueError(
+        f"unknown devlint output format {output_format!r}; "
+        f"expected one of {FORMATS}"
+    )
+
+
+__all__ = [
+    "DEVLINT_TOOL_NAME",
+    "render",
+    "render_text",
+    "render_json",
+    "render_sarif",
+]

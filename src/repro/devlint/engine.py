@@ -1,0 +1,295 @@
+"""The devlint engine: run rules, apply suppressions and baseline.
+
+One :func:`run_devlint` call parses every target module once (shared
+:class:`~repro.devlint.context.SourceModule` cache), runs each enabled
+rule from :func:`~repro.devlint.rules.all_dev_rules`, converts the
+rule's :class:`~repro.devlint.rules.DevFinding` values into the shared
+:class:`repro.lint.diagnostics.Diagnostic` vocabulary, then applies the
+two masking layers in order:
+
+1. inline ``# devlint: ignore[RLxxx]`` suppressions (checked per line;
+   a suppression that masks nothing becomes an ``RL002`` error), and
+2. the checked-in baseline of grandfathered findings (skipped under
+   ``--no-baseline``).
+
+Engine-level codes sit outside the rule registry: ``RL001`` (a target
+file failed to parse) and ``RL002`` (stale suppression), both errors —
+a devlint run that cannot see the code, or that carries dead
+annotations, must fail CI loudly rather than report a clean tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import EXIT_CLEAN, EXIT_ERROR, EXIT_WARNING
+
+from repro.devlint.baseline import Baseline
+from repro.devlint.context import (
+    DevContext,
+    SourceModule,
+    collect_modules,
+)
+from repro.devlint.rules import (
+    SCOPE_PROJECT,
+    DevFinding,
+    DevRule,
+    all_dev_rules,
+)
+
+#: Artifact URI used for project-scope findings with no home file.
+PROJECT_ARTIFACT = "<project>"
+
+CODE_PARSE_ERROR = "RL001"
+CODE_STALE_SUPPRESSION = "RL002"
+
+
+@dataclass(frozen=True)
+class DevConfig:
+    """Configuration for one devlint run.
+
+    ``select``/``ignore`` are code *prefixes* (``RL1`` enables the
+    whole durability family); ignore wins over select.  ``baseline``
+    is applied only when ``use_baseline`` is true, so ``--no-baseline``
+    is a config flip, not a different code path.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    ignore: FrozenSet[str] = frozenset()
+    baseline: Optional[Baseline] = None
+    use_baseline: bool = True
+    project_root: Optional[Path] = None
+    registry_names: Optional[FrozenSet[str]] = None
+
+    def enabled(self, code: str) -> bool:
+        """Whether findings of ``code`` should be reported."""
+        if any(code.startswith(prefix) for prefix in self.ignore):
+            return False
+        if self.select is None:
+            return True
+        return any(code.startswith(prefix) for prefix in self.select)
+
+
+@dataclass
+class DevReport:
+    """Outcome of one devlint run.
+
+    ``entries`` pairs every diagnostic with the artifact (source file)
+    it belongs to, in deterministic ``(artifact, code, line)`` order.
+    Exit-code semantics mirror :class:`repro.lint.engine.LintReport`:
+    0 clean/info, 1 max warning, 2 max error.
+    """
+
+    entries: List[Tuple[str, Diagnostic]] = field(default_factory=list)
+    checked_rules: Tuple[str, ...] = ()
+    scanned_modules: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """Just the diagnostics, report order."""
+        return [diagnostic for _, diagnostic in self.entries]
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        """The highest severity present, ``None`` for a clean report."""
+        if not self.entries:
+            return None
+        return max(
+            (diagnostic.severity for _, diagnostic in self.entries),
+            key=lambda severity: severity.rank,
+        )
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean/info-only, 1 max warning, 2 max error."""
+        worst = self.max_severity
+        if worst is Severity.ERROR:
+            return EXIT_ERROR
+        if worst is Severity.WARNING:
+            return EXIT_WARNING
+        return EXIT_CLEAN
+
+    def count(self, severity: Severity) -> int:
+        """Number of diagnostics at exactly ``severity``."""
+        return sum(
+            1
+            for _, diagnostic in self.entries
+            if diagnostic.severity is severity
+        )
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        """Diagnostics whose code starts with ``code``."""
+        return [
+            diagnostic
+            for _, diagnostic in self.entries
+            if diagnostic.code.startswith(code)
+        ]
+
+    def summary(self) -> str:
+        """One-line count footer for the text emitter."""
+        errors = self.count(Severity.ERROR)
+        warnings = self.count(Severity.WARNING)
+        infos = self.count(Severity.INFO)
+        text = (
+            f"{len(self.entries)} finding(s): {errors} error(s), "
+            f"{warnings} warning(s), {infos} info(s) across "
+            f"{self.scanned_modules} module(s)"
+        )
+        if self.suppressed:
+            text += f"; {self.suppressed} suppressed inline"
+        if self.baselined:
+            text += f"; {self.baselined} baselined"
+        return text
+
+
+def _diagnostic(rule: DevRule, finding: DevFinding) -> Diagnostic:
+    return Diagnostic(
+        code=rule.code,
+        name=rule.name,
+        severity=rule.severity,
+        message=finding.message,
+        fixit=finding.fixit,
+        line=finding.line,
+    )
+
+
+def run_devlint(
+    paths: Sequence[Path],
+    config: Optional[DevConfig] = None,
+    modules: Optional[List[SourceModule]] = None,
+) -> DevReport:
+    """Analyze every ``.py`` file under ``paths`` and report findings.
+
+    ``modules`` lets tests inject pre-built
+    :class:`~repro.devlint.context.SourceModule` fixtures instead of
+    touching the filesystem.
+    """
+    config = config or DevConfig()
+    if modules is None:
+        modules = collect_modules(list(paths))
+    context = DevContext(
+        modules,
+        registry_names=config.registry_names,
+        project_root=config.project_root,
+    )
+    report = DevReport(scanned_modules=len(modules))
+    raw: List[Tuple[str, Diagnostic]] = []
+
+    if config.enabled(CODE_PARSE_ERROR):
+        for module in modules:
+            if module.parse_error is None:
+                continue
+            raw.append(
+                (
+                    module.relpath,
+                    Diagnostic(
+                        code=CODE_PARSE_ERROR,
+                        name="unparsable-module",
+                        severity=Severity.ERROR,
+                        message=(
+                            "file could not be parsed: "
+                            f"{module.parse_error}"
+                        ),
+                    ),
+                )
+            )
+
+    checked: List[str] = []
+    for rule in all_dev_rules():
+        if not config.enabled(rule.code):
+            continue
+        checked.append(rule.code)
+        if rule.scope == SCOPE_PROJECT:
+            findings: Iterable[DevFinding] = rule.check(context)  # type: ignore[call-arg, arg-type]
+            for finding in findings:
+                artifact = (
+                    finding.module.relpath
+                    if finding.module is not None
+                    else PROJECT_ARTIFACT
+                )
+                raw.append((artifact, _diagnostic(rule, finding)))
+            continue
+        for module in modules:
+            if module.tree is None:
+                continue
+            for finding in rule.check(module, context):  # type: ignore[call-arg, arg-type]
+                if module.is_suppressed(finding.line, rule.code):
+                    report.suppressed += 1
+                    continue
+                raw.append((module.relpath, _diagnostic(rule, finding)))
+
+    if config.enabled(CODE_STALE_SUPPRESSION):
+        for module in modules:
+            for line, code in module.unused_suppressions():
+                if not config.enabled(code):
+                    # Suppressions for rules this run did not execute
+                    # cannot be judged stale.
+                    continue
+                raw.append(
+                    (
+                        module.relpath,
+                        Diagnostic(
+                            code=CODE_STALE_SUPPRESSION,
+                            name="stale-suppression",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"suppression of {code} on line "
+                                f"{line} masks no finding; remove it"
+                            ),
+                            line=line,
+                        ),
+                    )
+                )
+
+    kept: List[Tuple[str, Diagnostic]] = []
+    for artifact, diagnostic in raw:
+        if (
+            config.use_baseline
+            and config.baseline is not None
+            and config.baseline.matches(artifact, diagnostic)
+        ):
+            report.baselined += 1
+            continue
+        kept.append((artifact, diagnostic))
+    kept.sort(
+        key=lambda entry: (
+            entry[0],
+            entry[1].code,
+            entry[1].line or 0,
+            entry[1].message,
+        )
+    )
+    report.entries = kept
+    report.checked_rules = tuple(checked)
+    return report
+
+
+def rules_for_report(report: DevReport) -> List[DevRule]:
+    """The :class:`DevRule` objects the report actually checked."""
+    by_code = {rule.code: rule for rule in all_dev_rules()}
+    return [
+        by_code[code] for code in report.checked_rules if code in by_code
+    ]
+
+
+__all__ = [
+    "PROJECT_ARTIFACT",
+    "CODE_PARSE_ERROR",
+    "CODE_STALE_SUPPRESSION",
+    "DevConfig",
+    "DevReport",
+    "run_devlint",
+    "rules_for_report",
+]

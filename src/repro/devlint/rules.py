@@ -1,0 +1,121 @@
+"""The devlint rule registry.
+
+Mirrors :mod:`repro.lint.rules`: a rule is a function registered under
+a stable ``RLxxx`` code with the :func:`devrule` decorator, and the
+engine iterates the registry in code order.  Two scopes exist:
+
+* ``module`` rules run once per :class:`~repro.devlint.context.
+  SourceModule` and see ``(module, context)``;
+* ``project`` rules run once per analysis and see the whole
+  :class:`~repro.devlint.context.DevContext` (cross-module checks such
+  as the metric-registry consistency rules).
+
+Codes are permanent API, like the ``PM`` model-lint codes: once
+shipped, an ``RL`` code keeps its meaning forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.lint.diagnostics import Severity
+from repro.lint.rules import LintRule
+
+from repro.devlint.context import DevContext, SourceModule
+
+SCOPE_MODULE = "module"
+SCOPE_PROJECT = "project"
+
+
+@dataclass(frozen=True)
+class DevFinding:
+    """What a devlint rule yields: a place, a message, a fix hint.
+
+    ``module`` is ``None`` only for project-scope findings that have no
+    single home file (they anchor to the report, not a line).
+    """
+
+    message: str
+    module: Optional[SourceModule] = None
+    line: Optional[int] = None
+    fixit: Optional[str] = None
+
+
+ModuleCheck = Callable[
+    [SourceModule, DevContext], Iterable[DevFinding]
+]
+ProjectCheck = Callable[[DevContext], Iterable[DevFinding]]
+DevCheck = Union[ModuleCheck, ProjectCheck]
+
+
+@dataclass(frozen=True)
+class DevRule:
+    """One registered rule: identity, defaults, scope, check body."""
+
+    code: str
+    name: str
+    severity: Severity
+    description: str
+    scope: str
+    check: DevCheck
+
+    def as_lint_rule(self) -> LintRule:
+        """This rule's metadata as a :class:`~repro.lint.rules.
+        LintRule`, so the shared SARIF emitter can ship it in the
+        ``tool.driver.rules`` array."""
+
+        def no_check(_context: object) -> Iterable[object]:
+            return ()
+
+        return LintRule(
+            code=self.code,
+            name=self.name,
+            severity=self.severity,
+            description=self.description,
+            requires_log=False,
+            check=no_check,  # type: ignore[arg-type]
+        )
+
+
+_REGISTRY: Dict[str, DevRule] = {}
+
+
+def devrule(
+    code: str,
+    name: str,
+    severity: Severity,
+    description: str,
+    scope: str = SCOPE_MODULE,
+) -> Callable[[DevCheck], DevCheck]:
+    """Register a rule function under ``code``."""
+    if scope not in (SCOPE_MODULE, SCOPE_PROJECT):
+        raise ValueError(f"bad devlint rule scope {scope!r}")
+
+    def decorator(check: DevCheck) -> DevCheck:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate devlint rule code {code!r}")
+        _REGISTRY[code] = DevRule(
+            code=code,
+            name=name,
+            severity=severity,
+            description=description,
+            scope=scope,
+            check=check,
+        )
+        return check
+
+    return decorator
+
+
+def all_dev_rules() -> List[DevRule]:
+    """Every registered rule, in code order."""
+    import repro.devlint.builtin  # noqa: F401  (registers on import)
+
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_dev_rule(code: str) -> DevRule:
+    """Look up one rule by code (:class:`KeyError` if unknown)."""
+    all_dev_rules()
+    return _REGISTRY[code]

@@ -143,10 +143,22 @@ def _sarif_location(
 
 
 def render_sarif(
-    report: LintReport, artifact: Optional[str] = None
+    report: LintReport,
+    artifact: Optional[str] = None,
+    rules: Optional[List[LintRule]] = None,
 ) -> str:
-    """SARIF 2.1.0 rendering, ready for code-scanning upload."""
-    rules = [r for r in all_rules() if r.code in set(report.checked_rules)]
+    """SARIF 2.1.0 rendering, ready for code-scanning upload.
+
+    ``rules`` overrides the ``tool.driver.rules`` metadata array; by
+    default it is the model-lint registry filtered to the report's
+    checked rules.  :mod:`repro.devlint` passes its own
+    :class:`~repro.lint.rules.LintRule` adapters here so both linters
+    share one SARIF surface.
+    """
+    if rules is None:
+        rules = [
+            r for r in all_rules() if r.code in set(report.checked_rules)
+        ]
     rule_index = {r.code: i for i, r in enumerate(rules)}
     results: List[Dict[str, Any]] = []
     for diagnostic in report.diagnostics:

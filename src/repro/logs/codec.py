@@ -29,6 +29,7 @@ from repro.errors import LogFormatError
 from repro.logs.event_log import EventLog
 from repro.logs.events import EventRecord
 from repro.logs.execution import Execution
+from repro.resilience.durable import durable_stream_writer
 from repro.logs.ingest import (
     DEFAULT_STREAM_WINDOW,
     POLICY_STRICT,
@@ -131,9 +132,19 @@ def write_log(log: EventLog, stream: IO[str]) -> int:
     return count
 
 
-def write_log_file(log: EventLog, path: PathOrStr) -> int:
-    """Write ``log`` to ``path``; returns the number of lines written."""
-    with open(path, "w", encoding="utf-8") as handle:
+def write_log_file(
+    log: EventLog, path: PathOrStr, durable: bool = True
+) -> int:
+    """Write ``log`` to ``path``; returns the number of lines written.
+
+    Records stream through :func:`repro.resilience.durable.
+    durable_stream_writer` — the file appears atomically and never
+    torn, without buffering the whole log in memory.  ``durable=False``
+    keeps the atomic replace but skips the fsyncs, the documented
+    escape hatch for huge scratch exports (generated datasets,
+    benchmark corpora) whose loss on power failure is acceptable.
+    """
+    with durable_stream_writer(path, fsync=durable) as handle:
         return write_log(log, handle)
 
 

@@ -182,7 +182,10 @@ class Quarantine:
         if self.path is not None:
             if self._handle is None:
                 # Held open across divert() calls; closed by __exit__.
-                self._handle = open(  # noqa: SIM115
+                # Append-only dead-letter sink flushed per item: a
+                # torn final line is re-quarantined on the next run,
+                # so atomic replace would only lose earlier items.
+                self._handle = open(  # noqa: SIM115  # devlint: ignore[RL101]
                     self.path, "a", encoding="utf-8"
                 )
             self._handle.write(

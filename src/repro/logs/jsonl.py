@@ -24,6 +24,7 @@ from repro.errors import LogFormatError
 from repro.logs.event_log import EventLog
 from repro.logs.events import EventRecord
 from repro.logs.execution import Execution
+from repro.resilience.durable import durable_stream_writer
 from repro.logs.ingest import (
     DEFAULT_STREAM_WINDOW,
     POLICY_STRICT,
@@ -236,9 +237,18 @@ def iter_jsonl_records(
         yield record_from_json(line, line_number)
 
 
-def write_log_jsonl_file(log: EventLog, path: PathOrStr) -> int:
-    """Write a JSON-lines log file."""
-    with open(path, "w", encoding="utf-8") as handle:
+def write_log_jsonl_file(
+    log: EventLog, path: PathOrStr, durable: bool = True
+) -> int:
+    """Write a JSON-lines log file.
+
+    Streams records through :func:`repro.resilience.durable.
+    durable_stream_writer`, so ``path`` appears atomically and is
+    never torn.  ``durable=False`` keeps the atomic replace but skips
+    the fsyncs — the escape hatch for large scratch exports where
+    throughput matters more than crash durability.
+    """
+    with durable_stream_writer(path, fsync=durable) as handle:
         return write_log_jsonl(log, handle)
 
 

@@ -84,7 +84,9 @@ class ProcessBuilder:
         """Add the edges of a linear chain ``names[0] -> names[1] -> ...``."""
         if len(names) < 2:
             raise InvalidProcessError(["chain needs at least two activities"])
-        for source, target in zip(names, names[1:]):
+        # Sliding-window pairing: the offset slice is one shorter
+        # by construction, so strict pairing does not apply.
+        for source, target in zip(names, names[1:], strict=False):
             self.edge(source, target)
         return self
 

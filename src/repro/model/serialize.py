@@ -33,6 +33,20 @@ PathOrStr = Union[str, Path]
 Edge = Tuple[str, str]
 
 
+def _format_scalar(value: float) -> str:
+    """The explicit repr policy for serialized numbers.
+
+    Integral values render as ints (``1``, not ``1.0``), everything
+    else as ``repr(float(value))`` — shortest text that round-trips
+    exactly, unlike presentation specs such as ``:g`` which silently
+    truncate to six significant digits.
+    """
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
 def model_to_text(model: ProcessModel) -> str:
     """Serialize ``model`` into the line format."""
     lines = [
@@ -45,7 +59,7 @@ def model_to_text(model: ProcessModel) -> str:
         lines.append(
             f"activity {activity.name} arity={spec.arity} "
             f"low={spec.low} high={spec.high} "
-            f"duration={activity.duration:g}"
+            f"duration={_format_scalar(activity.duration)}"
         )
     explicit = model.conditions()
     for source, target in sorted(model.graph.edges()):

@@ -100,7 +100,9 @@ def _prom_escape(value: str) -> str:
     )
 
 
-def _prom_labels(labels: dict, extra: Tuple[Tuple[str, str], ...] = ()):
+def _prom_labels(
+    labels: dict, extra: Tuple[Tuple[str, str], ...] = ()
+) -> str:
     pairs = [*sorted(labels.items()), *extra]
     if not pairs:
         return ""
@@ -110,7 +112,7 @@ def _prom_labels(labels: dict, extra: Tuple[Tuple[str, str], ...] = ()):
     return "{" + body + "}"
 
 
-def _prom_number(value) -> str:
+def _prom_number(value: object) -> str:
     if isinstance(value, float):
         if math.isinf(value):
             return "+Inf" if value > 0 else "-Inf"
@@ -205,7 +207,9 @@ def parse_prometheus(text: str) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
     return samples
 
 
-def _parse_prom_sample(line: str, line_number: int):
+def _parse_prom_sample(
+    line: str, line_number: int
+) -> Tuple[str, Tuple[Tuple[str, str], ...], str]:
     brace = line.find("{")
     if brace == -1:
         name, _, rest = line.partition(" ")

@@ -25,9 +25,21 @@ should treat a rename as a breaking change.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+    TypeVar,
+    Union,
+)
 
 Number = Union[int, float]
+
+_SeriesT = TypeVar("_SeriesT", bound="Metric")
 LabelPairs = Tuple[Tuple[str, str], ...]
 
 #: Default histogram bucket upper bounds (seconds-flavoured, matching
@@ -125,7 +137,9 @@ class Histogram:
         """``(le, cumulative_count)`` pairs, ``+Inf`` last."""
         out: List[Tuple[float, int]] = []
         running = 0
-        for bound, n in zip(self.bounds, self.bucket_counts):
+        for bound, n in zip(
+            self.bounds, self.bucket_counts, strict=True
+        ):
             running += n
             out.append((bound, running))
         out.append((float("inf"), self.count))
@@ -179,7 +193,12 @@ class MetricsRegistry:
             )
         return metric
 
-    def _series(self, cls, name, labels):
+    def _series(
+        self,
+        cls: Type[_SeriesT],
+        name: str,
+        labels: Optional[Mapping[str, str]],
+    ) -> _SeriesT:
         key = (name, _freeze_labels(labels))
         metric = self._metrics.get(key)
         if metric is None:
@@ -221,7 +240,9 @@ class MetricsRegistry:
                 sample["count"] = metric.count
                 sample["buckets"] = [
                     [le, n] for le, n in zip(
-                        metric.bounds, metric.bucket_counts
+                        metric.bounds,
+                        metric.bucket_counts,
+                        strict=True,
                     )
                 ]
             else:

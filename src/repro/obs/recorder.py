@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter, process_time
-from typing import List, Mapping, Optional, Union
+from typing import List, Mapping, Optional, Sequence, Union
 
 from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
 
@@ -68,7 +68,9 @@ class _ActiveSpan:
         "_depth", "_start", "_wall0", "_cpu0",
     )
 
-    def __init__(self, recorder: "ObsRecorder", name: str, attrs: dict):
+    def __init__(
+        self, recorder: "ObsRecorder", name: str, attrs: dict
+    ) -> None:
         self._recorder = recorder
         self._name = name
         self._attrs = attrs
@@ -163,7 +165,7 @@ class ObsRecorder:
         name: str,
         value: Number,
         labels: Optional[Mapping[str, str]] = None,
-        bounds=DEFAULT_BUCKETS,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
     ) -> None:
         """Record one observation into histogram ``name``."""
         self.registry.histogram(name, labels, bounds=bounds).observe(value)
@@ -214,16 +216,32 @@ class NullRecorder:
     def span_names(self) -> List[str]:
         return []
 
-    def count(self, name, amount=1, labels=None) -> None:
+    def count(
+        self,
+        name: str,
+        amount: Number = 1,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         return None
 
-    def gauge(self, name, value, labels=None) -> None:
+    def gauge(
+        self,
+        name: str,
+        value: Number,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         return None
 
-    def observe(self, name, value, labels=None, bounds=None) -> None:
+    def observe(
+        self,
+        name: str,
+        value: Number,
+        labels: Optional[Mapping[str, str]] = None,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
         return None
 
-    def merge_registry(self, other) -> None:
+    def merge_registry(self, other: object) -> None:
         return None
 
 

@@ -41,7 +41,7 @@ _SESSION_EXPORTS = (
 )
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _SESSION_EXPORTS:
         from repro.resilience import session
 

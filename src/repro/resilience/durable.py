@@ -23,14 +23,25 @@ boundaries.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import tempfile
 from pathlib import Path
-from typing import Union
+from typing import IO, Iterator, Union
 
 from repro.resilience.faults import InjectedTear, hard_kill, maybe_fault
 
 PathOrStr = Union[str, Path]
+
+# Session directory layout components.  Canonical home is here (the
+# lowest layer every persistence module already imports) so that
+# higher layers — ``repro.core.state``'s ``.prev`` fallback probe,
+# ``repro.resilience.session``'s checkpoint/journal paths — share one
+# definition without an import cycle.  ``repro.resilience.session``
+# re-exports them under the same names.
+CHECKPOINT_NAME = "checkpoint.json"
+PREVIOUS_SUFFIX = ".prev"
+WAL_DIRECTORY = "wal"
 
 _CRC32C_POLY = 0x82F63B78
 
@@ -129,6 +140,47 @@ def durable_write(
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_directory(parent)
+
+
+@contextlib.contextmanager
+def durable_stream_writer(
+    path: PathOrStr,
+    fsync: bool = True,
+    encoding: str = "utf-8",
+) -> Iterator[IO[str]]:
+    """A text handle that becomes ``path`` atomically on clean exit.
+
+    The streaming sibling of :func:`durable_write`: callers write
+    record-by-record (no whole-payload buffer), and on normal exit the
+    handle is flushed, fsynced, renamed over ``path`` with
+    :func:`os.replace`, and the parent directory fsynced.  If the body
+    raises — or the process dies mid-stream — ``path`` keeps its
+    previous content and only an orphan ``*.tmp`` sibling remains.
+
+    ``fsync=False`` keeps the atomic replace but skips both fsyncs,
+    for large exports where the caller explicitly trades durability
+    for throughput.
+    """
+    path = Path(path)
+    parent = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            yield handle
             handle.flush()
             if fsync:
                 os.fsync(handle.fileno())

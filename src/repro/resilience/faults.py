@@ -195,8 +195,11 @@ class FaultPlan:
         )
 
     def save(self, path: PathOrStr) -> None:
-        Path(path).write_text(
-            json.dumps(self.to_json(), indent=2) + "\n", encoding="utf-8"
+        # Imported lazily: durable imports this module at load time.
+        from repro.resilience.durable import durable_write
+
+        durable_write(
+            Path(path), json.dumps(self.to_json(), indent=2) + "\n"
         )
 
     @classmethod

@@ -39,7 +39,12 @@ from repro.core.state import (
 )
 from repro.errors import CheckpointError
 from repro.obs.recorder import NULL_RECORDER, Recorder
-from repro.resilience.durable import fsync_directory
+from repro.resilience.durable import (
+    CHECKPOINT_NAME,
+    PREVIOUS_SUFFIX,
+    WAL_DIRECTORY,
+    fsync_directory,
+)
 from repro.resilience.faults import POINT_CHECKPOINT_SAVE, POINT_FOLD_MERGE, maybe_fault
 from repro.resilience.journal import Journal, replay_executions, scan_journal
 
@@ -47,10 +52,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.logs.execution import Execution
 
 PathOrStr = Union[str, Path]
-
-CHECKPOINT_NAME = "checkpoint.json"
-PREVIOUS_SUFFIX = ".prev"
-WAL_DIRECTORY = "wal"
 
 DEFAULT_CHECKPOINT_EVERY = 256
 

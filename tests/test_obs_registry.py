@@ -1,0 +1,82 @@
+"""Tests for the declared metric catalogue (``repro.obs.registry``)."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs.registry import (
+    DECLARED_METRICS,
+    KIND_COUNTER,
+    KIND_GAUGE,
+    KIND_HISTOGRAM,
+    declared_metric_names,
+    get_metric,
+    render_metrics_markdown,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestCatalogue:
+    def test_names_are_unique_and_prefixed(self):
+        names = [spec.name for spec in DECLARED_METRICS]
+        assert len(names) == len(set(names))
+        assert all(name.startswith("repro_") for name in names)
+
+    def test_counters_end_in_total(self):
+        for spec in DECLARED_METRICS:
+            if spec.kind == KIND_COUNTER:
+                assert spec.name.endswith("_total"), spec.name
+            else:
+                assert spec.kind in (KIND_GAUGE, KIND_HISTOGRAM)
+
+    def test_lookup(self):
+        spec = get_metric("repro_mine_edges")
+        assert spec.kind == KIND_GAUGE
+        assert spec.labels == ("stage",)
+        with pytest.raises(KeyError):
+            get_metric("repro_unknown")
+        assert "repro_mine_edges" in declared_metric_names()
+
+    def test_every_declared_name_is_emitted_in_source(self):
+        """Registry ⊆ code: each declaration appears as a literal
+        somewhere under src/repro (the inverse of devlint RL301)."""
+        source = "\n".join(
+            path.read_text(encoding="utf-8")
+            for path in sorted((REPO_ROOT / "src").rglob("*.py"))
+        )
+        missing = [
+            spec.name
+            for spec in DECLARED_METRICS
+            if not re.search(rf"\b{re.escape(spec.name)}\b", source)
+        ]
+        assert missing == []
+
+
+class TestGeneratedDocs:
+    def test_observability_doc_carries_generated_block(self):
+        """docs/OBSERVABILITY.md embeds render_metrics_markdown()
+        verbatim between the GENERATED markers — the doc is checked
+        against the code, never trusted."""
+        text = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text(
+            encoding="utf-8"
+        )
+        match = re.search(
+            r"<!-- BEGIN GENERATED: metrics-registry -->\n"
+            r"(.*?)"
+            r"<!-- END GENERATED: metrics-registry -->",
+            text,
+            re.DOTALL,
+        )
+        assert match is not None, "generated-block markers missing"
+        assert match.group(1) == render_metrics_markdown()
+
+    def test_markdown_has_one_row_per_metric(self):
+        rendered = render_metrics_markdown()
+        rows = [
+            line
+            for line in rendered.splitlines()
+            if line.startswith("| `repro_")
+        ]
+        assert len(rows) == len(DECLARED_METRICS)
