@@ -59,6 +59,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.diffing import diff_against_log
+from repro.core.kernels import KERNEL_NAMES
 from repro.core.miner import (
     ALGORITHM_AUTO,
     ALGORITHM_CYCLIC,
@@ -206,6 +207,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     mine.add_argument(
+        "--kernel",
+        choices=list(KERNEL_NAMES),
+        default=None,
+        help=(
+            "mining kernel for the Algorithm 2/3 hot paths (default: "
+            "the REPRO_KERNEL environment variable, else bitset; "
+            "numpy requires numpy to be installed; the mined graph "
+            "is identical for every kernel)"
+        ),
+    )
+    mine.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -336,6 +348,15 @@ def build_parser() -> argparse.ArgumentParser:
     merge_states.add_argument(
         "--jobs", type=_positive_int, metavar="N",
         help="worker processes for the finishing step-5 marking",
+    )
+    merge_states.add_argument(
+        "--kernel",
+        choices=list(KERNEL_NAMES),
+        default=None,
+        help=(
+            "mining kernel for the finishing steps (default: "
+            "REPRO_KERNEL, else bitset)"
+        ),
     )
 
     verify_state = commands.add_parser(
@@ -827,7 +848,10 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
     trace = MiningTrace(recorder=recorder)
     with recorder.span("mine", algorithm=algorithm):
         graph = state.finish(
-            threshold=args.threshold, trace=trace, jobs=args.jobs
+            threshold=args.threshold,
+            trace=trace,
+            jobs=args.jobs,
+            kernel=args.kernel,
         )
         if algorithm == ALGORITHM_CYCLIC:
             graph = merge_instances(graph)
@@ -904,7 +928,11 @@ def _cmd_merge_states(args: argparse.Namespace) -> int:
         print(f"wrote merged state to {args.output}")
     if args.state_only:
         return 0
-    graph = merged.finish(threshold=args.threshold, jobs=args.jobs)
+    graph = merged.finish(
+        threshold=args.threshold,
+        jobs=args.jobs,
+        kernel=args.kernel,
+    )
     if mode == MODE_CYCLIC:
         graph = merge_instances(graph)
     print(f"# algorithm: {mode}")
@@ -1026,6 +1054,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         jobs=args.jobs,
         recorder=recorder,
+        kernel=args.kernel,
     )
     result = miner.mine(log)
     if args.profile:
@@ -1088,10 +1117,20 @@ def _print_profile(trace) -> None:
             f"dedup ratio: {trace.dedup_ratio():.2f}x",
             file=sys.stderr,
         )
+        paths = getattr(trace, "reduction_paths", None) or {}
+        by_path = ", ".join(
+            f"{count} {path}" for path, count in sorted(paths.items())
+        )
         print(
             f"  step-5 reductions: {trace.reduction_cache_misses} "
-            f"computed, {trace.reduction_cache_hits} memo hits  "
-            f"jobs: {trace.jobs}",
+            f"computed"
+            + (f" ({by_path})" if by_path else "")
+            + f", {trace.reduction_cache_hits} exact cache hits, "
+            f"{trace.reduction_cache_prefix_extends} prefix extends",
+            file=sys.stderr,
+        )
+        print(
+            f"  kernel: {trace.kernel}  jobs: {trace.jobs}",
             file=sys.stderr,
         )
     for stage, seconds in trace.timings.items():

@@ -24,6 +24,7 @@ from repro.core.general_dag import (
     prepare_executions,
     prepare_packed_log,
 )
+from repro.core.kernels import get_kernel
 from repro.graphs.digraph import DiGraph
 from repro.logs.event_log import EventLog
 
@@ -66,6 +67,7 @@ def mine_cyclic(
     trace: Optional[MiningTrace] = None,
     return_instance_graph: bool = False,
     jobs: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> Union[DiGraph, Tuple[DiGraph, DiGraph]]:
     """Mine a (possibly cyclic) conformal graph of ``log`` with Algorithm 3.
 
@@ -81,6 +83,9 @@ def mine_cyclic(
     jobs:
         Worker processes for pair extraction and step-5 marking
         (``None`` defers to ``REPRO_JOBS``; 1 = serial).
+    kernel:
+        Mining kernel name (``None`` defers to ``REPRO_KERNEL``, else
+        the default ``bitset``); see :mod:`repro.core.kernels`.
     return_instance_graph:
         When true, return ``(merged_graph, instance_graph)`` — the
         intermediate graph over ``(activity, occurrence)`` vertices is what
@@ -111,7 +116,12 @@ def mine_cyclic(
             list(log), labelled=True, jobs=jobs, recorder=trace.recorder
         )
     instance_graph = _mine_packed(
-        table, variants, threshold=threshold, trace=trace, jobs=jobs
+        table,
+        variants,
+        threshold=threshold,
+        trace=trace,
+        jobs=jobs,
+        kernel=get_kernel(kernel),
     )
     with trace.stage("merge_instances"):
         merged = merge_instances(instance_graph)

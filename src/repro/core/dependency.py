@@ -28,7 +28,10 @@ from repro.core.followings import FollowRelation, follow_relation
 from repro.errors import CycleError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.scc import remove_intra_component_edges
-from repro.graphs.transitive import transitive_closure, transitive_reduction
+from repro.graphs.transitive import (
+    transitive_closure_bitset,
+    transitive_reduction,
+)
 from repro.logs.event_log import EventLog
 
 Pair = Tuple[str, str]
@@ -139,8 +142,8 @@ def dependency_relation(log: EventLog) -> DependencyRelation:
     }
     graph = DiGraph(nodes=sorted(follow.activities), edges=direct)
     remove_intra_component_edges(graph)
-    closure = transitive_closure(graph)
+    closure = transitive_closure_bitset(graph)
     depends = frozenset(
-        (a, b) for a, b in closure.edges() if a != b
+        (a, b) for a, b in closure.iter_edges() if a != b
     )
     return DependencyRelation(follow=follow, depends=depends)

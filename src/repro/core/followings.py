@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.graphs.digraph import DiGraph
-from repro.graphs.transitive import transitive_closure
+from repro.graphs.transitive import transitive_closure_bitset
 from repro.logs.event_log import EventLog
 
 Pair = Tuple[str, str]
@@ -134,12 +134,12 @@ def follow_relation(log: EventLog) -> FollowRelation:
         if ordered[(second, first)] == count:
             direct.add((second, first))
 
-    closure = transitive_closure(
+    closure = transitive_closure_bitset(
         DiGraph(nodes=sorted(activities), edges=direct)
     )
     closed = frozenset(
         (source, target)
-        for source, target in closure.edges()
+        for source, target in closure.iter_edges()
         if source != target
     )
     return FollowRelation(

@@ -22,22 +22,29 @@ pairs seen in fewer than ``T`` executions are discarded before step 3.
 High-throughput core
 --------------------
 Real logs are dominated by repeated trace variants, so the pipeline here
-is built around three ideas (the naive original is retained verbatim in
+is built around four ideas (the naive original is retained verbatim in
 :mod:`repro.core.reference` for differential testing):
 
 * **Interning** — vertex labels become dense integer ids and ordered
   pairs become single packed ints ``u * n + v``
   (:mod:`repro.core.interning`), so every set operation of steps 2–6
-  runs over small ints, and step 5 reduces packed edge sets directly
-  (:func:`repro.graphs.transitive.transitive_reduction_packed`) instead
-  of building a :class:`~repro.graphs.digraph.DiGraph` per execution.
+  runs over small ints.
 * **Variant deduplication** — identical :class:`PreparedExecution`\\ s
   collapse into one weighted variant; step-2 counters use
   multiplicities and step 5 runs once per variant, with a further memo
   on the *induced edge set* shared across variants.
+* **Pluggable kernels** (:mod:`repro.core.kernels`) — under the default
+  ``bitset`` kernel, sequential no-repeat traces (the dominant shape)
+  take a fused bit-row pipeline: step 2 builds per-source successor
+  bitmasks directly from the id sequences (no pair-set materialization),
+  steps 3–4 are bitmask algebra, and step 5 reduces *all* such variants
+  in one slotted bit-parallel Algorithm 4 pass instead of one graph walk
+  per variant.  ``--kernel pure`` keeps the scalar path; ``--kernel
+  numpy`` vectorizes the batch when numpy is installed.
 * **Opt-in parallelism** — ``jobs=N`` (or ``REPRO_JOBS``) fans pair
-  extraction and step-5 reductions out over worker processes with a
-  deterministic union merge (:mod:`repro.core.parallel`).
+  extraction and step-5 reductions (scalar chunks and packed mask
+  chunks alike) out over worker processes with a deterministic union
+  merge (:mod:`repro.core.parallel`).
 
 :func:`mine_prepared` exposes the step 2–6 pipeline over pre-extracted
 pair sets so that Algorithm 3 can reuse it on relabelled executions;
@@ -52,6 +59,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import (
+    Callable,
     Dict,
     FrozenSet,
     Hashable,
@@ -64,14 +72,23 @@ from typing import (
 )
 
 from repro.core.interning import InternTable, PackedVariant, intern_variants
+from repro.core.kernels import (
+    Kernel,
+    KernelState,
+    ReduceContext,
+    ReduceStats,
+    get_kernel,
+)
 from repro.core.parallel import (
+    pack_masks,
     process_map_timed,
     resolve_jobs,
     split_chunks,
+    unpack_masks,
 )
 from repro.errors import EmptyLogError
 from repro.graphs.digraph import DiGraph
-from repro.graphs.scc import component_map
+from repro.graphs.scc import component_map, component_map_adjacency
 from repro.graphs.transitive import transitive_reduction_packed
 from repro.logs.event_log import EventLog
 from repro.logs.execution import Execution
@@ -82,6 +99,12 @@ Pair = Tuple[Vertex, Vertex]
 
 #: ``(prepared, multiplicity)`` — one deduplicated trace variant.
 WeightedVariant = Tuple["PreparedExecution", int]
+
+#: Minimum batch size before step-5 mask reductions fan out to workers.
+_MASK_FANOUT_MIN = 64
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` verdict.
+_UNKNOWN = object()
 
 
 @dataclass(frozen=True)
@@ -114,8 +137,23 @@ class MiningTrace:
     Edge counts after each step let the ablation benches show what each
     stage contributes; ``pair_counts`` holds the Section 6 noise counters.
     The throughput fields (``timings``, ``execution_count``,
-    ``variant_count``, ``reduction_cache_hits``/``misses``, ``jobs``)
-    feed ``repro-miner mine --profile`` and the performance harness.
+    ``variant_count``, the ``reduction_cache_*`` counters, ``kernel``,
+    ``jobs``) feed ``repro-miner mine --profile`` and the performance
+    harness.
+
+    ``pair_counts`` and ``overlap_counts`` are *lazy*: the fused kernel
+    pipeline never builds label-level counters on its own behalf, so
+    they materialize from the packed run data on first access (and stay
+    assignable, which the reference pipeline uses).  ``publish`` reports
+    the distinct-pair count without forcing materialization.
+
+    Step-5 cache traffic is reported in three separate buckets
+    (``--profile`` and the ``repro_kernel_prefix_cache_events_total``
+    metric): ``reduction_cache_hits`` are reductions answered outright
+    by an exact key (induced-edge-set memo or an already-reduced variant
+    mask), ``reduction_cache_prefix_extends`` are reductions that
+    resumed mid-walk from a shared variant prefix and paid only for the
+    suffix, and ``reduction_cache_misses`` were computed cold.
 
     Since the observability layer landed, ``MiningTrace`` is a thin
     façade over :mod:`repro.obs`: every stage runs inside
@@ -131,8 +169,6 @@ class MiningTrace:
     #: Observability sink; the shared no-op recorder unless a run
     #: opted in (``--metrics-out``, the perf harness, tests).
     recorder: Recorder = field(default=NULL_RECORDER, repr=False)
-    pair_counts: Counter = field(default_factory=Counter)
-    overlap_counts: Counter = field(default_factory=Counter)
     edges_after_step2: int = 0
     edges_dropped_by_threshold: int = 0
     edges_dropped_by_overlap: int = 0
@@ -146,12 +182,75 @@ class MiningTrace:
     execution_count: int = 0
     #: Distinct trace variants after deduplication.
     variant_count: int = 0
-    #: Step-5 reductions answered by the induced-edge-set memo.
+    #: Step-5 reductions answered by an exact cache key.
     reduction_cache_hits: int = 0
-    #: Step-5 reductions actually computed.
+    #: Step-5 reductions actually computed (cold).
     reduction_cache_misses: int = 0
+    #: Step-5 reductions resumed from a cached variant prefix.
+    reduction_cache_prefix_extends: int = 0
+    #: Computed reductions per implementation path
+    #: (``slotted``/``walker``/``scalar``).
+    reduction_paths: Dict[str, int] = field(default_factory=dict)
+    #: Kernel that executed the hot paths (``pure``/``bitset``/``numpy``).
+    kernel: str = "pure"
     #: Worker processes used (1 = serial).
     jobs: int = 1
+
+    def __post_init__(self) -> None:
+        self._pair_counts: Optional[Counter] = Counter()
+        self._overlap_counts: Optional[Counter] = Counter()
+        self._pair_thunk: Optional[Callable[[], Counter]] = None
+        self._overlap_thunk: Optional[Callable[[], Counter]] = None
+        self._distinct_pairs: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lazy label-level counters
+    # ------------------------------------------------------------------
+    @property
+    def pair_counts(self) -> Counter:
+        """Label-level follows-pair counters (Section 6 evidence)."""
+        if self._pair_counts is None:
+            assert self._pair_thunk is not None
+            self._pair_counts = self._pair_thunk()
+            self._pair_thunk = None
+        return self._pair_counts
+
+    @pair_counts.setter
+    def pair_counts(self, value: Counter) -> None:
+        self._pair_counts = value
+        self._pair_thunk = None
+
+    @property
+    def overlap_counts(self) -> Counter:
+        """Label-level overlapping-pair counters."""
+        if self._overlap_counts is None:
+            assert self._overlap_thunk is not None
+            self._overlap_counts = self._overlap_thunk()
+            self._overlap_thunk = None
+        return self._overlap_counts
+
+    @overlap_counts.setter
+    def overlap_counts(self, value: Counter) -> None:
+        self._overlap_counts = value
+        self._overlap_thunk = None
+
+    def defer_pair_counts(
+        self, thunk: Callable[[], Counter], distinct: int
+    ) -> None:
+        """Materialize ``pair_counts`` from ``thunk`` on first access.
+
+        ``distinct`` is the number of distinct pairs the thunk would
+        produce, letting :meth:`publish` report the pair count without
+        paying for the label-level Counter nobody may ever read.
+        """
+        self._pair_counts = None
+        self._pair_thunk = thunk
+        self._distinct_pairs = distinct
+
+    def defer_overlap_counts(self, thunk: Callable[[], Counter]) -> None:
+        """Materialize ``overlap_counts`` from ``thunk`` on first access."""
+        self._overlap_counts = None
+        self._overlap_thunk = thunk
 
     def dedup_ratio(self) -> float:
         """Executions per distinct variant (1.0 = no duplication)."""
@@ -187,12 +286,16 @@ class MiningTrace:
         recorder = self.recorder
         if not recorder.enabled:
             return
+        if self._pair_counts is not None:
+            pairs_extracted = len(self._pair_counts)
+        else:
+            pairs_extracted = self._distinct_pairs or 0
         recorder.count(
             "repro_mine_executions_total", self.execution_count
         )
         recorder.count("repro_mine_variants_total", self.variant_count)
         recorder.count(
-            "repro_mine_pairs_extracted_total", len(self.pair_counts)
+            "repro_mine_pairs_extracted_total", pairs_extracted
         )
         recorder.count(
             "repro_mine_step5_cache_hits_total",
@@ -201,6 +304,10 @@ class MiningTrace:
         recorder.count(
             "repro_mine_step5_cache_misses_total",
             self.reduction_cache_misses,
+        )
+        recorder.count(
+            "repro_mine_step5_cache_prefix_extends_total",
+            self.reduction_cache_prefix_extends,
         )
         recorder.count(
             "repro_mine_scc_edges_removed_total", self.scc_edge_removals
@@ -215,6 +322,25 @@ class MiningTrace:
             self.edges_dropped_by_overlap,
             labels={"cause": "overlap"},
         )
+        recorder.count(
+            "repro_kernel_runs_total", 1, labels={"kernel": self.kernel}
+        )
+        for path, computed in sorted(self.reduction_paths.items()):
+            recorder.count(
+                "repro_kernel_reductions_total",
+                computed,
+                labels={"path": path},
+            )
+        for event, events in (
+            ("exact_hit", self.reduction_cache_hits),
+            ("prefix_extend", self.reduction_cache_prefix_extends),
+            ("miss", self.reduction_cache_misses),
+        ):
+            recorder.count(
+                "repro_kernel_prefix_cache_events_total",
+                events,
+                labels={"event": event},
+            )
         for stage_name, edge_count in (
             ("step2", self.edges_after_step2),
             ("step3", self.edges_after_step3),
@@ -425,6 +551,26 @@ def _reduce_chunk(
     ]
 
 
+def _reduce_masks_chunk(
+    args: Tuple[str, int, Dict[int, int], Tuple[int, ...], bytes],
+) -> List[int]:
+    """Worker: batch-reduce a chunk of packed variant vertex masks.
+
+    The parent ships the shared step-4 edge codes and topological ranks
+    once per chunk plus the masks as packed little-endian bytes
+    (:func:`~repro.core.parallel.pack_masks`); the worker rebuilds the
+    :class:`~repro.core.kernels.ReduceContext` locally.  Any worker
+    could equally recompute the ranks — the transitive reduction of a
+    DAG is unique, so every topological order yields the same kept
+    edges — but shipping them keeps chunks byte-deterministic.
+    """
+    kernel_name, n, rank, edge_codes, blob = args
+    ctx = ReduceContext.from_edges(set(edge_codes), n, rank)
+    masks = unpack_masks(blob, ctx.slot_bytes)
+    kernel = get_kernel(kernel_name)
+    return sorted(kernel.bulk_reduce_union(ctx, masks))
+
+
 def _reverse_code(code: int, n: int) -> int:
     u, v = divmod(code, n)
     return v * n + u
@@ -459,6 +605,137 @@ def _topological_ranks(
     return {u: position for position, u in enumerate(order)}
 
 
+def _ranks_from_adjacency(
+    adjacency: Dict[int, List[int]], n: int
+) -> Optional[Dict[int, int]]:
+    """Kahn ranks straight off an id-list adjacency, or ``None`` on a
+    cycle.  Array-indexed counterpart of :func:`_topological_ranks` for
+    the fused row pipeline, where the adjacency is already decoded —
+    and doubling as its acyclicity test: a completed order proves every
+    strongly connected component is a singleton, letting step 4 skip
+    the SCC pass outright."""
+    indegree = [0] * n
+    present = [False] * n
+    for u, targets in adjacency.items():
+        present[u] = True
+        for v in targets:
+            indegree[v] += 1
+            present[v] = True
+    ready = [u for u in range(n) if present[u] and not indegree[u]]
+    order: List[int] = []
+    adjacency_get = adjacency.get
+    while ready:
+        u = ready.pop()
+        order.append(u)
+        for v in adjacency_get(u, ()):
+            indegree[v] -= 1
+            if not indegree[v]:
+                ready.append(v)
+    if len(order) != sum(present):
+        return None
+    return {u: position for position, u in enumerate(order)}
+
+
+def _total_order_mask(
+    variant: PackedVariant,
+    n: int,
+    cache: Optional[Dict[FrozenSet[int], Optional[int]]] = None,
+) -> Optional[int]:
+    """The variant's vertex bitmask when its pairs are a total order.
+
+    Returns ``None`` for anything else — only total-order variants may
+    take the batched step-5 path, because only for them does the
+    induced edge set provably equal ``edges & (S x S)`` (see
+    :mod:`repro.core.kernels`).
+
+    The verification is one pass over the pairs: a loopless simple
+    digraph on ``S`` with ``C(k, 2)`` edges whose out-degrees are
+    pairwise distinct *and* whose in-degrees are pairwise distinct is a
+    transitive tournament.  (Distinct out-degrees bounded by ``k - 1``
+    summing to ``C(k, 2)`` must be ``{0, …, k-1}``; the out-degree-
+    ``k-1`` vertex beats everyone and — having in-degree 0, the only
+    value left — is beaten by no one, so removing it recurses.)
+
+    ``cache`` (keyed by the pairs frozenset, which caches its own hash)
+    lets repeated ``finish()`` calls skip re-verification.
+    """
+    if variant.overlaps:
+        return None
+    pairs = variant.pairs
+    vertices = variant.vertices
+    k = len(vertices)
+    if len(pairs) != (k * (k - 1)) // 2:
+        return None
+    if cache is not None:
+        cached = cache.get(pairs, _UNKNOWN)
+        if cached is not _UNKNOWN:
+            return cached  # type: ignore[return-value]
+    outdeg: Dict[int, int] = {}
+    indeg: Dict[int, int] = {}
+    result: Optional[int] = None
+    for code in pairs:
+        u, v = divmod(code, n)
+        if u == v:
+            break
+        outdeg[u] = outdeg.get(u, 0) + 1
+        indeg[v] = indeg.get(v, 0) + 1
+    else:
+        if (
+            len(outdeg) == k - 1
+            and len(set(outdeg.values())) == k - 1
+            and len(indeg) == k - 1
+            and len(set(indeg.values())) == k - 1
+            and vertices.issuperset(outdeg)
+            and vertices.issuperset(indeg)
+        ) or k <= 1:
+            mask = 0
+            for vertex_id in vertices:
+                mask |= 1 << vertex_id
+            result = mask
+    if cache is not None:
+        cache[pairs] = result
+    return result
+
+
+def _reduce_masks_parallel(
+    kernel: Kernel,
+    ctx: ReduceContext,
+    edges: Set[int],
+    rank: Dict[int, int],
+    masks: Sequence[int],
+    stats: ReduceStats,
+    jobs: int,
+    recorder: Recorder,
+) -> Set[int]:
+    """Fan a large mask batch out over worker processes.
+
+    Masks are deduplicated first (duplicates count as exact cache hits,
+    like the serial path) and shipped as packed bytes; each worker runs
+    the kernel's batch reduction over its chunk and returns sorted kept
+    codes, which union deterministically.
+    """
+    distinct = list(dict.fromkeys(masks))
+    stats.exact_hits += len(masks) - len(distinct)
+    stats.misses += len(distinct)
+    stats.bump("slotted", len(distinct))
+    edge_codes = tuple(sorted(edges))
+    chunked = [
+        (kernel.name, ctx.n, rank, edge_codes,
+         pack_masks(chunk, ctx.slot_bytes))
+        for chunk in split_chunks(distinct, jobs)
+    ]
+    marked: Set[int] = set()
+    for kept_codes in process_map_timed(
+        _reduce_masks_chunk,
+        chunked,
+        jobs,
+        recorder=recorder,
+        stage="step5_reduce",
+    ):
+        marked.update(kept_codes)
+    return marked
+
+
 def mine_variants(
     variants: Sequence[WeightedVariant],
     threshold: int = 0,
@@ -466,6 +743,8 @@ def mine_variants(
     skip_scc_removal: bool = False,
     skip_execution_marking: bool = False,
     jobs: Optional[int] = None,
+    kernel: Optional[str] = None,
+    kernel_state: Optional[KernelState] = None,
 ) -> DiGraph:
     """Run steps 2–6 of Algorithm 2 over weighted trace variants.
 
@@ -489,6 +768,8 @@ def mine_variants(
         skip_scc_removal=skip_scc_removal,
         skip_execution_marking=skip_execution_marking,
         jobs=jobs,
+        kernel=get_kernel(kernel),
+        kernel_state=kernel_state,
     )
 
 
@@ -503,6 +784,8 @@ def _mine_packed(
     reduction_memo: Optional[
         Dict[FrozenSet[int], FrozenSet[int]]
     ] = None,
+    kernel: Optional[Kernel] = None,
+    kernel_state: Optional[KernelState] = None,
 ) -> DiGraph:
     """Steps 2–6 over already-interned packed variants.
 
@@ -512,11 +795,24 @@ def _mine_packed(
     set, so a caller whose label table is stable (the incremental miner,
     :meth:`MiningState.finish <repro.core.state.MiningState.finish>`)
     can pass the same dict again and pay only for unseen induced sets.
+
+    Under a mask-capable ``kernel`` (the default ``bitset``) and
+    ``threshold <= 1``, total-order variants skip the per-variant scalar
+    reduction entirely: they are verified once
+    (:func:`_total_order_mask`), collapsed to vertex bitmasks, and
+    reduced in one slotted bit-parallel batch — optionally resuming from
+    a persistent ``kernel_state`` whose variant population must only
+    grow between calls on an unchanged edge set (true for
+    :class:`~repro.core.state.MiningState` and the incremental miner).
+    Everything else (overlaps, repeated activities, ``threshold > 1``,
+    cyclic ablations) takes the scalar path, unchanged.
     """
     if not packed:
         raise EmptyLogError("cannot mine an empty set of executions")
     jobs = resolve_jobs(jobs)
     trace = trace if trace is not None else MiningTrace()
+    kernel = kernel if kernel is not None else get_kernel()
+    trace.kernel = kernel.name
     trace.execution_count = sum(
         variant.multiplicity for variant in packed
     )
@@ -541,21 +837,16 @@ def _mine_packed(
                 overlap_code_counts.update(
                     dict.fromkeys(variant.overlaps, count)
                 )
-        # Hot loop: index the label tuple directly instead of calling
-        # ``table.unpack`` per code (one attribute lookup + two calls
-        # saved per distinct pair; see the pack_unpack bench cell).
+        # Label-level counters materialize on demand only: indexing the
+        # label tuple directly beats ``table.unpack`` per code, and runs
+        # not inspecting Section 6 evidence never pay at all.
         labels = table.labels
-        trace.pair_counts = Counter(
-            {
-                (labels[code // n], labels[code % n]): count
-                for code, count in code_counts.items()
-            }
+        trace.defer_pair_counts(
+            _packed_counts_thunk(labels, n, code_counts),
+            len(code_counts),
         )
-        trace.overlap_counts = Counter(
-            {
-                (labels[code // n], labels[code % n]): count
-                for code, count in overlap_code_counts.items()
-            }
+        trace.defer_overlap_counts(
+            _packed_counts_thunk(labels, n, overlap_code_counts)
         )
         edges: Set[int] = set(code_counts)
         trace.edges_after_step2 = len(edges)
@@ -610,17 +901,64 @@ def _mine_packed(
         trace.edges_after_step4 = len(edges)
 
     # Steps 5–6 — keep only edges some execution's transitive reduction
-    # needs.  Reduction runs once per distinct *induced edge set*: the
-    # memo collapses variants whose executions activate the same edges.
+    # needs.  Total-order variants batch through the kernel; the rest
+    # reduce once per distinct *induced edge set* via the memo.
     with trace.stage("step5_reduce"):
         if not skip_execution_marking:
+            # One Kahn pass over the surviving edges serves every
+            # induced subgraph; ``None`` (cyclic, only when step 4
+            # was skipped) keeps the per-reduction cycle check of
+            # the legacy pipeline and disables the batch path.
+            rank = _topological_ranks(edges, n)
+            stats = ReduceStats()
+            marked: Set[int] = set()
+            mask_batch: List[int] = []
+            scalar_variants: Sequence[PackedVariant] = packed
+            if (
+                kernel.supports_masks
+                and threshold <= 1
+                and rank is not None
+                and edges
+            ):
+                mask_cache = (
+                    kernel_state.mask_cache_for(n)
+                    if kernel_state is not None
+                    else None
+                )
+                scalar_list: List[PackedVariant] = []
+                for variant in packed:
+                    smask = _total_order_mask(variant, n, mask_cache)
+                    if smask is None:
+                        scalar_list.append(variant)
+                    else:
+                        mask_batch.append(smask)
+                scalar_variants = scalar_list
+            if mask_batch:
+                ctx = ReduceContext.from_edges(edges, n, rank or {})
+                batch_state = (
+                    kernel_state.for_edges(edges, n)
+                    if kernel_state is not None
+                    else None
+                )
+                if (
+                    jobs > 1
+                    and batch_state is None
+                    and len(mask_batch) >= _MASK_FANOUT_MIN
+                ):
+                    marked |= _reduce_masks_parallel(
+                        kernel, ctx, edges, rank or {}, mask_batch,
+                        stats, jobs, trace.recorder,
+                    )
+                else:
+                    marked |= kernel.reduce_masks(
+                        ctx, mask_batch, batch_state, stats
+                    )
             seen_keys: Dict[FrozenSet[int], None] = {}
-            for variant in packed:
+            for variant in scalar_variants:
                 induced = variant.pairs & edges
                 if induced not in seen_keys:
                     seen_keys[induced] = None
             distinct_keys = list(seen_keys)
-            marked: Set[int] = set()
             if reduction_memo is None:
                 missing = distinct_keys
             else:
@@ -634,14 +972,7 @@ def _mine_packed(
                         missing.append(key)
                     else:
                         marked |= kept
-            trace.reduction_cache_hits = len(packed) - len(missing)
-            trace.reduction_cache_misses = len(missing)
             if missing:
-                # One Kahn pass over the surviving edges serves every
-                # induced subgraph; ``None`` (cyclic, only when step 4
-                # was skipped) keeps the per-reduction cycle check of
-                # the legacy pipeline.
-                rank = _topological_ranks(edges, n)
                 chunked = [
                     (n, rank, chunk)
                     for chunk in split_chunks(missing, jobs)
@@ -663,6 +994,13 @@ def _mine_packed(
                         if reduction_memo is not None:
                             reduction_memo[key] = kept
                         marked |= kept
+                stats.bump("scalar", len(missing))
+            trace.reduction_cache_hits = (
+                len(scalar_variants) - len(missing) + stats.exact_hits
+            )
+            trace.reduction_cache_misses = len(missing) + stats.misses
+            trace.reduction_cache_prefix_extends = stats.prefix_extends
+            trace.reduction_paths = dict(stats.paths)
             edges = marked
 
     # Materialize the label-level graph.  Node set mirrors the legacy
@@ -680,11 +1018,33 @@ def _mine_packed(
             )
         )
         labels = table.labels
+        by_source: Dict[int, List[int]] = {}
         for code in edges:
-            graph.add_edge(labels[code // n], labels[code % n])
+            u, v = divmod(code, n)
+            by_source.setdefault(u, []).append(v)
+        for u, targets in by_source.items():
+            graph.add_edges_bulk(
+                labels[u], [labels[v] for v in targets]
+            )
         trace.edges_after_step6 = graph.edge_count
     trace.publish()
     return graph
+
+
+def _packed_counts_thunk(
+    labels: Tuple[Vertex, ...], n: int, code_counts: Counter
+) -> Callable[[], Counter]:
+    """Deferred label-level view of a packed-code Counter."""
+
+    def materialize() -> Counter:
+        return Counter(
+            {
+                (labels[code // n], labels[code % n]): count
+                for code, count in code_counts.items()
+            }
+        )
+
+    return materialize
 
 
 def mine_prepared(
@@ -694,6 +1054,8 @@ def mine_prepared(
     skip_scc_removal: bool = False,
     skip_execution_marking: bool = False,
     jobs: Optional[int] = None,
+    kernel: Optional[str] = None,
+    kernel_state: Optional[KernelState] = None,
 ) -> DiGraph:
     """Run steps 2–6 of Algorithm 2 over prepared executions.
 
@@ -713,6 +1075,11 @@ def mine_prepared(
     jobs:
         Worker processes for step 5 (``None`` defers to ``REPRO_JOBS``,
         defaulting to serial).
+    kernel:
+        Mining kernel name (``None`` defers to ``REPRO_KERNEL``, else
+        the default ``bitset``); see :mod:`repro.core.kernels`.
+    kernel_state:
+        Optional persistent step-5 cache for incremental callers.
 
     Returns
     -------
@@ -732,7 +1099,353 @@ def mine_prepared(
         skip_scc_removal=skip_scc_removal,
         skip_execution_marking=skip_execution_marking,
         jobs=jobs,
+        kernel=kernel,
+        kernel_state=kernel_state,
     )
+
+
+# ----------------------------------------------------------------------
+# Fused bit-row pipeline (sequential variants under a mask kernel)
+# ----------------------------------------------------------------------
+def _mine_rows(
+    executions: Sequence[Execution],
+    trace: MiningTrace,
+    kernel: Kernel,
+    kernel_state: Optional[KernelState],
+) -> DiGraph:
+    """Steps 2–6 over bit-rows — the serial fast path of Algorithm 2.
+
+    Requires ``threshold <= 1`` (the caller gates on it).  Instead of
+    materializing a pair-code set per variant, step 2 folds every
+    sequential no-repeat trace straight into per-source successor
+    bitmasks (``rows[u]`` bit ``v`` = pair ``(u, v)`` observed): one
+    suffix-mask pass per variant, whose final mask doubles as the
+    variant's vertex mask for the batched step 5.  Steps 3–4 are then
+    bitmask algebra over ``rows`` and step 5 reduces all those variants
+    in one slotted kernel batch.  Traces the bit representation cannot
+    express (repeated activities, interval overlaps) are packed the
+    classic way and reduced scalar — mixed logs take both paths, with
+    identical results to the reference pipeline either way.
+
+    Label-level ``pair_counts`` are deferred: the thunk re-derives them
+    from the retained id sequences only when Section 6 evidence is
+    actually inspected.
+    """
+    with trace.stage("prepare"):
+        keys = [execution.variant_key() for execution in executions]
+        multiplicities = Counter(keys)
+        seen: Set[Tuple] = set()
+        representatives: List[Execution] = []
+        representative_keys: List[Tuple] = []
+        for key, execution in zip(keys, executions, strict=True):
+            if key not in seen:
+                seen.add(key)
+                representatives.append(execution)
+                representative_keys.append(key)
+        label_set: Set[Vertex] = set()
+        for execution in representatives:
+            label_set.update(execution.activities)
+        table = InternTable(label_set)
+        n = max(len(table), 1)
+        index = table.index
+        # (ids, multiplicity) per sequential no-repeat variant;
+        # everything else packs into classic PackedVariants.
+        mask_variants: List[Tuple[List[int], int]] = []
+        fallback: List[PackedVariant] = []
+        for execution, key in zip(
+            representatives, representative_keys, strict=True
+        ):
+            ids = [index[label] for label in execution.sequence]
+            count = multiplicities[key]
+            if execution.is_sequential():
+                if len(ids) == len(frozenset(ids)):
+                    mask_variants.append((ids, count))
+                    continue
+                # Sequential with repeats: suffix-set extraction minus
+                # the same-label pairs, exactly like _pack_chunk.
+                pair_codes: Set[int] = set()
+                later: Set[int] = set()
+                for vertex_id in reversed(ids):
+                    if later:
+                        base = vertex_id * n
+                        pair_codes.update(
+                            base + other for other in later
+                        )
+                    later.add(vertex_id)
+                pair_codes.difference_update(
+                    vertex_id * n + vertex_id for vertex_id in later
+                )
+                fallback.append(
+                    PackedVariant(
+                        vertices=frozenset(ids),
+                        pairs=frozenset(pair_codes),
+                        overlaps=frozenset(),
+                        multiplicity=count,
+                    )
+                )
+            else:
+                ordered = execution.ordered_pair_set()
+                overlapping = execution.overlapping_pair_set()
+                fallback.append(
+                    PackedVariant(
+                        vertices=frozenset(ids),
+                        pairs=frozenset(
+                            index[u] * n + index[v]
+                            for u, v in ordered
+                        ),
+                        overlaps=frozenset(
+                            index[u] * n + index[v]
+                            for u, v in overlapping
+                        ),
+                        multiplicity=count,
+                    )
+                )
+    trace.execution_count = len(executions)
+    trace.variant_count = len(representatives)
+    trace.jobs = 1
+
+    # Step 2 — successor bitmask per source vertex, one suffix pass per
+    # variant; the pass's final mask is the variant's vertex mask.
+    with trace.stage("step2_counters"):
+        rows = [0] * n
+        one = [1 << i for i in range(n)]
+        smasks: List[int] = []
+        vertex_mask = 0
+        for ids, _ in mask_variants:
+            m = 0
+            for vertex_id in reversed(ids):
+                rows[vertex_id] |= m
+                m |= one[vertex_id]
+            smasks.append(m)
+            vertex_mask |= m
+        overlap_code_counts: Counter = Counter()
+        for variant in fallback:
+            for code in variant.pairs:
+                rows[code // n] |= one[code % n]
+            if variant.overlaps:
+                if variant.multiplicity == 1:
+                    overlap_code_counts.update(variant.overlaps)
+                else:
+                    overlap_code_counts.update(
+                        dict.fromkeys(
+                            variant.overlaps, variant.multiplicity
+                        )
+                    )
+            for vertex_id in variant.vertices:
+                vertex_mask |= one[vertex_id]
+        trace.edges_after_step2 = sum(
+            row.bit_count() for row in rows
+        )
+        labels = table.labels
+        trace.defer_pair_counts(
+            _row_pair_counts_thunk(labels, n, mask_variants, fallback),
+            trace.edges_after_step2,
+        )
+        trace.defer_overlap_counts(
+            _packed_counts_thunk(labels, n, overlap_code_counts)
+        )
+
+    # Step 3 — overlap independence, then 2-cycles, in bit space.
+    with trace.stage("step3_filters"):
+        trace.edges_dropped_by_threshold = 0  # caller gates T <= 1
+        dropped_overlap = 0
+        for code in overlap_code_counts:
+            u, v = divmod(code, n)
+            if (rows[u] >> v) & 1:
+                rows[u] ^= one[v]
+                dropped_overlap += 1
+            if (rows[v] >> u) & 1:
+                rows[v] ^= one[u]
+                dropped_overlap += 1
+        trace.edges_dropped_by_overlap = dropped_overlap
+        cols = [0] * n
+        for u in range(n):
+            row = rows[u]
+            while row:
+                bit = row & -row
+                row ^= bit
+                cols[bit.bit_length() - 1] |= one[u]
+        erows = [rows[u] & ~cols[u] for u in range(n)]
+        trace.edges_after_step3 = sum(
+            row.bit_count() for row in erows
+        )
+        erows3 = list(erows)
+
+    # Step 4 — SCC collapse over the interned adjacency (no DiGraph).
+    # The Kahn pass runs first: completing it proves the graph acyclic
+    # (every component a singleton), so the common case skips Tarjan
+    # altogether, and its ranks are exactly what step 5 needs.  A warm
+    # kernel state keyed on the step-3 rows replays the whole step from
+    # its cache — the rows determine the step-4 output byte for byte.
+    with trace.stage("step4_scc"):
+        batch_state = (
+            kernel_state.for_step3_rows(erows3, n)
+            if kernel_state is not None
+            else None
+        )
+        cached_step4 = (
+            batch_state.step4_cache if batch_state is not None else None
+        )
+        if cached_step4 is not None:
+            erows, adjacency, rank, removed = cached_step4
+        else:
+            adjacency = {}
+            for u in range(n):
+                row = erows[u]
+                if not row:
+                    continue
+                targets: List[int] = []
+                while row:
+                    bit = row & -row
+                    row ^= bit
+                    targets.append(bit.bit_length() - 1)
+                adjacency[u] = targets
+            removed = 0
+            rank = (
+                _ranks_from_adjacency(adjacency, n) if adjacency else {}
+            )
+            if rank is None:
+                mapping = component_map_adjacency(adjacency)
+                for u, targets in list(adjacency.items()):
+                    component = mapping[u]
+                    kept = [
+                        v for v in targets if mapping[v] != component
+                    ]
+                    if len(kept) != len(targets):
+                        removed += len(targets) - len(kept)
+                        mask = 0
+                        for v in kept:
+                            mask |= one[v]
+                        erows[u] = mask
+                        if kept:
+                            adjacency[u] = kept
+                        else:
+                            del adjacency[u]
+                # Cross-component edges condense to a DAG, so this
+                # second pass always succeeds.
+                rank = _ranks_from_adjacency(adjacency, n) or {}
+            if batch_state is not None:
+                batch_state.step4_cache = (
+                    erows, adjacency, rank, removed
+                )
+        trace.scc_edge_removals = removed
+        trace.edges_after_step4 = sum(
+            row.bit_count() for row in erows
+        )
+
+    # Step 5 — one slotted batch over every mask variant; scalar
+    # reductions (with a per-run induced-set memo) for the rest.  The
+    # context comes straight from the step-4 rows (no edge re-decode)
+    # and is only built when something actually needs reducing: a warm
+    # kernel state that already covers every mask answers from its
+    # cached union without touching the adjacency again.
+    with trace.stage("step5_reduce"):
+        stats = ReduceStats()
+        marked: Set[int] = set()
+        if adjacency:
+            if smasks:
+                warm = batch_state is not None and all(
+                    smask in batch_state.seen_masks for smask in smasks
+                )
+                if warm:
+                    stats.exact_hits += len(smasks)
+                    marked |= batch_state.marked_union
+                else:
+                    ctx = ReduceContext.from_rows(
+                        erows,
+                        adjacency,
+                        n,
+                        rank,
+                        with_pred=batch_state is not None,
+                    )
+                    marked |= kernel.reduce_masks(
+                        ctx, smasks, batch_state, stats
+                    )
+            if fallback:
+                edge_codes: Set[int] = set()
+                for u, targets in adjacency.items():
+                    base = u * n
+                    edge_codes.update(base + v for v in targets)
+                memo: Dict[FrozenSet[int], FrozenSet[int]] = {}
+                for variant in fallback:
+                    induced = variant.pairs & edge_codes
+                    kept = memo.get(induced)
+                    if kept is None:
+                        kept = transitive_reduction_packed(
+                            induced, n, rank
+                        )
+                        memo[induced] = kept
+                        stats.misses += 1
+                        stats.bump("scalar")
+                    else:
+                        stats.exact_hits += 1
+                    marked |= kept
+        trace.reduction_cache_hits = stats.exact_hits
+        trace.reduction_cache_misses = stats.misses
+        trace.reduction_cache_prefix_extends = stats.prefix_extends
+        trace.reduction_paths = dict(stats.paths)
+
+    # Step 6 — assemble the label graph; nodes mirror the legacy
+    # pipeline (variant vertices plus step-3 edge endpoints).
+    with trace.stage("step6_assemble"):
+        node_mask = vertex_mask
+        for u in range(n):
+            if erows3[u]:
+                node_mask |= one[u]
+                node_mask |= erows3[u]
+        node_ids: List[int] = []
+        m = node_mask
+        while m:
+            bit = m & -m
+            m ^= bit
+            node_ids.append(bit.bit_length() - 1)
+        labels = table.labels
+        graph = DiGraph(
+            nodes=sorted(
+                (labels[vertex_id] for vertex_id in node_ids), key=repr
+            )
+        )
+        by_source: Dict[int, List[int]] = {}
+        for code in marked:
+            u, v = divmod(code, n)
+            by_source.setdefault(u, []).append(v)
+        for u, targets in by_source.items():
+            graph.add_edges_bulk(
+                labels[u], [labels[v] for v in targets]
+            )
+        trace.edges_after_step6 = graph.edge_count
+    trace.publish()
+    return graph
+
+
+def _row_pair_counts_thunk(
+    labels: Tuple[Vertex, ...],
+    n: int,
+    mask_variants: Sequence[Tuple[List[int], int]],
+    fallback: Sequence[PackedVariant],
+) -> Callable[[], Counter]:
+    """Deferred label-level pair counters for the fused row pipeline.
+
+    Mask variants re-derive their pairs from the retained id sequences
+    (every ``(ids[i], ids[j])`` with ``i < j`` — they are sequential and
+    repeat-free by construction); fallback variants contribute their
+    packed pair codes.  Matches the eager reference counters exactly.
+    """
+
+    def materialize() -> Counter:
+        counts: Counter = Counter()
+        for ids, count in mask_variants:
+            for i, u in enumerate(ids):
+                label_u = labels[u]
+                for v in ids[i + 1:]:
+                    counts[(label_u, labels[v])] += count
+        for variant in fallback:
+            count = variant.multiplicity
+            for code in variant.pairs:
+                counts[(labels[code // n], labels[code % n])] += count
+        return counts
+
+    return materialize
 
 
 def mine_general_dag(
@@ -740,6 +1453,8 @@ def mine_general_dag(
     threshold: int = 0,
     trace: Optional[MiningTrace] = None,
     jobs: Optional[int] = None,
+    kernel: Optional[str] = None,
+    kernel_state: Optional[KernelState] = None,
 ) -> DiGraph:
     """Mine a conformal graph of ``log`` with Algorithm 2.
 
@@ -754,6 +1469,14 @@ def mine_general_dag(
     jobs:
         Worker processes for pair extraction and step-5 marking
         (``None`` defers to ``REPRO_JOBS``; 1 = serial).
+    kernel:
+        Mining kernel name — ``pure``, ``bitset`` or ``numpy``
+        (``None`` defers to ``REPRO_KERNEL``, else ``bitset``).  Every
+        kernel produces identical graphs; see
+        :mod:`repro.core.kernels` and ``docs/PERFORMANCE.md``.
+    kernel_state:
+        Optional persistent step-5 cache for repeated mining of a
+        growing log (see :class:`~repro.core.kernels.KernelState`).
 
     Returns
     -------
@@ -777,15 +1500,32 @@ def mine_general_dag(
     if threshold < 0:
         raise ValueError("threshold must be >= 0")
     trace = trace if trace is not None else MiningTrace()
+    resolved_kernel = get_kernel(kernel)
+    trace.kernel = resolved_kernel.name
+    executions = list(log)
+    if (
+        resolved_kernel.supports_masks
+        and threshold <= 1
+        and resolve_jobs(jobs) == 1
+    ):
+        return _mine_rows(
+            executions, trace, resolved_kernel, kernel_state
+        )
     with trace.stage("prepare"):
         table, variants = prepare_packed_log(
-            list(log),
+            executions,
             labelled=False,
             jobs=jobs,
             recorder=trace.recorder,
         )
     return _mine_packed(
-        table, variants, threshold=threshold, trace=trace, jobs=jobs
+        table,
+        variants,
+        threshold=threshold,
+        trace=trace,
+        jobs=jobs,
+        kernel=resolved_kernel,
+        kernel_state=kernel_state,
     )
 
 

@@ -1,0 +1,717 @@
+"""Pluggable kernels for the Algorithm 1-4 hot paths.
+
+``BENCH_mining.json`` shows ``prepare`` and ``step5_reduce`` dominating
+every large mining cell, and the step-5 reduction cache collapsing to
+zero hits once variant diversity rises.  This module packages the three
+mechanisms that fix that, behind a small selectable interface:
+
+* **Slotted batch reduction** — Algorithm 4 runs over *all* trace
+  variants simultaneously.  Every variant occupies one fixed-width slot
+  of a single big ``int``; one bignum OR per DAG edge advances the
+  descendant bitsets of every variant at once, so the per-variant cost
+  of step 5 drops from "one graph walk" to "a few machine words".  The
+  scalar :func:`~repro.graphs.transitive.transitive_reduction_packed`
+  remains the fallback for variants the batch cannot express (interval
+  overlaps, repeated activities, noise thresholds, cyclic ablations).
+* **Prefix-reuse reduction cache** — for incremental calls (a warm
+  :class:`KernelState`), new variants are reduced by a position-space
+  walker that resumes from the longest previously-walked rank-prefix,
+  so a variant extending a known one pays only for its new suffix.
+  Exact hits, prefix extends and cold misses are accounted separately
+  (``repro_kernel_prefix_cache_events_total``).
+* **Optional numpy backend** — ``--kernel numpy`` / ``REPRO_KERNEL=numpy``
+  vectorizes the batched reduction over position-space boolean tensors.
+  numpy is never imported unless that kernel is requested, and never a
+  hard dependency: requesting it without numpy installed raises
+  :class:`~repro.errors.KernelUnavailableError`.
+
+Kernel selection precedence: explicit argument (CLI ``--kernel``) over
+the ``REPRO_KERNEL`` environment variable over the default (``bitset``).
+
+The correctness backbone of the batch path is a structural fact about
+Algorithm 2: with noise threshold <= 1, a *total-order* variant (a
+sequential trace without repeated activities — its ordered-pair set is
+complete over its vertices) induces exactly ``edges & (S x S)`` on the
+step-4 edge set ``edges``, where ``S`` is its vertex set.  Proof sketch:
+``(u, v) in edges`` with ``u, v in S`` means ``(v, u)`` was never
+observed anywhere — otherwise step 3 would have dropped both directions
+(2-cycle or overlap independence) — so the total order of the variant
+must list ``u`` before ``v``.  A threshold > 1 breaks the argument (the
+reverse pair may have been dropped as noise), which is why the batch
+path requires ``threshold <= 1`` and everything else falls back to the
+scalar reducer.  The naive pipeline in :mod:`repro.core.reference` stays
+the differential oracle for all of this.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import KernelUnavailableError
+from repro.graphs.transitive import (
+    ClosureBitset,
+    transitive_closure_bitset,
+    transitive_reduction_packed,
+)
+
+__all__ = [
+    "KERNEL_ENV",
+    "DEFAULT_KERNEL",
+    "KERNEL_NAMES",
+    "Kernel",
+    "PureKernel",
+    "BitsetKernel",
+    "NumpyKernel",
+    "KernelState",
+    "ReduceContext",
+    "ReduceStats",
+    "resolve_kernel_name",
+    "get_kernel",
+    "numpy_available",
+    "ClosureBitset",
+    "transitive_closure_bitset",
+]
+
+#: Environment variable consulted when no explicit kernel is requested.
+KERNEL_ENV = "REPRO_KERNEL"
+#: Kernel used when neither an argument nor the environment chooses one.
+DEFAULT_KERNEL = "bitset"
+#: Every selectable kernel name.
+KERNEL_NAMES = ("pure", "bitset", "numpy")
+
+#: New-mask batches at or below this size use the prefix-reuse walker
+#: (when a persistent :class:`KernelState` is available) instead of the
+#: slotted batch: small deltas are where prefix resumption wins, large
+#: cold batches are where the slotted bignum pass wins.
+WALKER_BATCH_LIMIT = 24
+
+#: Hard cap on stored prefix states; beyond it the trie stops growing
+#: (lookups still work), bounding memory on adversarial variant streams.
+PREFIX_TRIE_LIMIT = 65536
+
+
+def resolve_kernel_name(explicit: Optional[str] = None) -> str:
+    """Resolve the kernel name: explicit > ``REPRO_KERNEL`` > default."""
+    name = explicit
+    if name is None:
+        env = os.environ.get(KERNEL_ENV)
+        if env is not None and env.strip():
+            name = env.strip().lower()
+    if name is None:
+        return DEFAULT_KERNEL
+    if name not in KERNEL_NAMES:
+        raise KernelUnavailableError(
+            f"unknown kernel {name!r}; valid kernels: "
+            + ", ".join(KERNEL_NAMES)
+        )
+    return name
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy backend can be imported."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Reduction context — per (edges, rank) setup shared by a whole batch
+# ----------------------------------------------------------------------
+@dataclass
+class ReduceContext:
+    """Amortized per-run setup for batched step-5 reductions.
+
+    Built once from the step-4 edge set; every batched or walked
+    reduction of the run shares the packed successor/predecessor rows
+    and the topological ranks, which is what makes the batch path
+    "amortize rank/adjacency setup" across variants.
+    """
+
+    n: int
+    #: Successor bitmask per vertex id (``rows[u]`` bit ``v`` = edge u->v).
+    succ_rows: List[int]
+    #: Predecessor bitmask per vertex id.
+    pred_rows: List[int]
+    #: Successor id lists (only edge-bearing sources present).
+    adjacency: Dict[int, List[int]]
+    #: Topological rank of every edge-bearing vertex.
+    rank: Dict[int, int]
+    #: ``rank_arr[u]`` = rank or -1 for unranked vertices.
+    rank_arr: List[int]
+    #: Edge-bearing vertices in rank-descending order.
+    ranked_desc: List[int]
+    #: Bytes per variant slot in the slotted representation.
+    slot_bytes: int
+
+    @classmethod
+    def from_edges(
+        cls, edges: Set[int], n: int, rank: Dict[int, int]
+    ) -> "ReduceContext":
+        succ_rows = [0] * n
+        pred_rows = [0] * n
+        adjacency: Dict[int, List[int]] = {}
+        for code in edges:
+            u, v = divmod(code, n)
+            succ_rows[u] |= 1 << v
+            pred_rows[v] |= 1 << u
+            if u in adjacency:
+                adjacency[u].append(v)
+            else:
+                adjacency[u] = [v]
+        rank_arr = [-1] * n
+        for u, r in rank.items():
+            rank_arr[u] = r
+        ranked_desc = sorted(rank, key=rank.__getitem__, reverse=True)
+        return cls(
+            n=n,
+            succ_rows=succ_rows,
+            pred_rows=pred_rows,
+            adjacency=adjacency,
+            rank=rank,
+            rank_arr=rank_arr,
+            ranked_desc=ranked_desc,
+            slot_bytes=(n + 7) // 8,
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        succ_rows: List[int],
+        adjacency: Dict[int, List[int]],
+        n: int,
+        rank: Dict[int, int],
+        with_pred: bool = True,
+    ) -> "ReduceContext":
+        """Build a context from already-materialized row structures.
+
+        The fused row pipeline has the successor bitmasks and the
+        adjacency id lists in hand when step 5 starts, so re-deriving
+        them from a packed edge-code set (as :meth:`from_edges` does)
+        would decode every edge twice more.  ``with_pred=False`` skips
+        the predecessor transpose — it is only consumed by the prefix
+        walker, which never runs without a persistent kernel state.
+        """
+        pred_rows = [0] * n
+        if with_pred:
+            for u, targets in adjacency.items():
+                bit = 1 << u
+                for v in targets:
+                    pred_rows[v] |= bit
+        rank_arr = [-1] * n
+        for u, r in rank.items():
+            rank_arr[u] = r
+        ranked_desc = sorted(rank, key=rank.__getitem__, reverse=True)
+        return cls(
+            n=n,
+            succ_rows=succ_rows,
+            pred_rows=pred_rows,
+            adjacency=adjacency,
+            rank=rank,
+            rank_arr=rank_arr,
+            ranked_desc=ranked_desc,
+            slot_bytes=(n + 7) // 8,
+        )
+
+    def ranked_ids(self, smask: int) -> List[int]:
+        """Edge-bearing vertices of a variant mask, rank-ascending."""
+        rank_arr = self.rank_arr
+        ids = []
+        m = smask
+        while m:
+            bit = m & -m
+            m ^= bit
+            u = bit.bit_length() - 1
+            if rank_arr[u] >= 0:
+                ids.append(u)
+        ids.sort(key=rank_arr.__getitem__)
+        return ids
+
+
+# ----------------------------------------------------------------------
+# Persistent cross-call cache (exact + prefix reuse)
+# ----------------------------------------------------------------------
+@dataclass
+class KernelState:
+    """Cross-call reduction cache for incremental mining.
+
+    Holds everything the batch path may reuse between calls whose step-4
+    edge set is unchanged: the set of already-reduced variant vertex
+    masks, the union of their kept edges, and the prefix trie of walker
+    states.  Any change to the edge set (or the packing modulus) resets
+    the state — a reduction is only a function of ``(edges, S)``.
+
+    The cached union assumes the variant population only *grows* between
+    calls on the same edge set (true for :class:`~repro.core.state.
+    MiningState` and the incremental miner, which re-finish supersets);
+    callers without that property should pass a fresh state per call.
+    """
+
+    edges_token: Optional[Tuple[object, ...]] = None
+    seen_masks: Set[int] = field(default_factory=set)
+    marked_union: Set[int] = field(default_factory=set)
+    #: rank-prefix tuple -> (ancestor-mask tuple, kept-code tuple)
+    trie: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], Tuple[int, ...]]] = (
+        field(default_factory=dict)
+    )
+    #: Step-4 output cached by the row pipeline for the current token:
+    #: ``(erows, adjacency, rank, scc_removed)``.
+    step4_cache: Optional[
+        Tuple[List[int], Dict[int, List[int]], Dict[int, int], int]
+    ] = None
+    #: pairs frozenset -> total-order vertex mask (or None verdict);
+    #: edges-independent, so it survives ``for_edges`` resets and only
+    #: clears when the packing modulus changes.
+    mask_cache: Dict[FrozenSet[int], Optional[int]] = field(
+        default_factory=dict
+    )
+    mask_cache_n: Optional[int] = None
+
+    def for_edges(
+        self, edges: Set[int], n: int
+    ) -> "KernelState":
+        """Reset the state unless it matches ``(n, edges)``; return self."""
+        token: Tuple[object, ...] = (n, frozenset(edges))
+        if self.edges_token != token:
+            self.edges_token = token
+            self.seen_masks = set()
+            self.marked_union = set()
+            self.trie = {}
+            self.step4_cache = None
+        return self
+
+    def for_step3_rows(
+        self, rows: Sequence[int], n: int
+    ) -> "KernelState":
+        """Reset the state unless the step-3 successor rows match.
+
+        Row-pipeline counterpart of :meth:`for_edges`: the post-step-3
+        rows determine the step-4 edge set, so they are a sound (if
+        stricter) cache key — and comparing ``n`` ints on a warm call
+        beats decoding and freezing the edge-code set every time.
+        """
+        token: Tuple[object, ...] = (n, "rows", tuple(rows))
+        if self.edges_token != token:
+            self.edges_token = token
+            self.seen_masks = set()
+            self.marked_union = set()
+            self.trie = {}
+            self.step4_cache = None
+        return self
+
+    def mask_cache_for(
+        self, n: int
+    ) -> Dict[FrozenSet[int], Optional[int]]:
+        """Total-order verdict cache, reset when ``n`` changes.
+
+        A variant's verdict depends on its pairs and on the packing
+        modulus ``n`` only — never on the current edge set — so this
+        cache deliberately outlives :meth:`for_edges` resets.
+        """
+        if self.mask_cache_n != n:
+            self.mask_cache_n = n
+            self.mask_cache = {}
+        return self.mask_cache
+
+
+@dataclass
+class ReduceStats:
+    """Accounting of one batched step-5 run, mirrored into the trace."""
+
+    exact_hits: int = 0
+    prefix_extends: int = 0
+    misses: int = 0
+    #: Reductions computed per implementation path.
+    paths: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, path: str, amount: int = 1) -> None:
+        if amount:
+            self.paths[path] = self.paths.get(path, 0) + amount
+
+
+# ----------------------------------------------------------------------
+# Slotted bit-parallel batch reduction (the bitset kernel's bulk path)
+# ----------------------------------------------------------------------
+def slotted_reduce_union(
+    ctx: ReduceContext, smasks: Sequence[int]
+) -> Set[int]:
+    """Union of kept edges over many total-order variants at once.
+
+    Variant ``t`` occupies bit slot ``[t*W, (t+1)*W)`` of one big int
+    (``W`` = ``ctx.slot_bytes * 8`` >= ``n``).  Walking vertices in
+    reverse topological order, slot ``t`` of ``DESC[u]`` accumulates the
+    descendant bitset of ``u`` *within variant t's induced subgraph* —
+    Algorithm 4's per-node descendant set, advanced for every variant by
+    the same bignum OR.  An edge is kept when some slot still reaches
+    its target in no other way; the per-slot kept vectors are folded
+    into plain packed codes at the end.
+    """
+    if not smasks:
+        return set()
+    slot_bytes = ctx.slot_bytes
+    slot_bits = slot_bytes * 8
+    count = len(smasks)
+    s_vec = int.from_bytes(
+        b"".join(m.to_bytes(slot_bytes, "little") for m in smasks),
+        "little",
+    )
+    rep_one = int.from_bytes(
+        (b"\x01" + b"\x00" * (slot_bytes - 1)) * count, "little"
+    )
+    full_slot = (1 << slot_bits) - 1
+    adjacency = ctx.adjacency
+    succ_rows = ctx.succ_rows
+    desc: Dict[int, int] = {}
+    desc_get = desc.get
+    kept_vecs: Dict[int, int] = {}
+    for u in ctx.ranked_desc:
+        successors = adjacency.get(u)
+        if successors is None:
+            continue  # sink: empty descendant set, nothing kept
+        pres_full = ((s_vec >> u) & rep_one) * full_slot
+        row = s_vec & pres_full & (succ_rows[u] * rep_one)
+        through = 0
+        for w in successors:
+            d = desc_get(w)
+            if d is not None:
+                through |= d
+        if through:
+            kept = row & ~through
+            desc[u] = (row | through) & pres_full
+        else:
+            kept = row
+            desc[u] = row
+        if kept:
+            kept_vecs[u] = kept
+
+    # Fold each kept vector's slots together (halving passes), then
+    # decode the union row into packed codes.
+    n = ctx.n
+    marked: Set[int] = set()
+    add = marked.add
+    span_slots = count
+    fold_plan: List[Tuple[int, int]] = []
+    while span_slots > 1:
+        half_slots = (span_slots + 1) // 2
+        shift = half_slots * slot_bits
+        fold_plan.append((shift, (1 << shift) - 1))
+        span_slots = half_slots
+    for u, vec in kept_vecs.items():
+        for shift, mask in fold_plan:
+            vec = (vec & mask) | (vec >> shift)
+        row = vec & full_slot
+        base = u * n
+        while row:
+            bit = row & -row
+            row ^= bit
+            add(base + bit.bit_length() - 1)
+    return marked
+
+
+# ----------------------------------------------------------------------
+# Position-space walker with prefix reuse (the incremental path)
+# ----------------------------------------------------------------------
+def walk_reduce(
+    ctx: ReduceContext,
+    smask: int,
+    trie: Optional[
+        Dict[Tuple[int, ...], Tuple[Tuple[int, ...], Tuple[int, ...]]]
+    ] = None,
+) -> Tuple[FrozenSet[int], int]:
+    """Reduce one total-order variant; resume from a cached rank-prefix.
+
+    Runs Algorithm 4 in *position space*: the variant's edge-bearing
+    vertices, rank-ascending, get positions ``0..k-1`` and ancestor sets
+    become k-bit machine words.  The ancestor state after position ``j``
+    depends only on the prefix ``ids[:j]``, so a trie keyed on prefixes
+    lets a variant that extends a previously-walked one resume mid-walk.
+
+    Returns ``(kept codes, resume position)`` — a resume position > 0
+    means the prefix cache saved that many positions ("prefix extend").
+    """
+    ids = ctx.ranked_ids(smask)
+    k = len(ids)
+    if k == 0:
+        return frozenset(), 0
+    n = ctx.n
+    pred_rows = ctx.pred_rows
+    key = tuple(ids)
+    anc: List[int] = [0] * k
+    kept: List[int] = []
+    start = 0
+    if trie is not None:
+        probe = k
+        while probe > 0:
+            state = trie.get(key[:probe])
+            if state is not None:
+                anc_prefix, kept_prefix = state
+                anc[: len(anc_prefix)] = anc_prefix
+                kept.extend(kept_prefix)
+                start = probe
+                break
+            probe -= 1
+
+    pos_of: Dict[int, int] = {u: j for j, u in enumerate(ids)}
+    for j in range(start, k):
+        u = ids[j]
+        pm = pred_rows[u] & smask
+        through = 0
+        ppos = 0
+        while pm:
+            bit = pm & -pm
+            pm ^= bit
+            i = pos_of.get(bit.bit_length() - 1)
+            if i is None:
+                continue  # unranked predecessor: not in the DAG
+            ppos |= 1 << i
+            through |= anc[i]
+        kept_bits = ppos & ~through
+        while kept_bits:
+            bit = kept_bits & -kept_bits
+            kept_bits ^= bit
+            kept.append(ids[bit.bit_length() - 1] * n + u)
+        anc[j] = ppos | through
+    if trie is not None and len(trie) < PREFIX_TRIE_LIMIT:
+        trie[key] = (tuple(anc), tuple(kept))
+    return frozenset(kept), start
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+class Kernel:
+    """A selectable implementation of the mining hot paths.
+
+    ``supports_masks`` advertises the batched total-order reduction;
+    the ``pure`` kernel leaves it off, keeping the legacy per-variant
+    scalar path byte-for-byte identical.
+    """
+
+    name: str = "pure"
+    supports_masks: bool = False
+
+    def bulk_reduce_union(
+        self, ctx: ReduceContext, smasks: Sequence[int]
+    ) -> Set[int]:
+        """Union of kept edges over a batch of variant vertex masks."""
+        raise NotImplementedError(
+            f"kernel {self.name!r} has no batched reduction"
+        )
+
+    def reduce_masks(
+        self,
+        ctx: ReduceContext,
+        smasks: Sequence[int],
+        state: Optional[KernelState],
+        stats: ReduceStats,
+    ) -> Set[int]:
+        """Reduce a batch of total-order variant masks to kept edges.
+
+        Deduplicates against ``state`` (exact hits), walks small deltas
+        through the prefix trie (prefix extends) and sends large cold
+        batches through :meth:`bulk_reduce_union` (misses), keeping the
+        three kinds of cache traffic separately accounted in ``stats``.
+        """
+        if state is None:
+            seen: Set[int] = set()
+            marked_union: Set[int] = set()
+            trie = None
+        else:
+            seen = state.seen_masks
+            marked_union = state.marked_union
+            trie = state.trie
+        new: List[int] = []
+        for smask in smasks:
+            if smask in seen:
+                stats.exact_hits += 1
+            else:
+                seen.add(smask)
+                new.append(smask)
+        if new:
+            stats.misses += len(new)
+            if state is not None and len(new) <= WALKER_BATCH_LIMIT:
+                extends = 0
+                for smask in new:
+                    kept, resumed = walk_reduce(ctx, smask, trie)
+                    if resumed:
+                        extends += 1
+                    marked_union |= kept
+                stats.prefix_extends = extends
+                stats.misses -= extends
+                stats.bump("walker", len(new))
+            else:
+                marked_union |= self.bulk_reduce_union(ctx, new)
+                stats.bump("slotted", len(new))
+        return set(marked_union)
+
+
+class PureKernel(Kernel):
+    """The legacy scalar pipeline, unchanged — also the safety net."""
+
+    name = "pure"
+    supports_masks = False
+
+
+class BitsetKernel(Kernel):
+    """Big-int slotted batch reduction + prefix-reuse walker."""
+
+    name = "bitset"
+    supports_masks = True
+
+    def bulk_reduce_union(
+        self, ctx: ReduceContext, smasks: Sequence[int]
+    ) -> Set[int]:
+        return slotted_reduce_union(ctx, smasks)
+
+
+class NumpyKernel(BitsetKernel):
+    """Numpy-vectorized batch reduction; everything else as bitset."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        try:
+            import numpy
+        except ImportError as exc:  # pragma: no cover - numpy-free leg
+            raise KernelUnavailableError(
+                "kernel 'numpy' requires numpy, which is not installed; "
+                "use --kernel bitset (the default) or install numpy"
+            ) from exc
+        self._np = numpy
+
+    def bulk_reduce_union(
+        self, ctx: ReduceContext, smasks: Sequence[int]
+    ) -> Set[int]:
+        return _numpy_reduce_union(self._np, ctx, smasks)
+
+
+def _numpy_reduce_union(
+    np: Any, ctx: ReduceContext, smasks: Sequence[int]
+) -> Set[int]:
+    """Batched Algorithm 4 over position-space boolean tensors.
+
+    Same mathematics as :func:`slotted_reduce_union`, vectorized over
+    ``(variant, position, position)`` boolean arrays: one fancy-indexed
+    gather builds every variant's induced adjacency at once, and ``k``
+    tensor steps (k = longest variant) advance all ancestor sets.
+    """
+    count = len(smasks)
+    if count == 0:
+        return set()
+    n = ctx.n
+    slot_bytes = ctx.slot_bytes
+    data = b"".join(m.to_bytes(slot_bytes, "little") for m in smasks)
+    bits = np.unpackbits(
+        np.frombuffer(data, dtype=np.uint8).reshape(count, slot_bytes),
+        axis=1,
+        bitorder="little",
+    )[:, :n]
+    ranked = np.zeros(n, dtype=bool)
+    rank_arr = np.full(n, -1, dtype=np.int64)
+    for u, r in ctx.rank.items():
+        ranked[u] = True
+        rank_arr[u] = r
+    bits = bits.astype(bool) & ranked[None, :]
+    t_idx, u_idx = np.nonzero(bits)
+    if t_idx.size == 0:
+        return set()
+    order = np.lexsort((rank_arr[u_idx], t_idx))
+    t_sorted = t_idx[order]
+    u_sorted = u_idx[order]
+    counts = np.bincount(t_sorted, minlength=count)
+    k_max = int(counts.max())
+    ids = np.zeros((count, k_max), dtype=np.int64)
+    valid = np.arange(k_max)[None, :] < counts[:, None]
+    ids[valid] = u_sorted
+
+    edge_matrix = np.zeros((n, n), dtype=bool)
+    for u, targets in ctx.adjacency.items():
+        edge_matrix[u, targets] = True
+    # induced[t, i, j] — variant t activates the edge ids[i] -> ids[j]
+    induced = edge_matrix[ids[:, :, None], ids[:, None, :]]
+    induced &= valid[:, :, None] & valid[:, None, :]
+
+    anc = np.zeros((count, k_max, k_max), dtype=bool)
+    kept = np.zeros_like(induced)
+    for j in range(k_max):
+        pred = induced[:, :, j]
+        through = (pred[:, :, None] & anc).any(axis=1)
+        kept[:, :, j] = pred & ~through
+        anc[:, j, :] = through | pred
+    t_kept, i_kept, j_kept = np.nonzero(kept)
+    codes = ids[t_kept, i_kept] * n + ids[t_kept, j_kept]
+    return set(np.unique(codes).tolist())
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+_KERNELS: Dict[str, Kernel] = {}
+
+
+def get_kernel(name: Optional[str] = None) -> Kernel:
+    """Return the kernel selected by ``name``/environment/default.
+
+    Instances are cached per name; the numpy kernel imports numpy on
+    first use and raises :class:`~repro.errors.KernelUnavailableError`
+    when it is missing.
+    """
+    resolved = resolve_kernel_name(name)
+    kernel = _KERNELS.get(resolved)
+    if kernel is None:
+        if resolved == "pure":
+            kernel = PureKernel()
+        elif resolved == "bitset":
+            kernel = BitsetKernel()
+        else:
+            kernel = NumpyKernel()
+        _KERNELS[resolved] = kernel
+    return kernel
+
+
+def scalar_reduce_union(
+    ctx: ReduceContext, smasks: Sequence[int]
+) -> Set[int]:
+    """Reference implementation of the batch contract, one walk per mask.
+
+    Used by the differential tests and the batched-reduce bench cell as
+    the per-variant baseline for :func:`slotted_reduce_union`.
+    """
+    marked: Set[int] = set()
+    for smask in smasks:
+        kept, _ = walk_reduce(ctx, smask, None)
+        marked |= kept
+    return marked
+
+
+def induced_codes(
+    ctx: ReduceContext, smask: int
+) -> FrozenSet[int]:
+    """``edges & (S x S)`` for a total-order variant mask (test helper)."""
+    codes: List[int] = []
+    n = ctx.n
+    succ_rows = ctx.succ_rows
+    m = smask
+    while m:
+        bit = m & -m
+        m ^= bit
+        u = bit.bit_length() - 1
+        row = succ_rows[u] & smask
+        base = u * n
+        while row:
+            b = row & -row
+            row ^= b
+            codes.append(base + b.bit_length() - 1)
+    return frozenset(codes)

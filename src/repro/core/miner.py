@@ -110,6 +110,11 @@ class ProcessMiner:
         Worker processes for pair extraction and step-5 marking
         (``None`` defers to the ``REPRO_JOBS`` environment variable;
         1 = serial).  The mined graph is identical for any value.
+    kernel:
+        Mining kernel name — ``"pure"``, ``"bitset"`` or ``"numpy"``
+        (``None`` defers to ``REPRO_KERNEL``, else the default
+        ``bitset``).  Kernels only change throughput, never the mined
+        graph; see :mod:`repro.core.kernels`.
     recorder:
         :mod:`repro.obs` recorder threaded through every stage (spans
         and the stable metric catalogue of ``docs/OBSERVABILITY.md``).
@@ -135,6 +140,7 @@ class ProcessMiner:
         conditions_miner: Optional[ConditionsMiner] = None,
         jobs: Optional[int] = None,
         recorder: Optional[Recorder] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         if algorithm not in _ALGORITHMS:
             raise ValueError(
@@ -147,6 +153,7 @@ class ProcessMiner:
         self.learn_conditions = learn_conditions
         self.conditions_miner = conditions_miner or ConditionsMiner()
         self.jobs = jobs
+        self.kernel = kernel
         self.recorder: Recorder = resolve_recorder(recorder)
 
     def mine(self, log: EventLog) -> MiningResult:
@@ -172,6 +179,7 @@ class ProcessMiner:
                     threshold=self.threshold,
                     trace=trace,
                     jobs=self.jobs,
+                    kernel=self.kernel,
                 )
             else:
                 graph = mine_cyclic(
@@ -179,6 +187,7 @@ class ProcessMiner:
                     threshold=self.threshold,
                     trace=trace,
                     jobs=self.jobs,
+                    kernel=self.kernel,
                 )
 
         source, sink = _endpoints(log)

@@ -29,7 +29,7 @@ from typing import Optional, Tuple
 from repro.core.conformance import is_consistent
 from repro.core.dependency import DependencyRelation, dependency_relation
 from repro.graphs.digraph import DiGraph
-from repro.graphs.transitive import transitive_closure
+from repro.graphs.transitive import transitive_closure_bitset
 from repro.logs.event_log import EventLog
 
 
@@ -98,7 +98,9 @@ def _still_conformal(
     source: str,
     sink: str,
 ) -> bool:
-    closure = transitive_closure(graph)
+    # Reachability only — the packed bitset skips materializing the
+    # quadratic closure graph on every candidate-edge probe.
+    closure = transitive_closure_bitset(graph)
     for prerequisite, dependent in relation.depends:
         if not closure.has_edge(prerequisite, dependent):
             return False

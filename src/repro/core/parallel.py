@@ -103,6 +103,35 @@ def split_chunks(
     return result
 
 
+def pack_masks(masks: Sequence[int], slot_bytes: int) -> bytes:
+    """Serialize vertex bitmasks into fixed-width little-endian bytes.
+
+    ``slot_bytes`` must cover the widest mask (the kernels'
+    ``ReduceContext.slot_bytes`` does by construction).  Workers ship
+    step-5 mask batches this way because a ``bytes`` blob pickles as a
+    single buffer, unlike a list of arbitrary-precision ints.
+
+    >>> unpack_masks(pack_masks([5, 2], 2), 2)
+    [5, 2]
+    """
+    return b"".join(
+        mask.to_bytes(slot_bytes, "little") for mask in masks
+    )
+
+
+def unpack_masks(blob: bytes, slot_bytes: int) -> List[int]:
+    """Inverse of :func:`pack_masks`."""
+    if len(blob) % slot_bytes:
+        raise ValueError(
+            f"blob of {len(blob)} bytes is not a multiple of "
+            f"slot_bytes={slot_bytes}"
+        )
+    return [
+        int.from_bytes(blob[start:start + slot_bytes], "little")
+        for start in range(0, len(blob), slot_bytes)
+    ]
+
+
 def _note_pool_fallback(recorder: Recorder, stage: str) -> None:
     """Record one degrade-to-serial event on ``recorder``."""
     recorder.count(

@@ -59,6 +59,7 @@ from typing import (
 )
 
 from repro.core.interning import InternTable, PackedVariant
+from repro.core.kernels import KernelState, get_kernel
 from repro.core.parallel import (
     RetryPolicy,
     process_fold,
@@ -175,6 +176,10 @@ class MiningState:
         # only on the induced edge set).
         self._memo_labels: Optional[Tuple[Vertex, ...]] = None
         self._memo: Dict[FrozenSet[int], FrozenSet[int]] = {}
+        # Batched-kernel counterpart of the memo: reduced variant masks,
+        # their kept-edge union and the prefix trie, valid while the
+        # step-4 edge set is unchanged (KernelState resets itself).
+        self._kernel_state = KernelState()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -562,6 +567,7 @@ class MiningState:
         jobs: Optional[int] = None,
         skip_scc_removal: bool = False,
         skip_execution_marking: bool = False,
+        kernel: Optional[str] = None,
     ) -> "DiGraph":
         """Run steps 3–6 over the accumulated variants.
 
@@ -573,8 +579,12 @@ class MiningState:
 
         Raises :class:`~repro.errors.EmptyLogError` when nothing was
         folded in yet.  Repeated calls reuse a persistent step-5
-        reduction memo while the label set is unchanged, so
-        re-materializing after a few new executions is cheap.
+        reduction memo while the label set is unchanged — and, under a
+        mask-capable ``kernel`` (``None`` defers to ``REPRO_KERNEL``,
+        defaulting to ``bitset``), a persistent
+        :class:`~repro.core.kernels.KernelState` of already-reduced
+        variant masks — so re-materializing after a few new executions
+        is cheap.
         """
         # Local import: general_dag imports interning/parallel like this
         # module does, and the incremental miner sits on top of both.
@@ -594,6 +604,8 @@ class MiningState:
             skip_execution_marking=skip_execution_marking,
             jobs=jobs,
             reduction_memo=self._reduction_memo_for(table),
+            kernel=get_kernel(kernel),
+            kernel_state=self._kernel_state,
         )
 
     # ------------------------------------------------------------------

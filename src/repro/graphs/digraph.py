@@ -110,6 +110,27 @@ class DiGraph:
         self._succ[source].add(target)
         self._pred[target].add(source)
 
+    def add_edges_bulk(
+        self, source: Node, targets: Iterable[Node]
+    ) -> None:
+        """Add edges from ``source`` to every target in one call.
+
+        Endpoints are created as needed, like :meth:`add_edge`, but the
+        per-edge membership checks are amortized: the miners' step-6
+        assembly inserts thousands of edges grouped by source.
+        """
+        targets = list(targets)
+        self.add_node(source)
+        succ = self._succ
+        pred = self._pred
+        missing = [t for t in targets if t not in succ]
+        for target in missing:
+            succ[target] = set()
+            pred[target] = set()
+        succ[source].update(targets)
+        for target in targets:
+            pred[target].add(source)
+
     def remove_edge(self, source: Node, target: Node) -> None:
         """Remove the edge ``(source, target)``; missing edges are ignored.
 

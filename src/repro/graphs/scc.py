@@ -8,7 +8,7 @@ Definition 4.  Tarjan's algorithm gives all components in one linear pass.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set, Tuple
+from typing import Dict, Hashable, List, Sequence, Set, Tuple
 
 from repro.graphs.digraph import DiGraph
 
@@ -85,6 +85,73 @@ def component_map(graph: DiGraph) -> Dict[Node, int]:
     for index, component in enumerate(strongly_connected_components(graph)):
         for node in component:
             mapping[node] = index
+    return mapping
+
+
+def component_map_adjacency(
+    adjacency: Dict[int, Sequence[int]],
+) -> Dict[int, int]:
+    """Component indices for an integer adjacency dict, without a DiGraph.
+
+    ``adjacency`` maps each vertex id to its successors; vertices that
+    appear only as targets are included automatically.  The hot mining
+    path (``repro.core.kernels``) runs step 4 directly over interned
+    adjacency lists, skipping per-edge :class:`DiGraph` construction.
+    Component indices follow the same reverse-topological Tarjan order
+    as :func:`component_map`.
+    """
+    nodes: Dict[int, None] = dict.fromkeys(adjacency)
+    for targets in adjacency.values():
+        for target in targets:
+            if target not in nodes:
+                nodes[target] = None
+    empty: Tuple[int, ...] = ()
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    mapping: Dict[int, int] = {}
+    counter = 0
+    component_index = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work = [(root, iter(adjacency.get(root, empty)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index_of:
+                    index_of[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append(
+                        (child, iter(adjacency.get(child, empty)))
+                    )
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    mapping[member] = component_index
+                    if member == node:
+                        break
+                component_index += 1
     return mapping
 
 

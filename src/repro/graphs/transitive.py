@@ -14,7 +14,17 @@ Table 1.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+from array import array
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.errors import CycleError
 from repro.graphs.digraph import DiGraph
@@ -24,17 +34,16 @@ Node = Hashable
 Edge = Tuple[Node, Node]
 
 
-def transitive_closure(graph: DiGraph) -> DiGraph:
-    """Return the transitive closure of ``graph``.
+def _closure_rows(graph: DiGraph) -> Tuple[List[Node], List[int]]:
+    """Reachability rows of ``graph`` as per-node ``int`` bitmasks.
 
-    The closure contains the edge ``(u, v)`` whenever a directed path of
-    length >= 1 from ``u`` to ``v`` exists in ``graph``.  Works for cyclic
-    graphs as well (a vertex on a cycle gains a self-loop).
+    ``rows[i]`` has bit ``j`` set whenever a directed path of length >= 1
+    leads from node ``i`` to node ``j`` (insertion-order indices).  Shared
+    by :func:`transitive_closure` and :class:`ClosureBitset`.
     """
     index: Dict[Node, int] = {n: i for i, n in enumerate(graph.nodes())}
     order = list(graph.nodes())
     n = len(order)
-    # reach[i] is a bitmask of vertices reachable from vertex i.
     reach: List[int] = [0] * n
     try:
         topo = topological_sort(graph)
@@ -70,7 +79,102 @@ def transitive_closure(graph: DiGraph) -> DiGraph:
                 if new != mask:
                     reach[i] = new
                     changed = True
+    return order, reach
 
+
+class ClosureBitset:
+    """Transitive closure as a packed reachability bitset.
+
+    The rows of :func:`_closure_rows` are stored contiguously in an
+    ``array('Q')`` of 64-bit limbs; :attr:`view` exposes them through a
+    read-only :class:`memoryview`, so per-node descendant *sets* (and the
+    quadratic closure :class:`~repro.graphs.digraph.DiGraph`) never have
+    to be materialized.  ``followings``/``dependency``/``minimize`` query
+    reachability through :meth:`has_edge`/:meth:`iter_edges` instead of
+    building a closure graph per call — the Algorithm 4 descendant-set
+    representation of the kernel layer (see ``repro.core.kernels``).
+    """
+
+    __slots__ = ("nodes", "_index", "_limbs", "_words", "view")
+
+    def __init__(self, nodes: List[Node], rows: List[int]) -> None:
+        self.nodes = nodes
+        self._index: Dict[Node, int] = {
+            node: i for i, node in enumerate(nodes)
+        }
+        # One row = ``words`` little-endian 64-bit limbs.
+        words = max(1, (len(nodes) + 63) // 64)
+        self._words = words
+        limbs = array("Q", bytes(8 * words * max(1, len(nodes))))
+        for i, row in enumerate(rows):
+            base = i * words
+            w = 0
+            while row:
+                limbs[base + w] = row & 0xFFFFFFFFFFFFFFFF
+                row >>= 64
+                w += 1
+        self._limbs = limbs
+        self.view = memoryview(limbs).toreadonly()
+
+    def row_mask(self, node: Node) -> int:
+        """Reachability row of ``node`` as an ``int`` bitmask."""
+        i = self._index[node]
+        w = self._words
+        return int.from_bytes(
+            self.view[i * w : (i + 1) * w].cast("B"), "little"
+        )
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        """Whether a path of length >= 1 leads from source to target."""
+        i = self._index.get(source)
+        j = self._index.get(target)
+        if i is None or j is None:
+            return False
+        limb = self._limbs[i * self._words + (j >> 6)]
+        return bool((limb >> (j & 63)) & 1)
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Yield the closure's edges in node-insertion order."""
+        nodes = self.nodes
+        for i, source in enumerate(nodes):
+            mask = int.from_bytes(
+                self.view[i * self._words : (i + 1) * self._words].cast(
+                    "B"
+                ),
+                "little",
+            )
+            while mask:
+                j = (mask & -mask).bit_length() - 1
+                mask &= mask - 1
+                yield (source, nodes[j])
+
+    def edge_set(self) -> Set[Edge]:
+        """The closure's edge set."""
+        return set(self.iter_edges())
+
+
+def transitive_closure_bitset(graph: DiGraph) -> ClosureBitset:
+    """Return the transitive closure of ``graph`` as a bitset.
+
+    Same reachability semantics as :func:`transitive_closure` (cyclic
+    graphs gain self-loops on cycle vertices) without materializing the
+    quadratic closure graph.
+    """
+    order, reach = _closure_rows(graph)
+    return ClosureBitset(order, reach)
+
+
+def transitive_closure(graph: DiGraph) -> DiGraph:
+    """Return the transitive closure of ``graph``.
+
+    The closure contains the edge ``(u, v)`` whenever a directed path of
+    length >= 1 from ``u`` to ``v`` exists in ``graph``.  Works for cyclic
+    graphs as well (a vertex on a cycle gains a self-loop).  Callers that
+    only query reachability should prefer
+    :func:`transitive_closure_bitset`.
+    """
+    order, reach = _closure_rows(graph)
+    index: Dict[Node, int] = {n: i for i, n in enumerate(order)}
     closure = DiGraph(nodes=order)
     for node in order:
         i = index[node]

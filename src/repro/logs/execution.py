@@ -101,6 +101,10 @@ class Execution:
         self._overlap_set: Optional[FrozenSet[Pair]] = None
         self._labelled_ordered_set: Optional[FrozenSet[LabelledPair]] = None
         self._labelled_overlap_set: Optional[FrozenSet[LabelledPair]] = None
+        self._variant_key: Optional[
+            Tuple[Tuple[str, float, float], ...]
+        ] = None
+        self._sequential: Optional[bool] = None
 
     @staticmethod
     def _pair_events(
@@ -241,11 +245,15 @@ class Execution:
         sequential, which lets the pair-set extraction below skip the
         quadratic interval comparisons.
         """
-        instances = self._instances
-        return all(
-            instances[i].end <= instances[i + 1].start
-            for i in range(len(instances) - 1)
-        )
+        sequential = self._sequential
+        if sequential is None:
+            instances = self._instances
+            sequential = all(
+                instances[i].end <= instances[i + 1].start
+                for i in range(len(instances) - 1)
+            )
+            self._sequential = sequential
+        return sequential
 
     def ordered_pairs(self) -> Iterator[Pair]:
         """Yield every pair ``(u, v)`` with ``u`` terminating before ``v``
@@ -405,11 +413,18 @@ class Execution:
         distinct trace variant.  Timestamps are compared raw — no
         shift-normalization — so the key never merges executions whose
         interval comparisons could differ after float rounding.
+
+        Instances never change after construction, so the key (hot in
+        the miner's variant dedup) is computed once and memoized.
         """
-        return tuple(
-            (inst.activity, inst.start, inst.end)
-            for inst in self._instances
-        )
+        key = self._variant_key
+        if key is None:
+            key = tuple(
+                (inst.activity, inst.start, inst.end)
+                for inst in self._instances
+            )
+            self._variant_key = key
+        return key
 
     def outputs_of(self, activity: str) -> List[Tuple[float, ...]]:
         """All recorded output vectors of ``activity`` in this execution."""

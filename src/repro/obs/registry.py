@@ -79,6 +79,10 @@ DECLARED_METRICS: Tuple[MetricSpec, ...] = (
         "Step-5 transitive-reduction memo misses",
     ),
     _counter(
+        "repro_mine_step5_cache_prefix_extends_total",
+        "Step-5 reductions resumed from a cached variant prefix",
+    ),
+    _counter(
         "repro_mine_scc_edges_removed_total",
         "Edges removed by strongly-connected-component collapse",
     ),
@@ -86,6 +90,22 @@ DECLARED_METRICS: Tuple[MetricSpec, ...] = (
         "repro_mine_edges_dropped_total",
         "Edges dropped by the noise threshold or overlap filter",
         "cause",
+    ),
+    # Mining kernels (pluggable hot-path backends).
+    _counter(
+        "repro_kernel_runs_total",
+        "Mining runs per selected kernel",
+        "kernel",
+    ),
+    _counter(
+        "repro_kernel_reductions_total",
+        "Step-5 reductions computed, by implementation path",
+        "path",
+    ),
+    _counter(
+        "repro_kernel_prefix_cache_events_total",
+        "Step-5 reduction cache traffic, by event kind",
+        "event",
     ),
     # Ingest / quarantine.
     _counter(

@@ -55,8 +55,27 @@ class TestCompare:
     def test_within_tolerance_passes(self, baseline):
         current = copy.deepcopy(baseline)
         for cell in current["cells"]:
-            cell["fast_seconds"] *= 1.20  # under the +25% default
+            cell["fast_seconds"] *= 1.10  # under the +15% default
         assert compare(baseline, current).ok
+
+    def test_default_tolerance_is_ratcheted(self, baseline):
+        # +20% passed the old +25% gate; the tightened default rejects it.
+        current = copy.deepcopy(baseline)
+        for cell in current["cells"]:
+            cell["fast_seconds"] *= 1.20
+        assert not compare(baseline, current).ok
+
+    def test_micro_cells_get_scaled_tolerance(self, baseline):
+        micro = _cell("slotted-reduce-micro", 0.040)
+        micro["kind"] = "micro"
+        baseline["cells"].append(micro)
+        current = copy.deepcopy(baseline)
+        for cell in current["cells"]:
+            cell["fast_seconds"] *= 1.25  # over +15%, under micro's +30%
+        result = compare(baseline, current)
+        failed = {cell.cell for cell in result.failed}
+        assert "slotted-reduce-micro" not in failed
+        assert "v10-m100" in failed
 
     def test_quality_mismatch_fails_even_when_fast(self, baseline):
         current = copy.deepcopy(baseline)

@@ -1,0 +1,620 @@
+"""Differential and unit tests for the pluggable mining kernels.
+
+Every kernel (``pure``, ``bitset``, and — when numpy is installed —
+``numpy``) must mine byte-identical graphs and reference-identical stage
+diagnostics on arbitrary logs; the batched step-5 path, the prefix-reuse
+cache, and the packed closure bitset are additionally checked directly
+against their scalar counterparts.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.general_dag import (
+    MiningTrace,
+    _total_order_mask,
+    mine_general_dag,
+)
+from repro.core.interning import PackedVariant
+from repro.core.kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_ENV,
+    KERNEL_NAMES,
+    BitsetKernel,
+    KernelState,
+    PureKernel,
+    ReduceContext,
+    ReduceStats,
+    get_kernel,
+    induced_codes,
+    numpy_available,
+    resolve_kernel_name,
+    scalar_reduce_union,
+    slotted_reduce_union,
+    walk_reduce,
+)
+from repro.core.parallel import pack_masks, unpack_masks
+from repro.core.reference import mine_general_dag_reference
+from repro.core.state import MiningState
+from repro.errors import KernelUnavailableError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transitive import (
+    transitive_closure,
+    transitive_closure_bitset,
+    transitive_reduction_packed,
+)
+from repro.logs.event_log import EventLog
+from repro.logs.events import end_event, start_event
+from repro.logs.execution import Execution
+
+AVAILABLE_KERNELS = [
+    name
+    for name in KERNEL_NAMES
+    if name != "numpy" or numpy_available()
+]
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy is not installed"
+)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def subset_logs(draw, max_activities=7, max_executions=10):
+    """Sequential logs with skipped activities and duplicated traces."""
+    n = draw(st.integers(min_value=1, max_value=max_activities))
+    interior = [chr(ord("A") + i) for i in range(n)]
+    m = draw(st.integers(min_value=1, max_value=max_executions))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    sequences = []
+    for _ in range(m):
+        chosen = [a for a in interior if rng.random() < 0.7]
+        rng.shuffle(chosen)
+        sequences.append(["S", *chosen, "Z"])
+    if draw(st.booleans()) and sequences:
+        sequences += sequences[: rng.randint(1, len(sequences))]
+    return EventLog.from_sequences(sequences)
+
+
+@st.composite
+def noisy_logs(draw, max_activities=6, max_executions=10):
+    """Shuffled logs without the S/Z frame — 2-cycles and SCCs abound."""
+    n = draw(st.integers(min_value=2, max_value=max_activities))
+    activities = [chr(ord("A") + i) for i in range(n)]
+    m = draw(st.integers(min_value=1, max_value=max_executions))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    sequences = []
+    for _ in range(m):
+        chosen = [a for a in activities if rng.random() < 0.8] or [
+            activities[0]
+        ]
+        rng.shuffle(chosen)
+        sequences.append(chosen)
+    return EventLog.from_sequences(sequences)
+
+
+@st.composite
+def interval_logs(draw, max_activities=6, max_executions=6):
+    """Interval logs whose activities may overlap in time."""
+    n = draw(st.integers(min_value=2, max_value=max_activities))
+    activities = [chr(ord("A") + i) for i in range(n)]
+    m = draw(st.integers(min_value=1, max_value=max_executions))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    executions = []
+    for index in range(m):
+        chosen = [a for a in activities if rng.random() < 0.8] or [
+            activities[0]
+        ]
+        records = []
+        execution_id = f"iv-{index}"
+        for activity in chosen:
+            start = rng.randint(0, 20)
+            end = start + rng.randint(1, 6)
+            records.append(start_event(execution_id, activity, start))
+            records.append(end_event(execution_id, activity, end))
+        executions.append(Execution(execution_id, records))
+    return EventLog(executions)
+
+
+@st.composite
+def packed_dags(draw, max_vertices=9):
+    """A random packed DAG ``(edge codes, n, rank)`` plus variant masks.
+
+    Edges only ever point from a lower to a higher vertex id, so the
+    identity order is topological and any vertex subset induces a DAG.
+    """
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    edges = set()
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.45:
+                edges.add(u * n + v)
+    rank = {u: u for u in range(n)}
+    count = draw(st.integers(min_value=1, max_value=12))
+    masks = []
+    for _ in range(count):
+        mask = 0
+        for u in range(n):
+            if rng.random() < 0.6:
+                mask |= 1 << u
+        masks.append(mask)
+    return n, edges, rank, masks
+
+
+def assert_same_mining(fast, ref, fast_trace, ref_trace):
+    assert set(fast.nodes()) == set(ref.nodes())
+    assert fast.edge_set() == ref.edge_set()
+    assert fast_trace.pair_counts == ref_trace.pair_counts
+    assert fast_trace.overlap_counts == ref_trace.overlap_counts
+    assert fast_trace.edges_after_step2 == ref_trace.edges_after_step2
+    assert (
+        fast_trace.edges_dropped_by_threshold
+        == ref_trace.edges_dropped_by_threshold
+    )
+    assert (
+        fast_trace.edges_dropped_by_overlap
+        == ref_trace.edges_dropped_by_overlap
+    )
+    assert fast_trace.edges_after_step3 == ref_trace.edges_after_step3
+    assert fast_trace.edges_after_step4 == ref_trace.edges_after_step4
+    assert fast_trace.edges_after_step6 == ref_trace.edges_after_step6
+    assert fast_trace.scc_edge_removals == ref_trace.scc_edge_removals
+
+
+# ---------------------------------------------------------------------------
+# Differential: every kernel vs the reference pipeline
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", AVAILABLE_KERNELS)
+@given(
+    log=subset_logs(), threshold=st.integers(min_value=0, max_value=3)
+)
+@settings(max_examples=40, deadline=None)
+def test_kernel_matches_reference_on_subset_logs(
+    kernel, log, threshold
+):
+    fast_trace, ref_trace = MiningTrace(), MiningTrace()
+    fast = mine_general_dag(
+        log, threshold=threshold, trace=fast_trace, kernel=kernel
+    )
+    ref = mine_general_dag_reference(
+        log, threshold=threshold, trace=ref_trace
+    )
+    assert_same_mining(fast, ref, fast_trace, ref_trace)
+    assert fast_trace.kernel == kernel
+
+
+@pytest.mark.parametrize("kernel", AVAILABLE_KERNELS)
+@given(
+    log=noisy_logs(), threshold=st.integers(min_value=0, max_value=3)
+)
+@settings(max_examples=40, deadline=None)
+def test_kernel_matches_reference_on_noisy_logs(kernel, log, threshold):
+    fast_trace, ref_trace = MiningTrace(), MiningTrace()
+    fast = mine_general_dag(
+        log, threshold=threshold, trace=fast_trace, kernel=kernel
+    )
+    ref = mine_general_dag_reference(
+        log, threshold=threshold, trace=ref_trace
+    )
+    assert_same_mining(fast, ref, fast_trace, ref_trace)
+
+
+@pytest.mark.parametrize("kernel", AVAILABLE_KERNELS)
+@given(
+    log=interval_logs(), threshold=st.integers(min_value=0, max_value=2)
+)
+@settings(max_examples=30, deadline=None)
+def test_kernel_matches_reference_on_interval_logs(
+    kernel, log, threshold
+):
+    fast_trace, ref_trace = MiningTrace(), MiningTrace()
+    fast = mine_general_dag(
+        log, threshold=threshold, trace=fast_trace, kernel=kernel
+    )
+    ref = mine_general_dag_reference(
+        log, threshold=threshold, trace=ref_trace
+    )
+    assert_same_mining(fast, ref, fast_trace, ref_trace)
+
+
+@given(log=subset_logs())
+@settings(max_examples=30, deadline=None)
+def test_kernels_agree_with_each_other(log):
+    graphs = {
+        kernel: mine_general_dag(log, kernel=kernel)
+        for kernel in AVAILABLE_KERNELS
+    }
+    baseline = graphs["pure"]
+    for kernel, graph in graphs.items():
+        assert graph.edge_set() == baseline.edge_set(), kernel
+        assert set(graph.nodes()) == set(baseline.nodes()), kernel
+
+
+# ---------------------------------------------------------------------------
+# Kernel selection: explicit > environment > default
+# ---------------------------------------------------------------------------
+class TestKernelSelection:
+    def test_default_is_bitset(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert resolve_kernel_name() == DEFAULT_KERNEL == "bitset"
+
+    def test_environment_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, " Pure ")
+        assert resolve_kernel_name() == "pure"
+
+    def test_explicit_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "pure")
+        assert resolve_kernel_name("bitset") == "bitset"
+
+    def test_unknown_explicit_name_raises(self):
+        with pytest.raises(KernelUnavailableError):
+            resolve_kernel_name("simd")
+
+    def test_unknown_environment_name_raises(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "turbo")
+        with pytest.raises(KernelUnavailableError):
+            resolve_kernel_name()
+
+    def test_get_kernel_returns_cached_instances(self):
+        assert get_kernel("pure") is get_kernel("pure")
+        assert isinstance(get_kernel("pure"), PureKernel)
+        assert isinstance(get_kernel("bitset"), BitsetKernel)
+        assert get_kernel("pure").supports_masks is False
+        assert get_kernel("bitset").supports_masks is True
+
+    def test_environment_selects_mining_kernel(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "pure")
+        log = EventLog.from_sequences(["SABZ", "SBAZ", "SAZ"])
+        trace = MiningTrace()
+        mine_general_dag(log, trace=trace)
+        assert trace.kernel == "pure"
+
+    def test_explicit_mining_kernel_beats_environment(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(KERNEL_ENV, "pure")
+        log = EventLog.from_sequences(["SABZ", "SBAZ", "SAZ"])
+        trace = MiningTrace()
+        mine_general_dag(log, trace=trace, kernel="bitset")
+        assert trace.kernel == "bitset"
+
+    @needs_numpy
+    def test_numpy_kernel_selectable(self):
+        assert get_kernel("numpy").name == "numpy"
+
+    def test_cli_rejects_unknown_kernel(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.logs.codec import write_log_file
+
+        path = tmp_path / "log.tsv"
+        write_log_file(
+            EventLog.from_sequences(["SABZ", "SAZ"]), path
+        )
+        with pytest.raises(SystemExit):
+            main(["mine", str(path), "--kernel", "turbo"])
+        capsys.readouterr()
+
+    def test_cli_kernel_flag_reaches_profile(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.logs.codec import write_log_file
+
+        path = tmp_path / "log.tsv"
+        write_log_file(
+            EventLog.from_sequences(["SABZ", "SBAZ", "SAZ"]), path
+        )
+        assert (
+            main(["mine", str(path), "--kernel", "pure", "--profile"])
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "kernel: pure" in err
+
+
+# ---------------------------------------------------------------------------
+# Batched reduction primitives
+# ---------------------------------------------------------------------------
+@given(packed_dags())
+@settings(max_examples=60, deadline=None)
+def test_slotted_batch_matches_scalar_reduction(case):
+    n, edges, rank, masks = case
+    ctx = ReduceContext.from_edges(edges, n, rank)
+    expected = set()
+    for smask in masks:
+        expected |= transitive_reduction_packed(
+            frozenset(induced_codes(ctx, smask)), n, rank
+        )
+    assert slotted_reduce_union(ctx, masks) == expected
+    assert scalar_reduce_union(ctx, masks) == expected
+
+
+@needs_numpy
+@given(packed_dags())
+@settings(max_examples=40, deadline=None)
+def test_numpy_batch_matches_slotted(case):
+    n, edges, rank, masks = case
+    ctx = ReduceContext.from_edges(edges, n, rank)
+    numpy_kernel = get_kernel("numpy")
+    assert numpy_kernel.bulk_reduce_union(
+        ctx, masks
+    ) == slotted_reduce_union(ctx, masks)
+
+
+@given(packed_dags())
+@settings(max_examples=60, deadline=None)
+def test_walker_matches_scalar_reduction(case):
+    n, edges, rank, masks = case
+    ctx = ReduceContext.from_edges(edges, n, rank)
+    trie = {}
+    for smask in masks:
+        kept, _ = walk_reduce(ctx, smask, trie)
+        assert kept == transitive_reduction_packed(
+            frozenset(induced_codes(ctx, smask)), n, rank
+        )
+
+
+def test_walker_resumes_from_shared_prefix():
+    # Chain 0 -> 1 -> ... -> 5 plus skip edges; two variants share the
+    # prefix {0, 1, 2, 3}, so the second walk must resume at position 4.
+    n = 6
+    edges = {u * n + v for u in range(n) for v in range(u + 1, n)}
+    rank = {u: u for u in range(n)}
+    ctx = ReduceContext.from_edges(edges, n, rank)
+    trie = {}
+    first = 0b011111  # vertices 0..4
+    second = 0b111111  # vertices 0..5 — extends the first's prefix
+    _, start_first = walk_reduce(ctx, first, trie)
+    assert start_first == 0
+    _, start_second = walk_reduce(ctx, second, trie)
+    assert start_second == 5
+
+
+# ---------------------------------------------------------------------------
+# KernelState: cross-call exact hits, prefix extends, resets
+# ---------------------------------------------------------------------------
+def test_kernel_state_counts_exact_hits_across_calls():
+    n = 4
+    edges = {0 * n + 1, 1 * n + 2, 2 * n + 3, 0 * n + 3}
+    rank = {u: u for u in range(n)}
+    ctx = ReduceContext.from_edges(edges, n, rank)
+    kernel = BitsetKernel()
+    state = KernelState().for_edges(edges, n)
+    first = ReduceStats()
+    kernel.reduce_masks(ctx, [0b1111, 0b0111], state, first)
+    assert first.exact_hits == 0
+    assert first.misses == 2
+    again = ReduceStats()
+    marked = kernel.reduce_masks(ctx, [0b1111, 0b0111], state, again)
+    assert again.exact_hits == 2
+    assert again.misses == 0
+    assert marked == {0 * n + 1, 1 * n + 2, 2 * n + 3}
+
+
+def test_kernel_state_resets_when_edges_change():
+    n = 3
+    state = KernelState().for_edges({0 * n + 1}, n)
+    state.seen_masks.add(0b11)
+    state.marked_union.add(0 * n + 1)
+    state.for_edges({0 * n + 1}, n)
+    assert state.seen_masks == {0b11}
+    state.for_edges({0 * n + 2}, n)
+    assert state.seen_masks == set()
+    assert state.marked_union == set()
+
+
+def test_mask_cache_survives_edge_resets_but_not_n_change():
+    state = KernelState()
+    cache = state.mask_cache_for(4)
+    cache[frozenset({1})] = 0b10
+    state.for_edges({2}, 4)
+    assert state.mask_cache_for(4) is cache
+    assert state.mask_cache_for(5) == {}
+
+
+def test_mining_state_reuses_kernel_state_across_finishes():
+    state = MiningState()
+    log = EventLog.from_sequences(
+        ["SABCZ", "SACBZ", "SABZ", "SABCZ"] * 3
+    )
+    for execution in log:
+        state.update(execution)
+    first_trace = MiningTrace()
+    first = state.finish(trace=first_trace)
+    again_trace = MiningTrace()
+    again = state.finish(trace=again_trace)
+    assert first.edge_set() == again.edge_set()
+    # Unchanged log + unchanged edges: every batched variant is now an
+    # exact cache hit.
+    assert again_trace.reduction_cache_misses == 0
+    assert (
+        again_trace.reduction_cache_hits
+        >= first_trace.reduction_cache_misses
+    )
+
+
+def test_incremental_growth_hits_prefix_cache():
+    # Same step-4 edge set both times (the superset log re-observes
+    # every pair), growing variants: the second finish may extend
+    # cached prefixes instead of re-walking from scratch.
+    base = ["SABCDZ", "SABDCZ"]
+    state = MiningState()
+    for execution in EventLog.from_sequences(base * 2):
+        state.update(execution)
+    state.finish()
+    for execution in EventLog.from_sequences(["SABCZ", "SABCDZ"]):
+        state.update(execution)
+    trace = MiningTrace()
+    state.finish(trace=trace)
+    assert (
+        trace.reduction_cache_hits
+        + trace.reduction_cache_prefix_extends
+        > 0
+    )
+
+
+# ---------------------------------------------------------------------------
+# Total-order qualification: soundness against degenerate pair sets
+# ---------------------------------------------------------------------------
+class TestTotalOrderMask:
+    def test_accepts_total_order(self):
+        n = 4
+        pairs = frozenset(
+            {0 * n + 1, 0 * n + 2, 1 * n + 2}
+        )
+        variant = PackedVariant(
+            vertices=frozenset({0, 1, 2}),
+            pairs=pairs,
+            overlaps=frozenset(),
+            multiplicity=1,
+        )
+        assert _total_order_mask(variant, n, None) == 0b111
+
+    def test_rejects_two_cycle_with_matching_count(self):
+        # {(0,1), (1,0), (0,2)} has C(3,2) = 3 pairs but is no
+        # tournament: out-degrees are distinct, in-degrees are not.
+        n = 3
+        variant = PackedVariant(
+            vertices=frozenset({0, 1, 2}),
+            pairs=frozenset({0 * n + 1, 1 * n + 0, 0 * n + 2}),
+            overlaps=frozenset(),
+            multiplicity=1,
+        )
+        assert _total_order_mask(variant, n, None) is None
+
+    def test_rejects_self_pair(self):
+        n = 3
+        variant = PackedVariant(
+            vertices=frozenset({0, 1, 2}),
+            pairs=frozenset({0 * n + 0, 0 * n + 1, 1 * n + 2}),
+            overlaps=frozenset(),
+            multiplicity=1,
+        )
+        assert _total_order_mask(variant, n, None) is None
+
+    def test_rejects_overlapping_variant(self):
+        n = 2
+        variant = PackedVariant(
+            vertices=frozenset({0, 1}),
+            pairs=frozenset({0 * n + 1}),
+            overlaps=frozenset({0 * n + 1}),
+            multiplicity=1,
+        )
+        assert _total_order_mask(variant, n, None) is None
+
+    def test_rejects_endpoint_outside_vertices(self):
+        # Pair endpoints may exceed the variant's completed vertices
+        # (labelled interning covers overlap endpoints); such variants
+        # must not qualify even when the count matches.
+        n = 3
+        variant = PackedVariant(
+            vertices=frozenset({0, 1}),
+            pairs=frozenset({0 * n + 2}),
+            overlaps=frozenset(),
+            multiplicity=1,
+        )
+        assert _total_order_mask(variant, n, None) is None
+
+    def test_singleton_and_empty_variants_qualify(self):
+        n = 2
+        singleton = PackedVariant(
+            vertices=frozenset({1}),
+            pairs=frozenset(),
+            overlaps=frozenset(),
+            multiplicity=1,
+        )
+        assert _total_order_mask(singleton, n, None) == 0b10
+
+    def test_caches_verdicts(self):
+        n = 3
+        variant = PackedVariant(
+            vertices=frozenset({0, 1}),
+            pairs=frozenset({0 * n + 1}),
+            overlaps=frozenset(),
+            multiplicity=1,
+        )
+        cache = {}
+        assert _total_order_mask(variant, n, cache) == 0b11
+        assert cache[variant.pairs] == 0b11
+        cache[variant.pairs] = 0b1  # poison to prove the hit
+        assert _total_order_mask(variant, n, cache) == 0b1
+
+
+# ---------------------------------------------------------------------------
+# Closure bitset vs the materialized closure graph
+# ---------------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_closure_bitset_matches_closure_graph(seed):
+    rng = random.Random(seed)
+    n = rng.randint(1, 10)
+    nodes = [chr(ord("A") + i) for i in range(n)]
+    edges = [
+        (a, b)
+        for a in nodes
+        for b in nodes
+        if a != b and rng.random() < 0.25
+    ]
+    graph = DiGraph(nodes=nodes, edges=edges)
+    closure = transitive_closure(graph)
+    bitset = transitive_closure_bitset(graph)
+    assert bitset.edge_set() == closure.edge_set()
+    for a in nodes:
+        for b in nodes:
+            assert bitset.has_edge(a, b) == closure.has_edge(a, b)
+    assert not bitset.has_edge("missing", nodes[0])
+
+
+# ---------------------------------------------------------------------------
+# Lazy trace counters and mask packing
+# ---------------------------------------------------------------------------
+def test_lazy_pair_counts_match_eager_reference():
+    log = EventLog.from_sequences(["SABZ", "SBAZ", "SACZ", "SABZ"])
+    lazy_trace, ref_trace = MiningTrace(), MiningTrace()
+    mine_general_dag(log, trace=lazy_trace, kernel="bitset")
+    mine_general_dag_reference(log, trace=ref_trace)
+    assert lazy_trace._pair_counts is None  # still deferred
+    assert lazy_trace.pair_counts == ref_trace.pair_counts
+    assert lazy_trace._pair_counts is not None  # materialized once
+    assert lazy_trace.overlap_counts == ref_trace.overlap_counts
+
+
+def test_publish_does_not_materialize_pair_counts():
+    from repro.obs.recorder import ObsRecorder
+
+    log = EventLog.from_sequences(["SABZ", "SBAZ", "SACZ"])
+    trace = MiningTrace(recorder=ObsRecorder())
+    mine_general_dag(log, trace=trace, kernel="bitset")
+    assert trace._pair_counts is None
+
+
+def test_pack_masks_roundtrip():
+    masks = [0, 1, (1 << 70) | 5, 2**128 - 1]
+    blob = pack_masks(masks, 17)
+    assert unpack_masks(blob, 17) == masks
+    with pytest.raises(ValueError):
+        unpack_masks(b"\x00" * 5, 2)
+
+
+def test_parallel_mask_fanout_matches_serial():
+    rng = random.Random(7)
+    sequences = []
+    for _ in range(300):
+        chosen = [c for c in "ABCDEFG" if rng.random() < 0.7]
+        sequences.append(["S", *chosen, "Z"])
+    log = EventLog.from_sequences(sequences)
+    serial = mine_general_dag(log, jobs=1, kernel="bitset")
+    fanned = mine_general_dag(log, jobs=2, kernel="bitset")
+    ref = mine_general_dag_reference(log)
+    assert serial.edge_set() == fanned.edge_set() == ref.edge_set()
+    assert (
+        set(serial.nodes()) == set(fanned.nodes()) == set(ref.nodes())
+    )
