@@ -1,0 +1,172 @@
+"""End-to-end smoke for the mining service daemon (the CI service job).
+
+Boots a real ``repro-miner serve`` process on an ephemeral port, pushes
+the bundled example log over HTTP, and asserts the service acceptance
+contract:
+
+1. ``GET /v1/{p}/model?format=edges`` is byte-identical to the batch
+   ``repro-miner mine`` stdout for the same records;
+2. ``GET /v1/{p}/state`` is byte-identical to the ``mine --stream
+   --state-out`` envelope;
+3. ``GET /metrics`` parses as Prometheus text exposition;
+4. SIGTERM exits 0 after checkpointing every tenant, and a restarted
+   daemon serves the exact same model/state bytes.
+
+The work directory (journal + checkpoints + dead-letter files) is left
+on disk so CI can upload it as an artifact when an assertion trips.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py [--work DIR]
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.logs.codec import read_log_file  # noqa: E402
+from repro.obs import parse_prometheus  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+EXAMPLE_LOG = REPO / "examples" / "logs" / "upload_and_notify.log"
+ENV = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+
+
+def start_daemon(data_dir: Path, port_file: Path) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            str(data_dir),
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+        ],
+        env=ENV,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def connect(port_file: Path) -> ServiceClient:
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if port_file.exists():
+            port = int(port_file.read_text().strip())
+            client = ServiceClient(port=port, timeout=10.0)
+            client.wait_ready(budget=15.0)
+            return client
+        time.sleep(0.05)
+    raise RuntimeError(f"daemon never wrote {port_file}")
+
+
+def stop_daemon(daemon: subprocess.Popen) -> str:
+    daemon.send_signal(signal.SIGTERM)
+    _, stderr = daemon.communicate(timeout=30)
+    assert daemon.returncode == 0, (
+        f"daemon exited {daemon.returncode}:\n{stderr}"
+    )
+    return stderr
+
+
+def batch_reference(work: Path) -> "tuple[bytes, bytes]":
+    """The batch CLI's model stdout and streaming state envelope."""
+    state_out = work / "cli-state.json"
+    mined = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "mine",
+            str(EXAMPLE_LOG),
+            "--algorithm",
+            "general-dag",
+            "--format",
+            "edges",
+            "--stream",
+            "--state-out",
+            str(state_out),
+        ],
+        env=ENV,
+        capture_output=True,
+        timeout=120,
+    )
+    assert mined.returncode == 0, mined.stderr.decode()
+    return mined.stdout, state_out.read_bytes()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--work",
+        type=Path,
+        default=Path("service-smoke"),
+        help="scratch directory (kept for artifact upload)",
+    )
+    args = parser.parse_args()
+    work = args.work
+    work.mkdir(parents=True, exist_ok=True)
+    data_dir = work / "data"
+
+    log = read_log_file(EXAMPLE_LOG)
+    process = log.process_name
+    print(f"smoke: pushing {len(log)} executions as {process!r}")
+
+    daemon = start_daemon(data_dir, work / "port")
+    try:
+        client = connect(work / "port")
+        _, responses = client.push_log(None, log)
+        assert all(r.status == 202 for r in responses), [
+            r.status for r in responses
+        ]
+        stats = client.flush(process)
+        assert stats["executions"] == len(log), stats
+        model = client.model_text(process, fmt="edges")
+        state = client.state_bytes(process)
+        samples = parse_prometheus(client.metrics())
+        names = {name for name, _ in samples}
+        assert "repro_service_requests_total" in names, sorted(names)
+        assert "repro_service_events_total" in names, sorted(names)
+        print(f"smoke: /metrics parses ({len(samples)} samples)")
+    finally:
+        if daemon.poll() is None:
+            stderr = stop_daemon(daemon)
+        else:  # crashed before the clean stop
+            _, stderr = daemon.communicate(timeout=10)
+            raise RuntimeError(f"daemon died early:\n{stderr}")
+    assert f"checkpointed {process!r}" in stderr, stderr
+    print("smoke: SIGTERM checkpointed and exited 0")
+
+    cli_model, cli_state = batch_reference(work)
+    assert model == cli_model, "HTTP model != batch mine stdout"
+    assert state == cli_state, "HTTP state != --state-out envelope"
+    print("smoke: model and state are byte-identical to the batch CLI")
+
+    restarted = start_daemon(data_dir, work / "port2")
+    try:
+        client = connect(work / "port2")
+        assert client.state_bytes(process) == state, (
+            "restarted daemon state diverged"
+        )
+        assert client.model_text(process, fmt="edges") == model, (
+            "restarted daemon model diverged"
+        )
+    finally:
+        stderr = stop_daemon(restarted)
+    assert f"recovered {process}" in stderr, stderr
+    print("smoke: restart resumed byte-identically — PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,7 +72,6 @@ from repro.datasets.flowmark import FLOWMARK_PROCESS_NAMES, flowmark_dataset
 from repro.datasets.synthetic import SyntheticConfig, synthetic_dataset
 from repro.engine.simulator import SimulationConfig, WorkflowSimulator
 from repro.errors import EmptyLogError, MiningError, ReproError
-from repro.graphs.render import edge_list_text, to_ascii, to_dot
 from repro.lint import LintConfig, Severity, lint_model
 from repro.lint.emitters import FORMATS as LINT_FORMATS
 from repro.lint.emitters import model_line_map, render
@@ -539,6 +538,136 @@ def build_parser() -> argparse.ArgumentParser:
         help="DAG mode: cycles and 2-cycles (PM109/PM110) become errors",
     )
     _add_metrics_arguments(lint)
+
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "run the multi-tenant mining daemon (HTTP/JSONL; see "
+            "docs/SERVICE.md)"
+        ),
+    )
+    serve.add_argument(
+        "data_dir",
+        metavar="DATA_DIR",
+        help=(
+            "root directory for per-tenant durable sessions "
+            "(journal + checkpoints + dead-letter files); an existing "
+            "directory's tenants are recovered at boot"
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port (0 picks an ephemeral port; default: 8787)",
+    )
+    serve.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="write the bound port to PATH once listening",
+    )
+    serve.add_argument(
+        "--algorithm",
+        choices=[ALGORITHM_AUTO, ALGORITHM_GENERAL, ALGORITHM_CYCLIC],
+        default=ALGORITHM_AUTO,
+        help=(
+            "mining algorithm per tenant (special-dag needs the "
+            "materialized log, exactly like mine --stream; "
+            "default: auto)"
+        ),
+    )
+    serve.add_argument(
+        "--threshold",
+        type=int,
+        default=0,
+        help="Section 6 noise threshold T (0 disables)",
+    )
+    serve.add_argument(
+        "--on-error",
+        choices=list(POLICIES),
+        default="skip",
+        help=(
+            "ingest error policy per tenant (default: skip — a "
+            "service quarantines bad events instead of failing the "
+            "batch)"
+        ),
+    )
+    serve.add_argument(
+        "--stream-window",
+        type=_positive_int,
+        metavar="N",
+        default=None,
+        help=(
+            "an execution finalizes once N accepted records pass "
+            "without extending it (default: 1024)"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        metavar="N",
+        default=None,
+        help="checkpoint each tenant every N folds (default: 256)",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=_positive_int,
+        metavar="N",
+        default=64,
+        help=(
+            "refresh a tenant's served model once N folds accumulate "
+            "past the cached snapshot (default: 64)"
+        ),
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=_positive_int,
+        metavar="N",
+        default=64,
+        help=(
+            "queued ingest batches per tenant before 429 "
+            "backpressure (default: 64)"
+        ),
+    )
+    serve.add_argument(
+        "--idle-flush-seconds",
+        type=float,
+        metavar="SECONDS",
+        default=30.0,
+        help=(
+            "finalize a tenant's open execution windows after this "
+            "long without new events (0 disables; default: 30)"
+        ),
+    )
+    serve.add_argument(
+        "--max-tenants",
+        type=_positive_int,
+        metavar="N",
+        default=1024,
+        help="maximum live tenants (default: 1024)",
+    )
+    serve.add_argument(
+        "--kernel",
+        choices=list(KERNEL_NAMES),
+        default=None,
+        help="mining kernel for snapshot finishes (default: bitset)",
+    )
+    serve.add_argument(
+        "--limit-executions", type=_positive_int, metavar="N",
+        help="per tenant: abort a batch beyond N executions",
+    )
+    serve.add_argument(
+        "--limit-events-per-execution", type=_positive_int, metavar="N",
+        help="per tenant: abort a batch if an execution exceeds N events",
+    )
+    serve.add_argument(
+        "--limit-activities", type=_positive_int, metavar="N",
+        help="per tenant: abort a batch beyond N distinct activities",
+    )
+    _add_metrics_arguments(serve)
     return parser
 
 
@@ -596,11 +725,56 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_convert(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         parser.error(f"unknown command {args.command!r}")
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _metrics_out_problem(args: argparse.Namespace) -> Optional[str]:
+    """Why ``--metrics-out`` cannot be written, or None if it can.
+
+    Checked *before* any work starts: a manifest that would only fail
+    at write time — after minutes of mining — is a wasted run.  The
+    durable writer stages a temp sibling in the target's directory, so
+    the parent must exist and be writable/traversable.
+    """
+    import os
+    from pathlib import Path
+
+    target = getattr(args, "metrics_out", None)
+    if not target:
+        return None
+    path = Path(target)
+    if path.is_dir():
+        return "is a directory"
+    parent = path.parent if str(path.parent) else Path(".")
+    if not parent.exists():
+        return f"parent directory {parent} does not exist"
+    if not parent.is_dir():
+        return f"parent {parent} is not a directory"
+    if not os.access(parent, os.W_OK | os.X_OK):
+        return f"parent directory {parent} is not writable"
+    if path.exists() and not os.access(path, os.W_OK):
+        return "existing file is not writable"
+    return None
+
+
+def _require_writable_metrics_out(
+    args: argparse.Namespace,
+) -> Optional[int]:
+    """Fail fast (exit 2) when the manifest target is unwritable."""
+    problem = _metrics_out_problem(args)
+    if problem is None:
+        return None
+    print(
+        f"error: --metrics-out {args.metrics_out}: {problem}",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _metrics_recorder(args: argparse.Namespace):
@@ -665,15 +839,15 @@ def _ingest_for_mine(args: argparse.Namespace, recorder=NULL_RECORDER):
 
 
 def _print_graph(graph, args: argparse.Namespace, name: str) -> None:
-    """Emit the mined graph header + body (``mine``/``merge-states``)."""
-    print(f"# activities: {graph.node_count}")
-    print(f"# edges: {graph.edge_count}")
-    if args.format == "dot":
-        print(to_dot(graph, name=name))
-    elif args.format == "edges":
-        print(edge_list_text(graph))
-    else:
-        print(to_ascii(graph))
+    """Emit the mined graph header + body (``mine``/``merge-states``).
+
+    Rendering lives in :func:`repro.service.wire.render_graph_block`,
+    shared with the service's model endpoint — one renderer is what
+    keeps HTTP responses byte-identical to this stdout.
+    """
+    from repro.service.wire import render_graph_block
+
+    sys.stdout.write(render_graph_block(graph, args.format, name=name))
 
 
 def _cmd_mine_stream(args: argparse.Namespace) -> int:
@@ -1039,6 +1213,11 @@ def _cmd_verify_state(args: argparse.Namespace) -> int:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
+    # An unwritable manifest target must fail before mining starts,
+    # not after minutes of work.
+    failed = _require_writable_metrics_out(args)
+    if failed is not None:
+        return failed
     # A journal only makes sense around the streaming fold.
     if getattr(args, "journal", None):
         args.stream = True
@@ -1071,14 +1250,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         print(
             f"# exact minimization: {before} -> {graph.edge_count} edges"
         )
-    print(f"# activities: {graph.node_count}")
-    print(f"# edges: {graph.edge_count}")
-    if args.format == "dot":
-        print(to_dot(graph, name=log.process_name or "mined"))
-    elif args.format == "edges":
-        print(edge_list_text(graph))
-    else:
-        print(to_ascii(graph))
+    _print_graph(graph, args, name=log.process_name or "mined")
     verified = args.no_verify or _verify_mined(
         result, log, args.threshold, recorder
     )
@@ -1375,6 +1547,67 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         },
     )
     return report.exit_code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the multi-tenant mining daemon until SIGTERM."""
+    from pathlib import Path
+
+    from repro.resilience.session import DEFAULT_CHECKPOINT_EVERY
+    from repro.service.registry import TenantConfig
+    from repro.service.server import ServiceConfig, serve
+
+    failed = _require_writable_metrics_out(args)
+    if failed is not None:
+        return failed
+    limits = IngestLimits(
+        max_executions=args.limit_executions,
+        max_events_per_execution=args.limit_events_per_execution,
+        max_activities=args.limit_activities,
+    )
+    tenant = TenantConfig(
+        policy=args.on_error,
+        algorithm=args.algorithm,
+        threshold=args.threshold,
+        window=args.stream_window or DEFAULT_STREAM_WINDOW,
+        checkpoint_every=(
+            args.checkpoint_every
+            if args.checkpoint_every is not None
+            else DEFAULT_CHECKPOINT_EVERY
+        ),
+        snapshot_every=args.snapshot_every,
+        kernel=args.kernel,
+        limits=limits,
+    )
+    config = ServiceConfig(
+        data_dir=Path(args.data_dir),
+        host=args.host,
+        port=args.port,
+        tenant=tenant,
+        queue_limit=args.queue_limit,
+        max_tenants=args.max_tenants,
+        idle_flush_seconds=args.idle_flush_seconds,
+        port_file=Path(args.port_file) if args.port_file else None,
+    )
+    # The daemon always records: GET /metrics serves this recorder's
+    # registry; --metrics-out additionally snapshots it at shutdown.
+    recorder = ObsRecorder()
+    with recorder.span("serve", data_dir=args.data_dir):
+        status = serve(config, recorder=recorder)
+    if args.metrics_out:
+        _write_metrics(
+            args,
+            recorder,
+            command="serve",
+            input_path=args.data_dir,
+            config={
+                "algorithm": args.algorithm,
+                "threshold": args.threshold,
+                "on_error": args.on_error,
+                "queue_limit": args.queue_limit,
+            },
+        )
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

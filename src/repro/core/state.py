@@ -706,16 +706,20 @@ def _integrity_body(payload: dict) -> bytes:
     ).encode("utf-8")
 
 
-def save_state(
+def state_envelope(
     state: MiningState,
-    path: PathOrStr,
     mode: Optional[str] = None,
     threshold: int = 0,
     last_edges: Optional[frozenset] = None,
     stable_since: int = 0,
     journal_seq: Optional[int] = None,
-) -> None:
-    """Write ``state`` to ``path`` as a version-3 checkpoint, durably.
+) -> str:
+    """Serialize ``state`` as the canonical v3 checkpoint envelope.
+
+    This is the exact text :func:`save_state` writes — factored out so
+    callers that ship the envelope over a wire (the service's
+    ``GET /v1/{process}/state``) produce bytes identical to the CLI's
+    ``--state-out`` file for the same state.
 
     ``mode`` defaults to ``"cyclic"`` for labelled states and
     ``"general-dag"`` otherwise; an explicit mode must agree with the
@@ -726,10 +730,7 @@ def save_state(
     state covers, so recovery knows where journal replay starts.
 
     The envelope carries an ``integrity`` field (CRC32C + length over
-    the canonical body), verified by :func:`load_state`, and the file
-    goes through :func:`~repro.resilience.durable.durable_write`
-    (temp sibling, fsync, atomic replace, directory fsync) so a crash
-    mid-write never leaves a torn or unsynced checkpoint behind.
+    the canonical body), verified by :func:`load_state`.
     """
     if mode is None:
         mode = MODE_CYCLIC if state.labelled else MODE_GENERAL
@@ -759,8 +760,35 @@ def save_state(
         "crc32c": f"{crc32c(body):08x}",
         "length": len(body),
     }
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def save_state(
+    state: MiningState,
+    path: PathOrStr,
+    mode: Optional[str] = None,
+    threshold: int = 0,
+    last_edges: Optional[frozenset] = None,
+    stable_since: int = 0,
+    journal_seq: Optional[int] = None,
+) -> None:
+    """Write ``state`` to ``path`` as a version-3 checkpoint, durably.
+
+    The envelope text comes from :func:`state_envelope`; the file goes
+    through :func:`~repro.resilience.durable.durable_write` (temp
+    sibling, fsync, atomic replace, directory fsync) so a crash
+    mid-write never leaves a torn or unsynced checkpoint behind.
+    """
     durable_write(
-        Path(path), json.dumps(payload, separators=(",", ":"))
+        Path(path),
+        state_envelope(
+            state,
+            mode=mode,
+            threshold=threshold,
+            last_edges=last_edges,
+            stable_since=stable_since,
+            journal_seq=journal_seq,
+        ),
     )
 
 

@@ -33,6 +33,7 @@ from repro.logs.ingest import (
     IngestLimits,
     IngestReport,
     IngestResult,
+    IngestStream,
     Quarantine,
     QuarantinedItem,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "IngestLimits",
     "IngestReport",
     "IngestResult",
+    "IngestStream",
     "LogStatistics",
     "NoiseConfig",
     "NoiseInjector",

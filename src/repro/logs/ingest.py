@@ -493,53 +493,105 @@ def iter_ingest_lines(
         yield execution
 
 
-def _iter_ingest_core(
-    numbered_lines: Iterable[Tuple[int, str]],
-    parse_line: LineParser,
-    policy: str = POLICY_STRICT,
-    limits: Optional[IngestLimits] = None,
-    quarantine: Optional[Quarantine] = None,
-    report: Optional[IngestReport] = None,
-    window: Optional[int] = DEFAULT_STREAM_WINDOW,
-) -> Iterator[Execution]:
-    """The policy/window machinery behind :func:`iter_ingest_lines`."""
-    if policy not in POLICIES:
-        raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
-    if window is not None and window < 1:
-        raise ValueError("window must be >= 1 or None")
-    limits = limits if limits is not None else IngestLimits()
-    sink = quarantine if quarantine is not None else Quarantine()
-    report = report if report is not None else IngestReport()
-    report.policy = policy
+class IngestStream:
+    """Push-based ingest: the policy/window machinery as an object.
 
-    # ``grouped`` holds the open executions.  With a window it is kept
-    # in last-touched order (pop + reinsert on every record) so the
-    # least-recently-touched bucket is always first; ``touch`` maps each
-    # open eid to the accepted-record index that last extended it.
-    grouped: Dict[str, List[EventRecord]] = {}
-    touch: Dict[str, int] = {}
-    finalized: Set[str] = set()
-    activities: Set[str] = set()
-    record_index = 0
+    This is the same engine :func:`iter_ingest_lines` runs — one bucket
+    per open execution, recency-window finalization, policy dispatch,
+    resource guards — turned inside out so a *caller* can drive it one
+    line at a time.  The pull-based generators are thin drivers over
+    this class, which keeps batch, streaming-CLI and service ingest
+    identical by construction.
 
-    for line_number, raw_line in numbered_lines:
+    ``push`` accepts one raw line and returns the executions (usually
+    zero or one) whose windows it closed.  ``flush`` finalizes every
+    open bucket *mid-stream* — the service calls it so a quiescent
+    tenant's model converges without more traffic; flushed ids join the
+    late-record set, so stragglers are quarantined exactly like
+    window-expired ones.  ``close`` ends the stream with batch
+    end-of-log semantics (buckets close without joining the late set,
+    matching the generators' final loop).
+
+    Exceptions out of ``push`` under ``strict`` leave the stream usable:
+    guards raise before any mutation, and a malformed-execution error
+    surfaces after its bucket was already removed.
+    """
+
+    def __init__(
+        self,
+        parse_line: LineParser,
+        policy: str = POLICY_STRICT,
+        limits: Optional[IngestLimits] = None,
+        quarantine: Optional[Quarantine] = None,
+        report: Optional[IngestReport] = None,
+        window: Optional[int] = DEFAULT_STREAM_WINDOW,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"policy must be one of {POLICIES}, got {policy!r}"
+            )
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 or None")
+        self._parse_line = parse_line
+        self.policy = policy
+        self.limits = limits if limits is not None else IngestLimits()
+        self.quarantine = (
+            quarantine if quarantine is not None else Quarantine()
+        )
+        self.report = report if report is not None else IngestReport()
+        self.report.policy = policy
+        self.window = window
+        # ``_grouped`` holds the open executions.  With a window it is
+        # kept in last-touched order (pop + reinsert on every record) so
+        # the least-recently-touched bucket is always first; ``_touch``
+        # maps each open eid to the accepted-record index that last
+        # extended it.
+        self._grouped: Dict[str, List[EventRecord]] = {}
+        self._touch: Dict[str, int] = {}
+        self._finalized: Set[str] = set()
+        self._activities: Set[str] = set()
+        self._record_index = 0
+
+    @property
+    def open_executions(self) -> int:
+        """How many executions currently hold an open bucket."""
+        return len(self._grouped)
+
+    def _quarantine_line(
+        self,
+        reason: str,
+        detail: str,
+        line_number: int,
+        raw_line: str,
+        execution_id: Optional[str] = None,
+    ) -> None:
+        self.quarantine.add(
+            QuarantinedItem(
+                kind="line",
+                reason=reason,
+                detail=detail,
+                line_number=line_number,
+                execution_id=execution_id,
+                payload=raw_line.rstrip("\n"),
+            )
+        )
+        self.report.quarantined_lines += 1
+        self.report.reasons[reason] += 1
+
+    def push(self, line_number: int, raw_line: str) -> List[Execution]:
+        """Feed one raw line; return executions finalized by it."""
+        report = self.report
+        policy = self.policy
+        limits = self.limits
         try:
-            name, record = parse_line(raw_line, line_number)
+            name, record = self._parse_line(raw_line, line_number)
         except LogFormatError as exc:
             if policy == POLICY_STRICT:
                 raise
-            sink.add(
-                QuarantinedItem(
-                    kind="line",
-                    reason=REASON_BAD_LINE,
-                    detail=str(exc),
-                    line_number=line_number,
-                    payload=raw_line.rstrip("\n"),
-                )
+            self._quarantine_line(
+                REASON_BAD_LINE, str(exc), line_number, raw_line
             )
-            report.quarantined_lines += 1
-            report.reasons[REASON_BAD_LINE] += 1
-            continue
+            return []
         if report.process_name is None:
             report.process_name = name
         elif name != report.process_name:
@@ -549,23 +601,18 @@ def _iter_ingest_core(
                     f"and {name!r}",
                     line_number,
                 )
-            sink.add(
-                QuarantinedItem(
-                    kind="line",
-                    reason=REASON_MIXED_PROCESS,
-                    detail=(
-                        f"record of process {name!r} in a log of "
-                        f"{report.process_name!r}"
-                    ),
-                    line_number=line_number,
-                    payload=raw_line.rstrip("\n"),
-                )
+            self._quarantine_line(
+                REASON_MIXED_PROCESS,
+                (
+                    f"record of process {name!r} in a log of "
+                    f"{report.process_name!r}"
+                ),
+                line_number,
+                raw_line,
             )
-            report.quarantined_lines += 1
-            report.reasons[REASON_MIXED_PROCESS] += 1
-            continue
+            return []
         eid = record.execution_id
-        if eid in finalized:
+        if eid in self._finalized:
             if policy == POLICY_STRICT:
                 raise LogFormatError(
                     f"record for execution {eid!r} arrived after its "
@@ -573,27 +620,24 @@ def _iter_ingest_core(
                     f"or sort the log by execution",
                     line_number,
                 )
-            sink.add(
-                QuarantinedItem(
-                    kind="line",
-                    reason=REASON_LATE_RECORD,
-                    detail=(
-                        f"execution {eid!r} already finalized; record "
-                        f"arrived more than {window} records late"
-                    ),
-                    line_number=line_number,
-                    execution_id=eid,
-                    payload=raw_line.rstrip("\n"),
-                )
+            self._quarantine_line(
+                REASON_LATE_RECORD,
+                (
+                    f"execution {eid!r} already finalized; record "
+                    f"arrived more than {self.window} records late"
+                ),
+                line_number,
+                raw_line,
+                execution_id=eid,
             )
-            report.quarantined_lines += 1
-            report.reasons[REASON_LATE_RECORD] += 1
-            continue
+            return []
+        grouped = self._grouped
         bucket = grouped.get(eid)
         if bucket is None:
             if (
                 limits.max_executions is not None
-                and len(grouped) + len(finalized) >= limits.max_executions
+                and len(grouped) + len(self._finalized)
+                >= limits.max_executions
             ):
                 raise ResourceLimitError(
                     "max_executions",
@@ -601,7 +645,7 @@ def _iter_ingest_core(
                     f"execution {eid!r} at line {line_number}",
                 )
             bucket = grouped[eid] = []
-        elif window is not None:
+        elif self.window is not None:
             # Move to the recency end so the front stays oldest.
             grouped.pop(eid)
             grouped[eid] = bucket
@@ -614,44 +658,96 @@ def _iter_ingest_core(
                 limits.max_events_per_execution,
                 f"execution {eid!r} at line {line_number}",
             )
-        if record.activity not in activities:
+        if record.activity not in self._activities:
             if (
                 limits.max_activities is not None
-                and len(activities) >= limits.max_activities
+                and len(self._activities) >= limits.max_activities
             ):
                 raise ResourceLimitError(
                     "max_activities",
                     limits.max_activities,
                     f"activity {record.activity!r} at line {line_number}",
                 )
-            activities.add(record.activity)
+            self._activities.add(record.activity)
         bucket.append(record)
-        record_index += 1
-        touch[eid] = record_index
-        if window is None:
-            continue
+        self._record_index += 1
+        self._touch[eid] = self._record_index
+        if self.window is None:
+            return []
+        out: List[Execution] = []
         while grouped:
             oldest = next(iter(grouped))
-            if record_index - touch[oldest] < window:
+            if self._record_index - self._touch[oldest] < self.window:
                 break
             records = grouped.pop(oldest)
-            del touch[oldest]
-            finalized.add(oldest)
+            del self._touch[oldest]
+            self._finalized.add(oldest)
             execution = _finalize_execution(
-                oldest, records, policy, sink, report
+                oldest, records, policy, self.quarantine, report
             )
             if execution is not None:
-                yield execution
+                out.append(execution)
+        return out
 
-    # End of stream: close the remaining buckets in first-seen order
-    # (with a window, recency order equals first-seen order for the
-    # survivors only in contiguous logs; first-seen matches batch).
-    for eid in list(grouped):
-        execution = _finalize_execution(
-            eid, grouped.pop(eid), policy, sink, report
-        )
-        if execution is not None:
-            yield execution
+    def flush(self) -> List[Execution]:
+        """Finalize every open bucket now, keeping the stream live.
+
+        Flushed execution ids join the late-record set: a record for
+        one of them arriving later is quarantined (or raises under
+        ``strict``) exactly as if its window had expired.
+        """
+        out: List[Execution] = []
+        for eid in list(self._grouped):
+            records = self._grouped.pop(eid)
+            self._touch.pop(eid, None)
+            self._finalized.add(eid)
+            execution = _finalize_execution(
+                eid, records, self.policy, self.quarantine, self.report
+            )
+            if execution is not None:
+                out.append(execution)
+        return out
+
+    def close(self) -> List[Execution]:
+        """End of stream: close the remaining buckets in first-seen
+        order (with a window, recency order equals first-seen order for
+        the survivors only in contiguous logs; first-seen matches
+        batch)."""
+        out: List[Execution] = []
+        for eid in list(self._grouped):
+            execution = _finalize_execution(
+                eid,
+                self._grouped.pop(eid),
+                self.policy,
+                self.quarantine,
+                self.report,
+            )
+            if execution is not None:
+                out.append(execution)
+        return out
+
+
+def _iter_ingest_core(
+    numbered_lines: Iterable[Tuple[int, str]],
+    parse_line: LineParser,
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+    report: Optional[IngestReport] = None,
+    window: Optional[int] = DEFAULT_STREAM_WINDOW,
+) -> Iterator[Execution]:
+    """The pull-based driver over :class:`IngestStream`."""
+    stream = IngestStream(
+        parse_line,
+        policy=policy,
+        limits=limits,
+        quarantine=quarantine,
+        report=report,
+        window=window,
+    )
+    for line_number, raw_line in numbered_lines:
+        yield from stream.push(line_number, raw_line)
+    yield from stream.close()
 
 
 def ingest_lines(

@@ -195,6 +195,30 @@ DECLARED_METRICS: Tuple[MetricSpec, ...] = (
         "Chunks that exhausted their retry budget and were quarantined",
         "stage",
     ),
+    # Service daemon (repro-miner serve).
+    _counter(
+        "repro_service_requests_total",
+        "HTTP requests served, by endpoint and status code",
+        "endpoint",
+        "status",
+    ),
+    _counter(
+        "repro_service_events_total",
+        "Event lines accepted into tenant ingest queues",
+    ),
+    _counter(
+        "repro_service_backpressure_total",
+        "Ingest batches rejected with 429 (tenant queue full)",
+    ),
+    _counter(
+        "repro_service_ingest_errors_total",
+        "Queued batches that failed to fold, by error kind",
+        "kind",
+    ),
+    _counter(
+        "repro_service_snapshots_total",
+        "Model snapshot refreshes across all tenants",
+    ),
     # Durability: journal + checkpoints.
     _counter(
         "repro_journal_records_total",
@@ -235,6 +259,15 @@ DECLARED_METRICS: Tuple[MetricSpec, ...] = (
     _gauge(
         "repro_checkpoint_age_seconds",
         "Age of the loaded checkpoint at resume time",
+    ),
+    _gauge(
+        "repro_service_tenants",
+        "Live tenants held by the service registry",
+    ),
+    _gauge(
+        "repro_service_queue_depth",
+        "Queued ingest batches per tenant",
+        "process",
     ),
     _gauge(
         "repro_span_seconds",

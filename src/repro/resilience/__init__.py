@@ -37,6 +37,7 @@ from repro.resilience.journal import (
 _SESSION_EXPORTS = (
     "DEFAULT_CHECKPOINT_EVERY",
     "DurableSession",
+    "HandoffReceipt",
     "RecoveryReport",
 )
 
@@ -60,6 +61,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "HandoffReceipt",
     "InjectedIOError",
     "InjectedTear",
     "Journal",

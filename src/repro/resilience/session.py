@@ -87,6 +87,27 @@ class RecoveryReport:
         return "; ".join(parts)
 
 
+@dataclass(frozen=True)
+class HandoffReceipt:
+    """What :meth:`DurableSession.handoff` leaves for a successor.
+
+    ``covered_seq == checkpoint_seq`` after a clean handoff: every
+    folded execution is inside the final checkpoint, so a successor's
+    :meth:`DurableSession.recover` replays nothing and reports
+    ``covered`` equal to ``covered_seq``.
+    """
+
+    directory: Path
+    checkpoint_path: Path
+    covered_seq: int
+    checkpoint_seq: int
+
+    @property
+    def clean(self) -> bool:
+        """Whether the final checkpoint covers every folded execution."""
+        return self.covered_seq == self.checkpoint_seq
+
+
 class DurableSession:
     """Crash-safe accumulation of a streaming mine under ``directory``.
 
@@ -281,6 +302,26 @@ class DurableSession:
                 self.checkpoint()
         self.journal.close()
         return self._state
+
+    def handoff(self) -> "HandoffReceipt":
+        """Finalize and hand the session's directory to a successor.
+
+        The graceful-shutdown hook for long-lived owners (the service
+        daemon): same final checkpoint + journal close as
+        :meth:`finalize`, but what it returns is the contract a
+        *successor process* needs to verify it resumed the same state —
+        the checkpoint path and the covered journal sequence.  A new
+        :class:`DurableSession` over the same directory whose
+        :meth:`recover` reports ``covered`` equal to the receipt's
+        picked up exactly where this one stopped.
+        """
+        self.finalize()
+        return HandoffReceipt(
+            directory=self.directory,
+            checkpoint_path=self.checkpoint_path,
+            covered_seq=self._covered,
+            checkpoint_seq=self._checkpoint_seq,
+        )
 
     def __enter__(self) -> "DurableSession":
         return self

@@ -1,0 +1,226 @@
+"""A stdlib HTTP client for the service daemon.
+
+The test harness the CI service job (and the test suite) drives the
+daemon with: thin, synchronous, ``http.client`` only.  One fresh
+connection per request keeps the client free of keep-alive state — the
+daemon's keep-alive path is exercised by the socket tests instead.
+
+Helpers mirror the endpoint surface one-to-one and decode JSON bodies;
+the byte-sensitive calls (``model_text``, ``state_bytes``) return the
+raw payload untouched so parity assertions compare real wire bytes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, NamedTuple, Optional, Tuple
+from urllib.parse import quote
+
+from repro.logs.jsonl import record_to_json
+from repro.service import wire
+
+
+class ServiceUnavailable(ConnectionError):
+    """The daemon did not answer within the wait budget."""
+
+
+class ClientResponse(NamedTuple):
+    """One raw HTTP exchange result."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> dict:
+        return json.loads(self.body.decode("utf-8"))
+
+
+class ServiceClient:
+    """Synchronous client against one daemon instance."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        content_type: str = wire.MEDIA_JSON,
+    ) -> ClientResponse:
+        """One HTTP exchange; raises ``OSError`` on transport failure."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": content_type} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+            return ClientResponse(
+                status=response.status,
+                headers={
+                    name.lower(): value
+                    for name, value in response.getheaders()
+                },
+                body=payload,
+            )
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _process_path(process: str, leaf: str) -> str:
+        return f"/v1/{quote(process, safe='')}/{leaf}"
+
+    def wait_ready(self, budget: float = 10.0) -> dict:
+        """Poll ``/healthz`` until the daemon answers, or raise."""
+        deadline = time.monotonic() + budget
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                response = self.request("GET", "/healthz")
+            except OSError as exc:
+                last_error = exc
+                time.sleep(0.05)
+                continue
+            if response.status == 200:
+                return response.json()
+            time.sleep(0.05)
+        raise ServiceUnavailable(
+            f"daemon at {self.host}:{self.port} not ready within "
+            f"{budget}s (last error: {last_error})"
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> ClientResponse:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The Prometheus exposition text."""
+        response = self.request("GET", "/metrics")
+        if response.status != 200:
+            raise ServiceUnavailable(
+                f"/metrics answered {response.status}"
+            )
+        return response.body.decode("utf-8")
+
+    def tenants(self) -> dict:
+        return self.request("GET", "/v1/tenants").json()
+
+    def push_lines(
+        self, process: str, lines: List[str]
+    ) -> ClientResponse:
+        """POST raw JSONL event lines for ``process``."""
+        body = ("\n".join(lines) + "\n").encode("utf-8")
+        return self.request(
+            "POST",
+            self._process_path(process, "events"),
+            body=body,
+            content_type="application/x-ndjson",
+        )
+
+    def push_records(
+        self, process: str, records, chunk_size: int = 500
+    ) -> List[ClientResponse]:
+        """Serialize and push ``EventRecord``s in batches.
+
+        A 429 (backpressure) batch is retried after the advertised
+        ``Retry-After`` delay, which exercises the documented client
+        contract.
+        """
+        lines = [
+            record_to_json(record, process) for record in records
+        ]
+        responses = []
+        for start in range(0, len(lines), chunk_size):
+            chunk = lines[start : start + chunk_size]
+            response = self.push_lines(process, chunk)
+            while response.status == 429:
+                retry_after = float(
+                    response.headers.get("retry-after", "1")
+                )
+                time.sleep(min(retry_after, 2.0))
+                response = self.push_lines(process, chunk)
+            responses.append(response)
+        return responses
+
+    def push_log(
+        self, process: Optional[str], log, chunk_size: int = 500
+    ) -> Tuple[str, List[ClientResponse]]:
+        """Push a whole :class:`~repro.logs.event_log.EventLog`.
+
+        ``process`` defaults to the log's own process name.  Returns
+        the process id used and the per-batch responses.
+        """
+        name = process or log.process_name or "unnamed"
+        records = [
+            record
+            for execution in log
+            for record in execution.records
+        ]
+        return name, self.push_records(
+            name, records, chunk_size=chunk_size
+        )
+
+    def flush(self, process: str) -> dict:
+        response = self.request(
+            "POST", self._process_path(process, "flush")
+        )
+        if response.status != 200:
+            raise ServiceUnavailable(
+                f"flush answered {response.status}: "
+                f"{response.body.decode('utf-8', 'replace').strip()}"
+            )
+        return response.json()
+
+    def model_json(self, process: str) -> dict:
+        return self.request(
+            "GET", self._process_path(process, "model")
+        ).json()
+
+    def model_text(self, process: str, fmt: str = "edges") -> bytes:
+        """The model in a CLI-parity text format, as raw bytes."""
+        response = self.request(
+            "GET",
+            self._process_path(process, "model") + f"?format={fmt}",
+        )
+        if response.status != 200:
+            raise ServiceUnavailable(
+                f"model answered {response.status}"
+            )
+        return response.body
+
+    def state_bytes(self, process: str) -> bytes:
+        """The v3 state envelope, byte-identical to ``--state-out``."""
+        response = self.request(
+            "GET", self._process_path(process, "state")
+        )
+        if response.status != 200:
+            raise ServiceUnavailable(
+                f"state answered {response.status}"
+            )
+        return response.body
+
+    def lint(
+        self, process: str, config: Optional[dict] = None
+    ) -> dict:
+        body = (
+            json.dumps(config).encode("utf-8") if config else None
+        )
+        return self.request(
+            "POST", self._process_path(process, "lint"), body=body
+        ).json()

@@ -1,0 +1,78 @@
+"""URL routing for the service daemon.
+
+A deliberately tiny, declarative router: the route table below is the
+complete HTTP surface.  Paths are split on ``/`` and matched segment by
+segment; a ``None`` segment in a pattern captures the (percent-decoded)
+process id.  Resolution distinguishes *unknown path* (404) from *known
+path, wrong method* (405 with an ``Allow`` header), which is the
+difference a well-behaved client retries on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+from urllib.parse import unquote
+
+#: (method, segment pattern, handler name).  ``None`` captures the
+#: process id.  This tuple *is* the service's documented endpoint list.
+ROUTES: Tuple[Tuple[str, Tuple[Optional[str], ...], str], ...] = (
+    ("GET", ("healthz",), "healthz"),
+    ("GET", ("metrics",), "metrics"),
+    ("GET", ("v1", "tenants"), "tenants"),
+    ("POST", ("v1", None, "events"), "events"),
+    ("POST", ("v1", None, "flush"), "flush"),
+    ("POST", ("v1", None, "lint"), "lint"),
+    ("GET", ("v1", None, "model"), "model"),
+    ("GET", ("v1", None, "state"), "state"),
+)
+
+
+class RouteMatch(NamedTuple):
+    """A resolved route: the handler name and the captured process id."""
+
+    handler: str
+    process: Optional[str]
+
+
+class RouteError(Exception):
+    """Resolution failure carrying the HTTP status to answer with."""
+
+    def __init__(self, status: int, message: str, allow: str = "") -> None:
+        super().__init__(message)
+        self.status = status
+        self.allow = allow
+
+
+def split_path(path: str) -> List[str]:
+    """Split a request path into percent-decoded, non-empty segments."""
+    return [unquote(part) for part in path.split("/") if part]
+
+
+def resolve(method: str, path: str) -> RouteMatch:
+    """Resolve ``method path`` against :data:`ROUTES`.
+
+    Raises :class:`RouteError` with status 404 for a path no route
+    matches and 405 (with the allowed methods) for a known path
+    requested with the wrong method.
+    """
+    segments = split_path(path)
+    allowed: Dict[str, str] = {}
+    for route_method, pattern, handler in ROUTES:
+        if len(pattern) != len(segments):
+            continue
+        process: Optional[str] = None
+        for expected, actual in zip(pattern, segments):
+            if expected is None:
+                process = actual
+            elif expected != actual:
+                break
+        else:
+            if route_method == method:
+                return RouteMatch(handler=handler, process=process)
+            allowed[route_method] = handler
+    if allowed:
+        allow = ", ".join(sorted(allowed))
+        raise RouteError(
+            405, f"method {method} not allowed; use {allow}", allow=allow
+        )
+    raise RouteError(404, f"no route for {path}")

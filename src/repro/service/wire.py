@@ -1,0 +1,117 @@
+"""Wire codecs and renderers shared by the service and the CLI.
+
+The daemon's output contract is *the CLI's* output contract: a model
+fetched over HTTP must be byte-identical to what ``repro-miner mine``
+prints for the same log, and a state envelope fetched over HTTP must be
+byte-identical to the CLI's ``--state-out`` file.  The way to keep that
+true is to have exactly one renderer per artifact, used by both sides —
+this module holds them.
+
+JSON request/response documents live here too, so the server and the
+:class:`~repro.service.client.ServiceClient` agree on field names by
+importing the same constants instead of re-typing strings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.render import edge_list_text, to_ascii, to_dot
+
+#: Model formats ``GET /v1/{process}/model`` accepts via ``?format=``.
+FORMAT_JSON = "json"
+FORMAT_DOT = "dot"
+FORMAT_EDGES = "edges"
+FORMAT_ASCII = "ascii"
+MODEL_FORMATS = (FORMAT_JSON, FORMAT_DOT, FORMAT_EDGES, FORMAT_ASCII)
+
+#: Media types the endpoints speak.
+MEDIA_JSON = "application/json"
+MEDIA_TEXT = "text/plain; charset=utf-8"
+#: The Prometheus text exposition format version ``GET /metrics`` emits.
+MEDIA_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def render_graph_block(
+    graph: DiGraph,
+    fmt: str,
+    name: str,
+    algorithm: Optional[str] = None,
+) -> str:
+    """The mined-graph text block, exactly as the CLI prints it.
+
+    ``# activities`` / ``# edges`` header lines followed by the body in
+    ``fmt`` (``dot``, ``edges`` or ``ascii``).  With ``algorithm`` the
+    ``# algorithm:`` line is prepended — the full ``mine`` stdout.  The
+    CLI writes this same string, so an HTTP body built here is
+    byte-identical to the batch output for the same graph.
+    """
+    lines: List[str] = []
+    if algorithm is not None:
+        lines.append(f"# algorithm: {algorithm}")
+    lines.append(f"# activities: {graph.node_count}")
+    lines.append(f"# edges: {graph.edge_count}")
+    if fmt == FORMAT_DOT:
+        body = to_dot(graph, name=name)
+    elif fmt == FORMAT_EDGES:
+        body = edge_list_text(graph)
+    else:
+        body = to_ascii(graph)
+    lines.append(body)
+    return "\n".join(lines) + "\n"
+
+
+def model_document(
+    process: str,
+    algorithm: str,
+    graph: DiGraph,
+    executions: int,
+    variants: int,
+    snapshot_seq: int,
+    threshold: int,
+) -> dict:
+    """The JSON model document ``GET /v1/{process}/model`` returns."""
+    return {
+        "process": process,
+        "algorithm": algorithm,
+        "threshold": threshold,
+        "executions": executions,
+        "variants": variants,
+        "snapshot_seq": snapshot_seq,
+        "activities": sorted(str(node) for node in graph.nodes()),
+        "edges": sorted(
+            [str(source), str(target)]
+            for source, target in graph.edges()
+        ),
+    }
+
+
+def error_document(message: str, **extra: object) -> dict:
+    """The uniform error body every non-2xx JSON response carries."""
+    document: Dict[str, object] = {"error": message}
+    document.update(extra)
+    return document
+
+
+def dump_json(document: object) -> bytes:
+    """Canonical JSON response bytes (sorted keys, trailing newline)."""
+    return (
+        json.dumps(document, sort_keys=True, separators=(", ", ": "))
+        + "\n"
+    ).encode("utf-8")
+
+
+def split_event_lines(body: bytes) -> List[str]:
+    """Split a ``POST .../events`` body into JSONL event lines.
+
+    One JSON object per line; blank lines are ignored so a trailing
+    newline or a single-object body both work.  The tenant numbers the
+    lines against its own monotonic counter, so late-record
+    diagnostics refer to the tenant's whole stream, not one request.
+    Raises :class:`UnicodeDecodeError` on non-UTF-8 input (the server
+    maps it to a 400).
+    """
+    text = body.decode("utf-8")
+    return [line for line in text.split("\n") if line.strip()]

@@ -163,3 +163,73 @@ class TestLintMetrics:
         capsys.readouterr()
         for line in out.read_text().splitlines():
             json.loads(line)
+
+
+class TestMetricsOutFailFast:
+    """An unwritable ``--metrics-out`` fails *before* any mining work.
+
+    The failure mode this guards: a long mine that completes and only
+    then discovers the manifest cannot be written.  The CLI now probes
+    the path up front and exits 2 (usage error) immediately.
+    """
+
+    def run_mine(self, capsys, metrics_out):
+        code = main(
+            ["mine", EXAMPLE_LOG, "--metrics-out", str(metrics_out)]
+        )
+        return code, capsys.readouterr()
+
+    def test_missing_parent_directory_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "no" / "such" / "dir" / "run.jsonl"
+        code, captured = self.run_mine(capsys, target)
+        assert code == 2
+        assert "--metrics-out" in captured.err
+        assert captured.out == ""
+
+    def test_directory_target_exits_2(self, tmp_path, capsys):
+        code, captured = self.run_mine(capsys, tmp_path)
+        assert code == 2
+        assert "--metrics-out" in captured.err
+
+    def test_parent_is_a_file_exits_2(self, tmp_path, capsys):
+        parent = tmp_path / "occupied"
+        parent.write_text("not a directory\n")
+        code, captured = self.run_mine(capsys, parent / "run.jsonl")
+        assert code == 2
+        assert "--metrics-out" in captured.err
+
+    def test_unwritable_parent_exits_2(self, tmp_path, capsys):
+        import os
+
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory write bits")
+        locked = tmp_path / "locked"
+        locked.mkdir()
+        locked.chmod(0o555)
+        try:
+            code, captured = self.run_mine(
+                capsys, locked / "run.jsonl"
+            )
+        finally:
+            locked.chmod(0o755)
+        assert code == 2
+        assert "--metrics-out" in captured.err
+
+    def test_writable_path_still_mines(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        code, captured = self.run_mine(capsys, out)
+        assert code == 0
+        assert out.exists()
+
+    def test_serve_validates_metrics_out_too(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                str(tmp_path / "data"),
+                "--metrics-out",
+                str(tmp_path / "missing" / "m.jsonl"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--metrics-out" in captured.err

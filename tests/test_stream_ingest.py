@@ -23,6 +23,7 @@ from repro.logs.codec import (
 from repro.logs.execution import Execution
 from repro.logs.ingest import (
     POLICY_SKIP,
+    POLICY_STRICT,
     REASON_LATE_RECORD,
     IngestLimits,
     IngestReport,
@@ -234,3 +235,70 @@ class TestReaderParity:
         assert [e.execution_id for e in streamed] == [
             e.execution_id for e in log
         ]
+
+
+class TestIngestStreamPush:
+    """The push-based :class:`IngestStream` the iterators (and the
+    service daemon) drive: ``push`` finalizes by window advance,
+    ``flush`` finalizes mid-stream (and arms late-record detection for
+    the flushed ids), ``close`` keeps batch end-of-log semantics.
+    """
+
+    def make(self, **kwargs):
+        from repro.logs.codec import parse_record
+        from repro.logs.ingest import IngestStream
+
+        kwargs.setdefault("report", IngestReport(policy=POLICY_SKIP))
+        kwargs.setdefault("policy", POLICY_SKIP)
+        return IngestStream(parse_record, **kwargs)
+
+    def push_text(self, stream, text, start=1):
+        finalized = []
+        for offset, line in enumerate(text.splitlines()):
+            finalized.extend(stream.push(start + offset, line))
+        return finalized
+
+    def test_push_close_matches_iterator(self):
+        text = log_text(SEQUENCES, interleave=True)
+        pushed = self.make(window=4)
+        finalized = self.push_text(pushed, text)
+        finalized.extend(pushed.close())
+        iterated = stream(io.StringIO(text).getvalue(), window=4)
+        assert [e.execution_id for e in finalized] == [
+            e.execution_id for e in iterated
+        ]
+
+    def test_flush_finalizes_open_buckets(self):
+        pushed = self.make(window=8)
+        self.push_text(pushed, log_text(SEQUENCES))
+        assert pushed.open_executions == 1
+        flushed = pushed.flush()
+        assert [e.execution_id for e in flushed] == ["e002"]
+        assert pushed.open_executions == 0
+        assert pushed.close() == []
+
+    def test_record_after_flush_is_late(self):
+        lines = log_text(["ABC"]).splitlines()
+        pushed = self.make(window=8)
+        for number, line in enumerate(lines[:-1], start=1):
+            pushed.push(number, line)
+        pushed.flush()
+        assert pushed.push(len(lines), lines[-1]) == []
+        assert pushed.report.reasons[REASON_LATE_RECORD] == 1
+
+    def test_close_does_not_arm_late_record(self):
+        """Batch semantics: ids seen before ``close`` may not recur,
+        but ``close`` itself does not quarantine anything new."""
+        pushed = self.make(window=8)
+        self.push_text(pushed, log_text(SEQUENCES))
+        closed = pushed.close()
+        assert [e.execution_id for e in closed] == ["e002"]
+        assert pushed.report.quarantined_lines == 0
+
+    def test_strict_policy_raises_on_bad_line(self):
+        pushed = self.make(
+            policy=POLICY_STRICT,
+            report=IngestReport(policy=POLICY_STRICT),
+        )
+        with pytest.raises(LogFormatError):
+            pushed.push(1, "definitely not a log line")
