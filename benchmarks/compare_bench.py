@@ -23,6 +23,14 @@ Two families of checks:
     tolerance.  A uniformly slower CI runner then cancels out, while a
     single cell that regressed relative to its peers still trips.
 
+Ingest cells (``kind: "ingest"``) additionally carry an absolute
+records/sec floor (``--min-ingest-rps``): the fast path's measured
+``records_per_second`` must stay above it.  The floor is deliberately
+far below what any healthy run measures — it is a machine-independent
+tripwire for the fast path silently degenerating to per-record work
+(e.g. a disabled memo or a broken batch scanner), not a timing gate;
+relative regressions are still caught by the wall-time check.
+
 Cells present in only one report are listed but do not fail the gate
 (the full baseline supersets the quick grid by design).
 
@@ -44,6 +52,11 @@ from typing import Dict, List, Optional
 
 DEFAULT_TOLERANCE = 0.15
 DEFAULT_MIN_MS = 20.0
+#: Absolute fast-path throughput floor for ``kind: "ingest"`` cells
+#: (records/sec).  Healthy runs measure well over 100k rec/s even on
+#: slow CI runners; dipping under the floor means the batched path
+#: lost its asymptotic advantage, not that the machine is busy.
+DEFAULT_MIN_INGEST_RPS = 25_000.0
 
 #: Per-kind multipliers on the timing tolerance.  Micro cells time a
 #: few hundred microseconds of pure-Python loop and jitter far more
@@ -98,6 +111,7 @@ def compare(
     tolerance: float = DEFAULT_TOLERANCE,
     min_ms: float = DEFAULT_MIN_MS,
     calibrate: bool = False,
+    min_ingest_rps: float = DEFAULT_MIN_INGEST_RPS,
 ) -> CompareResult:
     """Diff two ``perf_harness`` reports. Pure function, no I/O."""
     base_cells = _index(baseline)
@@ -139,6 +153,19 @@ def compare(
                     f"{key}: baseline {base.get(key)!r} != "
                     f"current {cur.get(key)!r}"
                 )
+        if base.get("kind") == "ingest":
+            rps = cur.get("records_per_second")
+            if rps is None:
+                result.failures.append(
+                    "ingest cell is missing records_per_second"
+                )
+            elif rps < min_ingest_rps:
+                result.failures.append(
+                    f"ingest throughput {rps:,.0f} rec/s under the "
+                    f"{min_ingest_rps:,.0f} rec/s floor"
+                )
+            else:
+                result.notes.append(f"{rps:,.0f} rec/s")
         cell_tolerance = tolerance * KIND_TOLERANCE_SCALE.get(
             base.get("kind"), 1.0
         )
@@ -172,11 +199,15 @@ def render(result: CompareResult) -> str:
     for cell in result.cells:
         ratio = f"{cell.ratio:.2f}x" if cell.ratio is not None else "n/a"
         status = "ok" if cell.ok else "FAIL"
-        if cell.ok and cell.notes:
+        if cell.ok and any("timing skipped" in note for note in cell.notes):
             status = "ok (floor)"
+        detail = next(
+            (note for note in cell.notes if "rec/s" in note), None
+        )
         lines.append(
             f"{cell.cell:<24} {cell.baseline_ms:>8.1f}ms "
             f"{cell.adjusted_ms:>8.1f}ms {ratio:>7}  {status}"
+            + (f"  ({detail})" if detail else "")
         )
         for failure in cell.failures:
             lines.append(f"    ! {failure}")
@@ -217,6 +248,13 @@ def main(argv=None) -> int:
         "wall-time floor in ms (default 20)",
     )
     parser.add_argument(
+        "--min-ingest-rps",
+        type=float,
+        default=DEFAULT_MIN_INGEST_RPS,
+        help="absolute fast-path throughput floor for ingest cells "
+        "in records/sec (default 25000)",
+    )
+    parser.add_argument(
         "--calibrate",
         action="store_true",
         help="normalise by the median current/baseline ratio to absorb "
@@ -232,6 +270,7 @@ def main(argv=None) -> int:
         tolerance=args.tolerance,
         min_ms=args.min_ms,
         calibrate=args.calibrate,
+        min_ingest_rps=args.min_ingest_rps,
     )
     print(render(result))
     if not result.cells:

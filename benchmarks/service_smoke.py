@@ -9,7 +9,11 @@ contract:
 2. ``GET /v1/{p}/state`` is byte-identical to the ``mine --stream
    --state-out`` envelope;
 3. ``GET /metrics`` parses as Prometheus text exposition;
-4. SIGTERM exits 0 after checkpointing every tenant, and a restarted
+4. a synthetic throughput probe (POST batches -> flush) sustains at
+   least :data:`MIN_SERVICE_RPS` end-to-end records/sec — a tripwire
+   for the batched off-loop ingest path silently degenerating, set far
+   below healthy measurements so CI jitter cannot trip it;
+5. SIGTERM exits 0 after checkpointing every tenant, and a restarted
    daemon serves the exact same model/state bytes.
 
 The work directory (journal + checkpoints + dead-letter files) is left
@@ -31,12 +35,25 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.datasets.synthetic import (  # noqa: E402
+    SyntheticConfig,
+    synthetic_dataset,
+)
 from repro.logs.codec import read_log_file  # noqa: E402
+from repro.logs.jsonl import record_to_json  # noqa: E402
 from repro.obs import parse_prometheus  # noqa: E402
 from repro.service.client import ServiceClient  # noqa: E402
 
 EXAMPLE_LOG = REPO / "examples" / "logs" / "upload_and_notify.log"
 ENV = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+
+#: End-to-end service ingest floor (records/sec, push through flush).
+#: Healthy runs measure an order of magnitude above this even on slow
+#: runners; the floor only trips when batching stops paying off.
+MIN_SERVICE_RPS = 2_000.0
+THROUGHPUT_VERTICES = 50
+THROUGHPUT_EXECUTIONS = 500
+THROUGHPUT_BATCH_LINES = 1_000
 
 
 def start_daemon(data_dir: Path, port_file: Path) -> subprocess.Popen:
@@ -105,6 +122,52 @@ def batch_reference(work: Path) -> "tuple[bytes, bytes]":
     return mined.stdout, state_out.read_bytes()
 
 
+def throughput_probe(client: ServiceClient) -> float:
+    """Push a synthetic log and measure folded records/sec end-to-end.
+
+    Times the whole client-visible pipeline — HTTP POST batches, queue
+    handoff, the off-loop decode/fold, and the final flush — against a
+    dedicated tenant so the parity tenant's state stays untouched.
+    """
+    process = "smoke-throughput"
+    log = synthetic_dataset(
+        SyntheticConfig(
+            n_vertices=THROUGHPUT_VERTICES,
+            n_executions=THROUGHPUT_EXECUTIONS,
+            seed=THROUGHPUT_VERTICES,
+        )
+    ).log
+    lines = [
+        record_to_json(record, process)
+        for execution in log
+        for record in execution.records
+    ]
+    started = time.perf_counter()
+    for start in range(0, len(lines), THROUGHPUT_BATCH_LINES):
+        batch = lines[start : start + THROUGHPUT_BATCH_LINES]
+        response = client.push_lines(process, batch)
+        while response.status == 429:
+            retry_after = float(
+                response.headers.get("retry-after", "1")
+            )
+            time.sleep(min(retry_after, 2.0))
+            response = client.push_lines(process, batch)
+        assert response.status == 202, (response.status, response.body)
+    stats = client.flush(process)
+    elapsed = time.perf_counter() - started
+    assert stats["executions"] == len(log), stats
+    rps = len(lines) / elapsed if elapsed else float("inf")
+    print(
+        f"smoke: service ingest {rps:,.0f} records/s "
+        f"({len(lines)} records in {elapsed * 1000:.0f} ms)"
+    )
+    assert rps >= MIN_SERVICE_RPS, (
+        f"service throughput {rps:,.0f} rec/s under the "
+        f"{MIN_SERVICE_RPS:,.0f} rec/s floor"
+    )
+    return rps
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -138,6 +201,7 @@ def main() -> int:
         assert "repro_service_requests_total" in names, sorted(names)
         assert "repro_service_events_total" in names, sorted(names)
         print(f"smoke: /metrics parses ({len(samples)} samples)")
+        throughput_probe(client)
     finally:
         if daemon.poll() is None:
             stderr = stop_daemon(daemon)

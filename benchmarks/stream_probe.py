@@ -98,10 +98,18 @@ def generate_log(
 
 
 def probe(path: str, mode: str, jobs: int = 1, limit_mb: int = 0) -> dict:
-    """Mine ``path`` in one mode; return the measurement record."""
+    """Mine ``path`` in one mode; return the measurement record.
+
+    ``stage_seconds`` splits the wall time into ``ingest`` (reading,
+    parsing, window finalization, and — streamed — variant folding) and
+    ``mine`` (the graph algorithm), so a flat materialized/stream
+    speedup is attributable: if both modes sink their time into
+    ``ingest``, the bottleneck is decode throughput, not mining.
+    """
     if limit_mb:
         cap = limit_mb * 1024 * 1024
         resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+    stages = {}
     started = time.perf_counter()
     if mode == "materialized":
         from repro.core.general_dag import mine_general_dag
@@ -114,20 +122,30 @@ def probe(path: str, mode: str, jobs: int = 1, limit_mb: int = 0) -> dict:
             else ingest_log_file
         )
         log = reader(path).log
+        stages["ingest"] = round(time.perf_counter() - started, 6)
+        mark = time.perf_counter()
         graph = mine_general_dag(log, jobs=jobs)
+        stages["mine"] = round(time.perf_counter() - mark, 6)
         executions = len(log)
     elif mode == "stream":
-        from repro.core.state import fold_executions
-        from repro.logs.codec import iter_ingest_log_file
-        from repro.logs.jsonl import iter_ingest_log_jsonl_file
+        if path.endswith(".jsonl"):
+            # The batched fast fold (block scan + signature memo) is
+            # the production out-of-core path for JSON lines; the tab
+            # codec still streams record by record.
+            from repro.logs.jsonl import fold_log_jsonl_file
 
-        reader = (
-            iter_ingest_log_jsonl_file
-            if path.endswith(".jsonl")
-            else iter_ingest_log_file
-        )
-        state = fold_executions(reader(path), jobs=jobs)
+            state = fold_log_jsonl_file(path)
+        else:
+            from repro.core.state import fold_executions
+            from repro.logs.codec import iter_ingest_log_file
+
+            state = fold_executions(
+                iter_ingest_log_file(path), jobs=jobs
+            )
+        stages["ingest"] = round(time.perf_counter() - started, 6)
+        mark = time.perf_counter()
         graph = state.finish(jobs=jobs)
+        stages["mine"] = round(time.perf_counter() - mark, 6)
         executions = state.execution_count
     else:
         raise ValueError(f"unknown mode {mode!r}")
@@ -135,6 +153,7 @@ def probe(path: str, mode: str, jobs: int = 1, limit_mb: int = 0) -> dict:
     return {
         "mode": mode,
         "seconds": round(seconds, 6),
+        "stage_seconds": stages,
         "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "nodes": graph.node_count,
         "edges": graph.edge_count,

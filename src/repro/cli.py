@@ -56,7 +56,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.diffing import diff_against_log
 from repro.core.kernels import KERNEL_NAMES
@@ -778,8 +778,14 @@ def _require_writable_metrics_out(
 
 
 def _metrics_recorder(args: argparse.Namespace):
-    """The run's recorder: real when ``--metrics-out`` was given."""
-    if getattr(args, "metrics_out", None):
+    """The run's recorder: real when ``--metrics-out`` was given.
+
+    ``--profile`` also records: the stage sub-span breakdown (e.g.
+    prepare's parse/intern/pairs) only exists as recorder spans.
+    """
+    if getattr(args, "metrics_out", None) or getattr(
+        args, "profile", False
+    ):
         return ObsRecorder()
     return NULL_RECORDER
 
@@ -792,7 +798,9 @@ def _write_metrics(
     config: dict,
 ) -> None:
     """Snapshot ``recorder`` into a manifest file (``--metrics-out``)."""
-    if not recorder.enabled:
+    # The recorder may be live for --profile alone; only write a file
+    # when one was asked for.
+    if not recorder.enabled or not getattr(args, "metrics_out", None):
         return
     manifest = RunManifest.collect(
         recorder,
@@ -1305,8 +1313,22 @@ def _print_profile(trace) -> None:
             f"  kernel: {trace.kernel}  jobs: {trace.jobs}",
             file=sys.stderr,
         )
+    # Sub-spans (e.g. prepare's parse/intern/pairs split) live on the
+    # recorder, keyed under the parent stage's mine/<stage>/ prefix.
+    sub_spans: Dict[str, List[Tuple[str, float]]] = {}
+    for span in getattr(trace.recorder, "spans", ()):
+        parts = span.name.split("/")
+        if len(parts) == 3 and parts[0] == "mine":
+            sub_spans.setdefault(parts[1], []).append(
+                (parts[2], span.wall_seconds)
+            )
     for stage, seconds in trace.timings.items():
         print(f"  {stage}: {seconds * 1000:.1f} ms", file=sys.stderr)
+        for name, wall in sub_spans.get(stage, ()):
+            print(
+                f"    {stage}/{name}: {wall * 1000:.1f} ms",
+                file=sys.stderr,
+            )
 
 
 def _verify_mined(

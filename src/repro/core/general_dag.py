@@ -492,49 +492,55 @@ def prepare_packed_log(
     summing to ``len(executions)``.
     """
     jobs = resolve_jobs(jobs)
-    keys = [execution.variant_key() for execution in executions]
-    multiplicities = Counter(keys)
-    seen: Set[Tuple] = set()
-    representatives: List[Execution] = []
-    representative_keys: List[Tuple] = []
-    for key, execution in zip(keys, executions, strict=True):
-        if key not in seen:
-            seen.add(key)
-            representatives.append(execution)
-            representative_keys.append(key)
+    # Sub-spans let --profile show where prepare time goes: variant
+    # dedup ("parse"), label interning ("intern"), pair extraction
+    # ("pairs").  They nest inside the caller's mine/prepare span.
+    with recorder.span("mine/prepare/parse"):
+        keys = [execution.variant_key() for execution in executions]
+        multiplicities = Counter(keys)
+        seen: Set[Tuple] = set()
+        representatives: List[Execution] = []
+        representative_keys: List[Tuple] = []
+        for key, execution in zip(keys, executions, strict=True):
+            if key not in seen:
+                seen.add(key)
+                representatives.append(execution)
+                representative_keys.append(key)
 
-    labels: Set[Vertex] = set()
-    if labelled:
-        for execution in representatives:
-            labels.update(execution.labelled_sequence())
-    else:
-        for execution in representatives:
-            labels.update(execution.activities)
-    table = InternTable(labels)
-    size = max(len(table), 1)
+    with recorder.span("mine/prepare/intern"):
+        labels: Set[Vertex] = set()
+        if labelled:
+            for execution in representatives:
+                labels.update(execution.labelled_sequence())
+        else:
+            for execution in representatives:
+                labels.update(execution.activities)
+        table = InternTable(labels)
+        size = max(len(table), 1)
 
-    chunked = [
-        (table.index, size, labelled, chunk)
-        for chunk in split_chunks(representatives, jobs * 4)
-    ]
-    packed_sets: List[
-        Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]
-    ] = []
-    for result in process_map_timed(
-        _pack_chunk, chunked, jobs, recorder=recorder, stage="prepare"
-    ):
-        packed_sets.extend(result)
-    variants = [
-        PackedVariant(
-            vertices=vertices,
-            pairs=pairs,
-            overlaps=overlaps,
-            multiplicity=multiplicities[key],
-        )
-        for (vertices, pairs, overlaps), key in zip(
-            packed_sets, representative_keys, strict=True
-        )
-    ]
+    with recorder.span("mine/prepare/pairs"):
+        chunked = [
+            (table.index, size, labelled, chunk)
+            for chunk in split_chunks(representatives, jobs * 4)
+        ]
+        packed_sets: List[
+            Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]
+        ] = []
+        for result in process_map_timed(
+            _pack_chunk, chunked, jobs, recorder=recorder, stage="prepare"
+        ):
+            packed_sets.extend(result)
+        variants = [
+            PackedVariant(
+                vertices=vertices,
+                pairs=pairs,
+                overlaps=overlaps,
+                multiplicity=multiplicities[key],
+            )
+            for (vertices, pairs, overlaps), key in zip(
+                packed_sets, representative_keys, strict=True
+            )
+        ]
     return table, variants
 
 
@@ -1132,74 +1138,78 @@ def _mine_rows(
     actually inspected.
     """
     with trace.stage("prepare"):
-        keys = [execution.variant_key() for execution in executions]
-        multiplicities = Counter(keys)
-        seen: Set[Tuple] = set()
-        representatives: List[Execution] = []
-        representative_keys: List[Tuple] = []
-        for key, execution in zip(keys, executions, strict=True):
-            if key not in seen:
-                seen.add(key)
-                representatives.append(execution)
-                representative_keys.append(key)
-        label_set: Set[Vertex] = set()
-        for execution in representatives:
-            label_set.update(execution.activities)
-        table = InternTable(label_set)
-        n = max(len(table), 1)
-        index = table.index
+        recorder = trace.recorder
+        with recorder.span("mine/prepare/parse"):
+            keys = [execution.variant_key() for execution in executions]
+            multiplicities = Counter(keys)
+            seen: Set[Tuple] = set()
+            representatives: List[Execution] = []
+            representative_keys: List[Tuple] = []
+            for key, execution in zip(keys, executions, strict=True):
+                if key not in seen:
+                    seen.add(key)
+                    representatives.append(execution)
+                    representative_keys.append(key)
+        with recorder.span("mine/prepare/intern"):
+            label_set: Set[Vertex] = set()
+            for execution in representatives:
+                label_set.update(execution.activities)
+            table = InternTable(label_set)
+            n = max(len(table), 1)
+            index = table.index
         # (ids, multiplicity) per sequential no-repeat variant;
         # everything else packs into classic PackedVariants.
         mask_variants: List[Tuple[List[int], int]] = []
         fallback: List[PackedVariant] = []
-        for execution, key in zip(
-            representatives, representative_keys, strict=True
-        ):
-            ids = [index[label] for label in execution.sequence]
-            count = multiplicities[key]
-            if execution.is_sequential():
-                if len(ids) == len(frozenset(ids)):
-                    mask_variants.append((ids, count))
-                    continue
-                # Sequential with repeats: suffix-set extraction minus
-                # the same-label pairs, exactly like _pack_chunk.
-                pair_codes: Set[int] = set()
-                later: Set[int] = set()
-                for vertex_id in reversed(ids):
-                    if later:
-                        base = vertex_id * n
-                        pair_codes.update(
-                            base + other for other in later
+        with recorder.span("mine/prepare/pairs"):
+            for execution, key in zip(
+                representatives, representative_keys, strict=True
+            ):
+                ids = [index[label] for label in execution.sequence]
+                count = multiplicities[key]
+                if execution.is_sequential():
+                    if len(ids) == len(frozenset(ids)):
+                        mask_variants.append((ids, count))
+                        continue
+                    # Sequential with repeats: suffix-set extraction
+                    # minus the same-label pairs, like _pack_chunk.
+                    pair_codes: Set[int] = set()
+                    later: Set[int] = set()
+                    for vertex_id in reversed(ids):
+                        if later:
+                            base = vertex_id * n
+                            pair_codes.update(
+                                base + other for other in later
+                            )
+                        later.add(vertex_id)
+                    pair_codes.difference_update(
+                        vertex_id * n + vertex_id for vertex_id in later
+                    )
+                    fallback.append(
+                        PackedVariant(
+                            vertices=frozenset(ids),
+                            pairs=frozenset(pair_codes),
+                            overlaps=frozenset(),
+                            multiplicity=count,
                         )
-                    later.add(vertex_id)
-                pair_codes.difference_update(
-                    vertex_id * n + vertex_id for vertex_id in later
-                )
-                fallback.append(
-                    PackedVariant(
-                        vertices=frozenset(ids),
-                        pairs=frozenset(pair_codes),
-                        overlaps=frozenset(),
-                        multiplicity=count,
                     )
-                )
-            else:
-                ordered = execution.ordered_pair_set()
-                overlapping = execution.overlapping_pair_set()
-                fallback.append(
-                    PackedVariant(
-                        vertices=frozenset(ids),
-                        pairs=frozenset(
-                            index[u] * n + index[v]
-                            for u, v in ordered
-                        ),
-                        overlaps=frozenset(
-                            index[u] * n + index[v]
-                            for u, v in overlapping
-                        ),
-                        multiplicity=count,
+                else:
+                    ordered = execution.ordered_pair_set()
+                    overlapping = execution.overlapping_pair_set()
+                    fallback.append(
+                        PackedVariant(
+                            vertices=frozenset(ids),
+                            pairs=frozenset(
+                                index[u] * n + index[v]
+                                for u, v in ordered
+                            ),
+                            overlaps=frozenset(
+                                index[u] * n + index[v]
+                                for u, v in overlapping
+                            ),
+                            multiplicity=count,
+                        )
                     )
-                )
     trace.execution_count = len(executions)
     trace.variant_count = len(representatives)
     trace.jobs = 1

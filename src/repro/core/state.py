@@ -42,7 +42,19 @@ from __future__ import annotations
 
 import json
 import pickle
-from collections import Counter
+from collections import Counter, OrderedDict
+from itertools import combinations
+
+try:
+    # CPython's C helper behind Counter.update — the same loop minus
+    # Counter.update's per-call Mapping isinstance dispatch, which is
+    # measurable in the per-execution fold.
+    from collections import _count_elements
+except ImportError:  # pragma: no cover - non-CPython fallback
+    def _count_elements(mapping, iterable):
+        get = mapping.get
+        for element in iterable:
+            mapping[element] = get(element, 0) + 1
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -99,6 +111,15 @@ CHECKPOINT_FORMAT = "repro-incremental-checkpoint"
 #: three.
 CHECKPOINT_VERSION = 3
 
+#: Default bound of the prepared-variant memo in :class:`MiningState`:
+#: interned id tuple of a *sequential* trace -> packed variant triple,
+#: LRU-evicted.  Unlike the instance-level trace cache (keyed on raw
+#: timestamps), the memo keys on activity order alone, so it also hits
+#: when repeated variants carry fresh timestamps — the common shape of
+#: real ingest.  Entries are small (a tuple of ints plus three shared
+#: frozensets), so the default bound costs a few MiB at worst.
+DEFAULT_VARIANT_MEMO = 65536
+
 
 def _vertex_to_json(vertex: Vertex) -> object:
     # Vertices are activity names (str) in general mode and labelled
@@ -139,6 +160,12 @@ class MiningState:
         Algorithm 3 (vertices are ``(activity, occurrence)`` tuples) —
         :meth:`finish` then produces the instance graph, to be merged
         with :func:`~repro.core.cyclic.merge_instances`.
+    memo_size:
+        Bound of the prepared-variant memo (see
+        :data:`DEFAULT_VARIANT_MEMO`); ``0`` disables it, restoring the
+        pre-memo :meth:`update` byte for byte.  The memo is a pure
+        accelerator: folded counts, merges and serializations are
+        identical for every setting.
 
     Examples
     --------
@@ -152,7 +179,13 @@ class MiningState:
     [('A', 'B'), ('A', 'C')]
     """
 
-    def __init__(self, labelled: bool = False) -> None:
+    def __init__(
+        self,
+        labelled: bool = False,
+        memo_size: int = DEFAULT_VARIANT_MEMO,
+    ) -> None:
+        if memo_size < 0:
+            raise ValueError(f"bad memo size {memo_size!r}")
         self.labelled = bool(labelled)
         # Growable intern table: first-seen label order; codes are
         # packed ``u * _cap + v`` and repacked when the table outgrows
@@ -171,6 +204,20 @@ class MiningState:
         # repeated trace skips the quadratic pair extraction.  Never
         # serialized and cleared before a worker ships its state.
         self._trace_cache: Dict[Tuple, VariantKey] = {}
+        # Prepared-variant memo: interned id tuple of a *sequential*
+        # trace -> packed triple.  A sequential trace's pair set is
+        # fully determined by its id sequence (suffix-set trick in
+        # _pack_execution), so the memo may hit across executions whose
+        # timestamps — and hence variant keys — differ.  Non-sequential
+        # traces always take the slow path: their pair sets depend on
+        # the actual intervals.  Bounded LRU; like the trace cache it
+        # is never serialized and dropped before IPC.
+        self._prepared_memo: "OrderedDict[Tuple[int, ...], VariantKey]"
+        self._prepared_memo = OrderedDict()
+        self._memo_size = int(memo_size)
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_evictions = 0
         # Step-5 reduction memo reused across finish() calls while the
         # label set is unchanged (a DAG's transitive reduction depends
         # only on the induced edge set).
@@ -272,6 +319,14 @@ class MiningState:
                 for key, (vertices, pairs, overlaps)
                 in self._trace_cache.items()
             }
+            # Memo keys are vertex-id tuples (stable across repacks);
+            # only the packed codes inside the values need remapping.
+            # The comprehension preserves LRU order.
+            self._prepared_memo = OrderedDict(
+                (ids, (vertices, remap(pairs), remap(overlaps)))
+                for ids, (vertices, pairs, overlaps)
+                in self._prepared_memo.items()
+            )
             self._pair_counts = Counter(
                 {
                     (code // old) * new_cap + (code % old): count
@@ -292,9 +347,10 @@ class MiningState:
         vertices, pairs, overlaps = variant
         self._variants[variant] = self._variants.get(variant, 0) + count
         if count == 1:
-            self._presence.update(vertices)
-            self._pair_counts.update(pairs)
-            self._overlap_counts.update(overlaps)
+            _count_elements(self._presence, vertices)
+            _count_elements(self._pair_counts, pairs)
+            if overlaps:
+                _count_elements(self._overlap_counts, overlaps)
         else:
             self._presence.update(dict.fromkeys(vertices, count))
             self._pair_counts.update(dict.fromkeys(pairs, count))
@@ -320,6 +376,18 @@ class MiningState:
         cap = self._cap
         vertices = frozenset(ids)
         if execution.is_sequential():
+            if len(vertices) == len(ids):
+                # No repeated activity (the overwhelming majority):
+                # the forward pairs are exactly all (i, j), i < j, and
+                # no self-pair can arise, so one pass over
+                # ``combinations`` replaces the suffix-set walk.
+                return (
+                    vertices,
+                    frozenset(
+                        [a * cap + b for a, b in combinations(ids, 2)]
+                    ),
+                    frozenset(),
+                )
             pairs: set = set()
             later: set = set()
             for vertex_id in reversed(ids):
@@ -349,19 +417,90 @@ class MiningState:
             ),
         )
 
+    def pack_sequence(
+        self, sequence: Sequence[str]
+    ) -> Optional[VariantKey]:
+        """Pack a strictly-sequential, repeat-free activity sequence.
+
+        The zero-Execution packing entry for the fused ingest path
+        (:mod:`repro.logs.fastfold`): when the caller has already
+        proven its bucket is a clean sequential trace, the variant
+        packs straight from the activity sequence.  Returns ``None``
+        for labelled states or sequences with a repeated activity —
+        those need the relabelling / self-pair rules that
+        :meth:`_pack_execution` applies — so the caller can fall back
+        to building the execution.  The returned variant is identical
+        to packing the equivalent execution.
+        """
+        if self.labelled:
+            return None
+        intern = self._intern
+        ids = [intern(label) for label in sequence]
+        self._ensure_capacity()
+        cap = self._cap
+        vertices = frozenset(ids)
+        if len(vertices) != len(ids):
+            return None
+        return (
+            vertices,
+            frozenset([a * cap + b for a, b in combinations(ids, 2)]),
+            frozenset(),
+        )
+
     def update(self, execution: Execution) -> None:
         """Fold one execution into the state.
 
-        Amortized ``O(trace length)`` for repeated trace variants (a
-        per-state trace cache skips re-extraction) and independent of
+        Amortized ``O(trace length)`` for repeated trace variants, two
+        ways: the prepared-variant memo turns a repeated *sequential*
+        activity sequence into a counter bump regardless of timestamps,
+        and the per-state trace cache skips re-extraction for exact
+        instance-level repeats.  Either way the cost is independent of
         how many executions were folded before.
         """
+        memo_size = self._memo_size
+        ids: Optional[Tuple[int, ...]] = None
+        if memo_size:
+            index = self._index
+            sequence = (
+                execution.labelled_sequence() if self.labelled
+                else execution.sequence
+            )
+            try:
+                ids = tuple([index[label] for label in sequence])
+            except KeyError:
+                pass  # Unseen label: certainly not memoized.
+            else:
+                variant = self._prepared_memo.get(ids)
+                if variant is not None and execution.is_sequential():
+                    self.memo_hits += 1
+                    self._prepared_memo.move_to_end(ids)
+                    self._fold(variant, 1)
+                    return
+            self.memo_misses += 1
         key = execution.variant_key()
         variant = self._trace_cache.get(key)
         if variant is None:
             variant = self._pack_execution(execution)
             self._trace_cache[key] = variant
         self._fold(variant, 1)
+        if memo_size and execution.is_sequential():
+            if ids is None:
+                # The slow path interned the new labels; the id tuple
+                # is now computable (and stable — _repack changes pair
+                # codes, never vertex ids).
+                index = self._index
+                ids = tuple(
+                    index[label]
+                    for label in (
+                        execution.labelled_sequence() if self.labelled
+                        else execution.sequence
+                    )
+                )
+            memo = self._prepared_memo
+            memo[ids] = variant
+            if len(memo) > memo_size:
+                memo.popitem(last=False)
+                self.memo_evictions += 1
 
     def add_variant(
         self,
@@ -460,6 +599,11 @@ class MiningState:
             }
         )
         self._execution_count += other._execution_count
+        # Memo traffic is observability, not content: roll the other
+        # state's counters up so parallel folds report like serial ones.
+        self.memo_hits += other.memo_hits
+        self.memo_misses += other.memo_misses
+        self.memo_evictions += other.memo_evictions
         return self
 
     def to_plain(self) -> "MiningState":
@@ -502,7 +646,9 @@ class MiningState:
 
     def copy(self) -> "MiningState":
         """An independent copy (shared immutable frozensets)."""
-        clone = MiningState(labelled=self.labelled)
+        clone = MiningState(
+            labelled=self.labelled, memo_size=self._memo_size
+        )
         clone._labels = list(self._labels)
         clone._index = dict(self._index)
         clone._cap = self._cap
@@ -512,6 +658,10 @@ class MiningState:
         clone._presence = Counter(self._presence)
         clone._execution_count = self._execution_count
         clone._trace_cache = dict(self._trace_cache)
+        clone._prepared_memo = OrderedDict(self._prepared_memo)
+        clone.memo_hits = self.memo_hits
+        clone.memo_misses = self.memo_misses
+        clone.memo_evictions = self.memo_evictions
         return clone
 
     # ------------------------------------------------------------------
@@ -980,7 +1130,14 @@ def _fold_chunk(
     # Fault-injection choke point: worker-crash / worker-hang faults
     # fire here to drive the supervisor's recovery paths.
     maybe_fault("fold.chunk")
-    partial = MiningState(labelled=labelled)
+    # Measurement mode reproduces the per-item triples via the trace
+    # cache, which the prepared-variant memo fast path bypasses — so
+    # disable the memo while measuring (the folded content is the same
+    # either way).
+    partial = MiningState(
+        labelled=labelled,
+        memo_size=0 if measure else DEFAULT_VARIANT_MEMO,
+    )
     per_item: Optional[List] = [] if measure else None
     for execution in executions:
         partial.update(execution)
@@ -991,9 +1148,11 @@ def _fold_chunk(
     per_item_bytes = (
         len(pickle.dumps(per_item)) if per_item is not None else 0
     )
-    # The trace cache is a local accelerator only; dropping it keeps
-    # the IPC payload at one compact state per chunk.
+    # The trace cache and prepared-variant memo are local accelerators
+    # only; dropping them keeps the IPC payload at one compact state
+    # per chunk.
     partial._trace_cache.clear()
+    partial._prepared_memo.clear()
     return partial, per_item_bytes
 
 
@@ -1038,6 +1197,9 @@ def fold_executions(
         )
     jobs = resolve_jobs(jobs)
     before = state.execution_count
+    memo_before = (
+        state.memo_hits, state.memo_misses, state.memo_evictions
+    )
     if jobs <= 1:
         for execution in executions:
             state.update(execution)
@@ -1100,4 +1262,17 @@ def fold_executions(
         "repro_stream_executions_total",
         state.execution_count - before,
     )
+    # merge() rolls worker-partial memo counters up into the parent
+    # state, so the deltas cover serial and parallel folds alike.
+    for event, start_value, end_value in (
+        ("hit", memo_before[0], state.memo_hits),
+        ("miss", memo_before[1], state.memo_misses),
+        ("evict", memo_before[2], state.memo_evictions),
+    ):
+        if end_value > start_value:
+            recorder.count(
+                "repro_ingest_variant_memo_total",
+                end_value - start_value,
+                labels={"event": event},
+            )
     return state

@@ -108,15 +108,24 @@ class ResourceLimitError(LogError, RuntimeError):
     runaway log aborts early instead of exhausting memory.  ``limit`` names
     the guard (``"max_executions"``, ``"max_events_per_execution"``, or
     ``"max_activities"``) and ``bound`` its configured value.
+    ``line_number`` (1-based, when known) locates the record that tripped
+    the guard, so batch ingestion can restore exact line accounting.
     """
 
-    def __init__(self, limit: str, bound: int, detail: str = "") -> None:
+    def __init__(
+        self,
+        limit: str,
+        bound: int,
+        detail: str = "",
+        line_number: int | None = None,
+    ) -> None:
         message = f"resource limit {limit}={bound} exceeded"
         if detail:
             message = f"{message} ({detail})"
         super().__init__(message)
         self.limit = limit
         self.bound = bound
+        self.line_number = line_number
 
 
 class EngineError(ReproError):

@@ -21,13 +21,23 @@ from __future__ import annotations
 
 import io
 import math
+import sys
 from collections import OrderedDict
 from pathlib import Path
-from typing import IO, Iterable, Iterator, Optional, Tuple, Union
+from typing import (
+    IO,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import LogFormatError
 from repro.logs.event_log import EventLog
-from repro.logs.events import EventRecord
+from repro.logs.events import END_EVENT, START_EVENT, EventRecord
 from repro.logs.execution import Execution
 from repro.resilience.durable import durable_stream_writer
 from repro.logs.ingest import (
@@ -37,9 +47,12 @@ from repro.logs.ingest import (
     IngestReport,
     IngestResult,
     Quarantine,
-    ingest_lines,
-    iter_ingest_lines,
+    ingest_blocks,
+    iter_ingest_blocks,
 )
+
+# (line_number, raw_line, process_name, record) tuples from parse_batch.
+ParsedBatch = List[Tuple[int, str, str, EventRecord]]
 
 FIELD_SEPARATOR = "\t"
 OUTPUT_SEPARATOR = ","
@@ -121,6 +134,120 @@ def parse_record(line: str, line_number: Optional[int] = None) -> Tuple[
     return process_name, record
 
 
+def parse_batch(
+    lines: Sequence[str], start: int = 1
+) -> Tuple[ParsedBatch, Optional[LogFormatError]]:
+    """Parse a block of raw log lines in one pass.
+
+    The batched counterpart of :func:`parse_record`: ``lines[i]`` is
+    line number ``start + i``, blank lines and ``#`` comments are
+    skipped (the same filter the streaming reader applies), and field
+    validation is inlined so the per-line closure/exception overhead of
+    the one-record parser is paid only on malformed input.
+
+    Returns ``(entries, error)`` where ``entries`` is a list of
+    ``(line_number, raw_line, process_name, record)`` tuples for every
+    well-formed line scanned, and ``error`` is ``None`` for a clean
+    block or the :class:`LogFormatError` (carrying the absolute line
+    number of the offending line) that stopped the scan.  Callers
+    resume after the reported line, so error positions match the
+    per-line reader exactly.
+    """
+    entries: ParsedBatch = []
+    append = entries.append
+    isfinite = math.isfinite
+    intern = sys.intern
+    new_record = EventRecord.__new__
+    record_cls = EventRecord
+    separator = FIELD_SEPARATOR
+    times: dict = {}
+    last_process_raw: Optional[str] = None
+    last_process: str = ""
+    number = start - 1
+    for line in lines:
+        number += 1
+        # Data lines start with a process-name character; only lines
+        # opening with whitespace or '#' need the full filter check.
+        if line[:1] in "# \t\n\r\x0b\x0c":
+            stripped = line.strip()
+            if not stripped or stripped[0] == "#":
+                continue
+        fields = line.rstrip("\n").split(separator)
+        if len(fields) == 5:
+            process_name, execution_id, activity, event_type, time_text = fields
+            output = None
+        elif len(fields) == 6:
+            process_name, execution_id, activity, event_type, time_text = (
+                fields[0], fields[1], fields[2], fields[3], fields[4]
+            )
+            if fields[5]:
+                output = _slow_output(fields[5], number)
+                if output is None:
+                    return entries, _canonical_error(line, number)
+            else:
+                output = None
+        else:
+            return entries, _canonical_error(line, number)
+        timestamp = times.get(time_text)
+        if timestamp is None:
+            try:
+                timestamp = float(time_text)
+            except ValueError:
+                return entries, _canonical_error(line, number)
+            if not isfinite(timestamp):
+                return entries, _canonical_error(line, number)
+            times[time_text] = timestamp
+        if event_type == "END":
+            event_type = END_EVENT
+        elif event_type == "START" and output is None:
+            event_type = START_EVENT
+        else:
+            return entries, _canonical_error(line, number)
+        if not (activity and execution_id):
+            return entries, _canonical_error(line, number)
+        if process_name != last_process_raw:
+            last_process_raw = process_name
+            last_process = intern(process_name)
+        record = new_record(record_cls)
+        # Frozen dataclass: populate the instance dict directly (item
+        # stores beat both __init__ and __dict__.update measurably).
+        attrs = record.__dict__
+        attrs["timestamp"] = timestamp
+        attrs["execution_id"] = execution_id
+        attrs["activity"] = intern(activity)
+        attrs["event_type"] = event_type
+        attrs["output"] = output
+        append((number, line, last_process, record))
+    return entries, None
+
+
+def _canonical_error(line: str, line_number: int) -> LogFormatError:
+    # Re-parse a line the fast scanner rejected through the one-record
+    # parser so batch errors are byte-identical to per-line errors.
+    try:
+        parse_record(line, line_number)
+    except LogFormatError as exc:
+        return exc
+    raise AssertionError(
+        f"batch scanner rejected line {line_number} that parse_record accepts"
+    )
+
+
+def _slow_output(
+    text: str, line_number: int
+) -> Optional[Tuple[float, ...]]:
+    # Output vectors are rare (END records with logged parameters);
+    # parse them through the same checks as parse_record and signal
+    # failure with None so the caller re-raises canonically.
+    try:
+        output = tuple(float(v) for v in text.split(OUTPUT_SEPARATOR))
+    except ValueError:
+        return None
+    if any(not math.isfinite(v) for v in output):
+        return None
+    return output
+
+
 def write_log(log: EventLog, stream: IO[str]) -> int:
     """Write ``log`` to a text stream; returns the number of lines."""
     process_name = log.process_name or DEFAULT_PROCESS
@@ -183,9 +310,10 @@ def ingest_log(
     semantics.  Under the default ``strict`` policy this is
     :func:`read_log` plus an (all-clean) report.
     """
-    return ingest_lines(
-        _numbered_lines(stream),
+    return ingest_blocks(
+        stream,
         parse_record,
+        parse_batch,
         policy=policy,
         limits=limits,
         quarantine=quarantine,
@@ -221,11 +349,14 @@ def iter_ingest_log(
     yielded as their record buckets finalize, so memory stays bounded by
     the ``window`` of open executions instead of the whole log.  See
     :func:`repro.logs.ingest.iter_ingest_lines` for the policy, limit,
-    window and report semantics.
+    window and report semantics.  Lines decode through
+    :func:`parse_batch` in blocks; semantics are byte-identical to the
+    per-line reader.
     """
-    return iter_ingest_lines(
-        _numbered_lines(stream),
+    return iter_ingest_blocks(
+        stream,
         parse_record,
+        parse_batch,
         policy=policy,
         limits=limits,
         quarantine=quarantine,

@@ -33,7 +33,12 @@ from typing import (
 )
 
 from repro.errors import MalformedExecutionError
-from repro.logs.events import EventRecord, end_event, start_event
+from repro.logs.events import (
+    START_EVENT,
+    EventRecord,
+    end_event,
+    start_event,
+)
 
 Pair = Tuple[str, str]
 LabelledPair = Tuple[Tuple[str, int], Tuple[str, int]]
@@ -140,6 +145,103 @@ class Execution:
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+    @classmethod
+    def from_grouped_records(
+        cls, execution_id: str, records: List[EventRecord]
+    ) -> Optional["Execution"]:
+        """Fast builder for a bucket of records grouped by execution id.
+
+        The batch ingest path pops each finalized bucket straight out of
+        its grouping dict, so every record is known to carry
+        ``execution_id`` — the general constructor's per-record id check
+        is redundant, and its unconditional re-sort collapses to an O(n)
+        monotonicity test for the common contiguous-log case.  The
+        resulting object is indistinguishable from
+        ``Execution(execution_id, records)``.
+
+        Returns ``None`` when the bucket needs the general constructor
+        (an END without a matching START), so the caller can re-run it
+        there and get the canonical :class:`MalformedExecutionError`.
+        The bucket list is taken over; callers must not reuse it.
+        """
+        previous = float("-inf")
+        monotone = True
+        for record in records:
+            timestamp = record.timestamp
+            if timestamp <= previous:
+                monotone = False
+                break
+            previous = timestamp
+        if not monotone:
+            # Ties or disorder: fall back to the canonical total-order
+            # sort (cheap on nearly-sorted input, identical tie-breaks).
+            records = sorted(records)
+        open_starts: Dict[str, List[float]] = {}
+        instances: List[ActivityInstance] = []
+        append = instances.append
+        get_queue = open_starts.get
+        new_instance = ActivityInstance.__new__
+        instance_cls = ActivityInstance
+        ordered = True
+        prev_start = float("-inf")
+        prev_end = float("-inf")
+        prev_activity = ""
+        for record in records:
+            activity = record.activity
+            if record.event_type == START_EVENT:
+                queue = get_queue(activity)
+                if queue is None:
+                    open_starts[activity] = [record.timestamp]
+                else:
+                    queue.append(record.timestamp)
+                continue
+            queue = get_queue(activity)
+            if not queue:
+                return None
+            start_time = queue.pop(0)
+            end_time = record.timestamp
+            if ordered:
+                if start_time < prev_start or (
+                    start_time == prev_start
+                    and (
+                        end_time < prev_end
+                        or (
+                            end_time == prev_end
+                            and activity < prev_activity
+                        )
+                    )
+                ):
+                    ordered = False
+                else:
+                    prev_start = start_time
+                    prev_end = end_time
+                    prev_activity = activity
+            instance = new_instance(instance_cls)
+            attrs = instance.__dict__
+            attrs["activity"] = activity
+            attrs["start"] = start_time
+            attrs["end"] = end_time
+            attrs["output"] = record.output
+            append(instance)
+        if not ordered:
+            instances.sort(
+                key=lambda inst: (inst.start, inst.end, inst.activity)
+            )
+        execution = cls.__new__(cls)
+        execution._id = execution_id
+        execution._records = records
+        execution._instances = instances
+        execution._sequence = [inst.activity for inst in instances]
+        execution._activities = frozenset(execution._sequence)
+        execution._labelled = None
+        execution._ordered_set = None
+        execution._overlap_set = None
+        execution._labelled_ordered_set = None
+        execution._labelled_overlap_set = None
+        execution._variant_key = None
+        execution._sequential = None
+        return execution
+
     @classmethod
     def from_sequence(
         cls,

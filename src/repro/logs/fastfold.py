@@ -1,0 +1,571 @@
+"""Fused ingest -> fold: line blocks straight into a MiningState.
+
+The batch decode path (:meth:`repro.logs.ingest.IngestStream.
+push_batch`) still materializes one :class:`~repro.logs.execution.
+Execution` per finalized bucket, and the consumer folds it into a
+:class:`~repro.core.state.MiningState` — construction cost that is pure
+waste when the same trace repeats, because the state immediately
+collapses it onto an existing variant.  :class:`FoldingIngestStream`
+closes that gap at two levels:
+
+* With a codec ``scan_batch`` hook (:func:`repro.logs.jsonl.
+  scan_batch`), lines decode into shared *raw field tuples* —
+  ``(timestamp, activity, event type, output)`` — and buckets hold
+  those tuples instead of :class:`~repro.logs.events.EventRecord`
+  objects.  A line whose id-excised text repeats costs two substring
+  finds and a dict hit; no record object is ever built for it.
+* Finalized buckets whose field *signature* matches a previously
+  accepted bucket fold as a bare counter bump — no Execution, no
+  variant packing.
+
+Equal signatures imply equal behavior: records inside a bucket share
+their execution id, so their sort order, the instance pairing and the
+resulting variant key are fully determined by the signature — the memo
+can only hit where the classic path would have produced the identical
+variant.  Repair-policy streams never use the memo (repairs inspect
+the raw records each time), and only *accepted* buckets are memoized,
+so quarantine accounting and strict-mode errors replay per bucket.
+Lines the scanner cannot prove canonical re-enter :meth:`push`
+individually, which keeps every error, quarantine entry and report
+field byte-identical to per-line ingestion.
+
+This is the engine behind the ingest-throughput cells of
+``benchmarks/perf_harness.py``; anything that needs the executions
+themselves (journaling, the service's durable sessions) keeps using
+:class:`~repro.logs.ingest.IngestStream` + ``state.update``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.state import MiningState
+from repro.errors import LogFormatError
+from repro.logs.events import START_EVENT, EventRecord
+from repro.logs.execution import Execution
+from repro.logs.ingest import (
+    DEFAULT_STREAM_WINDOW,
+    POLICY_REPAIR,
+    POLICY_STRICT,
+    REASON_LATE_RECORD,
+    REASON_MIXED_PROCESS,
+    BatchParser,
+    IngestLimits,
+    IngestReport,
+    IngestStream,
+    LineParser,
+    Quarantine,
+    ResourceLimitError,
+    _finalize_execution_fast,
+)
+
+#: Default bound of the record-signature memo.  Signatures are one
+#: tuple per record, so entries are heavier than the state's variant
+#: memo entries; the bound is sized for "many distinct variants", not
+#: "every execution ever seen".
+DEFAULT_SIGNATURE_MEMO = 16384
+
+#: One bucket's identity: everything but the execution id, per record,
+#: in arrival order.
+Signature = Tuple[Tuple[float, str, str, Optional[Tuple[float, ...]]], ...]
+
+#: A codec's raw block scanner (see :func:`repro.logs.jsonl.
+#: scan_batch`): ``(lines, start, memo) -> (entries, bad_line)``.
+RawScanner = Callable[..., Tuple[List[tuple], Optional[Tuple[int, str]]]]
+
+
+def _clean_sequence(items: Sequence) -> Optional[List[str]]:
+    """The activity sequence of a *clean* all-tuple bucket, else None.
+
+    Clean means the arrival order already tells the whole story:
+    strictly increasing timestamps and a strict START/END alternation
+    where each END closes the START immediately before it.  For such a
+    bucket ``Execution.from_grouped_records`` is guaranteed to accept
+    — no sorting fallback, FIFO pairing degenerates to adjacent pairs,
+    the instances come out ordered and strictly sequential — so the
+    variant is fully determined by the activity sequence and the
+    caller can pack it without building records or an Execution.
+    Anything else (odd shapes, ties, interleavings, EventRecords mixed
+    in) returns None and takes the classic path.
+    """
+    count = len(items)
+    if count & 1:
+        return None
+    sequence: List[str] = []
+    append = sequence.append
+    last = float("-inf")
+    index = 0
+    try:
+        while index < count:
+            start = items[index]
+            end = items[index + 1]
+            if (
+                start[2] is not START_EVENT
+                or end[2] is START_EVENT
+                or start[1] != end[1]
+                or not (last < start[0] < end[0])
+            ):
+                return None
+            last = end[0]
+            append(start[1])
+            index += 2
+    except TypeError:
+        # An EventRecord slipped into the bucket via per-line push().
+        return None
+    return sequence
+
+
+def _materialize(eid: str, items: Sequence) -> List[EventRecord]:
+    """Rebuild a bucket's records; field tuples become EventRecords.
+
+    Buckets may mix raw field tuples (scanner-fed) with EventRecords
+    (per-line ``push``-fed); finalization, repair and quarantine all
+    want real records, built here only when actually needed.
+    """
+    new = EventRecord.__new__
+    cls = EventRecord
+    records: List[EventRecord] = []
+    append = records.append
+    for item in items:
+        if type(item) is tuple:
+            record = new(cls)
+            attrs = record.__dict__
+            attrs["timestamp"] = item[0]
+            attrs["execution_id"] = eid
+            attrs["activity"] = item[1]
+            attrs["event_type"] = item[2]
+            attrs["output"] = item[3]
+            append(record)
+        else:
+            append(item)
+    return records
+
+
+class FoldingIngestStream(IngestStream):
+    """An :class:`IngestStream` that folds into a state it owns.
+
+    ``push``/``push_batch``/``flush``/``close`` keep their contracts —
+    same policies, limits, windowing, quarantine and report accounting
+    — but finalized executions are folded into ``state`` instead of
+    being returned (the lists come back empty).  Track progress via
+    ``state.execution_count`` or the report.
+
+    With ``scan_batch`` (the codec's raw scanner), ``push_batch``
+    decodes through the zero-object path and open buckets hold raw
+    field tuples; without it, blocks decode through ``parse_batch``
+    into records as usual.  Either way the signature memo collapses
+    repeated traces into counter bumps.
+    """
+
+    def __init__(
+        self,
+        parse_line: LineParser,
+        state: Optional[MiningState] = None,
+        policy: str = POLICY_STRICT,
+        limits: Optional[IngestLimits] = None,
+        quarantine: Optional[Quarantine] = None,
+        report: Optional[IngestReport] = None,
+        window: Optional[int] = DEFAULT_STREAM_WINDOW,
+        parse_batch: Optional[BatchParser] = None,
+        scan_batch: Optional[RawScanner] = None,
+        labelled: bool = False,
+        memo_size: int = DEFAULT_SIGNATURE_MEMO,
+    ) -> None:
+        if memo_size < 0:
+            raise ValueError(f"bad memo size {memo_size!r}")
+        super().__init__(
+            parse_line,
+            policy=policy,
+            limits=limits,
+            quarantine=quarantine,
+            report=report,
+            window=window,
+            parse_batch=parse_batch,
+        )
+        self.state = (
+            state if state is not None else MiningState(labelled=labelled)
+        )
+        self._scan_batch = scan_batch
+        self._line_memo: dict = {}
+        self._signature_memo: "OrderedDict[Signature, Tuple]" = (
+            OrderedDict()
+        )
+        self._memo_size = memo_size
+        # Memoized variants hold packed codes in the state's *current*
+        # capacity; a repack invalidates them wholesale (it happens
+        # O(log labels) times, so a full clear is cheaper than keeping
+        # remap hooks in the state).
+        self._memo_cap = self.state._cap
+        self._mixed = False
+        # Fold intents staged by _emit and applied by _commit at the
+        # boundaries where per-line ingestion hands its caller the
+        # finalized list: after each record's drain pass, after each
+        # push(), after a whole flush()/close().  A strict-policy error
+        # inside one of those scopes discards the scope's intents —
+        # exactly the executions a per-line caller never received from
+        # the raising call — so the folded state matches per-line
+        # ingestion even around errors.  Packing too is deferred to
+        # commit so a rolled-back bucket interns no labels.
+        self._pending: List[tuple] = []
+        self.fold_hits = 0
+        self.fold_misses = 0
+
+    def _commit(self) -> None:
+        """Apply the staged fold intents; the current scope succeeded."""
+        pending = self._pending
+        if not pending:
+            return
+        state = self.state
+        memo = self._signature_memo
+        memo_size = self._memo_size
+        for kind, sig, value in pending:
+            if kind == "hit":
+                state._fold(value, 1)
+                continue
+            if kind == "update":
+                state.update(value)
+                continue
+            # "seq" / "exec": pack now, fold, and memoize.  A repack
+            # (capacity growth) invalidates earlier memo entries; the
+            # emit-time checks guaranteed pack_sequence cannot decline.
+            variant = (
+                state.pack_sequence(value)
+                if kind == "seq"
+                else state._pack_execution(value)
+            )
+            state._fold(variant, 1)
+            if state._cap != self._memo_cap:
+                memo.clear()
+                self._memo_cap = state._cap
+            memo[sig] = variant
+            if len(memo) > memo_size:
+                memo.popitem(last=False)
+        pending.clear()
+
+    def push(self, line_number: int, raw_line: str) -> List[Execution]:
+        # Per-line pushes append EventRecords into open buckets, so
+        # from here on signatures must normalize item by item instead
+        # of taking the all-tuple shortcut (sticky, conservatively).
+        self._mixed = True
+        try:
+            result = super().push(line_number, raw_line)
+        except BaseException:
+            self._pending.clear()
+            raise
+        self._commit()
+        return result
+
+    def push_batch(
+        self,
+        start: int,
+        lines: Sequence[str],
+        out: Optional[List[Execution]] = None,
+    ) -> List[Execution]:
+        scan = self._scan_batch
+        if out is None:
+            out = []
+        if scan is None:
+            # No raw scanner: decode through parse_batch as the base
+            # class does, but drive the bookkeeping one entry at a time
+            # so folds commit per record — the granularity at which a
+            # per-line caller banks its executions.
+            parse_batch = self._parse_batch
+            pending = self._pending
+            total = len(lines)
+            index = 0
+            while index < total:
+                entries, error = parse_batch(
+                    lines[index:] if index else lines, start + index
+                )
+                for entry in entries:
+                    try:
+                        self._ingest_entries([entry], out)
+                    except BaseException:
+                        pending.clear()
+                        raise
+                    self._commit()
+                if error is None:
+                    break
+                bad = error.line_number - start
+                out.extend(self.push(error.line_number, lines[bad]))
+                index = bad + 1
+            return out
+        memo = self._line_memo
+        total = len(lines)
+        index = 0
+        while index < total:
+            entries, bad = scan(
+                lines[index:] if index else lines, start + index, memo
+            )
+            if entries:
+                self._fold_entries(entries)
+            if bad is None:
+                break
+            number, line = bad
+            # Not provably canonical: the per-line parser decides —
+            # identical acceptance, errors and quarantine entries.
+            out.extend(self.push(number, line))
+            index = number - start + 1
+        return out
+
+    def _fold_entries(self, entries: List[tuple]) -> None:
+        # The push() bookkeeping loop over scanned raw entries; any
+        # change here must mirror IngestStream.push()/_ingest_entries
+        # — the hypothesis parity suite holds the paths equal.  The
+        # only shortcut is ``cur_eid``: for a run of records of the
+        # same open execution the bucket lookup, finalized-set probe
+        # and recency move are per-run (their outcomes cannot change
+        # mid-run: a just-touched bucket is never expired).
+        report = self.report
+        limits = self.limits
+        window = self.window
+        grouped = self._grouped
+        touch = self._touch
+        finalized = self._finalized
+        activities = self._activities
+        get_bucket = grouped.get
+        strict = self.policy == POLICY_STRICT
+        max_executions = limits.max_executions
+        max_events = limits.max_events_per_execution
+        max_activities = limits.max_activities
+        process_name = report.process_name
+        record_index = self._record_index
+        newest = next(reversed(grouped)) if grouped else None
+        oldest = next(iter(grouped)) if grouped else None
+        cur_eid: Optional[str] = None
+        bucket: Optional[list] = None
+        # Conservative drain guard: ``expire_at`` never exceeds the
+        # true ``touch[oldest] + window`` (touch values only grow and
+        # grouped is kept in touch order, so the real threshold is
+        # non-decreasing), which turns the per-record drain check into
+        # one integer compare; crossing it recomputes exactly.
+        expire_at = 0 if window is not None else float("inf")
+        out: List[Execution] = []
+        try:
+            for line_number, raw_line, name, eid, fields in entries:
+                if name != process_name:
+                    if process_name is None:
+                        report.process_name = process_name = name
+                    elif strict:
+                        raise LogFormatError(
+                            f"log mixes processes {process_name!r} "
+                            f"and {name!r}",
+                            line_number,
+                        )
+                    else:
+                        self._quarantine_line(
+                            REASON_MIXED_PROCESS,
+                            (
+                                f"record of process {name!r} in a log "
+                                f"of {process_name!r}"
+                            ),
+                            line_number,
+                            raw_line,
+                        )
+                        continue
+                if eid != cur_eid:
+                    bucket = get_bucket(eid)
+                    if bucket is None:
+                        if eid in finalized:
+                            if strict:
+                                raise LogFormatError(
+                                    f"record for execution {eid!r} "
+                                    f"arrived after its finalization "
+                                    f"window closed; raise "
+                                    f"--stream-window or sort the log "
+                                    f"by execution",
+                                    line_number,
+                                )
+                            self._quarantine_line(
+                                REASON_LATE_RECORD,
+                                (
+                                    f"execution {eid!r} already "
+                                    f"finalized; record arrived more "
+                                    f"than {window} records late"
+                                ),
+                                line_number,
+                                raw_line,
+                                execution_id=eid,
+                            )
+                            continue
+                        if (
+                            max_executions is not None
+                            and len(grouped) + len(finalized)
+                            >= max_executions
+                        ):
+                            raise ResourceLimitError(
+                                "max_executions",
+                                max_executions,
+                                f"execution {eid!r} at line "
+                                f"{line_number}",
+                            )
+                        bucket = grouped[eid] = []
+                        newest = eid
+                        if oldest is None:
+                            oldest = eid
+                    elif window is not None and newest != eid:
+                        grouped.pop(eid)
+                        grouped[eid] = bucket
+                        newest = eid
+                        if oldest == eid:
+                            oldest = next(iter(grouped))
+                    cur_eid = eid
+                if max_events is not None and len(bucket) >= max_events:
+                    raise ResourceLimitError(
+                        "max_events_per_execution",
+                        max_events,
+                        f"execution {eid!r} at line {line_number}",
+                        line_number=line_number,
+                    )
+                activity = fields[1]
+                if activity not in activities:
+                    if (
+                        max_activities is not None
+                        and len(activities) >= max_activities
+                    ):
+                        raise ResourceLimitError(
+                            "max_activities",
+                            max_activities,
+                            f"activity {activity!r} at line "
+                            f"{line_number}",
+                        )
+                    activities.add(activity)
+                bucket.append(fields)
+                record_index += 1
+                touch[eid] = record_index
+                if record_index < expire_at:
+                    continue
+                # One record's drain pass is one commit scope: a strict
+                # finalize error on any expiring bucket discards the
+                # whole pass's staged folds, just as the raising
+                # per-line push() discards its returned list.
+                try:
+                    while (
+                        oldest is not None
+                        and record_index - touch[oldest] >= window
+                    ):
+                        records = grouped.pop(oldest)
+                        del touch[oldest]
+                        finalized.add(oldest)
+                        self._emit(oldest, records, out)
+                        oldest = next(iter(grouped)) if grouped else None
+                        if oldest is None:
+                            newest = None
+                except BaseException:
+                    self._pending.clear()
+                    raise
+                self._commit()
+                expire_at = (
+                    touch[oldest] + window
+                    if oldest is not None
+                    else record_index + window
+                )
+        finally:
+            self._record_index = record_index
+
+    def flush(self) -> List[Execution]:
+        # One flush is one commit scope: the base flush builds its
+        # whole list before the caller sees anything, so an error on a
+        # later bucket loses every execution of the flush — the staged
+        # folds must vanish with them.
+        try:
+            out = super().flush()
+        except BaseException:
+            self._pending.clear()
+            raise
+        self._commit()
+        return out
+
+    def close(self) -> List[Execution]:
+        try:
+            out = super().close()
+        except BaseException:
+            self._pending.clear()
+            raise
+        self._commit()
+        return out
+
+    def _emit(
+        self, eid: str, items: List, out: List[Execution]
+    ) -> None:
+        # Report and quarantine accounting happen here, eagerly — the
+        # per-line path also mutates them before its caller banks the
+        # list.  Folds and packing are only *staged* (see _commit):
+        # nothing touches the state until the enclosing scope survives.
+        state = self.state
+        pending = self._pending
+        if (
+            not self._memo_size
+            or self.policy == POLICY_REPAIR
+            or not (
+                self._fast_finalize or self._scan_batch is not None
+            )
+        ):
+            # Classic finalize; accepted executions are staged as full
+            # state.update folds, nothing is handed back.
+            records = _materialize(eid, items)
+            before = len(out)
+            super()._emit(eid, records, out)
+            pending.extend(
+                ("update", None, execution)
+                for execution in out[before:]
+            )
+            del out[before:]
+            return
+        memo = self._signature_memo
+        if state._cap != self._memo_cap:
+            memo.clear()
+            self._memo_cap = state._cap
+        if self._mixed:
+            sig: Signature = tuple(
+                item
+                if type(item) is tuple
+                else (
+                    item.timestamp,
+                    item.activity,
+                    item.event_type,
+                    item.output,
+                )
+                for item in items
+            )
+        else:
+            sig = tuple(items)
+        variant = memo.get(sig)
+        if variant is not None:
+            memo.move_to_end(sig)
+            report = self.report
+            report.accepted_executions += 1
+            report.accepted_records += len(items)
+            pending.append(("hit", None, variant))
+            self.fold_hits += 1
+            return
+        sequence = _clean_sequence(items)
+        if (
+            sequence is not None
+            and not state.labelled
+            and len(set(sequence)) == len(sequence)
+        ):
+            # Clean sequential repeat-free bucket: stage the activity
+            # sequence itself; commit packs it via pack_sequence (the
+            # emit-time checks cover exactly its decline conditions),
+            # skipping record materialization and Execution
+            # construction entirely.
+            report = self.report
+            report.accepted_executions += 1
+            report.accepted_records += len(items)
+            pending.append(("seq", sig, sequence))
+        else:
+            execution = _finalize_execution_fast(
+                eid, _materialize(eid, items), self.policy,
+                self.quarantine, self.report,
+            )
+            if execution is None:
+                return
+            # Stage the execution for direct packing: the signature
+            # memo supersedes the state's variant-key trace cache here
+            # (a signature repeat is strictly more common than an
+            # instance-level repeat with a different arrival order),
+            # so consulting both would be pure overhead.
+            pending.append(("exec", sig, execution))
+        self.fold_misses += 1

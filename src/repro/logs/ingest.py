@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 from dataclasses import dataclass, field
+from itertools import islice
 from pathlib import Path
 from typing import (
     Callable,
@@ -40,6 +41,7 @@ from typing import (
     List,
     NamedTuple,
     Optional,
+    Sequence,
     Set,
     Tuple,
     Union,
@@ -351,6 +353,50 @@ class IngestResult(NamedTuple):
 
 LineParser = Callable[[str, int], Tuple[str, EventRecord]]
 
+#: A codec's block scanner: ``parse_batch(lines, start)`` returning
+#: ``(entries, error)`` where each entry is ``(line_number, raw_line,
+#: process_name, record)`` and ``error`` is ``None`` or the
+#: :class:`LogFormatError` that stopped the scan (its ``line_number``
+#: tells the caller where to resume).
+BatchParser = Callable[
+    [Sequence[str], int],
+    Tuple[List[Tuple[int, str, str, EventRecord]], Optional[LogFormatError]],
+]
+
+#: Lines per block fed through :meth:`IngestStream.push_batch` by the
+#: batched drivers.  Large enough to amortize per-block dispatch, small
+#: enough that a block of worst-case lines stays in cache.
+INGEST_BLOCK_LINES = 4096
+
+
+def _generic_batch_parser(parse_line: LineParser) -> BatchParser:
+    """Wrap a one-line parser into the block-scanner protocol.
+
+    The fallback when a codec supplies no ``parse_batch``: blank lines
+    are skipped (callers feeding comment-bearing formats must pass the
+    codec's own scanner, which knows its filter), everything else goes
+    through ``parse_line`` one at a time.
+    """
+
+    def parse(lines: Sequence[str], start: int = 1):
+        entries: List[Tuple[int, str, str, EventRecord]] = []
+        append = entries.append
+        number = start - 1
+        for line in lines:
+            number += 1
+            if not line.strip():
+                continue
+            try:
+                name, record = parse_line(line, number)
+            except LogFormatError as exc:
+                if exc.line_number is None:
+                    exc.line_number = number
+                return entries, exc
+            append((number, line, name, record))
+        return entries, None
+
+    return parse
+
 
 def _record_payload(records: Iterable[EventRecord]) -> List[dict]:
     return [
@@ -421,6 +467,32 @@ def _finalize_execution(
     return execution
 
 
+def _finalize_execution_fast(
+    eid: str,
+    records: List[EventRecord],
+    policy: str,
+    sink: Quarantine,
+    report: IngestReport,
+) -> Optional[Execution]:
+    """Bucket finalization for the batch path.
+
+    Clean buckets (the overwhelming majority) build their
+    :class:`Execution` through :meth:`Execution.from_grouped_records`,
+    which skips the re-validation the general constructor pays for
+    arbitrary record lists.  Repair-policy buckets and anything the fast
+    builder declines fall back to :func:`_finalize_execution`, so every
+    policy/quarantine outcome is byte-identical to the per-record path.
+    """
+    if policy == POLICY_REPAIR:
+        return _finalize_execution(eid, records, policy, sink, report)
+    execution = Execution.from_grouped_records(eid, records)
+    if execution is None:
+        return _finalize_execution(eid, records, policy, sink, report)
+    report.accepted_executions += 1
+    report.accepted_records += len(records)
+    return execution
+
+
 def iter_ingest_lines(
     numbered_lines: Iterable[Tuple[int, str]],
     parse_line: LineParser,
@@ -484,8 +556,16 @@ def iter_ingest_lines(
     if journal is None:
         yield from stream
         return
+    yield from _journaled(stream, journal, journal_skip)
+
+
+def _journaled(
+    executions: Iterator[Execution], journal, journal_skip: int
+) -> Iterator[Execution]:
+    # Write-ahead hook shared by the per-line and batched drivers:
+    # every accepted execution is journaled before it is yielded.
     accepted = 0
-    for execution in stream:
+    for execution in executions:
         accepted += 1
         if accepted > journal_skip:
             maybe_fault("ingest.accept")
@@ -525,6 +605,7 @@ class IngestStream:
         quarantine: Optional[Quarantine] = None,
         report: Optional[IngestReport] = None,
         window: Optional[int] = DEFAULT_STREAM_WINDOW,
+        parse_batch: Optional[BatchParser] = None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(
@@ -533,6 +614,17 @@ class IngestStream:
         if window is not None and window < 1:
             raise ValueError("window must be >= 1 or None")
         self._parse_line = parse_line
+        # ``parse_batch`` opts the stream into the fast path: the
+        # codec's block scanner feeds ``push_batch``, and buckets
+        # finalize through the fast Execution builder.  Without it the
+        # stream behaves exactly as before PR 10 — the per-record
+        # engine is also the benchmark reference, so it stays pristine.
+        self._parse_batch = (
+            parse_batch
+            if parse_batch is not None
+            else _generic_batch_parser(parse_line)
+        )
+        self._fast_finalize = parse_batch is not None
         self.policy = policy
         self.limits = limits if limits is not None else IngestLimits()
         self.quarantine = (
@@ -643,6 +735,7 @@ class IngestStream:
                     "max_executions",
                     limits.max_executions,
                     f"execution {eid!r} at line {line_number}",
+                    line_number=line_number,
                 )
             bucket = grouped[eid] = []
         elif self.window is not None:
@@ -657,6 +750,7 @@ class IngestStream:
                 "max_events_per_execution",
                 limits.max_events_per_execution,
                 f"execution {eid!r} at line {line_number}",
+                line_number=line_number,
             )
         if record.activity not in self._activities:
             if (
@@ -667,6 +761,7 @@ class IngestStream:
                     "max_activities",
                     limits.max_activities,
                     f"activity {record.activity!r} at line {line_number}",
+                    line_number=line_number,
                 )
             self._activities.add(record.activity)
         bucket.append(record)
@@ -682,12 +777,200 @@ class IngestStream:
             records = grouped.pop(oldest)
             del self._touch[oldest]
             self._finalized.add(oldest)
-            execution = _finalize_execution(
-                oldest, records, policy, self.quarantine, report
-            )
-            if execution is not None:
-                out.append(execution)
+            self._emit(oldest, records, out)
         return out
+
+    def _emit(
+        self, eid: str, records: List[EventRecord], out: List[Execution]
+    ) -> None:
+        """Finalize one bucket, appending the accepted execution."""
+        finalize = (
+            _finalize_execution_fast
+            if self._fast_finalize
+            else _finalize_execution
+        )
+        execution = finalize(
+            eid, records, self.policy, self.quarantine, self.report
+        )
+        if execution is not None:
+            out.append(execution)
+
+    def push_batch(
+        self,
+        start: int,
+        lines: Sequence[str],
+        out: Optional[List[Execution]] = None,
+    ) -> List[Execution]:
+        """Feed a block of raw lines; return executions it finalized.
+
+        ``lines[i]`` is line number ``start + i``.  The block is decoded
+        through the codec's ``parse_batch`` scanner (or a generic
+        per-line fallback) and the bookkeeping loop runs with its
+        lookups bound to locals, so policy dispatch and window
+        accounting amortize per block.  Malformed lines re-enter
+        :meth:`push` individually, which makes every error, quarantine
+        entry and report field byte-identical to pushing the same lines
+        one at a time.
+
+        When the caller passes ``out``, finalized executions are
+        appended there *as they finalize* — so a strict-policy error
+        raised mid-block still leaves everything finalized before the
+        bad line in the caller's hands, exactly as per-line pushing
+        would have returned them.
+        """
+        if out is None:
+            out = []
+        parse_batch = self._parse_batch
+        total = len(lines)
+        index = 0
+        while index < total:
+            entries, error = parse_batch(
+                lines[index:] if index else lines, start + index
+            )
+            if entries:
+                self._ingest_entries(entries, out)
+            if error is None:
+                break
+            bad = error.line_number - start
+            out.extend(self.push(error.line_number, lines[bad]))
+            index = bad + 1
+        return out
+
+    def _ingest_entries(
+        self,
+        entries: List[Tuple[int, str, str, EventRecord]],
+        out: List[Execution],
+    ) -> None:
+        # The push() bookkeeping loop, inlined over a parsed block with
+        # every per-record attribute lookup bound to a local.  Any
+        # change here must mirror push() — the hypothesis parity suite
+        # (tests/test_ingest_fastpath.py) holds the two paths equal.
+        report = self.report
+        limits = self.limits
+        window = self.window
+        grouped = self._grouped
+        touch = self._touch
+        finalized = self._finalized
+        activities = self._activities
+        get_bucket = grouped.get
+        strict = self.policy == POLICY_STRICT
+        max_executions = limits.max_executions
+        max_events = limits.max_events_per_execution
+        max_activities = limits.max_activities
+        process_name = report.process_name
+        record_index = self._record_index
+        # Track the recency ends in locals: ``newest`` is the bucket at
+        # the recency end (last inserted/moved), ``oldest`` the one the
+        # expiry check probes.  Saves a next(iter())/next(reversed())
+        # pair per record; both are plain derived views of ``grouped``.
+        newest = next(reversed(grouped)) if grouped else None
+        oldest = next(iter(grouped)) if grouped else None
+        try:
+            for line_number, raw_line, name, record in entries:
+                if name != process_name:
+                    if process_name is None:
+                        report.process_name = process_name = name
+                    elif strict:
+                        raise LogFormatError(
+                            f"log mixes processes {process_name!r} "
+                            f"and {name!r}",
+                            line_number,
+                        )
+                    else:
+                        self._quarantine_line(
+                            REASON_MIXED_PROCESS,
+                            (
+                                f"record of process {name!r} in a log of "
+                                f"{process_name!r}"
+                            ),
+                            line_number,
+                            raw_line,
+                        )
+                        continue
+                eid = record.execution_id
+                bucket = get_bucket(eid)
+                if bucket is None:
+                    if eid in finalized:
+                        if strict:
+                            raise LogFormatError(
+                                f"record for execution {eid!r} arrived "
+                                f"after its finalization window closed; "
+                                f"raise --stream-window or sort the log "
+                                f"by execution",
+                                line_number,
+                            )
+                        self._quarantine_line(
+                            REASON_LATE_RECORD,
+                            (
+                                f"execution {eid!r} already finalized; "
+                                f"record arrived more than {window} "
+                                f"records late"
+                            ),
+                            line_number,
+                            raw_line,
+                            execution_id=eid,
+                        )
+                        continue
+                    if (
+                        max_executions is not None
+                        and len(grouped) + len(finalized) >= max_executions
+                    ):
+                        raise ResourceLimitError(
+                            "max_executions",
+                            max_executions,
+                            f"execution {eid!r} at line {line_number}",
+                            line_number=line_number,
+                        )
+                    bucket = grouped[eid] = []
+                    newest = eid
+                    if oldest is None:
+                        oldest = eid
+                elif window is not None and newest != eid:
+                    # Move to the recency end so the front stays oldest;
+                    # skipped when already freshest (contiguous logs).
+                    grouped.pop(eid)
+                    grouped[eid] = bucket
+                    newest = eid
+                    if oldest == eid:
+                        oldest = next(iter(grouped))
+                if max_events is not None and len(bucket) >= max_events:
+                    raise ResourceLimitError(
+                        "max_events_per_execution",
+                        max_events,
+                        f"execution {eid!r} at line {line_number}",
+                        line_number=line_number,
+                    )
+                activity = record.activity
+                if activity not in activities:
+                    if (
+                        max_activities is not None
+                        and len(activities) >= max_activities
+                    ):
+                        raise ResourceLimitError(
+                            "max_activities",
+                            max_activities,
+                            f"activity {activity!r} at line {line_number}",
+                            line_number=line_number,
+                        )
+                    activities.add(activity)
+                bucket.append(record)
+                record_index += 1
+                touch[eid] = record_index
+                if window is None:
+                    continue
+                while (
+                    oldest is not None
+                    and record_index - touch[oldest] >= window
+                ):
+                    records = grouped.pop(oldest)
+                    del touch[oldest]
+                    finalized.add(oldest)
+                    self._emit(oldest, records, out)
+                    oldest = next(iter(grouped)) if grouped else None
+                    if oldest is None:
+                        newest = None
+        finally:
+            self._record_index = record_index
 
     def flush(self) -> List[Execution]:
         """Finalize every open bucket now, keeping the stream live.
@@ -701,11 +984,7 @@ class IngestStream:
             records = self._grouped.pop(eid)
             self._touch.pop(eid, None)
             self._finalized.add(eid)
-            execution = _finalize_execution(
-                eid, records, self.policy, self.quarantine, self.report
-            )
-            if execution is not None:
-                out.append(execution)
+            self._emit(eid, records, out)
         return out
 
     def close(self) -> List[Execution]:
@@ -715,15 +994,7 @@ class IngestStream:
         batch)."""
         out: List[Execution] = []
         for eid in list(self._grouped):
-            execution = _finalize_execution(
-                eid,
-                self._grouped.pop(eid),
-                self.policy,
-                self.quarantine,
-                self.report,
-            )
-            if execution is not None:
-                out.append(execution)
+            self._emit(eid, self._grouped.pop(eid), out)
         return out
 
 
@@ -748,6 +1019,104 @@ def _iter_ingest_core(
     for line_number, raw_line in numbered_lines:
         yield from stream.push(line_number, raw_line)
     yield from stream.close()
+
+
+def _iter_ingest_blocks_core(
+    raw_lines: Iterable[str],
+    parse_line: LineParser,
+    parse_batch: Optional[BatchParser],
+    policy: str,
+    limits: Optional[IngestLimits],
+    quarantine: Optional[Quarantine],
+    report: Optional[IngestReport],
+    window: Optional[int],
+) -> Iterator[Execution]:
+    stream = IngestStream(
+        parse_line,
+        policy=policy,
+        limits=limits,
+        quarantine=quarantine,
+        report=report,
+        window=window,
+        parse_batch=parse_batch,
+    )
+    iterator = iter(raw_lines)
+    base = 1
+    while True:
+        block = list(islice(iterator, INGEST_BLOCK_LINES))
+        if not block:
+            break
+        yield from stream.push_batch(base, block)
+        base += len(block)
+    yield from stream.close()
+
+
+def iter_ingest_blocks(
+    raw_lines: Iterable[str],
+    parse_line: LineParser,
+    parse_batch: Optional[BatchParser] = None,
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+    report: Optional[IngestReport] = None,
+    window: Optional[int] = DEFAULT_STREAM_WINDOW,
+    journal=None,
+    journal_skip: int = 0,
+) -> Iterator[Execution]:
+    """Batched counterpart of :func:`iter_ingest_lines`.
+
+    Consumes *raw* lines (no pre-filtering, no numbering — blocks are
+    contiguous, so line numbers fall out of block offsets), feeds them
+    through :meth:`IngestStream.push_batch` in ``INGEST_BLOCK_LINES``
+    chunks, and journals accepted executions exactly as the per-line
+    driver does.  Semantics — policies, limits, windowing, quarantine,
+    report accounting, journal sequence numbers — are byte-identical to
+    :func:`iter_ingest_lines` over the same lines; only the per-record
+    dispatch overhead is amortized.
+    """
+    if journal_skip < 0:
+        raise ValueError("journal_skip must be >= 0")
+    stream = _iter_ingest_blocks_core(
+        raw_lines,
+        parse_line,
+        parse_batch,
+        policy,
+        limits,
+        quarantine,
+        report,
+        window,
+    )
+    if journal is None:
+        yield from stream
+        return
+    yield from _journaled(stream, journal, journal_skip)
+
+
+def ingest_blocks(
+    raw_lines: Iterable[str],
+    parse_line: LineParser,
+    parse_batch: Optional[BatchParser] = None,
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+) -> IngestResult:
+    """Batched counterpart of :func:`ingest_lines` over raw lines."""
+    sink = quarantine if quarantine is not None else Quarantine()
+    report = IngestReport(policy=policy)
+    executions = list(
+        iter_ingest_blocks(
+            raw_lines,
+            parse_line,
+            parse_batch,
+            policy=policy,
+            limits=limits,
+            quarantine=sink,
+            report=report,
+            window=None,
+        )
+    )
+    log = EventLog(executions, process_name=report.process_name)
+    return IngestResult(log=log, report=report, quarantine=sink)
 
 
 def ingest_lines(

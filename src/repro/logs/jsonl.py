@@ -17,23 +17,27 @@ from __future__ import annotations
 
 import json
 import math
+import re
+import sys
+from itertools import islice
 from pathlib import Path
-from typing import IO, Iterator, Optional, Tuple, Union
+from typing import IO, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import LogFormatError
 from repro.logs.event_log import EventLog
-from repro.logs.events import EventRecord
+from repro.logs.events import END_EVENT, START_EVENT, EventRecord
 from repro.logs.execution import Execution
 from repro.resilience.durable import durable_stream_writer
 from repro.logs.ingest import (
     DEFAULT_STREAM_WINDOW,
+    INGEST_BLOCK_LINES,
     POLICY_STRICT,
     IngestLimits,
     IngestReport,
     IngestResult,
     Quarantine,
-    ingest_lines,
-    iter_ingest_lines,
+    ingest_blocks,
+    iter_ingest_blocks,
 )
 
 PathOrStr = Union[str, Path]
@@ -113,6 +117,300 @@ def record_from_json(
     return str(payload["process"]), record
 
 
+#: JSON's number grammar, verbatim.  ``float()`` accepts a superset
+#: (``"01"``, ``"+1"``, ``"nan"``); anchoring the scanner to the exact
+#: grammar keeps it from accepting lines ``json.loads`` would reject.
+_JSON_NUMBER = r"-?(?:0|[1-9][0-9]*)(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?"
+
+#: The exact shape :func:`record_to_json` emits (``sort_keys=True``,
+#: default separators, no escape sequences in any string).  Lines that
+#: do not match — foreign key order, escaped characters, sidecar fields
+#: — fall back to :func:`json.loads`, so matching is a pure fast path.
+#: String fields exclude raw control characters because strict JSON
+#: rejects them; allowing them here would accept lines the per-line
+#: reader errors on.
+_CANONICAL_LINE = re.compile(
+    r'\{"activity": "([^"\\\x00-\x1f]+)", '
+    r'"execution": "([^"\\\x00-\x1f]+)", '
+    r'"output": (null|\[(?:'
+    + _JSON_NUMBER
+    + r"(?:, "
+    + _JSON_NUMBER
+    + r')*)?\]), '
+    r'"process": "([^"\\\x00-\x1f]*)", '
+    r'"time": (' + _JSON_NUMBER + r'), '
+    r'"type": "(START|END)"\}\s*\Z'
+)
+
+#: Everything but the execution id of a canonical line is literal
+#: text, so a line whose id-excised text equals a previously validated
+#: line's is itself canonical — provided the excised id is one valid
+#: id token.  This pattern is that final check.
+_EID_TOKEN = re.compile(r'[^"\\\x00-\x1f]+\Z')
+
+#: The key whose value :func:`scan_batch` excises.  Its quotes cannot
+#: appear inside any canonical string value, so its first occurrence in
+#: a canonical line is exactly the grammar position.
+_EID_PREFIX = '"execution": "'
+_EID_PREFIX_LEN = len(_EID_PREFIX)
+
+#: Default bound of the caller-owned line memo ``scan_batch`` fills.
+#: Keys are whole excised lines, so entries are ~100 bytes plus the
+#: shared field tuple; the cap bounds a worst-case all-distinct stream
+#: at a few tens of MB before the memo resets.
+DEFAULT_LINE_MEMO = 65536
+
+#: One record's codec-independent identity: ``(timestamp, activity,
+#: event type, output)`` — everything but the execution id.
+RawFields = Tuple[float, str, str, Optional[Tuple[float, ...]]]
+
+
+def scan_batch(
+    lines: Sequence[str],
+    start: int = 1,
+    memo: Optional[dict] = None,
+    memo_cap: int = DEFAULT_LINE_MEMO,
+) -> Tuple[
+    List[Tuple[int, str, str, str, RawFields]],
+    Optional[Tuple[int, str]],
+]:
+    """Scan canonical JSON lines into raw field tuples, memoizing.
+
+    The zero-object decode path behind :class:`repro.logs.fastfold.
+    FoldingIngestStream`: each scanned line yields ``(line_number,
+    raw_line, process, execution_id, fields)`` where ``fields`` is the
+    shared :data:`RawFields` tuple — no :class:`EventRecord` is built.
+    ``memo`` (caller-owned, bounded by ``memo_cap``) maps the line text
+    with the execution id excised to its validated ``(process,
+    fields)``; repeated traces that differ only in execution id — the
+    regime real logs live in — hit the memo and skip parsing entirely.
+
+    Only lines *proven* valid are returned: a memo hit proves it (the
+    excised text was validated before, and the id token is re-checked),
+    a miss validates against the canonical grammar.  Anything else —
+    malformed, non-canonical key order, escape sequences, non-finite
+    numbers — stops the scan with ``(entries, (line_number,
+    raw_line))`` so the caller can route that one line through the
+    per-line parser for byte-identical errors, then resume after it.
+    Blank lines are skipped, like :func:`parse_batch`.
+    """
+    entries: List[Tuple[int, str, str, str, RawFields]] = []
+    append = entries.append
+    if memo is None:
+        memo = {}
+    memo_get = memo.get
+    match = _CANONICAL_LINE.match
+    eid_ok = _EID_TOKEN.match
+    intern = sys.intern
+    isfinite = math.isfinite
+    prefix_len = _EID_PREFIX_LEN
+    last_eid: Optional[str] = None
+    number = start - 1
+    for line in lines:
+        number += 1
+        i = line.find(_EID_PREFIX)
+        if i >= 0:
+            i += prefix_len
+            j = line.find('"', i)
+            if j > i:
+                cached = memo_get(line[:i] + line[j:])
+                if cached is not None:
+                    eid = line[i:j]
+                    if eid != last_eid:
+                        if eid_ok(eid) is None:
+                            return entries, (number, line)
+                        last_eid = eid
+                    else:
+                        # Reuse the run's id object so downstream
+                        # equality checks short-circuit on identity.
+                        eid = last_eid
+                    process, fields = cached
+                    append((number, line, process, eid, fields))
+                    continue
+        elif not line.strip():
+            continue
+        m = match(line)
+        if m is None:
+            if not line.strip():
+                continue
+            return entries, (number, line)
+        activity, eid, output_src, process, time_src, event_type = (
+            m.groups()
+        )
+        timestamp = float(time_src)
+        if not isfinite(timestamp):
+            return entries, (number, line)
+        output: Optional[Tuple[float, ...]]
+        if output_src == "null":
+            output = None
+        else:
+            if event_type != "END":
+                # record_from_json accepts START outputs; rare enough
+                # to take the slow road rather than model here.
+                return entries, (number, line)
+            values = []
+            ok = True
+            if len(output_src) > 2:
+                for v in output_src[1:-1].split(", "):
+                    value = float(v)
+                    if not isfinite(value):
+                        ok = False
+                        break
+                    values.append(value)
+            if not ok:
+                return entries, (number, line)
+            output = tuple(values)
+        fields = (
+            timestamp,
+            intern(activity),
+            END_EVENT if event_type == "END" else START_EVENT,
+            output,
+        )
+        process = intern(process)
+        # Group 2's character class is the id-token grammar, so the
+        # matched id needs no separate check; it still primes the
+        # hit path's one-entry cache.
+        last_eid = eid
+        if len(memo) >= memo_cap:
+            memo.clear()
+        a, b = m.span(2)
+        memo[line[:a] + line[b:]] = (process, fields)
+        append((number, line, process, eid, fields))
+    return entries, None
+
+
+def parse_batch(
+    lines: Sequence[str], start: int = 1
+) -> Tuple[
+    List[Tuple[int, str, str, EventRecord]], Optional[LogFormatError]
+]:
+    """Parse a block of JSON lines in one pass.
+
+    The JSON-lines counterpart of :func:`repro.logs.codec.parse_batch`:
+    ``lines[i]`` is line number ``start + i``, blank lines are skipped
+    (this codec has no comments), and the common shape — string fields,
+    numeric time, null or numeric-list output — is validated inline.
+    Anything unusual re-parses through :func:`record_from_json`, so
+    coercions (non-string names) and error messages stay identical to
+    the per-line reader.  Returns ``(entries, error)``; see the codec
+    counterpart for the protocol.
+    """
+    entries: List[Tuple[int, str, str, EventRecord]] = []
+    append = entries.append
+    loads = json.loads
+    intern = sys.intern
+    isfinite = math.isfinite
+    new_record = EventRecord.__new__
+    record_cls = EventRecord
+    cmatch = _CANONICAL_LINE.match
+    number = start - 1
+    for line in lines:
+        number += 1
+        if not line.strip():
+            continue
+        m = cmatch(line)
+        if m is not None:
+            # Canonical shape: every field is already validated by the
+            # grammar, so the record builds straight from the groups
+            # without touching ``json.loads``.
+            (
+                activity,
+                execution_id,
+                output_src,
+                process,
+                time_src,
+                event_type,
+            ) = m.groups()
+            timestamp = float(time_src)
+            if isfinite(timestamp):
+                good = True
+                if output_src == "null":
+                    output = None
+                elif event_type == "END":
+                    values = []
+                    if len(output_src) > 2:
+                        for v in output_src[1:-1].split(", "):
+                            value = float(v)
+                            if not isfinite(value):
+                                good = False
+                                break
+                            values.append(value)
+                    output = tuple(values) if good else None
+                else:
+                    good = False
+                if good:
+                    record = new_record(record_cls)
+                    attrs = record.__dict__
+                    attrs["timestamp"] = timestamp
+                    attrs["execution_id"] = execution_id
+                    attrs["activity"] = intern(activity)
+                    attrs["event_type"] = (
+                        END_EVENT
+                        if event_type == "END"
+                        else START_EVENT
+                    )
+                    attrs["output"] = output
+                    append((number, line, intern(process), record))
+                    continue
+        handled = False
+        try:
+            payload = loads(line)
+            process = payload["process"]
+            execution_id = payload["execution"]
+            activity = payload["activity"]
+            event_type = payload["type"]
+            timestamp = payload["time"]
+            output = payload.get("output")
+            if (
+                type(process) is str
+                and type(execution_id) is str
+                and execution_id
+                and type(activity) is str
+                and activity
+                and type(timestamp) in (int, float)
+                and isfinite(timestamp)
+            ):
+                if event_type == "END":
+                    if output is not None:
+                        if type(output) is list:
+                            values = []
+                            good = True
+                            for v in output:
+                                if type(v) in (int, float) and isfinite(v):
+                                    values.append(float(v))
+                                else:
+                                    good = False
+                                    break
+                            output = tuple(values) if good else None
+                            handled = good
+                        else:
+                            handled = False
+                    else:
+                        handled = True
+                    event_type = END_EVENT
+                elif event_type == "START" and output is None:
+                    event_type = START_EVENT
+                    handled = True
+                if handled:
+                    record = new_record(record_cls)
+                    attrs = record.__dict__
+                    attrs["timestamp"] = float(timestamp)
+                    attrs["execution_id"] = execution_id
+                    attrs["activity"] = intern(activity)
+                    attrs["event_type"] = event_type
+                    attrs["output"] = output
+                    append((number, line, intern(process), record))
+        except (KeyError, TypeError, ValueError):
+            handled = False
+        if not handled:
+            try:
+                name, record = record_from_json(line, number)
+            except LogFormatError as exc:
+                return entries, exc
+            append((number, line, name, record))
+    return entries, None
+
+
 def write_log_jsonl(log: EventLog, stream: IO[str]) -> int:
     """Write ``log`` as JSON lines; returns the line count."""
     process_name = log.process_name or "process"
@@ -142,9 +440,10 @@ def ingest_log_jsonl(
     Same semantics as :func:`repro.logs.codec.ingest_log`; see
     :mod:`repro.logs.ingest` for policies, limits, and quarantine.
     """
-    return ingest_lines(
-        _numbered_lines(stream),
+    return ingest_blocks(
+        stream,
         record_from_json,
+        parse_batch,
         policy=policy,
         limits=limits,
         quarantine=quarantine,
@@ -180,9 +479,10 @@ def iter_ingest_log_jsonl(
     see :func:`repro.logs.ingest.iter_ingest_lines` for the policy,
     limit, window and report semantics.
     """
-    return iter_ingest_lines(
-        _numbered_lines(stream),
+    return iter_ingest_blocks(
+        stream,
         record_from_json,
+        parse_batch,
         policy=policy,
         limits=limits,
         quarantine=quarantine,
@@ -215,6 +515,53 @@ def iter_ingest_log_jsonl_file(
             journal=journal,
             journal_skip=journal_skip,
         )
+
+
+def fold_log_jsonl_file(
+    path: PathOrStr,
+    policy: str = POLICY_STRICT,
+    limits: Optional[IngestLimits] = None,
+    quarantine: Optional[Quarantine] = None,
+    report: Optional[IngestReport] = None,
+    window: Optional[int] = DEFAULT_STREAM_WINDOW,
+    state=None,
+):
+    """Fold a JSON-lines log file straight into a ``MiningState``.
+
+    The out-of-core fast path: the batched equivalent of
+    ``fold_executions(iter_ingest_log_jsonl_file(path))``, decoding
+    blocks of lines through :func:`scan_batch`/:func:`parse_batch` and
+    folding finalized buckets without materializing an
+    :class:`~repro.logs.execution.Execution` for clean records (see
+    :class:`repro.logs.fastfold.FoldingIngestStream`).  Policy, limit,
+    quarantine, window and report semantics match the iterator path
+    byte for byte.  Journaling callers keep using the iterator — this
+    path never yields the executions a journal would record.  Returns
+    the (given or fresh) state.
+    """
+    from repro.logs.fastfold import FoldingIngestStream
+
+    stream = FoldingIngestStream(
+        record_from_json,
+        state=state,
+        policy=policy,
+        limits=limits,
+        quarantine=quarantine,
+        report=report,
+        window=window,
+        parse_batch=parse_batch,
+        scan_batch=scan_batch,
+    )
+    with open(path, "r", encoding="utf-8") as handle:
+        start = 1
+        while True:
+            block = list(islice(handle, INGEST_BLOCK_LINES))
+            if not block:
+                break
+            stream.push_batch(start, block)
+            start += len(block)
+    stream.flush()
+    return stream.state
 
 
 def read_log_jsonl(stream: IO[str]) -> EventLog:

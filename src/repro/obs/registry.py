@@ -135,6 +135,11 @@ DECLARED_METRICS: Tuple[MetricSpec, ...] = (
         "Quarantined items by reason (incl. late-record)",
         "reason",
     ),
+    _counter(
+        "repro_ingest_variant_memo_total",
+        "Prepared-variant memo traffic in MiningState.update",
+        "event",
+    ),
     # Streaming fold.
     _counter(
         "repro_stream_executions_total",
@@ -290,6 +295,11 @@ DECLARED_METRICS: Tuple[MetricSpec, ...] = (
     _histogram(
         "repro_conditions_tree_depth",
         "Decision-tree depth per learned edge",
+    ),
+    _histogram(
+        "repro_ingest_batch_records",
+        "Records decoded per push_batch block",
+        "source",
     ),
 )
 

@@ -21,10 +21,15 @@ surface is :data:`repro.service.router.ROUTES`; the semantics:
 * ``GET /metrics`` — Prometheus text exposition of the daemon's
   recorder.  ``GET /healthz`` — liveness (503 while draining).
 
-Ingest work runs on the event loop, one queued batch per scheduling
-step, so reads interleave with folds and are served from snapshots —
-never from a half-folded state.  Graceful shutdown (SIGTERM/SIGINT)
-drains every queue, flushes open windows, checkpoints every tenant via
+Ingest work runs *off* the event loop: request bodies decode in a
+small executor pool, and each tenant's worker task hands whole queued
+batches to a single fold thread (``Tenant.ingest`` → ``push_batch``),
+so large folds never stall request handling.  A per-tenant lock
+serializes the fold thread against loop-side snapshot refreshes, so
+reads are still served from snapshots — never from a half-folded
+state — and queue backpressure (429 on a full queue) is unchanged.
+Graceful shutdown (SIGTERM/SIGINT) drains every queue, flushes open
+windows, checkpoints every tenant via
 :meth:`~repro.resilience.session.DurableSession.handoff`, and a
 restarted daemon recovers each tenant byte-identically.
 """
@@ -35,9 +40,10 @@ import asyncio
 import json
 import signal
 import sys
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.lint import LintConfig
@@ -60,6 +66,10 @@ from repro.service.router import RouteError, resolve
 
 _MAX_REQUEST_LINE = 8192
 _MAX_HEADER_BYTES = 32768
+# Bodies at or above this size are decoded off-loop in the decode pool;
+# smaller bodies decode inline so the handler reaches the ingest queue
+# without yielding (keeps single-request backpressure deterministic).
+_OFFLOAD_BODY_BYTES = 64 * 1024
 _REASONS = {
     200: "OK",
     202: "Accepted",
@@ -141,14 +151,27 @@ class ServiceConfig:
 
 
 class TenantWorker:
-    """The asyncio side of one tenant: queue + fold task."""
+    """The asyncio side of one tenant: queue + off-loop fold task.
+
+    The worker task is the only submitter of this tenant's fold work,
+    and it holds :attr:`lock` across each executor hand-off — any
+    loop-side code that reads or refreshes the tenant's state (flush
+    handlers, snapshot reads, maintenance) takes the same lock and is
+    thereby serialized against the fold thread.
+    """
 
     def __init__(
-        self, tenant: Tenant, queue_limit: int, recorder
+        self,
+        tenant: Tenant,
+        queue_limit: int,
+        recorder,
+        fold_pool: ThreadPoolExecutor,
     ) -> None:
         self.tenant = tenant
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
         self.recorder = recorder
+        self.fold_pool = fold_pool
+        self.lock = asyncio.Lock()
         self.errors: List[dict] = []
         self.last_activity = asyncio.get_running_loop().time()
         self.task = asyncio.get_running_loop().create_task(
@@ -168,7 +191,10 @@ class TenantWorker:
         while True:
             lines = await self.queue.get()
             try:
-                self.tenant.ingest(lines)
+                async with self.lock:
+                    await loop.run_in_executor(
+                        self.fold_pool, self.tenant.ingest, lines
+                    )
             except ReproError as exc:
                 self._record_error(exc)
             finally:
@@ -214,6 +240,17 @@ class ServiceApp:
             max_tenants=config.max_tenants,
         )
         self._workers: Dict[str, TenantWorker] = {}
+        # One fold thread total: folds for different tenants serialize
+        # through it (each tenant is already serialized by its worker
+        # task + lock), which keeps the mining states, journals and the
+        # shared recorder single-writer.  Body decoding is pure and
+        # gets its own small pool so it never queues behind a fold.
+        self._fold_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-fold"
+        )
+        self._decode_pool = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-decode"
+        )
         self.draining = False
         self._started_at: Optional[float] = None
 
@@ -232,10 +269,27 @@ class ServiceApp:
         worker = self._workers.get(tenant.process)
         if worker is None:
             worker = TenantWorker(
-                tenant, self.config.queue_limit, self.recorder
+                tenant,
+                self.config.queue_limit,
+                self.recorder,
+                self._fold_pool,
             )
             self._workers[tenant.process] = worker
         return worker
+
+    async def _with_tenant(self, process: str, fn: Callable):
+        """Run ``fn`` serialized against the tenant's fold thread.
+
+        Loop-side reads that can refresh a snapshot (and flushes) must
+        not observe a half-folded state; taking the worker's lock
+        orders them after any in-flight executor fold.  Tenants
+        without a worker have no off-loop activity to race.
+        """
+        worker = self._workers.get(process)
+        if worker is None:
+            return fn()
+        async with worker.lock:
+            return fn()
 
     async def shutdown(self) -> Dict[str, HandoffReceipt]:
         """Drain every queue, then checkpoint and close every tenant."""
@@ -243,6 +297,8 @@ class ServiceApp:
         for worker in list(self._workers.values()):
             await worker.stop()
         self._workers.clear()
+        self._fold_pool.shutdown(wait=True)
+        self._decode_pool.shutdown(wait=True)
         return self.registry.close_all()
 
     async def maintenance_pass(self) -> int:
@@ -261,13 +317,15 @@ class ServiceApp:
             idle = loop.time() - worker.last_activity
             if (
                 worker.queue.empty()
+                and not worker.lock.locked()
                 and idle >= self.config.idle_flush_seconds
                 and (
                     worker.tenant.stream.open_executions
                     or worker.tenant.stale
                 )
             ):
-                worker.tenant.flush()
+                async with worker.lock:
+                    worker.tenant.flush()
                 flushed += 1
         return flushed
 
@@ -333,15 +391,12 @@ class ServiceApp:
         )
 
     async def _handle_tenants(self, request: Request) -> Response:
-        return Response.json(
-            200,
-            {
-                "tenants": [
-                    tenant.stats()
-                    for tenant in self.registry.tenants()
-                ]
-            },
-        )
+        documents = []
+        for tenant in self.registry.tenants():
+            documents.append(
+                await self._with_tenant(tenant.process, tenant.stats)
+            )
+        return Response.json(200, {"tenants": documents})
 
     async def _handle_events(
         self, request: Request, process: str
@@ -351,7 +406,17 @@ class ServiceApp:
                 503, "daemon is draining", headers=(("Retry-After", "5"),)
             )
         try:
-            lines = wire.split_event_lines(request.body)
+            if len(request.body) >= _OFFLOAD_BODY_BYTES:
+                lines = await asyncio.get_running_loop().run_in_executor(
+                    self._decode_pool,
+                    wire.split_event_lines,
+                    request.body,
+                )
+            else:
+                # Small bodies decode inline: no yield to other tasks,
+                # so queue backpressure stays exactly as deterministic
+                # as it was when ingest ran on-loop.
+                lines = wire.split_event_lines(request.body)
         except UnicodeDecodeError:
             return Response.error(400, "body is not valid UTF-8")
         if not lines:
@@ -391,7 +456,7 @@ class ServiceApp:
         tenant, _ = self.registry.get_or_create(process)
         worker = self.worker_for(tenant)
         await worker.drain()
-        folded = tenant.flush()
+        folded = await self._with_tenant(process, tenant.flush)
         document = tenant.stats()
         document["flushed_executions"] = folded
         document["errors"] = list(worker.errors)
@@ -416,7 +481,7 @@ class ServiceApp:
                 f"format must be one of {wire.MODEL_FORMATS}, "
                 f"got {fmt!r}"
             )
-        snapshot = tenant.snapshot()
+        snapshot = await self._with_tenant(process, tenant.snapshot)
         if snapshot is None:
             raise ServiceError(
                 f"process {process!r} has no model yet "
@@ -455,7 +520,9 @@ class ServiceApp:
         self, request: Request, process: str
     ) -> Response:
         tenant = self._tenant_for_read(process)
-        snapshot = tenant.fresh_snapshot()
+        snapshot = await self._with_tenant(
+            process, tenant.fresh_snapshot
+        )
         if snapshot is None:
             raise ServiceError(
                 f"process {process!r} has no state yet", status=404
@@ -487,7 +554,9 @@ class ServiceApp:
             dag_mode=bool(options.get("require_acyclic", False)),
             noise_threshold=max(int(options.get("threshold", 0)), 0),
         )
-        report = tenant.lint(config)
+        report = await self._with_tenant(
+            process, lambda: tenant.lint(config)
+        )
         return Response.json(
             200,
             {

@@ -1,0 +1,453 @@
+"""Parity: the batched ingest fast paths vs per-record ingestion.
+
+Three layers of fast path, one claim each:
+
+* :meth:`FoldingIngestStream.push_batch` (block scan + signature memo
+  + direct variant folding) must leave the mining state, the ingest
+  report, the quarantine contents and any raised error byte-identical
+  to pushing every line through :meth:`IngestStream.push` and calling
+  ``state.update`` per execution — across policies, block boundaries,
+  window sizes and memo eviction.
+* The prepared-variant memo inside :meth:`MiningState.update` must be
+  invisible: any memo size folds to the same payload as the unmemoized
+  state.
+* :meth:`Tenant.ingest`'s batched path must preserve the per-line
+  contract under strict errors — pre-error executions folded, the line
+  counter resting on the offending line.
+
+Deterministic adversarial families pin the known edge cases (ties,
+interleavings, junk, late records, tiny memos); hypothesis drives
+random mixtures of them over random block/window/memo geometry.
+"""
+
+import dataclasses
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import MiningState
+from repro.errors import LogFormatError
+from repro.logs import jsonl
+from repro.logs.execution import Execution
+from repro.logs.fastfold import FoldingIngestStream
+from repro.logs.ingest import IngestStream, Quarantine
+from repro.service.registry import Tenant, TenantConfig
+
+POLICIES = ("strict", "skip", "repair")
+BLOCK_SIZES = (1, 3, 7, 100)
+
+
+def line(activity, eid, event_type, time, output=None, process="p"):
+    return json.dumps(
+        {
+            "activity": activity,
+            "execution": eid,
+            "output": output,
+            "process": process,
+            "time": time,
+            "type": event_type,
+        },
+        sort_keys=True,
+    )
+
+
+def reference_run(lines, policy, window):
+    """Per-line pushes into an unmemoized state — the ground truth."""
+    quarantine = Quarantine()
+    stream = IngestStream(
+        jsonl.record_from_json,
+        policy=policy,
+        quarantine=quarantine,
+        window=window,
+    )
+    state = MiningState(memo_size=0)
+    error = None
+    try:
+        for number, raw in enumerate(lines, 1):
+            if not raw.strip():
+                continue  # readers skip blanks before push
+            for execution in stream.push(number, raw):
+                state.update(execution)
+        for execution in stream.flush():
+            state.update(execution)
+    except Exception as exc:  # noqa: BLE001 — parity includes errors
+        error = repr(exc)
+    return (
+        state.to_payload(),
+        dataclasses.asdict(stream.report),
+        [dataclasses.asdict(item) for item in quarantine.items],
+        error,
+    )
+
+
+def fast_run(lines, policy, window, block=7, memo_size=16384, scan=True):
+    """Block pushes through the folding fast path."""
+    quarantine = Quarantine()
+    stream = FoldingIngestStream(
+        jsonl.record_from_json,
+        state=MiningState(),
+        policy=policy,
+        quarantine=quarantine,
+        window=window,
+        parse_batch=jsonl.parse_batch,
+        scan_batch=jsonl.scan_batch if scan else None,
+        memo_size=memo_size,
+    )
+    error = None
+    try:
+        for index in range(0, len(lines), block):
+            stream.push_batch(index + 1, lines[index : index + block])
+        stream.flush()
+    except Exception as exc:  # noqa: BLE001
+        error = repr(exc)
+    return (
+        stream.state.to_payload(),
+        dataclasses.asdict(stream.report),
+        [dataclasses.asdict(item) for item in quarantine.items],
+        error,
+    )
+
+
+def _clean_repeat():
+    lines, time = [], 0.0
+    for eid in range(6):
+        for activity in "abc":
+            lines.append(line(activity, f"e{eid}", "START", time))
+            time += 0.5
+            lines.append(
+                line(activity, f"e{eid}", "END", time, [1.0, 2.5])
+            )
+            time += 0.5
+    return lines
+
+
+def _repeated_activity():
+    lines = []
+    for eid in range(3):
+        time = 0.0
+        for activity in ("a", "b", "a"):
+            lines.append(line(activity, f"r{eid}", "START", time))
+            time += 1
+            lines.append(line(activity, f"r{eid}", "END", time))
+            time += 1
+    return lines
+
+
+def _overlap():
+    lines = []
+    for eid in range(3):
+        lines += [
+            line("a", f"o{eid}", "START", 0.0),
+            line("b", f"o{eid}", "START", 0.5),
+            line("a", f"o{eid}", "END", 1.0),
+            line("b", f"o{eid}", "END", 1.5),
+        ]
+    return lines
+
+
+def _ties_disorder():
+    lines = []
+    for eid in range(3):
+        lines += [
+            line("a", f"t{eid}", "START", 1.0),
+            line("a", f"t{eid}", "END", 1.0),
+            line("b", f"t{eid}", "END", 0.5),
+            line("b", f"t{eid}", "START", 0.25),
+        ]
+    return lines
+
+
+def _junk():
+    return [
+        line("a", "j0", "START", 0.0),
+        "",
+        "   ",
+        "{not json",
+        # Field order the canonical scanner cannot prove.
+        '{"execution": "j9", "activity": "x", "output": null, '
+        '"process": "p", "time": 1.0, "type": "START"}',
+        line("a", "j0", "END", 1.0),
+        # Escapes, non-finite time, START with output.
+        '{"activity": "a\\"b", "execution": "j1", "output": null, '
+        '"process": "p", "time": 2.0, "type": "START"}',
+        '{"activity": "c", "execution": "j2", "output": null, '
+        '"process": "p", "time": 1e999, "type": "START"}',
+        '{"activity": "c", "execution": "j3", "output": [1.0], '
+        '"process": "p", "time": 3.0, "type": "START"}',
+        line("d", "j4", "START", 4.0),
+        line("d", "j4", "END", 5.0),
+    ]
+
+
+def _mixed_process():
+    return [
+        line("a", "m0", "START", 0.0),
+        line("a", "m0", "END", 1.0),
+        line("b", "m1", "START", 2.0, process="q"),
+        line("b", "m1", "END", 3.0),
+    ]
+
+
+def _late_record():
+    lines = [line("a", "l0", "START", 0.0), line("a", "l0", "END", 1.0)]
+    for k in range(8):
+        lines.append(line("x", f"lf{k}", "START", 2.0 + k))
+        lines.append(line("x", f"lf{k}", "END", 2.5 + k))
+    lines.append(line("z", "l0", "START", 99.0))
+    return lines
+
+
+#: name -> (lines, window, signature-memo size)
+CASES = {
+    "clean-repeat": (_clean_repeat(), 64, 16384),
+    "repeated-activity": (_repeated_activity(), 64, 16384),
+    "overlap": (_overlap(), 64, 16384),
+    "ties-disorder": (_ties_disorder(), 64, 16384),
+    "unmatched-end": (
+        [
+            line("a", "u0", "END", 1.0),
+            line("b", "u1", "START", 2.0),
+            line("b", "u1", "END", 3.0),
+        ],
+        64,
+        16384,
+    ),
+    "junk": (_junk(), 64, 16384),
+    "mixed-process": (_mixed_process(), 64, 16384),
+    "late-record": (_late_record(), 4, 16384),
+    "tiny-memo": (_clean_repeat(), 64, 2),
+    "memo-off": (_clean_repeat(), 64, 0),
+}
+
+
+class TestAdversarialParity:
+    @pytest.mark.parametrize("name", sorted(CASES))
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_case_family(self, name, policy):
+        lines, window, memo_size = CASES[name]
+        expected = reference_run(lines, policy, window)
+        for block in BLOCK_SIZES:
+            for scan in (True, False):
+                got = fast_run(
+                    lines,
+                    policy,
+                    window,
+                    block=block,
+                    memo_size=memo_size,
+                    scan=scan,
+                )
+                assert got == expected, (
+                    f"{name}/{policy} diverged at block={block} "
+                    f"scan={scan}"
+                )
+
+
+@st.composite
+def line_soups(draw):
+    """A random mixture of clean, messy and junk lines plus geometry."""
+    seed = draw(st.integers(min_value=0, max_value=99_999))
+    rng = random.Random(seed)
+    lines = []
+    time = 0.0
+    for eid in range(draw(st.integers(min_value=1, max_value=8))):
+        shape = rng.choice(("clean", "clean", "overlap", "disorder"))
+        activities = [
+            rng.choice("abcd")
+            for _ in range(rng.randint(1, 4))
+        ]
+        block = []
+        if shape == "clean":
+            for activity in dict.fromkeys(activities):
+                block.append(line(activity, f"e{eid}", "START", time))
+                time += 0.5
+                block.append(line(activity, f"e{eid}", "END", time))
+                time += 0.5
+        elif shape == "overlap":
+            for offset, activity in enumerate(activities):
+                block.append(
+                    line(activity, f"e{eid}", "START", time + offset)
+                )
+            for offset, activity in enumerate(activities):
+                block.append(
+                    line(
+                        activity,
+                        f"e{eid}",
+                        "END",
+                        time + len(activities) + offset,
+                    )
+                )
+            time += 2 * len(activities)
+        else:  # disorder: shuffled events, tie-prone timestamps
+            for activity in activities:
+                block.append(
+                    line(activity, f"e{eid}", "START", rng.randint(0, 3))
+                )
+                block.append(
+                    line(activity, f"e{eid}", "END", rng.randint(0, 3))
+                )
+            rng.shuffle(block)
+        lines.extend(block)
+        if rng.random() < 0.3:
+            lines.append(
+                rng.choice(
+                    [
+                        "",
+                        "   ",
+                        "{broken",
+                        line("z", f"x{eid}", "START", 0.0, process="q"),
+                        '{"activity": "n", "execution": "n", '
+                        '"output": null, "process": "p", '
+                        '"time": 1e999, "type": "START"}',
+                    ]
+                )
+            )
+    if draw(st.booleans()):
+        # Whole-soup repetition under fresh ids: memo-hit territory.
+        lines = lines + [
+            raw.replace('"e', '"f') if '"e' in raw else raw
+            for raw in lines
+        ]
+    window = draw(st.sampled_from([2, 4, 64, None]))
+    block = draw(st.integers(min_value=1, max_value=16))
+    memo_size = draw(st.sampled_from([0, 2, 16384]))
+    policy = draw(st.sampled_from(POLICIES))
+    scan = draw(st.booleans())
+    return lines, window, block, memo_size, policy, scan
+
+
+class TestPropertyParity:
+    @given(line_soups())
+    @settings(max_examples=120, deadline=None)
+    def test_push_batch_matches_per_line(self, soup):
+        lines, window, block, memo_size, policy, scan = soup
+        expected = reference_run(lines, policy, window)
+        got = fast_run(
+            lines,
+            policy,
+            window,
+            block=block,
+            memo_size=memo_size,
+            scan=scan,
+        )
+        assert got == expected
+
+    @given(
+        st.lists(
+            st.lists(
+                st.sampled_from("abcde"), min_size=1, max_size=5
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.sampled_from([0, 1, 2, 65536]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_update_memo_is_invisible(self, sequences, memo_size):
+        """Any memo size (incl. eviction-heavy) folds identically."""
+        executions = [
+            Execution.from_sequence(
+                sequence, execution_id=f"e{index:03d}",
+                start_time=float(index),
+            )
+            for index, sequence in enumerate(sequences)
+        ]
+        # Repeat the log so small memos evict and re-miss.
+        executions = executions + executions
+        plain = MiningState(memo_size=0)
+        memoized = MiningState(memo_size=memo_size)
+        for execution in executions:
+            plain.update(execution)
+            memoized.update(execution)
+        assert memoized.to_payload() == plain.to_payload()
+        if memo_size:
+            assert memoized.memo_hits + memoized.memo_misses == len(
+                executions
+            )
+
+    @given(
+        st.lists(
+            st.sampled_from("abcdefg"),
+            min_size=1,
+            max_size=7,
+            unique=True,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pack_sequence_matches_pack_execution(self, sequence):
+        direct = MiningState().pack_sequence(sequence)
+        classic = MiningState()._pack_execution(
+            Execution.from_sequence(
+                sequence, execution_id="e", start_time=0.0
+            )
+        )
+        assert direct == classic
+
+    def test_pack_sequence_declines_repeats_and_labelled(self):
+        assert MiningState().pack_sequence(["a", "b", "a"]) is None
+        assert MiningState(labelled=True).pack_sequence(["a"]) is None
+
+
+class TestTenantBatchedIngest:
+    def _tenant(self, tmp_path, name, **overrides):
+        # The tenant's process name is owned by the URL; every test
+        # log speaks process "p", so each tenant mines "p" from its
+        # own directory.
+        config = TenantConfig(**overrides)
+        tenant = Tenant("p", tmp_path / name, config)
+        tenant.recover()
+        return tenant
+
+    def _payload(self, tenant):
+        return tenant.session.state.to_payload()
+
+    def test_batch_matches_per_line_tenant(self, tmp_path):
+        lines = _junk() + _clean_repeat()
+        batched = self._tenant(tmp_path, "batched")
+        batched.ingest([raw for raw in lines if raw.strip()])
+        batched.flush()
+        single = self._tenant(tmp_path, "single")
+        for raw in lines:
+            if raw.strip():
+                single.ingest([raw])
+        single.flush()
+        assert self._payload(batched) == self._payload(single)
+        assert batched.report.accepted_executions == (
+            single.report.accepted_executions
+        )
+        batched.close()
+        single.close()
+
+    def test_strict_error_restores_line_accounting(self, tmp_path):
+        good = _clean_repeat()
+        lines = good[:5] + ["{broken"] + good[5:]
+        tenant = self._tenant(tmp_path, "strict", policy="strict")
+        with pytest.raises(LogFormatError) as excinfo:
+            tenant.ingest(lines)
+        assert excinfo.value.line_number == 6
+        # The counter rests on the offending line: the retry resumes
+        # numbering right after it, as per-line pushing would.
+        assert tenant._line_number == 6
+        tenant.ingest(good[5:])
+        tenant.flush()
+        reference = self._tenant(tmp_path, "ref", policy="strict")
+        reference.ingest(good)
+        reference.flush()
+        assert self._payload(tenant) == self._payload(reference)
+        tenant.close()
+        reference.close()
+
+    def test_strict_error_still_folds_prior_executions(self, tmp_path):
+        # e0's six lines, e1's six lines, then a broken line.  With a
+        # 4-record window e0 expires while e1's records stream past, so
+        # it is already folded when line 13 raises.
+        lines = _clean_repeat()[:12] + ["{broken"]
+        tenant = self._tenant(
+            tmp_path, "fold", policy="strict", window=4
+        )
+        with pytest.raises(LogFormatError):
+            tenant.ingest(lines)
+        assert tenant.session.state.execution_count == 1
+        tenant.close()

@@ -70,13 +70,16 @@ class TestMinerInstrumentation:
         assert edges.value == result.graph.edge_count
 
     def test_stage_spans_nest_under_mine(self):
+        """Span nesting mirrors the span-name path: ``mine/x`` is a
+        child of ``mine``, ``mine/prepare/parse`` of ``mine/prepare``."""
         recorder = ObsRecorder()
         ProcessMiner(recorder=recorder).mine(example7_log())
         spans = {span.name: span for span in recorder.spans}
-        mine_span = spans["mine"]
+        assert "mine" in spans
         for name, span in spans.items():
             if name.startswith("mine/"):
-                assert span.parent == mine_span.index
+                parent_name = name.rsplit("/", 1)[0]
+                assert span.parent == spans[parent_name].index
 
     def test_special_dag_records_spans(self):
         recorder = ObsRecorder()

@@ -421,6 +421,62 @@ class TestApp:
         assert dict(second.headers)["Retry-After"] == "1"
         assert flushed.status == 200
 
+    def test_large_body_off_loop_decode_matches_small_batches(
+        self, tmp_path
+    ):
+        """Bodies over the offload threshold decode in the executor
+        pool; the resulting state must be byte-identical to the same
+        lines pushed as many small inline-decoded bodies."""
+        from repro.service.server import _OFFLOAD_BODY_BYTES
+
+        sequences = ["ABCF", "ACDF", "ABDF", "ABCDF"] * 50
+        lines = event_lines(sequences)
+        body = ("\n".join(lines) + "\n").encode()
+        assert len(body) >= _OFFLOAD_BODY_BYTES
+
+        async def one_big(app):
+            response = await app.handle(
+                make_request("POST", f"/v1/{PROCESS}/events", body=body)
+            )
+            assert response.status == 202
+            flushed = await app.handle(
+                make_request("POST", f"/v1/{PROCESS}/flush")
+            )
+            assert json.loads(flushed.body)["executions"] == len(
+                sequences
+            )
+            state = await app.handle(
+                make_request("GET", f"/v1/{PROCESS}/state")
+            )
+            return state.body
+
+        async def many_small(app):
+            for start in range(0, len(lines), 100):
+                chunk = (
+                    "\n".join(lines[start : start + 100]) + "\n"
+                ).encode()
+                assert len(chunk) < _OFFLOAD_BODY_BYTES
+                response = await app.handle(
+                    make_request(
+                        "POST", f"/v1/{PROCESS}/events", body=chunk
+                    )
+                )
+                assert response.status == 202
+            flushed = await app.handle(
+                make_request("POST", f"/v1/{PROCESS}/flush")
+            )
+            assert flushed.status == 200
+            state = await app.handle(
+                make_request("GET", f"/v1/{PROCESS}/state")
+            )
+            return state.body
+
+        big = run_app(tmp_path / "big", one_big)
+        small = run_app(
+            tmp_path / "small", many_small, queue_limit=128
+        )
+        assert big == small
+
     def test_queued_format_errors_are_reported_on_flush(self, tmp_path):
         async def scenario(app):
             bad = make_request(
